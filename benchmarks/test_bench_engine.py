@@ -1,0 +1,130 @@
+"""ENGINE — tooling benchmarks and design-choice ablations.
+
+* derivation-time per kernel (the IOLB-replacement's own cost);
+* ablation: K = 2S vs other K multiples (the paper's choice is near-optimal);
+* ablation: the disjoint-inset refinement's constant factor;
+* ablation: exact Theorem-1 (with floors, numeric T optimisation) vs the
+  continuous formulas used in the theorem statements.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import derivation_for, emit
+from repro.bounds import (
+    classical_bound,
+    derive,
+    derive_projections,
+    detect_hourglass,
+    hourglass_bound,
+    optimize_T_numeric,
+)
+from repro.kernels import KERNELS, get_kernel
+from repro.report import render_table
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_derivation_time(name, benchmark):
+    """End-to-end derivation cost per kernel (trace + detect + derive)."""
+    kernel = get_kernel(name)
+    benchmark(derive, kernel)
+
+
+def test_k_choice_ablation():
+    """Theorem 1 leaves K free; the paper picks K = 2S.  Sweep the
+    multiplier: the bound peaks near 2 and degrades slowly."""
+    kern = get_kernel("mgs")
+    ps = derive_projections(kern.program, "SU", {"M": 5, "N": 4})
+    pat = detect_hourglass(
+        kern.program, "SU", {"M": 5, "N": 4}, {"M": 4096, "N": 1024}, ps
+    )
+    v = kern.program.statement("SU").instance_count()
+    env = {"M": 4000, "N": 1000, "S": 1024}
+    rows = []
+    vals = {}
+    for km in (2, 3, 4, 6, 8):
+        b = hourglass_bound("mgs", pat, ps, v, k_mult=km)
+        vals[km] = b.evaluate(env)
+        rows.append([f"K={km}S", vals[km]])
+    from repro.bounds import optimal_k_numeric
+
+    k_star, q_star = optimal_k_numeric(pat, ps, v, env)
+    rows.append([f"K*={k_star:.0f} (optimal)", q_star])
+    emit(render_table(["choice", "bound"], rows, title="K-choice ablation (MGS)"))
+    best = max(vals.values())
+    # finding: for M >> S the optimum is K* = S + sqrt(S^2 + 2SM) ~ 4S here;
+    # the paper's K = 2S stays within 25% of it, and very large K
+    # over-relaxes the partition
+    import math
+
+    closed = env["S"] + math.sqrt(env["S"] ** 2 + 2 * env["S"] * env["M"])
+    assert k_star == pytest.approx(closed, rel=0.02)
+    assert q_star >= best
+    assert vals[2] >= 0.75 * q_star
+    assert vals[8] < vals[4]
+
+
+def test_disjoint_refinement_ablation():
+    kern = get_kernel("mgs")
+    ps = derive_projections(kern.program, "SU", {"M": 5, "N": 4})
+    v = kern.program.statement("SU").instance_count()
+    dims = kern.program.statement("SU").dims
+    plain = classical_bound("mgs", dims, ps, v, disjoint=False)
+    refined = classical_bound("mgs", dims, ps, v, disjoint=True)
+    env = {"M": 4000, "N": 1000, "S": 1024}
+    gain = refined.evaluate(env) / plain.evaluate(env)
+    emit(
+        render_table(
+            ["variant", "bound"],
+            [["per-projection K", plain.evaluate(env)], ["disjoint insets", refined.evaluate(env)], ["gain", gain]],
+            title="Disjoint-inset refinement ablation (MGS classical)",
+        )
+    )
+    assert gain == pytest.approx(3.0**1.5, rel=1e-6)
+
+
+def test_floor_vs_continuous_theorem1():
+    """Theorem 1's exact statement (T * floor(|V|/U)) vs the continuous
+    formula: agreement within a constant at moderate sizes, converging as
+    the instance grows."""
+    rep = derivation_for("mgs")
+    rows = []
+    for m, n, s in ((64, 32, 64), (256, 128, 256), (1024, 512, 1024)):
+        v = get_kernel("mgs").program.statement("SU").instance_count().eval(
+            {"M": m, "N": n}
+        )
+
+        def u_of_k(k, m=m):
+            return float(k) ** 2 / m + 2.0 * k  # the hourglass |E|(K)
+
+        _t, exact = optimize_T_numeric(u_of_k, float(v), s)
+        cont = rep.hourglass.evaluate({"M": m, "N": n, "S": s})
+        rows.append([f"{m}x{n}", s, exact, cont, exact / cont])
+    emit(
+        render_table(
+            ["size", "S", "floor Thm1", "continuous", "ratio"],
+            rows,
+            title="Theorem 1: exact floors vs continuous K=2S formula (MGS)",
+        )
+    )
+    ratios = [r[-1] for r in rows]
+    assert all(0.4 < r < 2.5 for r in ratios)
+    assert abs(ratios[-1] - 1.0) <= abs(ratios[0] - 1.0) + 0.3
+
+
+def test_detection_cost_scales_with_cdag(benchmark):
+    """Hourglass detection on a mid-size CDAG (the concrete-verification
+    step dominates; it is the engine's priciest stage)."""
+    kern = get_kernel("mgs")
+    ps = derive_projections(kern.program, "SU", {"M": 6, "N": 5})
+
+    def run():
+        return detect_hourglass(
+            kern.program, "SU", {"M": 6, "N": 5}, {"M": 4096, "N": 1024}, ps
+        )
+
+    pat = benchmark(run)
+    assert pat.parametric_width

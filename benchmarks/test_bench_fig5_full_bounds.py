@@ -1,0 +1,109 @@
+"""FIG5 — Figure 5: full parametric bounds with constants, old vs new.
+
+Regenerates the table and validates the engine against the published
+formulas: for each kernel the engine's bound and Figure 5's "new" entry must
+agree on the dominant term (ratio -> constant close to 1 at scale; exactly 1
+for MGS, whose derivation we reproduce symbolically).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import derivation_for, emit
+from repro.bounds import FIG5_NEW, FIG5_OLD
+from repro.kernels import PAPER_KERNELS
+from repro.report import fig5_rows, render_table
+from repro.symbolic import Sym
+
+
+def test_fig5_table(benchmark):
+    rows = benchmark(fig5_rows)
+    emit(
+        render_table(
+            ["kernel", "old bound", "new bound", "improvement"],
+            rows,
+            title="Figure 5: full published formulas at the reference point",
+        )
+    )
+    for name, old, new, imp in rows:
+        assert imp > 1.0, f"{name}: no improvement at reference point"
+
+
+def test_mgs_engine_matches_fig5_new_dominant_term():
+    """Figure 5's MGS numerator is M^2(N-1)(N-2)/8 over (M+S); the engine
+    derives M^2 N(N-1)/8 over (M+S) (Theorem 5).  Ratio -> 1."""
+    rep = derivation_for("mgs")
+    for t in (1_000, 10_000, 100_000):
+        env = {"M": 4 * t, "N": t, "S": 1024}
+        ours = rep.hourglass.evaluate(env)
+        paper = FIG5_NEW["mgs"].evaluate(env)
+        assert ours / paper == pytest.approx(1.0, rel=30.0 / t)
+
+
+@pytest.mark.parametrize("name", ["qr_a2v", "qr_v2q", "gebd2"])
+def test_householder_engine_vs_fig5_constants(name):
+    """Width-convention differences keep the engine within ~10% of the
+    published constants at scale."""
+    rep = derivation_for(name)
+    env = {"M": 40_000, "N": 10_000, "S": 1024}
+    ours = rep.hourglass.evaluate(env)
+    paper = FIG5_NEW[name].evaluate(env)
+    assert ours / paper == pytest.approx(1.0, rel=0.15)
+
+
+def test_gehd2_engine_vs_fig5_within_factor_two():
+    """GEHD2's split derivation differs from the paper's in the handling of
+    the second half; constants agree within a factor ~2."""
+    rep = derivation_for("gehd2")
+    env = {"N": 40_000, "S": 1024}
+    ours = max(b.evaluate(env) for b in rep.hourglass_split)
+    paper = FIG5_NEW["gehd2"].evaluate(env)
+    assert 0.4 < ours / paper < 2.5
+
+
+def test_multi_statement_bound_vs_fig5_old():
+    """Pooling every statement's K-partition capacity (the way IOLB's
+    published old bounds account for the norm/scale loops) reproduces the
+    Figure 5 old-MGS bound within 15%, with the same coefficient-1
+    MN^2/sqrt(S) leading term."""
+    from benchmarks.conftest import emit
+    from repro.bounds import multi_statement_bound
+    from repro.kernels import get_kernel
+    from repro.report import render_table
+
+    b = multi_statement_bound(
+        get_kernel("mgs").program, {"M": 5, "N": 4}, kernel_name="mgs"
+    )
+    rows = []
+    for m, n, s in ((4000, 1000, 1024), (40_000, 10_000, 4096)):
+        env = {"M": m, "N": n, "S": s}
+        ours = b.evaluate(env)
+        paper = FIG5_OLD["mgs"].evaluate(env)
+        rows.append([f"{m}x{n}", s, ours, paper, ours / paper])
+    emit(
+        render_table(
+            ["size", "S", "pooled multi", "fig5 old", "ratio"],
+            rows,
+            title="Multi-statement classical bound vs Figure 5 old (MGS)",
+        )
+    )
+    for *_r, ratio in rows:
+        assert 0.85 < ratio < 1.15
+
+
+def test_engine_old_matches_fig5_old_leading_terms():
+    """The classical engine reproduces the old bounds' leading terms."""
+    t = 100_000
+    env = {"M": 4 * t, "N": t, "S": 1024}
+    for name in ("mgs", "qr_a2v", "qr_v2q", "gebd2"):
+        rep = derivation_for(name)
+        ours = rep.classical.evaluate(env)
+        paper = FIG5_OLD[name].evaluate(env)
+        assert ours / paper == pytest.approx(1.0, rel=0.02), name
+    rep = derivation_for("gehd2")
+    env2 = {"N": t, "S": 1024}
+    ratio = rep.classical.evaluate(env2) / FIG5_OLD["gehd2"].evaluate(env2)
+    # paper's GEHD2 old bound sums several statements (5N^3/3 vs our N^3):
+    # same order, different constant
+    assert 0.4 < ratio < 1.2

@@ -1,0 +1,86 @@
+"""EXT — extension beyond the paper: generic hourglass-driven tiling.
+
+Appendix A tiles only MGS and A2V by hand.  The detected hourglass pattern
+is enough to *generate* the blocked left-looking order for any kernel; this
+bench measures the generated schedules:
+
+* MGS: the generated order prices identically to Figure 8 — the appendix's
+  tiling is recovered automatically;
+* GEHD2 (no published tiling): the generated order beats the program order,
+  moving measured I/O toward the new lower bound;
+* GEBD2: blocking one of its two interleaved hourglasses *loses* — the
+  structural signature of two-sided reductions being only partially
+  blockable (a finding, reported not hidden).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import derivation_for, emit
+from repro import build_cdag, get_kernel
+from repro.ir import Tracer
+from repro.kernels import default_block_size
+from repro.pebble import hourglass_tiled_schedule, play_schedule
+from repro.report import render_table
+
+CASES = {
+    "mgs": {"M": 16, "N": 12},
+    "qr_a2v": {"M": 16, "N": 8},
+    "gebd2": {"M": 14, "N": 9},
+    "gehd2": {"N": 12},
+}
+
+
+def _rows():
+    rows = []
+    for name, params in CASES.items():
+        kern = get_kernel(name)
+        g = build_cdag(kern.program, params)
+        pat = derivation_for(name).hourglass_pattern
+        naive = Tracer()
+        kern.program.runner(dict(params), naive)
+        m = params.get("M", params.get("N"))
+        for s in (64, 128):
+            b = default_block_size(m + 1, s)
+            gen = hourglass_tiled_schedule(g, kern.program, pat, b)
+            ln = play_schedule(g, naive.schedule, s, "belady").loads
+            lg = play_schedule(g, gen, s, "belady").loads
+            _, lb = derivation_for(name).best({**params, "S": s})
+            rows.append([name, s, b, ln, lg, lb, lg / max(lb, 1e-9)])
+    return rows
+
+
+def test_generic_tiling_sweep(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    emit(
+        render_table(
+            ["kernel", "S", "B", "naive loads", "generic-tiled", "lower bound", "tiled/bound"],
+            rows,
+            title="Generic hourglass tiling (extension: auto-generated blocked orders)",
+        )
+    )
+    by = {(r[0], r[1]): r for r in rows}
+    # MGS and GEHD2 improve over naive at the larger cache
+    assert by[("mgs", 128)][4] < by[("mgs", 128)][3]
+    assert by[("gehd2", 128)][4] < by[("gehd2", 128)][3]
+    # all generated schedules respect the bounds
+    assert all(r[4] >= r[5] - 1e-9 for r in rows)
+
+
+def test_a2v_generic_matches_figure9_behaviour():
+    """The generated A2V order achieves Figure-9-level reuse (within 10%
+    of the hand tiling's loads)."""
+    from repro.kernels import TILED_A2V
+
+    params = CASES["qr_a2v"]
+    kern = get_kernel("qr_a2v")
+    g = build_cdag(kern.program, params)
+    pat = derivation_for("qr_a2v").hourglass_pattern
+    s = 128
+    b = default_block_size(params["M"] + 1, s)
+    gen = hourglass_tiled_schedule(g, kern.program, pat, b)
+    fig9 = TILED_A2V.run_traced({**params, "B": b}).schedule
+    lg = play_schedule(g, gen, s, "belady").loads
+    lf = play_schedule(g, fig9, s, "belady").loads
+    assert lg == pytest.approx(lf, rel=0.10)

@@ -1,0 +1,122 @@
+"""ABLATION — model-fidelity ablations beyond the paper's abstract machine.
+
+1. *Exact optimum*: on instances small enough for exhaustive search, the
+   exact red-white optimum sits between the derived bound and the
+   Belady-schedule cost — the full hierarchy the theory promises.
+2. *Hardware-like cache*: line granularity + limited associativity.  An
+   element-level bound Q transfers to line misses >= Q/L; the bench sweeps
+   line sizes on MGS and checks the transferred bound plus the (expected)
+   absence of spatial locality in column-major traversals of row-major
+   arrays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import derivation_for, emit
+from repro import build_cdag, get_kernel, play_schedule
+from repro.cache import simulate_assoc, simulate_belady
+from repro.ir import Tracer
+from repro.pebble import exact_min_loads
+from repro.report import render_table
+
+
+def _hierarchy_rows():
+    rows = []
+    # the exhaustive search cost grows steeply with S; keep each case
+    # under a few seconds
+    for (name, params, caches) in (
+        ("mgs", {"M": 2, "N": 2}, (4, 6, 8)),
+        ("matmul", {"NI": 2, "NJ": 2, "NK": 2}, (4,)),
+        ("qr_a2v", {"M": 3, "N": 2}, (4,)),
+    ):
+        kern = get_kernel(name)
+        g = build_cdag(kern.program, params)
+        t = Tracer()
+        kern.program.runner(dict(params), t)
+        rep = derivation_for(name)
+        for s in caches:
+            exact = exact_min_loads(g, s, node_limit=24)
+            bel = play_schedule(g, t.schedule, s, "belady").loads
+            _, lb = rep.best({**params, "S": s})
+            ok = lb <= exact <= bel
+            rows.append([name, s, lb, exact, bel, ok])
+    return rows
+
+
+def test_exact_hierarchy(benchmark):
+    rows = benchmark.pedantic(_hierarchy_rows, rounds=1, iterations=1)
+    emit(
+        render_table(
+            ["kernel", "S", "lower bound", "exact optimum", "belady schedule", "ordered"],
+            rows,
+            title="Exact red-white optimum: bound <= Q_exact <= schedule cost",
+        )
+    )
+    assert all(r[-1] for r in rows)
+
+
+def test_exact_strictly_beats_fixed_schedule_somewhere():
+    """The optimum genuinely reorders: on MGS 2x2 it beats the program
+    order at S=4."""
+    kern = get_kernel("mgs")
+    params = {"M": 2, "N": 2}
+    g = build_cdag(kern.program, params)
+    t = Tracer()
+    kern.program.runner(dict(params), t)
+    exact = exact_min_loads(g, 4, node_limit=24)
+    bel = play_schedule(g, t.schedule, 4, "belady").loads
+    assert exact < bel
+
+
+def _line_rows(m: int, n: int, s: int):
+    kern = get_kernel("mgs")
+    params = {"M": m, "N": n}
+    t = Tracer()
+    kern.program.runner(dict(params), t)
+    events = list(t.events)
+    shapes = {"A": (m, n), "Q": (m, n), "R": (n, n), "nrm": ()}
+    rep = derivation_for("mgs")
+    _, lb = rep.best({**params, "S": s})
+    model = simulate_belady(events, s).loads
+    rows = []
+    for line in (1, 2, 4, 8):
+        st = simulate_assoc(
+            events, capacity_elements=s, line_size=line, ways=4, shapes=shapes
+        )
+        rows.append(
+            [
+                line,
+                st.line_misses,
+                st.element_traffic,
+                lb / line,
+                st.line_misses >= lb / line - 1e-9,
+            ]
+        )
+    rows.append(["model", model, model, lb, model >= lb])
+    return rows
+
+
+def test_line_size_ablation(benchmark):
+    rows = benchmark.pedantic(_line_rows, args=(12, 8, 32), rounds=1, iterations=1)
+    emit(
+        render_table(
+            ["line size", "line misses", "element traffic", "bound/L", "holds"],
+            rows,
+            title="Hardware-cache ablation (MGS 12x8, S=32, 4-way LRU)",
+        )
+    )
+    assert all(r[-1] for r in rows)
+
+
+def test_no_spatial_locality_in_column_sweeps():
+    """MGS walks columns of row-major arrays: growing the line size must
+    NOT reduce misses much (stride access), while element traffic grows
+    nearly linearly — quantifying why the unit-element model is the right
+    one for these kernels."""
+    rows = _line_rows(12, 8, 32)
+    misses = {r[0]: r[1] for r in rows if r[0] != "model"}
+    assert misses[8] > 0.5 * misses[1]  # <2x improvement from 8x lines
+    traffic = {r[0]: r[2] for r in rows if r[0] != "model"}
+    assert traffic[8] > 4 * traffic[1]

@@ -1,0 +1,90 @@
+"""SEC51 — §5.1: the asymptotic regime analysis of the MGS bound.
+
+Regenerates the section's case analysis as a numeric sweep over S:
+
+* S <= M/2:  the small-cache bound gives >= MN²/8 (-> MN²/4 as S -> 0);
+* M/2 <= S:  the main bound gives >= M²N²/(24S) (-> M²N²/(8S) as M/S -> 0);
+* the old classical bound Omega(MN²/sqrt(S)) is dominated in both regimes
+  (by factors Theta(sqrt(S)) and Theta(M/sqrt(S)) respectively);
+* the crossover between the two theorem cases sits near S ~ M.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import derivation_for, emit
+from repro.bounds import FIG4, THEOREMS
+from repro.report import render_table
+
+
+def _regime_rows(m: int, n: int, caches):
+    rows = []
+    for s in caches:
+        env = {"M": m, "N": n, "S": s}
+        main = THEOREMS["thm5-mgs-main"].evaluate(env)
+        small = THEOREMS["thm5-mgs-small"].evaluate(env) if s <= m else None
+        old = FIG4["mgs"]["old"].evaluate(env)
+        best = max(main, small or 0.0)
+        rows.append([s, main, small, old, best / old])
+    return rows
+
+
+def test_sec51_regime_sweep(benchmark):
+    m, n = 10_000, 5_000
+    # start at S=64: below sqrt(S)=4 the old bound's constant still ties
+    caches = (64, 256, 1024, 4096, 16_384, 65_536, 262_144)
+    rows = benchmark.pedantic(_regime_rows, args=(m, n, caches), rounds=1, iterations=1)
+    emit(
+        render_table(
+            ["S", "thm5 main", "thm5 small", "old MN^2/sqrt(S)", "new/old"],
+            rows,
+            title=f"§5.1 regimes (M={m}, N={n})",
+        )
+    )
+    # the new bound beats the old at every S in the sweep
+    for s, main, small, old, imp in rows:
+        assert imp > 1.0, f"S={s}"
+
+
+def test_small_s_specialisation():
+    """S <= M/2: bound >= MN^2/8 (and -> MN(N-1)/4 for S << M)."""
+    m, n = 10_000, 5_000
+    for s in (16, 256, m // 2):
+        val = THEOREMS["thm5-mgs-small"].evaluate({"M": m, "N": n, "S": s})
+        assert val >= m * n * (n - 1) / 8
+    tiny = THEOREMS["thm5-mgs-small"].evaluate({"M": m, "N": n, "S": 1})
+    assert tiny == pytest.approx(m * n * (n - 1) / 4, rel=0.001)
+
+
+def test_large_s_specialisation():
+    """M/2 <= S: bound >= M^2 N^2/(24 S) (and -> M^2 N(N-1)/(8S) for M << S)."""
+    m, n = 10_000, 5_000
+    for s in (m // 2, m, 4 * m):
+        val = THEOREMS["thm5-mgs-main"].evaluate({"M": m, "N": n, "S": s})
+        assert val >= m * m * n * (n - 1) / (24 * s)
+    huge = THEOREMS["thm5-mgs-main"].evaluate({"M": m, "N": n, "S": 1000 * m})
+    assert huge == pytest.approx(m * m * n * (n - 1) / (8 * 1000 * m), rel=0.002)
+
+
+def test_crossover_near_s_equals_m():
+    """The two Theorem-5 cases exchange dominance at S = M/sqrt(2)
+    (solve M^2/(8(S+M)) = (M-S)/4)."""
+    m, n = 10_000, 5_000
+    main = THEOREMS["thm5-mgs-main"]
+    small = THEOREMS["thm5-mgs-small"]
+    cross = int(m / 2**0.5)
+    lo = {"M": m, "N": n, "S": cross - m // 10}
+    hi = {"M": m, "N": n, "S": cross + m // 10}
+    assert small.evaluate(lo) > main.evaluate(lo)
+    assert main.evaluate(hi) > small.evaluate(hi)
+
+
+def test_engine_best_tracks_the_regimes():
+    """report.best() must switch methods across the crossover."""
+    rep = derivation_for("mgs")
+    m, n = 10_000, 5_000
+    b_small, _ = rep.best({"M": m, "N": n, "S": 64})
+    b_large, _ = rep.best({"M": m, "N": n, "S": 8 * m})
+    assert b_small.method == "hourglass-small-cache"
+    assert b_large.method == "hourglass"

@@ -1,0 +1,69 @@
+"""TUNE + SCALE — block-size tuning accuracy and simulator scalability.
+
+* TUNE: the appendix's analytic B* = floor(S/M)-1 vs the measured argmin
+  over all block sizes, for both tiled algorithms — quantifying how much
+  the closed form leaves on the table (answer: <40% on these instances).
+* SCALE: wall-time of the full measurement pipeline (traced run + Belady
+  pass) as instances grow — the practical size envelope of the pure-Python
+  simulators.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bounds import measure_tiled_io, tune_block_size
+from repro.kernels import TILED_A2V, TILED_MGS
+from repro.report import render_table
+
+
+def _tune_rows():
+    rows = []
+    for alg, params, s in (
+        (TILED_MGS, {"M": 20, "N": 12}, 128),
+        (TILED_MGS, {"M": 16, "N": 12}, 96),
+        (TILED_A2V, {"M": 20, "N": 10}, 128),
+        (TILED_A2V, {"M": 24, "N": 12}, 160),
+    ):
+        res = tune_block_size(alg, params, s, b_max=params["N"])
+        rows.append(
+            [
+                alg.name,
+                f"{params['M']}x{params['N']}",
+                s,
+                res.analytic_block,
+                res.analytic_loads,
+                res.best_block,
+                res.best_loads,
+                res.analytic_gap,
+            ]
+        )
+    return rows
+
+
+def test_tuner_vs_analytic(benchmark):
+    rows = benchmark.pedantic(_tune_rows, rounds=1, iterations=1)
+    emit(
+        render_table(
+            ["algorithm", "size", "S", "B*", "B* loads", "best B", "best loads", "gap"],
+            rows,
+            title="Block-size tuning: analytic floor(S/M)-1 vs measured argmin",
+        )
+    )
+    for *_r, gap in rows:
+        assert 1.0 <= gap < 1.4
+
+
+@pytest.mark.parametrize(
+    "m,n", [(16, 12), (24, 16), (32, 24)]
+)
+def test_measurement_pipeline_scaling(m, n, benchmark):
+    """Traced run + Belady pass; cubic in the instance, linear in the trace."""
+    s = 2 * m + 16
+
+    def run():
+        return measure_tiled_io(TILED_MGS, {"M": m, "N": n}, s)
+
+    meas = benchmark(run)
+    assert meas.stats.loads > 0

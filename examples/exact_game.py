@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The exact I/O optimum on a tiny instance — the full bound hierarchy.
+
+On a 2x2 MGS instance small enough for exhaustive search, print, for each
+cache size S:
+
+    derived lower bound  <=  exact red-white optimum  <=  Belady schedule
+                         <=  LRU schedule
+
+The exact optimum ranges over *all* compute orders and spill decisions
+(0-1 BFS over game states); everything else fixes the program order.
+
+Run:  python examples/exact_game.py
+"""
+
+from __future__ import annotations
+
+from repro import build_cdag, derive, get_kernel, play_schedule
+from repro.ir import Tracer
+from repro.pebble import exact_min_loads
+from repro.report import render_table
+
+
+def main() -> None:
+    kernel = get_kernel("mgs")
+    params = {"M": 2, "N": 2}
+    g = build_cdag(kernel.program, params)
+    t = Tracer()
+    kernel.program.runner(dict(params), t)
+    rep = derive(kernel)
+
+    print(
+        f"MGS at {params}: {len(g.compute_nodes())} compute nodes,"
+        f" {len(g.input_nodes())} inputs\n"
+    )
+    rows = []
+    for s in (4, 5, 6, 8):
+        exact = exact_min_loads(g, s, node_limit=24)
+        bel = play_schedule(g, t.schedule, s, "belady").loads
+        lru = play_schedule(g, t.schedule, s, "lru").loads
+        _, lb = rep.best({**params, "S": s})
+        ok = lb <= exact <= bel <= lru
+        rows.append([s, lb, exact, bel, lru, "ok" if ok else "VIOLATION"])
+    print(
+        render_table(
+            ["S", "lower bound", "exact optimum", "belady", "lru", "ordered"],
+            rows,
+            title="bound <= Q_exact <= Belady(schedule) <= LRU(schedule)",
+        )
+    )
+    assert all(r[-1] == "ok" for r in rows)
+    print("\nthe exact optimum strictly reorders: at S=4 it beats the")
+    print("program order, showing the schedule space the bounds range over.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — reproduction of "Tightening I/O Lower Bounds through the Hourglass
+Dependency Pattern" (Eyraud-Dubois, Iooss, Langou, Rastello; SPAA 2024).
+
+A pure-Python IOLB-style toolchain:
+
+* :mod:`repro.symbolic` — exact parametric expressions and asymptotics;
+* :mod:`repro.polyhedral` — integer sets, affine maps, counting;
+* :mod:`repro.ir` — polyhedral program IR + instrumented tracing/dataflow;
+* :mod:`repro.cdag` — computational DAGs and spec-vs-trace validation;
+* :mod:`repro.pebble` — the red-white pebble game;
+* :mod:`repro.cache` — two-level memory simulators (LRU / Belady);
+* :mod:`repro.kernels` — MGS, Householder A2V/V2Q, GEBD2, GEHD2, matmul,
+  plus the tiled orderings of Appendix A;
+* :mod:`repro.bounds` — the lower-bound engine (classical K-partition and
+  the hourglass derivation) and the paper's published formulas;
+* :mod:`repro.report` / :mod:`repro.cli` — tables and the ``iolb`` CLI.
+
+Quickstart::
+
+    from repro import derive, get_kernel
+    report = derive(get_kernel("mgs"))
+    print(report.summary())
+    print(report.best({"M": 1000, "N": 500, "S": 4096}))
+"""
+
+from .bounds import (
+    BoundResult,
+    DerivationReport,
+    derive,
+    detect_hourglass,
+    derive_projections,
+    measure_tiled_io,
+    paper_bound,
+)
+from .cache import simulate
+from .cdag import build_cdag, cdag_from_trace
+from .kernels import KERNELS, PAPER_KERNELS, TILED_ALGORITHMS, get_kernel, get_tiled
+from .pebble import play_schedule
+from .selfcheck import SelfCheckReport, selfcheck
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundResult",
+    "DerivationReport",
+    "derive",
+    "detect_hourglass",
+    "derive_projections",
+    "measure_tiled_io",
+    "paper_bound",
+    "build_cdag",
+    "cdag_from_trace",
+    "simulate",
+    "KERNELS",
+    "PAPER_KERNELS",
+    "TILED_ALGORITHMS",
+    "get_kernel",
+    "get_tiled",
+    "play_schedule",
+    "SelfCheckReport",
+    "selfcheck",
+    "__version__",
+]

@@ -1,0 +1,68 @@
+"""Lower-bound engine: projections, Brascamp–Lieb, K-partition, hourglass."""
+
+from .brascamp_lieb import BLSolution, bl_exponents, bl_exponents_weighted
+from .catalog import FIG4, FIG5_NEW, FIG5_OLD, THEOREMS, PaperBound, paper_bound
+from .derivation import DerivationReport, derive, sample_params_for
+from .hourglass import (
+    HourglassDetectionError,
+    HourglassPattern,
+    detect_hourglass,
+    hourglass_bound,
+    optimal_k_numeric,
+    hourglass_bound_small_cache,
+    hourglass_bound_with_split,
+    verify_hourglass_paths,
+)
+from .kpartition import BoundResult, classical_bound, optimize_T_numeric
+from .lemmas import LemmaCheckResult, check_hourglass_lemmas, sample_convex_sets
+from .multistmt import multi_statement_bound
+from .regimes import Regime as BoundRegime, crossover, regime_table
+from .projections import Projection, chase_origin, derive_projections
+from .tuner import TuneResult, tune_block_size
+from .upper import TiledMeasurement, measure_tiled_io, predicted_reads, predicted_total
+from .wavefront import max_live, min_max_live_exact, wavefront_bound
+
+__all__ = [
+    "BLSolution",
+    "bl_exponents",
+    "bl_exponents_weighted",
+    "FIG4",
+    "FIG5_NEW",
+    "FIG5_OLD",
+    "THEOREMS",
+    "PaperBound",
+    "paper_bound",
+    "DerivationReport",
+    "derive",
+    "sample_params_for",
+    "HourglassDetectionError",
+    "HourglassPattern",
+    "detect_hourglass",
+    "hourglass_bound",
+    "optimal_k_numeric",
+    "hourglass_bound_small_cache",
+    "hourglass_bound_with_split",
+    "verify_hourglass_paths",
+    "BoundResult",
+    "classical_bound",
+    "optimize_T_numeric",
+    "LemmaCheckResult",
+    "check_hourglass_lemmas",
+    "sample_convex_sets",
+    "multi_statement_bound",
+    "BoundRegime",
+    "crossover",
+    "regime_table",
+    "Projection",
+    "chase_origin",
+    "derive_projections",
+    "TuneResult",
+    "tune_block_size",
+    "TiledMeasurement",
+    "measure_tiled_io",
+    "predicted_reads",
+    "predicted_total",
+    "max_live",
+    "min_max_live_exact",
+    "wavefront_bound",
+]

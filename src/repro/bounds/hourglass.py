@@ -1,0 +1,646 @@
+"""Hourglass pattern: detection (§3) and the tightened bound derivation (§4).
+
+Detection works from the automatically derived projections:
+
+* the statement's *self-update* read (read access structurally equal to its
+  write access across the outer loop) yields ``phi_self``; the **temporal**
+  dims are those absent from it — the dims the update chain advances along;
+* a *broadcast* read whose projection ``phi_b`` contains the temporal dims
+  but misses some dims of ``phi_self`` marks the **reduction/broadcast**
+  dims (those missing) and the **neutral** dims (``phi_self & phi_b``);
+* the hourglass *width* W is the extent of the reduction dims in the
+  statement's domain — affine in the temporal dims; its minimum over the
+  temporal range must be parametric (otherwise the loop-splitting derivation
+  of Theorem 9 applies).
+
+The derivation then follows §4 exactly:
+
+* ``|I'| <= Wmax * prod(K/Wmin over converted projections) * prod(K over the
+  rest)`` (Lemma 4 with the added ``phi_i <= Wmax`` projection);
+* ``|F| <= e * R * K`` with the flatness bound ``|phi_k(F_j)| <= 2``;
+* Theorem 1 with ``K = 2S`` gives the main bound, and ``K = Wmin`` (valid
+  when ``S < Wmin`` forces E' empty) gives the small-cache bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..cdag import CDAG, build_cdag
+from ..ir import Program
+from ..polyhedral import ISet, LinExpr
+from ..symbolic import Poly, Rational, Sym, as_rational
+from .kpartition import BoundResult
+from .projections import Projection, derive_projections
+
+__all__ = [
+    "HourglassPattern",
+    "HourglassDetectionError",
+    "detect_hourglass",
+    "verify_hourglass_paths",
+    "hourglass_bound",
+    "optimal_k_numeric",
+    "hourglass_bound_small_cache",
+    "hourglass_bound_with_split",
+]
+
+S = Sym("S")
+K = Sym("K")
+
+
+class HourglassDetectionError(ValueError):
+    """No hourglass pattern (e.g. matmul) or unsupported structure."""
+
+
+@dataclass
+class HourglassPattern:
+    """A detected hourglass on one statement."""
+
+    stmt: str
+    temporal: tuple[str, ...]
+    reduction: tuple[str, ...]
+    neutral: tuple[str, ...]
+    #: symbolic lower bound on the width over the temporal range (W_min)
+    width_min: Poly
+    #: symbolic upper bound on |phi_i(domain)| (W_max)
+    width_max: Poly
+    #: True when width_min grows with the parameters (§3.2's "large width")
+    parametric_width: bool
+    #: read-access arrays: the self-update chain and the broadcast value
+    self_via: str = ""
+    broadcast_via: str = ""
+
+    def __repr__(self) -> str:
+        return (
+            f"Hourglass({self.stmt}: temporal={self.temporal},"
+            f" reduction={self.reduction}, neutral={self.neutral},"
+            f" Wmin={self.width_min!r}, Wmax={self.width_max!r},"
+            f" parametric={self.parametric_width})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# symbolic extent helpers
+# ---------------------------------------------------------------------------
+
+
+def _lin_to_poly(e: LinExpr) -> Poly:
+    out = Poly.const(e.const)
+    for v, c in e.coeffs.items():
+        out = out + Sym(v) * c
+    return out
+
+
+def _bounds_of(dom: ISet, dim: str, sample: Mapping[str, int]):
+    """Symbolic (lo, hi) of ``dim`` in ``dom`` after eliminating the other
+    dims; binding candidates are chosen numerically at ``sample``."""
+    shadow = dom
+    for d in reversed(dom.dims):
+        if d != dim:
+            shadow = shadow.eliminate(d)
+    los, his = [], []
+    for c in shadow.constraints:
+        a = c.expr.coeff(dim)
+        if a == 0:
+            continue
+        rest = c.expr - LinExpr({dim: a})
+        bound = rest * (Fraction(-1) / a)
+        (los if a > 0 else his).append(bound)
+    if not los or not his:
+        raise HourglassDetectionError(f"dimension {dim} unbounded in {dom!r}")
+
+    def pick(cands, want_max: bool):
+        vals = [float(b.eval(sample)) for b in cands]
+        idx = vals.index(max(vals) if want_max else min(vals))
+        return cands[idx]
+
+    return pick(los, want_max=True), pick(his, want_max=False)
+
+
+def _extent_poly(lo: LinExpr, hi: LinExpr) -> Poly:
+    return _lin_to_poly(hi) - _lin_to_poly(lo) + 1
+
+
+def _width_extrema(
+    dom: ISet,
+    reduction: Sequence[str],
+    temporal: Sequence[str],
+    sample: Mapping[str, int],
+) -> tuple[Poly, Poly]:
+    """(W_min, W_max): the product of reduction-dim extents, minimised /
+    maximised over the temporal range (corner evaluation — extents are affine
+    in the temporal dims)."""
+    # per-reduction-dim slice extents (affine in temporal dims + params)
+    widths: list[Poly] = []
+    for a in reduction:
+        lo_a, hi_a = None, None
+        for c in dom.constraints:
+            ca = c.expr.coeff(a)
+            if ca == 0:
+                continue
+            bad = [
+                d
+                for d in c.expr.variables()
+                if d != a and d in dom.dims and d not in temporal
+            ]
+            if bad:
+                raise HourglassDetectionError(
+                    f"reduction dim {a} bounded by non-temporal dims {bad}"
+                )
+            rest = c.expr - LinExpr({a: ca})
+            bound = rest * (Fraction(-1) / ca)
+            if ca > 0:
+                if lo_a is not None and lo_a != bound:
+                    raise HourglassDetectionError(
+                        f"reduction dim {a} has multiple lower bounds"
+                        f" ({lo_a!r} vs {bound!r}); width extraction needs a"
+                        f" single binding constraint"
+                    )
+                lo_a = bound
+            else:
+                if hi_a is not None and hi_a != bound:
+                    raise HourglassDetectionError(
+                        f"reduction dim {a} has multiple upper bounds"
+                        f" ({hi_a!r} vs {bound!r})"
+                    )
+                hi_a = bound
+        if lo_a is None or hi_a is None:
+            raise HourglassDetectionError(f"reduction dim {a} unbounded")
+        widths.append(_extent_poly(lo_a, hi_a))
+    width = Poly.const(1)
+    for w in widths:
+        width = width * w
+
+    # corner-evaluate over the temporal box
+    corners: list[dict[str, Poly]] = [{}]
+    for t in temporal:
+        lo_t, hi_t = _bounds_of(dom, t, sample)
+        new = []
+        for c in corners:
+            for b in (lo_t, hi_t):
+                cc = dict(c)
+                cc[t] = _lin_to_poly(b)
+                new.append(cc)
+        corners = new
+    cand = [width.subs(c) for c in corners]
+    vals = [float(p.eval(sample)) for p in cand]
+    w_min = cand[vals.index(min(vals))]
+    w_max = cand[vals.index(max(vals))]
+    # global extent of the reduction dims also caps W_max
+    glob = Poly.const(1)
+    for a in reduction:
+        lo_g, hi_g = _bounds_of(dom, a, sample)
+        glob = glob * _extent_poly(lo_g, hi_g)
+    if float(glob.eval(sample)) < float(w_max.eval(sample)):
+        w_max = glob
+    return w_min, w_max
+
+
+# ---------------------------------------------------------------------------
+# detection
+# ---------------------------------------------------------------------------
+
+
+def detect_hourglass(
+    program: Program,
+    stmt_name: str,
+    small_params: Mapping[str, int],
+    sample_params: Mapping[str, int],
+    projections: Sequence[Projection] | None = None,
+) -> HourglassPattern:
+    """Detect the hourglass pattern on ``stmt_name`` (§3.2's three properties).
+
+    ``small_params`` drive the dataflow-based projection derivation;
+    ``sample_params`` (large values) resolve numeric tie-breaks and the
+    parametric-width test.  Raises :class:`HourglassDetectionError` when the
+    statement has no hourglass (the classical bound then applies).
+    """
+    stmt = program.statement(stmt_name)
+    dims = stmt.dims
+    if projections is None:
+        projections = derive_projections(program, stmt_name, small_params)
+
+    if len(stmt.writes) != 1:
+        raise HourglassDetectionError(f"{stmt_name}: need exactly one write")
+    waccess = stmt.writes[0]
+    self_slots = [
+        idx
+        for idx, r in enumerate(stmt.reads)
+        if r.array == waccess.array and r.indices == waccess.indices
+    ]
+    if not self_slots:
+        raise HourglassDetectionError(
+            f"{stmt_name}: no self-update read (no temporal chain)"
+        )
+    self_access = stmt.reads[self_slots[0]]
+    via_self = self_access.array
+    # the self-update chain's value class is addressed by the access itself
+    # (its origin — an input element or a chain-head instance — carries the
+    # same index function), so phi_self is exactly the access's dims; do NOT
+    # look it up by array name: other reads of the same array (A[i][k] in
+    # GEBD2/A2V) would alias
+    phi_self = self_access.dims_used(dims)
+    if not phi_self:
+        raise HourglassDetectionError(
+            f"{stmt_name}: self-update read uses no dims"
+        )
+    temporal = tuple(d for d in dims if d not in phi_self)
+    if not temporal:
+        raise HourglassDetectionError(
+            f"{stmt_name}: self-update chain does not advance any dim"
+        )
+
+    # broadcast candidates: projections containing the temporal dims but
+    # missing some dims of phi_self.  Several reads can look like broadcasts
+    # (MGS broadcasts Q over j *and* R over i); only the one whose
+    # reduction->broadcast cycle actually connects consecutive temporal
+    # slices of SX satisfies §3.2's path property, so each candidate is
+    # verified on the concrete CDAG.
+    candidates = []
+    for p in projections:
+        if p.dims == phi_self:
+            continue
+        if not set(temporal) <= p.dims:
+            continue
+        missing = [d for d in dims if d not in p.dims]
+        if missing and set(missing) <= phi_self:
+            candidates.append(p)
+    if not candidates:
+        raise HourglassDetectionError(
+            f"{stmt_name}: no reduction/broadcast value found"
+        )
+
+    dom = stmt.domain()
+    g = build_cdag(program, small_params)
+    verified: list[HourglassPattern] = []
+    for broadcast in candidates:
+        reduction = tuple(d for d in dims if d not in broadcast.dims)
+        neutral = tuple(d for d in dims if d in phi_self and d in broadcast.dims)
+        if set(temporal) | set(reduction) | set(neutral) != set(dims):
+            continue
+        try:
+            w_min, w_max = _width_extrema(dom, reduction, temporal, sample_params)
+        except HourglassDetectionError:
+            continue
+        # §3.2's "large width": W_min must not be bounded by a constant
+        v1 = float(w_min.eval(sample_params))
+        bigger = {k: v * 4 for k, v in sample_params.items()}
+        v2 = float(w_min.eval(bigger))
+        parametric = v2 > 2.0 * v1 and v1 > 2.0
+        pat = HourglassPattern(
+            stmt=stmt_name,
+            temporal=temporal,
+            reduction=reduction,
+            neutral=neutral,
+            width_min=w_min,
+            width_max=w_max,
+            parametric_width=parametric,
+            self_via=via_self,
+            broadcast_via=broadcast.via,
+        )
+        if verify_hourglass_paths(program, pat, small_params, g):
+            verified.append(pat)
+    if not verified:
+        raise HourglassDetectionError(
+            f"{stmt_name}: no candidate satisfies the dependence-path property"
+        )
+    # prefer a parametric-width pattern (usable without loop splitting)
+    for pat in verified:
+        if pat.parametric_width:
+            return pat
+    return verified[0]
+
+
+def verify_hourglass_paths(
+    program: Program,
+    pattern: HourglassPattern,
+    params: Mapping[str, int],
+    g: CDAG | None = None,
+    max_pairs: int = 400,
+) -> bool:
+    """Concretely verify §3.2's path property on a small CDAG: between any
+    SX[k, j, i] and SX[k+1, j, i'] there is a dependence chain."""
+    if g is None:
+        g = build_cdag(program, params)
+    stmt = program.statement(pattern.stmt)
+    dims = stmt.dims
+    t_idx = [dims.index(d) for d in pattern.temporal]
+    n_idx = [dims.index(d) for d in pattern.neutral]
+    pts = list(stmt.domain().points(params))
+    # group instances by (temporal, neutral) class
+    groups: dict[tuple, list] = {}
+    for p in pts:
+        keyt = tuple(p[x] for x in t_idx)
+        keyn = tuple(p[x] for x in n_idx)
+        groups.setdefault((keyt, keyn), []).append(p)
+    # consecutive temporal values per neutral class
+    by_neutral: dict[tuple, list] = {}
+    for (kt, kn) in groups:
+        by_neutral.setdefault(kn, []).append(kt)
+    # the temporal loop may run forwards (MGS) or backwards (V2Q); the chain
+    # property must hold uniformly in the dataflow direction
+    checked = 0
+    direction = 0  # +1: increasing temporal, -1: decreasing, 0: unknown
+    for kn, kts in by_neutral.items():
+        kts.sort()
+        for a, b in zip(kts, kts[1:]):
+            src_pts = groups[(a, kn)]
+            dst_pts = groups[(b, kn)]
+            for sp in src_pts:
+                for dp in dst_pts:
+                    if checked >= max_pairs:
+                        return True
+                    checked += 1
+                    u, v = (pattern.stmt, sp), (pattern.stmt, dp)
+                    fwd = g.has_path(u, v)
+                    bwd = g.has_path(v, u)
+                    if direction == 0:
+                        if fwd:
+                            direction = 1
+                        elif bwd:
+                            direction = -1
+                        else:
+                            return False
+                    if direction == 1 and not fwd:
+                        return False
+                    if direction == -1 and not bwd:
+                        return False
+    return checked > 0
+
+
+# ---------------------------------------------------------------------------
+# derivation
+# ---------------------------------------------------------------------------
+
+
+def _i_prime_bound(
+    pattern: HourglassPattern,
+    projections: Sequence[Projection],
+) -> Rational:
+    """|I'|(K) via §4.2: phi_i <= Wmax; projections sharing reduction dims
+    become K/Wmin on their non-reduction part; remaining dims cost K each."""
+    w_min = as_rational(pattern.width_min)
+    w_max = as_rational(pattern.width_max)
+    k = as_rational(K)
+    covered: set[str] = set(pattern.reduction)
+    u = w_max
+    # converted projections (Lemma 4): cover their non-reduction dims at K/Wmin
+    for p in projections:
+        shared = set(p.dims) & set(pattern.reduction)
+        rest = set(p.dims) - set(pattern.reduction)
+        if shared and rest and not rest <= covered:
+            u = u * (k / w_min)
+            covered |= rest
+    # any dim still uncovered costs a full K via an original projection
+    remaining = [d for d in pattern.temporal + pattern.neutral if d not in covered]
+    while remaining:
+        best = None
+        for p in projections:
+            gain = set(p.dims) & set(remaining)
+            if gain and (best is None or len(gain) > len(best[1])):
+                best = (p, gain)
+        if best is None:
+            raise HourglassDetectionError(
+                f"dims {remaining} not covered by any projection"
+            )
+        u = u * k
+        remaining = [d for d in remaining if d not in best[1]]
+    return u
+
+
+def _f_bound_factors(
+    pattern: HourglassPattern,
+    projections: Sequence[Projection],
+) -> tuple[Rational, Rational]:
+    """(e, R) of §4.3: |F| <= e * R * K.
+
+    e collects the flatness factor 2 (for the temporal dims) and a K for
+    every dim not covered by the chosen phi_w; R counts the neutral values
+    phi_w fails to separate (1 for all the paper's kernels).
+    """
+    # choose phi_w: must contain some neutral dims; prefer max coverage of
+    # neutral + reduction
+    best = None
+    for p in projections:
+        cov_n = set(p.dims) & set(pattern.neutral)
+        if not cov_n and pattern.neutral:
+            continue
+        cov = len(set(p.dims) & (set(pattern.neutral) | set(pattern.reduction)))
+        if best is None or cov > best[1]:
+            best = (p, cov)
+    if best is None:
+        raise HourglassDetectionError("no projection usable as phi_w")
+    phi_w = best[0]
+    e: Rational = as_rational(2)
+    # dims of the slice not covered by flatness (temporal) or phi_w
+    uncovered = [
+        d
+        for d in pattern.reduction + pattern.neutral
+        if d not in phi_w.dims
+    ]
+    for _ in uncovered:
+        e = e * as_rational(K)
+    # R: neutral dims phi_w misses would multiply the K budget
+    r: Rational = as_rational(1)
+    missed_neutral = [d for d in pattern.neutral if d not in phi_w.dims]
+    if missed_neutral:
+        # conservative: each missed neutral dim contributes its full range
+        raise HourglassDetectionError(
+            f"phi_w misses neutral dims {missed_neutral}; R > 1 unsupported"
+        )
+    return e, r
+
+
+def hourglass_bound(
+    kernel_name: str,
+    pattern: HourglassPattern,
+    projections: Sequence[Projection],
+    v_count: Poly,
+    *,
+    k_mult: int = 2,
+) -> BoundResult:
+    """The main hourglass bound with K = k_mult * S (paper: K = 2S).
+
+    ``Q >= (K - S) * |V| / (U_I(K) + e*R*K)``, all symbolic and exact.
+    """
+    if not pattern.parametric_width:
+        raise HourglassDetectionError(
+            f"{pattern.stmt}: width is not parametric; use the split derivation"
+        )
+    u_i = _i_prime_bound(pattern, projections)
+    e, r = _f_bound_factors(pattern, projections)
+    e_size = u_i + e * r * as_rational(K)
+    q = (as_rational(K) - as_rational(S)) * as_rational(v_count) / e_size
+    q = q.subs({"K": Poly.const(k_mult) * S})
+    return BoundResult(
+        kernel=kernel_name,
+        method="hourglass",
+        expr=q,
+        coeff=1.0,
+        k_choice=f"K = {k_mult}S",
+        notes=(
+            f"temporal={pattern.temporal} reduction={pattern.reduction}"
+            f" neutral={pattern.neutral} Wmin={pattern.width_min!r}"
+            f" Wmax={pattern.width_max!r}"
+        ),
+    )
+
+
+def optimal_k_numeric(
+    pattern: HourglassPattern,
+    projections: Sequence[Projection],
+    v_count: Poly,
+    env: Mapping[str, int],
+) -> tuple[float, float]:
+    """Numerically maximise ``Q(K) = (K-S) |V| / (U_I(K) + eRK)`` over K.
+
+    Returns ``(K*, Q(K*))``.  For the common quadratic case
+    ``|E|(K) = a K^2 + b K`` the optimum has the closed form
+    ``K* = S + sqrt(S^2 + bS/a)`` — with ``a = Wmax/Wmin^2`` and ``b = eR``
+    that is ``S + sqrt(S^2 + eR * S * Wmin^2 / Wmax)``, which explains why
+    the paper's K = 2S drifts from the optimum when ``S << Wmin`` (for MGS:
+    K* = S + sqrt(S^2 + 2SM), about ``sqrt(2SM)`` >> 2S for S << M).
+    The numeric search below is exact for any U_I shape.
+    """
+    u_i = _i_prime_bound(pattern, projections)
+    e, r = _f_bound_factors(pattern, projections)
+    e_size = u_i + e * r * as_rational(K)
+    v = float(v_count.eval(env))
+    s = env["S"]
+
+    def q(k: float) -> float:
+        env_k = dict(env)
+        env_k["K"] = int(round(k))
+        denom = float(e_size.eval(env_k))
+        if denom <= 0:
+            return 0.0
+        return (env_k["K"] - s) * v / denom
+
+    # golden-section over [S+1, 64S] (unimodal for these rational shapes)
+    lo, hi = s + 1.0, 64.0 * s
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a_pt, b_pt = hi - phi * (hi - lo), lo + phi * (hi - lo)
+    fa, fb = q(a_pt), q(b_pt)
+    for _ in range(80):
+        if fa < fb:
+            lo, a_pt, fa = a_pt, b_pt, fb
+            b_pt = lo + phi * (hi - lo)
+            fb = q(b_pt)
+        else:
+            hi, b_pt, fb = b_pt, a_pt, fa
+            a_pt = hi - phi * (hi - lo)
+            fa = q(a_pt)
+    k_star = (lo + hi) / 2.0
+    return k_star, q(k_star)
+
+
+def hourglass_bound_small_cache(
+    kernel_name: str,
+    pattern: HourglassPattern,
+    projections: Sequence[Projection],
+    v_count: Poly,
+) -> BoundResult:
+    """The small-cache bound (Theorem 5's second part): when S < Wmin every
+    (K=Wmin)-bounded set has empty E', so |E| <= e*R*K and
+    ``Q >= (Wmin - S) * |V| / (e * R * Wmin)``."""
+    e, r = _f_bound_factors(pattern, projections)
+    w = as_rational(pattern.width_min)
+    q = (w - as_rational(S)) * as_rational(v_count) / (e * r * w)
+    return BoundResult(
+        kernel=kernel_name,
+        method="hourglass-small-cache",
+        expr=q,
+        coeff=1.0,
+        k_choice="K = Wmin",
+        condition=f"S < Wmin = {pattern.width_min!r}",
+        notes="E' empty because |InSet(E')| > Wmin >= K",
+    )
+
+
+def hourglass_bound_with_split(
+    kernel_name: str,
+    program: Program,
+    pattern: HourglassPattern,
+    projections: Sequence[Projection],
+    split_dim: str,
+    split_at: Poly,
+    sample_params: Mapping[str, int],
+    *,
+    k_mult: int = 2,
+) -> BoundResult:
+    """Theorem 9's loop-splitting derivation for shrinking-width hourglasses.
+
+    The temporal loop ``split_dim`` is split at ``split_at``; the first part
+    (iterations < split_at) keeps a parametric width and gets the hourglass
+    bound; the second part's (classical) bound is dropped — splitting never
+    invalidates a lower bound on the first part.
+    """
+    stmt = program.statement(pattern.stmt)
+    if split_dim not in pattern.temporal:
+        raise HourglassDetectionError(f"{split_dim} is not a temporal dim")
+
+    # Wmin of part 1: width at the last kept iteration split_at - 1
+    dom = stmt.domain()
+    w_min1, _ = _width_extrema(dom, pattern.reduction, pattern.temporal, sample_params)
+    # recompute width as a function of the split point: substitute the
+    # temporal dim with (split_at - 1) in the slice width
+    widths = _slice_width(dom, pattern.reduction, pattern.temporal)
+    w_at_split = widths.subs({split_dim: split_at - 1})
+
+    # |V| of part 1: resum the instance count with the split dim capped
+    v1 = _count_with_cap(stmt, split_dim, split_at)
+
+    pat1 = HourglassPattern(
+        stmt=pattern.stmt,
+        temporal=pattern.temporal,
+        reduction=pattern.reduction,
+        neutral=pattern.neutral,
+        width_min=w_at_split,
+        width_max=pattern.width_max,
+        parametric_width=True,
+        self_via=pattern.self_via,
+        broadcast_via=pattern.broadcast_via,
+    )
+    res = hourglass_bound(kernel_name, pat1, projections, v1, k_mult=k_mult)
+    res.method = "hourglass-split"
+    res.notes += f" split {split_dim} at {split_at!r}"
+    return res
+
+
+def _slice_width(
+    dom: ISet, reduction: Sequence[str], temporal: Sequence[str]
+) -> Poly:
+    """Product of reduction-dim extents as a polynomial in the temporal dims."""
+    width = Poly.const(1)
+    for a in reduction:
+        lo_a = hi_a = None
+        for c in dom.constraints:
+            ca = c.expr.coeff(a)
+            if ca == 0:
+                continue
+            rest = c.expr - LinExpr({a: ca})
+            bound = rest * (Fraction(-1) / ca)
+            if ca > 0:
+                lo_a = bound
+            else:
+                hi_a = bound
+        width = width * _extent_poly(lo_a, hi_a)
+    return width
+
+
+def _count_with_cap(stmt, split_dim: str, split_at: Poly) -> Poly:
+    """Symbolic instance count with ``split_dim < split_at``."""
+    from ..symbolic import sum_poly
+    from ..polyhedral import linexpr_to_poly, aff
+
+    acc = Poly.const(1)
+    for v, lo, hi in reversed(stmt.loops):
+        lo_p = linexpr_to_poly(aff(lo))
+        hi_p = linexpr_to_poly(aff(hi))
+        if v == split_dim:
+            hi_p = split_at - 1
+        acc = sum_poly(acc, v, lo_p, hi_p)
+    return acc

@@ -1,0 +1,138 @@
+"""Classical K-partition lower bounds (Theorem 1 + Brascamp–Lieb).
+
+Given the dominant statement's projections, the classical derivation bounds
+any convex K-bounded set E by ``U(K) = prod |phi_j(E)|**s_j`` with
+``|phi_j(E)| <= K``, then applies Theorem 1 with the T maximising
+``T * |V| / U(S+T)``.
+
+Two refinements, both present in IOLB (§6 of the paper):
+
+* **disjoint insets** — when the projections' direct producers are pairwise
+  distinct statements (or distinct input arrays), the inset parts they map to
+  are disjoint, so ``sum_j |phi_j(E)| <= K`` replaces the per-projection
+  bound; this improves the constant (e.g. MGS's classical bound becomes
+  ``M N (N-1) / sqrt(S)``, the Figure 5 "old bound" leading term).
+* continuous optimisation over T (floors dropped, as in the paper's own
+  statements of Theorems 5-9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..symbolic import Poly, Rational, Sym, as_rational
+from .brascamp_lieb import BLSolution, bl_exponents
+from .projections import Projection
+
+__all__ = ["BoundResult", "classical_bound", "optimize_T_numeric"]
+
+S = Sym("S")
+
+
+@dataclass
+class BoundResult:
+    """A derived parametric I/O lower bound ``coeff * expr``.
+
+    ``expr`` is an exact symbolic rational function of the program parameters
+    and the cache size S (Puiseux exponents allowed, e.g. S**(-1/2));
+    ``coeff`` is a scalar for the irrational constants that continuous
+    K-optimisation introduces (1.0 whenever the bound is exact).
+    """
+
+    kernel: str
+    method: str
+    expr: Rational
+    coeff: float = 1.0
+    sigma: Fraction | None = None
+    k_choice: str = ""
+    notes: str = ""
+    #: validity condition on parameters, as text (documentation)
+    condition: str = ""
+
+    def evaluate(self, params: Mapping[str, int]) -> float:
+        """Numeric value of the bound at concrete parameters (incl. S)."""
+        return self.coeff * float(self.expr.eval(params))
+
+    def __repr__(self) -> str:
+        c = f"{self.coeff:g} * " if self.coeff != 1.0 else ""
+        return f"Q >= {c}{self.expr!r}   [{self.method}, {self.kernel}]"
+
+
+def classical_bound(
+    kernel_name: str,
+    dims: Sequence[str],
+    projections: Sequence[Projection],
+    v_count: Poly,
+    *,
+    disjoint: bool | None = None,
+) -> BoundResult:
+    """The classical K-partition bound for one dominant statement.
+
+    ``v_count`` is the symbolic instance count of the statement.  When
+    ``disjoint`` is None it is auto-detected from the projections' producer
+    classes.
+    """
+    dimsets = [p.dims for p in projections]
+    sol: BLSolution = bl_exponents(dims, dimsets)
+    if not sol.feasible:
+        raise ValueError(
+            f"projections {dimsets} do not cover dims {dims}; no bound"
+        )
+    sigma = sol.sigma
+    if sigma <= 1:
+        raise ValueError(f"sigma={sigma} <= 1: K-partition bound degenerates")
+
+    if disjoint is None:
+        producers = [p.producer or p.origin for p in projections]
+        disjoint = len(set(producers)) == len(producers)
+
+    sf = float(sigma)
+    # optimal continuous T = S/(sigma-1); K = sigma*S/(sigma-1)
+    # U(K) = K**sigma                      (plain)
+    # U(K) = K**sigma * prod (s_j/sigma)**s_j   (disjoint insets)
+    # Q >= T*|V|/U(K) = coeff * |V| * S**(1-sigma)
+    coeff = (sf - 1.0) ** (sf - 1.0) / sf**sf
+    if disjoint:
+        for s_j in sol.exponents:
+            if s_j > 0:
+                coeff *= (sf / float(s_j)) ** float(s_j)
+    expr = as_rational(v_count) * as_rational(S ** (1 - sigma))
+    return BoundResult(
+        kernel=kernel_name,
+        method="classical-disjoint" if disjoint else "classical",
+        expr=expr,
+        coeff=coeff,
+        sigma=sigma,
+        k_choice=f"K = {sf/(sf-1.0):g} * S (continuous optimum)",
+        notes=f"BL exponents {tuple(map(str, sol.exponents))} over {dimsets}",
+    )
+
+
+def optimize_T_numeric(
+    u_of_k,
+    v_count: float,
+    s: int,
+    t_grid: Sequence[int] | None = None,
+) -> tuple[int, float]:
+    """Numerically maximise ``T * floor(|V| / U(S+T))`` over integer T.
+
+    ``u_of_k`` maps a concrete K to the set-size bound U(K).  Returns the
+    best (T, bound) pair — the exact Theorem 1 statement, floors included,
+    for cross-checking the continuous formulas.
+    """
+    if t_grid is None:
+        t_grid = sorted(
+            {max(1, int(s * f)) for f in (0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 8.0)}
+        )
+    best_t, best = 1, 0.0
+    for t in t_grid:
+        u = u_of_k(s + t)
+        if u <= 0:
+            continue
+        val = t * math.floor(v_count / u)
+        if val > best:
+            best, best_t = val, t
+    return best_t, best

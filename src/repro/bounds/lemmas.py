@@ -1,0 +1,141 @@
+"""Empirical verification of the hourglass lemmas on sampled convex sets.
+
+The derivation encodes structural claims about every convex K-bounded set
+(Lemma 3, the §4.3 flatness bound, the §4.4 set-size bound).  This module
+checks those claims directly against randomly sampled convex subsets of a
+concrete CDAG — the "trust but verify" layer for anyone pointing the engine
+at a new kernel: if :func:`check_hourglass_lemmas` reports violations, the
+detected pattern does not actually govern that CDAG and the derived bound
+must not be used.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..cdag import CDAG, build_cdag
+from ..ir import Program
+from .hourglass import HourglassPattern
+
+__all__ = ["LemmaCheckResult", "sample_convex_sets", "check_hourglass_lemmas"]
+
+
+@dataclass
+class LemmaCheckResult:
+    """Outcome of a sampling run."""
+
+    sets_checked: int = 0
+    components_checked: int = 0
+    flat_sets_checked: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "ok" if self.ok() else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"lemma check: {self.sets_checked} convex sets,"
+            f" {self.components_checked} 3-tick components,"
+            f" {self.flat_sets_checked} flat sets -> {status}"
+        )
+
+
+def sample_convex_sets(
+    g: CDAG,
+    rng: random.Random,
+    n_sets: int = 60,
+    seed_size: int = 3,
+) -> Iterable[set]:
+    """Random convex subsets: convex closure of random compute-node seeds."""
+    nodes = sorted(g.compute_nodes(), key=repr)
+    for _ in range(n_sets):
+        seed = rng.sample(nodes, min(seed_size, len(nodes)))
+        yield g.convex_closure(set(seed))
+
+
+def check_hourglass_lemmas(
+    program: Program,
+    pattern: HourglassPattern,
+    params: Mapping[str, int],
+    *,
+    n_sets: int = 60,
+    seed: int = 7,
+    g: CDAG | None = None,
+) -> LemmaCheckResult:
+    """Sample convex sets and verify Lemma 3, the flatness bound and the
+    §4.4 set-size bound against measured in-set sizes."""
+    if g is None:
+        g = build_cdag(program, params)
+    stmt = program.statement(pattern.stmt)
+    dims = stmt.dims
+    t_idx = [dims.index(d) for d in pattern.temporal]
+    n_idx = [dims.index(d) for d in pattern.neutral]
+    r_idx = [dims.index(d) for d in pattern.reduction]
+    domain_pts = set(stmt.domain().points(params))
+    wmin = float(pattern.width_min.eval(params))
+    wmax = float(pattern.width_max.eval(params))
+
+    res = LemmaCheckResult()
+    rng = random.Random(seed)
+    for E_full in sample_convex_sets(g, rng, n_sets=n_sets):
+        res.sets_checked += 1
+        sx = [n[1] for n in E_full if isinstance(n, tuple) and n[0] == pattern.stmt]
+        k_meas = len(g.in_set(E_full))
+
+        # §4.4 set-size bound
+        if k_meas > 0:
+            bound = wmax * k_meas**2 / wmin**2 + 2 * k_meas
+            if len(sx) > bound + 1e-9:
+                res.violations.append(
+                    f"set-size: |E_SX|={len(sx)} > {bound:.1f} at K={k_meas}"
+                )
+
+        # group by neutral slice
+        by_j: dict[tuple, list] = {}
+        for p in sx:
+            by_j.setdefault(tuple(p[x] for x in n_idx), []).append(p)
+
+        flat = True
+        for jval, pts in by_j.items():
+            by_tick: dict[tuple, list] = {}
+            for p in pts:
+                by_tick.setdefault(tuple(p[x] for x in t_idx), []).append(p)
+            ticks = sorted(by_tick)
+            if len(ticks) < 3:
+                continue
+            flat = False
+            res.components_checked += 1
+            # Lemma 3(1): consecutive ticks path-connected
+            for a, b in zip(ticks, ticks[1:]):
+                pa = (pattern.stmt, by_tick[a][0])
+                pb = (pattern.stmt, by_tick[b][0])
+                if not (g.has_path(pa, pb) or g.has_path(pb, pa)):
+                    res.violations.append(
+                        f"lemma3(1): ticks {a}->{b} of j={jval} disconnected"
+                    )
+            # Lemma 3(2): full interior width
+            for t in ticks[1:-1]:
+                have = {tuple(p[x] for x in r_idx) for p in by_tick[t]}
+                full = {
+                    tuple(p[x] for x in r_idx)
+                    for p in domain_pts
+                    if tuple(p[x] for x in t_idx) == t
+                    and tuple(p[x] for x in n_idx) == jval
+                }
+                if have != full:
+                    res.violations.append(
+                        f"lemma3(2): tick {t} of j={jval}:"
+                        f" {len(have)}/{len(full)} wide"
+                    )
+
+        # §4.3 flatness bound on fully flat sets
+        if flat and sx and k_meas > 0:
+            res.flat_sets_checked += 1
+            if len(sx) > 2 * k_meas + 1e-9:
+                res.violations.append(
+                    f"flatness: |E_SX|={len(sx)} > 2K={2 * k_meas}"
+                )
+    return res

@@ -1,0 +1,97 @@
+"""Multi-statement K-partition accounting.
+
+Theorem 1's counting extends to several statements at once: a convex
+K-bounded set E holds at most U_i(K) instances of statement i (the same
+per-statement Brascamp–Lieb bounds the single-statement derivation uses),
+so every set of an (S+T)-partition has size at most ``sum_i U_i(K)`` and
+
+    Q  >=  (K - S) * (sum_i |V_i|)  /  (sum_i U_i(K)).
+
+This is how IOLB's published old bounds pick up *all* statements: for MGS
+the numerator becomes MN^2 + (lower-order MN terms) over ~2 S^{3/2} + O(S),
+exactly Figure 5's ``(2M + 3MN + MN^2)/sqrt(S)`` shape — coefficient 1 on
+the MN^2/sqrt(S) term, unlike the single-statement bound's 2, because the
+SR and SU populations now share the same segment capacity.
+
+Soundness bookkeeping: U_i coefficients are rounded *up* (an upper bound may
+only grow) and skipped statements are added to the numerator only when their
+U_i is available — statements without a closed-form count are dropped from
+the numerator (which only weakens the bound).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..ir import Program, dataflow_trace
+from ..symbolic import Poly, Rational, Sym, as_rational
+from .brascamp_lieb import bl_exponents
+from .kpartition import BoundResult
+from .projections import derive_projections
+
+__all__ = ["multi_statement_bound"]
+
+S = Sym("S")
+
+
+def _round_up(x: float, digits: int = 9) -> Fraction:
+    scale = 10**digits
+    return Fraction(int(x * scale) + 1, scale)
+
+
+def multi_statement_bound(
+    program: Program,
+    small_params: Mapping[str, int],
+    *,
+    statements: Sequence[str] | None = None,
+    kernel_name: str = "",
+) -> BoundResult:
+    """``Q >= 2S * (sum |V_i|) / (sum U_i(3S))`` over the chosen statements.
+
+    Statements whose projections do not cover their dims (or that carry
+    guards without a closed-form count) are excluded from both sums.
+    """
+    names = statements or [s.name for s in program.statements]
+    trace = dataflow_trace(program, small_params)  # shared across statements
+    v_total: Poly = Poly()
+    u_total: Rational = as_rational(0)
+    used: list[str] = []
+    for name in names:
+        stmt = program.statement(name)
+        if not stmt.dims:
+            continue
+        try:
+            v_i = stmt.instance_count()
+        except ValueError:
+            continue  # guarded statement: no closed-form count
+        projections = derive_projections(program, name, small_params, trace)
+        dimsets = [p.dims for p in projections]
+        sol = bl_exponents(stmt.dims, dimsets)
+        if not sol.feasible or sol.sigma < 1:
+            continue
+        producers = [p.producer or p.origin for p in projections]
+        disjoint = len(set(producers)) == len(producers)
+
+        # U_i(3S) = c_i * S^{sigma_i}
+        sigma = sol.sigma
+        c = 3.0 ** float(sigma)
+        if disjoint:
+            for s_j in sol.exponents:
+                if s_j > 0:
+                    c *= (float(s_j) / float(sigma)) ** float(s_j)
+        u_total = u_total + as_rational(_round_up(c)) * as_rational(S**sigma)
+        v_total = v_total + v_i
+        used.append(f"{name}(sigma={sigma},U~{c:.3g}S^{float(sigma):g})")
+
+    if not used:
+        raise ValueError("no statement admits a K-partition bound")
+    expr = as_rational(2) * as_rational(S) * as_rational(v_total) / u_total
+    return BoundResult(
+        kernel=kernel_name or program.name,
+        method="classical-multi",
+        expr=expr,
+        coeff=1.0,
+        k_choice="K = 3S",
+        notes="pooled statements: " + ", ".join(used),
+    )

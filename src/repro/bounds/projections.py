@@ -1,0 +1,194 @@
+"""Automatic derivation of Brascamp–Lieb projections from dependence paths.
+
+§2 of the paper: "When examining the path of affine dependencies starting
+from any node of E to a node of the inset of E, we can either obtain a
+projection or a translation" — each read access of the statement under
+analysis contributes a projection ``phi`` of its iteration space onto the
+dimensions that identify the *value class* feeding that read.
+
+The value class is found by **origin chasing** on the exact dataflow: from
+the producer of the read, repeatedly follow the producer's own
+update/accumulation input (the read whose address equals the instance's
+write address) until reaching either a program input element or an instance
+with no such input (the chain origin, e.g. the ``R[k][j] = 0`` initialiser).
+Collapsing these chains is precisely what turns versioned scalar workspaces
+(``tau[j]`` in Figure 3) into the (k, j)-indexed values the proof needs, and
+self-update chains (``A[i][j]`` across the outer loop) into (i, j) classes.
+
+The dims of the consumer that determine the origin are recovered by fitting
+an exact affine map on the sampled (consumer, origin) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..cdag.graph import INPUT
+from ..ir import Program, Tracer, dataflow_trace
+
+__all__ = ["Projection", "derive_projections", "chase_origin"]
+
+
+@dataclass(frozen=True)
+class Projection:
+    """A projection of the statement's iteration space onto ``dims``.
+
+    ``via`` records the read access (array name) that produced it and
+    ``origin`` the origin class (statement name or "_input:<array>").
+    """
+
+    dims: frozenset[str]
+    via: str = ""
+    origin: str = ""
+    #: majority direct-producer class ("_input:<array>" or statement name);
+    #: distinct producers mean disjoint inset parts (the IOLB constant-factor
+    #: refinement mentioned in §6)
+    producer: str = ""
+
+    def __repr__(self) -> str:
+        d = ",".join(sorted(self.dims))
+        return f"phi({d})[{self.via}<-{self.origin}]"
+
+
+class _FlowIndex:
+    """Per-instance read/write info + producer lookup from a dataflow trace."""
+
+    def __init__(self, trace: Tracer):
+        self.reads = {}
+        self.writes = {}
+        for idx, key in enumerate(trace.schedule):
+            self.reads[key] = trace.reads_by_instance[idx]
+            self.writes[key] = trace.writes_by_instance[idx]
+        # (consumer, element) -> producer node
+        self.producer = {}
+        for prod, cons, elem in trace.flow_edges:
+            self.producer[(cons, elem)] = prod
+
+
+def chase_origin(flow: _FlowIndex, node, elem):
+    """Follow update chains from a read back to its origin.
+
+    Returns ``(INPUT, element)`` for program inputs, or the chain-origin
+    instance ``(stmt, point)``.
+    """
+    prod = flow.producer.get((node, elem))
+    if prod is None:
+        # read of a value written by the same instance, or untracked: origin
+        return node
+    seen = set()
+    cur = prod
+    while True:
+        if cur[0] == INPUT:
+            return cur
+        if cur in seen:  # cycle guard (cannot happen in a DAG, but be safe)
+            return cur
+        seen.add(cur)
+        w = flow.writes.get(cur, [])
+        if len(w) != 1:
+            return cur
+        waddr = w[0]
+        if waddr not in flow.reads.get(cur, []):
+            return cur  # no update input: chain origin
+        nxt = flow.producer.get((cur, waddr))
+        if nxt is None:
+            return (INPUT, waddr)
+        cur = nxt
+
+
+def _fit_affine_dims(
+    samples: Sequence[tuple[tuple[int, ...], tuple[int, ...]]],
+    dims: Sequence[str],
+) -> frozenset[str] | None:
+    """Dims of the consumer with nonzero coefficient in the exact affine map
+    consumer -> origin coordinates; None if no exact affine map fits."""
+    xs = np.array([list(c) + [1] for c, _ in samples], dtype=float)
+    ys = np.array([list(o) for _, o in samples], dtype=float)
+    if ys.size == 0:
+        return frozenset()
+    coef, *_ = np.linalg.lstsq(xs, ys, rcond=None)
+    pred = xs @ coef
+    if not np.allclose(pred, ys, atol=1e-6):
+        return None
+    used: set[str] = set()
+    for di, d in enumerate(dims):
+        if np.any(np.abs(coef[di]) > 1e-9):
+            used.add(d)
+    return frozenset(used)
+
+
+def derive_projections(
+    program: Program,
+    stmt_name: str,
+    params: Mapping[str, int],
+    trace: Tracer | None = None,
+) -> list[Projection]:
+    """Derive the projection set of ``stmt_name`` at small concrete ``params``.
+
+    One projection per read access, from origin chasing + affine fitting.
+    When a read has origins in several statements (domain-boundary effects),
+    the majority origin class is used; an inexact fit falls back to the full
+    dimension set (a sound but weak projection).
+    """
+    stmt = program.statement(stmt_name)
+    dims = stmt.dims
+    if trace is None:
+        trace = dataflow_trace(program, params)
+    flow = _FlowIndex(trace)
+
+    # group read samples by slot (position in stmt.reads)
+    slot_samples: list[dict] = [dict() for _ in stmt.reads]
+    for idx, key in enumerate(trace.schedule):
+        if key[0] != stmt_name:
+            continue
+        point = key[1]
+        raddrs = trace.reads_by_instance[idx]
+        if len(raddrs) != len(stmt.reads):
+            raise ValueError(
+                f"instance {key} has {len(raddrs)} reads, spec has {len(stmt.reads)}"
+            )
+        for slot, addr in enumerate(raddrs):
+            origin = chase_origin(flow, key, addr)
+            prod = flow.producer.get((key, addr))
+            if prod is None:
+                prod = (INPUT, addr)
+            slot_samples[slot][point] = (origin, prod)
+
+    out: list[Projection] = []
+    for slot, samples in enumerate(slot_samples):
+        if not samples:
+            continue
+        via = stmt.reads[slot].array
+        # classify origins
+        by_class: dict[str, list] = {}
+        prod_count: dict[str, int] = {}
+        for cpoint, (origin, prod) in samples.items():
+            if origin[0] == INPUT:
+                cls = f"{INPUT}:{origin[1][0]}"
+                coords = origin[1][1]
+            else:
+                cls = origin[0]
+                coords = origin[1]
+            by_class.setdefault(cls, []).append((cpoint, coords))
+            pcls = f"{INPUT}:{prod[1][0]}" if prod[0] == INPUT else prod[0]
+            prod_count[pcls] = prod_count.get(pcls, 0) + 1
+        # majority class (boundary rows/columns may have other producers)
+        cls = max(by_class, key=lambda c: len(by_class[c]))
+        pcls = max(prod_count, key=lambda c: prod_count[c])
+        pairs = by_class[cls]
+        used = _fit_affine_dims(pairs, dims)
+        if used is None:
+            used = frozenset(dims)  # conservative fallback
+        out.append(Projection(dims=used, via=via, origin=cls, producer=pcls))
+
+    # dedupe identical dim-sets, keeping the first annotation
+    seen: set[frozenset[str]] = set()
+    deduped = []
+    for p in out:
+        if p.dims not in seen:
+            seen.add(p.dims)
+            deduped.append(p)
+    return deduped

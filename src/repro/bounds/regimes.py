@@ -1,0 +1,89 @@
+"""Regime analysis: which bound binds where, and where they cross (§5.1).
+
+The paper's §5.1 analyses the MGS bound by cases on the ordering of S and
+M.  This module mechanises that analysis for any derivation report:
+
+* :func:`crossover` — bisect the cache size at which one bound overtakes
+  another (e.g. Theorem 5's two cases cross at S = M/sqrt(2));
+* :func:`regime_table` — sweep S and report the binding method per point,
+  compressed into contiguous regimes.
+
+Used by ``iolb regimes`` and the §5.1 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .derivation import DerivationReport
+from .kpartition import BoundResult
+
+__all__ = ["Regime", "crossover", "regime_table"]
+
+
+@dataclass
+class Regime:
+    """A contiguous S-range where one method gives the tightest bound."""
+
+    s_lo: int
+    s_hi: int
+    method: str
+    value_at_lo: float
+
+    def __repr__(self) -> str:
+        return f"[{self.s_lo}..{self.s_hi}] -> {self.method}"
+
+
+def _value(b: BoundResult, env: Mapping[str, int]) -> float:
+    try:
+        return b.evaluate(env)
+    except (ZeroDivisionError, KeyError):
+        return float("-inf")
+
+
+def crossover(
+    b1: BoundResult,
+    b2: BoundResult,
+    env: Mapping[str, int],
+    s_lo: int = 1,
+    s_hi: int = 1 << 30,
+) -> int | None:
+    """Smallest S in [s_lo, s_hi] where b2 >= b1, assuming a single sign
+    change of (b1 - b2) over the range; None when there is none."""
+
+    def diff(s: int) -> float:
+        e = dict(env)
+        e["S"] = s
+        return _value(b1, e) - _value(b2, e)
+
+    lo, hi = s_lo, s_hi
+    if diff(lo) <= 0:
+        return lo
+    if diff(hi) > 0:
+        return None
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if diff(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def regime_table(
+    report: DerivationReport,
+    env: Mapping[str, int],
+    s_values: Sequence[int],
+) -> list[Regime]:
+    """Which method binds at each S, compressed into contiguous regimes."""
+    out: list[Regime] = []
+    for s in sorted(s_values):
+        e = dict(env)
+        e["S"] = s
+        best, val = report.best(e)
+        if out and out[-1].method == best.method:
+            out[-1].s_hi = s
+        else:
+            out.append(Regime(s_lo=s, s_hi=s, method=best.method, value_at_lo=val))
+    return out

@@ -1,0 +1,79 @@
+"""Empirical block-size tuning for the tiled algorithms.
+
+Appendix A chooses ``B* = floor(S/M) - 1`` analytically.  This module
+searches the block-size landscape by simulation — both to *verify* that the
+analytic choice is near-optimal (a bench does this) and as a practical
+utility: on the hardware-like cache model the best block can differ from
+the abstract-model optimum, and a user tuning a real kernel wants the
+measured argmin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..cache import simulate
+from ..kernels.tiled import TiledAlgorithm, default_block_size
+
+__all__ = ["TuneResult", "tune_block_size"]
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a block-size search."""
+
+    best_block: int
+    best_loads: int
+    analytic_block: int
+    analytic_loads: int
+    #: every (B, loads) pair evaluated, in evaluation order
+    evaluated: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def analytic_gap(self) -> float:
+        """How much worse the analytic B* is than the measured optimum."""
+        return self.analytic_loads / max(self.best_loads, 1)
+
+
+def tune_block_size(
+    alg: TiledAlgorithm,
+    params: Mapping[str, int],
+    s: int,
+    *,
+    policy: str = "belady",
+    b_max: int | None = None,
+    seed: int = 0,
+) -> TuneResult:
+    """Exhaustively evaluate blocks 1..b_max (default: N) and return the best.
+
+    Simulation cost per block is one kernel run + one cache pass, so the
+    sweep is linear in N; memoisation is pointless since every B changes
+    the trace.
+    """
+    n = params.get("N")
+    m = params.get("M", n)
+    if b_max is None:
+        b_max = max(1, n)
+    evaluated: list[tuple[int, int]] = []
+
+    def loads_for(b: int) -> int:
+        tr = alg.run_traced({**params, "B": b}, seed=seed)
+        return simulate(list(tr.events), s, policy).loads
+
+    best_b, best_l = 1, None
+    for b in range(1, b_max + 1):
+        l = loads_for(b)
+        evaluated.append((b, l))
+        if best_l is None or l < best_l:
+            best_b, best_l = b, l
+
+    analytic = min(max(1, default_block_size(m + 1, s)), b_max)
+    analytic_l = dict(evaluated)[analytic]
+    return TuneResult(
+        best_block=best_b,
+        best_loads=best_l,
+        analytic_block=analytic,
+        analytic_loads=analytic_l,
+        evaluated=evaluated,
+    )

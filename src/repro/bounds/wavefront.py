@@ -1,0 +1,115 @@
+"""The wavefront lower-bound technique (background, §2 and [10]).
+
+The paper uses K-partitioning for its contribution but cites the wavefront
+method as the alternative that wins on stencil-like dependence graphs.  We
+provide the concrete-CDAG version:
+
+* :func:`max_live` — the live-set profile of one schedule (a memory demand);
+* :func:`min_max_live_exact` — exact minimisation of the peak live-set over
+  *all* topological orders, by memoised search over downward-closed sets
+  (exponential state space: intended for the small CDAGs used in tests);
+* :func:`wavefront_bound` — the sound I/O bound
+  ``Q_loads >= min_max_live - S``: whenever more than S values are
+  simultaneously live (computed, still needed), the excess must be spilled
+  and later reloaded.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Hashable, Sequence
+
+from ..cdag import CDAG
+
+__all__ = ["max_live", "min_max_live_exact", "wavefront_bound"]
+
+Node = Hashable
+
+
+def max_live(g: CDAG, schedule: Sequence[Node]) -> int:
+    """Peak number of simultaneously-live values along a schedule.
+
+    A value is live after its producer runs while some consumer has not;
+    program inputs count as live until their last consumer (they occupy fast
+    memory or force a reload just the same).
+    """
+    remaining = {n: len(g.succ[n]) for n in g.succ}
+    live = set(g.input_nodes())
+    peak = len(live)
+    for v in schedule:
+        live.add(v)
+        for u in g.pred[v]:
+            remaining[u] -= 1
+            if remaining[u] == 0 and u in live:
+                live.discard(u)
+        # v itself may be dead on arrival (no successors, e.g. outputs --
+        # keep outputs live to match the game's obligation to hold results)
+        if remaining[v] == 0 and v not in g.outputs:
+            live.discard(v)
+        peak = max(peak, len(live))
+    return peak
+
+
+def min_max_live_exact(g: CDAG, node_limit: int = 22) -> int:
+    """Exact minimum over all schedules of the peak live-set size.
+
+    State space is the lattice of downward-closed subsets — exponential, so
+    a hard ``node_limit`` guards against accidental blow-up.
+    """
+    compute = sorted(g.compute_nodes(), key=repr)
+    if len(compute) > node_limit:
+        raise ValueError(
+            f"CDAG has {len(compute)} compute nodes; exact search capped at"
+            f" {node_limit}"
+        )
+    index = {n: i for i, n in enumerate(compute)}
+    inputs = list(g.input_nodes())
+    n_inputs = len(inputs)
+    full = (1 << len(compute)) - 1
+
+    preds_mask = []
+    for n in compute:
+        m = 0
+        for u in g.pred[n]:
+            if u in index:
+                m |= 1 << index[u]
+        preds_mask.append(m)
+
+    def live_count(done_mask: int) -> int:
+        # nodes (incl. inputs) with a not-yet-computed successor, plus outputs
+        live = 0
+        done = {compute[i] for i in range(len(compute)) if done_mask >> i & 1}
+        for n in list(done) + inputs:
+            if n in g.outputs and n in done:
+                live += 1
+                continue
+            for s in g.succ[n]:
+                if s in index and s not in done:
+                    live += 1
+                    break
+        return live
+
+    @lru_cache(maxsize=None)
+    def best(done_mask: int) -> int:
+        if done_mask == full:
+            return 0
+        out = None
+        for i in range(len(compute)):
+            bit = 1 << i
+            if done_mask & bit:
+                continue
+            if preds_mask[i] & done_mask != preds_mask[i]:
+                continue
+            nxt = done_mask | bit
+            peak = max(live_count(nxt), best(nxt))
+            if out is None or peak < out:
+                out = peak
+        assert out is not None, "no eligible node: cyclic CDAG?"
+        return out
+
+    return max(live_count(0), best(0))
+
+
+def wavefront_bound(g: CDAG, s: int, node_limit: int = 22) -> int:
+    """``Q_loads >= min_max_live - S`` (0 when the graph fits in cache)."""
+    return max(0, min_max_live_exact(g, node_limit) - s)

@@ -1,0 +1,21 @@
+"""Two-level memory (cache) simulators over element address traces."""
+
+from .associative import AssocCacheStats, Linearizer, simulate_assoc
+from .hierarchy import HierarchyStats, simulate_hierarchy
+from .stackdist import lru_miss_curve, stack_distances
+from .sim import CacheStats, cold_loads, simulate, simulate_belady, simulate_lru
+
+__all__ = [
+    "AssocCacheStats",
+    "Linearizer",
+    "simulate_assoc",
+    "HierarchyStats",
+    "simulate_hierarchy",
+    "lru_miss_curve",
+    "stack_distances",
+    "CacheStats",
+    "cold_loads",
+    "simulate",
+    "simulate_belady",
+    "simulate_lru",
+]

@@ -1,0 +1,132 @@
+"""Hardware-like cache: line granularity + set associativity.
+
+The paper's model moves single values; real caches move lines through
+associative sets.  This module provides the ablation showing how the
+bounds transfer: with line size L, an element-level lower bound Q implies a
+line-transfer lower bound >= Q/L (each line carries at most L useful
+values), so measured line misses x L must still sit above Q — which the
+benches verify.
+
+Address mapping: element addresses ``(array, index)`` are linearised per
+array (row-major with shapes supplied by the caller, or discovered by
+first-touch enumeration order), concatenated into a flat byte-less "element
+space", then split into lines of ``line_size`` elements.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..ir import Addr, Event
+
+__all__ = ["AssocCacheStats", "Linearizer", "simulate_assoc"]
+
+
+@dataclass
+class AssocCacheStats:
+    """Counts from a set-associative line-granularity simulation."""
+
+    line_misses: int = 0
+    line_hits: int = 0
+    evictions: int = 0
+    accesses: int = 0
+    line_size: int = 1
+    ways: int = 1
+    n_sets: int = 1
+
+    @property
+    def element_traffic(self) -> int:
+        """Elements moved in: misses x line size."""
+        return self.line_misses * self.line_size
+
+
+class Linearizer:
+    """Maps element addresses to flat integer positions.
+
+    Arrays with declared shapes get row-major layout; undeclared arrays are
+    laid out in first-touch order (deterministic given the trace).  Distinct
+    arrays never share a line (each array is padded to a line boundary),
+    matching separate allocations.
+    """
+
+    def __init__(
+        self, shapes: Mapping[str, Sequence[int]] | None = None, line_size: int = 1
+    ):
+        self.shapes = dict(shapes or {})
+        self.line_size = max(1, line_size)
+        self._base: dict[str, int] = {}
+        self._next_free = 0
+        self._adhoc: dict[Addr, int] = {}
+
+    def _alloc(self, name: str, size: int) -> None:
+        # align to a line boundary
+        ls = self.line_size
+        start = (self._next_free + ls - 1) // ls * ls
+        self._base[name] = start
+        self._next_free = start + size
+
+    def flat(self, addr: Addr) -> int:
+        name, idx = addr
+        if name in self.shapes:
+            if name not in self._base:
+                size = 1
+                for d in self.shapes[name]:
+                    size *= d
+                self._alloc(name, size)
+            shape = self.shapes[name]
+            pos = 0
+            for d, x in zip(shape, idx):
+                pos = pos * d + x
+            return self._base[name] + pos
+        # unknown shape: first-touch allocation, one slot per element
+        if addr not in self._adhoc:
+            if name not in self._base:
+                self._alloc(name, 0)
+            self._adhoc[addr] = self._next_free
+            self._next_free += 1
+        return self._adhoc[addr]
+
+    def line_of(self, addr: Addr) -> int:
+        return self.flat(addr) // self.line_size
+
+
+def simulate_assoc(
+    events: Iterable[Event],
+    *,
+    capacity_elements: int,
+    line_size: int = 4,
+    ways: int = 4,
+    shapes: Mapping[str, Sequence[int]] | None = None,
+) -> AssocCacheStats:
+    """Simulate an L-element-per-line, W-way set-associative LRU cache.
+
+    ``capacity_elements`` is the total capacity in elements; the number of
+    sets is ``capacity / (line_size * ways)`` (rounded up to >= 1).  Both
+    reads and writes allocate (write-allocate), misses counted identically —
+    the hardware-style accounting.
+    """
+    if capacity_elements < line_size * ways:
+        n_sets = 1
+        ways = max(1, capacity_elements // line_size)
+    else:
+        n_sets = max(1, capacity_elements // (line_size * ways))
+    lin = Linearizer(shapes, line_size)
+    sets: list[OrderedDict[int, bool]] = [OrderedDict() for _ in range(n_sets)]
+    st = AssocCacheStats(line_size=line_size, ways=ways, n_sets=n_sets)
+
+    for ev in events:
+        st.accesses += 1
+        line = lin.line_of(ev.addr)
+        s = sets[line % n_sets]
+        if line in s:
+            st.line_hits += 1
+            s.move_to_end(line)
+        else:
+            st.line_misses += 1
+            if len(s) >= ways:
+                s.popitem(last=False)
+                st.evictions += 1
+            s[line] = True
+    return st

@@ -1,0 +1,177 @@
+"""Two-level memory simulators over element-granularity address traces.
+
+This is the substitute for native cache measurement (DESIGN.md §5): the
+paper's model — a fast memory holding S values backed by an unbounded slow
+memory — is simulated exactly, driven by the instrumented kernels' address
+traces.  Counted quantities follow §2 of the paper:
+
+* a **load** is a read of an element not resident in fast memory;
+* a **write** allocates the element in fast memory *without* a load (the
+  value is produced by the computation, not fetched);
+* **stores** (write-backs of dirty evicted elements, plus the final flush of
+  dirty data) are tracked separately — the paper's bounds count loads only,
+  and the benches verify stores are indeed lower-order.
+
+Policies: LRU (practical) and Belady/OPT (furthest next access in the fixed
+trace, the offline optimum), both fully associative with capacity S elements.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..ir import Addr, Event
+
+__all__ = ["CacheStats", "simulate_lru", "simulate_belady", "simulate", "cold_loads"]
+
+_INF = float("inf")
+
+
+@dataclass
+class CacheStats:
+    """Aggregate counts from one simulation run."""
+
+    loads: int = 0  # read misses (paper's Q)
+    read_hits: int = 0
+    write_hits: int = 0  # writes to already-resident elements
+    write_allocs: int = 0  # writes that allocated a new resident element
+    evict_stores: int = 0  # dirty evictions (write-backs)
+    flush_stores: int = 0  # dirty lines at end of trace
+    accesses: int = 0
+    capacity: int = 0
+    policy: str = ""
+
+    @property
+    def stores(self) -> int:
+        return self.evict_stores + self.flush_stores
+
+    @property
+    def total_io(self) -> int:
+        return self.loads + self.stores
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(S={self.capacity}, {self.policy}: loads={self.loads},"
+            f" stores={self.stores}, accesses={self.accesses})"
+        )
+
+
+def simulate_lru(events: Iterable[Event], s: int) -> CacheStats:
+    """Fully-associative LRU cache of capacity ``s`` elements."""
+    if s < 1:
+        raise ValueError("cache capacity must be >= 1")
+    cache: OrderedDict[Addr, bool] = OrderedDict()  # addr -> dirty
+    st = CacheStats(capacity=s, policy="lru")
+
+    def evict() -> None:
+        addr, dirty = cache.popitem(last=False)
+        if dirty:
+            st.evict_stores += 1
+
+    for ev in events:
+        st.accesses += 1
+        addr = ev.addr
+        if ev.op == "R":
+            if addr in cache:
+                st.read_hits += 1
+                cache.move_to_end(addr)
+            else:
+                st.loads += 1
+                if len(cache) >= s:
+                    evict()
+                cache[addr] = False
+        else:  # write
+            if addr in cache:
+                st.write_hits += 1
+                cache[addr] = True
+                cache.move_to_end(addr)
+            else:
+                st.write_allocs += 1
+                if len(cache) >= s:
+                    evict()
+                cache[addr] = True
+    st.flush_stores = sum(1 for d in cache.values() if d)
+    return st
+
+
+def simulate_belady(events: Sequence[Event], s: int) -> CacheStats:
+    """Belady/OPT replacement: evict the element used furthest in the future.
+
+    Requires the full trace up front (it is an offline policy).
+    """
+    if s < 1:
+        raise ValueError("cache capacity must be >= 1")
+    events = list(events)
+    uses: dict[Addr, list[int]] = {}
+    for idx, ev in enumerate(events):
+        uses.setdefault(ev.addr, []).append(idx)
+
+    def next_use(addr: Addr, idx: int) -> float:
+        lst = uses[addr]
+        p = bisect_right(lst, idx)
+        return lst[p] if p < len(lst) else _INF
+
+    cache: dict[Addr, bool] = {}
+    st = CacheStats(capacity=s, policy="belady")
+
+    def evict(idx: int) -> None:
+        victim = None
+        best = -1.0
+        for a in cache:
+            nu = next_use(a, idx)
+            if nu == _INF:
+                victim = a
+                break
+            if nu > best:
+                best = nu
+                victim = a
+        dirty = cache.pop(victim)
+        if dirty:
+            st.evict_stores += 1
+
+    for idx, ev in enumerate(events):
+        st.accesses += 1
+        addr = ev.addr
+        if ev.op == "R":
+            if addr in cache:
+                st.read_hits += 1
+            else:
+                st.loads += 1
+                if len(cache) >= s:
+                    evict(idx)
+                cache[addr] = False
+        else:
+            if addr in cache:
+                st.write_hits += 1
+                cache[addr] = True
+            else:
+                st.write_allocs += 1
+                if len(cache) >= s:
+                    evict(idx)
+                cache[addr] = True
+    st.flush_stores = sum(1 for d in cache.values() if d)
+    return st
+
+
+def simulate(events: Sequence[Event], s: int, policy: str = "lru") -> CacheStats:
+    """Dispatch on policy name ("lru" or "belady")."""
+    if policy == "lru":
+        return simulate_lru(events, s)
+    if policy == "belady":
+        return simulate_belady(list(events), s)
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def cold_loads(events: Iterable[Event]) -> int:
+    """Compulsory loads: distinct addresses whose first access is a read."""
+    seen: set[Addr] = set()
+    cold = 0
+    for ev in events:
+        if ev.addr not in seen:
+            seen.add(ev.addr)
+            if ev.op == "R":
+                cold += 1
+    return cold

@@ -1,0 +1,97 @@
+"""LRU stack distances: the whole miss curve in one pass (Mattson 1970).
+
+LRU's inclusion property means a reference hits in a cache of capacity S iff
+its *stack distance* (number of distinct addresses touched since its last
+access) is < S.  One pass computing all stack distances therefore yields
+``misses(S)`` for every S at once — the classic trick for miss-curve
+profiling, implemented with a Fenwick (binary indexed) tree over access
+positions for O(n log n) total time.
+
+``miss_curve`` post-processes the histogram into the monotone curve the
+benches plot against the lower-bound curve Q(S).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from ..ir import Addr, Event
+
+__all__ = ["stack_distances", "lru_miss_curve"]
+
+_INF = -1  # marker for cold (first-touch) accesses
+
+
+class _Fenwick:
+    """Point update / prefix sum over positions 1..n."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self.n:
+            self.tree[i] += delta
+            i += i & -i
+
+    def prefix(self, i: int) -> int:
+        i += 1
+        s = 0
+        while i > 0:
+            s += self.tree[i]
+            i -= i & -i
+        return s
+
+
+def stack_distances(events: Sequence[Event]) -> list[int]:
+    """Per-access LRU stack distance; -1 marks cold (first) accesses.
+
+    Reads and writes both count as touches (writes allocate, matching the
+    LRU simulator's residency behaviour).
+    """
+    events = list(events)
+    n = len(events)
+    fw = _Fenwick(n)
+    last_pos: dict[Addr, int] = {}
+    out: list[int] = []
+    for pos, ev in enumerate(events):
+        prev = last_pos.get(ev.addr)
+        if prev is None:
+            out.append(_INF)
+        else:
+            # distinct addresses touched strictly between prev and pos:
+            # each live address contributes its *latest* position only
+            distinct = fw.prefix(pos - 1) - fw.prefix(prev)
+            out.append(distinct)
+            fw.add(prev, -1)
+        fw.add(pos, 1)
+        last_pos[ev.addr] = pos
+    return out
+
+
+def lru_miss_curve(
+    events: Sequence[Event], max_s: int | None = None
+) -> list[int]:
+    """``curve[s]`` = LRU misses (loads + write-allocations) at capacity s.
+
+    Index 0 is unused (capacity >= 1); the curve is monotone non-increasing
+    and reaches the cold-miss count once the working set fits.  Computed
+    from the stack-distance histogram in one pass over the trace.
+    """
+    dists = stack_distances(events)
+    cold = sum(1 for d in dists if d == _INF)
+    hist = Counter(d for d in dists if d != _INF)
+    biggest = max(hist, default=0)
+    top = max_s if max_s is not None else biggest + 2
+    # misses(s) = cold + #{accesses with stack distance >= s}, via suffix sums
+    ge = [0] * (top + 2)
+    total_beyond = sum(c for d, c in hist.items() if d > top)
+    ge[top + 1] = total_beyond
+    for s in range(top, -1, -1):
+        ge[s] = ge[s + 1] + hist.get(s, 0)
+    curve = [0] * (top + 1)
+    for s in range(1, top + 1):
+        curve[s] = cold + ge[s]
+    return curve

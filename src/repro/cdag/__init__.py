@@ -1,0 +1,18 @@
+"""Computational DAGs: construction, validation, proof-level vocabulary."""
+
+from .build import build_cdag, cdag_from_dataflow, cdag_from_program, cdag_from_trace
+from .check import CdagDiff, check_program_deps, check_spec_matches_runner, compare_cdags
+from .graph import CDAG, INPUT
+
+__all__ = [
+    "CDAG",
+    "INPUT",
+    "build_cdag",
+    "cdag_from_dataflow",
+    "cdag_from_program",
+    "cdag_from_trace",
+    "CdagDiff",
+    "check_program_deps",
+    "check_spec_matches_runner",
+    "compare_cdags",
+]

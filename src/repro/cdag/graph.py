@@ -1,0 +1,236 @@
+"""The Computational DAG (CDAG) of the red-white pebble game.
+
+Nodes are statement instances ``(stmt_name, iteration_vector)``; program
+inputs are modelled as nodes ``("_input", element_address)`` with no
+predecessors, exactly as in §2 of the paper.  Edges are flow dependences.
+
+The class keeps plain-dict adjacency (fast enough for the sizes the pebble
+game can handle) and offers the graph-theoretic vocabulary the proofs use:
+sources, topological orders, convexity of node subsets, in-sets of subsets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator, Sequence
+
+__all__ = ["CDAG", "INPUT"]
+
+INPUT = "_input"
+Node = Hashable
+
+
+class CDAG:
+    """A directed acyclic graph of statement instances and input elements."""
+
+    __slots__ = ("succ", "pred", "outputs")
+
+    def __init__(self) -> None:
+        self.succ: dict[Node, set[Node]] = {}
+        self.pred: dict[Node, set[Node]] = {}
+        self.outputs: set[Node] = set()
+
+    # -- construction ------------------------------------------------------
+    def add_node(self, n: Node) -> None:
+        if n not in self.succ:
+            self.succ[n] = set()
+            self.pred[n] = set()
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        self.add_node(u)
+        self.add_node(v)
+        self.succ[u].add(v)
+        self.pred[v].add(u)
+
+    # -- basic queries ------------------------------------------------------
+    def __contains__(self, n: Node) -> bool:
+        return n in self.succ
+
+    def __len__(self) -> int:
+        return len(self.succ)
+
+    @property
+    def nodes(self) -> Iterator[Node]:
+        return iter(self.succ)
+
+    def n_edges(self) -> int:
+        return sum(len(s) for s in self.succ.values())
+
+    def sources(self) -> list[Node]:
+        return [n for n, p in self.pred.items() if not p]
+
+    def sinks(self) -> list[Node]:
+        return [n for n, s in self.succ.items() if not s]
+
+    def input_nodes(self) -> list[Node]:
+        return [n for n in self.succ if isinstance(n, tuple) and n and n[0] == INPUT]
+
+    def compute_nodes(self) -> list[Node]:
+        return [
+            n for n in self.succ if not (isinstance(n, tuple) and n and n[0] == INPUT)
+        ]
+
+    # -- order / validity ---------------------------------------------------
+    def topological_order(self) -> list[Node]:
+        """Kahn's algorithm; raises on cycles."""
+        indeg = {n: len(p) for n, p in self.pred.items()}
+        q = deque(n for n, d in indeg.items() if d == 0)
+        out: list[Node] = []
+        while q:
+            n = q.popleft()
+            out.append(n)
+            for m in self.succ[n]:
+                indeg[m] -= 1
+                if indeg[m] == 0:
+                    q.append(m)
+        if len(out) != len(self.succ):
+            raise ValueError("CDAG contains a cycle")
+        return out
+
+    def is_valid_schedule(self, schedule: Sequence[Node]) -> bool:
+        """True iff schedule is a topological order of the compute nodes.
+
+        Input nodes are implicitly available from the start and may be
+        omitted from the schedule.
+        """
+        pos: dict[Node, int] = {}
+        for i, n in enumerate(schedule):
+            if n in pos:
+                return False
+            pos[n] = i
+        compute = set(self.compute_nodes())
+        if set(pos) != compute:
+            return False
+        for v in compute:
+            for u in self.pred[v]:
+                if u in compute and pos[u] >= pos[v]:
+                    return False
+        return True
+
+    # -- proof-related vocabulary -----------------------------------------
+    def in_set(self, subset: Iterable[Node]) -> set[Node]:
+        """InSet(E): data used by E but not produced inside E.
+
+        With unit-size values, that is the set of predecessors of E's nodes
+        lying outside E (input nodes included).
+        """
+        E = set(subset)
+        out: set[Node] = set()
+        for v in E:
+            for u in self.pred.get(v, ()):
+                if u not in E:
+                    out.add(u)
+        return out
+
+    def out_set(self, subset: Iterable[Node]) -> set[Node]:
+        """Nodes of E whose value is used outside E (or are program outputs)."""
+        E = set(subset)
+        out: set[Node] = set()
+        for u in E:
+            if u in self.outputs:
+                out.add(u)
+                continue
+            for v in self.succ.get(u, ()):
+                if v not in E:
+                    out.add(u)
+                    break
+        return out
+
+    def is_convex(self, subset: Iterable[Node]) -> bool:
+        """True iff every dependence path between two nodes of E stays in E.
+
+        Checked by forward reachability: for each node of E, anything
+        reachable through a node outside E must not re-enter E... more
+        directly, E is convex iff no path u -> x -> v with u, v in E and
+        x not in E.  We test by BFS from E's out-neighbours outside E.
+        """
+        E = set(subset)
+        # nodes outside E directly reachable from E
+        frontier = {
+            x for u in E for x in self.succ.get(u, ()) if x not in E
+        }
+        seen = set(frontier)
+        q = deque(frontier)
+        while q:
+            x = q.popleft()
+            for y in self.succ.get(x, ()):
+                if y in E:
+                    return False
+                if y not in seen:
+                    seen.add(y)
+                    q.append(y)
+        return True
+
+    def convex_closure(self, subset: Iterable[Node]) -> set[Node]:
+        """Smallest convex superset: add all nodes on paths between members.
+
+        Computed by iterating: x joins if x is reachable from E and E is
+        reachable from x.  Exponential-free but O(V*E) worst case — fine for
+        the small CDAGs used in validation.
+        """
+        E = set(subset)
+        changed = True
+        while changed:
+            changed = False
+            reach_from_E = self._reachable_from(E)
+            reach_to_E = self._reaching_to(E)
+            extra = (reach_from_E & reach_to_E) - E
+            if extra:
+                E |= extra
+                changed = True
+        return E
+
+    def _reachable_from(self, srcs: set[Node]) -> set[Node]:
+        seen = set()
+        q = deque(srcs)
+        while q:
+            u = q.popleft()
+            for v in self.succ.get(u, ()):
+                if v not in seen:
+                    seen.add(v)
+                    q.append(v)
+        return seen
+
+    def _reaching_to(self, tgts: set[Node]) -> set[Node]:
+        seen = set()
+        q = deque(tgts)
+        while q:
+            v = q.popleft()
+            for u in self.pred.get(v, ()):
+                if u not in seen:
+                    seen.add(u)
+                    q.append(u)
+        return seen
+
+    def has_path(self, u: Node, v: Node) -> bool:
+        if u == v:
+            return True
+        seen = {u}
+        q = deque([u])
+        while q:
+            x = q.popleft()
+            for y in self.succ.get(x, ()):
+                if y == v:
+                    return True
+                if y not in seen:
+                    seen.add(y)
+                    q.append(y)
+        return False
+
+    def nodes_on_paths(self, u: Node, v: Node) -> set[Node]:
+        """All nodes lying on some dependence path from u to v (inclusive)."""
+        from_u = self._reachable_from({u}) | {u}
+        to_v = self._reaching_to({v}) | {v}
+        return from_u & to_v if self.has_path(u, v) else set()
+
+    # -- export --------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a networkx.DiGraph (for analyses/visualisation)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self.succ)
+        for u, ss in self.succ.items():
+            for v in ss:
+                g.add_edge(u, v)
+        return g

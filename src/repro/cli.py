@@ -1,0 +1,247 @@
+"""Command-line front-end: ``iolb`` (or ``python -m repro.cli``).
+
+Subcommands::
+
+    iolb list                         # kernels and tiled algorithms
+    iolb derive mgs [--eval M=100,N=50,S=256]
+    iolb validate mgs [--params M=8,N=5]
+    iolb simulate mgs --params M=8,N=6 --cache 16 [--policy belady]
+    iolb tiled tiled_mgs --params M=24,N=16 --cache 256
+    iolb fig4 / iolb fig5             # regenerate the paper's tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Mapping
+
+from .bounds import derive, measure_tiled_io
+from .cdag import build_cdag, check_program_deps, check_spec_matches_runner
+from .ir import Tracer
+from .kernels import KERNELS, TILED_ALGORITHMS, get_kernel, get_tiled
+from .pebble import play_schedule
+from .report import render_fig4, render_fig5, render_table
+
+__all__ = ["main"]
+
+
+def _parse_assign(text: str) -> dict[str, int]:
+    out: dict[str, int] = {}
+    if not text:
+        return out
+    for part in text.split(","):
+        k, _, v = part.partition("=")
+        out[k.strip()] = int(v)
+    return out
+
+
+def cmd_list(args) -> int:
+    print("kernels:")
+    for name, k in sorted(KERNELS.items()):
+        print(f"  {name:10s} {k.description}")
+    print("tiled algorithms:")
+    for name, t in sorted(TILED_ALGORITHMS.items()):
+        print(f"  {name:10s} {t.description}")
+    return 0
+
+
+def cmd_derive(args) -> int:
+    kern = get_kernel(args.kernel)
+    rep = derive(kern)
+    print(rep.summary())
+    if args.eval:
+        env = _parse_assign(args.eval)
+        print(f"\nevaluated at {env}:")
+        rows = []
+        for b in rep.all_bounds():
+            try:
+                rows.append([b.method, b.evaluate(env), b.condition])
+            except (ZeroDivisionError, KeyError) as e:
+                rows.append([b.method, f"n/a ({e})", b.condition])
+        print(render_table(["method", "Q >=", "condition"], rows))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    kern = get_kernel(args.kernel)
+    params = _parse_assign(args.params) if args.params else dict(kern.default_params)
+    if kern.validate:
+        kern.validate(params)
+        print(f"{kern.name}: numeric validation ok at {params}")
+    ok, msg = check_spec_matches_runner(kern.program, params)
+    print(f"{kern.name}: spec-vs-runner trace: {msg}")
+    diff = check_program_deps(kern.program, params)
+    print(f"{kern.name}: CDAG check: {diff.summary()}")
+    return 0 if ok and diff.ok() else 1
+
+
+def cmd_simulate(args) -> int:
+    kern = get_kernel(args.kernel)
+    params = _parse_assign(args.params) if args.params else dict(kern.default_params)
+    g = build_cdag(kern.program, params)
+    t = Tracer()
+    kern.program.runner(params, t)
+    res = play_schedule(g, t.schedule, args.cache, args.policy)
+    print(f"{kern.name} at {params}, S={args.cache}, policy={args.policy}:")
+    print(f"  pebble-game loads: {res.loads} (computes={res.computes})")
+    rep = derive(kern)
+    env = dict(params)
+    env["S"] = args.cache
+    best, val = rep.best(env)
+    print(f"  best lower bound:  {val:.1f}  [{best.method}]")
+    return 0
+
+
+def cmd_tiled(args) -> int:
+    alg = get_tiled(args.algorithm)
+    params = _parse_assign(args.params)
+    meas = measure_tiled_io(alg, params, args.cache, policy=args.policy)
+    print(f"{alg.name} at {params}, S={args.cache}, B={meas.block}:")
+    print(f"  measured loads: {meas.stats.loads}  stores: {meas.stats.stores}")
+    print(f"  predicted reads ~ {meas.predicted_reads:.0f}")
+    print(f"  predicted total ~ {meas.predicted_total:.0f}  [{alg.cache_condition}]")
+    return 0
+
+
+def cmd_regimes(args) -> int:
+    from .bounds import regime_table
+
+    kern = get_kernel(args.kernel)
+    env = _parse_assign(args.params)
+    rep = derive(kern)
+    s_values = [1 << k for k in range(2, args.max_log_s + 1)]
+    regimes = regime_table(rep, env, s_values)
+    rows = [[f"{r.s_lo}..{r.s_hi}", r.method, r.value_at_lo] for r in regimes]
+    print(render_table(["S range", "binding method", "Q >= (at range start)"], rows,
+                       title=f"{kern.name} bound regimes at {env}"))
+    return 0
+
+
+def cmd_selfcheck(args) -> int:
+    from .selfcheck import selfcheck
+
+    kern = get_kernel(args.kernel)
+    params = _parse_assign(args.params) if args.params else None
+    rep = selfcheck(kern, params)
+    print(rep.summary())
+    return 0 if rep.ok() else 1
+
+
+def cmd_parse(args) -> int:
+    import pathlib
+
+    from .bounds import derive as derive_fn
+    from .frontend import compile_source
+    from .kernels.common import Kernel as KernelRec
+
+    if args.figure:
+        from .frontend.sources import FIGURE_SHAPES, FIGURE_SOURCES
+
+        src = FIGURE_SOURCES[args.figure]
+        shapes = FIGURE_SHAPES[args.figure]
+        name = args.figure + "_parsed"
+    else:
+        src = pathlib.Path(args.file).read_text()
+        shapes = None
+        name = pathlib.Path(args.file).stem
+    prog, _ast = compile_source(src, name, shapes)
+    print(f"parsed {name}: params {prog.params}")
+    for s in prog.statements:
+        print(f"  {s.name:8s} dims={s.dims} reads={list(s.reads)} writes={list(s.writes)}")
+    if args.derive:
+        small = _parse_assign(args.small) if args.small else None
+        if small is None:
+            raise SystemExit("--derive requires --small M=...,N=... for the dataflow run")
+        kern = KernelRec(program=prog, dominant=args.derive, default_params=small)
+        sample = {k: v * 256 for k, v in small.items()}
+        rep = derive_fn(kern, small_params=small, sample_params=sample)
+        print()
+        print(rep.summary())
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    print(render_fig4())
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    print(render_fig5())
+    return 0
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(
+        prog="iolb",
+        description="I/O lower bounds via the hourglass dependency pattern (SPAA 2024 reproduction)",
+    )
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("list", help="list kernels").set_defaults(fn=cmd_list)
+
+    d = sub.add_parser("derive", help="derive parametric lower bounds")
+    d.add_argument("kernel")
+    d.add_argument("--eval", default="", help="e.g. M=100,N=50,S=256")
+    d.set_defaults(fn=cmd_derive)
+
+    v = sub.add_parser("validate", help="numeric + CDAG validation")
+    v.add_argument("kernel")
+    v.add_argument("--params", default="")
+    v.set_defaults(fn=cmd_validate)
+
+    s = sub.add_parser("simulate", help="pebble-game I/O of the program order")
+    s.add_argument("kernel")
+    s.add_argument("--params", default="")
+    s.add_argument("--cache", type=int, required=True)
+    s.add_argument("--policy", default="belady", choices=["lru", "belady"])
+    s.set_defaults(fn=cmd_simulate)
+
+    t = sub.add_parser("tiled", help="measure a tiled algorithm's I/O")
+    t.add_argument("algorithm")
+    t.add_argument("--params", required=True)
+    t.add_argument("--cache", type=int, required=True)
+    t.add_argument("--policy", default="belady", choices=["lru", "belady"])
+    t.set_defaults(fn=cmd_tiled)
+
+    rg = sub.add_parser("regimes", help="which bound binds at which S (§5.1 style)")
+    rg.add_argument("kernel")
+    rg.add_argument("--params", required=True, help="e.g. M=10000,N=5000")
+    rg.add_argument("--max-log-s", type=int, default=22, dest="max_log_s")
+    rg.set_defaults(fn=cmd_regimes)
+
+    sc = sub.add_parser("selfcheck", help="run the full validation battery")
+    sc.add_argument("kernel")
+    sc.add_argument("--params", default="")
+    sc.set_defaults(fn=cmd_selfcheck)
+
+    pr = sub.add_parser("parse", help="parse figure-style C code into the IR")
+    grp = pr.add_mutually_exclusive_group(required=True)
+    grp.add_argument("--file", help="path to a source file")
+    grp.add_argument(
+        "--figure",
+        choices=["mgs", "qr_a2v", "qr_v2q", "gehd2", "gebd2"],
+        help="use a bundled paper listing",
+    )
+    pr.add_argument("--derive", metavar="STMT", help="derive bounds for this statement")
+    pr.add_argument("--small", default="", help="small params for dataflow, e.g. M=5,N=4")
+    pr.set_defaults(fn=cmd_parse)
+
+    sub.add_parser("fig4", help="regenerate Figure 4").set_defaults(fn=cmd_fig4)
+    sub.add_parser("fig5", help="regenerate Figure 5").set_defaults(fn=cmd_fig5)
+
+    args = p.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # downstream pipe (head, less) closed early: exit quietly like a
+        # well-behaved unix tool
+        import os
+
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Front-end: parse figure-style C code into the polyhedral IR.
+
+The paper's kernels are given as C listings (Figures 1, 3, 6, 7, 8, 9);
+this package accepts that exact dialect::
+
+    from repro.frontend import compile_source
+
+    prog, ast = compile_source(source_text, name="mykernel")
+    # prog is a repro.ir.Program: run the whole bounds pipeline on it.
+
+``compile_source`` parses, lowers, and (optionally) attaches an interpreter
+as the program's runner so every validation in :mod:`repro.cdag` applies.
+"""
+
+from __future__ import annotations
+
+from .astnodes import Block
+from .interp import InterpError, interpret, make_runner
+from .lexer import LexError, tokenize
+from .lower import LowerError, lower_program
+from .parser import ParseError, parse
+from .printer import to_source
+
+__all__ = [
+    "Block",
+    "InterpError",
+    "interpret",
+    "make_runner",
+    "LexError",
+    "tokenize",
+    "LowerError",
+    "lower_program",
+    "ParseError",
+    "parse",
+    "to_source",
+    "compile_source",
+]
+
+
+def compile_source(src: str, name: str = "parsed", array_shapes=None):
+    """Parse + lower; attach a random-input runner when shapes are given.
+
+    Returns ``(program, ast_block)``.
+    """
+    ast = parse(src)
+    prog = lower_program(ast, name=name)
+    if array_shapes:
+        prog.runner = make_runner(ast, prog, array_shapes)
+    return prog, ast

@@ -1,0 +1,148 @@
+"""AST node definitions for the figure-style C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "Num",
+    "Var",
+    "Ref",
+    "BinOp",
+    "UnOp",
+    "Call",
+    "Compare",
+    "Ternary",
+    "Assign",
+    "For",
+    "If",
+    "Block",
+    "Expr",
+    "Stmt",
+]
+
+
+@dataclass(frozen=True)
+class Num:
+    value: float  # ints stored as floats when written 2.0, else int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Ref:
+    """Array reference ``array[e1][e2]...`` (0 indices = bare scalar use of
+    a written variable; bare uses are Var until lowering classifies them)."""
+
+    array: str
+    indices: tuple["Expr", ...]
+
+    def __repr__(self) -> str:
+        return self.array + "".join(f"[{e!r}]" for e in self.indices)
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * /
+    lhs: "Expr"
+    rhs: "Expr"
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    op: str  # -
+    operand: "Expr"
+
+    def __repr__(self) -> str:
+        return f"({self.op}{self.operand!r})"
+
+
+@dataclass(frozen=True)
+class Call:
+    func: str
+    args: tuple["Expr", ...]
+
+    def __repr__(self) -> str:
+        return f"{self.func}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True)
+class Compare:
+    op: str  # < <= > >= == !=
+    lhs: "Expr"
+    rhs: "Expr"
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Ternary:
+    cond: "Compare"
+    then: "Expr"
+    other: "Expr"
+
+    def __repr__(self) -> str:
+        return f"({self.cond!r} ? {self.then!r} : {self.other!r})"
+
+
+Expr = Union[Num, Var, Ref, BinOp, UnOp, Call, Ternary]
+
+
+@dataclass
+class Assign:
+    """``target op= value;`` where op in {'', '+', '-', '*', '/'}."""
+
+    target: Ref | Var
+    op: str
+    value: Expr
+    label: str = ""
+
+    def __repr__(self) -> str:
+        lbl = f"{self.label}: " if self.label else ""
+        return f"{lbl}{self.target!r} {self.op}= {self.value!r}"
+
+
+@dataclass
+class For:
+    var: str
+    init: Expr
+    #: comparison op of the condition ('<', '<=', '>', '>=')
+    cond_op: str
+    bound: Expr
+    #: +1 or -1
+    step: int
+    body: "Block"
+
+    def __repr__(self) -> str:
+        return f"for({self.var}={self.init!r}; {self.var}{self.cond_op}{self.bound!r}; {self.step:+d})"
+
+
+@dataclass
+class If:
+    cond: Compare
+    body: "Block"
+
+    def __repr__(self) -> str:
+        return f"if({self.cond!r})"
+
+
+@dataclass
+class Block:
+    items: list  # of Assign | For | If
+
+
+Stmt = Union[Assign, For, If]

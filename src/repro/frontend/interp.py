@@ -1,0 +1,228 @@
+"""AST interpreter: execute parsed figure code with instrumentation.
+
+The interpreter evaluates the program over numpy arrays / Python floats and
+emits trace events through the *lowered* statement specs (same names, same
+ordered deduplicated read lists), so a parsed program's instrumented run is
+event-for-event comparable with :func:`repro.ir.dataflow_trace` — closing
+the same validation loop the hand-written kernels enjoy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..ir import NullTracer, Program
+from .astnodes import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    For,
+    If,
+    Num,
+    Ref,
+    Ternary,
+    UnOp,
+    Var,
+)
+
+__all__ = ["InterpError", "interpret", "make_runner"]
+
+_FUNCS: dict[str, Callable] = {
+    "sqrt": math.sqrt,
+    "fabs": abs,
+    "abs": abs,
+    "exp": math.exp,
+    "log": math.log,
+}
+
+
+class InterpError(ValueError):
+    pass
+
+
+class _Interp:
+    def __init__(self, block: Block, program: Program, storage, params, tracer):
+        self.block = block
+        self.stmts = {s.name: s for s in program.statements}
+        self.storage = storage  # name -> ndarray or [float] cell
+        self.env: dict[str, int] = dict(params)
+        self.t = tracer
+
+    # -- expression evaluation ----------------------------------------------
+    def eval(self, e):
+        if isinstance(e, Num):
+            return e.value
+        if isinstance(e, Var):
+            if e.name in self.env:
+                return self.env[e.name]
+            sto = self.storage.get(e.name)
+            if sto is None:
+                raise InterpError(f"unbound name {e.name!r}")
+            return sto[()] if isinstance(sto, np.ndarray) else sto[0]
+        if isinstance(e, Ref):
+            arr = self.storage.get(e.array)
+            if arr is None:
+                raise InterpError(f"unknown array {e.array!r}")
+            idx = tuple(int(self.eval(ix)) for ix in e.indices)
+            return float(arr[idx])
+        if isinstance(e, BinOp):
+            a, b = self.eval(e.lhs), self.eval(e.rhs)
+            if e.op == "+":
+                return a + b
+            if e.op == "-":
+                return a - b
+            if e.op == "*":
+                return a * b
+            if e.op == "/":
+                return a / b
+        if isinstance(e, UnOp):
+            return -self.eval(e.operand)
+        if isinstance(e, Call):
+            fn = _FUNCS.get(e.func)
+            if fn is None:
+                raise InterpError(f"unknown function {e.func!r}")
+            return fn(*(self.eval(a) for a in e.args))
+        if isinstance(e, Ternary):
+            return self.eval(e.then) if self.test(e.cond) else self.eval(e.other)
+        raise InterpError(f"cannot evaluate {e!r}")
+
+    def test(self, c: Compare) -> bool:
+        a, b = self.eval(c.lhs), self.eval(c.rhs)
+        return {
+            "<": a < b,
+            "<=": a <= b,
+            ">": a > b,
+            ">=": a >= b,
+            "==": a == b,
+            "!=": a != b,
+        }[c.op]
+
+    # -- statement execution -----------------------------------------------
+    def run_block(self, block: Block) -> None:
+        for item in block.items:
+            if isinstance(item, For):
+                self.run_for(item)
+            elif isinstance(item, If):
+                if self.test(item.cond):
+                    self.run_block(item.body)
+            elif isinstance(item, Assign):
+                self.run_assign(item)
+
+    def run_for(self, f: For) -> None:
+        lo = int(self.eval(f.init))
+        bound = int(self.eval(f.bound))
+        if f.step == 1:
+            stop = bound if f.cond_op == "<" else bound + 1
+            rng = range(lo, stop)
+        else:
+            stop = bound if f.cond_op == ">" else bound - 1
+            rng = range(lo, stop, -1)
+        had = f.var in self.env
+        old = self.env.get(f.var)
+        for v in rng:
+            self.env[f.var] = v
+            self.run_block(f.body)
+        if had:
+            self.env[f.var] = old
+        else:
+            self.env.pop(f.var, None)
+
+    def run_assign(self, a: Assign) -> None:
+        spec = self.stmts.get(a.label)
+        if spec is None:
+            raise InterpError(f"assignment {a!r} was not lowered (label missing)")
+        ivec = tuple(self.env[d] for d in spec.dims)
+        self.t.stmt(spec.name, *ivec)
+        env = dict(self.env)
+        for acc in spec.reads:
+            arr, idx = acc.eval(env)
+            self.t.read(arr, *idx)
+        warr, widx = spec.writes[0].eval(env)
+        self.t.write(warr, *widx)
+
+        value = self.eval(a.value)
+        if isinstance(a.target, Ref):
+            arr = self.storage[a.target.array]
+            idx = tuple(int(self.eval(ix)) for ix in a.target.indices)
+            if a.op:
+                value = _apply(a.op, float(arr[idx]), value)
+            arr[idx] = value
+        else:
+            cell = self.storage.setdefault(a.target.name, [0.0])
+            if a.op:
+                value = _apply(a.op, cell[0], value)
+            cell[0] = value
+
+
+def _apply(op: str, old: float, rhs: float) -> float:
+    if op == "+":
+        return old + rhs
+    if op == "-":
+        return old - rhs
+    if op == "*":
+        return old * rhs
+    if op == "/":
+        return old / rhs
+    raise InterpError(f"bad compound op {op!r}")
+
+
+def interpret(
+    block: Block,
+    program: Program,
+    arrays: Mapping[str, np.ndarray],
+    params: Mapping[str, int],
+    tracer=None,
+) -> dict[str, np.ndarray]:
+    """Run the parsed program.
+
+    ``arrays`` supplies initial contents for the input arrays (they are
+    copied); unspecified arrays are zero-allocated with shapes inferred from
+    the parameters is *not* attempted — pass every array you care about.
+    Scalars need not be passed.  Returns the final array contents.
+    """
+    t = tracer if tracer is not None else NullTracer()
+    storage: dict = {}
+    declared = {arr.name: arr.ndim for arr in program.arrays}
+    for name, a in arrays.items():
+        if name not in declared:
+            raise InterpError(f"array {name!r} not used by the program")
+        storage[name] = np.array(a, dtype=float, copy=True)
+    for name, nd in declared.items():
+        if name in storage:
+            continue
+        if nd == 0:
+            storage[name] = [0.0]
+        else:
+            raise InterpError(
+                f"no initial contents for array {name!r}; pass it in `arrays`"
+            )
+    _Interp(block, program, storage, params, t).run_block(block)
+    return {
+        k: v for k, v in storage.items() if isinstance(v, np.ndarray)
+    }
+
+
+def make_runner(block: Block, program: Program, array_shapes):
+    """Build a ``runner(params, tracer, seed)`` closure for a parsed program.
+
+    ``array_shapes`` maps array names to shape functions
+    ``params -> tuple`` for the arrays that must be randomly initialised.
+    """
+
+    def runner(params, tracer=None, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        arrays = {}
+        for name, shape_fn in array_shapes.items():
+            shape = shape_fn(params)
+            a = rng.standard_normal(shape)
+            if len(shape) == 2 and shape[0] >= shape[1]:
+                a[: shape[1], : shape[1]] += np.eye(shape[1]) * (1.0 + shape[1])
+            arrays[name] = a
+        return interpret(block, program, arrays, params, tracer)
+
+    return runner

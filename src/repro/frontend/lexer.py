@@ -1,0 +1,99 @@
+"""Tokenizer for the figure-style C subset.
+
+The accepted language is exactly what the paper's figures use: ``for``
+loops with affine bounds and unit steps, (compound) assignments to affine
+array references or scalars, arithmetic expressions with calls (``sqrt``)
+and ternaries, ``if`` guards, and optional statement labels (``SR:``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {"for", "if", "else"}
+
+_SYMBOLS = [
+    "+=", "-=", "*=", "/=", "==", "!=", "<=", ">=", "&&", "||",
+    "(", ")", "{", "}", "[", "]", ";", ":", ",", "?",
+    "+", "-", "*", "/", "<", ">", "=",
+]
+
+
+class LexError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num' | 'name' | 'kw' | 'sym' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r}@{self.line}:{self.col})"
+
+
+def tokenize(src: str) -> list[Token]:
+    """Split source text into tokens; raises LexError on bad input."""
+    toks: list[Token] = []
+    i = 0
+    line, col = 1, 1
+    n = len(src)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and src[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = src[i]
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        if src.startswith("//", i):
+            while i < n and src[i] != "\n":
+                advance(1)
+            continue
+        if src.startswith("/*", i):
+            end = src.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"unterminated comment at line {line}")
+            advance(end + 2 - i)
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and src[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (src[j].isdigit() or (src[j] == "." and not seen_dot)):
+                if src[j] == ".":
+                    seen_dot = True
+                j += 1
+            toks.append(Token("num", src[i:j], line, col))
+            advance(j - i)
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (src[j].isalnum() or src[j] == "_"):
+                j += 1
+            word = src[i:j]
+            toks.append(
+                Token("kw" if word in KEYWORDS else "name", word, line, col)
+            )
+            advance(j - i)
+            continue
+        for sym in _SYMBOLS:
+            if src.startswith(sym, i):
+                toks.append(Token("sym", sym, line, col))
+                advance(len(sym))
+                break
+        else:
+            raise LexError(f"unexpected character {c!r} at line {line}, col {col}")
+    toks.append(Token("eof", "", line, col))
+    return toks

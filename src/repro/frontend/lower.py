@@ -1,0 +1,306 @@
+"""Lowering: AST → polyhedral :class:`~repro.ir.Program`.
+
+Performs the classification and extraction an IOLB front-end does:
+
+* names are classified into loop dims, subscripted arrays, written scalars
+  (0-dim arrays) and parameters (read-only bare names);
+* loop bounds, guards and subscripts are converted to affine forms
+  (non-affine constructs are rejected with a precise error);
+* each assignment becomes a Statement with its loop nest, guards, ordered
+  deduplicated reads (right-hand side first, then the compound-assignment
+  target), single write, and a 2d+1 schedule vector derived from the
+  syntactic position (decreasing loops get the ``-dim`` marker);
+* statement names come from labels (``SR:``) or are generated (``S0``…);
+  the final names are written back into the AST so the interpreter emits
+  matching trace events.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..ir import Access, Array, Program, Statement
+from ..polyhedral import Constraint, LinExpr
+from .astnodes import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    For,
+    If,
+    Num,
+    Ref,
+    Ternary,
+    UnOp,
+    Var,
+)
+
+__all__ = ["LowerError", "lower_program"]
+
+
+class LowerError(ValueError):
+    pass
+
+
+def _collect_names(block: Block):
+    """(loop_vars, arrays {name: ndim}, written_bare, read_bare)."""
+    loop_vars: set[str] = set()
+    arrays: dict[str, int] = {}
+    written_bare: set[str] = set()
+    read_bare: set[str] = set()
+
+    def expr_walk(e):
+        if isinstance(e, Num):
+            return
+        if isinstance(e, Var):
+            read_bare.add(e.name)
+            return
+        if isinstance(e, Ref):
+            nd = arrays.setdefault(e.array, len(e.indices))
+            if nd != len(e.indices):
+                raise LowerError(
+                    f"array {e.array} used with {len(e.indices)} and {nd} indices"
+                )
+            for ix in e.indices:
+                expr_walk(ix)
+            return
+        if isinstance(e, (BinOp, Compare)):
+            expr_walk(e.lhs)
+            expr_walk(e.rhs)
+            return
+        if isinstance(e, UnOp):
+            expr_walk(e.operand)
+            return
+        if isinstance(e, Call):
+            for a in e.args:
+                expr_walk(a)
+            return
+        if isinstance(e, Ternary):
+            expr_walk(e.cond)
+            expr_walk(e.then)
+            expr_walk(e.other)
+            return
+        raise LowerError(f"unknown expression node {e!r}")
+
+    def stmt_walk(s):
+        if isinstance(s, For):
+            loop_vars.add(s.var)
+            expr_walk(s.init)
+            expr_walk(s.bound)
+            for item in s.body.items:
+                stmt_walk(item)
+        elif isinstance(s, If):
+            expr_walk(s.cond)
+            for item in s.body.items:
+                stmt_walk(item)
+        elif isinstance(s, Assign):
+            if isinstance(s.target, Ref):
+                nd = arrays.setdefault(s.target.array, len(s.target.indices))
+                if nd != len(s.target.indices):
+                    raise LowerError(
+                        f"array {s.target.array} used with inconsistent rank"
+                    )
+                for ix in s.target.indices:
+                    expr_walk(ix)
+            else:
+                written_bare.add(s.target.name)
+            expr_walk(s.value)
+        else:
+            raise LowerError(f"unknown statement node {s!r}")
+
+    for item in block.items:
+        stmt_walk(item)
+    return loop_vars, arrays, written_bare, read_bare
+
+
+def _to_affine(e, loop_vars: set[str], params: set[str]) -> LinExpr:
+    """Affine conversion for bounds/indices/guards."""
+    if isinstance(e, Num):
+        v = e.value
+        if isinstance(v, float) and not v.is_integer():
+            raise LowerError(f"non-integer constant {v} in affine position")
+        return LinExpr((), int(v))
+    if isinstance(e, Var):
+        if e.name in loop_vars or e.name in params:
+            return LinExpr({e.name: 1})
+        raise LowerError(f"non-affine use of scalar {e.name!r} in index/bound")
+    if isinstance(e, UnOp) and e.op == "-":
+        return _to_affine(e.operand, loop_vars, params) * -1
+    if isinstance(e, BinOp):
+        a = _to_affine(e.lhs, loop_vars, params)
+        b = _to_affine(e.rhs, loop_vars, params)
+        if e.op == "+":
+            return a + b
+        if e.op == "-":
+            return a - b
+        if e.op == "*":
+            if a.is_const():
+                return b * a.const
+            if b.is_const():
+                return a * b.const
+            raise LowerError(f"non-affine product {e!r}")
+        if e.op == "/":
+            if b.is_const() and b.const != 0:
+                return a * (Fraction(1) / b.const)
+            raise LowerError(f"non-affine division {e!r}")
+    raise LowerError(f"non-affine expression {e!r}")
+
+
+def _compare_to_constraints(
+    c: Compare, loop_vars: set[str], params: set[str]
+) -> tuple[Constraint, ...]:
+    a = _to_affine(c.lhs, loop_vars, params)
+    b = _to_affine(c.rhs, loop_vars, params)
+    if c.op == "<":
+        return (Constraint(b - a - 1, ">="),)
+    if c.op == "<=":
+        return (Constraint(b - a, ">="),)
+    if c.op == ">":
+        return (Constraint(a - b - 1, ">="),)
+    if c.op == ">=":
+        return (Constraint(a - b, ">="),)
+    if c.op == "==":
+        return (Constraint(a - b, "=="),)
+    raise LowerError(f"unsupported guard comparison {c.op!r}")
+
+
+def _collect_reads(e, scalars: set[str], out: list):
+    """Ordered read accesses of an expression (arrays + written scalars)."""
+    if isinstance(e, Num):
+        return
+    if isinstance(e, Var):
+        if e.name in scalars:
+            out.append((e.name, ()))
+        return
+    if isinstance(e, Ref):
+        out.append((e.array, e.indices))
+        for ix in e.indices:
+            _collect_reads(ix, scalars, out)
+        return
+    if isinstance(e, (BinOp, Compare)):
+        _collect_reads(e.lhs, scalars, out)
+        _collect_reads(e.rhs, scalars, out)
+        return
+    if isinstance(e, UnOp):
+        _collect_reads(e.operand, scalars, out)
+        return
+    if isinstance(e, Call):
+        for a in e.args:
+            _collect_reads(a, scalars, out)
+        return
+    if isinstance(e, Ternary):
+        _collect_reads(e.cond, scalars, out)
+        _collect_reads(e.then, scalars, out)
+        _collect_reads(e.other, scalars, out)
+        return
+
+
+def lower_program(block: Block, name: str = "parsed") -> Program:
+    """Lower a parsed AST to a :class:`Program` (no runner attached;
+    use :func:`repro.frontend.interp.make_runner` for one)."""
+    loop_vars, array_ranks, written_bare, read_bare = _collect_names(block)
+    scalars = set(written_bare)
+    params = frozenset(read_bare - loop_vars - scalars - set(array_ranks))
+    params_s = set(params)
+
+    statements: list[Statement] = []
+    auto_idx = 0
+    seen_names: set[str] = set()
+
+    def lower_assign(s: Assign, loops, guards, path):
+        nonlocal auto_idx
+        stmt_name = s.label
+        if not stmt_name:
+            stmt_name = f"S{auto_idx}"
+            auto_idx += 1
+        if stmt_name in seen_names:
+            raise LowerError(f"duplicate statement name {stmt_name!r}")
+        seen_names.add(stmt_name)
+        s.label = stmt_name  # write back for the interpreter
+
+        raw_reads: list = []
+        _collect_reads(s.value, scalars, raw_reads)
+        if s.op:  # compound assignment reads its target too
+            if isinstance(s.target, Ref):
+                raw_reads.append((s.target.array, s.target.indices))
+            else:
+                raw_reads.append((s.target.name, ()))
+        reads: list[Access] = []
+        seen_acc = set()
+        for arr, idxs in raw_reads:
+            aff_idx = tuple(_to_affine(ix, loop_vars, params_s) for ix in idxs)
+            acc = Access(arr, aff_idx)
+            key = (arr, aff_idx)
+            if key not in seen_acc:
+                seen_acc.add(key)
+                reads.append(acc)
+        if isinstance(s.target, Ref):
+            w = Access(
+                s.target.array,
+                tuple(
+                    _to_affine(ix, loop_vars, params_s)
+                    for ix in s.target.indices
+                ),
+            )
+        else:
+            w = Access(s.target.name, ())
+        statements.append(
+            Statement(
+                stmt_name,
+                loops=tuple(loops),
+                reads=tuple(reads),
+                writes=(w,),
+                guards=tuple(guards),
+                schedule=tuple(path),
+            )
+        )
+
+    def walk(block_: Block, loops, guards, path):
+        counter = 0
+        for item in block_.items:
+            if isinstance(item, For):
+                lo_e = _to_affine(item.init, loop_vars, params_s)
+                hi_e = _to_affine(item.bound, loop_vars, params_s)
+                if item.step == 1:
+                    lo, hi = lo_e, {
+                        "<": hi_e - 1,
+                        "<=": hi_e,
+                    }.get(item.cond_op)
+                    marker = item.var
+                else:
+                    hi = lo_e
+                    lo = {">": hi_e + 1, ">=": hi_e}.get(item.cond_op)
+                    marker = "-" + item.var
+                if lo is None or hi is None:
+                    raise LowerError(
+                        f"loop on {item.var}: comparison {item.cond_op!r}"
+                        f" inconsistent with step {item.step:+d}"
+                    )
+                walk(
+                    item.body,
+                    loops + [(item.var, lo, hi)],
+                    guards,
+                    path + [counter, marker],
+                )
+            elif isinstance(item, If):
+                cs = _compare_to_constraints(item.cond, loop_vars, params_s)
+                walk(item.body, loops, guards + list(cs), path + [counter])
+                # guard bodies share the position slot but keep textual order
+            elif isinstance(item, Assign):
+                lower_assign(item, loops, guards, path + [counter])
+            counter += 1
+
+    walk(block, [], [], [])
+
+    arrays = tuple(
+        [Array(a, r) for a, r in sorted(array_ranks.items())]
+        + [Array(sc, 0) for sc in sorted(scalars - set(array_ranks))]
+    )
+    return Program(
+        name=name,
+        params=tuple(sorted(params)),
+        arrays=arrays,
+        statements=tuple(statements),
+        notes="lowered from source by repro.frontend",
+    )

@@ -1,0 +1,248 @@
+"""Recursive-descent parser for the figure-style C subset.
+
+Grammar (informally)::
+
+    program   := stmt*
+    stmt      := for | if | assign
+    for       := 'for' '(' name '=' expr ';' name cmp expr ';'
+                  name ('+='|'-=') num ')' body
+    if        := 'if' '(' compare ')' body
+    body      := '{' stmt* '}' | stmt
+    assign    := [label ':'] target ('='|'+='|'-='|'*='|'/=') expr ';'
+    target    := name ('[' expr ']')*
+    expr      := ternary
+    ternary   := additive | '(' compare ')' '?' expr ':' expr
+    compare   := additive cmp additive
+    additive  := term (('+'|'-') term)*
+    term      := unary (('*'|'/') unary)*
+    unary     := '-' unary | primary
+    primary   := num | name call_or_ref? | '(' expr_or_ternary ')'
+"""
+
+from __future__ import annotations
+
+from .astnodes import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    For,
+    If,
+    Num,
+    Ref,
+    Ternary,
+    UnOp,
+    Var,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["ParseError", "parse"]
+
+_CMPS = {"<", "<=", ">", ">=", "==", "!="}
+
+
+class ParseError(ValueError):
+    pass
+
+
+class _Parser:
+    def __init__(self, toks: list[Token]):
+        self.toks = toks
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+    def peek(self, k: int = 0) -> Token:
+        return self.toks[min(self.pos + k, len(self.toks) - 1)]
+
+    def next(self) -> Token:
+        t = self.toks[self.pos]
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        t = self.next()
+        if t.kind != kind or (text is not None and t.text != text):
+            want = f"{kind} {text!r}" if text else kind
+            raise ParseError(
+                f"expected {want}, got {t.kind} {t.text!r} at line {t.line}"
+            )
+        return t
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        t = self.peek()
+        if t.kind == kind and (text is None or t.text == text):
+            return self.next()
+        return None
+
+    # -- grammar -------------------------------------------------------------
+    def parse_program(self) -> Block:
+        items = []
+        while self.peek().kind != "eof":
+            items.append(self.parse_stmt())
+        return Block(items)
+
+    def parse_stmt(self):
+        t = self.peek()
+        if t.kind == "kw" and t.text == "for":
+            return self.parse_for()
+        if t.kind == "kw" and t.text == "if":
+            return self.parse_if()
+        return self.parse_assign()
+
+    def parse_body(self) -> Block:
+        if self.accept("sym", "{"):
+            items = []
+            while not self.accept("sym", "}"):
+                if self.peek().kind == "eof":
+                    raise ParseError("unterminated block")
+                items.append(self.parse_stmt())
+            return Block(items)
+        return Block([self.parse_stmt()])
+
+    def parse_for(self) -> For:
+        self.expect("kw", "for")
+        self.expect("sym", "(")
+        var = self.expect("name").text
+        self.expect("sym", "=")
+        init = self.parse_expr()
+        self.expect("sym", ";")
+        v2 = self.expect("name").text
+        if v2 != var:
+            raise ParseError(f"loop condition on {v2!r}, expected {var!r}")
+        cmp_tok = self.next()
+        if cmp_tok.text not in _CMPS:
+            raise ParseError(f"bad loop comparison {cmp_tok.text!r}")
+        bound = self.parse_expr()
+        self.expect("sym", ";")
+        v3 = self.expect("name").text
+        if v3 != var:
+            raise ParseError(f"loop step on {v3!r}, expected {var!r}")
+        step_tok = self.next()
+        if step_tok.text not in ("+=", "-="):
+            raise ParseError(f"bad loop step {step_tok.text!r}")
+        amount = self.expect("num")
+        if amount.text not in ("1", "1.0"):
+            raise ParseError("only unit loop steps are supported")
+        step = 1 if step_tok.text == "+=" else -1
+        self.expect("sym", ")")
+        body = self.parse_body()
+        return For(var, init, cmp_tok.text, bound, step, body)
+
+    def parse_if(self) -> If:
+        self.expect("kw", "if")
+        self.expect("sym", "(")
+        cond = self.parse_compare()
+        self.expect("sym", ")")
+        body = self.parse_body()
+        return If(cond, body)
+
+    def parse_assign(self) -> Assign:
+        label = ""
+        if (
+            self.peek().kind == "name"
+            and self.peek(1).kind == "sym"
+            and self.peek(1).text == ":"
+        ):
+            label = self.next().text
+            self.next()  # ':'
+        name = self.expect("name").text
+        indices = []
+        while self.accept("sym", "["):
+            indices.append(self.parse_expr())
+            self.expect("sym", "]")
+        target = Ref(name, tuple(indices)) if indices else Var(name)
+        op_tok = self.next()
+        ops = {"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/"}
+        if op_tok.text not in ops:
+            raise ParseError(
+                f"expected assignment operator, got {op_tok.text!r}"
+                f" at line {op_tok.line}"
+            )
+        value = self.parse_expr()
+        self.expect("sym", ";")
+        return Assign(target, ops[op_tok.text], value, label)
+
+    # expressions ------------------------------------------------------
+    def parse_expr(self):
+        # ternary needs lookahead: '(' compare ')' '?' ...
+        save = self.pos
+        if self.accept("sym", "("):
+            try:
+                cond = self.parse_compare()
+                if self.accept("sym", ")") and self.accept("sym", "?"):
+                    then = self.parse_expr()
+                    self.expect("sym", ":")
+                    other = self.parse_expr()
+                    return Ternary(cond, then, other)
+            except ParseError:
+                pass
+            self.pos = save
+        return self.parse_additive()
+
+    def parse_compare(self) -> Compare:
+        lhs = self.parse_additive()
+        t = self.next()
+        if t.text not in _CMPS:
+            raise ParseError(f"expected comparison, got {t.text!r} at line {t.line}")
+        rhs = self.parse_additive()
+        return Compare(t.text, lhs, rhs)
+
+    def parse_additive(self):
+        node = self.parse_term()
+        while True:
+            if self.accept("sym", "+"):
+                node = BinOp("+", node, self.parse_term())
+            elif self.accept("sym", "-"):
+                node = BinOp("-", node, self.parse_term())
+            else:
+                return node
+
+    def parse_term(self):
+        node = self.parse_unary()
+        while True:
+            if self.accept("sym", "*"):
+                node = BinOp("*", node, self.parse_unary())
+            elif self.accept("sym", "/"):
+                node = BinOp("/", node, self.parse_unary())
+            else:
+                return node
+
+    def parse_unary(self):
+        if self.accept("sym", "-"):
+            return UnOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self):
+        t = self.peek()
+        if t.kind == "num":
+            self.next()
+            text = t.text
+            return Num(float(text) if "." in text else int(text))
+        if t.kind == "name":
+            self.next()
+            if self.accept("sym", "("):
+                args = []
+                if not self.accept("sym", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("sym", ","):
+                        args.append(self.parse_expr())
+                    self.expect("sym", ")")
+                return Call(t.text, tuple(args))
+            indices = []
+            while self.peek().kind == "sym" and self.peek().text == "[":
+                self.next()
+                indices.append(self.parse_expr())
+                self.expect("sym", "]")
+            return Ref(t.text, tuple(indices)) if indices else Var(t.text)
+        if self.accept("sym", "("):
+            e = self.parse_expr()
+            self.expect("sym", ")")
+            return e
+        raise ParseError(f"unexpected token {t.text!r} at line {t.line}")
+
+
+def parse(src: str) -> Block:
+    """Parse a figure-style source string into an AST block."""
+    return _Parser(tokenize(src)).parse_program()

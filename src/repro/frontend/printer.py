@@ -1,0 +1,97 @@
+"""AST → source printing (the inverse of the parser).
+
+``to_source`` regenerates figure-dialect text from an AST; the round-trip
+property ``lower(parse(to_source(ast))) == lower(ast)`` is the front-end's
+strongest self-test and is exercised both on the bundled figure sources and
+on randomly generated programs.
+"""
+
+from __future__ import annotations
+
+from .astnodes import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    For,
+    If,
+    Num,
+    Ref,
+    Ternary,
+    UnOp,
+    Var,
+)
+
+__all__ = ["to_source"]
+
+_PREC = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def _expr(e, parent_prec: int = 0) -> str:
+    if isinstance(e, Num):
+        v = e.value
+        if isinstance(v, float) and v.is_integer() and abs(v) < 1e15:
+            return f"{v:.1f}"
+        return str(v)
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, Ref):
+        return e.array + "".join(f"[{_expr(ix)}]" for ix in e.indices)
+    if isinstance(e, BinOp):
+        prec = _PREC[e.op]
+        # left-associative: right operand of same precedence needs parens
+        lhs = _expr(e.lhs, prec)
+        rhs = _expr(e.rhs, prec + 1)
+        s = f"{lhs} {e.op} {rhs}"
+        return f"({s})" if prec < parent_prec else s
+    if isinstance(e, UnOp):
+        inner = _expr(e.operand, 3)
+        s = f"-{inner}"
+        return f"({s})" if parent_prec > 0 else s
+    if isinstance(e, Call):
+        return f"{e.func}({', '.join(_expr(a) for a in e.args)})"
+    if isinstance(e, Compare):
+        return f"{_expr(e.lhs)} {e.op} {_expr(e.rhs)}"
+    if isinstance(e, Ternary):
+        s = f"({_expr(e.cond)}) ? ({_expr(e.then)}) : ({_expr(e.other)})"
+        # as an operand the whole ternary needs its own parentheses, or the
+        # parser reads the condition's '(' as a plain grouped expression
+        return f"({s})" if parent_prec > 0 else s
+    raise TypeError(f"cannot print {e!r}")
+
+
+def _stmt(s, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(s, Assign):
+        lbl = f"{s.label}: " if s.label else ""
+        op = f"{s.op}=" if s.op else "="
+        return [f"{pad}{lbl}{_expr(s.target)} {op} {_expr(s.value)};"]
+    if isinstance(s, For):
+        if s.step == 1:
+            head = (
+                f"{pad}for ({s.var} = {_expr(s.init)}; {s.var} {s.cond_op}"
+                f" {_expr(s.bound)}; {s.var} += 1)"
+            )
+        else:
+            head = (
+                f"{pad}for ({s.var} = {_expr(s.init)}; {s.var} {s.cond_op}"
+                f" {_expr(s.bound)}; {s.var} -= 1)"
+            )
+        return [head + " {"] + _block(s.body, indent + 1) + [f"{pad}}}"]
+    if isinstance(s, If):
+        head = f"{pad}if ({_expr(s.cond)})"
+        return [head + " {"] + _block(s.body, indent + 1) + [f"{pad}}}"]
+    raise TypeError(f"cannot print {s!r}")
+
+
+def _block(b: Block, indent: int) -> list[str]:
+    out: list[str] = []
+    for item in b.items:
+        out.extend(_stmt(item, indent))
+    return out
+
+
+def to_source(block: Block) -> str:
+    """Render an AST back to parseable figure-dialect source."""
+    return "\n".join(_block(block, 0)) + "\n"

@@ -1,0 +1,23 @@
+"""Program IR: polyhedral statements + instrumented execution tracing."""
+
+from .dataflow import dataflow_trace, sequential_schedule
+from .program import Access, Array, Dependence, Program, Statement
+from .validate import ProgramValidationError, validate_program
+from .tracing import Addr, Event, NullTracer, Tracer, trace_node_key
+
+__all__ = [
+    "ProgramValidationError",
+    "validate_program",
+    "dataflow_trace",
+    "sequential_schedule",
+    "Access",
+    "Array",
+    "Dependence",
+    "Program",
+    "Statement",
+    "Addr",
+    "Event",
+    "NullTracer",
+    "Tracer",
+    "trace_node_key",
+]

@@ -1,0 +1,66 @@
+"""Exact dataflow analysis of a polyhedral program at concrete parameters.
+
+This replays the *declared* IR — domains, access functions, sequential
+schedule vectors — through last-writer analysis, producing the same
+:class:`~repro.ir.tracing.Tracer` structure an instrumented run produces.
+It is the IOLB-side dependence analysis: where the instrumented runner tells
+us what the *code* does, this tells us what the *spec* says; the test-suite
+requires the two to agree edge-for-edge on every kernel.
+
+Within one statement instance all reads happen before all writes (true for
+every single-assignment-per-statement kernel in this library and for the C
+semantics of the figures).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .program import Program
+from .tracing import Tracer
+
+__all__ = ["dataflow_trace", "sequential_schedule"]
+
+
+def sequential_schedule(
+    program: Program, params: Mapping[str, int]
+) -> list[tuple[str, tuple[int, ...]]]:
+    """All statement instances sorted by their concrete schedule vectors."""
+    keyed: list[tuple[tuple, str, tuple[int, ...]]] = []
+    maxlen = 0
+    for s in program.statements:
+        if not s.schedule:
+            raise ValueError(f"statement {s.name!r} has no schedule vector")
+        for p in s.domain().points(params):
+            key = s.schedule_key(p)
+            maxlen = max(maxlen, len(key))
+            keyed.append((key, s.name, p))
+    padded = [
+        (key + (0,) * (maxlen - len(key)), name, p) for key, name, p in keyed
+    ]
+    padded.sort(key=lambda t: t[0])
+    return [(name, p) for _, name, p in padded]
+
+
+def dataflow_trace(program: Program, params: Mapping[str, int]) -> Tracer:
+    """Replay the declared accesses in schedule order through a Tracer.
+
+    The resulting tracer carries exact flow edges, input elements and the
+    sequential schedule — everything :func:`repro.cdag.cdag_from_trace`
+    needs, derived purely from the spec.
+    """
+    t = Tracer()
+    order = sequential_schedule(program, params)
+    stmts = {s.name: s for s in program.statements}
+    for name, point in order:
+        s = stmts[name]
+        env = dict(params)
+        env.update(zip(s.dims, point))
+        t.stmt(name, *point)
+        for acc in s.reads:
+            arr, idx = acc.eval(env)
+            t.read(arr, *idx)
+        for acc in s.writes:
+            arr, idx = acc.eval(env)
+            t.write(arr, *idx)
+    return t

@@ -1,0 +1,209 @@
+"""Polyhedral program IR: arrays, affine accesses, statements, dependences.
+
+A :class:`Program` captures exactly the information IOLB works from: for each
+statement, its iteration domain (a loop nest with affine bounds) and its
+affine read/write accesses; plus the flow-dependence relations between
+statements, declared as guarded affine maps.
+
+Declared dependences are *checked*, not trusted: the CDAG built from them is
+compared against the CDAG derived from an instrumented execution trace for
+small parameter values (see :mod:`repro.cdag.check`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..polyhedral import (
+    AffineMap,
+    Constraint,
+    ISet,
+    LinExpr,
+    aff,
+    loop_nest_set,
+    symbolic_count,
+)
+from ..symbolic import Poly
+
+__all__ = ["Array", "Access", "Statement", "Dependence", "Program"]
+
+LoopTriple = tuple[str, "LinExpr | int", "LinExpr | int"]
+
+
+@dataclass(frozen=True)
+class Array:
+    """A program array (or scalar when ``ndim == 0``)."""
+
+    name: str
+    ndim: int
+
+    def __post_init__(self):
+        if self.ndim < 0:
+            raise ValueError("ndim must be >= 0")
+
+
+@dataclass(frozen=True)
+class Access:
+    """An affine array access ``array[f_1(iv), ..., f_d(iv)]``."""
+
+    array: str
+    indices: tuple[LinExpr, ...]
+
+    @staticmethod
+    def to(array: str, *indices: "LinExpr | int") -> "Access":
+        return Access(array, tuple(aff(x) for x in indices))
+
+    def dims_used(self, dims: Sequence[str]) -> frozenset[str]:
+        """Which of the statement's dimensions appear in the index functions."""
+        used: set[str] = set()
+        dimset = set(dims)
+        for e in self.indices:
+            used |= e.variables() & dimset
+        return frozenset(used)
+
+    def eval(self, env: Mapping[str, int]) -> tuple[str, tuple[int, ...]]:
+        idx = []
+        for e in self.indices:
+            v = e.eval(env)
+            if v.denominator != 1:
+                raise ValueError(f"non-integral access index {e!r} at {env}")
+            idx.append(int(v))
+        return (self.array, tuple(idx))
+
+    def __repr__(self) -> str:
+        return f"{self.array}[{', '.join(repr(e) for e in self.indices)}]"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A statement with its loop nest, accesses and (optional) guards.
+
+    ``loops`` is ordered outermost-first with *inclusive* affine bounds,
+    mirroring the figures of the paper; the iteration domain is the
+    corresponding :class:`ISet` (plus ``guards``).
+
+    ``schedule`` is a 2d+1-style sequential schedule vector: a tuple
+    alternating static (int) positions and loop dimension names, e.g.
+    ``(0, "k", 4, "j", 2, "i", 0)`` for the second statement of the third
+    block inside loops k, j, i.  Two statements sharing enclosing loops must
+    use identical dim names at the shared positions; vectors are compared
+    elementwise after substituting dim values, padding with zeros.
+    """
+
+    name: str
+    loops: tuple[LoopTriple, ...]
+    reads: tuple[Access, ...] = ()
+    writes: tuple[Access, ...] = ()
+    guards: tuple[Constraint, ...] = ()
+    schedule: tuple = ()
+
+    def schedule_key(self, point: Sequence[int]) -> tuple:
+        """Concrete schedule vector of an instance (for sequential sorting).
+
+        A dim name prefixed with ``-`` denotes a loop executed in decreasing
+        order (e.g. V2Q's outer ``for (k = N-1; k >= 0; k--)`` uses ``"-k"``).
+        """
+        env = dict(zip(self.dims, point))
+        out = []
+        for x in self.schedule:
+            if isinstance(x, str):
+                out.append(-env[x[1:]] if x.startswith("-") else env[x])
+            else:
+                out.append(x)
+        return tuple(out)
+
+    @property
+    def dims(self) -> tuple[str, ...]:
+        return tuple(v for v, _, _ in self.loops)
+
+    def domain(self) -> ISet:
+        return loop_nest_set(
+            [(v, aff(lo), aff(hi)) for v, lo, hi in self.loops], self.guards
+        )
+
+    def instance_count(self) -> Poly:
+        """Closed-form number of instances (guards must be loop bounds only)."""
+        if self.guards:
+            raise ValueError(
+                f"symbolic count of guarded statement {self.name!r} unsupported"
+            )
+        return symbolic_count(
+            [(v, aff(lo), aff(hi)) for v, lo, hi in self.loops]
+        )
+
+    def __repr__(self) -> str:
+        return f"Statement({self.name}, dims={self.dims})"
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A flow dependence ``src[iv] -> tgt[map(iv)]`` guarded by ``map.guards``.
+
+    ``via`` names the array carrying the value.  The map's source dims must
+    equal the source statement's dims and its target dims the target's.
+    """
+
+    src: str
+    tgt: str
+    map: AffineMap
+    via: str = ""
+
+    def __repr__(self) -> str:
+        return f"Dep({self.src} -> {self.tgt} via {self.via}: {self.map!r})"
+
+
+@dataclass
+class Program:
+    """A whole kernel: statements, declared dependences, metadata.
+
+    ``runner`` is the matching instrumented Python implementation (signature
+    ``runner(params: dict, tracer: Tracer | None, rng) -> dict[str, ndarray]``),
+    used for numeric validation and trace-derived CDAGs.
+    """
+
+    name: str
+    params: tuple[str, ...]
+    arrays: tuple[Array, ...]
+    statements: tuple[Statement, ...]
+    deps: tuple[Dependence, ...] = ()
+    outputs: tuple[str, ...] = ()
+    runner: Callable | None = None
+    notes: str = ""
+
+    _by_name: dict[str, Statement] = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self._by_name = {s.name: s for s in self.statements}
+        if len(self._by_name) != len(self.statements):
+            raise ValueError("duplicate statement names")
+        arr_names = {a.name for a in self.arrays}
+        for s in self.statements:
+            for acc in s.reads + s.writes:
+                if acc.array not in arr_names:
+                    raise ValueError(
+                        f"statement {s.name} accesses undeclared array {acc.array}"
+                    )
+        for d in self.deps:
+            if d.src not in self._by_name or d.tgt not in self._by_name:
+                raise ValueError(f"dependence on unknown statement: {d!r}")
+
+    def statement(self, name: str) -> Statement:
+        return self._by_name[name]
+
+    def deps_from(self, name: str) -> list[Dependence]:
+        return [d for d in self.deps if d.src == name]
+
+    def deps_to(self, name: str) -> list[Dependence]:
+        return [d for d in self.deps if d.tgt == name]
+
+    def total_instances(self) -> Poly:
+        out = Poly.const(0)
+        for s in self.statements:
+            out = out + s.instance_count()
+        return out
+
+    def instances(self, params: Mapping[str, int]) -> Iterable[tuple[str, tuple[int, ...]]]:
+        for s in self.statements:
+            for p in s.domain().points(params):
+                yield (s.name, p)

@@ -1,0 +1,136 @@
+"""Execution tracing: instrumented kernels record statement instances and
+element-level reads/writes.
+
+The tracer serves three consumers:
+
+* :mod:`repro.cdag` — exact flow dependences via last-writer analysis, the
+  ground truth against which declared polyhedral dependences are checked;
+* :mod:`repro.cache` — the element-granularity address trace fed to the
+  two-level memory simulators (the paper's I/O model);
+* :mod:`repro.pebble` — the statement-instance execution order, i.e. a
+  concrete valid schedule of the CDAG.
+
+Kernels call ``t.stmt(name, ivec)`` once per dynamic statement instance, then
+``t.read``/``t.write`` for each element touched by that instance.  A ``None``
+tracer disables instrumentation with near-zero overhead via :class:`NullTracer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Addr", "Event", "Tracer", "NullTracer", "trace_node_key"]
+
+# An element address: (array name, index tuple)
+Addr = tuple[str, tuple[int, ...]]
+# A CDAG node key: (statement name, iteration vector); input elements get
+# statement name "_input" and their address as the vector surrogate.
+NodeKey = tuple[str, tuple]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One element access: op is 'R' or 'W'."""
+
+    op: str
+    addr: Addr
+
+
+def trace_node_key(stmt: str, ivec: tuple[int, ...]) -> NodeKey:
+    """Canonical CDAG node key for a statement instance."""
+    return (stmt, tuple(ivec))
+
+
+class Tracer:
+    """Records the full instrumented execution of a kernel."""
+
+    __slots__ = (
+        "events",
+        "schedule",
+        "reads_by_instance",
+        "writes_by_instance",
+        "_current",
+        "last_writer",
+        "flow_edges",
+        "input_elements",
+    )
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+        # statement instances in execution order
+        self.schedule: list[NodeKey] = []
+        self.reads_by_instance: list[list[Addr]] = []
+        self.writes_by_instance: list[list[Addr]] = []
+        self._current: int = -1
+        # element -> node key of its last writer
+        self.last_writer: dict[Addr, NodeKey] = {}
+        # exact flow dependences (producer node, consumer node, element)
+        self.flow_edges: set[tuple[NodeKey, NodeKey, Addr]] = set()
+        # elements read before ever being written (program inputs)
+        self.input_elements: set[Addr] = set()
+
+    # -- instrumentation hooks ------------------------------------------------
+    def stmt(self, name: str, *ivec: int) -> None:
+        """Open a new dynamic statement instance."""
+        self.schedule.append((name, tuple(ivec)))
+        self.reads_by_instance.append([])
+        self.writes_by_instance.append([])
+        self._current = len(self.schedule) - 1
+
+    def read(self, array: str, *index: int) -> None:
+        addr: Addr = (array, tuple(index))
+        self.events.append(Event("R", addr))
+        if self._current >= 0:
+            self.reads_by_instance[self._current].append(addr)
+            consumer = self.schedule[self._current]
+            producer = self.last_writer.get(addr)
+            if producer is None:
+                self.input_elements.add(addr)
+                producer = ("_input", addr)
+            if producer != consumer:
+                self.flow_edges.add((producer, consumer, addr))
+
+    def write(self, array: str, *index: int) -> None:
+        addr: Addr = (array, tuple(index))
+        self.events.append(Event("W", addr))
+        if self._current >= 0:
+            self.writes_by_instance[self._current].append(addr)
+            self.last_writer[addr] = self.schedule[self._current]
+
+    # -- derived views ----------------------------------------------------
+    def address_trace(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def touched_elements(self) -> set[Addr]:
+        return {e.addr for e in self.events}
+
+    def n_reads(self) -> int:
+        return sum(1 for e in self.events if e.op == "R")
+
+    def n_writes(self) -> int:
+        return sum(1 for e in self.events if e.op == "W")
+
+    def instance_index(self) -> dict[NodeKey, int]:
+        """Execution position of each statement instance (must be unique)."""
+        out: dict[NodeKey, int] = {}
+        for pos, key in enumerate(self.schedule):
+            if key in out:
+                raise ValueError(f"statement instance executed twice: {key}")
+            out[key] = pos
+        return out
+
+
+class NullTracer:
+    """No-op tracer with the same interface, for untraced runs."""
+
+    __slots__ = ()
+
+    def stmt(self, name: str, *ivec: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def read(self, array: str, *index: int) -> None:  # pragma: no cover
+        pass
+
+    def write(self, array: str, *index: int) -> None:  # pragma: no cover
+        pass

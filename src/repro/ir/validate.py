@@ -1,0 +1,135 @@
+"""Static well-formedness validation for Programs.
+
+``validate_program`` performs the structural checks a front-end or a
+hand-written spec can get wrong, *before* any dynamic analysis runs:
+
+* access arity matches the declared array rank;
+* every access index is affine in the statement's dims + the parameters;
+* loop bounds only reference outer dims and parameters;
+* schedule vectors alternate ints and (known) dim names, and two statements
+  sharing a loop prefix use the same dim at the same position;
+* at most one write per statement (the dataflow engine's single-assignment
+  assumption) and no reads of never-written, never-initialised scalars.
+
+Returns a list of human-readable problems (empty = valid); ``strict=True``
+raises :class:`ProgramValidationError` instead.
+"""
+
+from __future__ import annotations
+
+from .program import Program, Statement
+
+__all__ = ["ProgramValidationError", "validate_program"]
+
+
+class ProgramValidationError(ValueError):
+    def __init__(self, problems: list[str]):
+        self.problems = problems
+        super().__init__("; ".join(problems))
+
+
+def validate_program(program: Program, strict: bool = False) -> list[str]:
+    problems: list[str] = []
+    ranks = {a.name: a.ndim for a in program.arrays}
+    params = set(program.params)
+
+    for st in program.statements:
+        problems.extend(_check_statement(st, ranks, params))
+
+    problems.extend(_check_schedule_consistency(program))
+
+    if strict and problems:
+        raise ProgramValidationError(problems)
+    return problems
+
+
+def _check_statement(st: Statement, ranks, params) -> list[str]:
+    out: list[str] = []
+    dims = set(st.dims)
+    allowed = dims | params
+
+    # loop bounds reference only outer dims + params
+    outer: set[str] = set()
+    for var, lo, hi in st.loops:
+        for label, bound in (("lower", lo), ("upper", hi)):
+            vs = getattr(bound, "variables", lambda: frozenset())()
+            bad = vs - outer - params
+            if bad:
+                out.append(
+                    f"{st.name}: {label} bound of loop {var} uses"
+                    f" non-outer names {sorted(bad)}"
+                )
+        outer.add(var)
+
+    # accesses
+    for kind, accs in (("read", st.reads), ("write", st.writes)):
+        for acc in accs:
+            rank = ranks.get(acc.array)
+            if rank is None:
+                out.append(f"{st.name}: {kind} of undeclared array {acc.array}")
+                continue
+            if len(acc.indices) != rank:
+                out.append(
+                    f"{st.name}: {kind} {acc!r} has arity {len(acc.indices)},"
+                    f" array rank is {rank}"
+                )
+            for e in acc.indices:
+                bad = e.variables() - allowed
+                if bad:
+                    out.append(
+                        f"{st.name}: access {acc!r} uses unknown names {sorted(bad)}"
+                    )
+
+    if len(st.writes) > 1:
+        out.append(f"{st.name}: {len(st.writes)} writes (expected at most 1)")
+
+    # schedule shape: entries are ints or (possibly "-"-prefixed) dim names
+    # appearing in loop order; guard nesting may insert extra int positions
+    sched_dims = []
+    for idx, x in enumerate(st.schedule):
+        if isinstance(x, int):
+            continue
+        if not isinstance(x, str):
+            out.append(
+                f"{st.name}: schedule position {idx} should be an int or"
+                f" a dim name, got {x!r}"
+            )
+            continue
+        d = x[1:] if x.startswith("-") else x
+        if d not in dims:
+            out.append(f"{st.name}: schedule uses unknown dim {x!r}")
+        sched_dims.append(d)
+    if st.schedule and sched_dims != list(st.dims)[: len(sched_dims)]:
+        out.append(
+            f"{st.name}: schedule dims {sched_dims} do not match loop order"
+            f" {list(st.dims)}"
+        )
+    return out
+
+
+def _check_schedule_consistency(program: Program) -> list[str]:
+    """Statements sharing a schedule prefix must use the same dim there."""
+    out: list[str] = []
+    scheds = [(s.name, s.schedule) for s in program.statements if s.schedule]
+    for i in range(len(scheds)):
+        for j in range(i + 1, len(scheds)):
+            n1, s1 = scheds[i]
+            n2, s2 = scheds[j]
+            for pos in range(min(len(s1), len(s2))):
+                # only constrain while the prefix matches
+                if pos and s1[:pos] != s2[:pos]:
+                    break
+                a, b = s1[pos], s2[pos]
+                if isinstance(a, str) != isinstance(b, str):
+                    out.append(
+                        f"{n1} and {n2}: schedule position {pos} mixes a dim"
+                        f" ({a!r} vs {b!r}) with a static slot"
+                    )
+                    break
+                if isinstance(a, str) and a != b:
+                    out.append(
+                        f"{n1} and {n2}: different dims {a!r} vs {b!r}"
+                        f" at shared schedule position {pos}"
+                    )
+                    break
+    return out

@@ -1,0 +1,57 @@
+"""Kernel library: the paper's five kernels, a matmul baseline, and the
+tiled orderings of Appendix A — each with a polyhedral spec, an instrumented
+runner and numeric validation."""
+
+from .cholesky import CHOLESKY, run_cholesky
+from .common import Kernel, random_matrix, relative_error
+from .gebd2 import GEBD2, run_gebd2
+from .gehd2 import GEHD2, run_gehd2
+from .matmul import MATMUL, run_matmul
+from .mgs import MGS, run_mgs
+from .qr_a2v import QR_A2V, householder_q, run_qr_a2v
+from .qr_v2q import QR_V2Q, run_qr_v2q
+from .syrk import SYRK, run_syrk
+from .registry import (
+    KERNELS,
+    PAPER_KERNELS,
+    TILED_ALGORITHMS,
+    get_kernel,
+    get_tiled,
+)
+from .tiled import TiledAlgorithm, default_block_size
+from .tiled_a2v import TILED_A2V, run_tiled_a2v
+from .tiled_mgs import TILED_MGS, run_tiled_mgs
+
+__all__ = [
+    "CHOLESKY",
+    "run_cholesky",
+    "SYRK",
+    "run_syrk",
+    "Kernel",
+    "random_matrix",
+    "relative_error",
+    "GEBD2",
+    "run_gebd2",
+    "GEHD2",
+    "run_gehd2",
+    "MATMUL",
+    "run_matmul",
+    "MGS",
+    "run_mgs",
+    "QR_A2V",
+    "householder_q",
+    "run_qr_a2v",
+    "QR_V2Q",
+    "run_qr_v2q",
+    "KERNELS",
+    "PAPER_KERNELS",
+    "TILED_ALGORITHMS",
+    "get_kernel",
+    "get_tiled",
+    "TiledAlgorithm",
+    "default_block_size",
+    "TILED_A2V",
+    "run_tiled_a2v",
+    "TILED_MGS",
+    "run_tiled_mgs",
+]

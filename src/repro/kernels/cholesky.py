@@ -1,0 +1,126 @@
+"""Cholesky factorization (right-looking, unblocked, lower-triangular).
+
+Not part of the paper's evaluation — included as a *structural negative
+control* richer than matmul: its trailing update ``SU`` has the same
+three-projection shape as the Householder kernels (phi_{i,j}, phi_{i,k},
+phi_{k,j}, sigma = 3/2), but the column scaling ``Sv`` is a *pointwise* map
+(no reduction over i feeding the next temporal slice), so §3.2's path
+property fails and the detector must reject the hourglass.  The classical
+Omega(N^3/sqrt(S)) bound is the right answer here (Ballard et al.), and —
+unlike the paper's kernels — the two ``Sv``-produced operands of SU can
+coincide (i = j), so the disjoint-inset refinement must auto-disable.
+
+Statement names::
+
+    Sd[k]       A[k][k] = sqrt(A[k][k])
+    Sv[k,i]     A[i][k] /= A[k][k]                 (i in k+1..N-1)
+    SU[k,j,i]   A[i][j] -= A[i][k] * A[j][k]       (j in k+1..N-1, i in j..N-1)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import Access, Array, NullTracer, Program, Statement
+from ..polyhedral import var
+from .common import Kernel, relative_error
+
+__all__ = ["CHOLESKY", "build_cholesky_program", "run_cholesky"]
+
+k, j, i = var("k"), var("j"), var("i")
+N = var("N")
+
+
+def _spd_matrix(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((n, n))
+    return b @ b.T + n * np.eye(n)
+
+
+def run_cholesky(params: Mapping[str, int], tracer=None, seed: int = 0):
+    """Execute the unblocked right-looking Cholesky, instrumented."""
+    n = params["N"]
+    t = tracer if tracer is not None else NullTracer()
+    A = _spd_matrix(n, seed)
+    for kk in range(n):
+        t.stmt("Sd", kk)
+        t.read("A", kk, kk)
+        t.write("A", kk, kk)
+        A[kk, kk] = math.sqrt(A[kk, kk])
+        for ii in range(kk + 1, n):
+            t.stmt("Sv", kk, ii)
+            t.read("A", ii, kk)
+            t.read("A", kk, kk)
+            t.write("A", ii, kk)
+            A[ii, kk] /= A[kk, kk]
+        for jj in range(kk + 1, n):
+            for ii in range(jj, n):
+                t.stmt("SU", kk, jj, ii)
+                t.read("A", ii, jj)
+                t.read("A", ii, kk)
+                t.read("A", jj, kk)
+                t.write("A", ii, jj)
+                A[ii, jj] -= A[ii, kk] * A[jj, kk]
+    return {"A": A}
+
+
+def build_cholesky_program() -> Program:
+    arrays = (Array("A", 2),)
+    st = (
+        Statement(
+            "Sd",
+            loops=(("k", 0, N - 1),),
+            reads=(Access.to("A", k, k),),
+            writes=(Access.to("A", k, k),),
+            schedule=(0, "k", 0),
+        ),
+        Statement(
+            "Sv",
+            loops=(("k", 0, N - 1), ("i", k + 1, N - 1)),
+            reads=(Access.to("A", i, k), Access.to("A", k, k)),
+            writes=(Access.to("A", i, k),),
+            schedule=(0, "k", 1, "i", 0),
+        ),
+        Statement(
+            "SU",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1), ("i", j, N - 1)),
+            reads=(
+                Access.to("A", i, j),
+                Access.to("A", i, k),
+                Access.to("A", j, k),
+            ),
+            writes=(Access.to("A", i, j),),
+            schedule=(0, "k", 2, "j", 0, "i", 0),
+        ),
+    )
+    return Program(
+        name="cholesky",
+        params=("N",),
+        arrays=arrays,
+        statements=st,
+        outputs=("A",),
+        runner=run_cholesky,
+        notes="Unblocked right-looking Cholesky; structural negative control.",
+    )
+
+
+def _validate(params: Mapping[str, int]) -> None:
+    n = params["N"]
+    A0 = _spd_matrix(n, 0)
+    out = run_cholesky(params, None, seed=0)
+    L = np.tril(out["A"])
+    assert relative_error(L @ L.T, A0) < 1e-9, "Cholesky reconstruction failed"
+    ref = np.linalg.cholesky(A0)
+    assert relative_error(L, ref) < 1e-9, "disagrees with numpy.linalg.cholesky"
+
+
+CHOLESKY = Kernel(
+    program=build_cholesky_program(),
+    dominant="SU",
+    description="Cholesky factorization (unblocked; no hourglass)",
+    default_params={"N": 8},
+    validate=_validate,
+)

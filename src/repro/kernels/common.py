@@ -1,0 +1,70 @@
+"""Shared kernel infrastructure: the Kernel record and numeric helpers.
+
+Every kernel in the library bundles
+
+* a polyhedral :class:`~repro.ir.Program` (loop nests + accesses + declared
+  flow dependences transcribing a figure of the paper),
+* an instrumented Python ``runner`` mirroring the figure statement-for-
+  statement (used for numeric validation, trace CDAGs and address traces),
+* bookkeeping for the bound engine: the dominant statement to which the
+  K-partition argument is applied, and symbolic instance counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..ir import Program, Tracer
+
+__all__ = ["Kernel", "random_matrix", "relative_error"]
+
+
+@dataclass
+class Kernel:
+    """A paper kernel: spec + implementation + derivation metadata."""
+
+    program: Program
+    #: statement carrying the dominant fraction of |V| (K-partition target)
+    dominant: str
+    #: human description, figure reference
+    description: str = ""
+    #: default parameter values for examples / smoke tests
+    default_params: dict[str, int] = field(default_factory=dict)
+    #: numeric validation: maps params -> None, raises AssertionError on failure
+    validate: Callable[[Mapping[str, int]], None] | None = None
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def run_traced(self, params: Mapping[str, int], seed: int = 0) -> Tracer:
+        """Run the instrumented implementation, returning the trace."""
+        if self.program.runner is None:
+            raise ValueError(f"kernel {self.name} has no runner")
+        t = Tracer()
+        self.program.runner(dict(params), t, seed=seed)
+        return t
+
+
+def random_matrix(
+    m: int, n: int, seed: int = 0, *, well_conditioned: bool = True
+) -> np.ndarray:
+    """A random M×N matrix; optionally nudged away from rank deficiency.
+
+    QR-style kernels divide by column norms, so the default adds a scaled
+    identity block to keep columns independent at tiny sizes.
+    """
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    if well_conditioned and m >= n:
+        a[:n, :n] += np.eye(n) * (1.0 + n)
+    return a
+
+
+def relative_error(actual: np.ndarray, expected: np.ndarray) -> float:
+    """Frobenius-norm error of `actual` relative to `expected` (scale >= 1)."""
+    scale = max(1.0, float(np.linalg.norm(expected)))
+    return float(np.linalg.norm(actual - expected)) / scale

@@ -1,0 +1,336 @@
+"""Bidiagonal reduction (LAPACK GEBD2), unblocked, M >= N.
+
+The paper gives no listing ("similar to both Householder proofs"); we
+transcribe the reference unblocked algorithm in the exact style of Figure 3:
+for each column k, a column Householder reflector (zeroing A[k+1:M, k]) is
+generated and applied to the trailing columns, then — for k <= N-3 — a row
+reflector (zeroing A[k, k+2:N]) is generated and applied to the trailing
+rows.  Workspace ``w``/``z`` hold the reflected row/column inner products.
+
+The column-update pair (ScR reduction over i, ScU broadcast over i) carries
+the hourglass with width M-1-k >= M-N, matching Theorem 8's
+``MN^2 (M-N+1) / (8 (S + M-N+1))`` bound.
+
+Statement names (c = column phase, r = row phase)::
+
+    Scn0[k]      norma2 = 0
+    Scn[k,i]     norma2 += A[i][k]**2            (i in k+1..M-1)
+    Scnorm[k]    norma = sqrt(A[k][k]**2 + norma2)
+    Scd[k]       A[k][k] += sign * norma
+    Sct[k]       tauq[k] = 2/(1 + norma2/A[k][k]**2)
+    Scv[k,i]     A[i][k] /= A[k][k]
+    Scd2[k]      A[k][k] = -sign * norma
+    Scw0[k,j]    w[j] = A[k][j]                  (j in k+1..N-1)
+    ScR[k,j,i]   w[j] += A[i][k] * A[i][j]       (i in k+1..M-1)
+    Scw1[k,j]    w[j] *= tauq[k]
+    Scw2[k,j]    A[k][j] -= w[j]
+    ScU[k,j,i]   A[i][j] -= A[i][k] * w[j]
+    Srn0[k]      norma2 = 0                      (k in 0..N-3)
+    Srn[k,j]     norma2 += A[k][j]**2            (j in k+2..N-1)
+    Srnorm[k]    norma = sqrt(A[k][k+1]**2 + norma2)
+    Srd[k]       A[k][k+1] += sign * norma
+    Srt[k]       taup[k] = 2/(1 + norma2/A[k][k+1]**2)
+    Srv[k,j]     A[k][j] /= A[k][k+1]            (j in k+2..N-1)
+    Srd2[k]      A[k][k+1] = -sign * norma
+    Srz0[k,i]    z[i] = A[i][k+1]                (i in k+1..M-1)
+    SrR[k,i,j]   z[i] += A[k][j] * A[i][j]       (j in k+2..N-1)
+    Srz1[k,i]    z[i] *= taup[k]
+    Srz2[k,i]    A[i][k+1] -= z[i]
+    SrU[k,i,j]   A[i][j] -= z[i] * A[k][j]
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import Access, Array, NullTracer, Program, Statement
+from ..polyhedral import var
+from .common import Kernel, random_matrix
+
+__all__ = ["GEBD2", "build_gebd2_program", "run_gebd2"]
+
+k, j, i = var("k"), var("j"), var("i")
+M, N = var("M"), var("N")
+
+
+def run_gebd2(params: Mapping[str, int], tracer=None, seed: int = 0):
+    """Execute the unblocked bidiagonal reduction, instrumented.  M > N."""
+    m, n = params["M"], params["N"]
+    if m <= n:
+        raise ValueError("GEBD2 spec assumes M > N")
+    t = tracer if tracer is not None else NullTracer()
+    A = random_matrix(m, n, seed)
+    tauq = np.zeros(n)
+    taup = np.zeros(max(n - 2, 0))
+    w = np.zeros(n)
+    z = np.zeros(m)
+    norma2 = 0.0
+    norma = 0.0
+    for kk in range(n):
+        # --- column reflector: zero A[k+1:M, k] -------------------------------
+        t.stmt("Scn0", kk)
+        t.write("norma2")
+        norma2 = 0.0
+        for ii in range(kk + 1, m):
+            t.stmt("Scn", kk, ii)
+            t.read("A", ii, kk)
+            t.read("norma2")
+            t.write("norma2")
+            norma2 += A[ii, kk] * A[ii, kk]
+        t.stmt("Scnorm", kk)
+        t.read("A", kk, kk)
+        t.read("norma2")
+        t.write("norma")
+        norma = math.sqrt(A[kk, kk] * A[kk, kk] + norma2)
+        t.stmt("Scd", kk)
+        t.read("A", kk, kk)
+        t.read("norma")
+        t.write("A", kk, kk)
+        A[kk, kk] = A[kk, kk] + norma if A[kk, kk] > 0 else A[kk, kk] - norma
+        t.stmt("Sct", kk)
+        t.read("norma2")
+        t.read("A", kk, kk)
+        t.write("tauq", kk)
+        tauq[kk] = 2.0 / (1.0 + norma2 / (A[kk, kk] * A[kk, kk]))
+        for ii in range(kk + 1, m):
+            t.stmt("Scv", kk, ii)
+            t.read("A", ii, kk)
+            t.read("A", kk, kk)
+            t.write("A", ii, kk)
+            A[ii, kk] /= A[kk, kk]
+        t.stmt("Scd2", kk)
+        t.read("A", kk, kk)
+        t.read("norma")
+        t.write("A", kk, kk)
+        A[kk, kk] = -norma if A[kk, kk] > 0 else norma
+        for jj in range(kk + 1, n):
+            t.stmt("Scw0", kk, jj)
+            t.read("A", kk, jj)
+            t.write("w", jj)
+            w[jj] = A[kk, jj]
+            for ii in range(kk + 1, m):
+                t.stmt("ScR", kk, jj, ii)
+                t.read("A", ii, kk)
+                t.read("A", ii, jj)
+                t.read("w", jj)
+                t.write("w", jj)
+                w[jj] += A[ii, kk] * A[ii, jj]
+            t.stmt("Scw1", kk, jj)
+            t.read("w", jj)
+            t.read("tauq", kk)
+            t.write("w", jj)
+            w[jj] *= tauq[kk]
+            t.stmt("Scw2", kk, jj)
+            t.read("A", kk, jj)
+            t.read("w", jj)
+            t.write("A", kk, jj)
+            A[kk, jj] -= w[jj]
+            for ii in range(kk + 1, m):
+                t.stmt("ScU", kk, jj, ii)
+                t.read("A", ii, jj)
+                t.read("A", ii, kk)
+                t.read("w", jj)
+                t.write("A", ii, jj)
+                A[ii, jj] -= A[ii, kk] * w[jj]
+        # --- row reflector: zero A[k, k+2:N] ---------------------------------
+        if kk <= n - 3:
+            t.stmt("Srn0", kk)
+            t.write("norma2")
+            norma2 = 0.0
+            for jj in range(kk + 2, n):
+                t.stmt("Srn", kk, jj)
+                t.read("A", kk, jj)
+                t.read("norma2")
+                t.write("norma2")
+                norma2 += A[kk, jj] * A[kk, jj]
+            t.stmt("Srnorm", kk)
+            t.read("A", kk, kk + 1)
+            t.read("norma2")
+            t.write("norma")
+            norma = math.sqrt(A[kk, kk + 1] * A[kk, kk + 1] + norma2)
+            t.stmt("Srd", kk)
+            t.read("A", kk, kk + 1)
+            t.read("norma")
+            t.write("A", kk, kk + 1)
+            A[kk, kk + 1] = (
+                A[kk, kk + 1] + norma if A[kk, kk + 1] > 0 else A[kk, kk + 1] - norma
+            )
+            t.stmt("Srt", kk)
+            t.read("norma2")
+            t.read("A", kk, kk + 1)
+            t.write("taup", kk)
+            taup[kk] = 2.0 / (1.0 + norma2 / (A[kk, kk + 1] * A[kk, kk + 1]))
+            for jj in range(kk + 2, n):
+                t.stmt("Srv", kk, jj)
+                t.read("A", kk, jj)
+                t.read("A", kk, kk + 1)
+                t.write("A", kk, jj)
+                A[kk, jj] /= A[kk, kk + 1]
+            t.stmt("Srd2", kk)
+            t.read("A", kk, kk + 1)
+            t.read("norma")
+            t.write("A", kk, kk + 1)
+            A[kk, kk + 1] = -norma if A[kk, kk + 1] > 0 else norma
+            for ii in range(kk + 1, m):
+                t.stmt("Srz0", kk, ii)
+                t.read("A", ii, kk + 1)
+                t.write("z", ii)
+                z[ii] = A[ii, kk + 1]
+                for jj in range(kk + 2, n):
+                    t.stmt("SrR", kk, ii, jj)
+                    t.read("A", kk, jj)
+                    t.read("A", ii, jj)
+                    t.read("z", ii)
+                    t.write("z", ii)
+                    z[ii] += A[kk, jj] * A[ii, jj]
+                t.stmt("Srz1", kk, ii)
+                t.read("z", ii)
+                t.read("taup", kk)
+                t.write("z", ii)
+                z[ii] *= taup[kk]
+                t.stmt("Srz2", kk, ii)
+                t.read("A", ii, kk + 1)
+                t.read("z", ii)
+                t.write("A", ii, kk + 1)
+                A[ii, kk + 1] -= z[ii]
+                for jj in range(kk + 2, n):
+                    t.stmt("SrU", kk, ii, jj)
+                    t.read("A", ii, jj)
+                    t.read("z", ii)
+                    t.read("A", kk, jj)
+                    t.write("A", ii, jj)
+                    A[ii, jj] -= z[ii] * A[kk, jj]
+    return {"A": A, "tauq": tauq, "taup": taup}
+
+
+def build_gebd2_program() -> Program:
+    """The polyhedral spec of the unblocked GEBD2 (domains/accesses/schedules)."""
+    arrays = (
+        Array("A", 2),
+        Array("tauq", 1),
+        Array("taup", 1),
+        Array("w", 1),
+        Array("z", 1),
+        Array("norma", 0),
+        Array("norma2", 0),
+    )
+    st = (
+        # column phase
+        Statement("Scn0", loops=(("k", 0, N - 1),),
+                  writes=(Access.to("norma2"),), schedule=(0, "k", 0)),
+        Statement("Scn", loops=(("k", 0, N - 1), ("i", k + 1, M - 1)),
+                  reads=(Access.to("A", i, k), Access.to("norma2")),
+                  writes=(Access.to("norma2"),), schedule=(0, "k", 1, "i", 0)),
+        Statement("Scnorm", loops=(("k", 0, N - 1),),
+                  reads=(Access.to("A", k, k), Access.to("norma2")),
+                  writes=(Access.to("norma"),), schedule=(0, "k", 2)),
+        Statement("Scd", loops=(("k", 0, N - 1),),
+                  reads=(Access.to("A", k, k), Access.to("norma")),
+                  writes=(Access.to("A", k, k),), schedule=(0, "k", 3)),
+        Statement("Sct", loops=(("k", 0, N - 1),),
+                  reads=(Access.to("norma2"), Access.to("A", k, k)),
+                  writes=(Access.to("tauq", k),), schedule=(0, "k", 4)),
+        Statement("Scv", loops=(("k", 0, N - 1), ("i", k + 1, M - 1)),
+                  reads=(Access.to("A", i, k), Access.to("A", k, k)),
+                  writes=(Access.to("A", i, k),), schedule=(0, "k", 5, "i", 0)),
+        Statement("Scd2", loops=(("k", 0, N - 1),),
+                  reads=(Access.to("A", k, k), Access.to("norma")),
+                  writes=(Access.to("A", k, k),), schedule=(0, "k", 6)),
+        Statement("Scw0", loops=(("k", 0, N - 1), ("j", k + 1, N - 1)),
+                  reads=(Access.to("A", k, j),),
+                  writes=(Access.to("w", j),), schedule=(0, "k", 7, "j", 0)),
+        Statement("ScR",
+                  loops=(("k", 0, N - 1), ("j", k + 1, N - 1), ("i", k + 1, M - 1)),
+                  reads=(Access.to("A", i, k), Access.to("A", i, j),
+                         Access.to("w", j)),
+                  writes=(Access.to("w", j),), schedule=(0, "k", 7, "j", 1, "i", 0)),
+        Statement("Scw1", loops=(("k", 0, N - 1), ("j", k + 1, N - 1)),
+                  reads=(Access.to("w", j), Access.to("tauq", k)),
+                  writes=(Access.to("w", j),), schedule=(0, "k", 7, "j", 2)),
+        Statement("Scw2", loops=(("k", 0, N - 1), ("j", k + 1, N - 1)),
+                  reads=(Access.to("A", k, j), Access.to("w", j)),
+                  writes=(Access.to("A", k, j),), schedule=(0, "k", 7, "j", 3)),
+        Statement("ScU",
+                  loops=(("k", 0, N - 1), ("j", k + 1, N - 1), ("i", k + 1, M - 1)),
+                  reads=(Access.to("A", i, j), Access.to("A", i, k),
+                         Access.to("w", j)),
+                  writes=(Access.to("A", i, j),), schedule=(0, "k", 7, "j", 4, "i", 0)),
+        # row phase (k <= N-3)
+        Statement("Srn0", loops=(("k", 0, N - 3),),
+                  writes=(Access.to("norma2"),), schedule=(0, "k", 8)),
+        Statement("Srn", loops=(("k", 0, N - 3), ("j", k + 2, N - 1)),
+                  reads=(Access.to("A", k, j), Access.to("norma2")),
+                  writes=(Access.to("norma2"),), schedule=(0, "k", 9, "j", 0)),
+        Statement("Srnorm", loops=(("k", 0, N - 3),),
+                  reads=(Access.to("A", k, k + 1), Access.to("norma2")),
+                  writes=(Access.to("norma"),), schedule=(0, "k", 10)),
+        Statement("Srd", loops=(("k", 0, N - 3),),
+                  reads=(Access.to("A", k, k + 1), Access.to("norma")),
+                  writes=(Access.to("A", k, k + 1),), schedule=(0, "k", 11)),
+        Statement("Srt", loops=(("k", 0, N - 3),),
+                  reads=(Access.to("norma2"), Access.to("A", k, k + 1)),
+                  writes=(Access.to("taup", k),), schedule=(0, "k", 12)),
+        Statement("Srv", loops=(("k", 0, N - 3), ("j", k + 2, N - 1)),
+                  reads=(Access.to("A", k, j), Access.to("A", k, k + 1)),
+                  writes=(Access.to("A", k, j),), schedule=(0, "k", 13, "j", 0)),
+        Statement("Srd2", loops=(("k", 0, N - 3),),
+                  reads=(Access.to("A", k, k + 1), Access.to("norma")),
+                  writes=(Access.to("A", k, k + 1),), schedule=(0, "k", 14)),
+        Statement("Srz0", loops=(("k", 0, N - 3), ("i", k + 1, M - 1)),
+                  reads=(Access.to("A", i, k + 1),),
+                  writes=(Access.to("z", i),), schedule=(0, "k", 15, "i", 0)),
+        Statement("SrR",
+                  loops=(("k", 0, N - 3), ("i", k + 1, M - 1), ("j", k + 2, N - 1)),
+                  reads=(Access.to("A", k, j), Access.to("A", i, j),
+                         Access.to("z", i)),
+                  writes=(Access.to("z", i),), schedule=(0, "k", 15, "i", 1, "j", 0)),
+        Statement("Srz1", loops=(("k", 0, N - 3), ("i", k + 1, M - 1)),
+                  reads=(Access.to("z", i), Access.to("taup", k)),
+                  writes=(Access.to("z", i),), schedule=(0, "k", 15, "i", 2)),
+        Statement("Srz2", loops=(("k", 0, N - 3), ("i", k + 1, M - 1)),
+                  reads=(Access.to("A", i, k + 1), Access.to("z", i)),
+                  writes=(Access.to("A", i, k + 1),), schedule=(0, "k", 15, "i", 3)),
+        Statement("SrU",
+                  loops=(("k", 0, N - 3), ("i", k + 1, M - 1), ("j", k + 2, N - 1)),
+                  reads=(Access.to("A", i, j), Access.to("z", i),
+                         Access.to("A", k, j)),
+                  writes=(Access.to("A", i, j),), schedule=(0, "k", 15, "i", 4, "j", 0)),
+    )
+    return Program(
+        name="gebd2",
+        params=("M", "N"),
+        arrays=arrays,
+        statements=st,
+        outputs=("A", "tauq", "taup"),
+        runner=run_gebd2,
+        notes="LAPACK GEBD2, unblocked bidiagonal reduction. Assumes M > N.",
+    )
+
+
+def _validate(params: Mapping[str, int]) -> None:
+    """Numeric check: the bidiagonal band has the singular values of A0."""
+    m, n = params["M"], params["N"]
+    A0 = random_matrix(m, n, 0)
+    out = run_gebd2(params, None, seed=0)
+    Afin = out["A"]
+    B = np.zeros((n, n))
+    for kk in range(n):
+        B[kk, kk] = Afin[kk, kk]
+        if kk + 1 < n:
+            B[kk, kk + 1] = Afin[kk, kk + 1]
+    sv_b = np.linalg.svd(B, compute_uv=False)
+    sv_a = np.linalg.svd(A0, compute_uv=False)
+    err = float(np.max(np.abs(np.sort(sv_b) - np.sort(sv_a))))
+    assert err < 1e-8 * max(1.0, sv_a.max()), f"singular values differ: {err}"
+
+
+GEBD2 = Kernel(
+    program=build_gebd2_program(),
+    dominant="ScU",
+    description="Bidiagonal reduction (LAPACK GEBD2, unblocked)",
+    default_params={"M": 12, "N": 6},
+    validate=_validate,
+)

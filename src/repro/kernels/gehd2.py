@@ -1,0 +1,269 @@
+"""Hessenberg reduction (Figure 7; LAPACK GEHD2), N×N.
+
+Each outer iteration j builds a Householder reflector from column j below the
+subdiagonal, then applies it from the left (rows j+1..N-1) and from the right
+(all rows) to the trailing matrix, via the ``tmp`` workspace vector.  The
+hourglass width is ``N-2-j`` — it shrinks to a constant at the end of the
+outer loop, which is why Theorem 9 needs the loop-splitting argument
+implemented in :func:`repro.bounds.hourglass.derive_hourglass_bound_with_split`.
+
+Statement names (l = left update, r = right update)::
+
+    Sn0[j]       norma2 = 0
+    Sn[j,i]      norma2 += A[i][j]**2             (i in j+2..N-1)
+    Snorm[j]     norma = sqrt(A[j+1][j]**2 + norma2)
+    Sd[j]        A[j+1][j] += sign * norma
+    St[j]        tau = 2/(1 + norma2/A[j+1][j]**2)
+    Sv[j,i]      A[i][j] /= A[j+1][j]             (i in j+2..N-1)
+    Sd2[j]       A[j+1][j] = -sign * norma
+    Sl0[j,i]     tmp[i] = A[j+1][i]               (i in j+1..N-1)
+    SlR[j,i,k]   tmp[i] += A[k][j] * A[k][i]      (k in j+2..N-1)
+    Sl1[j,i]     tmp[i] *= tau
+    Sl2[j,i]     A[j+1][i] -= tmp[i]
+    SlU[j,i,k]   A[i][k] -= A[i][j] * tmp[k]      (i in j+2..N-1, k in j+1..N-1)
+    Sr0[j,i]     tmp[i] = A[i][j+1]               (i in 0..N-1)
+    SrR[j,i,k]   tmp[i] += A[i][k] * A[k][j]      (k in j+2..N-1)
+    Sr1[j,i]     tmp[i] *= tau
+    Sr2[j,i]     A[i][j+1] -= tmp[i]
+    SrU[j,i,k]   A[i][k] -= tmp[i] * A[k][j]      (i in 0..N-1, k in j+2..N-1)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import Access, Array, NullTracer, Program, Statement
+from ..polyhedral import var
+from .common import Kernel
+
+__all__ = ["GEHD2", "build_gehd2_program", "run_gehd2"]
+
+j, i, kv = var("j"), var("i"), var("k")
+N = var("N")
+
+
+def run_gehd2(params: Mapping[str, int], tracer=None, seed: int = 0):
+    """Execute Figure 7 exactly, instrumented.  Requires N >= 3."""
+    n = params["N"]
+    if n < 3:
+        raise ValueError("GEHD2 needs N >= 3")
+    t = tracer if tracer is not None else NullTracer()
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n)) + np.eye(n) * (1.0 + n)
+    tmp = np.zeros(n)
+    tau = 0.0
+    norma2 = 0.0
+    norma = 0.0
+    for jj in range(n - 2):
+        t.stmt("Sn0", jj)
+        t.write("norma2")
+        norma2 = 0.0
+        for ii in range(jj + 2, n):
+            t.stmt("Sn", jj, ii)
+            t.read("A", ii, jj)
+            t.read("norma2")
+            t.write("norma2")
+            norma2 += A[ii, jj] * A[ii, jj]
+        t.stmt("Snorm", jj)
+        t.read("A", jj + 1, jj)
+        t.read("norma2")
+        t.write("norma")
+        norma = math.sqrt(A[jj + 1, jj] * A[jj + 1, jj] + norma2)
+        t.stmt("Sd", jj)
+        t.read("A", jj + 1, jj)
+        t.read("norma")
+        t.write("A", jj + 1, jj)
+        A[jj + 1, jj] = (
+            A[jj + 1, jj] + norma if A[jj + 1, jj] > 0 else A[jj + 1, jj] - norma
+        )
+        t.stmt("St", jj)
+        t.read("norma2")
+        t.read("A", jj + 1, jj)
+        t.write("tau")
+        tau = 2.0 / (1.0 + norma2 / (A[jj + 1, jj] * A[jj + 1, jj]))
+        for ii in range(jj + 2, n):
+            t.stmt("Sv", jj, ii)
+            t.read("A", ii, jj)
+            t.read("A", jj + 1, jj)
+            t.write("A", ii, jj)
+            A[ii, jj] /= A[jj + 1, jj]
+        t.stmt("Sd2", jj)
+        t.read("A", jj + 1, jj)
+        t.read("norma")
+        t.write("A", jj + 1, jj)
+        A[jj + 1, jj] = -norma if A[jj + 1, jj] > 0 else norma
+        # left update: A[j+1:, j+1:] = (I - tau v v^T) A[j+1:, j+1:]
+        for ii in range(jj + 1, n):
+            t.stmt("Sl0", jj, ii)
+            t.read("A", jj + 1, ii)
+            t.write("tmp", ii)
+            tmp[ii] = A[jj + 1, ii]
+            for kk in range(jj + 2, n):
+                t.stmt("SlR", jj, ii, kk)
+                t.read("A", kk, jj)
+                t.read("A", kk, ii)
+                t.read("tmp", ii)
+                t.write("tmp", ii)
+                tmp[ii] += A[kk, jj] * A[kk, ii]
+        for ii in range(jj + 1, n):
+            t.stmt("Sl1", jj, ii)
+            t.read("tmp", ii)
+            t.read("tau")
+            t.write("tmp", ii)
+            tmp[ii] *= tau
+        for ii in range(jj + 1, n):
+            t.stmt("Sl2", jj, ii)
+            t.read("A", jj + 1, ii)
+            t.read("tmp", ii)
+            t.write("A", jj + 1, ii)
+            A[jj + 1, ii] -= tmp[ii]
+        for ii in range(jj + 2, n):
+            for kk in range(jj + 1, n):
+                t.stmt("SlU", jj, ii, kk)
+                t.read("A", ii, kk)
+                t.read("A", ii, jj)
+                t.read("tmp", kk)
+                t.write("A", ii, kk)
+                A[ii, kk] -= A[ii, jj] * tmp[kk]
+        # right update: A[:, j+1:] = A[:, j+1:] (I - tau v v^T)
+        for ii in range(n):
+            t.stmt("Sr0", jj, ii)
+            t.read("A", ii, jj + 1)
+            t.write("tmp", ii)
+            tmp[ii] = A[ii, jj + 1]
+            for kk in range(jj + 2, n):
+                t.stmt("SrR", jj, ii, kk)
+                t.read("A", ii, kk)
+                t.read("A", kk, jj)
+                t.read("tmp", ii)
+                t.write("tmp", ii)
+                tmp[ii] += A[ii, kk] * A[kk, jj]
+        for ii in range(n):
+            t.stmt("Sr1", jj, ii)
+            t.read("tmp", ii)
+            t.read("tau")
+            t.write("tmp", ii)
+            tmp[ii] *= tau
+        for ii in range(n):
+            t.stmt("Sr2", jj, ii)
+            t.read("A", ii, jj + 1)
+            t.read("tmp", ii)
+            t.write("A", ii, jj + 1)
+            A[ii, jj + 1] -= tmp[ii]
+        for ii in range(n):
+            for kk in range(jj + 2, n):
+                t.stmt("SrU", jj, ii, kk)
+                t.read("A", ii, kk)
+                t.read("tmp", ii)
+                t.read("A", kk, jj)
+                t.write("A", ii, kk)
+                A[ii, kk] -= tmp[ii] * A[kk, jj]
+    return {"A": A}
+
+
+def build_gehd2_program() -> Program:
+    """The polyhedral spec of Figure 7 (domains/accesses/schedules)."""
+    arrays = (
+        Array("A", 2),
+        Array("tmp", 1),
+        Array("tau", 0),
+        Array("norma", 0),
+        Array("norma2", 0),
+    )
+    st = (
+        Statement("Sn0", loops=(("j", 0, N - 3),),
+                  writes=(Access.to("norma2"),), schedule=(0, "j", 0)),
+        Statement("Sn", loops=(("j", 0, N - 3), ("i", j + 2, N - 1)),
+                  reads=(Access.to("A", i, j), Access.to("norma2")),
+                  writes=(Access.to("norma2"),), schedule=(0, "j", 1, "i", 0)),
+        Statement("Snorm", loops=(("j", 0, N - 3),),
+                  reads=(Access.to("A", j + 1, j), Access.to("norma2")),
+                  writes=(Access.to("norma"),), schedule=(0, "j", 2)),
+        Statement("Sd", loops=(("j", 0, N - 3),),
+                  reads=(Access.to("A", j + 1, j), Access.to("norma")),
+                  writes=(Access.to("A", j + 1, j),), schedule=(0, "j", 3)),
+        Statement("St", loops=(("j", 0, N - 3),),
+                  reads=(Access.to("norma2"), Access.to("A", j + 1, j)),
+                  writes=(Access.to("tau"),), schedule=(0, "j", 4)),
+        Statement("Sv", loops=(("j", 0, N - 3), ("i", j + 2, N - 1)),
+                  reads=(Access.to("A", i, j), Access.to("A", j + 1, j)),
+                  writes=(Access.to("A", i, j),), schedule=(0, "j", 5, "i", 0)),
+        Statement("Sd2", loops=(("j", 0, N - 3),),
+                  reads=(Access.to("A", j + 1, j), Access.to("norma")),
+                  writes=(Access.to("A", j + 1, j),), schedule=(0, "j", 6)),
+        # left update
+        Statement("Sl0", loops=(("j", 0, N - 3), ("i", j + 1, N - 1)),
+                  reads=(Access.to("A", j + 1, i),),
+                  writes=(Access.to("tmp", i),), schedule=(0, "j", 7, "i", 0)),
+        Statement("SlR",
+                  loops=(("j", 0, N - 3), ("i", j + 1, N - 1), ("k", j + 2, N - 1)),
+                  reads=(Access.to("A", kv, j), Access.to("A", kv, i),
+                         Access.to("tmp", i)),
+                  writes=(Access.to("tmp", i),), schedule=(0, "j", 7, "i", 1, "k", 0)),
+        Statement("Sl1", loops=(("j", 0, N - 3), ("i", j + 1, N - 1)),
+                  reads=(Access.to("tmp", i), Access.to("tau")),
+                  writes=(Access.to("tmp", i),), schedule=(0, "j", 8, "i", 0)),
+        Statement("Sl2", loops=(("j", 0, N - 3), ("i", j + 1, N - 1)),
+                  reads=(Access.to("A", j + 1, i), Access.to("tmp", i)),
+                  writes=(Access.to("A", j + 1, i),), schedule=(0, "j", 9, "i", 0)),
+        Statement("SlU",
+                  loops=(("j", 0, N - 3), ("i", j + 2, N - 1), ("k", j + 1, N - 1)),
+                  reads=(Access.to("A", i, kv), Access.to("A", i, j),
+                         Access.to("tmp", kv)),
+                  writes=(Access.to("A", i, kv),), schedule=(0, "j", 10, "i", 0, "k", 0)),
+        # right update
+        Statement("Sr0", loops=(("j", 0, N - 3), ("i", 0, N - 1)),
+                  reads=(Access.to("A", i, j + 1),),
+                  writes=(Access.to("tmp", i),), schedule=(0, "j", 11, "i", 0)),
+        Statement("SrR",
+                  loops=(("j", 0, N - 3), ("i", 0, N - 1), ("k", j + 2, N - 1)),
+                  reads=(Access.to("A", i, kv), Access.to("A", kv, j),
+                         Access.to("tmp", i)),
+                  writes=(Access.to("tmp", i),), schedule=(0, "j", 11, "i", 1, "k", 0)),
+        Statement("Sr1", loops=(("j", 0, N - 3), ("i", 0, N - 1)),
+                  reads=(Access.to("tmp", i), Access.to("tau")),
+                  writes=(Access.to("tmp", i),), schedule=(0, "j", 12, "i", 0)),
+        Statement("Sr2", loops=(("j", 0, N - 3), ("i", 0, N - 1)),
+                  reads=(Access.to("A", i, j + 1), Access.to("tmp", i)),
+                  writes=(Access.to("A", i, j + 1),), schedule=(0, "j", 13, "i", 0)),
+        Statement("SrU",
+                  loops=(("j", 0, N - 3), ("i", 0, N - 1), ("k", j + 2, N - 1)),
+                  reads=(Access.to("A", i, kv), Access.to("tmp", i),
+                         Access.to("A", kv, j)),
+                  writes=(Access.to("A", i, kv),), schedule=(0, "j", 14, "i", 0, "k", 0)),
+    )
+    return Program(
+        name="gehd2",
+        params=("N",),
+        arrays=arrays,
+        statements=st,
+        outputs=("A",),
+        runner=run_gehd2,
+        notes="Figure 7 (LAPACK GEHD2). N x N, outer loop j in 0..N-3.",
+    )
+
+
+def _validate(params: Mapping[str, int]) -> None:
+    """Numeric check: the Hessenberg part is similar to A0 (same eigenvalues)."""
+    n = params["N"]
+    rng = np.random.default_rng(0)
+    A0 = rng.standard_normal((n, n)) + np.eye(n) * (1.0 + n)
+    out = run_gehd2(params, None, seed=0)
+    H = np.triu(out["A"], -1)
+    ev_h = np.sort_complex(np.linalg.eigvals(H))
+    ev_a = np.sort_complex(np.linalg.eigvals(A0))
+    err = float(np.max(np.abs(ev_h - ev_a)))
+    scale = float(np.max(np.abs(ev_a)))
+    assert err < 1e-7 * max(1.0, scale), f"eigenvalues differ: {err}"
+
+
+GEHD2 = Kernel(
+    program=build_gehd2_program(),
+    dominant="SrU",
+    description="Hessenberg reduction (Figure 7 / GEHD2)",
+    default_params={"N": 10},
+    validate=_validate,
+)

@@ -1,0 +1,98 @@
+"""Dense matrix multiplication C = A·B — the classical baseline kernel.
+
+Matmul has *no* hourglass pattern (no reduction→broadcast cycle across an
+outer temporal loop), so the detector must reject it and the engine must fall
+back to the classical K-partition bound Ω(N³/√S) (Hong–Kung / Irony et al.).
+It serves as the negative control for hourglass detection and as the sanity
+anchor for the Brascamp–Lieb LP (σ = 3/2 with the three canonical
+projections).
+
+Statement names::
+
+    Sz[i,j]     C[i][j] = 0
+    SM[i,j,k]   C[i][j] += A[i][k] * B[k][j]
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import Access, Array, NullTracer, Program, Statement
+from ..polyhedral import var
+from .common import Kernel, relative_error
+
+__all__ = ["MATMUL", "build_matmul_program", "run_matmul"]
+
+i, j, kv = var("i"), var("j"), var("k")
+NI, NJ, NK = var("NI"), var("NJ"), var("NK")
+
+
+def run_matmul(params: Mapping[str, int], tracer=None, seed: int = 0):
+    """Execute the triple loop, instrumented."""
+    ni, nj, nk = params["NI"], params["NJ"], params["NK"]
+    t = tracer if tracer is not None else NullTracer()
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((ni, nk))
+    B = rng.standard_normal((nk, nj))
+    C = np.zeros((ni, nj))
+    for ii in range(ni):
+        for jj in range(nj):
+            t.stmt("Sz", ii, jj)
+            t.write("C", ii, jj)
+            C[ii, jj] = 0.0
+            for kk in range(nk):
+                t.stmt("SM", ii, jj, kk)
+                t.read("A", ii, kk)
+                t.read("B", kk, jj)
+                t.read("C", ii, jj)
+                t.write("C", ii, jj)
+                C[ii, jj] += A[ii, kk] * B[kk, jj]
+    return {"A": A, "B": B, "C": C}
+
+
+def build_matmul_program() -> Program:
+    arrays = (Array("A", 2), Array("B", 2), Array("C", 2))
+    st = (
+        Statement(
+            "Sz",
+            loops=(("i", 0, NI - 1), ("j", 0, NJ - 1)),
+            writes=(Access.to("C", i, j),),
+            schedule=(0, "i", 0, "j", 0),
+        ),
+        Statement(
+            "SM",
+            loops=(("i", 0, NI - 1), ("j", 0, NJ - 1), ("k", 0, NK - 1)),
+            reads=(
+                Access.to("A", i, kv),
+                Access.to("B", kv, j),
+                Access.to("C", i, j),
+            ),
+            writes=(Access.to("C", i, j),),
+            schedule=(0, "i", 0, "j", 1, "k", 0),
+        ),
+    )
+    return Program(
+        name="matmul",
+        params=("NI", "NJ", "NK"),
+        arrays=arrays,
+        statements=st,
+        outputs=("C",),
+        runner=run_matmul,
+        notes="Classical baseline; no hourglass.",
+    )
+
+
+def _validate(params: Mapping[str, int]) -> None:
+    out = run_matmul(params, None, seed=0)
+    assert relative_error(out["C"], out["A"] @ out["B"]) < 1e-12
+
+
+MATMUL = Kernel(
+    program=build_matmul_program(),
+    dominant="SM",
+    description="Dense matmul (classical K-partition baseline)",
+    default_params={"NI": 8, "NJ": 8, "NK": 8},
+    validate=_validate,
+)

@@ -1,0 +1,309 @@
+"""Modified Gram-Schmidt, right-looking variant (Figure 1 of the paper).
+
+The polyhedral spec transcribes the Polybench ``gramschmidt`` loop nest
+statement-for-statement; the instrumented runner executes the identical
+arithmetic and records every element access.  The hourglass pattern lives
+between ``SR`` (reduction of R[k][j] over i) and ``SU`` (broadcast of R[k][j]
+over i), with k temporal, i reduction/broadcast and j neutral — the paper's
+running example.
+
+Statement names::
+
+    Snrm0[k]    nrm = 0
+    Snrm[k,i]   nrm += A[i][k]**2
+    Sr[k]       R[k][k] = sqrt(nrm)
+    Sq[k,i]     Q[i][k] = A[i][k] / R[k][k]
+    Sr0[k,j]    R[k][j] = 0
+    SR[k,j,i]   R[k][j] += Q[i][k] * A[i][j]
+    SU[k,j,i]   A[i][j] -= Q[i][k] * R[k][j]
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import Access, Array, Dependence, Program, Statement, Tracer
+from ..polyhedral import AffineMap, Constraint, var
+from .common import Kernel, random_matrix, relative_error
+
+__all__ = ["MGS", "build_mgs_program", "run_mgs"]
+
+k, j, i = var("k"), var("j"), var("i")
+M, N = var("M"), var("N")
+
+
+def run_mgs(params: Mapping[str, int], tracer=None, seed: int = 0):
+    """Execute Figure 1 exactly, instrumented.
+
+    Notes on instrumentation: each distinct element touched by a statement
+    instance is recorded once (``A[i][k]*A[i][k]`` is one read); the scalar
+    ``nrm`` is the single address ``('nrm', ())`` as in the source program.
+    """
+    m, n = params["M"], params["N"]
+    t = tracer if tracer is not None else _Null()
+    A = random_matrix(m, n, seed)
+    Q = np.zeros((m, n))
+    R = np.zeros((n, n))
+    nrm = 0.0
+    for kk in range(n):
+        t.stmt("Snrm0", kk)
+        t.write("nrm")
+        nrm = 0.0
+        for ii in range(m):
+            t.stmt("Snrm", kk, ii)
+            t.read("A", ii, kk)
+            t.read("nrm")
+            t.write("nrm")
+            nrm += A[ii, kk] * A[ii, kk]
+        t.stmt("Sr", kk)
+        t.read("nrm")
+        t.write("R", kk, kk)
+        R[kk, kk] = math.sqrt(nrm)
+        for ii in range(m):
+            t.stmt("Sq", kk, ii)
+            t.read("A", ii, kk)
+            t.read("R", kk, kk)
+            t.write("Q", ii, kk)
+            Q[ii, kk] = A[ii, kk] / R[kk, kk]
+        for jj in range(kk + 1, n):
+            t.stmt("Sr0", kk, jj)
+            t.write("R", kk, jj)
+            R[kk, jj] = 0.0
+            for ii in range(m):
+                t.stmt("SR", kk, jj, ii)
+                t.read("Q", ii, kk)
+                t.read("A", ii, jj)
+                t.read("R", kk, jj)
+                t.write("R", kk, jj)
+                R[kk, jj] += Q[ii, kk] * A[ii, jj]
+            for ii in range(m):
+                t.stmt("SU", kk, jj, ii)
+                t.read("A", ii, jj)
+                t.read("Q", ii, kk)
+                t.read("R", kk, jj)
+                t.write("A", ii, jj)
+                A[ii, jj] -= Q[ii, kk] * R[kk, jj]
+    return {"Q": Q, "R": R, "A": A}
+
+
+class _Null:
+    def stmt(self, *a):
+        pass
+
+    def read(self, *a):
+        pass
+
+    def write(self, *a):
+        pass
+
+
+def build_mgs_program() -> Program:
+    """The polyhedral spec of Figure 1 with its full flow-dependence list."""
+    arrays = (
+        Array("A", 2),
+        Array("Q", 2),
+        Array("R", 2),
+        Array("nrm", 0),
+    )
+    st = (
+        Statement(
+            "Snrm0",
+            loops=(("k", 0, N - 1),),
+            writes=(Access.to("nrm"),),
+            schedule=(0, "k", 0),
+        ),
+        Statement(
+            "Snrm",
+            loops=(("k", 0, N - 1), ("i", 0, M - 1)),
+            reads=(Access.to("A", i, k), Access.to("nrm")),
+            writes=(Access.to("nrm"),),
+            schedule=(0, "k", 1, "i", 0),
+        ),
+        Statement(
+            "Sr",
+            loops=(("k", 0, N - 1),),
+            reads=(Access.to("nrm"),),
+            writes=(Access.to("R", k, k),),
+            schedule=(0, "k", 2),
+        ),
+        Statement(
+            "Sq",
+            loops=(("k", 0, N - 1), ("i", 0, M - 1)),
+            reads=(Access.to("A", i, k), Access.to("R", k, k)),
+            writes=(Access.to("Q", i, k),),
+            schedule=(0, "k", 3, "i", 0),
+        ),
+        Statement(
+            "Sr0",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1)),
+            writes=(Access.to("R", k, j),),
+            schedule=(0, "k", 4, "j", 0),
+        ),
+        Statement(
+            "SR",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1), ("i", 0, M - 1)),
+            reads=(
+                Access.to("Q", i, k),
+                Access.to("A", i, j),
+                Access.to("R", k, j),
+            ),
+            writes=(Access.to("R", k, j),),
+            schedule=(0, "k", 4, "j", 1, "i", 0),
+        ),
+        Statement(
+            "SU",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1), ("i", 0, M - 1)),
+            reads=(
+                Access.to("A", i, j),
+                Access.to("Q", i, k),
+                Access.to("R", k, j),
+            ),
+            writes=(Access.to("A", i, j),),
+            schedule=(0, "k", 4, "j", 2, "i", 0),
+        ),
+    )
+
+    def fmap(src, tgt, exprs, guards=(), free=()):
+        return AffineMap(src, tgt, exprs, guards=guards, free=free)
+
+    ge = lambda e: Constraint(e, ">=")  # noqa: E731 - local shorthand
+    deps = (
+        # nrm accumulation chain
+        Dependence("Snrm0", "Snrm", fmap(("k",), ("k", "i"), {"k": k, "i": 0}), via="nrm"),
+        Dependence(
+            "Snrm",
+            "Snrm",
+            fmap(("k", "i"), ("k", "i"), {"k": k, "i": i + 1}, guards=(ge(M - 2 - i),)),
+            via="nrm",
+        ),
+        Dependence(
+            "Snrm",
+            "Sr",
+            fmap(("k", "i"), ("k",), {"k": k}, guards=(ge(i - (M - 1)), ge((M - 1) - i))),
+            via="nrm",
+        ),
+        # A column k feeding next iteration's norm and Q
+        Dependence(
+            "SU",
+            "Snrm",
+            fmap(("k", "j", "i"), ("k", "i"), {"k": k + 1, "i": i}, guards=(ge(k + 1 - j), ge(j - k - 1))),
+            via="A",
+        ),
+        Dependence(
+            "SU",
+            "Sq",
+            fmap(("k", "j", "i"), ("k", "i"), {"k": k + 1, "i": i}, guards=(ge(k + 1 - j), ge(j - k - 1))),
+            via="A",
+        ),
+        # R[k][k] broadcast to Sq
+        Dependence(
+            "Sr",
+            "Sq",
+            fmap(("k",), ("k", "i"), {"k": k, "i": var("ii")}, free=(("ii", 0, M - 1),)),
+            via="R",
+        ),
+        # R[k][j] accumulation chain
+        Dependence("Sr0", "SR", fmap(("k", "j"), ("k", "j", "i"), {"k": k, "j": j, "i": 0}), via="R"),
+        Dependence(
+            "SR",
+            "SR",
+            fmap(
+                ("k", "j", "i"),
+                ("k", "j", "i"),
+                {"k": k, "j": j, "i": i + 1},
+                guards=(ge(M - 2 - i),),
+            ),
+            via="R",
+        ),
+        # Q[i][k] feeding the update loops (broadcast over j)
+        Dependence(
+            "Sq",
+            "SR",
+            fmap(
+                ("k", "i"),
+                ("k", "j", "i"),
+                {"k": k, "j": var("jj"), "i": i},
+                free=(("jj", k + 1, N - 1),),
+            ),
+            via="Q",
+        ),
+        Dependence(
+            "Sq",
+            "SU",
+            fmap(
+                ("k", "i"),
+                ("k", "j", "i"),
+                {"k": k, "j": var("jj"), "i": i},
+                free=(("jj", k + 1, N - 1),),
+            ),
+            via="Q",
+        ),
+        # A[i][j] carried across outer iterations
+        Dependence(
+            "SU",
+            "SR",
+            fmap(
+                ("k", "j", "i"),
+                ("k", "j", "i"),
+                {"k": k + 1, "j": j, "i": i},
+                guards=(ge(j - (k + 2)),),
+            ),
+            via="A",
+        ),
+        Dependence(
+            "SU",
+            "SU",
+            fmap(
+                ("k", "j", "i"),
+                ("k", "j", "i"),
+                {"k": k + 1, "j": j, "i": i},
+                guards=(ge(j - (k + 2)),),
+            ),
+            via="A",
+        ),
+        # R[k][j] broadcast from the last reduction step to the update loop
+        Dependence(
+            "SR",
+            "SU",
+            fmap(
+                ("k", "j", "i"),
+                ("k", "j", "i"),
+                {"k": k, "j": j, "i": var("ii")},
+                guards=(ge(i - (M - 1)), ge((M - 1) - i)),
+                free=(("ii", 0, M - 1),),
+            ),
+            via="R",
+        ),
+    )
+    return Program(
+        name="mgs",
+        params=("M", "N"),
+        arrays=arrays,
+        statements=st,
+        deps=deps,
+        outputs=("Q", "R"),
+        runner=run_mgs,
+        notes="Figure 1 (Polybench gramschmidt, right-looking).",
+    )
+
+
+def _validate(params: Mapping[str, int]) -> None:
+    """Numeric check: A0 = Q R with orthonormal Q."""
+    m, n = params["M"], params["N"]
+    A0 = random_matrix(m, n, 0)
+    out = run_mgs(params, None, seed=0)
+    Q, R = out["Q"], out["R"]
+    assert relative_error(Q @ R, A0) < 1e-10, "QR reconstruction failed"
+    assert relative_error(Q.T @ Q, np.eye(n)) < 1e-8, "Q not orthonormal"
+
+
+MGS = Kernel(
+    program=build_mgs_program(),
+    dominant="SU",
+    description="Modified Gram-Schmidt, right-looking (Figure 1)",
+    default_params={"M": 12, "N": 6},
+    validate=_validate,
+)

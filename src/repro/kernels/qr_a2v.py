@@ -1,0 +1,264 @@
+"""QR Householder factorization, A2V part (Figure 3; LAPACK GEQR2).
+
+Turns A (M×N, M > N) in place into the Householder vectors V (unit lower
+trapezoid, stored below the diagonal) and R (upper triangle), producing the
+``tau`` scalars.  The hourglass lives between ``SR`` (reduction of the
+workspace ``tau[j]`` over i) and ``SU`` (broadcast of ``tau[j]`` over i),
+with the reduction/broadcast width ``M-1-k`` parametrized by the temporal
+iteration — minimum ``M-N`` over the domain, which is the width the paper's
+Theorem 6 uses.
+
+Statement names::
+
+    Sn0[k]      norma2 = 0
+    Sn[k,i]     norma2 += A[i][k]**2          (i in k+1..M-1)
+    Snorm[k]    norma = sqrt(A[k][k]**2 + norma2)
+    Sd[k]       A[k][k] += sign(A[k][k]) * norma
+    St[k]       tau[k] = 2 / (1 + norma2 / A[k][k]**2)
+    Sv[k,i]     A[i][k] /= A[k][k]            (i in k+1..M-1)
+    Sd2[k]      A[k][k] = -sign * norma
+    Sw0[k,j]    tau[j] = A[k][j]              (j in k+1..N-1)
+    SR[k,j,i]   tau[j] += A[i][k] * A[i][j]   (i in k+1..M-1)
+    Sw1[k,j]    tau[j] *= tau[k]
+    Sw2[k,j]    A[k][j] -= tau[j]
+    SU[k,j,i]   A[i][j] -= A[i][k] * tau[j]   (i in k+1..M-1)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import Access, Array, NullTracer, Program, Statement
+from ..polyhedral import var
+from .common import Kernel, random_matrix, relative_error
+
+__all__ = ["QR_A2V", "build_a2v_program", "run_qr_a2v", "householder_q"]
+
+k, j, i = var("k"), var("j"), var("i")
+M, N = var("M"), var("N")
+
+
+def run_qr_a2v(params: Mapping[str, int], tracer=None, seed: int = 0):
+    """Execute Figure 3 exactly, instrumented.  Requires M > N."""
+    m, n = params["M"], params["N"]
+    if m <= n:
+        raise ValueError("A2V spec assumes M > N (as in Theorems 6-7)")
+    t = tracer if tracer is not None else NullTracer()
+    A = random_matrix(m, n, seed)
+    tau = np.zeros(n)
+    norma2 = 0.0
+    norma = 0.0
+    for kk in range(n):
+        t.stmt("Sn0", kk)
+        t.write("norma2")
+        norma2 = 0.0
+        for ii in range(kk + 1, m):
+            t.stmt("Sn", kk, ii)
+            t.read("A", ii, kk)
+            t.read("norma2")
+            t.write("norma2")
+            norma2 += A[ii, kk] * A[ii, kk]
+        t.stmt("Snorm", kk)
+        t.read("A", kk, kk)
+        t.read("norma2")
+        t.write("norma")
+        norma = math.sqrt(A[kk, kk] * A[kk, kk] + norma2)
+        t.stmt("Sd", kk)
+        t.read("A", kk, kk)
+        t.read("norma")
+        t.write("A", kk, kk)
+        A[kk, kk] = A[kk, kk] + norma if A[kk, kk] > 0 else A[kk, kk] - norma
+        t.stmt("St", kk)
+        t.read("norma2")
+        t.read("A", kk, kk)
+        t.write("tau", kk)
+        tau[kk] = 2.0 / (1.0 + norma2 / (A[kk, kk] * A[kk, kk]))
+        for ii in range(kk + 1, m):
+            t.stmt("Sv", kk, ii)
+            t.read("A", ii, kk)
+            t.read("A", kk, kk)
+            t.write("A", ii, kk)
+            A[ii, kk] /= A[kk, kk]
+        t.stmt("Sd2", kk)
+        t.read("A", kk, kk)
+        t.read("norma")
+        t.write("A", kk, kk)
+        A[kk, kk] = -norma if A[kk, kk] > 0 else norma
+        for jj in range(kk + 1, n):
+            t.stmt("Sw0", kk, jj)
+            t.read("A", kk, jj)
+            t.write("tau", jj)
+            tau[jj] = A[kk, jj]
+            for ii in range(kk + 1, m):
+                t.stmt("SR", kk, jj, ii)
+                t.read("A", ii, kk)
+                t.read("A", ii, jj)
+                t.read("tau", jj)
+                t.write("tau", jj)
+                tau[jj] += A[ii, kk] * A[ii, jj]
+            t.stmt("Sw1", kk, jj)
+            t.read("tau", kk)
+            t.read("tau", jj)
+            t.write("tau", jj)
+            tau[jj] = tau[kk] * tau[jj]
+            t.stmt("Sw2", kk, jj)
+            t.read("A", kk, jj)
+            t.read("tau", jj)
+            t.write("A", kk, jj)
+            A[kk, jj] = A[kk, jj] - tau[jj]
+            for ii in range(kk + 1, m):
+                t.stmt("SU", kk, jj, ii)
+                t.read("A", ii, jj)
+                t.read("A", ii, kk)
+                t.read("tau", jj)
+                t.write("A", ii, jj)
+                A[ii, jj] = A[ii, jj] - A[ii, kk] * tau[jj]
+    return {"A": A, "tau": tau}
+
+
+def householder_q(vr: np.ndarray, tau: np.ndarray, m: int) -> np.ndarray:
+    """Accumulate Q = H_0 H_1 ... H_{n-1} from A2V's packed output."""
+    n = len(tau)
+    Q = np.eye(m)
+    for kk in range(n):
+        v = np.zeros(m)
+        v[kk] = 1.0
+        v[kk + 1 :] = vr[kk + 1 :, kk]
+        Q = Q @ (np.eye(m) - tau[kk] * np.outer(v, v))
+    return Q
+
+
+def build_a2v_program() -> Program:
+    """The polyhedral spec of Figure 3 (domains/accesses/schedules)."""
+    arrays = (
+        Array("A", 2),
+        Array("tau", 1),
+        Array("norma", 0),
+        Array("norma2", 0),
+    )
+    st = (
+        Statement(
+            "Sn0",
+            loops=(("k", 0, N - 1),),
+            writes=(Access.to("norma2"),),
+            schedule=(0, "k", 0),
+        ),
+        Statement(
+            "Sn",
+            loops=(("k", 0, N - 1), ("i", k + 1, M - 1)),
+            reads=(Access.to("A", i, k), Access.to("norma2")),
+            writes=(Access.to("norma2"),),
+            schedule=(0, "k", 1, "i", 0),
+        ),
+        Statement(
+            "Snorm",
+            loops=(("k", 0, N - 1),),
+            reads=(Access.to("A", k, k), Access.to("norma2")),
+            writes=(Access.to("norma"),),
+            schedule=(0, "k", 2),
+        ),
+        Statement(
+            "Sd",
+            loops=(("k", 0, N - 1),),
+            reads=(Access.to("A", k, k), Access.to("norma")),
+            writes=(Access.to("A", k, k),),
+            schedule=(0, "k", 3),
+        ),
+        Statement(
+            "St",
+            loops=(("k", 0, N - 1),),
+            reads=(Access.to("norma2"), Access.to("A", k, k)),
+            writes=(Access.to("tau", k),),
+            schedule=(0, "k", 4),
+        ),
+        Statement(
+            "Sv",
+            loops=(("k", 0, N - 1), ("i", k + 1, M - 1)),
+            reads=(Access.to("A", i, k), Access.to("A", k, k)),
+            writes=(Access.to("A", i, k),),
+            schedule=(0, "k", 5, "i", 0),
+        ),
+        Statement(
+            "Sd2",
+            loops=(("k", 0, N - 1),),
+            reads=(Access.to("A", k, k), Access.to("norma")),
+            writes=(Access.to("A", k, k),),
+            schedule=(0, "k", 6),
+        ),
+        Statement(
+            "Sw0",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1)),
+            reads=(Access.to("A", k, j),),
+            writes=(Access.to("tau", j),),
+            schedule=(0, "k", 7, "j", 0),
+        ),
+        Statement(
+            "SR",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1), ("i", k + 1, M - 1)),
+            reads=(
+                Access.to("A", i, k),
+                Access.to("A", i, j),
+                Access.to("tau", j),
+            ),
+            writes=(Access.to("tau", j),),
+            schedule=(0, "k", 7, "j", 1, "i", 0),
+        ),
+        Statement(
+            "Sw1",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1)),
+            reads=(Access.to("tau", k), Access.to("tau", j)),
+            writes=(Access.to("tau", j),),
+            schedule=(0, "k", 7, "j", 2),
+        ),
+        Statement(
+            "Sw2",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1)),
+            reads=(Access.to("A", k, j), Access.to("tau", j)),
+            writes=(Access.to("A", k, j),),
+            schedule=(0, "k", 7, "j", 3),
+        ),
+        Statement(
+            "SU",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1), ("i", k + 1, M - 1)),
+            reads=(
+                Access.to("A", i, j),
+                Access.to("A", i, k),
+                Access.to("tau", j),
+            ),
+            writes=(Access.to("A", i, j),),
+            schedule=(0, "k", 7, "j", 4, "i", 0),
+        ),
+    )
+    return Program(
+        name="qr_a2v",
+        params=("M", "N"),
+        arrays=arrays,
+        statements=st,
+        outputs=("A", "tau"),
+        runner=run_qr_a2v,
+        notes="Figure 3 (LAPACK GEQR2, right-looking). Assumes M > N.",
+    )
+
+
+def _validate(params: Mapping[str, int]) -> None:
+    """Numeric check: A0 = Q R with Q from the packed reflectors."""
+    m, n = params["M"], params["N"]
+    A0 = random_matrix(m, n, 0)
+    out = run_qr_a2v(params, None, seed=0)
+    Afin, tau = out["A"], out["tau"]
+    R = np.triu(Afin[:n, :])
+    Q = householder_q(Afin, tau, m)
+    assert relative_error(Q[:, :n] @ R, A0) < 1e-10, "QR reconstruction failed"
+    assert relative_error(Q.T @ Q, np.eye(m)) < 1e-8, "Q not orthogonal"
+
+
+QR_A2V = Kernel(
+    program=build_a2v_program(),
+    dominant="SU",
+    description="Householder QR, A2V part (Figure 3 / GEQR2)",
+    default_params={"M": 12, "N": 6},
+    validate=_validate,
+)

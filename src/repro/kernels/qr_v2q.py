@@ -1,0 +1,186 @@
+"""QR Householder factorization, V2Q part (Figure 6; LAPACK ORG2R).
+
+Accumulates the orthogonal factor Q in place from the packed Householder
+vectors produced by A2V.  The outer loop runs *backwards* (k from N-1 down
+to 0, a left-looking build of Q from the bottom-right corner), which the
+schedule vectors express with the ``"-k"`` decreasing-dimension notation.
+
+Statement names::
+
+    Sz[k,j]     tau[j] = 0                     (j in k+1..N-1)
+    SR[k,j,i]   tau[j] += A[i][k] * A[i][j]    (i in k+1..M-1)
+    St[k,j]     tau[j] *= tau[k]
+    Sd[k]       A[k][k] = 1 - tau[k]
+    Sr[k,j]     A[k][j] = -tau[j]
+    SU[k,j,i]   A[i][j] -= A[i][k] * tau[j]
+    Sv[k,i]     A[i][k] = -A[i][k] * tau[k]    (i in k+1..M-1)
+
+Input: A holds the V vectors strictly below the diagonal (upper part is
+irrelevant and overwritten), tau holds the Householder scalars; output: Q in A.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import Access, Array, NullTracer, Program, Statement
+from ..polyhedral import var
+from .common import Kernel, random_matrix, relative_error
+from .qr_a2v import householder_q, run_qr_a2v
+
+__all__ = ["QR_V2Q", "build_v2q_program", "run_qr_v2q"]
+
+k, j, i = var("k"), var("j"), var("i")
+M, N = var("M"), var("N")
+
+
+def run_qr_v2q(params: Mapping[str, int], tracer=None, seed: int = 0):
+    """Execute Figure 6 exactly, instrumented.  Requires M > N.
+
+    The V/tau inputs are produced by running A2V on a random matrix so the
+    numeric output is a genuine Q factor.
+    """
+    m, n = params["M"], params["N"]
+    if m <= n:
+        raise ValueError("V2Q spec assumes M > N (as in Figure 6)")
+    t = tracer if tracer is not None else NullTracer()
+    a2v = run_qr_a2v(params, None, seed=seed)
+    A = a2v["A"].copy()
+    tau = a2v["tau"].copy()
+    for kk in range(n - 1, -1, -1):
+        for jj in range(kk + 1, n):
+            t.stmt("Sz", kk, jj)
+            t.write("tau", jj)
+            tau[jj] = 0.0
+            for ii in range(kk + 1, m):
+                t.stmt("SR", kk, jj, ii)
+                t.read("A", ii, kk)
+                t.read("A", ii, jj)
+                t.read("tau", jj)
+                t.write("tau", jj)
+                tau[jj] += A[ii, kk] * A[ii, jj]
+        for jj in range(kk + 1, n):
+            t.stmt("St", kk, jj)
+            t.read("tau", jj)
+            t.read("tau", kk)
+            t.write("tau", jj)
+            tau[jj] *= tau[kk]
+        t.stmt("Sd", kk)
+        t.read("tau", kk)
+        t.write("A", kk, kk)
+        A[kk, kk] = 1.0 - tau[kk]
+        for jj in range(kk + 1, n):
+            t.stmt("Sr", kk, jj)
+            t.read("tau", jj)
+            t.write("A", kk, jj)
+            A[kk, jj] = -tau[jj]
+        for jj in range(kk + 1, n):
+            for ii in range(kk + 1, m):
+                t.stmt("SU", kk, jj, ii)
+                t.read("A", ii, jj)
+                t.read("A", ii, kk)
+                t.read("tau", jj)
+                t.write("A", ii, jj)
+                A[ii, jj] -= A[ii, kk] * tau[jj]
+        for ii in range(kk + 1, m):
+            t.stmt("Sv", kk, ii)
+            t.read("A", ii, kk)
+            t.read("tau", kk)
+            t.write("A", ii, kk)
+            A[ii, kk] = -A[ii, kk] * tau[kk]
+    return {"A": A, "tau": tau}
+
+
+def build_v2q_program() -> Program:
+    """The polyhedral spec of Figure 6 (domains/accesses/schedules)."""
+    arrays = (Array("A", 2), Array("tau", 1))
+    st = (
+        Statement(
+            "Sz",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1)),
+            writes=(Access.to("tau", j),),
+            schedule=(0, "-k", 0, "j", 0),
+        ),
+        Statement(
+            "SR",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1), ("i", k + 1, M - 1)),
+            reads=(
+                Access.to("A", i, k),
+                Access.to("A", i, j),
+                Access.to("tau", j),
+            ),
+            writes=(Access.to("tau", j),),
+            schedule=(0, "-k", 0, "j", 1, "i", 0),
+        ),
+        Statement(
+            "St",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1)),
+            reads=(Access.to("tau", j), Access.to("tau", k)),
+            writes=(Access.to("tau", j),),
+            schedule=(0, "-k", 1, "j", 0),
+        ),
+        Statement(
+            "Sd",
+            loops=(("k", 0, N - 1),),
+            reads=(Access.to("tau", k),),
+            writes=(Access.to("A", k, k),),
+            schedule=(0, "-k", 2),
+        ),
+        Statement(
+            "Sr",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1)),
+            reads=(Access.to("tau", j),),
+            writes=(Access.to("A", k, j),),
+            schedule=(0, "-k", 3, "j", 0),
+        ),
+        Statement(
+            "SU",
+            loops=(("k", 0, N - 1), ("j", k + 1, N - 1), ("i", k + 1, M - 1)),
+            reads=(
+                Access.to("A", i, j),
+                Access.to("A", i, k),
+                Access.to("tau", j),
+            ),
+            writes=(Access.to("A", i, j),),
+            schedule=(0, "-k", 4, "j", 0, "i", 0),
+        ),
+        Statement(
+            "Sv",
+            loops=(("k", 0, N - 1), ("i", k + 1, M - 1)),
+            reads=(Access.to("A", i, k), Access.to("tau", k)),
+            writes=(Access.to("A", i, k),),
+            schedule=(0, "-k", 5, "i", 0),
+        ),
+    )
+    return Program(
+        name="qr_v2q",
+        params=("M", "N"),
+        arrays=arrays,
+        statements=st,
+        outputs=("A",),
+        runner=run_qr_v2q,
+        notes="Figure 6 (LAPACK ORG2R, left-looking, reversed outer loop).",
+    )
+
+
+def _validate(params: Mapping[str, int]) -> None:
+    """Numeric check: V2Q(A2V(A0)) equals the explicitly accumulated Q."""
+    m, n = params["M"], params["N"]
+    a2v = run_qr_a2v(params, None, seed=0)
+    q_ref = householder_q(a2v["A"], a2v["tau"], m)[:, :n]
+    out = run_qr_v2q(params, None, seed=0)
+    assert relative_error(out["A"], q_ref) < 1e-10, "V2Q disagrees with explicit Q"
+    assert relative_error(out["A"].T @ out["A"], np.eye(n)) < 1e-8, (
+        "Q columns not orthonormal"
+    )
+
+
+QR_V2Q = Kernel(
+    program=build_v2q_program(),
+    dominant="SU",
+    description="Householder QR, V2Q part (Figure 6 / ORG2R)",
+    default_params={"M": 12, "N": 6},
+    validate=_validate,
+)

@@ -1,0 +1,57 @@
+"""Registry of all kernels and tiled algorithms in the library."""
+
+from __future__ import annotations
+
+from .cholesky import CHOLESKY
+from .common import Kernel
+from .gebd2 import GEBD2
+from .gehd2 import GEHD2
+from .matmul import MATMUL
+from .mgs import MGS
+from .qr_a2v import QR_A2V
+from .qr_v2q import QR_V2Q
+from .syrk import SYRK
+from .tiled import TiledAlgorithm
+from .tiled_a2v import TILED_A2V
+from .tiled_mgs import TILED_MGS
+
+__all__ = [
+    "KERNELS",
+    "TILED_ALGORITHMS",
+    "PAPER_KERNELS",
+    "get_kernel",
+    "get_tiled",
+]
+
+#: every kernel, by name
+KERNELS: dict[str, Kernel] = {
+    k.name: k
+    for k in (MGS, QR_A2V, QR_V2Q, GEBD2, GEHD2, MATMUL, CHOLESKY, SYRK)
+}
+
+#: the five kernels of the paper's evaluation (Figures 4-5)
+PAPER_KERNELS: tuple[str, ...] = ("mgs", "qr_a2v", "qr_v2q", "gebd2", "gehd2")
+
+TILED_ALGORITHMS: dict[str, TiledAlgorithm] = {
+    t.name: t for t in (TILED_MGS, TILED_A2V)
+}
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a kernel by name; KeyError lists the available names."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None
+
+
+def get_tiled(name: str) -> TiledAlgorithm:
+    """Look up a tiled algorithm by name; KeyError lists the available names."""
+    try:
+        return TILED_ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown tiled algorithm {name!r}; available: {sorted(TILED_ALGORITHMS)}"
+        ) from None

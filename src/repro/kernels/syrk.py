@@ -1,0 +1,90 @@
+"""SYRK: symmetric rank-K update, C := C + A·Aᵀ (lower triangle).
+
+The paper's related work cites SYRK (Beaumont et al., SPAA'22, ref [4]) as
+a kernel needing a *specialised* proof for a tight bound.  Included here as
+another detector control: the update statement has the familiar
+three-projection shape, but both A-operands come straight from the input
+array (same in-set part — the disjoint refinement must disable), and there
+is no reduction→broadcast cycle across k, so the hourglass is rejected and
+the engine reports the plain classical bound — exactly the state of the art
+*before* [4]'s specialised argument, which is out of scope here.
+
+Statement names::
+
+    SC[k,j,i]   C[i][j] += A[i][k] * A[j][k]    (j in 0..N-1, i in j..N-1)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import Access, Array, NullTracer, Program, Statement
+from ..polyhedral import var
+from .common import Kernel, relative_error
+
+__all__ = ["SYRK", "build_syrk_program", "run_syrk"]
+
+k, j, i = var("k"), var("j"), var("i")
+N, KP = var("N"), var("KP")
+
+
+def run_syrk(params: Mapping[str, int], tracer=None, seed: int = 0):
+    """Execute the triangular rank-KP update, instrumented."""
+    n, kp = params["N"], params["KP"]
+    t = tracer if tracer is not None else NullTracer()
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, kp))
+    C = np.zeros((n, n))
+    for kk in range(kp):
+        for jj in range(n):
+            for ii in range(jj, n):
+                t.stmt("SC", kk, jj, ii)
+                t.read("C", ii, jj)
+                t.read("A", ii, kk)
+                t.read("A", jj, kk)
+                t.write("C", ii, jj)
+                C[ii, jj] += A[ii, kk] * A[jj, kk]
+    return {"A": A, "C": C}
+
+
+def build_syrk_program() -> Program:
+    arrays = (Array("A", 2), Array("C", 2))
+    st = (
+        Statement(
+            "SC",
+            loops=(("k", 0, KP - 1), ("j", 0, N - 1), ("i", j, N - 1)),
+            reads=(
+                Access.to("C", i, j),
+                Access.to("A", i, k),
+                Access.to("A", j, k),
+            ),
+            writes=(Access.to("C", i, j),),
+            schedule=(0, "k", 0, "j", 0, "i", 0),
+        ),
+    )
+    return Program(
+        name="syrk",
+        params=("N", "KP"),
+        arrays=arrays,
+        statements=st,
+        outputs=("C",),
+        runner=run_syrk,
+        notes="Triangular SYRK; classical bound only (cf. paper ref [4]).",
+    )
+
+
+def _validate(params: Mapping[str, int]) -> None:
+    out = run_syrk(params, None, seed=0)
+    ref = np.tril(out["A"] @ out["A"].T)
+    assert relative_error(np.tril(out["C"]), ref) < 1e-12
+
+
+SYRK = Kernel(
+    program=build_syrk_program(),
+    dominant="SC",
+    description="Symmetric rank-K update (classical bound only; cf. ref [4])",
+    default_params={"N": 6, "KP": 5},
+    validate=_validate,
+)

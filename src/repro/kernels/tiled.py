@@ -1,0 +1,48 @@
+"""Support for the tiled (blocked) algorithms of Appendix A.
+
+A :class:`TiledAlgorithm` is a *reordering* of a base kernel: it executes the
+same multiset of scalar operations as the untiled figure (left-looking
+instead of right-looking, blocked over columns) and emits the same statement
+instance names, so its instrumented schedule is checkable as a topological
+order of the base kernel's CDAG.  Its I/O, measured by the cache simulator
+on the address trace, realises the paper's upper bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..ir import Tracer
+from ..symbolic import Rational
+
+__all__ = ["TiledAlgorithm", "default_block_size"]
+
+
+@dataclass
+class TiledAlgorithm:
+    """A blocked ordering of a base kernel with its predicted I/O cost."""
+
+    name: str
+    #: name of the base kernel whose CDAG this algorithm reorders
+    base: str
+    #: runner(params, tracer, seed) executing the blocked order; params
+    #: must include the block size "B"
+    runner: Callable
+    #: leading-term I/O prediction from the appendix, in parameters M, N, B
+    io_reads_formula: Rational | None = None
+    io_total_formula: Rational | None = None
+    #: constraint documentation, e.g. "(M+1)*B < S"
+    cache_condition: str = ""
+    description: str = ""
+    validate: Callable[[Mapping[str, int]], None] | None = None
+
+    def run_traced(self, params: Mapping[str, int], seed: int = 0) -> Tracer:
+        t = Tracer()
+        self.runner(dict(params), t, seed=seed)
+        return t
+
+
+def default_block_size(m: int, s: int) -> int:
+    """The appendix's choice B = floor(S/M) - 1, clipped to >= 1."""
+    return max(1, s // m - 1)

@@ -1,0 +1,148 @@
+"""Tiled left-looking Householder A2V (Figure 9 / Appendix A.2).
+
+Executes exactly the scalar operations of Figure 3 (GEQR2) in the blocked
+left-looking order of Figure 9: for each block of B columns, every previous
+reflector j < k0 is loaded once and applied to the whole block, then the
+block is factored internally.  Statement instances carry the Figure 3 names
+(Sn0..Sd2, Sw0, SR, Sw1, Sw2, SU), so the schedule is verifiable against the
+Figure 3 CDAG.
+
+Appendix A.2 predicts, for M(B+1) < S:
+
+* reads ≈ (MN²/2 - N³/6)/B  (leading term),
+* writes ≈ MN,
+* with B = ⌊S/M⌋ - 1:  total I/O ≈ (M²N² - MN³/3)/(2S).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import NullTracer
+from ..symbolic import Sym
+from .common import random_matrix
+from .qr_a2v import run_qr_a2v
+from .tiled import TiledAlgorithm
+
+__all__ = ["TILED_A2V", "run_tiled_a2v"]
+
+
+def _apply_reflector(A, tau, jj, kk_col, m, t):
+    """Apply reflector jj to column kk_col (Figure 9 inner body)."""
+    t.stmt("Sw0", jj, kk_col)
+    t.read("A", jj, kk_col)
+    t.write("tmp")
+    tmp = A[jj, kk_col]
+    for ii in range(jj + 1, m):
+        t.stmt("SR", jj, kk_col, ii)
+        t.read("A", ii, jj)
+        t.read("A", ii, kk_col)
+        t.read("tmp")
+        t.write("tmp")
+        tmp += A[ii, jj] * A[ii, kk_col]
+    t.stmt("Sw1", jj, kk_col)
+    t.read("tau", jj)
+    t.read("tmp")
+    t.write("tmp")
+    tmp = tau[jj] * tmp
+    t.stmt("Sw2", jj, kk_col)
+    t.read("A", jj, kk_col)
+    t.read("tmp")
+    t.write("A", jj, kk_col)
+    A[jj, kk_col] = A[jj, kk_col] - tmp
+    for ii in range(jj + 1, m):
+        t.stmt("SU", jj, kk_col, ii)
+        t.read("A", ii, kk_col)
+        t.read("A", ii, jj)
+        t.read("tmp")
+        t.write("A", ii, kk_col)
+        A[ii, kk_col] = A[ii, kk_col] - A[ii, jj] * tmp
+
+
+def _generate_reflector(A, tau, kk, m, t):
+    """Generate reflector kk in place (Figure 9 lines 26-37 = Figure 3 head)."""
+    t.stmt("Sn0", kk)
+    t.write("norma2")
+    norma2 = 0.0
+    for ii in range(kk + 1, m):
+        t.stmt("Sn", kk, ii)
+        t.read("A", ii, kk)
+        t.read("norma2")
+        t.write("norma2")
+        norma2 += A[ii, kk] * A[ii, kk]
+    t.stmt("Snorm", kk)
+    t.read("A", kk, kk)
+    t.read("norma2")
+    t.write("norma")
+    norma = math.sqrt(A[kk, kk] * A[kk, kk] + norma2)
+    t.stmt("Sd", kk)
+    t.read("A", kk, kk)
+    t.read("norma")
+    t.write("A", kk, kk)
+    A[kk, kk] = A[kk, kk] + norma if A[kk, kk] > 0 else A[kk, kk] - norma
+    t.stmt("St", kk)
+    t.read("norma2")
+    t.read("A", kk, kk)
+    t.write("tau", kk)
+    tau[kk] = 2.0 / (1.0 + norma2 / (A[kk, kk] * A[kk, kk]))
+    for ii in range(kk + 1, m):
+        t.stmt("Sv", kk, ii)
+        t.read("A", ii, kk)
+        t.read("A", kk, kk)
+        t.write("A", ii, kk)
+        A[ii, kk] /= A[kk, kk]
+    t.stmt("Sd2", kk)
+    t.read("A", kk, kk)
+    t.read("norma")
+    t.write("A", kk, kk)
+    A[kk, kk] = -norma if A[kk, kk] > 0 else norma
+
+
+def run_tiled_a2v(params: Mapping[str, int], tracer=None, seed: int = 0):
+    """Execute Figure 9, instrumented.  params: M, N, B; requires M > N."""
+    m, n, b = params["M"], params["N"], params["B"]
+    if m <= n:
+        raise ValueError("A2V assumes M > N")
+    if b < 1:
+        raise ValueError("block size B must be >= 1")
+    t = tracer if tracer is not None else NullTracer()
+    A = random_matrix(m, n, seed)
+    tau = np.zeros(n)
+    for k0 in range(0, n, b):
+        hi = min(k0 + b, n)
+        # apply every past reflector to the whole block
+        for jj in range(k0):
+            for kk_col in range(k0, hi):
+                _apply_reflector(A, tau, jj, kk_col, m, t)
+        # factor the block internally
+        for kk_col in range(k0, hi):
+            for jj in range(k0, kk_col):
+                _apply_reflector(A, tau, jj, kk_col, m, t)
+            _generate_reflector(A, tau, kk_col, m, t)
+    return {"A": A, "tau": tau}
+
+
+def _validate(params: Mapping[str, int]) -> None:
+    """The blocked order computes bitwise the same factorization as Figure 3."""
+    base = {"M": params["M"], "N": params["N"]}
+    ref = run_qr_a2v(base, None, seed=0)
+    out = run_tiled_a2v(params, None, seed=0)
+    assert np.allclose(out["A"], ref["A"], rtol=1e-13, atol=1e-13)
+    assert np.allclose(out["tau"], ref["tau"], rtol=1e-13, atol=1e-13)
+
+
+_M, _N, _B, _S = Sym("M"), Sym("N"), Sym("B"), Sym("S")
+
+TILED_A2V = TiledAlgorithm(
+    name="tiled_a2v",
+    base="qr_a2v",
+    runner=run_tiled_a2v,
+    io_reads_formula=(_M * _N**2 / 2 - _N**3 / 6) / _B,
+    io_total_formula=(_M**2 * _N**2 - _M * _N**3 / 3) / (2 * _S),
+    cache_condition="M*(B+1) < S",
+    description="Figure 9: blocked left-looking A2V, I/O ~ (M^2N^2 - MN^3/3)/(2S)",
+    validate=_validate,
+)

@@ -1,0 +1,20 @@
+"""Red-white pebble game: the paper's execution/I-O model on explicit CDAGs."""
+
+from .exact import exact_min_loads
+from .game import GameResult, PebbleGameError, play_schedule
+from .policies import BeladyPolicy, EvictionPolicy, LRUPolicy
+from .schedules import priority_schedule, random_topological_schedule
+from .tiling import hourglass_tiled_schedule
+
+__all__ = [
+    "exact_min_loads",
+    "GameResult",
+    "PebbleGameError",
+    "play_schedule",
+    "BeladyPolicy",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "priority_schedule",
+    "random_topological_schedule",
+    "hourglass_tiled_schedule",
+]

@@ -1,0 +1,118 @@
+"""Exact minimum-I/O red-white pebble game for tiny CDAGs.
+
+Searches over *all* strategies — compute order, load and spill decisions —
+for the minimum number of Load moves, i.e. the exact I/O complexity Q of the
+CDAG under the paper's model.  This is the strongest possible anchor for the
+derived bounds: on instances small enough to solve,
+
+    derived lower bound  <=  Q_exact  <=  Belady cost of any schedule.
+
+State space is (computed-set, red-set) over compute nodes plus red flags for
+inputs; moves are Compute (free), Load (cost 1) and Spill (free), so 0-1 BFS
+finds the optimum.  Exponential: guarded by ``node_limit``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from ..cdag import CDAG
+
+__all__ = ["exact_min_loads"]
+
+Node = Hashable
+
+
+def exact_min_loads(g: CDAG, s: int, node_limit: int = 14) -> int:
+    """Exact minimum Load count over all legal red-white games.
+
+    The game must end with every compute node white-pebbled.  Inputs start
+    white (loadable at cost 1 each time they enter fast memory).
+    """
+    compute = sorted(g.compute_nodes(), key=repr)
+    inputs = sorted(g.input_nodes(), key=repr)
+    n_c, n_i = len(compute), len(inputs)
+    if n_c + n_i > node_limit + 6 or n_c > node_limit:
+        raise ValueError(
+            f"CDAG too large for exact search ({n_c} compute, {n_i} input nodes)"
+        )
+    if s < 1:
+        raise ValueError("S must be >= 1")
+
+    idx_c = {n: i for i, n in enumerate(compute)}
+    idx_i = {n: i for i, n in enumerate(inputs)}
+    all_nodes = compute + inputs
+    n_all = n_c + n_i
+
+    # bit layout: red mask over all_nodes (compute then inputs);
+    # white mask over compute nodes only
+    preds_bits = []
+    for n in compute:
+        m = 0
+        for u in g.pred[n]:
+            if u in idx_c:
+                m |= 1 << idx_c[u]
+            else:
+                m |= 1 << (n_c + idx_i[u])
+        preds_bits.append(m)
+
+    full_white = (1 << n_c) - 1
+
+    def popcount(x: int) -> int:
+        return bin(x).count("1")
+
+    start = (0, 0)  # (white_mask, red_mask)
+    dist = {start: 0}
+    dq: deque = deque([(0, start)])
+
+    def relax(nxt, nd: int, zero_cost: bool) -> None:
+        if nxt not in dist or dist[nxt] > nd:
+            dist[nxt] = nd
+            if zero_cost:
+                dq.appendleft((nd, nxt))
+            else:
+                dq.append((nd, nxt))
+
+    while dq:
+        d, state = dq.popleft()
+        if d != dist.get(state):
+            continue  # stale entry
+        white, red = state
+        if white == full_white:
+            return d
+        red_count = popcount(red)
+
+        # Compute moves (free): all preds red, node not white, room for red
+        if red_count < s:
+            for i in range(n_c):
+                bit = 1 << i
+                if white & bit:
+                    continue
+                if preds_bits[i] & red != preds_bits[i]:
+                    continue
+                relax((white | bit, red | bit), d, zero_cost=True)
+
+        # Spill moves (free): drop any red pebble
+        r = red
+        while r:
+            low = r & -r
+            r ^= low
+            relax((white, red ^ low), d, zero_cost=True)
+
+        # Load moves (cost 1): red on a white compute node or an input
+        if red_count < s:
+            for i in range(n_all):
+                bit = 1 << i
+                if red & bit:
+                    continue
+                if i < n_c and not (white & (1 << i)):
+                    continue  # value not produced yet
+                relax((white, red | bit), d + 1, zero_cost=False)
+
+    # unreachable goal: some node needs more simultaneous red pebbles than S
+    max_preds = max((popcount(p) for p in preds_bits), default=0)
+    raise ValueError(
+        f"no legal game with S={s}: a node has {max_preds} operands"
+        f" (needs S >= {max_preds + 1})"
+    )

@@ -1,0 +1,145 @@
+"""The red-white pebble game of §2 (Olivry et al.'s no-recomputation model).
+
+Rules, replayed mechanically on a CDAG:
+
+* white pebbles mark computed nodes and are never removed (no recomputation);
+* at most S red pebbles exist at any time (fast-memory residency);
+* **Compute**: a node with all predecessors red-pebbled gets a white + red
+  pebble (no I/O);
+* **Load**: a red pebble may be (re)placed on a white-pebbled node — each
+  Load is one unit of I/O;
+* **Spill**: a red pebble may be removed (free, matching the paper's
+  loads-only accounting);
+* inputs start white-pebbled; the game ends with every node white.
+
+:func:`play_schedule` prices a given topological order: before computing a
+node, every predecessor lacking a red pebble is Loaded (inputs and previously
+spilled values alike); eviction when the red budget is full is delegated to a
+policy (LRU or Belady-optimal w.r.t. the fixed schedule).  The returned
+``loads`` is a legal red-white game cost, hence an upper bound on the
+program's I/O complexity and a sound comparison point for every derived
+lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..cdag import CDAG
+from .policies import BeladyPolicy, EvictionPolicy, LRUPolicy
+
+__all__ = ["GameResult", "play_schedule", "PebbleGameError"]
+
+Node = Hashable
+
+
+class PebbleGameError(ValueError):
+    """Raised when a schedule violates the game rules."""
+
+
+@dataclass
+class GameResult:
+    """Outcome of one red-white pebble game run."""
+
+    loads: int
+    computes: int
+    spills: int
+    max_red: int
+    policy: str
+    s: int
+
+    def __repr__(self) -> str:
+        return (
+            f"GameResult(loads={self.loads}, computes={self.computes}, "
+            f"spills={self.spills}, S={self.s}, policy={self.policy})"
+        )
+
+
+def play_schedule(
+    g: CDAG,
+    schedule: Sequence[Node],
+    s: int,
+    policy: str = "belady",
+) -> GameResult:
+    """Play the red-white pebble game along ``schedule`` with |red| <= s.
+
+    ``schedule`` must be a topological order of the compute nodes (validated).
+    ``policy`` selects the eviction strategy: ``"lru"`` or ``"belady"``
+    (furthest next use in the fixed schedule — the offline optimum for this
+    replacement subproblem).
+    """
+    if s < 1:
+        raise PebbleGameError("red pebble budget S must be >= 1")
+    if not g.is_valid_schedule(schedule):
+        raise PebbleGameError("schedule is not a topological order of the CDAG")
+
+    pol: EvictionPolicy
+    if policy == "lru":
+        pol = LRUPolicy()
+    elif policy == "belady":
+        pol = BeladyPolicy(g, schedule)
+    else:
+        raise PebbleGameError(f"unknown policy {policy!r}")
+
+    white: set[Node] = set(g.input_nodes())
+    red: set[Node] = set()
+    loads = computes = spills = max_red = 0
+    clock = 0
+
+    def make_room() -> None:
+        nonlocal spills
+        while len(red) >= s:
+            victim = pol.choose_victim(red, clock)
+            if victim is None:
+                raise PebbleGameError(
+                    "all red pebbles pinned; S too small for this node"
+                )
+            red.discard(victim)
+            pol.on_evict(victim)
+            spills += 1
+
+    for v in schedule:
+        clock += 1
+        preds = g.pred[v]
+        # the compute rule needs every predecessor red *and* a free slot for
+        # v's own red pebble, so a node with |preds| >= S is uncomputable
+        if len(preds) + 1 > s:
+            raise PebbleGameError(
+                f"node {v} needs {len(preds)} operands + itself but S={s}"
+            )
+        for u in preds:
+            if u in red:
+                pol.on_access(u, clock)
+        for u in preds:
+            if u in red:
+                continue
+            if u not in white:
+                raise PebbleGameError(
+                    f"schedule computes {v} before its predecessor {u}"
+                )
+            # pin operands of v already staged: never evict them mid-compute
+            pol.pin(set(preds) & red)
+            make_room()
+            pol.unpin()
+            red.add(u)
+            pol.on_load(u, clock)
+            loads += 1
+        # compute: place white + red on v
+        pol.pin(set(preds) & red)
+        make_room()
+        pol.unpin()
+        white.add(v)
+        red.add(v)
+        pol.on_load(v, clock)  # residency bookkeeping (not an I/O load)
+        computes += 1
+        max_red = max(max_red, len(red))
+
+    return GameResult(
+        loads=loads,
+        computes=computes,
+        spills=spills,
+        max_red=max_red,
+        policy=policy,
+        s=s,
+    )

@@ -1,0 +1,116 @@
+"""Eviction (spill) policies for the red-white pebble game.
+
+The game fixes the compute order; what remains is a caching subproblem:
+which red pebble to drop when the budget is full.  ``LRUPolicy`` models what
+a practical runtime achieves; ``BeladyPolicy`` (furthest next use w.r.t. the
+fixed schedule) is the offline optimum for that subproblem, so its load count
+is the tightest upper bound a given schedule can witness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from typing import Hashable, Iterable, Sequence
+
+__all__ = ["EvictionPolicy", "LRUPolicy", "BeladyPolicy"]
+
+Node = Hashable
+_INF = float("inf")
+
+
+class EvictionPolicy:
+    """Interface; concrete policies override the hooks they need."""
+
+    def __init__(self) -> None:
+        self._pinned: frozenset[Node] = frozenset()
+
+    def pin(self, nodes: Iterable[Node]) -> None:
+        """Temporarily protect nodes from eviction (operands being staged)."""
+        self._pinned = frozenset(nodes)
+
+    def unpin(self) -> None:
+        self._pinned = frozenset()
+
+    # residency bookkeeping
+    def on_load(self, node: Node, clock: int) -> None:  # pragma: no cover
+        pass
+
+    def on_access(self, node: Node, clock: int) -> None:  # pragma: no cover
+        pass
+
+    def on_evict(self, node: Node) -> None:  # pragma: no cover
+        pass
+
+    def choose_victim(self, red: set[Node], clock: int) -> Node | None:
+        raise NotImplementedError
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least-recently-used unpinned red pebble."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_use: dict[Node, int] = {}
+
+    def on_load(self, node: Node, clock: int) -> None:
+        self._last_use[node] = clock
+
+    def on_access(self, node: Node, clock: int) -> None:
+        self._last_use[node] = clock
+
+    def on_evict(self, node: Node) -> None:
+        self._last_use.pop(node, None)
+
+    def choose_victim(self, red: set[Node], clock: int) -> Node | None:
+        victim = None
+        best = None
+        for n in red:
+            if n in self._pinned:
+                continue
+            t = self._last_use.get(n, -1)
+            if best is None or t < best:
+                best = t
+                victim = n
+        return victim
+
+
+class BeladyPolicy(EvictionPolicy):
+    """Evict the red pebble whose next use in the fixed schedule is furthest.
+
+    A node's uses are the schedule positions of its successors (a red pebble
+    is only ever needed again as an operand).  Positions are precomputed so
+    each decision is a max over the red set with O(log) next-use lookups.
+    """
+
+    def __init__(self, g, schedule: Sequence[Node]) -> None:
+        super().__init__()
+        pos = {v: idx + 1 for idx, v in enumerate(schedule)}  # clock base 1
+        self._uses: dict[Node, list[int]] = {}
+        for v in schedule:
+            p = pos[v]
+            for u in g.pred[v]:
+                self._uses.setdefault(u, []).append(p)
+        for lst in self._uses.values():
+            lst.sort()
+
+    def _next_use(self, node: Node, clock: int) -> float:
+        lst = self._uses.get(node)
+        if not lst:
+            return _INF
+        idx = bisect_right(lst, clock)
+        return lst[idx] if idx < len(lst) else _INF
+
+    def choose_victim(self, red: set[Node], clock: int) -> Node | None:
+        victim = None
+        best = -1.0
+        for n in red:
+            if n in self._pinned:
+                continue
+            nu = self._next_use(n, clock)
+            if nu == _INF:
+                return n  # dead value: free immediately
+            if nu > best:
+                best = nu
+                victim = n
+        return victim

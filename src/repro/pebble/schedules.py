@@ -1,0 +1,96 @@
+"""Alternative valid schedules of a CDAG.
+
+Lower bounds quantify over *all* topological orders; the fixed program order
+and the appendix tilings are just two points of that space.  This module
+generates more:
+
+* :func:`random_topological_schedule` — uniform-ish random linear extensions
+  (random eligible-node picks), the fuzzing probe for soundness sweeps;
+* :func:`priority_schedule` — greedy orders driven by a priority function,
+  with two built-ins: ``"depth_first"`` (finish consumers ASAP, small live
+  sets) and ``"breadth_first"`` (level order, large live sets — an
+  adversarial probe for the wavefront reasoning).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, Hashable
+
+from ..cdag import CDAG
+
+__all__ = ["random_topological_schedule", "priority_schedule"]
+
+Node = Hashable
+
+
+def random_topological_schedule(
+    g: CDAG, rng: random.Random | None = None
+) -> list[Node]:
+    """A random topological order of the compute nodes."""
+    rng = rng or random.Random()
+    compute = set(g.compute_nodes())
+    indeg = {
+        n: sum(1 for p in g.pred[n] if p in compute) for n in compute
+    }
+    ready = [n for n, d in indeg.items() if d == 0]
+    out: list[Node] = []
+    while ready:
+        idx = rng.randrange(len(ready))
+        ready[idx], ready[-1] = ready[-1], ready[idx]
+        n = ready.pop()
+        out.append(n)
+        for m in g.succ[n]:
+            if m in compute:
+                indeg[m] -= 1
+                if indeg[m] == 0:
+                    ready.append(m)
+    if len(out) != len(compute):
+        raise ValueError("CDAG contains a cycle")
+    return out
+
+
+def _depth(g: CDAG) -> dict[Node, int]:
+    depth: dict[Node, int] = {}
+    for n in g.topological_order():
+        depth[n] = 1 + max((depth[p] for p in g.pred[n]), default=-1)
+    return depth
+
+
+def priority_schedule(
+    g: CDAG,
+    priority: "str | Callable[[Node], float]" = "depth_first",
+) -> list[Node]:
+    """Greedy topological order: always run the eligible node of smallest
+    priority value.  Built-ins: "depth_first" (deepest first — chases
+    consumers), "breadth_first" (shallowest first — level order)."""
+    if callable(priority):
+        prio = priority
+    elif priority == "depth_first":
+        depth = _depth(g)
+        prio = lambda n: -depth[n]  # noqa: E731
+    elif priority == "breadth_first":
+        depth = _depth(g)
+        prio = lambda n: depth[n]  # noqa: E731
+    else:
+        raise ValueError(f"unknown priority {priority!r}")
+
+    compute = set(g.compute_nodes())
+    indeg = {
+        n: sum(1 for p in g.pred[n] if p in compute) for n in compute
+    }
+    heap = [(prio(n), repr(n), n) for n, d in indeg.items() if d == 0]
+    heapq.heapify(heap)
+    out: list[Node] = []
+    while heap:
+        _, _, n = heapq.heappop(heap)
+        out.append(n)
+        for m in g.succ[n]:
+            if m in compute:
+                indeg[m] -= 1
+                if indeg[m] == 0:
+                    heapq.heappush(heap, (prio(m), repr(m), m))
+    if len(out) != len(compute):
+        raise ValueError("CDAG contains a cycle")
+    return out

@@ -1,0 +1,33 @@
+"""A small polyhedral library: affine forms, parametric integer sets, maps.
+
+This is the ISL/barvinok substitute described in DESIGN.md §5: Fourier–Motzkin
+projection, point enumeration/counting for concrete parameters, affine maps
+for dependence relations, and closed-form symbolic counting for loop nests.
+"""
+
+from .affine import LinExpr, aff, var
+from .amap import AffineMap
+from .count import linexpr_to_poly, symbolic_count, verify_count
+from .iset import EQ, GE, Constraint, ISet, loop_nest_set
+from .lexorder import lex_le, lex_lt, lex_max, lex_min, lex_next, lex_sorted
+
+__all__ = [
+    "LinExpr",
+    "aff",
+    "var",
+    "AffineMap",
+    "linexpr_to_poly",
+    "symbolic_count",
+    "verify_count",
+    "Constraint",
+    "ISet",
+    "loop_nest_set",
+    "GE",
+    "EQ",
+    "lex_le",
+    "lex_lt",
+    "lex_max",
+    "lex_min",
+    "lex_next",
+    "lex_sorted",
+]

@@ -1,0 +1,175 @@
+"""Affine (linear + constant) forms over named variables.
+
+These are the building blocks of iteration domains, array access functions
+and dependence relations.  Variables are plain strings; whether a variable is
+a loop dimension or a program parameter is decided by the containing
+:class:`~repro.polyhedral.iset.ISet` / IR object, not here.
+
+Coefficients are exact :class:`fractions.Fraction`; the polyhedral layer
+works over the rationals and the integer semantics are recovered at
+enumeration time.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+__all__ = ["LinExpr", "aff", "var"]
+
+Number = Union[int, Fraction]
+
+
+class LinExpr:
+    """An affine form ``sum(coeff_v * v) + const``.  Immutable, hashable."""
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(
+        self,
+        coeffs: Mapping[str, Number] | Iterable[tuple[str, Number]] = (),
+        const: Number = 0,
+    ):
+        if isinstance(coeffs, Mapping):
+            items = coeffs.items()
+        else:
+            items = coeffs
+        cleaned = {}
+        for v, c in items:
+            c = Fraction(c)
+            if c != 0:
+                cleaned[v] = c
+        self._coeffs = cleaned
+        self._const = Fraction(const)
+        self._hash: int | None = None
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def coeffs(self) -> dict[str, Fraction]:
+        return dict(self._coeffs)
+
+    @property
+    def const(self) -> Fraction:
+        return self._const
+
+    def coeff(self, v: str) -> Fraction:
+        return self._coeffs.get(v, Fraction(0))
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(self._coeffs)
+
+    def is_const(self) -> bool:
+        return not self._coeffs
+
+    # -- arithmetic -----------------------------------------------------------
+    @staticmethod
+    def _coerce(x) -> "LinExpr | None":
+        if isinstance(x, LinExpr):
+            return x
+        if isinstance(x, (int, Fraction)):
+            return LinExpr((), x)
+        return None
+
+    def __add__(self, other) -> "LinExpr":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        coeffs = dict(self._coeffs)
+        for v, c in o._coeffs.items():
+            coeffs[v] = coeffs.get(v, Fraction(0)) + c
+        return LinExpr(coeffs, self._const + o._const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({v: -c for v, c in self._coeffs.items()}, -self._const)
+
+    def __sub__(self, other) -> "LinExpr":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self + (-o)
+
+    def __rsub__(self, other) -> "LinExpr":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return o + (-self)
+
+    def __mul__(self, k) -> "LinExpr":
+        if not isinstance(k, (int, Fraction)):
+            return NotImplemented
+        k = Fraction(k)
+        return LinExpr(
+            {v: c * k for v, c in self._coeffs.items()}, self._const * k
+        )
+
+    __rmul__ = __mul__
+
+    # -- evaluation -----------------------------------------------------------
+    def eval(self, env: Mapping[str, Number]) -> Fraction:
+        out = self._const
+        for v, c in self._coeffs.items():
+            if v not in env:
+                raise KeyError(f"variable {v!r} unbound")
+            out += c * Fraction(env[v])
+        return out
+
+    def subs(self, env: Mapping[str, "LinExpr | Number"]) -> "LinExpr":
+        """Substitute some variables by affine forms or numbers."""
+        out = LinExpr((), self._const)
+        for v, c in self._coeffs.items():
+            if v in env:
+                repl = env[v]
+                if not isinstance(repl, LinExpr):
+                    repl = LinExpr((), repl)
+                out = out + repl * c
+            else:
+                out = out + LinExpr({v: c})
+        return out
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        return LinExpr(
+            {mapping.get(v, v): c for v, c in self._coeffs.items()}, self._const
+        )
+
+    # -- comparison -----------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self._coeffs == o._coeffs and self._const == o._const
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (frozenset(self._coeffs.items()), self._const)
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for v in sorted(self._coeffs):
+            c = self._coeffs[v]
+            if c == 1:
+                parts.append(f"+{v}")
+            elif c == -1:
+                parts.append(f"-{v}")
+            else:
+                parts.append(f"{'+' if c > 0 else '-'}{abs(c)}*{v}")
+        if self._const or not parts:
+            parts.append(f"{'+' if self._const >= 0 else '-'}{abs(self._const)}")
+        s = "".join(parts)
+        return s[1:] if s.startswith("+") else s
+
+
+def var(name: str) -> LinExpr:
+    """An affine form consisting of a single variable."""
+    return LinExpr({name: 1})
+
+
+def aff(x: "LinExpr | Number") -> LinExpr:
+    """Coerce a number or affine form to :class:`LinExpr`."""
+    if isinstance(x, LinExpr):
+        return x
+    return LinExpr((), x)

@@ -1,0 +1,135 @@
+"""Affine maps and relations between iteration spaces.
+
+Dependence relations in the IR are guarded affine relations.  Most are
+*functional* (one target per source: e.g. the reduction chain
+``SR[k,j,i] -> SR[k,j,i+1]``); broadcasts are one-to-many and are expressed
+with *free dimensions*: the broadcast ``SR[k,j,M-1] -> SU[k,j,i']`` binds a
+free variable ``i'`` ranging over an affine interval.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .affine import LinExpr, Number, aff
+from .iset import Constraint, ISet
+
+__all__ = ["AffineMap"]
+
+FreeTriple = tuple[str, "LinExpr | Number", "LinExpr | Number"]
+
+
+class AffineMap:
+    """``{ src -> tgt : tgt_i = f_i(src, free, params), guards, free bounds }``.
+
+    ``exprs`` gives, for each target dimension, an affine expression in the
+    source dimensions, the free dimensions and parameters.  ``guards`` are
+    affine constraints over the source dims (+ params).  ``free`` lists
+    ``(name, lo, hi)`` inclusive affine bounds (in source dims + params) for
+    each free dimension; the relation relates a source point to one target
+    per integer assignment of the free dims.
+    """
+
+    __slots__ = ("src_dims", "tgt_dims", "exprs", "guards", "free")
+
+    def __init__(
+        self,
+        src_dims: Sequence[str],
+        tgt_dims: Sequence[str],
+        exprs: Mapping[str, LinExpr | Number],
+        guards: Iterable[Constraint] = (),
+        free: Sequence[FreeTriple] = (),
+    ):
+        self.src_dims = tuple(src_dims)
+        self.tgt_dims = tuple(tgt_dims)
+        missing = set(tgt_dims) - set(exprs)
+        if missing:
+            raise ValueError(f"missing expressions for target dims {missing}")
+        self.exprs = {d: aff(exprs[d]) for d in tgt_dims}
+        self.guards = tuple(guards)
+        self.free = tuple((n, aff(lo), aff(hi)) for n, lo, hi in free)
+
+    def is_functional(self) -> bool:
+        return not self.free
+
+    def _guard_ok(self, env: Mapping[str, Number]) -> bool:
+        return all(g.holds(env) for g in self.guards)
+
+    def _target(self, env: Mapping[str, Number]) -> tuple[int, ...] | None:
+        out = []
+        for d in self.tgt_dims:
+            v = self.exprs[d].eval(env)
+            if v.denominator != 1:
+                return None
+            out.append(int(v))
+        return tuple(out)
+
+    def apply(
+        self, point: Sequence[int], params: Mapping[str, int]
+    ) -> tuple[int, ...] | None:
+        """Map a concrete source point (functional maps only)."""
+        if self.free:
+            raise ValueError("apply() on a relation with free dims; use apply_all")
+        env = dict(params)
+        env.update(zip(self.src_dims, point))
+        if not self._guard_ok(env):
+            return None
+        return self._target(env)
+
+    def apply_all(
+        self, point: Sequence[int], params: Mapping[str, int]
+    ) -> Iterator[tuple[int, ...]]:
+        """All targets related to a concrete source point."""
+        env = dict(params)
+        env.update(zip(self.src_dims, point))
+        if not self._guard_ok(env):
+            return
+        if not self.free:
+            t = self._target(env)
+            if t is not None:
+                yield t
+            return
+
+        def rec(k: int) -> Iterator[tuple[int, ...]]:
+            if k == len(self.free):
+                t = self._target(env)
+                if t is not None:
+                    yield t
+                return
+            name, lo, hi = self.free[k]
+            lo_v = lo.eval(env)
+            hi_v = hi.eval(env)
+            import math
+
+            for v in range(math.ceil(lo_v), math.floor(hi_v) + 1):
+                env[name] = v
+                yield from rec(k + 1)
+            env.pop(name, None)
+
+        yield from rec(0)
+
+    def restrict_domain(self, dom: ISet) -> "AffineMap":
+        """Add the constraints of ``dom`` (over src dims) as guards."""
+        if dom.dims != self.src_dims:
+            raise ValueError("domain dims mismatch")
+        return AffineMap(
+            self.src_dims,
+            self.tgt_dims,
+            self.exprs,
+            self.guards + dom.constraints,
+            self.free,
+        )
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{d}' = {self.exprs[d]!r}" for d in self.tgt_dims)
+        g = (
+            " : " + " and ".join(repr(c) for c in self.guards)
+            if self.guards
+            else ""
+        )
+        f = (
+            " free " + ", ".join(f"{n} in [{lo!r},{hi!r}]" for n, lo, hi in self.free)
+            if self.free
+            else ""
+        )
+        return f"{{[{', '.join(self.src_dims)}] -> [{body}]{g}{f}}}"

@@ -1,0 +1,277 @@
+"""Parametric integer sets bounded by affine constraints (a small ISL work-alike).
+
+An :class:`ISet` is ``{ (d_1..d_n) in Z^n : c_j(d, p) >= 0 }`` where the
+``c_j`` are affine in the dimensions ``d`` and the symbolic parameters ``p``.
+The fragment implemented here — intersection, slicing, Fourier–Motzkin
+projection, point enumeration and counting for concrete parameter values —
+is exactly what the paper's kernels (loop-nest domains with affine bounds)
+require; see DESIGN.md §5 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .affine import LinExpr, Number, aff
+
+__all__ = ["Constraint", "ISet", "loop_nest_set"]
+
+GE = ">="
+EQ = "=="
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr >= 0`` (kind GE) or ``expr == 0`` (kind EQ)."""
+
+    expr: LinExpr
+    kind: str = GE
+
+    def __post_init__(self):
+        if self.kind not in (GE, EQ):
+            raise ValueError(f"bad constraint kind {self.kind!r}")
+
+    def holds(self, env: Mapping[str, Number]) -> bool:
+        v = self.expr.eval(env)
+        return v == 0 if self.kind == EQ else v >= 0
+
+    def subs(self, env: Mapping[str, LinExpr | Number]) -> "Constraint":
+        return Constraint(self.expr.subs(env), self.kind)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self.expr.rename(mapping), self.kind)
+
+    def __repr__(self) -> str:
+        return f"{self.expr!r} {self.kind} 0"
+
+
+class ISet:
+    """A parametric integer set over named dimensions.
+
+    ``dims`` is the ordered tuple of dimension names (the enumeration order —
+    by convention the loop order, outermost first).  Every variable appearing
+    in a constraint that is not a dimension is a parameter.
+    """
+
+    __slots__ = ("dims", "constraints")
+
+    def __init__(self, dims: Sequence[str], constraints: Iterable[Constraint]):
+        self.dims: tuple[str, ...] = tuple(dims)
+        if len(set(self.dims)) != len(self.dims):
+            raise ValueError(f"duplicate dimensions in {self.dims}")
+        self.constraints: tuple[Constraint, ...] = tuple(constraints)
+
+    # -- inspection -----------------------------------------------------------
+    def params(self) -> frozenset[str]:
+        out: set[str] = set()
+        for c in self.constraints:
+            out |= c.expr.variables()
+        return frozenset(out - set(self.dims))
+
+    def __repr__(self) -> str:
+        cs = " and ".join(repr(c) for c in self.constraints)
+        return f"{{[{', '.join(self.dims)}] : {cs}}}"
+
+    # -- predicates ------------------------------------------------------------
+    def contains(
+        self, point: Sequence[int], params: Mapping[str, int]
+    ) -> bool:
+        if len(point) != len(self.dims):
+            raise ValueError(
+                f"point arity {len(point)} != set arity {len(self.dims)}"
+            )
+        env = dict(params)
+        env.update(zip(self.dims, point))
+        return all(c.holds(env) for c in self.constraints)
+
+    # -- set algebra -------------------------------------------------------
+    def intersect(self, other: "ISet") -> "ISet":
+        if other.dims != self.dims:
+            raise ValueError("intersecting sets with different dimensions")
+        return ISet(self.dims, self.constraints + other.constraints)
+
+    def with_constraints(self, extra: Iterable[Constraint]) -> "ISet":
+        return ISet(self.dims, self.constraints + tuple(extra))
+
+    def fix(self, assignments: Mapping[str, int]) -> "ISet":
+        """Slice: fix some dimensions to integer values."""
+        remaining = tuple(d for d in self.dims if d not in assignments)
+        env = {d: aff(v) for d, v in assignments.items()}
+        return ISet(remaining, (c.subs(env) for c in self.constraints))
+
+    # -- Fourier–Motzkin projection ---------------------------------------
+    def eliminate(self, dim: str) -> "ISet":
+        """Project out one dimension (rational FM shadow).
+
+        The result is a superset of the exact integer projection; exact
+        enumeration-level semantics are recovered in :meth:`points` by
+        substituting concrete values level by level.
+        """
+        if dim not in self.dims:
+            raise ValueError(f"{dim!r} is not a dimension of {self.dims}")
+        eqs, lowers, uppers, rest = [], [], [], []
+        for c in self.constraints:
+            a = c.expr.coeff(dim)
+            if c.kind == EQ and a != 0:
+                eqs.append(c)
+            elif a > 0:
+                lowers.append(c)  # a*dim + r >= 0  ->  dim >= -r/a
+            elif a < 0:
+                uppers.append(c)  # dim <= -r/a
+            else:
+                rest.append(c)
+        new_dims = tuple(d for d in self.dims if d != dim)
+        if eqs:
+            # substitute dim := -rest/a from the first equality
+            eq = eqs[0]
+            a = eq.expr.coeff(dim)
+            repl = (eq.expr - LinExpr({dim: a})) * Fraction(-1, 1) * (Fraction(1) / a)
+            env = {dim: repl}
+            out = [c.subs(env) for c in self.constraints if c is not eq]
+            return ISet(new_dims, out)
+        out = list(rest)
+        for lo in lowers:
+            for up in uppers:
+                a = lo.expr.coeff(dim)
+                b = -up.expr.coeff(dim)
+                # combine a*dim + r1 >= 0 and -b*dim + r2 >= 0:
+                #   b*r1 + a*r2 >= 0
+                combined = lo.expr * b + up.expr * a
+                combined = combined - LinExpr({dim: combined.coeff(dim)})
+                out.append(Constraint(combined, GE))
+        return ISet(new_dims, out)
+
+    def project(self, keep: Sequence[str]) -> "ISet":
+        """Project onto a subset of dimensions (rational shadow), keeping order."""
+        keep_set = set(keep)
+        unknown = keep_set - set(self.dims)
+        if unknown:
+            raise ValueError(f"unknown dimensions {unknown}")
+        s = self
+        for d in reversed(self.dims):
+            if d not in keep_set:
+                s = s.eliminate(d)
+        # reorder
+        order = tuple(k for k in keep)
+        if s.dims != order:
+            perm_set = ISet(order, s.constraints)
+            return perm_set
+        return s
+
+    # -- enumeration ------------------------------------------------------
+    def _bounds_for(
+        self, dim: str, env: Mapping[str, Number], shadow: "ISet"
+    ) -> tuple[int, int] | None:
+        """Integer [lo, hi] range of `dim` in `shadow` given fixed env."""
+        lo: Fraction | None = None
+        hi: Fraction | None = None
+        for c in shadow.constraints:
+            a = c.expr.coeff(dim)
+            if a == 0:
+                # pure guard at this level
+                v = c.expr.eval(env)
+                ok = (v == 0) if c.kind == EQ else (v >= 0)
+                if not ok:
+                    return None
+                continue
+            rest = (c.expr - LinExpr({dim: a})).eval(env)
+            bound = -rest / a
+            if c.kind == EQ:
+                if bound.denominator != 1:
+                    return None
+                lo = bound if lo is None else max(lo, bound)
+                hi = bound if hi is None else min(hi, bound)
+            elif a > 0:
+                lo = bound if lo is None else max(lo, bound)
+            else:
+                hi = bound if hi is None else min(hi, bound)
+        if lo is None or hi is None:
+            raise ValueError(
+                f"dimension {dim!r} is unbounded; cannot enumerate"
+            )
+        ilo = math.ceil(lo)
+        ihi = math.floor(hi)
+        if ihi < ilo:
+            return None
+        return ilo, ihi
+
+    def points(self, params: Mapping[str, int]) -> Iterator[tuple[int, ...]]:
+        """Enumerate all integer points for concrete parameter values."""
+        missing = self.params() - set(params)
+        if missing:
+            raise KeyError(f"unbound parameters {sorted(missing)}")
+        # prefix shadows: shadow[k] constrains dims[0..k]
+        shadows: list[ISet] = [None] * len(self.dims)  # type: ignore
+        s = self
+        for k in range(len(self.dims) - 1, -1, -1):
+            shadows[k] = s
+            if k > 0:
+                s = s.eliminate(self.dims[k])
+
+        def rec(k: int, env: dict) -> Iterator[tuple[int, ...]]:
+            if k == len(self.dims):
+                yield tuple(env[d] for d in self.dims)
+                return
+            dim = self.dims[k]
+            rng = self._bounds_for(dim, env, shadows[k])
+            if rng is None:
+                return
+            lo, hi = rng
+            for v in range(lo, hi + 1):
+                env[dim] = v
+                if k == len(self.dims) - 1:
+                    # verify against the *original* constraints (the shadow
+                    # chain is exact here, but equalities with fractional
+                    # solutions are filtered)
+                    if all(c.holds(env) for c in self.constraints):
+                        yield tuple(env[d] for d in self.dims)
+                else:
+                    yield from rec(k + 1, env)
+            env.pop(dim, None)
+
+        if not self.dims:
+            env0 = dict(params)
+            if all(c.holds(env0) for c in self.constraints):
+                yield ()
+            return
+        yield from rec(0, dict(params))
+
+    def count(self, params: Mapping[str, int]) -> int:
+        """Number of integer points at concrete parameter values."""
+        return sum(1 for _ in self.points(params))
+
+    def is_empty(self, params: Mapping[str, int]) -> bool:
+        return next(iter(self.points(params)), None) is None
+
+    def sample(self, params: Mapping[str, int]) -> tuple[int, ...] | None:
+        return next(iter(self.points(params)), None)
+
+    def project_points(
+        self, keep: Sequence[str], params: Mapping[str, int]
+    ) -> set[tuple[int, ...]]:
+        """Exact integer projection (as a finite set of tuples)."""
+        idx = [self.dims.index(k) for k in keep]
+        return {tuple(p[i] for i in idx) for p in self.points(params)}
+
+
+def loop_nest_set(
+    loops: Sequence[tuple[str, LinExpr | Number, LinExpr | Number]],
+    guards: Iterable[Constraint] = (),
+) -> ISet:
+    """Build the ISet of a loop nest ``[(var, lo, hi_inclusive), ...]``.
+
+    Bounds may reference outer loop variables and parameters, exactly like
+    the figures in the paper (e.g. ``for (j = k+1; j < N; ++j)`` becomes
+    ``("j", var("k") + 1, var("N") - 1)``).
+    """
+    dims = [v for v, _, _ in loops]
+    cons: list[Constraint] = []
+    for v, lo, hi in loops:
+        cons.append(Constraint(LinExpr({v: 1}) - aff(lo), GE))
+        cons.append(Constraint(aff(hi) - LinExpr({v: 1}), GE))
+    cons.extend(guards)
+    return ISet(dims, cons)

@@ -1,0 +1,59 @@
+"""Lexicographic-order helpers for iteration vectors.
+
+The paper's hourglass definition speaks of "the next valid lexicographic
+value of k-vector" and of lexicographic comparisons between temporal slices;
+these helpers implement that vocabulary over finite point sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["lex_lt", "lex_le", "lex_min", "lex_max", "lex_next", "lex_sorted"]
+
+
+def lex_lt(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Strict lexicographic a < b (equal-length vectors)."""
+    if len(a) != len(b):
+        raise ValueError("lexicographic comparison of different arities")
+    return tuple(a) < tuple(b)
+
+
+def lex_le(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Lexicographic a <= b (equal-length vectors)."""
+    if len(a) != len(b):
+        raise ValueError("lexicographic comparison of different arities")
+    return tuple(a) <= tuple(b)
+
+
+def lex_min(points: Iterable[Sequence[int]]) -> tuple[int, ...]:
+    """Lexicographically smallest point of a non-empty collection."""
+    return tuple(min(tuple(p) for p in points))
+
+
+def lex_max(points: Iterable[Sequence[int]]) -> tuple[int, ...]:
+    """Lexicographically largest point of a non-empty collection."""
+    return tuple(max(tuple(p) for p in points))
+
+
+def lex_next(
+    point: Sequence[int], universe: Iterable[Sequence[int]]
+) -> tuple[int, ...] | None:
+    """The smallest element of ``universe`` strictly greater than ``point``.
+
+    This is the paper's ``k+1`` operation: the next *valid* lexicographic
+    value within a finite set of iteration vectors.  None if ``point`` is
+    the maximum.
+    """
+    p = tuple(point)
+    best: tuple[int, ...] | None = None
+    for q in universe:
+        tq = tuple(q)
+        if tq > p and (best is None or tq < best):
+            best = tq
+    return best
+
+
+def lex_sorted(points: Iterable[Sequence[int]]) -> list[tuple[int, ...]]:
+    """Points as tuples in lexicographic order."""
+    return sorted(tuple(p) for p in points)

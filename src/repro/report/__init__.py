@@ -1,0 +1,14 @@
+"""Rendering of evaluation tables (Figure 4 / Figure 5 style)."""
+
+from .figures import default_regime, fig4_rows, fig5_rows, render_fig4, render_fig5
+from .tables import format_number, render_table
+
+__all__ = [
+    "default_regime",
+    "fig4_rows",
+    "fig5_rows",
+    "render_fig4",
+    "render_fig5",
+    "format_number",
+    "render_table",
+]

@@ -1,0 +1,126 @@
+"""Regeneration of the paper's evaluation artifacts (Figures 4 and 5).
+
+These functions produce the same *rows* the paper's tables report — the
+old (classical) and new (hourglass) bounds per kernel — from our engine and
+from the transcribed catalog, so the benches can print them side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..bounds import FIG4, FIG5_NEW, FIG5_OLD, DerivationReport, derive
+from ..kernels import KERNELS, PAPER_KERNELS
+from ..symbolic import Regime, growth_exponent
+from .tables import render_table
+
+__all__ = ["fig4_rows", "fig5_rows", "render_fig4", "render_fig5", "default_regime"]
+
+
+def default_regime(kernel: str) -> Regime:
+    """The paper's comparison regime: tall matrices, cache ~ sqrt(scale)."""
+    if kernel == "gehd2":
+        return Regime(
+            {"N": lambda t: t, "S": lambda t: math.sqrt(t)}, name="N=t,S=sqrt(t)"
+        )
+    return Regime(
+        {
+            "M": lambda t: 4 * t,
+            "N": lambda t: t,
+            "S": lambda t: math.sqrt(t),
+        },
+        name="M=4t,N=t,S=sqrt(t)",
+    )
+
+
+def fig4_rows(
+    reports: Mapping[str, DerivationReport] | None = None,
+    eval_params: Mapping[str, Mapping[str, int]] | None = None,
+) -> list[list]:
+    """Figure 4 rows: kernel, paper old/new at eval point, engine old/new,
+    and the measured asymptotic improvement exponent new/old."""
+    if reports is None:
+        reports = {k: derive(KERNELS[k]) for k in PAPER_KERNELS}
+    rows = []
+    for name in PAPER_KERNELS:
+        rep = reports[name]
+        env = dict(eval_params[name]) if eval_params else _default_env(name)
+        paper_old = FIG4[name]["old"].evaluate(env)
+        paper_new = FIG4[name]["new"].evaluate(env)
+        engine_old = rep.classical.evaluate(env)
+        engine_new, _ = _engine_new(rep, env)
+        regime = default_regime(name)
+        exp = growth_exponent(
+            FIG4[name]["new"].expr, FIG4[name]["old"].expr, regime
+        )
+        rows.append(
+            [
+                name,
+                paper_old,
+                paper_new,
+                engine_old,
+                engine_new,
+                f"t^{exp:.2f}",
+            ]
+        )
+    return rows
+
+
+def _engine_new(rep: DerivationReport, env: Mapping[str, int]):
+    cands = []
+    if rep.hourglass:
+        cands.append(rep.hourglass)
+    cands.extend(rep.hourglass_split)
+    best, val = None, float("-inf")
+    for b in cands:
+        try:
+            v = b.evaluate(env)
+        except (ZeroDivisionError, KeyError):
+            continue
+        if v > val:
+            best, val = b, v
+    return (val if best else float("nan")), best
+
+
+def _default_env(name: str) -> dict[str, int]:
+    # reference point inside the regime where the hourglass bound binds
+    # (GEHD2's improvement factor is ~ sqrt(S)*N/(20*(N/2+S)): it needs
+    # S >> 100 and S << N simultaneously)
+    if name == "gehd2":
+        return {"N": 4000, "S": 1024}
+    return {"M": 4000, "N": 1000, "S": 1024}
+
+
+def render_fig4(**kw) -> str:
+    """Figure 4 as a text table (see fig4_rows for the columns)."""
+    rows = fig4_rows(**kw)
+    return render_table(
+        ["kernel", "paper old", "paper new", "engine old", "engine new", "new/old growth"],
+        rows,
+        title="Figure 4: asymptotic lower bounds (evaluated at the reference point)",
+    )
+
+
+def fig5_rows(
+    eval_params: Mapping[str, Mapping[str, int]] | None = None,
+) -> list[list]:
+    """Figure 5 rows: the full published formulas, old vs new, with the
+    concrete improvement ratio at the evaluation point."""
+    rows = []
+    for name in PAPER_KERNELS:
+        env = dict(eval_params[name]) if eval_params else _default_env(name)
+        old = FIG5_OLD[name].evaluate(env)
+        new = FIG5_NEW[name].evaluate(env)
+        rows.append([name, old, new, new / old if old else float("nan")])
+    return rows
+
+
+def render_fig5(**kw) -> str:
+    """Figure 5 as a text table (see fig5_rows for the columns)."""
+    rows = fig5_rows(**kw)
+    return render_table(
+        ["kernel", "fig5 old bound", "fig5 new bound", "improvement"],
+        rows,
+        title="Figure 5: full parametric bounds (with constants)",
+    )

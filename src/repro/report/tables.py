@@ -1,0 +1,48 @@
+"""Plain-text table rendering for Figure 4 / Figure 5 style reports."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "format_number"]
+
+
+def format_number(x, sig: int = 4) -> str:
+    """Compact human formatting: ints verbatim, floats to sig digits, None as '-'."""
+    if x is None:
+        return "-"
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    try:
+        xf = float(x)
+    except (TypeError, ValueError):
+        return str(x)
+    if xf == 0:
+        return "0"
+    if abs(xf) >= 1e6 or abs(xf) < 1e-3:
+        return f"{xf:.{sig - 1}e}"
+    return f"{xf:.{sig}g}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Fixed-width text table (the benches print these to stdout)."""
+    cells = [[format_number(c) if not isinstance(c, str) else c for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in cells:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)

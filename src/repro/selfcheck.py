@@ -1,0 +1,139 @@
+"""One-call validation battery for a kernel.
+
+``selfcheck(kernel)`` runs every independent check the repository has on a
+single kernel and returns a structured report:
+
+1. static Program well-formedness;
+2. numeric validation (the kernel's own linear-algebra ground truth);
+3. spec-vs-runner trace identity (declared IR replays the implementation);
+4. CDAG agreement (declared/dataflow vs instrumented);
+5. symbolic instance counts vs enumeration;
+6. bound soundness against the pebble game across a small cache sweep.
+
+Used by ``iolb selfcheck`` and by downstream users adding their own kernels
+— if all six pass, the derivation machinery's preconditions hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .bounds import derive
+from .cdag import build_cdag, check_program_deps, check_spec_matches_runner
+from .ir import Tracer, validate_program
+from .kernels.common import Kernel
+from .pebble import play_schedule
+
+__all__ = ["CheckOutcome", "SelfCheckReport", "selfcheck"]
+
+
+@dataclass
+class CheckOutcome:
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __repr__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}" + (f": {self.detail}" if self.detail else "")
+
+
+@dataclass
+class SelfCheckReport:
+    kernel: str
+    checks: list[CheckOutcome] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def summary(self) -> str:
+        lines = [f"selfcheck {self.kernel}:"]
+        lines.extend(f"  {c!r}" for c in self.checks)
+        lines.append(f"  => {'ALL PASS' if self.ok() else 'FAILURES'}")
+        return "\n".join(lines)
+
+
+def selfcheck(
+    kernel: Kernel,
+    params: Mapping[str, int] | None = None,
+    caches: tuple[int, ...] = (4, 8, 16),
+) -> SelfCheckReport:
+    """Run the full validation battery; never raises (failures are recorded)."""
+    params = dict(params or kernel.default_params)
+    rep = SelfCheckReport(kernel=kernel.name)
+
+    def record(name: str, fn) -> bool:
+        try:
+            detail = fn() or ""
+            rep.checks.append(CheckOutcome(name, True, detail))
+            return True
+        except Exception as exc:  # noqa: BLE001 - battery must not raise
+            rep.checks.append(CheckOutcome(name, False, f"{type(exc).__name__}: {exc}"))
+            return False
+
+    def c_static():
+        problems = validate_program(kernel.program)
+        if problems:
+            raise AssertionError("; ".join(problems))
+        return f"{len(kernel.program.statements)} statements well-formed"
+
+    def c_numeric():
+        if kernel.validate is None:
+            return "no numeric validator declared (skipped)"
+        kernel.validate(params)
+        return "linear-algebra ground truth ok"
+
+    def c_trace():
+        ok, msg = check_spec_matches_runner(kernel.program, params)
+        if not ok:
+            raise AssertionError(msg)
+        return msg
+
+    def c_cdag():
+        diff = check_program_deps(kernel.program, params)
+        if not diff.ok():
+            raise AssertionError(diff.summary())
+        return "declared/dataflow CDAG == instrumented CDAG"
+
+    def c_counts():
+        total = 0
+        for st in kernel.program.statements:
+            try:
+                formula = st.instance_count()
+            except ValueError:
+                continue  # guarded statements have no closed form
+            got = int(formula.eval(params))
+            want = st.domain().count(params)
+            if got != want:
+                raise AssertionError(
+                    f"{st.name}: symbolic {got} != enumerated {want}"
+                )
+            total += want
+        return f"{total} instances, all counts exact"
+
+    def c_soundness():
+        report = derive(kernel, small_params=params)
+        g = build_cdag(kernel.program, params)
+        t = Tracer()
+        kernel.program.runner(dict(params), t)
+        worst = None
+        for s in caches:
+            try:
+                measured = play_schedule(g, t.schedule, s, "belady").loads
+            except Exception:
+                continue  # S too small for some node's operand count
+            _, lb = report.best({**params, "S": s})
+            if lb > measured + 1e-9:
+                raise AssertionError(f"S={s}: bound {lb} > measured {measured}")
+            gap = measured / max(lb, 1e-9)
+            worst = gap if worst is None else min(worst, gap)
+        return f"sound; tightest gap {worst:.2f}x" if worst else "no feasible S"
+
+    record("static-validation", c_static)
+    record("numeric", c_numeric)
+    if record("spec-vs-runner", c_trace):
+        record("cdag", c_cdag)
+        record("counts", c_counts)
+        record("bound-soundness", c_soundness)
+    return rep

@@ -1,0 +1,43 @@
+"""Exact symbolic expressions for parametric I/O bounds.
+
+Public surface:
+
+* :func:`Sym`, :func:`Const` — build polynomials; overloaded operators give
+  :class:`Poly` and, on division, :class:`Rational`.
+* :func:`sum_poly`, :func:`count_nest`, :func:`faulhaber` — closed-form
+  summation / loop-nest point counting.
+* :class:`Regime`, :func:`classify`, :func:`limit_ratio` — asymptotic
+  comparison along growth regimes.
+"""
+
+from .expr import Const, Monomial, Poly, Sym, poly
+from .latex import to_latex
+from .rational import Rational, as_rational, ratio
+from .summation import count_nest, faulhaber, sum_poly
+from .asymptotic import (
+    Regime,
+    classify,
+    growth_exponent,
+    improvement_factor,
+    limit_ratio,
+)
+
+__all__ = [
+    "Const",
+    "Monomial",
+    "Poly",
+    "Sym",
+    "poly",
+    "Rational",
+    "as_rational",
+    "ratio",
+    "count_nest",
+    "faulhaber",
+    "sum_poly",
+    "Regime",
+    "classify",
+    "improvement_factor",
+    "limit_ratio",
+    "growth_exponent",
+    "to_latex",
+]

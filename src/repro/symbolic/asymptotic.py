@@ -1,0 +1,128 @@
+"""Asymptotic comparison of parametric bound expressions.
+
+Figure 4 of the paper compares *asymptotic* bounds (e.g. the hourglass MGS
+bound improves on the classical one by Theta(M/sqrt(S))).  Rather than build a
+symbolic limit engine, we classify ratios numerically along a user-declared
+growth regime — each parameter is a function of a single scale ``t``.  The
+classification uses the log–log slope of the ratio, which detects arbitrarily
+slow polynomial growth (t**(1/4) and the like) that a plain convergence test
+would miss.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from .rational import ExprLike, as_rational
+
+__all__ = ["Regime", "growth_exponent", "limit_ratio", "classify", "improvement_factor"]
+
+GrowthFn = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class Regime:
+    """A growth regime: parameter name -> function of the scale t.
+
+    Example: ``Regime({"M": lambda t: t, "N": lambda t: t, "S": math.sqrt})``
+    models square matrices with a cache of size sqrt(M).
+    """
+
+    growth: Mapping[str, GrowthFn] = field(default_factory=dict)
+    name: str = ""
+
+    def env(self, t: float) -> dict[str, float]:
+        return {k: float(f(t)) for k, f in self.growth.items()}
+
+
+def _ratios(
+    num: ExprLike, den: ExprLike, regime: Regime, ts: Sequence[float]
+) -> list[float]:
+    n = as_rational(num)
+    d = as_rational(den)
+    out = []
+    for t in ts:
+        env = regime.env(t)
+        dv = d.eval(env)
+        nv = n.eval(env)
+        if dv == 0:
+            raise ZeroDivisionError(f"denominator vanishes at t={t}")
+        out.append(float(nv) / float(dv))
+    return out
+
+
+def growth_exponent(
+    num: ExprLike,
+    den: ExprLike,
+    regime: Regime,
+    *,
+    t0: float = 2.0**10,
+    steps: int = 20,
+    factor: float = 2.0,
+) -> float:
+    """Estimate ``alpha`` such that ``num/den ~ t**alpha`` along ``regime``.
+
+    Computed as the log–log slope of the ratio over the last half of a
+    geometric sweep of ``t``; exact for rational functions with Puiseux
+    exponents, which is all this library produces.
+    """
+    ts = [t0 * factor**k for k in range(steps)]
+    rs = _ratios(num, den, regime, ts)
+    if any(r <= 0 for r in rs):
+        raise ValueError("growth_exponent requires eventually-positive ratios")
+    half = steps // 2
+    lt0, lt1 = math.log(ts[half]), math.log(ts[-1])
+    lr0, lr1 = math.log(rs[half]), math.log(rs[-1])
+    return (lr1 - lr0) / (lt1 - lt0)
+
+
+def limit_ratio(
+    num: ExprLike,
+    den: ExprLike,
+    regime: Regime,
+    *,
+    t0: float = 2.0**10,
+    steps: int = 20,
+    factor: float = 2.0,
+    slope_tol: float = 5e-3,
+) -> float:
+    """Estimate ``lim_{t->inf} num/den`` along ``regime``.
+
+    Returns ``math.inf`` when the ratio grows polynomially, ``0.0`` when it
+    decays polynomially, otherwise the value at the largest sampled ``t``
+    (the limit, for rational functions with a finite one).
+    """
+    alpha = growth_exponent(num, den, regime, t0=t0, steps=steps, factor=factor)
+    ts = [t0 * factor**k for k in range(steps)]
+    rs = _ratios(num, den, regime, ts)
+    if alpha > slope_tol:
+        return math.inf if rs[-1] > 0 else -math.inf
+    if alpha < -slope_tol:
+        return 0.0
+    return rs[-1]
+
+
+def classify(num: ExprLike, den: ExprLike, regime: Regime, **kw) -> str:
+    """Classify num vs den along a regime.
+
+    Returns ``"dominated"`` (num = o(den)), ``"same-order"`` (Theta), or
+    ``"dominates"`` (den = o(num)).
+    """
+    lim = limit_ratio(num, den, regime, **kw)
+    if lim == 0.0:
+        return "dominated"
+    if math.isinf(lim):
+        return "dominates"
+    return "same-order"
+
+
+def improvement_factor(
+    new: ExprLike, old: ExprLike, regime: Regime, t: float = 2.0**16
+) -> float:
+    """Concrete new/old ratio at scale t — how much a bound improved."""
+    n = as_rational(new)
+    o = as_rational(old)
+    env = regime.env(t)
+    return float(n.eval(env)) / float(o.eval(env))

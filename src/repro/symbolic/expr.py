@@ -1,0 +1,429 @@
+"""Multivariate polynomial expressions over the rationals.
+
+This module is the foundation of the bound engine: every I/O lower or upper
+bound in the paper is a *parametric* formula such as ``M**2*N*(N-1)/(8*(S+M))``.
+Since no computer-algebra system is available offline, we implement the small
+fragment we need: Laurent--Puiseux polynomials (monomials with rational, possibly
+negative exponents) with exact :class:`fractions.Fraction` coefficients, plus
+rational functions on top of them (:mod:`repro.symbolic.rational`).
+
+The design favours correctness and hashability over speed; polynomials here
+describe *bounds*, they are never in an inner loop.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+Number = Union[int, Fraction, float]
+
+__all__ = ["Monomial", "Poly", "Sym", "Const", "poly"]
+
+
+def _fr(x: Number) -> Fraction:
+    """Coerce ``x`` to an exact Fraction (floats must be exactly representable)."""
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, int):
+        return Fraction(x)
+    if isinstance(x, float):
+        if not x.is_integer():
+            # Keep exact semantics: only integral floats are silently accepted.
+            return Fraction(x).limit_denominator(10**12)
+        return Fraction(int(x))
+    raise TypeError(f"cannot coerce {x!r} to Fraction")
+
+
+class Monomial:
+    """A power product ``prod(sym**exp)`` with rational exponents.
+
+    Immutable and hashable.  The empty monomial is the constant ``1``.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Iterable[tuple[str, Fraction]] = ()):
+        cleaned = tuple(
+            sorted((s, Fraction(e)) for s, e in items if e != 0)
+        )
+        self._items = cleaned
+        self._hash = hash(cleaned)
+
+    @property
+    def items(self) -> tuple[tuple[str, Fraction], ...]:
+        return self._items
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset(s for s, _ in self._items)
+
+    def exponent(self, sym: str) -> Fraction:
+        for s, e in self._items:
+            if s == sym:
+                return e
+        return Fraction(0)
+
+    def degree(self) -> Fraction:
+        """Total degree (sum of all exponents)."""
+        return sum((e for _, e in self._items), Fraction(0))
+
+    def is_one(self) -> bool:
+        return not self._items
+
+    def is_integral(self) -> bool:
+        """True if every exponent is a non-negative integer."""
+        return all(e.denominator == 1 and e >= 0 for _, e in self._items)
+
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        exps: dict[str, Fraction] = dict(self._items)
+        for s, e in other._items:
+            exps[s] = exps.get(s, Fraction(0)) + e
+        return Monomial(exps.items())
+
+    def __pow__(self, k: Fraction | int) -> "Monomial":
+        k = Fraction(k)
+        return Monomial((s, e * k) for s, e in self._items)
+
+    def divides(self, other: "Monomial") -> bool:
+        return all(other.exponent(s) >= e for s, e in self._items)
+
+    def gcd(self, other: "Monomial") -> "Monomial":
+        syms = self.symbols() & other.symbols()
+        return Monomial(
+            (s, min(self.exponent(s), other.exponent(s))) for s in syms
+        )
+
+    def divide(self, other: "Monomial") -> "Monomial":
+        """Return self / other (exponents may become negative)."""
+        exps: dict[str, Fraction] = dict(self._items)
+        for s, e in other._items:
+            exps[s] = exps.get(s, Fraction(0)) - e
+        return Monomial(exps.items())
+
+    def eval(self, env: Mapping[str, Number]) -> float | Fraction:
+        out: float | Fraction = Fraction(1)
+        for s, e in self._items:
+            if s not in env:
+                raise KeyError(f"symbol {s!r} unbound in eval environment")
+            base = env[s]
+            if e.denominator == 1 and not isinstance(base, float):
+                out = out * (Fraction(base) ** int(e))
+            else:
+                out = float(out) * float(base) ** float(e)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Monomial) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def _sort_key(self) -> tuple:
+        # graded lexicographic, for canonical printing
+        return (-self.degree(), self._items)
+
+    def __repr__(self) -> str:
+        if not self._items:
+            return "1"
+        parts = []
+        for s, e in self._items:
+            if e == 1:
+                parts.append(s)
+            else:
+                parts.append(f"{s}**{e}")
+        return "*".join(parts)
+
+
+class Poly:
+    """A polynomial: finite Fraction-weighted sum of :class:`Monomial` s."""
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[Monomial, Fraction] | None = None):
+        cleaned = {}
+        if terms:
+            for m, c in terms.items():
+                c = _fr(c)
+                if c != 0:
+                    cleaned[m] = c
+        self._terms = cleaned
+        self._hash: int | None = None
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def const(c: Number) -> "Poly":
+        return Poly({Monomial(): _fr(c)})
+
+    @staticmethod
+    def symbol(name: str) -> "Poly":
+        return Poly({Monomial([(name, Fraction(1))]): Fraction(1)})
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def terms(self) -> dict[Monomial, Fraction]:
+        return dict(self._terms)
+
+    def symbols(self) -> frozenset[str]:
+        out: set[str] = set()
+        for m in self._terms:
+            out |= m.symbols()
+        return frozenset(out)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def is_const(self) -> bool:
+        return all(m.is_one() for m in self._terms)
+
+    def const_value(self) -> Fraction:
+        if not self.is_const():
+            raise ValueError(f"{self!r} is not constant")
+        return self._terms.get(Monomial(), Fraction(0))
+
+    def is_monomial(self) -> bool:
+        return len(self._terms) == 1
+
+    def total_degree(self) -> Fraction:
+        if not self._terms:
+            return Fraction(0)
+        return max(m.degree() for m in self._terms)
+
+    def degree_in(self, sym: str) -> Fraction:
+        if not self._terms:
+            return Fraction(0)
+        return max((m.exponent(sym) for m in self._terms), default=Fraction(0))
+
+    def content(self) -> Fraction:
+        """Positive rational gcd of coefficients (0 for the zero poly)."""
+        from math import gcd
+
+        if not self._terms:
+            return Fraction(0)
+        nums = [abs(c.numerator) for c in self._terms.values()]
+        dens = [c.denominator for c in self._terms.values()]
+        g = 0
+        for n in nums:
+            g = gcd(g, n)
+        l = 1
+        for d in dens:
+            l = l * d // gcd(l, d)
+        return Fraction(g, l)
+
+    def monomial_gcd(self) -> Monomial:
+        """Largest monomial dividing every term (trivial if zero poly)."""
+        it = iter(self._terms)
+        try:
+            g = next(it)
+        except StopIteration:
+            return Monomial()
+        for m in it:
+            g = g.gcd(m)
+            if g.is_one():
+                break
+        return g
+
+    # -- arithmetic --------------------------------------------------------
+    def _coerce(self, other) -> "Poly | None":
+        if isinstance(other, Poly):
+            return other
+        if isinstance(other, (int, Fraction, float)):
+            return Poly.const(other)
+        return None
+
+    def __add__(self, other) -> "Poly":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        terms = dict(self._terms)
+        for m, c in o._terms.items():
+            terms[m] = terms.get(m, Fraction(0)) + c
+        return Poly(terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Poly":
+        return Poly({m: -c for m, c in self._terms.items()})
+
+    def __sub__(self, other) -> "Poly":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self + (-o)
+
+    def __rsub__(self, other) -> "Poly":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return o + (-self)
+
+    def __mul__(self, other) -> "Poly":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        terms: dict[Monomial, Fraction] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in o._terms.items():
+                m = m1 * m2
+                terms[m] = terms.get(m, Fraction(0)) + c1 * c2
+        return Poly(terms)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, k) -> "Poly":
+        k = Fraction(k)
+        if k.denominator != 1 or k < 0:
+            # Fractional / negative powers only make sense term-by-term.
+            if not self.is_monomial():
+                raise ValueError(
+                    "fractional or negative power of a multi-term polynomial"
+                )
+            ((m, c),) = self._terms.items()
+            if c < 0:
+                raise ValueError("fractional power of a negative coefficient")
+            if k.denominator != 1:
+                # coefficient must be a perfect power; accept 1 or exact roots
+                root = _exact_root(c, k)
+                if root is None:
+                    raise ValueError(
+                        f"coefficient {c} has no exact {k} power"
+                    )
+                return Poly({m ** k: root})
+            return Poly({m ** k: c ** int(k)})
+        out = Poly.const(1)
+        base = self
+        n = int(k)
+        while n:
+            if n & 1:
+                out = out * base
+            base = base * base
+            n >>= 1
+        return out
+
+    def __truediv__(self, other):
+        from .rational import Rational
+
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return Rational(self, o)
+
+    def __rtruediv__(self, other):
+        from .rational import Rational
+
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return Rational(o, self)
+
+    # -- evaluation / substitution -----------------------------------------
+    def eval(self, env: Mapping[str, Number]):
+        """Evaluate with a full binding of symbols to numbers."""
+        out = Fraction(0)
+        fl = 0.0
+        has_float = False
+        for m, c in self._terms.items():
+            v = m.eval(env)
+            if isinstance(v, float):
+                has_float = True
+                fl += float(c) * v
+            else:
+                out += c * v
+        if has_float:
+            return float(out) + fl
+        return out
+
+    def subs(self, env: Mapping[str, "Poly | Number"]) -> "Poly":
+        """Substitute symbols by polynomials (or numbers); partial is fine."""
+        out = Poly()
+        for m, c in self._terms.items():
+            term = Poly.const(c)
+            for s, e in m.items:
+                if s in env:
+                    repl = env[s]
+                    if not isinstance(repl, Poly):
+                        repl = Poly.const(repl)
+                    if e.denominator != 1 or e < 0:
+                        if not repl.is_monomial():
+                            raise ValueError(
+                                f"cannot substitute multi-term poly into {s}**{e}"
+                            )
+                    term = term * (repl ** e)
+                else:
+                    term = term * Poly({Monomial([(s, e)]): Fraction(1)})
+            out = out + term
+        return out
+
+    # -- comparison / hashing ----------------------------------------------
+    def __eq__(self, other) -> bool:
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self._terms == o._terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._terms.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for m in sorted(self._terms, key=Monomial._sort_key):
+            c = self._terms[m]
+            if m.is_one():
+                parts.append(str(c))
+            elif c == 1:
+                parts.append(repr(m))
+            elif c == -1:
+                parts.append(f"-{m!r}")
+            else:
+                parts.append(f"{c}*{m!r}")
+        s = " + ".join(parts)
+        return s.replace("+ -", "- ")
+
+
+def _exact_root(c: Fraction, k: Fraction) -> Fraction | None:
+    """Return c**k as an exact Fraction if possible, else None."""
+    if c == 1:
+        return Fraction(1)
+    if c == 0:
+        return Fraction(0)
+    # c**(p/q): need exact q-th root of c**p
+    p, q = k.numerator, k.denominator
+    target = c ** p if p >= 0 else Fraction(1) / (c ** (-p))
+
+    def iroot(n: int, r: int) -> int | None:
+        if n == 0:
+            return 0
+        lo, hi = 0, max(2, int(round(n ** (1.0 / r))) + 2)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if mid ** r < n:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo if lo ** r == n else None
+
+    rn = iroot(target.numerator, q)
+    rd = iroot(target.denominator, q)
+    if rn is None or rd is None:
+        return None
+    return Fraction(rn, rd)
+
+
+def Sym(name: str) -> Poly:
+    """Create a symbol polynomial (the conventional entry point)."""
+    return Poly.symbol(name)
+
+
+def Const(c: Number) -> Poly:
+    """Create a constant polynomial."""
+    return Poly.const(c)
+
+
+def poly(x: Number | Poly) -> Poly:
+    """Coerce a number or polynomial to :class:`Poly`."""
+    if isinstance(x, Poly):
+        return x
+    return Poly.const(x)

@@ -1,0 +1,92 @@
+"""LaTeX rendering of symbolic bound expressions.
+
+``to_latex`` turns the engine's polynomials / rational functions into the
+notation the paper uses, e.g. Theorem 5's bound renders as::
+
+    \\frac{M^{2} N^{2} - M^{2} N}{8 \\left(M + S\\right)}
+
+(after clearing the coefficient denominators, fractions display as a single
+\\frac with integer constants whenever possible).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .expr import Monomial, Poly
+from .rational import Rational
+
+__all__ = ["to_latex"]
+
+
+def _frac_latex(c: Fraction) -> str:
+    if c.denominator == 1:
+        return str(c.numerator)
+    return f"\\frac{{{c.numerator}}}{{{c.denominator}}}"
+
+
+def _exp_latex(e: Fraction) -> str:
+    if e.denominator == 1:
+        return str(e.numerator)
+    return f"{e.numerator}/{e.denominator}"
+
+
+def _mono_latex(m: Monomial) -> str:
+    parts = []
+    for s, e in m.items:
+        if e == 1:
+            parts.append(s)
+        else:
+            parts.append(f"{s}^{{{_exp_latex(e)}}}")
+    return " ".join(parts)
+
+
+def _poly_latex(p: Poly, *, clear_content: bool = False) -> str:
+    """Render a polynomial; with clear_content, divide out the coefficient
+    content first (caller accounts for it)."""
+    terms = p.terms
+    if not terms:
+        return "0"
+    out = []
+    for m in sorted(terms, key=Monomial._sort_key):
+        c = terms[m]
+        mono = _mono_latex(m)
+        neg = c < 0
+        mag = -c if neg else c
+        if m.is_one():
+            piece = _frac_latex(mag)
+        elif mag == 1:
+            piece = mono
+        else:
+            piece = f"{_frac_latex(mag)} {mono}"
+        if out:
+            out.append("-" if neg else "+")
+        elif neg:
+            piece = f"-{piece}"
+        out.append(piece)
+    return " ".join(out)
+
+
+def to_latex(x) -> str:
+    """LaTeX for a Poly or Rational, paper-style.
+
+    For rationals, coefficient denominators are cleared into a single
+    integer prefactor on the denominator (Theorem-5 style
+    ``\\frac{num}{8(M+S)}``) when the numerator's content is a 1/k fraction.
+    """
+    if isinstance(x, Poly):
+        return _poly_latex(x)
+    if isinstance(x, Rational):
+        if x.is_poly():
+            return _poly_latex(x.as_poly())
+        num, den = x.num, x.den
+        content = num.content()
+        if content != 0 and content.numerator == 1 and content.denominator > 1:
+            k = content.denominator
+            num = num * Poly.const(k)
+            return (
+                f"\\frac{{{_poly_latex(num)}}}"
+                f"{{{k} \\left({_poly_latex(den)}\\right)}}"
+            )
+        return f"\\frac{{{_poly_latex(num)}}}{{{_poly_latex(den)}}}"
+    raise TypeError(f"cannot render {type(x).__name__} as LaTeX")

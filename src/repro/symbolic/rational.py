@@ -1,0 +1,181 @@
+"""Rational functions (quotients of polynomials).
+
+The hourglass bounds of the paper are quotients such as
+``M**2*N*(N-1) / (8*(S+M))``; this module provides exact arithmetic,
+evaluation and structural normalisation for them.
+
+Normalisation is deliberately light-weight: we cancel the monomial gcd and
+the rational content of numerator and denominator, and fix the sign of the
+denominator's leading coefficient.  Full multivariate gcd cancellation is not
+needed for correctness (equality testing cross-multiplies), and keeping the
+implementation small keeps it auditable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Union
+
+from .expr import Monomial, Number, Poly, poly
+
+__all__ = ["Rational", "ratio", "as_rational"]
+
+ExprLike = Union[int, Fraction, float, Poly, "Rational"]
+
+
+class Rational:
+    """An exact quotient ``num / den`` of two :class:`Poly`."""
+
+    __slots__ = ("num", "den")
+
+    def __init__(self, num: Poly | Number, den: Poly | Number = 1):
+        num = poly(num)
+        den = poly(den)
+        if den.is_zero():
+            raise ZeroDivisionError("rational function with zero denominator")
+        if num.is_zero():
+            self.num, self.den = Poly(), Poly.const(1)
+            return
+        # cancel common monomial factor
+        g = num.monomial_gcd().gcd(den.monomial_gcd())
+        if not g.is_one():
+            num = Poly({m.divide(g): c for m, c in num.terms.items()})
+            den = Poly({m.divide(g): c for m, c in den.terms.items()})
+        # make denominator content 1 and its leading coefficient positive
+        c = den.content()
+        lead = _leading_coeff(den)
+        if lead < 0:
+            c = -c
+        num = num * Poly.const(Fraction(1) / c)
+        den = den * Poly.const(Fraction(1) / c)
+        # constant denominator folds into numerator
+        if den.is_const():
+            num = num * Poly.const(Fraction(1) / den.const_value())
+            den = Poly.const(1)
+        self.num = num
+        self.den = den
+
+    # -- helpers -------------------------------------------------------------
+    def is_poly(self) -> bool:
+        return self.den.is_const() and self.den.const_value() == 1
+
+    def as_poly(self) -> Poly:
+        if not self.is_poly():
+            raise ValueError(f"{self!r} is not a polynomial")
+        return self.num
+
+    def is_zero(self) -> bool:
+        return self.num.is_zero()
+
+    def symbols(self) -> frozenset[str]:
+        return self.num.symbols() | self.den.symbols()
+
+    # -- arithmetic ------------------------------------------------------------
+    @staticmethod
+    def _coerce(x) -> "Rational | None":
+        if isinstance(x, Rational):
+            return x
+        if isinstance(x, (int, Fraction, float, Poly)):
+            return Rational(poly(x))
+        return None
+
+    def __add__(self, other) -> "Rational":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return Rational(self.num * o.den + o.num * self.den, self.den * o.den)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Rational":
+        return Rational(-self.num, self.den)
+
+    def __sub__(self, other) -> "Rational":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self + (-o)
+
+    def __rsub__(self, other) -> "Rational":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return o + (-self)
+
+    def __mul__(self, other) -> "Rational":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return Rational(self.num * o.num, self.den * o.den)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Rational":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        if o.is_zero():
+            raise ZeroDivisionError("division by zero rational")
+        return Rational(self.num * o.den, self.den * o.num)
+
+    def __rtruediv__(self, other) -> "Rational":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return o / self
+
+    def __pow__(self, k: int) -> "Rational":
+        k = int(k)
+        if k >= 0:
+            return Rational(self.num ** k, self.den ** k)
+        return Rational(self.den ** (-k), self.num ** (-k))
+
+    # -- evaluation --------------------------------------------------------
+    def eval(self, env: Mapping[str, Number]):
+        n = self.num.eval(env)
+        d = self.den.eval(env)
+        if d == 0:
+            raise ZeroDivisionError(f"denominator vanishes at {dict(env)}")
+        if isinstance(n, float) or isinstance(d, float):
+            return float(n) / float(d)
+        return n / d
+
+    def subs(self, env: Mapping[str, Poly | Number]) -> "Rational":
+        return Rational(self.num.subs(env), self.den.subs(env))
+
+    # -- comparison --------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self.num * o.den == o.num * self.den
+
+    def __hash__(self) -> int:
+        return hash((self.num, self.den))
+
+    def __repr__(self) -> str:
+        if self.is_poly():
+            return repr(self.num)
+        return f"({self.num!r}) / ({self.den!r})"
+
+
+def _leading_coeff(p: Poly) -> Fraction:
+    terms = p.terms
+    if not terms:
+        return Fraction(0)
+    lead = min(terms, key=Monomial._sort_key)
+    return terms[lead]
+
+
+def ratio(num: ExprLike, den: ExprLike) -> Rational:
+    """Build ``num / den`` coercing both sides."""
+    n = as_rational(num)
+    d = as_rational(den)
+    return n / d
+
+
+def as_rational(x: ExprLike) -> Rational:
+    """Coerce any expression-like object to :class:`Rational`."""
+    if isinstance(x, Rational):
+        return x
+    return Rational(poly(x))

@@ -1,0 +1,87 @@
+"""Closed-form symbolic summation of polynomials over integer ranges.
+
+This is the piece of Barvinok-style counting that the paper's kernels need:
+their iteration domains are loop nests whose bounds are affine in the outer
+indices, so ``|domain|`` is an iterated sum of polynomials, which Faulhaber's
+formula turns into a closed-form polynomial in the parameters.
+
+``sum_poly(p, x, lo, hi)`` returns the polynomial ``q`` with
+``q == sum(p[x := v] for v in range(lo, hi+1))`` as a polynomial identity,
+valid whenever ``hi >= lo - 1`` (the value at ``hi == lo - 1`` is 0, matching
+the empty-sum convention).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from math import comb
+
+from .expr import Monomial, Poly, poly
+
+__all__ = ["faulhaber", "sum_poly", "count_nest"]
+
+
+@lru_cache(maxsize=None)
+def faulhaber(k: int) -> Poly:
+    """The Faulhaber polynomial F_k with F_k(n) = sum_{x=1..n} x**k.
+
+    Computed by the classical telescoping recurrence
+    ``(n+1)**(k+1) - 1 = sum_{j=0..k} C(k+1, j) * F_j(n)``.
+    """
+    if k < 0:
+        raise ValueError("faulhaber exponent must be >= 0")
+    n = Poly.symbol("_n")
+    acc = (n + 1) ** (k + 1) - 1
+    for j in range(k):
+        acc = acc - faulhaber(j) * comb(k + 1, j)
+    return acc * Poly.const(Fraction(1, k + 1))
+
+
+def _power_sum(k: int, lo: Poly, hi: Poly) -> Poly:
+    """sum_{x=lo..hi} x**k as a polynomial in the symbols of lo/hi."""
+    f = faulhaber(k)
+    return f.subs({"_n": hi}) - f.subs({"_n": lo - 1})
+
+
+def sum_poly(p: Poly, var: str, lo, hi) -> Poly:
+    """Sum polynomial ``p`` over ``var`` ranging from ``lo`` to ``hi`` inclusive.
+
+    ``lo`` and ``hi`` may be numbers or polynomials in other symbols.
+    ``p`` must have non-negative integer exponents in ``var``.
+    """
+    lo = poly(lo)
+    hi = poly(hi)
+    if var in lo.symbols() or var in hi.symbols():
+        raise ValueError(f"summation bounds must not contain {var!r}")
+    # group p by the exponent of var
+    groups: dict[int, Poly] = {}
+    for m, c in p.terms.items():
+        e = m.exponent(var)
+        if e.denominator != 1 or e < 0:
+            raise ValueError(
+                f"cannot sum over {var!r} with fractional/negative exponent {e}"
+            )
+        rest = Monomial((s, x) for s, x in m.items if s != var)
+        g = groups.setdefault(int(e), Poly())
+        groups[int(e)] = g + Poly({rest: c})
+    out = Poly()
+    for e, coeff in groups.items():
+        out = out + coeff * _power_sum(e, lo, hi)
+    return out
+
+
+def count_nest(loops: list[tuple[str, object, object]]) -> Poly:
+    """Count integer points of a loop nest.
+
+    ``loops`` is an ordered list ``[(var, lo, hi), ...]`` from outermost to
+    innermost, each bound inclusive and affine (a :class:`Poly` or number) in
+    the *outer* loop variables and the parameters.  Returns the closed-form
+    point count as a polynomial in the parameters; the formula assumes every
+    range is non-empty in the intended parameter regime (standard polyhedral
+    caveat — cross-checked against enumeration in the tests).
+    """
+    acc = Poly.const(1)
+    for var, lo, hi in reversed(loops):
+        acc = sum_poly(acc, var, poly(lo), poly(hi))
+    return acc

@@ -1,0 +1,71 @@
+"""Shared fixtures: small kernel parameterizations and derivation caches.
+
+Derivations and CDAG builds are pure functions of (kernel, params); caching
+them at session scope keeps the suite fast without coupling tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds import derive
+from repro.cdag import build_cdag
+from repro.ir import Tracer
+from repro.kernels import get_kernel
+
+#: small parameter sets used across structural tests
+SMALL_PARAMS = {
+    "mgs": {"M": 5, "N": 4},
+    "qr_a2v": {"M": 6, "N": 4},
+    "qr_v2q": {"M": 6, "N": 4},
+    "gebd2": {"M": 7, "N": 5},
+    "gehd2": {"N": 7},
+    "matmul": {"NI": 4, "NJ": 4, "NK": 4},
+    "cholesky": {"N": 5},
+    "syrk": {"N": 4, "KP": 3},
+}
+
+#: slightly larger sets for numeric validation
+NUMERIC_PARAMS = {
+    "mgs": {"M": 10, "N": 7},
+    "qr_a2v": {"M": 11, "N": 6},
+    "qr_v2q": {"M": 11, "N": 6},
+    "gebd2": {"M": 11, "N": 7},
+    "gehd2": {"N": 10},
+    "matmul": {"NI": 7, "NJ": 6, "NK": 5},
+    "cholesky": {"N": 9},
+    "syrk": {"N": 7, "KP": 5},
+}
+
+_derivation_cache: dict = {}
+_cdag_cache: dict = {}
+_trace_cache: dict = {}
+
+
+def derivation_for(name: str):
+    if name not in _derivation_cache:
+        _derivation_cache[name] = derive(get_kernel(name))
+    return _derivation_cache[name]
+
+
+def cdag_for(name: str, params: dict | None = None):
+    params = params or SMALL_PARAMS[name]
+    key = (name, tuple(sorted(params.items())))
+    if key not in _cdag_cache:
+        _cdag_cache[key] = build_cdag(get_kernel(name).program, params)
+    return _cdag_cache[key]
+
+
+def trace_for(name: str, params: dict | None = None) -> Tracer:
+    params = params or SMALL_PARAMS[name]
+    key = (name, tuple(sorted(params.items())))
+    if key not in _trace_cache:
+        t = Tracer()
+        get_kernel(name).program.runner(dict(params), t)
+        _trace_cache[key] = t
+    return _trace_cache[key]
+
+
+@pytest.fixture
+def small_params():
+    return SMALL_PARAMS

@@ -1,0 +1,114 @@
+"""Tests for the Brascamp–Lieb exponent LP."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import bl_exponents, bl_exponents_weighted
+
+
+def fs(*args):
+    return [frozenset(a) for a in args]
+
+
+class TestCoverageLP:
+    def test_three_faces_sigma_three_halves(self):
+        """The Loomis–Whitney case (matmul/MGS): sigma = 3/2, s = 1/2 each."""
+        sol = bl_exponents(("i", "j", "k"), fs("ij", "ik", "jk"))
+        assert sol.feasible
+        assert sol.sigma == Fraction(3, 2)
+        assert all(s == Fraction(1, 2) for s in sol.exponents)
+
+    def test_axis_projections_sigma_three(self):
+        sol = bl_exponents(("i", "j", "k"), fs("i", "j", "k"))
+        assert sol.sigma == 3
+
+    def test_full_projection_sigma_one_not_enough(self):
+        """A single full-dim projection covers everything with sigma = 1."""
+        sol = bl_exponents(("i", "j"), fs("ij"))
+        assert sol.sigma == 1
+
+    def test_mixed_projections(self):
+        # phi_{ij} and phi_k: sigma = 2
+        sol = bl_exponents(("i", "j", "k"), fs("ij", "k"))
+        assert sol.sigma == 2
+
+    def test_uncovered_dim_infeasible(self):
+        sol = bl_exponents(("i", "j", "k"), fs("ij"))
+        assert not sol.feasible
+
+    def test_empty_projections_infeasible(self):
+        sol = bl_exponents(("i",), [])
+        assert not sol.feasible
+
+    def test_redundant_projection_ignored(self):
+        """Adding a useless 1-D projection must not change sigma."""
+        sol = bl_exponents(("i", "j", "k"), fs("ij", "ik", "jk", "i"))
+        assert sol.sigma == Fraction(3, 2)
+
+    def test_2d_case(self):
+        sol = bl_exponents(("i", "j"), fs("i", "j"))
+        assert sol.sigma == 2
+
+    def test_volume_inequality_holds_on_boxes(self):
+        """Sanity: for a box E, |E| <= prod |phi(E)|**s with the LP's s."""
+        dims = ("i", "j", "k")
+        projs = fs("ij", "ik", "jk")
+        sol = bl_exponents(dims, projs)
+        a, b, c = 4, 7, 3
+        vol = a * b * c
+        sizes = {frozenset("ij"): a * b, frozenset("ik"): a * c, frozenset("jk"): b * c}
+        bound = 1.0
+        for p, s in zip(projs, sol.exponents):
+            bound *= sizes[p] ** float(s)
+        assert vol <= bound + 1e-9
+
+
+class TestWeightedLP:
+    def test_prefers_cheap_projections(self):
+        """With phi_j and phi_k much cheaper than the 2-D faces, the hourglass
+        choice (phi_i, phi_j, phi_k each s=1) must win."""
+        dims = ("i", "j", "k")
+        projs = fs("ij", "ik", "jk", "i", "j", "k")
+        import math
+
+        # bounds: faces ~ K = 2^20; axis i ~ M = 2^10; j, k ~ K/M = 2^10
+        log_bounds = [20.0, 20.0, 20.0, 10.0, 10.0, 10.0]
+        sol = bl_exponents_weighted(dims, projs, [b * math.log(2) for b in log_bounds])
+        total = sum(
+            float(s) * b for s, b in zip(sol.exponents, log_bounds)
+        )
+        assert total == pytest.approx(30.0, abs=0.1)  # M * (K/M)^2 = 2^30
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bl_exponents_weighted(("i",), fs("i"), [1.0, 2.0])
+
+
+@given(
+    st.lists(
+        st.sets(st.sampled_from("ijk"), min_size=1, max_size=3),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_lp_solution_always_covers(projsets):
+    """Whenever feasible, the returned exponents satisfy the coverage
+    constraints (allowing LP solver tolerance)."""
+    dims = ("i", "j", "k")
+    projs = [frozenset(p) for p in projsets]
+    sol = bl_exponents(dims, projs)
+    if not sol.feasible:
+        # some dim uncovered by every projection
+        uncovered = [d for d in dims if not any(d in p for p in projs)]
+        assert uncovered
+        return
+    for d in dims:
+        cover = sum(float(s) for s, p in zip(sol.exponents, projs) if d in p)
+        assert cover >= 1.0 - 1e-6
+    assert 1 <= sol.sigma <= 3

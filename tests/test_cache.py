@@ -1,0 +1,152 @@
+"""Tests for the two-level memory simulators (LRU / Belady)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import cold_loads, simulate, simulate_belady, simulate_lru
+from repro.ir import Event
+from tests.conftest import SMALL_PARAMS, trace_for
+
+
+def ev(seq: str) -> list[Event]:
+    """'Ra Wb Ra' -> events on one-letter addresses."""
+    out = []
+    for tok in seq.split():
+        out.append(Event(tok[0], (tok[1:], ())))
+    return out
+
+
+class TestLRU:
+    def test_cold_miss(self):
+        st_ = simulate_lru(ev("Ra"), 2)
+        assert st_.loads == 1 and st_.read_hits == 0
+
+    def test_hit_after_load(self):
+        st_ = simulate_lru(ev("Ra Ra"), 2)
+        assert st_.loads == 1 and st_.read_hits == 1
+
+    def test_eviction_order(self):
+        # capacity 2: a, b fill; c evicts a; re-reading a misses
+        st_ = simulate_lru(ev("Ra Rb Rc Ra"), 2)
+        assert st_.loads == 4
+
+    def test_touch_refreshes(self):
+        # a b a c: b is LRU when c arrives; a survives
+        st_ = simulate_lru(ev("Ra Rb Ra Rc Ra"), 2)
+        assert st_.loads == 3
+
+    def test_write_allocates_without_load(self):
+        st_ = simulate_lru(ev("Wa Ra"), 2)
+        assert st_.loads == 0
+        assert st_.write_allocs == 1
+        assert st_.read_hits == 1
+
+    def test_dirty_eviction_store(self):
+        st_ = simulate_lru(ev("Wa Rb Rc"), 2)
+        assert st_.evict_stores == 1  # a was dirty and evicted
+
+    def test_flush_stores(self):
+        st_ = simulate_lru(ev("Wa Wb"), 4)
+        assert st_.flush_stores == 2
+        assert st_.stores == 2
+
+    def test_write_hit(self):
+        st_ = simulate_lru(ev("Ra Wa"), 2)
+        assert st_.write_hits == 1
+
+    def test_capacity_one(self):
+        st_ = simulate_lru(ev("Ra Rb Ra"), 1)
+        assert st_.loads == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            simulate_lru([], 0)
+
+
+class TestBelady:
+    def test_optimal_keeps_future_used(self):
+        # capacity 2: 'a' used far later; LRU would evict it, OPT keeps what
+        # pays.  trace: a b c b a  -> OPT evicts c or b optimally
+        lru = simulate_lru(ev("Ra Rb Rc Rb Ra"), 2)
+        opt = simulate_belady(ev("Ra Rb Rc Rb Ra"), 2)
+        assert opt.loads <= lru.loads
+
+    def test_dead_values_evicted_first(self):
+        st_ = simulate_belady(ev("Ra Rb Rc Rb Rc"), 2)
+        assert st_.loads == 3  # a never reused: evicted for free
+
+    def test_same_as_lru_when_fits(self):
+        trace = ev("Ra Rb Ra Rb Wa Rb")
+        assert simulate_lru(trace, 8).loads == simulate_belady(trace, 8).loads
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            simulate_belady([], 0)
+
+
+class TestDispatchAndHelpers:
+    def test_simulate_dispatch(self):
+        t = ev("Ra Rb")
+        assert simulate(t, 2, "lru").policy == "lru"
+        assert simulate(t, 2, "belady").policy == "belady"
+        with pytest.raises(ValueError):
+            simulate(t, 2, "fifo")
+
+    def test_cold_loads(self):
+        assert cold_loads(ev("Ra Wb Rb Ra")) == 1  # only a is a cold read
+        assert cold_loads(ev("Wa Ra")) == 0
+
+    def test_total_io(self):
+        st_ = simulate_lru(ev("Ra Wa"), 2)
+        assert st_.total_io == st_.loads + st_.stores
+
+
+class TestOnKernelTraces:
+    @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+    def test_belady_beats_lru_on_kernels(self, name):
+        events = list(trace_for(name).events)
+        for s in (4, 16):
+            assert simulate_belady(events, s).loads <= simulate_lru(events, s).loads
+
+    @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+    def test_loads_floor_is_cold_misses(self, name):
+        """With any capacity, loads >= compulsory loads; with huge capacity,
+        equality."""
+        events = list(trace_for(name).events)
+        cold = cold_loads(events)
+        assert simulate_lru(events, 10_000).loads == cold
+        assert simulate_lru(events, 4).loads >= cold
+
+    def test_monotone_in_capacity(self):
+        events = list(trace_for("mgs").events)
+        prev = None
+        for s in (2, 4, 8, 16, 32, 64):
+            cur = simulate_belady(events, s).loads
+            if prev is not None:
+                assert cur <= prev
+            prev = cur
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("RW"), st.integers(0, 6)), min_size=1, max_size=60
+    ),
+    st.integers(1, 5),
+)
+@settings(max_examples=50, deadline=None)
+def test_conservation_properties(ops, s):
+    """loads + read_hits == reads; write_hits + write_allocs == writes;
+    Belady <= LRU on any trace."""
+    events = [Event(op, ("x", (addr,))) for op, addr in ops]
+    lru = simulate_lru(events, s)
+    opt = simulate_belady(events, s)
+    n_reads = sum(1 for e in events if e.op == "R")
+    n_writes = len(events) - n_reads
+    for st_ in (lru, opt):
+        assert st_.loads + st_.read_hits == n_reads
+        assert st_.write_hits + st_.write_allocs == n_writes
+        assert st_.accesses == len(events)
+    assert opt.loads <= lru.loads

@@ -1,0 +1,140 @@
+"""Tests for the hardware-like (line + set-associative) cache model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import Linearizer, simulate_assoc, simulate_lru
+from repro.ir import Event
+
+
+def ev(*addrs):
+    return [Event("R", ("A", (a,))) for a in addrs]
+
+
+class TestLinearizer:
+    def test_row_major(self):
+        lin = Linearizer({"A": (3, 4)})
+        assert lin.flat(("A", (0, 0))) == 0
+        assert lin.flat(("A", (0, 1))) == 1
+        assert lin.flat(("A", (1, 0))) == 4
+        assert lin.flat(("A", (2, 3))) == 11
+
+    def test_arrays_line_aligned(self):
+        lin = Linearizer({"A": (3,), "B": (3,)}, line_size=4)
+        a0 = lin.flat(("A", (0,)))
+        b0 = lin.flat(("B", (0,)))
+        assert a0 % 4 == 0 and b0 % 4 == 0
+        assert a0 // 4 != b0 // 4  # never share a line
+
+    def test_adhoc_first_touch(self):
+        lin = Linearizer()
+        x = lin.flat(("Z", (7,)))
+        y = lin.flat(("Z", (3,)))
+        assert x != y
+        assert lin.flat(("Z", (7,))) == x  # stable
+
+    def test_line_of(self):
+        lin = Linearizer({"A": (8,)}, line_size=4)
+        assert lin.line_of(("A", (0,))) == lin.line_of(("A", (3,)))
+        assert lin.line_of(("A", (0,))) != lin.line_of(("A", (4,)))
+
+
+class TestAssocSim:
+    def test_spatial_locality(self):
+        """Sequential scan with line size 4: one miss per 4 elements."""
+        trace = ev(*range(16))
+        st = simulate_assoc(
+            trace, capacity_elements=32, line_size=4, ways=4, shapes={"A": (16,)}
+        )
+        assert st.line_misses == 4
+        assert st.line_hits == 12
+
+    def test_line_one_matches_lru_fully_assoc(self):
+        """L=1, single set with W = capacity: identical to the model LRU
+        (reads only; writes allocate in both)."""
+        trace = ev(0, 1, 2, 0, 3, 1, 4, 0)
+        st = simulate_assoc(
+            trace, capacity_elements=3, line_size=1, ways=3, shapes={"A": (8,)}
+        )
+        ref = simulate_lru(trace, 3)
+        assert st.line_misses == ref.loads
+
+    def test_conflict_misses(self):
+        """Direct-mapped (1 way): two lines mapping to the same set thrash
+        even though capacity would suffice."""
+        # capacity 8 elements, L=1, 1 way => 8 sets; addresses 0 and 8
+        # collide in set 0
+        trace = ev(0, 8, 0, 8, 0, 8)
+        st = simulate_assoc(
+            trace, capacity_elements=8, line_size=1, ways=1, shapes={"A": (16,)}
+        )
+        assert st.line_misses == 6
+
+    def test_associativity_fixes_conflicts(self):
+        trace = ev(0, 8, 0, 8, 0, 8)
+        st = simulate_assoc(
+            trace, capacity_elements=8, line_size=1, ways=2, shapes={"A": (16,)}
+        )
+        assert st.line_misses == 2
+
+    def test_element_traffic(self):
+        trace = ev(*range(8))
+        st = simulate_assoc(
+            trace, capacity_elements=16, line_size=4, ways=2, shapes={"A": (8,)}
+        )
+        assert st.element_traffic == st.line_misses * 4
+
+    def test_tiny_capacity_degenerates(self):
+        trace = ev(0, 1)
+        st = simulate_assoc(
+            trace, capacity_elements=2, line_size=4, ways=4, shapes={"A": (8,)}
+        )
+        assert st.n_sets == 1
+
+
+class TestBoundsTransfer:
+    def test_line_traffic_respects_element_bound(self):
+        """An element-level lower bound Q implies line misses >= Q / L:
+        check on MGS with the derived bound."""
+        from repro.bounds import derive
+        from repro.ir import Tracer
+        from repro.kernels import get_kernel
+
+        kern = get_kernel("mgs")
+        params = {"M": 10, "N": 8}
+        t = Tracer()
+        kern.program.runner(dict(params), t)
+        shapes = {"A": (10, 8), "Q": (10, 8), "R": (8, 8), "nrm": ()}
+        rep = derive(kern)
+        for s, line in ((16, 2), (32, 4)):
+            st = simulate_assoc(
+                list(t.events),
+                capacity_elements=s,
+                line_size=line,
+                ways=4,
+                shapes=shapes,
+            )
+            _, lb = rep.best({**params, "S": s})
+            assert st.line_misses >= lb / line - 1e-9
+
+    def test_hardware_misses_at_least_model_loads_direct_mapped(self):
+        """With L=1, a W-way cache of the same capacity can only do worse
+        than the fully-associative Belady model (more constraints)."""
+        from repro.cache import simulate_belady
+        from repro.ir import Tracer
+        from repro.kernels import get_kernel
+
+        kern = get_kernel("mgs")
+        params = {"M": 8, "N": 6}
+        t = Tracer()
+        kern.program.runner(dict(params), t)
+        events = list(t.events)
+        shapes = {"A": (8, 6), "Q": (8, 6), "R": (6, 6), "nrm": ()}
+        for s in (16, 32):
+            hw = simulate_assoc(
+                events, capacity_elements=s, line_size=1, ways=2, shapes=shapes
+            )
+            model = simulate_belady(events, s).loads
+            # hw counts write-misses too, so compare against loads only
+            assert hw.line_misses >= model

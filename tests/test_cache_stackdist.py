@@ -1,0 +1,89 @@
+"""Tests for the stack-distance miss-curve computation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import lru_miss_curve, simulate_lru, stack_distances
+from repro.ir import Event
+
+
+def ev(*addrs):
+    return [Event("R", ("A", (a,))) for a in addrs]
+
+
+class TestStackDistances:
+    def test_cold_marked(self):
+        assert stack_distances(ev(0, 1, 2)) == [-1, -1, -1]
+
+    def test_immediate_reuse(self):
+        assert stack_distances(ev(0, 0)) == [-1, 0]
+
+    def test_classic_sequence(self):
+        # a b c b a: b reused over {c} (dist 1), a over {b, c} (dist 2)
+        assert stack_distances(ev(0, 1, 2, 1, 0)) == [-1, -1, -1, 1, 2]
+
+    def test_repeated_touches_collapse(self):
+        # a b b b a: distinct-in-between is just {b}
+        assert stack_distances(ev(0, 1, 1, 1, 0)) == [-1, -1, 0, 0, 1]
+
+    def test_writes_count_as_touches(self):
+        events = [Event("W", ("A", (0,))), Event("R", ("A", (0,)))]
+        assert stack_distances(events) == [-1, 0]
+
+
+class TestMissCurve:
+    def test_matches_simulator(self):
+        trace = ev(0, 1, 2, 1, 0, 3, 2, 0, 1, 1, 4, 0)
+        curve = lru_miss_curve(trace)
+        for s in range(1, len(curve)):
+            ref = simulate_lru(trace, s)
+            assert curve[s] == ref.loads + ref.write_allocs, f"S={s}"
+
+    def test_monotone(self):
+        trace = ev(0, 1, 2, 0, 1, 2, 3, 0)
+        curve = lru_miss_curve(trace)
+        for s in range(2, len(curve)):
+            assert curve[s] <= curve[s - 1]
+
+    def test_reaches_cold_misses(self):
+        trace = ev(0, 1, 2, 0, 1, 2)
+        curve = lru_miss_curve(trace)
+        assert curve[-1] == 3  # working set of 3 fits: only cold misses
+
+    def test_max_s_truncation(self):
+        trace = ev(*range(50), *range(50))
+        curve = lru_miss_curve(trace, max_s=10)
+        assert len(curve) == 11
+        full = lru_miss_curve(trace)
+        assert curve[1:] == full[1:11]
+
+    def test_on_kernel_trace(self):
+        from repro.ir import Tracer
+        from repro.kernels import get_kernel
+
+        t = Tracer()
+        get_kernel("mgs").program.runner({"M": 8, "N": 6}, t)
+        events = list(t.events)
+        curve = lru_miss_curve(events, max_s=64)
+        for s in (1, 5, 17, 42, 64):
+            ref = simulate_lru(events, s)
+            assert curve[s] == ref.loads + ref.write_allocs
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("RW"), st.integers(0, 8)),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(1, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_curve_equals_simulator_everywhere(ops, s):
+    events = [Event(op, ("x", (a,))) for op, a in ops]
+    curve = lru_miss_curve(events, max_s=12)
+    ref = simulate_lru(events, s)
+    assert curve[s] == ref.loads + ref.write_allocs

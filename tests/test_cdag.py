@@ -1,0 +1,182 @@
+"""Tests for CDAG structure, construction routes, and proof vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdag import (
+    CDAG,
+    INPUT,
+    build_cdag,
+    cdag_from_dataflow,
+    cdag_from_program,
+    cdag_from_trace,
+    check_program_deps,
+    compare_cdags,
+)
+from repro.ir import Tracer
+from repro.kernels import KERNELS
+from tests.conftest import SMALL_PARAMS, cdag_for, trace_for
+
+
+def diamond() -> CDAG:
+    """a -> b, a -> c, b -> d, c -> d."""
+    g = CDAG()
+    for u, v in [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]:
+        g.add_edge(u, v)
+    return g
+
+
+class TestGraphBasics:
+    def test_add_node_idempotent(self):
+        g = CDAG()
+        g.add_node("x")
+        g.add_node("x")
+        assert len(g) == 1
+
+    def test_sources_sinks(self):
+        g = diamond()
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["d"]
+
+    def test_edges_count(self):
+        assert diamond().n_edges() == 4
+
+    def test_input_vs_compute_nodes(self):
+        g = CDAG()
+        g.add_edge((INPUT, ("A", (0,))), ("S", (0,)))
+        assert g.input_nodes() == [(INPUT, ("A", (0,)))]
+        assert g.compute_nodes() == [("S", (0,))]
+
+    def test_topological_order(self):
+        order = diamond().topological_order()
+        pos = {n: idx for idx, n in enumerate(order)}
+        assert pos["a"] < pos["b"] < pos["d"]
+        assert pos["a"] < pos["c"] < pos["d"]
+
+    def test_cycle_detected(self):
+        g = CDAG()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_is_valid_schedule(self):
+        g = diamond()
+        assert g.is_valid_schedule(["a", "b", "c", "d"])
+        assert g.is_valid_schedule(["a", "c", "b", "d"])
+        assert not g.is_valid_schedule(["b", "a", "c", "d"])
+        assert not g.is_valid_schedule(["a", "b", "c"])  # missing node
+        assert not g.is_valid_schedule(["a", "a", "b", "c", "d"])  # dup
+
+    def test_has_path(self):
+        g = diamond()
+        assert g.has_path("a", "d")
+        assert not g.has_path("b", "c")
+        assert g.has_path("b", "b")
+
+    def test_nodes_on_paths(self):
+        g = diamond()
+        assert g.nodes_on_paths("a", "d") == {"a", "b", "c", "d"}
+        assert g.nodes_on_paths("b", "c") == set()
+
+
+class TestProofVocabulary:
+    def test_in_set(self):
+        g = diamond()
+        assert g.in_set({"d"}) == {"b", "c"}
+        assert g.in_set({"b", "c", "d"}) == {"a"}
+        assert g.in_set({"a"}) == set()
+
+    def test_out_set(self):
+        g = diamond()
+        assert g.out_set({"a", "b"}) == {"a", "b"}
+        assert g.out_set({"b", "c", "d"}) == set() or g.out_set({"b", "c", "d"}) == set()
+
+    def test_out_set_with_outputs(self):
+        g = diamond()
+        g.outputs.add("d")
+        assert "d" in g.out_set({"d"})
+
+    def test_convexity(self):
+        g = diamond()
+        assert g.is_convex({"a", "b", "d"}) is False  # path a->c->d leaves/reenters
+        assert g.is_convex({"a", "b", "c", "d"})
+        assert g.is_convex({"b"})
+        assert g.is_convex({"a", "b"})
+
+    def test_convex_closure(self):
+        g = diamond()
+        assert g.convex_closure({"a", "d"}) == {"a", "b", "c", "d"}
+        assert g.convex_closure({"b"}) == {"b"}
+
+    def test_chain_convexity(self):
+        g = CDAG()
+        for x in range(4):
+            g.add_edge(("s", (x,)), ("s", (x + 1,)))
+        assert not g.is_convex({("s", (0,)), ("s", (3,))})
+        assert g.convex_closure({("s", (0,)), ("s", (3,))}) == {
+            ("s", (x,)) for x in range(4)
+        }
+
+    def test_to_networkx(self):
+        nx_g = diamond().to_networkx()
+        assert nx_g.number_of_nodes() == 4
+        assert nx_g.number_of_edges() == 4
+
+
+class TestConstructionRoutes:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_spec_cdag_equals_trace_cdag(self, name):
+        """The headline validation: every kernel's spec-side CDAG equals the
+        instrumented-runner CDAG edge-for-edge."""
+        diff = check_program_deps(KERNELS[name].program, SMALL_PARAMS[name])
+        assert diff.ok(), f"{name}: {diff.summary()}"
+
+    def test_mgs_declared_deps_equal_dataflow(self):
+        """MGS has a hand-written dependence list; it must agree with the
+        automatic dataflow construction."""
+        prog = KERNELS["mgs"].program
+        params = SMALL_PARAMS["mgs"]
+        declared = cdag_from_program(prog, params)
+        auto = cdag_from_dataflow(prog, params)
+        assert compare_cdags(declared, auto).ok()
+
+    def test_build_cdag_dispatch(self):
+        prog_with_deps = KERNELS["mgs"].program
+        prog_without = KERNELS["qr_a2v"].program
+        assert len(build_cdag(prog_with_deps, SMALL_PARAMS["mgs"])) > 0
+        assert len(build_cdag(prog_without, SMALL_PARAMS["qr_a2v"])) > 0
+
+    def test_outputs_marked(self):
+        g = cdag_for("mgs")
+        assert any(n[0] == "Sq" for n in g.outputs)  # Q writers are outputs
+
+    def test_input_nodes_match_trace(self):
+        g = cdag_for("mgs")
+        t = trace_for("mgs")
+        trace_inputs = {(INPUT, a) for a in t.input_elements}
+        assert set(g.input_nodes()) == trace_inputs
+
+    def test_diff_reports_discrepancies(self):
+        g1 = diamond()
+        g2 = diamond()
+        g2.add_edge("a", "d")
+        diff = compare_cdags(g1, g2)
+        assert not diff.ok()
+        assert ("a", "d") in diff.missing_edges
+        assert "missing edges" in diff.summary()
+
+    def test_tiled_schedules_are_valid_topological_orders(self):
+        """Appendix A orderings execute the same CDAG (checked for both)."""
+        from repro.kernels import TILED_A2V, TILED_MGS
+
+        g = cdag_for("mgs")
+        tr = TILED_MGS.run_traced({**SMALL_PARAMS["mgs"], "B": 2})
+        assert g.is_valid_schedule(tr.schedule)
+        assert compare_cdags(g, cdag_from_trace(tr)).ok()
+
+        g2 = cdag_for("qr_a2v")
+        tr2 = TILED_A2V.run_traced({**SMALL_PARAMS["qr_a2v"], "B": 2})
+        assert g2.is_valid_schedule(tr2.schedule)
+        assert compare_cdags(g2, cdag_from_trace(tr2)).ok()

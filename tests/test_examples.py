@@ -1,0 +1,82 @@
+"""Smoke tests: every example script runs end-to-end and exits cleanly.
+
+Run as subprocesses so import side effects, argument parsing and the
+examples' own internal assertions are exercised exactly as a user would
+hit them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, argv) — arguments keep runtimes small
+CASES = [
+    ("quickstart.py", ["matmul"]),
+    ("quickstart.py", ["mgs"]),
+    ("custom_kernel.py", []),
+    ("validate_mgs.py", ["12", "8"]),
+    ("tiling_explorer.py", ["14", "10", "96"]),
+    ("paper_tables.py", []),
+    ("parse_figure.py", ["mgs"]),
+    ("parse_figure.py", ["gebd2"]),
+    ("exact_game.py", []),
+    ("bounds_vs_measured.py", ["16"]),
+    ("proof_walkthrough.py", []),
+]
+
+
+@pytest.mark.parametrize("script,argv", CASES, ids=[f"{s}-{'-'.join(a) or 'default'}" for s, a in CASES])
+def test_example_runs(script, argv):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *argv],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script} {argv} failed:\n{proc.stdout[-1500:]}\n{proc.stderr[-1500:]}"
+    )
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_reproduce_script(tmp_path):
+    out = tmp_path / "RESULTS.md"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES.parent / "scripts" / "reproduce.py"),
+            "--out",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-1500:]
+    text = out.read_text()
+    for section in ("Figure 4", "Figure 5", "Theorem 5", "soundness"):
+        assert section in text
+
+
+def test_gen_api_docs_script(tmp_path):
+    out = tmp_path / "API.md"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES.parent / "scripts" / "gen_api_docs.py"),
+            "--out",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr[-1500:]
+    text = out.read_text()
+    assert "repro.bounds" in text and "derive" in text

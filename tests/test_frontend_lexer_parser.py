@@ -1,0 +1,181 @@
+"""Unit tests for the front-end lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import LexError, ParseError, parse, tokenize
+from repro.frontend.astnodes import (
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    For,
+    If,
+    Num,
+    Ref,
+    Ternary,
+    UnOp,
+    Var,
+)
+
+
+class TestLexer:
+    def test_numbers(self):
+        toks = tokenize("1 2.5 0.0")
+        assert [t.text for t in toks[:-1]] == ["1", "2.5", "0.0"]
+        assert all(t.kind == "num" for t in toks[:-1])
+
+    def test_names_and_keywords(self):
+        toks = tokenize("for foo if bar_2")
+        kinds = [(t.kind, t.text) for t in toks[:-1]]
+        assert kinds == [
+            ("kw", "for"),
+            ("name", "foo"),
+            ("kw", "if"),
+            ("name", "bar_2"),
+        ]
+
+    def test_compound_symbols(self):
+        toks = tokenize("+= <= == != >= -= *= /=")
+        assert [t.text for t in toks[:-1]] == [
+            "+=", "<=", "==", "!=", ">=", "-=", "*=", "/=",
+        ]
+
+    def test_line_comments_skipped(self):
+        toks = tokenize("a // comment\n b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        toks = tokenize("a /* x\ny */ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* nope")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb")
+        assert toks[0].line == 1 and toks[1].line == 2
+
+
+class TestParserExpressions:
+    def _expr(self, src: str):
+        blk = parse(f"x = {src};")
+        return blk.items[0].value
+
+    def test_precedence(self):
+        e = self._expr("a + b * c")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.rhs, BinOp) and e.rhs.op == "*"
+
+    def test_parens(self):
+        e = self._expr("(a + b) * c")
+        assert isinstance(e, BinOp) and e.op == "*"
+
+    def test_unary_minus(self):
+        e = self._expr("-a * b")
+        assert isinstance(e, BinOp)
+        assert isinstance(e.lhs, UnOp)
+
+    def test_array_ref_2d(self):
+        e = self._expr("A[i + 1][2 * j]")
+        assert isinstance(e, Ref)
+        assert e.array == "A" and len(e.indices) == 2
+
+    def test_call(self):
+        e = self._expr("sqrt(a * a + b)")
+        assert isinstance(e, Call) and e.func == "sqrt"
+
+    def test_ternary(self):
+        e = self._expr("(a > 0) ? (a + n) : (a - n)")
+        assert isinstance(e, Ternary)
+        assert isinstance(e.cond, Compare) and e.cond.op == ">"
+
+    def test_parenthesised_plain_expr_not_ternary(self):
+        e = self._expr("(a + b)")
+        assert isinstance(e, BinOp)
+
+    def test_division_chain(self):
+        e = self._expr("a / b / c")
+        assert isinstance(e, BinOp) and e.op == "/"
+        assert isinstance(e.lhs, BinOp)  # left associative
+
+
+class TestParserStatements:
+    def test_simple_for(self):
+        blk = parse("for (i = 0; i < N; i += 1) x = i;")
+        f = blk.items[0]
+        assert isinstance(f, For)
+        assert f.var == "i" and f.cond_op == "<" and f.step == 1
+        assert len(f.body.items) == 1
+
+    def test_reversed_for(self):
+        blk = parse("for (k = N - 1; k > -1; k -= 1) { x = k; }")
+        f = blk.items[0]
+        assert f.step == -1 and f.cond_op == ">"
+
+    def test_nested_blocks(self):
+        blk = parse(
+            "for (i = 0; i < N; i += 1) { for (j = 0; j < N; j += 1) { x = i; } }"
+        )
+        inner = blk.items[0].body.items[0]
+        assert isinstance(inner, For) and inner.var == "j"
+
+    def test_if_statement(self):
+        blk = parse("if (k < N - 2) { x = k; }")
+        assert isinstance(blk.items[0], If)
+
+    def test_labels(self):
+        blk = parse("SU: A[i][j] -= b;")
+        a = blk.items[0]
+        assert isinstance(a, Assign)
+        assert a.label == "SU" and a.op == "-"
+
+    def test_compound_ops(self):
+        for src, op in [("x += 1;", "+"), ("x -= 1;", "-"), ("x *= 2;", "*"), ("x /= 2;", "/")]:
+            assert parse(src).items[0].op == op
+
+    def test_mismatched_loop_var(self):
+        with pytest.raises(ParseError):
+            parse("for (i = 0; j < N; i += 1) x = 0;")
+
+    def test_non_unit_step_rejected(self):
+        with pytest.raises(ParseError):
+            parse("for (i = 0; i < N; i += 2) x = 0;")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("for (i = 0; i < N; i += 1) { x = 0;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("x = 1")
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse("??;")
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import LowerError, lower_program
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=120, deadline=None)
+def test_parser_never_crashes_on_garbage(text):
+    """Arbitrary input yields a parsed block or a clean front-end error —
+    never an unhandled exception."""
+    from repro.frontend import LexError, ParseError
+
+    try:
+        block = parse(text)
+        lower_program(block)
+    except (LexError, ParseError, LowerError):
+        pass

@@ -1,0 +1,241 @@
+"""Tests for front-end lowering and interpretation, incl. the full
+figure-source integration (parsed CDAG == hand-built CDAG)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds import derive
+from repro.cdag import (
+    build_cdag,
+    check_program_deps,
+    check_spec_matches_runner,
+    compare_cdags,
+)
+from repro.frontend import (
+    InterpError,
+    LowerError,
+    compile_source,
+    interpret,
+    lower_program,
+    parse,
+)
+from repro.frontend.sources import FIGURE_SHAPES, FIGURE_SOURCES
+from repro.kernels import get_kernel, random_matrix, relative_error
+from repro.kernels.common import Kernel
+from repro.symbolic import Sym
+
+PARSED_PARAMS = {
+    "mgs": {"M": 5, "N": 4},
+    "qr_a2v": {"M": 6, "N": 4},
+    "qr_v2q": {"M": 6, "N": 4},
+    "gehd2": {"N": 6},
+    "gebd2": {"M": 7, "N": 5},
+}
+
+
+class TestLowering:
+    def test_classification(self):
+        prog = lower_program(parse("for (i = 0; i < N; i += 1) s += A[i];"))
+        assert prog.params == ("N",)
+        names = {a.name: a.ndim for a in prog.arrays}
+        assert names == {"A": 1, "s": 0}
+
+    def test_loop_bounds(self):
+        prog = lower_program(parse("for (i = 2; i <= N; i += 1) X: s = A[i];"))
+        st = prog.statement("X")
+        assert st.domain().count({"N": 5}) == 4  # 2..5
+
+    def test_reversed_loop_schedule(self):
+        prog = lower_program(parse("for (k = N - 1; k > -1; k -= 1) X: s = A[k];"))
+        st = prog.statement("X")
+        assert "-k" in st.schedule
+        assert st.domain().count({"N": 3}) == 3
+
+    def test_guard_from_if(self):
+        prog = lower_program(
+            parse("for (k = 0; k < N; k += 1) if (k < N - 2) X: s = A[k];")
+        )
+        st = prog.statement("X")
+        assert st.guards
+        assert st.domain().count({"N": 5}) == 3
+
+    def test_compound_assignment_reads_target_last(self):
+        prog = lower_program(parse("X: A[0] += B[0];"))
+        st = prog.statement("X")
+        assert [r.array for r in st.reads] == ["B", "A"]
+
+    def test_reads_deduplicated(self):
+        prog = lower_program(parse("X: s = A[0] * A[0];"))
+        assert len(prog.statement("X").reads) == 1
+
+    def test_ternary_reads_both_arms(self):
+        prog = lower_program(parse("X: s = (A[0] > 0) ? B[0] : C[0];"))
+        assert {r.array for r in prog.statement("X").reads} == {"A", "B", "C"}
+
+    def test_auto_names(self):
+        prog = lower_program(parse("a = 1.0; b = 2.0;"))
+        assert [s.name for s in prog.statements] == ["S0", "S1"]
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(LowerError):
+            lower_program(parse("X: a = 1.0; X: b = 2.0;"))
+
+    def test_nonaffine_index_rejected(self):
+        with pytest.raises(LowerError):
+            lower_program(parse("s = A[i * i];"))
+
+    def test_nonaffine_bound_rejected(self):
+        with pytest.raises(LowerError):
+            lower_program(parse("for (i = 0; i < N * N2; i += 1) s = A[i];"))
+
+    def test_inconsistent_rank_rejected(self):
+        with pytest.raises(LowerError):
+            lower_program(parse("s = A[0]; t = A[0][1];"))
+
+    def test_scalar_in_index_rejected(self):
+        # s is written, hence a scalar, hence not affine
+        with pytest.raises(LowerError):
+            lower_program(parse("s = 1.0; t = A[s];"))
+
+
+class TestInterpreter:
+    def test_basic_sum(self):
+        src = "for (i = 0; i < N; i += 1) X: s += A[i];"
+        prog, ast = compile_source(src)
+        out = interpret(ast, prog, {"A": np.arange(4.0)}, {"N": 4})
+        # s is a scalar; check via rerun with tracer count
+        from repro.ir import Tracer
+
+        t = Tracer()
+        interpret(ast, prog, {"A": np.arange(4.0)}, {"N": 4}, t)
+        assert len(t.schedule) == 4
+
+    def test_array_update(self):
+        src = "for (i = 0; i < N; i += 1) X: A[i] = A[i] * 2.0;"
+        prog, ast = compile_source(src)
+        out = interpret(ast, prog, {"A": np.ones(3)}, {"N": 3})
+        assert np.allclose(out["A"], 2.0)
+
+    def test_ternary_semantics(self):
+        src = "X: A[0] = (A[0] > 0) ? 1.0 : (0.0 - 1.0);"
+        prog, ast = compile_source(src)
+        assert interpret(ast, prog, {"A": np.array([5.0])}, {})["A"][0] == 1.0
+        assert interpret(ast, prog, {"A": np.array([-5.0])}, {})["A"][0] == -1.0
+
+    def test_if_guard(self):
+        src = "for (k = 0; k < N; k += 1) if (k >= 2) X: A[k] = 1.0;"
+        prog, ast = compile_source(src)
+        out = interpret(ast, prog, {"A": np.zeros(4)}, {"N": 4})
+        assert list(out["A"]) == [0.0, 0.0, 1.0, 1.0]
+
+    def test_sqrt_call(self):
+        src = "X: A[0] = sqrt(A[0]);"
+        prog, ast = compile_source(src)
+        out = interpret(ast, prog, {"A": np.array([16.0])}, {})
+        assert out["A"][0] == 4.0
+
+    def test_unknown_function(self):
+        prog, ast = compile_source("X: A[0] = frob(A[0]);")
+        with pytest.raises(InterpError):
+            interpret(ast, prog, {"A": np.zeros(1)}, {})
+
+    def test_missing_array(self):
+        prog, ast = compile_source("X: A[0] = B[0];")
+        with pytest.raises(InterpError):
+            interpret(ast, prog, {"A": np.zeros(1)}, {})
+
+    def test_extraneous_array_rejected(self):
+        prog, ast = compile_source("X: A[0] = 1.0;")
+        with pytest.raises(InterpError):
+            interpret(ast, prog, {"A": np.zeros(1), "Z": np.zeros(1)}, {})
+
+
+class TestFigureSources:
+    @pytest.mark.parametrize("name", sorted(FIGURE_SOURCES))
+    def test_spec_matches_interpreter(self, name):
+        prog, _ = compile_source(
+            FIGURE_SOURCES[name], name + "_parsed", FIGURE_SHAPES[name]
+        )
+        ok, msg = check_spec_matches_runner(prog, PARSED_PARAMS[name])
+        assert ok, msg
+
+    @pytest.mark.parametrize("name", sorted(FIGURE_SOURCES))
+    def test_cdag_check(self, name):
+        prog, _ = compile_source(
+            FIGURE_SOURCES[name], name + "_parsed", FIGURE_SHAPES[name]
+        )
+        assert check_program_deps(prog, PARSED_PARAMS[name]).ok()
+
+    @pytest.mark.parametrize("name", sorted(FIGURE_SOURCES))
+    def test_parsed_cdag_equals_hand_built(self, name):
+        """The decisive agreement: figure source, front-end, and the manual
+        transcription all produce the same computational DAG."""
+        prog, _ = compile_source(
+            FIGURE_SOURCES[name], name + "_parsed", FIGURE_SHAPES[name]
+        )
+        params = PARSED_PARAMS[name]
+        g_parsed = build_cdag(prog, params)
+        g_hand = build_cdag(get_kernel(name).program, params)
+        assert compare_cdags(g_parsed, g_hand).ok()
+
+    def test_parsed_mgs_numerically_correct(self):
+        prog, ast = compile_source(
+            FIGURE_SOURCES["mgs"], "mgs_parsed", FIGURE_SHAPES["mgs"]
+        )
+        m, n = 8, 5
+        A0 = random_matrix(m, n, 0)
+        out = interpret(
+            ast,
+            prog,
+            {"A": A0, "Q": np.zeros((m, n)), "R": np.zeros((n, n))},
+            {"M": m, "N": n},
+        )
+        assert relative_error(out["Q"] @ out["R"], A0) < 1e-9
+
+    @pytest.mark.parametrize(
+        "name,dominant",
+        [
+            ("mgs", "SU"),
+            ("qr_a2v", "SU"),
+            ("qr_v2q", "SU"),
+            ("gebd2", "ScU"),
+        ],
+    )
+    def test_parsed_hourglass_matches_hand_built(self, name, dominant):
+        """Regression: detection must not depend on the textual read order
+        (parsed compound assignments list the update operand last, hand
+        specs list it first).  Classification and widths must agree."""
+        from repro.bounds import derive_projections, detect_hourglass
+
+        prog, _ = compile_source(
+            FIGURE_SOURCES[name], name + "_parsed", FIGURE_SHAPES[name]
+        )
+        params = PARSED_PARAMS[name]
+        sample = {k: v * 512 for k, v in params.items()}
+        ps = derive_projections(prog, dominant, params)
+        pat = detect_hourglass(prog, dominant, params, sample, ps)
+
+        hand = get_kernel(name)
+        ps_h = derive_projections(hand.program, hand.dominant, params)
+        pat_h = detect_hourglass(hand.program, hand.dominant, params, sample, ps_h)
+        assert pat.temporal == pat_h.temporal
+        assert pat.reduction == pat_h.reduction
+        assert pat.neutral == pat_h.neutral
+        assert pat.width_min == pat_h.width_min
+
+    def test_figure1_source_yields_theorem5(self):
+        """Flagship integration: Figure 1's C code in, Theorem 5 out."""
+        prog, _ = compile_source(
+            FIGURE_SOURCES["mgs"], "mgs_parsed", FIGURE_SHAPES["mgs"]
+        )
+        kern = Kernel(program=prog, dominant="SU", default_params={"M": 5, "N": 4})
+        rep = derive(
+            kern,
+            small_params={"M": 5, "N": 4},
+            sample_params={"M": 4096, "N": 1024},
+        )
+        M, N, S = Sym("M"), Sym("N"), Sym("S")
+        assert rep.hourglass.expr == M**2 * N * (N - 1) / (8 * (S + M))
+        assert rep.hourglass_small_cache.expr == (M - S) * N * (N - 1) / 4

@@ -1,0 +1,103 @@
+"""Golden regression tests: the engine's derived bounds, frozen.
+
+The exact symbolic output of the derivation pipeline for every kernel is
+pinned here.  Any change to projections, detection, width conventions or
+the K-partition algebra that alters a derived bound will fail loudly —
+the guard against silent regressions in the mathematical core.
+
+(If a change is *intended* — e.g. adopting the paper's W = M-N convention —
+update the strings here alongside EXPERIMENTS.md's deviation notes.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import derivation_for
+
+#: kernel -> method -> exact repr of the derived expression
+GOLDEN = {
+    "mgs": {
+        "classical-disjoint": "1/2*M*N**2*S**-1/2 - 1/2*M*N*S**-1/2",
+        "hourglass": "(1/8*M**2*N**2 - 1/8*M**2*N) / (M + S)",
+        "hourglass-small-cache": (
+            "1/4*M*N**2 - 1/4*N**2*S - 1/4*M*N + 1/4*N*S"
+        ),
+    },
+    "qr_a2v": {
+        "classical-disjoint": (
+            "1/2*M*N**2*S**-1/2 - 1/6*N**3*S**-1/2 - 1/2*M*N*S**-1/2"
+            " + 1/6*N*S**-1/2"
+        ),
+    },
+    "matmul": {
+        "classical-disjoint": "NI*NJ*NK*S**-1/2",
+    },
+    "cholesky": {
+        "classical": "1/6*N**3*S**-1/2 - 1/6*N*S**-1/2",
+    },
+    "syrk": {
+        "classical": "1/2*KP*N**2*S**-1/2 + 1/2*KP*N*S**-1/2",
+    },
+}
+
+#: kernel -> expected hourglass classification (None = no pattern)
+GOLDEN_PATTERNS = {
+    "mgs": ("SU", ("k",), ("i",), ("j",), "M", "M", True),
+    "qr_a2v": ("SU", ("k",), ("i",), ("j",), "M - N + 1", "M - 1", True),
+    "qr_v2q": ("SU", ("k",), ("i",), ("j",), "M - N + 1", "M - 1", True),
+    "gebd2": ("ScU", ("k",), ("i",), ("j",), "M - N + 1", "M - 1", True),
+    "gehd2": ("SrU", ("j",), ("k",), ("i",), "1", "N - 2", False),
+    "matmul": None,
+    "cholesky": None,
+    "syrk": None,
+}
+
+
+class TestGoldenBounds:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_expressions_frozen(self, name):
+        rep = derivation_for(name)
+        by_method = {b.method: b for b in rep.all_bounds()}
+        for method, expected in GOLDEN[name].items():
+            assert method in by_method, f"{name}: method {method} disappeared"
+            got = repr(by_method[method].expr)
+            assert got == expected, (
+                f"{name}/{method} derived expression changed:\n"
+                f"  was: {expected}\n  now: {got}"
+            )
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_PATTERNS))
+    def test_patterns_frozen(self, name):
+        rep = derivation_for(name)
+        expected = GOLDEN_PATTERNS[name]
+        if expected is None:
+            assert rep.hourglass_pattern is None
+            return
+        stmt, temporal, reduction, neutral, wmin, wmax, parametric = expected
+        pat = rep.hourglass_pattern
+        assert pat is not None
+        assert pat.stmt == stmt
+        assert pat.temporal == temporal
+        assert pat.reduction == reduction
+        assert pat.neutral == neutral
+        assert repr(pat.width_min) == wmin
+        assert repr(pat.width_max) == wmax
+        assert pat.parametric_width == parametric
+
+    def test_householder_hourglass_bounds_agree(self):
+        """A2V and V2Q have identical dominant-statement structure; their
+        derived hourglass bounds must be the same expression."""
+        a = derivation_for("qr_a2v").hourglass
+        v = derivation_for("qr_v2q").hourglass
+        assert a.expr == v.expr
+
+    def test_derivation_deterministic(self):
+        """Two independent runs produce identical expressions."""
+        from repro.bounds import derive
+        from repro.kernels import get_kernel
+
+        r1 = derive(get_kernel("mgs"))
+        r2 = derive(get_kernel("mgs"))
+        assert repr(r1.hourglass.expr) == repr(r2.hourglass.expr)
+        assert repr(r1.classical.expr) == repr(r2.classical.expr)

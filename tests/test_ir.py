@@ -1,0 +1,181 @@
+"""Tests for the program IR, tracing, and dataflow replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    Access,
+    Array,
+    Program,
+    Statement,
+    Tracer,
+    dataflow_trace,
+    sequential_schedule,
+)
+from repro.polyhedral import var
+
+i, j, N = var("i"), var("j"), var("N")
+
+
+def tiny_program():
+    """A two-statement producer/consumer chain: B[i] = A[i]; C[i] = B[i]."""
+    return Program(
+        name="tiny",
+        params=("N",),
+        arrays=(Array("A", 1), Array("B", 1), Array("C", 1)),
+        statements=(
+            Statement(
+                "P",
+                loops=(("i", 0, N - 1),),
+                reads=(Access.to("A", i),),
+                writes=(Access.to("B", i),),
+                schedule=(0, "i", 0),
+            ),
+            Statement(
+                "C",
+                loops=(("i", 0, N - 1),),
+                reads=(Access.to("B", i),),
+                writes=(Access.to("C", i),),
+                schedule=(1, "i", 0),
+            ),
+        ),
+        outputs=("C",),
+    )
+
+
+class TestProgramStructure:
+    def test_statement_lookup(self):
+        p = tiny_program()
+        assert p.statement("P").name == "P"
+        with pytest.raises(KeyError):
+            p.statement("nope")
+
+    def test_duplicate_statement_names_rejected(self):
+        st = Statement("X", loops=(("i", 0, 3),))
+        with pytest.raises(ValueError):
+            Program("bad", (), (), (st, st))
+
+    def test_undeclared_array_rejected(self):
+        st = Statement(
+            "X", loops=(("i", 0, 3),), reads=(Access.to("Z", i),)
+        )
+        with pytest.raises(ValueError):
+            Program("bad", (), (Array("A", 1),), (st,))
+
+    def test_instance_count(self):
+        p = tiny_program()
+        assert p.statement("P").instance_count().eval({"N": 7}) == 7
+        assert p.total_instances().eval({"N": 7}) == 14
+
+    def test_instances_enumeration(self):
+        p = tiny_program()
+        inst = list(p.instances({"N": 2}))
+        assert ("P", (0,)) in inst and ("C", (1,)) in inst
+        assert len(inst) == 4
+
+    def test_access_eval(self):
+        a = Access.to("A", i + 1, 2 * j)
+        assert a.eval({"i": 3, "j": 5}) == ("A", (4, 10))
+
+    def test_access_dims_used(self):
+        a = Access.to("A", i, N - 1)
+        assert a.dims_used(("i", "j")) == frozenset({"i"})
+
+    def test_guarded_statement_count_unsupported(self):
+        from repro.polyhedral import Constraint
+
+        st = Statement(
+            "X", loops=(("i", 0, N - 1),), guards=(Constraint(i - 2, ">="),)
+        )
+        with pytest.raises(ValueError):
+            st.instance_count()
+
+
+class TestScheduleKeys:
+    def test_forward(self):
+        st = Statement("X", loops=(("i", 0, 9),), schedule=(0, "i", 2))
+        assert st.schedule_key((5,)) == (0, 5, 2)
+
+    def test_reversed_dim(self):
+        st = Statement("X", loops=(("k", 0, 9),), schedule=(0, "-k", 1))
+        assert st.schedule_key((3,)) == (0, -3, 1)
+        # later iterations (smaller k) must sort after earlier ones
+        assert st.schedule_key((7,)) < st.schedule_key((2,))
+
+    def test_sequential_schedule_order(self):
+        order = sequential_schedule(tiny_program(), {"N": 3})
+        assert order == [
+            ("P", (0,)), ("P", (1,)), ("P", (2,)),
+            ("C", (0,)), ("C", (1,)), ("C", (2,)),
+        ]
+
+    def test_missing_schedule_raises(self):
+        p = Program(
+            "x",
+            ("N",),
+            (Array("A", 1),),
+            (Statement("X", loops=(("i", 0, N - 1),), writes=(Access.to("A", i),)),),
+        )
+        with pytest.raises(ValueError):
+            sequential_schedule(p, {"N": 2})
+
+
+class TestTracer:
+    def test_flow_edge_and_inputs(self):
+        t = Tracer()
+        t.stmt("P", 0)
+        t.read("A", 0)
+        t.write("B", 0)
+        t.stmt("C", 0)
+        t.read("B", 0)
+        t.write("C", 0)
+        assert (("P", (0,)), ("C", (0,)), ("B", (0,))) in t.flow_edges
+        assert ("A", (0,)) in t.input_elements
+        assert t.n_reads() == 2 and t.n_writes() == 2
+
+    def test_input_edge_key(self):
+        t = Tracer()
+        t.stmt("X", 0)
+        t.read("A", 5)
+        producers = {p for p, _, _ in t.flow_edges}
+        assert ("_input", ("A", (5,))) in producers
+
+    def test_self_read_after_write_not_an_edge(self):
+        t = Tracer()
+        t.stmt("X", 0)
+        t.write("A", 0)
+        t.read("A", 0)
+        assert not t.flow_edges  # producer == consumer is skipped
+
+    def test_instance_index_unique(self):
+        t = Tracer()
+        t.stmt("X", 0)
+        t.stmt("X", 0)
+        with pytest.raises(ValueError):
+            t.instance_index()
+
+    def test_touched_elements(self):
+        t = Tracer()
+        t.stmt("X", 0)
+        t.read("A", 1)
+        t.write("B", 2)
+        assert t.touched_elements() == {("A", (1,)), ("B", (2,))}
+
+
+class TestDataflowReplay:
+    def test_tiny_chain(self):
+        t = dataflow_trace(tiny_program(), {"N": 2})
+        assert (("P", (0,)), ("C", (0,)), ("B", (0,))) in t.flow_edges
+        assert ("A", (0,)) in t.input_elements
+        assert ("A", (1,)) in t.input_elements
+        assert len(t.schedule) == 4
+
+    def test_matches_runner_for_every_kernel(self):
+        from repro.cdag import check_spec_matches_runner
+        from repro.kernels import KERNELS
+        from tests.conftest import SMALL_PARAMS
+
+        for name, kern in KERNELS.items():
+            ok, msg = check_spec_matches_runner(kern.program, SMALL_PARAMS[name])
+            assert ok, f"{name}: {msg}"

@@ -1,0 +1,144 @@
+"""Tests for static Program validation — including failure injection:
+deliberately broken specs must be caught."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    Access,
+    Array,
+    Program,
+    Statement,
+    ProgramValidationError,
+    validate_program,
+)
+from repro.kernels import KERNELS
+from repro.polyhedral import var
+
+i, j, N = var("i"), var("j"), var("N")
+
+
+def make(statements, arrays=(Array("A", 1), Array("s", 0)), params=("N",)):
+    return Program("t", params, arrays, tuple(statements))
+
+
+class TestValidPrograms:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_all_kernels_valid(self, name):
+        assert validate_program(KERNELS[name].program) == []
+
+    def test_parsed_figures_valid(self):
+        from repro.frontend import compile_source
+        from repro.frontend.sources import FIGURE_SOURCES
+
+        for name, src in FIGURE_SOURCES.items():
+            prog, _ = compile_source(src, name)
+            assert validate_program(prog) == [], name
+
+
+class TestFailureInjection:
+    def test_arity_mismatch(self):
+        st = Statement(
+            "X",
+            loops=(("i", 0, N - 1),),
+            reads=(Access.to("A", i, i),),  # A is rank 1
+            writes=(Access.to("s"),),
+            schedule=(0, "i", 0),
+        )
+        probs = validate_program(make([st]))
+        assert any("arity" in p for p in probs)
+
+    def test_unknown_name_in_index(self):
+        st = Statement(
+            "X",
+            loops=(("i", 0, N - 1),),
+            reads=(Access.to("A", var("zz")),),
+            writes=(Access.to("s"),),
+            schedule=(0, "i", 0),
+        )
+        probs = validate_program(make([st]))
+        assert any("unknown names" in p for p in probs)
+
+    def test_inner_dim_in_outer_bound(self):
+        st = Statement(
+            "X",
+            loops=(("i", j, N - 1), ("j", 0, N - 1)),  # i bounded by inner j
+            writes=(Access.to("s"),),
+            schedule=(0, "i", 0, "j", 0),
+        )
+        probs = validate_program(make([st]))
+        assert any("non-outer" in p for p in probs)
+
+    def test_multiple_writes_flagged(self):
+        st = Statement(
+            "X",
+            loops=(("i", 0, N - 1),),
+            writes=(Access.to("A", i), Access.to("s")),
+            schedule=(0, "i", 0),
+        )
+        probs = validate_program(make([st]))
+        assert any("writes" in p for p in probs)
+
+    def test_schedule_unknown_dim(self):
+        st = Statement(
+            "X",
+            loops=(("i", 0, N - 1),),
+            writes=(Access.to("s"),),
+            schedule=(0, "zz", 0),
+        )
+        probs = validate_program(make([st]))
+        assert any("unknown dim" in p for p in probs)
+
+    def test_schedule_dim_order(self):
+        st = Statement(
+            "X",
+            loops=(("i", 0, N - 1), ("j", 0, N - 1)),
+            writes=(Access.to("s"),),
+            schedule=(0, "j", 0, "i", 0),  # inverted
+        )
+        probs = validate_program(make([st]))
+        assert any("loop order" in p for p in probs)
+
+    def test_inconsistent_shared_prefix(self):
+        a = Statement(
+            "A1",
+            loops=(("i", 0, N - 1),),
+            writes=(Access.to("s"),),
+            schedule=(0, "i", 0),
+        )
+        b = Statement(
+            "B1",
+            loops=(("j", 0, N - 1),),
+            writes=(Access.to("s"),),
+            schedule=(0, "j", 1),
+        )
+        probs = validate_program(make([a, b]))
+        assert any("different dims" in p for p in probs)
+
+    def test_dim_vs_static_mix(self):
+        a = Statement(
+            "A1",
+            loops=(("i", 0, N - 1),),
+            writes=(Access.to("s"),),
+            schedule=(0, "i", 0),
+        )
+        b = Statement(
+            "B1",
+            loops=(),
+            writes=(Access.to("s"),),
+            schedule=(0, 5),
+        )
+        probs = validate_program(make([a, b]))
+        assert any("mixes a dim" in p for p in probs)
+
+    def test_strict_raises(self):
+        st = Statement(
+            "X",
+            loops=(("i", 0, N - 1),),
+            reads=(Access.to("A", i, i),),
+            writes=(Access.to("s"),),
+            schedule=(0, "i", 0),
+        )
+        with pytest.raises(ProgramValidationError):
+            validate_program(make([st]), strict=True)

@@ -1,0 +1,106 @@
+"""Tests for the structural control kernels (Cholesky, SYRK).
+
+These pin down the *negative* behaviours of the engine: hourglass rejection
+where the cycle is missing, and disjoint-inset auto-disabling where two
+operands share an in-set part.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_cdag, play_schedule
+from repro.bounds import (
+    HourglassDetectionError,
+    derive,
+    derive_projections,
+    detect_hourglass,
+)
+from repro.ir import Tracer
+from repro.kernels import CHOLESKY, SYRK
+from tests.conftest import SMALL_PARAMS, derivation_for
+
+
+class TestCholesky:
+    def test_projections_shape(self):
+        ps = derive_projections(CHOLESKY.program, "SU", SMALL_PARAMS["cholesky"])
+        assert {p.dims for p in ps} == {
+            frozenset("ij"),
+            frozenset("ik"),
+            frozenset("jk"),
+        }
+
+    def test_no_hourglass_despite_matching_projections(self):
+        """Same projection shape as Householder, but Sv is pointwise: the
+        reduction->broadcast cycle is missing and detection must fail on the
+        path property (not earlier)."""
+        ps = derive_projections(CHOLESKY.program, "SU", SMALL_PARAMS["cholesky"])
+        with pytest.raises(HourglassDetectionError, match="path property"):
+            detect_hourglass(
+                CHOLESKY.program, "SU", SMALL_PARAMS["cholesky"], {"N": 1024}, ps
+            )
+
+    def test_disjointness_disabled_shared_producer(self):
+        """A[i][k] and A[j][k] both come from Sv (and coincide when i = j):
+        the refinement must auto-disable."""
+        rep = derivation_for("cholesky")
+        assert rep.classical.method == "classical"  # not classical-disjoint
+
+    def test_classical_bound_sound(self):
+        params = {"N": 7}
+        g = build_cdag(CHOLESKY.program, params)
+        t = Tracer()
+        CHOLESKY.program.runner(dict(params), t)
+        rep = derivation_for("cholesky")
+        for s in (4, 8, 16):
+            measured = play_schedule(g, t.schedule, s, "belady").loads
+            _, lb = rep.best({**params, "S": s})
+            assert lb <= measured + 1e-9
+
+    def test_triangular_domain_count(self):
+        su = CHOLESKY.program.statement("SU")
+        # |SU| = sum_k sum_{j>k} (N-j) = N(N-1)(N+1)/6
+        c = su.instance_count()
+        for n in (3, 5, 8):
+            brute = sum(
+                1
+                for kk in range(n)
+                for jj in range(kk + 1, n)
+                for ii in range(jj, n)
+            )
+            assert c.eval({"N": n}) == brute
+
+
+class TestSyrk:
+    def test_no_hourglass(self):
+        ps = derive_projections(SYRK.program, "SC", SMALL_PARAMS["syrk"])
+        with pytest.raises(HourglassDetectionError):
+            detect_hourglass(
+                SYRK.program, "SC", SMALL_PARAMS["syrk"], {"N": 512, "KP": 512}, ps
+            )
+
+    def test_disjointness_disabled(self):
+        """Both A-operands are raw input:A — same in-set part."""
+        rep = derivation_for("syrk")
+        assert rep.classical.method == "classical"
+
+    def test_classical_matches_presyrk_state_of_the_art(self):
+        """Omega(K N^2 / sqrt(S)) — what the engine should report for SYRK
+        absent the specialised argument of the paper's reference [4]."""
+        rep = derivation_for("syrk")
+        env = {"N": 512, "KP": 256, "S": 1024}
+        val = rep.classical.evaluate(env)
+        # |SC| = KP * N(N+1)/2; coeff 0.3849 (plain sigma=3/2 optimum)
+        expected = 0.3849 * 256 * 512 * 513 / 2 / 32
+        assert val == pytest.approx(expected, rel=0.001)
+
+    def test_sound_on_instance(self):
+        params = SMALL_PARAMS["syrk"]
+        g = build_cdag(SYRK.program, params)
+        t = Tracer()
+        SYRK.program.runner(dict(params), t)
+        rep = derivation_for("syrk")
+        for s in (4, 8):
+            measured = play_schedule(g, t.schedule, s, "belady").loads
+            _, lb = rep.best({**params, "S": s})
+            assert lb <= measured + 1e-9

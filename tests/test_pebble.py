@@ -1,0 +1,150 @@
+"""Tests for the red-white pebble game and eviction policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdag import CDAG, INPUT
+from repro.pebble import PebbleGameError, play_schedule
+from tests.conftest import SMALL_PARAMS, cdag_for, trace_for
+
+
+def chain(n: int) -> tuple[CDAG, list]:
+    g = CDAG()
+    g.add_edge((INPUT, ("A", (0,))), ("s", (0,)))
+    for x in range(n - 1):
+        g.add_edge(("s", (x,)), ("s", (x + 1,)))
+    return g, [("s", (x,)) for x in range(n)]
+
+
+def fanout(width: int) -> tuple[CDAG, list]:
+    """One input broadcast to `width` independent consumers."""
+    g = CDAG()
+    src = (INPUT, ("A", (0,)))
+    sched = []
+    for x in range(width):
+        g.add_edge(src, ("c", (x,)))
+        sched.append(("c", (x,)))
+    return g, sched
+
+
+class TestGameRules:
+    def test_chain_needs_one_load(self):
+        g, sched = chain(10)
+        res = play_schedule(g, sched, s=2)
+        assert res.loads == 1  # only the input
+        assert res.computes == 10
+
+    def test_fanout_reuses_red_input(self):
+        g, sched = fanout(8)
+        res = play_schedule(g, sched, s=2)
+        assert res.loads == 1  # input loaded once, pinned by reuse
+
+    def test_invalid_schedule_rejected(self):
+        g, sched = chain(3)
+        with pytest.raises(PebbleGameError):
+            play_schedule(g, list(reversed(sched)), s=4)
+
+    def test_s_too_small_for_node(self):
+        g = CDAG()
+        for x in range(3):
+            g.add_edge((INPUT, ("A", (x,))), ("s", (0,)))
+        with pytest.raises(PebbleGameError):
+            play_schedule(g, [("s", (0,))], s=3)  # 3 operands + itself > 3
+
+    def test_s_zero_rejected(self):
+        g, sched = chain(2)
+        with pytest.raises(PebbleGameError):
+            play_schedule(g, sched, s=0)
+
+    def test_unknown_policy(self):
+        g, sched = chain(2)
+        with pytest.raises(PebbleGameError):
+            play_schedule(g, sched, s=2, policy="zig")
+
+    def test_max_red_respects_budget(self):
+        g = cdag_for("mgs")
+        t = trace_for("mgs")
+        for s in (4, 8):
+            res = play_schedule(g, t.schedule, s, "lru")
+            assert res.max_red <= s
+
+    def test_spill_reload_counted(self):
+        """Capacity 2 on a graph needing 3 live values forces reloads."""
+        g = CDAG()
+        # two inputs both used at the end after a long detour
+        a, b = (INPUT, ("A", (0,))), (INPUT, ("B", (0,)))
+        g.add_edge(a, ("x", (0,)))
+        g.add_edge(("x", (0,)), ("x", (1,)))
+        g.add_edge(b, ("x", (1,)))
+        g.add_edge(a, ("x", (2,)))
+        g.add_edge(("x", (1,)), ("x", (2,)))
+        sched = [("x", (0,)), ("x", (1,)), ("x", (2,))]
+        res = play_schedule(g, sched, s=3)
+        assert res.loads >= 3  # a, b, and a again (a evicted at x1)
+
+    def test_two_operands_need_s_three(self):
+        """No pebble sliding: computing a 2-operand node needs S >= 3."""
+        g = CDAG()
+        g.add_edge((INPUT, ("A", (0,))), ("s", (0,)))
+        g.add_edge((INPUT, ("B", (0,))), ("s", (0,)))
+        with pytest.raises(PebbleGameError):
+            play_schedule(g, [("s", (0,))], s=2)
+        assert play_schedule(g, [("s", (0,))], s=3).loads == 2
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("name", ["mgs", "qr_a2v", "gehd2"])
+    def test_belady_never_worse_than_lru(self, name):
+        g = cdag_for(name)
+        t = trace_for(name)
+        for s in (6, 12, 24):
+            lru = play_schedule(g, t.schedule, s, "lru").loads
+            bel = play_schedule(g, t.schedule, s, "belady").loads
+            assert bel <= lru
+
+    @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+    def test_loads_monotone_in_s(self, name):
+        """Belady loads must not increase with a larger cache."""
+        g = cdag_for(name)
+        t = trace_for(name)
+        prev = None
+        for s in (4, 8, 16, 32, 64):
+            cur = play_schedule(g, t.schedule, s, "belady").loads
+            if prev is not None:
+                assert cur <= prev
+            prev = cur
+
+    def test_loads_lower_bounded_by_inputs_when_cache_large(self):
+        """With a huge cache, loads = number of input values used."""
+        g = cdag_for("mgs")
+        t = trace_for("mgs")
+        res = play_schedule(g, t.schedule, s=10_000, policy="lru")
+        assert res.loads == len(g.input_nodes())
+        assert res.spills == 0
+
+    def test_tiled_schedule_beats_naive_midrange(self):
+        """The whole point of tiling: fewer loads at moderate S.  The
+        comparison uses Belady eviction, matching the appendix's explicit
+        load/discard management; the block must fit: (M+1)*B < S."""
+        from repro.kernels import TILED_MGS
+
+        params = {"M": 10, "N": 8}
+        g = cdag_for("mgs", params)
+        naive = trace_for("mgs", params)
+        tiled = TILED_MGS.run_traced({**params, "B": 3})
+        for s in (44, 48):
+            n_loads = play_schedule(g, naive.schedule, s, "belady").loads
+            t_loads = play_schedule(g, tiled.schedule, s, "belady").loads
+            assert t_loads < n_loads
+
+
+@given(st.integers(2, 30), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_chain_property(n, s):
+    g, sched = chain(n)
+    res = play_schedule(g, sched, s=max(s, 2))
+    assert res.loads == 1
+    assert res.computes == n

@@ -1,0 +1,125 @@
+"""Tests for the exact minimum-I/O red-white pebble game."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdag import CDAG, INPUT, build_cdag
+from repro.ir import Tracer
+from repro.kernels import get_kernel
+from repro.pebble import exact_min_loads, play_schedule
+
+
+def chain(n: int) -> CDAG:
+    g = CDAG()
+    g.add_edge((INPUT, ("A", (0,))), ("s", (0,)))
+    for x in range(n - 1):
+        g.add_edge(("s", (x,)), ("s", (x + 1,)))
+    return g
+
+
+class TestExactSmallGraphs:
+    def test_chain_needs_one_load(self):
+        assert exact_min_loads(chain(6), 2) == 1
+
+    def test_independent_inputs(self):
+        """k independent consumers of k distinct inputs: k loads."""
+        g = CDAG()
+        for x in range(4):
+            g.add_edge((INPUT, ("A", (x,))), ("c", (x,)))
+        assert exact_min_loads(g, 2) == 4
+
+    def test_shared_input_loaded_once(self):
+        g = CDAG()
+        for x in range(4):
+            g.add_edge((INPUT, ("A", (0,))), ("c", (x,)))
+        assert exact_min_loads(g, 2) == 1
+
+    def test_forced_reload(self):
+        """Two inputs; a uses span the whole game; S=2 forces a reload.
+
+        a -> x0; x0 -> x1; b -> x1; a -> x2; x1 -> x2: at x1 all of
+        {a, x0, b} compete for 2 slots while a is needed again at x2.
+        """
+        g = CDAG()
+        a, b = (INPUT, ("A", (0,))), (INPUT, ("B", (0,)))
+        g.add_edge(a, ("x", (0,)))
+        g.add_edge(("x", (0,)), ("x", (1,)))
+        g.add_edge(b, ("x", (1,)))
+        g.add_edge(a, ("x", (2,)))
+        g.add_edge(("x", (1,)), ("x", (2,)))
+        assert exact_min_loads(g, 3) == 3  # a, b, a-again
+        assert exact_min_loads(g, 4) == 2  # room to keep a
+
+    def test_infeasible_s(self):
+        g = CDAG()
+        for x in range(3):
+            g.add_edge((INPUT, ("A", (x,))), ("s", (0,)))
+        with pytest.raises(ValueError):
+            exact_min_loads(g, 3)
+
+    def test_bad_s(self):
+        with pytest.raises(ValueError):
+            exact_min_loads(chain(2), 0)
+
+    def test_node_limit(self):
+        with pytest.raises(ValueError):
+            exact_min_loads(chain(40), 2, node_limit=10)
+
+    def test_monotone_in_s(self):
+        g = CDAG()
+        a, b = (INPUT, ("A", (0,))), (INPUT, ("B", (0,)))
+        g.add_edge(a, ("x", (0,)))
+        g.add_edge(b, ("x", (0,)))
+        g.add_edge(a, ("x", (1,)))
+        g.add_edge(("x", (0,)), ("x", (1,)))
+        prev = None
+        for s in (3, 4, 5):
+            cur = exact_min_loads(g, s)
+            if prev is not None:
+                assert cur <= prev
+            prev = cur
+
+
+class TestExactVsSchedulePolicies:
+    """The three-level hierarchy on real (tiny) kernel CDAGs:
+    derived lower bound <= exact optimum <= Belady-on-a-schedule."""
+
+    @pytest.mark.parametrize(
+        "name,params,caches",
+        [
+            ("mgs", {"M": 2, "N": 2}, (4, 6, 8)),
+            # the search cost grows steeply with S: keep matmul to S=4
+            ("matmul", {"NI": 2, "NJ": 2, "NK": 2}, (4,)),
+        ],
+    )
+    def test_exact_below_belady(self, name, params, caches):
+        kern = get_kernel(name)
+        g = build_cdag(kern.program, params)
+        t = Tracer()
+        kern.program.runner(dict(params), t)
+        for s in caches:
+            exact = exact_min_loads(g, s, node_limit=24)
+            bel = play_schedule(g, t.schedule, s, "belady").loads
+            assert exact <= bel
+
+    def test_exact_at_least_cold_inputs_when_s_large(self):
+        kern = get_kernel("mgs")
+        params = {"M": 2, "N": 2}
+        g = build_cdag(kern.program, params)
+        # S = 10 already holds the whole 2x2 working set
+        exact = exact_min_loads(g, 10, node_limit=24)
+        assert exact == len(g.input_nodes())
+
+    def test_derived_bound_below_exact(self):
+        """Lower bounds hold even against the exact optimum."""
+        from repro.bounds import derive
+
+        kern = get_kernel("mgs")
+        params = {"M": 2, "N": 2}
+        g = build_cdag(kern.program, params)
+        rep = derive(kern)
+        for s in (4, 6):
+            exact = exact_min_loads(g, s, node_limit=24)
+            _, lb = rep.best({**params, "S": s})
+            assert lb <= exact + 1e-9

@@ -1,0 +1,95 @@
+"""Tests for affine forms (repro.polyhedral.affine)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral import LinExpr, aff, var
+
+
+class TestLinExpr:
+    def test_var_eval(self):
+        assert var("i").eval({"i": 7}) == 7
+
+    def test_const(self):
+        assert aff(5).eval({}) == 5
+        assert aff(5).is_const()
+
+    def test_add(self):
+        e = var("i") + var("j") + 3
+        assert e.eval({"i": 1, "j": 2}) == 6
+
+    def test_zero_coeffs_dropped(self):
+        e = var("i") - var("i")
+        assert e.is_const()
+        assert e.variables() == frozenset()
+
+    def test_scalar_mul(self):
+        e = (var("i") + 1) * 3
+        assert e.eval({"i": 2}) == 9
+
+    def test_rmul(self):
+        e = 3 * var("i")
+        assert e.eval({"i": 4}) == 12
+
+    def test_sub_and_rsub(self):
+        assert (5 - var("i")).eval({"i": 2}) == 3
+        assert (var("i") - 5).eval({"i": 2}) == -3
+
+    def test_neg(self):
+        assert (-var("i")).eval({"i": 3}) == -3
+
+    def test_fraction_coeffs(self):
+        e = var("i") * Fraction(1, 2)
+        assert e.eval({"i": 5}) == Fraction(5, 2)
+
+    def test_eval_unbound_raises(self):
+        with pytest.raises(KeyError):
+            var("i").eval({})
+
+    def test_subs_with_expr(self):
+        e = var("i") + var("j")
+        e2 = e.subs({"i": var("k") + 1})
+        assert e2.eval({"k": 2, "j": 3}) == 6
+
+    def test_subs_with_number(self):
+        e = var("i") * 2 + var("j")
+        assert e.subs({"i": 4}).eval({"j": 1}) == 9
+
+    def test_rename(self):
+        e = var("i") + 2 * var("j")
+        r = e.rename({"i": "x"})
+        assert r.eval({"x": 1, "j": 2}) == 5
+
+    def test_equality_and_hash(self):
+        a = var("i") + 1
+        b = aff(1) + var("i")
+        assert a == b and hash(a) == hash(b)
+
+    def test_coeff_accessor(self):
+        e = 2 * var("i") - var("j")
+        assert e.coeff("i") == 2
+        assert e.coeff("j") == -1
+        assert e.coeff("zz") == 0
+
+    def test_repr_smoke(self):
+        assert repr(var("i") - 1) == "i-1"
+        assert repr(aff(0)) == "0"
+
+
+@given(
+    st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5),
+    st.integers(-9, 9), st.integers(-9, 9),
+)
+@settings(max_examples=50, deadline=None)
+def test_affine_arithmetic_pointwise(a, b, c, i, j):
+    e1 = a * var("i") + b * var("j") + c
+    e2 = b * var("i") - c
+    env = {"i": i, "j": j}
+    assert (e1 + e2).eval(env) == e1.eval(env) + e2.eval(env)
+    assert (e1 - e2).eval(env) == e1.eval(env) - e2.eval(env)
+    assert (e1 * 3).eval(env) == 3 * e1.eval(env)

@@ -1,0 +1,166 @@
+"""Tests for parametric integer sets: enumeration, FM projection, slicing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral import Constraint, ISet, LinExpr, loop_nest_set, var
+
+k, j, i, M, N = var("k"), var("j"), var("i"), var("M"), var("N")
+
+
+def brute_triangle(m, n):
+    return {
+        (kk, jj, ii)
+        for kk in range(n)
+        for jj in range(kk + 1, n)
+        for ii in range(m)
+    }
+
+
+class TestEnumeration:
+    def test_box(self):
+        dom = loop_nest_set([("i", 0, M - 1), ("j", 0, N - 1)])
+        pts = set(dom.points({"M": 3, "N": 2}))
+        assert pts == {(a, b) for a in range(3) for b in range(2)}
+
+    def test_triangle_matches_brute_force(self):
+        dom = loop_nest_set([("k", 0, N - 1), ("j", k + 1, N - 1), ("i", 0, M - 1)])
+        assert set(dom.points({"M": 4, "N": 5})) == brute_triangle(4, 5)
+
+    def test_empty_domain(self):
+        dom = loop_nest_set([("i", 5, 3)])
+        assert dom.is_empty({})
+        assert dom.count({}) == 0
+
+    def test_zero_dim_set(self):
+        s = ISet((), (Constraint(M - 3, ">="),))
+        assert list(s.points({"M": 5})) == [()]
+        assert list(s.points({"M": 2})) == []
+
+    def test_unbound_param_raises(self):
+        dom = loop_nest_set([("i", 0, M - 1)])
+        with pytest.raises(KeyError):
+            list(dom.points({}))
+
+    def test_unbounded_dim_raises(self):
+        s = ISet(("i",), (Constraint(var("i"), ">="),))
+        with pytest.raises(ValueError):
+            list(s.points({}))
+
+    def test_contains(self):
+        dom = loop_nest_set([("k", 0, N - 1), ("j", k + 1, N - 1)])
+        assert dom.contains((0, 1), {"N": 3})
+        assert not dom.contains((1, 1), {"N": 3})
+        assert not dom.contains((0, 5), {"N": 3})
+
+    def test_contains_arity_check(self):
+        dom = loop_nest_set([("i", 0, 3)])
+        with pytest.raises(ValueError):
+            dom.contains((1, 2), {})
+
+    def test_equality_constraint(self):
+        dom = loop_nest_set(
+            [("i", 0, 9), ("j", 0, 9)],
+            guards=(Constraint(var("i") - var("j"), "=="),),
+        )
+        pts = set(dom.points({}))
+        assert pts == {(a, a) for a in range(10)}
+
+    def test_count(self):
+        dom = loop_nest_set([("k", 0, N - 1), ("j", k + 1, N - 1), ("i", 0, M - 1)])
+        assert dom.count({"M": 4, "N": 5}) == len(brute_triangle(4, 5))
+
+
+class TestSlicingAndAlgebra:
+    def test_fix(self):
+        dom = loop_nest_set([("k", 0, N - 1), ("j", k + 1, N - 1)])
+        sl = dom.fix({"k": 1})
+        assert set(sl.points({"N": 5})) == {(jj,) for jj in range(2, 5)}
+
+    def test_intersect(self):
+        a = loop_nest_set([("i", 0, 9)])
+        b = loop_nest_set([("i", 5, 20)])
+        both = a.intersect(b)
+        assert set(both.points({})) == {(x,) for x in range(5, 10)}
+
+    def test_intersect_dim_mismatch(self):
+        a = loop_nest_set([("i", 0, 9)])
+        b = loop_nest_set([("j", 0, 9)])
+        with pytest.raises(ValueError):
+            a.intersect(b)
+
+    def test_with_constraints(self):
+        dom = loop_nest_set([("i", 0, 9)])
+        dom2 = dom.with_constraints([Constraint(var("i") - 7, ">=")])
+        assert dom2.count({}) == 3
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(ValueError):
+            ISet(("i", "i"), ())
+
+    def test_params(self):
+        dom = loop_nest_set([("i", 0, M - 1), ("j", var("i"), N - 1)])
+        assert dom.params() == frozenset({"M", "N"})
+
+
+class TestProjection:
+    def test_eliminate_gives_shadow(self):
+        dom = loop_nest_set([("k", 0, N - 1), ("j", k + 1, N - 1)])
+        shadow = dom.eliminate("j")
+        # k range should be 0..N-2 (j needs k+1 <= N-1)
+        pts = {p[0] for p in shadow.points({"N": 5})}
+        assert pts == set(range(4))
+
+    def test_project_points_exact(self):
+        dom = loop_nest_set([("k", 0, N - 1), ("j", k + 1, N - 1), ("i", 0, M - 1)])
+        proj = dom.project_points(["k", "j"], {"M": 2, "N": 4})
+        brute = {(kk, jj) for (kk, jj, ii) in brute_triangle(2, 4)}
+        assert proj == brute
+
+    def test_project_single_dim(self):
+        dom = loop_nest_set([("k", 0, N - 1), ("i", k + 1, M - 1)])
+        proj = dom.project_points(["i"], {"M": 6, "N": 3})
+        assert proj == {(x,) for x in range(1, 6)}
+
+    def test_eliminate_unknown_dim(self):
+        dom = loop_nest_set([("i", 0, 3)])
+        with pytest.raises(ValueError):
+            dom.eliminate("zz")
+
+    def test_eliminate_with_equality(self):
+        dom = loop_nest_set(
+            [("i", 0, 9), ("j", 0, 9)],
+            guards=(Constraint(var("i") - var("j"), "=="),),
+        )
+        sh = dom.eliminate("j")
+        assert {p[0] for p in sh.points({})} == set(range(10))
+
+    def test_symbolic_param_projection(self):
+        """FM with symbolic parameters: project the A2V SU domain onto k."""
+        dom = loop_nest_set(
+            [("k", 0, N - 1), ("j", k + 1, N - 1), ("i", k + 1, M - 1)]
+        )
+        shadow = dom
+        for d in ("i", "j"):
+            shadow = shadow.eliminate(d)
+        # for M=9, N=5 the k-shadow must be 0..3 (k <= N-2)
+        pts = {p[0] for p in shadow.points({"M": 9, "N": 5})}
+        assert pts == {0, 1, 2, 3}
+
+
+@given(st.integers(1, 6), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_loop_nest_enumeration_matches_python_loops(m, n):
+    dom = loop_nest_set(
+        [("k", 0, N - 1), ("j", k + 1, N - 1), ("i", k + 1, M - 1)]
+    )
+    brute = {
+        (kk, jj, ii)
+        for kk in range(n)
+        for jj in range(kk + 1, n)
+        for ii in range(kk + 1, m)
+    }
+    assert set(dom.points({"M": m, "N": n})) == brute

@@ -1,0 +1,138 @@
+"""Tests for affine maps/relations, symbolic counting, lex helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral import (
+    AffineMap,
+    Constraint,
+    lex_lt,
+    lex_max,
+    lex_min,
+    lex_next,
+    lex_sorted,
+    linexpr_to_poly,
+    loop_nest_set,
+    symbolic_count,
+    var,
+    verify_count,
+)
+
+k, j, i, M, N = var("k"), var("j"), var("i"), var("M"), var("N")
+
+
+class TestAffineMap:
+    def test_functional_apply(self):
+        m = AffineMap(("k", "i"), ("k", "i"), {"k": k, "i": i + 1})
+        assert m.apply((2, 3), {}) == (2, 4)
+
+    def test_guard_blocks(self):
+        m = AffineMap(
+            ("i",), ("i",), {"i": i + 1},
+            guards=(Constraint(M - 2 - i, ">="),),
+        )
+        assert m.apply((0,), {"M": 3}) == (1,)
+        assert m.apply((1,), {"M": 3}) == (2,)
+        assert m.apply((2,), {"M": 3}) is None
+
+    def test_missing_target_expr_rejected(self):
+        with pytest.raises(ValueError):
+            AffineMap(("i",), ("i", "j"), {"i": i})
+
+    def test_apply_on_relation_raises(self):
+        m = AffineMap(
+            ("k",), ("k", "i"), {"k": k, "i": var("ii")},
+            free=(("ii", 0, M - 1),),
+        )
+        with pytest.raises(ValueError):
+            m.apply((0,), {"M": 3})
+
+    def test_apply_all_broadcast(self):
+        m = AffineMap(
+            ("k",), ("k", "i"), {"k": k, "i": var("ii")},
+            free=(("ii", 0, M - 1),),
+        )
+        assert set(m.apply_all((1,), {"M": 3})) == {(1, 0), (1, 1), (1, 2)}
+
+    def test_apply_all_functional(self):
+        m = AffineMap(("i",), ("i",), {"i": i + 5})
+        assert list(m.apply_all((1,), {})) == [(6,)]
+
+    def test_apply_all_guard_blocks_everything(self):
+        m = AffineMap(
+            ("k",), ("k",), {"k": k},
+            guards=(Constraint(k - 100, ">="),),
+        )
+        assert list(m.apply_all((1,), {})) == []
+
+    def test_free_bounds_in_src_dims(self):
+        # broadcast over j in k+1..N-1 (bounds reference the source dim)
+        m = AffineMap(
+            ("k",), ("k", "j"), {"k": k, "j": var("jj")},
+            free=(("jj", k + 1, N - 1),),
+        )
+        assert set(m.apply_all((1,), {"N": 5})) == {(1, 2), (1, 3), (1, 4)}
+
+
+class TestSymbolicCount:
+    def test_box(self):
+        c = symbolic_count([("i", 0, M - 1), ("j", 0, N - 1)])
+        assert c.eval({"M": 3, "N": 4}) == 12
+
+    def test_verify_count_grid(self):
+        loops = [("k", 0, N - 1), ("j", k + 1, N - 1), ("i", k + 1, M - 1)]
+        grid = [{"M": m, "N": n} for m in (3, 5, 9) for n in (2, 3) if m > n]
+        assert verify_count(loops, grid)
+
+    def test_verify_count_catches_mismatch(self):
+        # formula assumes non-empty ranges; a domain violating it must fail
+        loops = [("i", 5, N - 1)]
+        assert not verify_count(loops, [{"N": 3}])  # empty range: count 0 != N-5
+
+    def test_linexpr_to_poly(self):
+        p = linexpr_to_poly(2 * k + 3)
+        assert p.eval({"k": 4}) == 11
+
+
+class TestLexHelpers:
+    def test_lt(self):
+        assert lex_lt((0, 5), (1, 0))
+        assert not lex_lt((1, 0), (0, 5))
+
+    def test_lt_arity_check(self):
+        with pytest.raises(ValueError):
+            lex_lt((1,), (1, 2))
+
+    def test_min_max(self):
+        pts = [(1, 2), (0, 9), (1, 0)]
+        assert lex_min(pts) == (0, 9)
+        assert lex_max(pts) == (1, 2)
+
+    def test_next(self):
+        universe = [(0,), (2,), (5,)]
+        assert lex_next((0,), universe) == (2,)
+        assert lex_next((2,), universe) == (5,)
+        assert lex_next((5,), universe) is None
+
+    def test_sorted(self):
+        assert lex_sorted([(2, 0), (0, 1)]) == [(0, 1), (2, 0)]
+
+
+@given(st.integers(2, 7), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_relation_matches_enumeration(n, m):
+    """apply_all over a domain equals per-point membership filtering."""
+    rel = AffineMap(
+        ("k",), ("k", "i"), {"k": k + 1, "i": var("ii")},
+        guards=(Constraint(N - 2 - k, ">="),),
+        free=(("ii", 0, M - 1),),
+    )
+    for kk in range(n):
+        tgts = set(rel.apply_all((kk,), {"N": n, "M": m}))
+        expected = (
+            {(kk + 1, x) for x in range(m)} if kk <= n - 2 else set()
+        )
+        assert tgts == expected

@@ -1,0 +1,160 @@
+"""Tests for table rendering, figure regeneration, and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.report import (
+    fig5_rows,
+    format_number,
+    render_fig5,
+    render_table,
+)
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table(["a", "bb"], [["x", 1], ["yy", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-+-" in lines[2]
+        assert len(lines) == 5
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [["verylongvalue"]])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(row)
+
+    @pytest.mark.parametrize(
+        "val,expected",
+        [
+            (0, "0"),
+            (5, "5"),
+            (None, "-"),
+            (1234.5678, "1235"),
+            (0.00001, "1.000e-05"),
+            (1.5e9, "1.500e+09"),
+            ("text", "text"),
+        ],
+    )
+    def test_format_number(self, val, expected):
+        assert format_number(val) == expected
+
+
+class TestFigures:
+    def test_fig5_rows_structure(self):
+        rows = fig5_rows()
+        assert len(rows) == 5
+        for name, old, new, imp in rows:
+            assert old > 0 and new > 0
+            assert imp == pytest.approx(new / old)
+
+    def test_fig5_improvement_at_reference_point(self):
+        """At the default reference point every kernel's new bound beats
+        the old one."""
+        for name, old, new, imp in fig5_rows():
+            assert imp > 1.0, f"{name}: improvement {imp} <= 1"
+
+    def test_render_fig5_smoke(self):
+        out = render_fig5()
+        assert "mgs" in out and "gehd2" in out
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mgs" in out and "tiled_a2v" in out
+
+    def test_derive_with_eval(self, capsys):
+        assert main(["derive", "mgs", "--eval", "M=50,N=20,S=64"]) == 0
+        out = capsys.readouterr().out
+        assert "hourglass" in out
+        assert "Q >=" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "mgs", "--params", "M=5,N=4"]) == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "mgs", "--params", "M=6,N=5", "--cache", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "pebble-game loads" in out
+        assert "lower bound" in out
+
+    def test_tiled(self, capsys):
+        assert (
+            main(
+                [
+                    "tiled",
+                    "tiled_mgs",
+                    "--params",
+                    "M=12,N=8",
+                    "--cache",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "measured loads" in out
+
+    def test_fig5_command(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "improvement" in capsys.readouterr().out
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            main(["derive", "nope"])
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCLIParse:
+    def test_parse_bundled_figure(self, capsys):
+        from repro.cli import main
+
+        assert main(["parse", "--figure", "mgs"]) == 0
+        out = capsys.readouterr().out
+        assert "SU" in out and "params ('M', 'N')" in out
+
+    def test_parse_figure_with_derivation(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "parse",
+                    "--figure",
+                    "mgs",
+                    "--derive",
+                    "SU",
+                    "--small",
+                    "M=5,N=4",
+                ]
+            )
+            == 0
+        )
+        assert "hourglass" in capsys.readouterr().out
+
+    def test_parse_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "k.c"
+        src.write_text(
+            "for (i = 0; i < N; i += 1) X: B[i] = A[i] + 1.0;\n"
+        )
+        assert main(["parse", "--file", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "X" in out and "params ('N',)" in out
+
+    def test_parse_derive_requires_small(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["parse", "--figure", "mgs", "--derive", "SU"])

@@ -1,0 +1,90 @@
+"""Tests for the asymptotic regime comparison (repro.symbolic.asymptotic)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import (
+    Regime,
+    Sym,
+    classify,
+    growth_exponent,
+    improvement_factor,
+    limit_ratio,
+)
+
+M, N, S = Sym("M"), Sym("N"), Sym("S")
+
+SQUARE = Regime({"M": lambda t: t, "N": lambda t: t, "S": lambda t: math.sqrt(t)})
+FIXED_S = Regime({"M": lambda t: t, "N": lambda t: t, "S": lambda t: 64.0})
+
+
+class TestGrowthExponent:
+    def test_polynomial_exponent(self):
+        assert growth_exponent(M**2, M, Regime({"M": lambda t: t})) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_equal_orders(self):
+        assert growth_exponent(3 * M * N, M * N, SQUARE) == pytest.approx(0.0, abs=0.01)
+
+    def test_slow_quarter_power(self):
+        # the MGS improvement factor sqrt(S) = t**(1/4) in the SQUARE regime
+        new = M**2 * N * (N - 1) / (8 * (S + M))
+        old = M * N**2 / (S ** Fraction(1, 2))
+        assert growth_exponent(new, old, SQUARE) == pytest.approx(0.25, abs=0.02)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            growth_exponent(-M, M, Regime({"M": lambda t: t}))
+
+
+class TestClassify:
+    def test_dominates(self):
+        assert classify(M**2, M, Regime({"M": lambda t: t})) == "dominates"
+
+    def test_dominated(self):
+        assert classify(M, M**2, Regime({"M": lambda t: t})) == "dominated"
+
+    def test_same_order(self):
+        assert classify(5 * M + 3, M, Regime({"M": lambda t: t})) == "same-order"
+
+    def test_mgs_hourglass_vs_classical(self):
+        """§5.1: the new bound dominates the old one whenever S = o(M^2)."""
+        new = M**2 * N * (N - 1) / (8 * (S + M))
+        old = M * N**2 / (S ** Fraction(1, 2))
+        assert classify(new, old, SQUARE) == "dominates"
+        # with S fixed the Theta(sqrt(S)) improvement is a constant factor
+        assert classify(new, old, FIXED_S) == "same-order"
+
+    def test_same_order_when_s_is_m_squared(self):
+        """At S ~ M^2 the whole matrix fits in cache: no improvement left."""
+        reg = Regime({"M": lambda t: t, "N": lambda t: t, "S": lambda t: t * t})
+        new = M**2 * N * N / (8 * (S + M))
+        old = M * N**2 / (S ** Fraction(1, 2))
+        assert classify(new, old, reg) == "same-order"
+
+
+class TestLimitRatio:
+    def test_finite_limit(self):
+        lim = limit_ratio(2 * M + 7, M, Regime({"M": lambda t: t}))
+        assert lim == pytest.approx(2.0, rel=0.01)
+
+    def test_infinite(self):
+        assert math.isinf(limit_ratio(M**2, M, Regime({"M": lambda t: t})))
+
+    def test_zero(self):
+        assert limit_ratio(M, M**2, Regime({"M": lambda t: t})) == 0.0
+
+    def test_vanishing_denominator_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            limit_ratio(M, M - M, Regime({"M": lambda t: t}))
+
+
+class TestImprovementFactor:
+    def test_concrete_ratio(self):
+        f = improvement_factor(M**2, M, Regime({"M": lambda t: t}), t=64.0)
+        assert f == pytest.approx(64.0)

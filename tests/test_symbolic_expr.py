@@ -1,0 +1,221 @@
+"""Unit + property tests for the polynomial layer (repro.symbolic.expr)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Const, Monomial, Poly, Sym
+
+M, N, S = Sym("M"), Sym("N"), Sym("S")
+
+
+# ---------------------------------------------------------------------------
+# Monomial
+# ---------------------------------------------------------------------------
+
+
+class TestMonomial:
+    def test_empty_is_one(self):
+        assert Monomial().is_one()
+        assert Monomial().eval({}) == 1
+
+    def test_zero_exponents_dropped(self):
+        assert Monomial([("x", Fraction(0))]).is_one()
+
+    def test_mul_adds_exponents(self):
+        a = Monomial([("x", Fraction(2))])
+        b = Monomial([("x", Fraction(3)), ("y", Fraction(1))])
+        c = a * b
+        assert c.exponent("x") == 5
+        assert c.exponent("y") == 1
+
+    def test_mul_cancels(self):
+        a = Monomial([("x", Fraction(2))])
+        b = Monomial([("x", Fraction(-2))])
+        assert (a * b).is_one()
+
+    def test_pow_fractional(self):
+        a = Monomial([("x", Fraction(1))])
+        assert (a ** Fraction(1, 2)).exponent("x") == Fraction(1, 2)
+
+    def test_divides_and_gcd(self):
+        a = Monomial([("x", Fraction(1))])
+        b = Monomial([("x", Fraction(2)), ("y", Fraction(1))])
+        assert a.divides(b)
+        assert not b.divides(a)
+        assert a.gcd(b) == a
+
+    def test_eval_fractional_exponent_is_float(self):
+        a = Monomial([("x", Fraction(1, 2))])
+        assert a.eval({"x": 9}) == pytest.approx(3.0)
+
+    def test_eval_integral_exponent_exact(self):
+        a = Monomial([("x", Fraction(3))])
+        assert a.eval({"x": Fraction(1, 2)}) == Fraction(1, 8)
+
+    def test_eval_unbound_raises(self):
+        with pytest.raises(KeyError):
+            Monomial([("x", Fraction(1))]).eval({})
+
+    def test_hash_consistency(self):
+        a = Monomial([("x", Fraction(1)), ("y", Fraction(2))])
+        b = Monomial([("y", Fraction(2)), ("x", Fraction(1))])
+        assert a == b and hash(a) == hash(b)
+
+
+# ---------------------------------------------------------------------------
+# Poly basics
+# ---------------------------------------------------------------------------
+
+
+class TestPolyBasics:
+    def test_const(self):
+        assert Const(5).eval({}) == 5
+        assert Const(0).is_zero()
+
+    def test_symbol(self):
+        assert M.eval({"M": 7}) == 7
+
+    def test_add_collects_terms(self):
+        p = M + M
+        assert p.eval({"M": 3}) == 6
+        assert len(p.terms) == 1
+
+    def test_cancellation(self):
+        assert (M - M).is_zero()
+
+    def test_mul_distributes(self):
+        p = (M + 1) * (M - 1)
+        assert p == M**2 - 1
+
+    def test_pow_binomial(self):
+        assert (M + N) ** 2 == M**2 + 2 * M * N + N**2
+
+    def test_pow_zero(self):
+        assert (M + N) ** 0 == Const(1)
+
+    def test_fractional_pow_monomial_only(self):
+        assert (S ** Fraction(1, 2)).eval({"S": 16}) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            (M + N) ** Fraction(1, 2)
+
+    def test_fractional_pow_perfect_square_coeff(self):
+        p = Const(4) * S
+        r = p ** Fraction(1, 2)
+        assert r.eval({"S": 9}) == pytest.approx(6.0)
+
+    def test_fractional_pow_bad_coeff(self):
+        with pytest.raises(ValueError):
+            (Const(3) * S) ** Fraction(1, 2)
+
+    def test_negative_pow_monomial(self):
+        p = S ** (-1)
+        assert p.eval({"S": 4}) == Fraction(1, 4)
+
+    def test_degree(self):
+        p = M**2 * N + N
+        assert p.total_degree() == 3
+        assert p.degree_in("M") == 2
+        assert p.degree_in("N") == 1
+
+    def test_symbols(self):
+        assert (M * N + S).symbols() == frozenset({"M", "N", "S"})
+
+    def test_const_value_raises_on_nonconst(self):
+        with pytest.raises(ValueError):
+            M.const_value()
+
+    def test_content(self):
+        p = Const(6) * M + Const(9) * N
+        assert p.content() == 3
+        p2 = M * Fraction(1, 2) + N * Fraction(3, 4)
+        assert p2.content() == Fraction(1, 4)
+
+    def test_monomial_gcd(self):
+        p = M**2 * N + M * N**2
+        g = p.monomial_gcd()
+        assert g.exponent("M") == 1 and g.exponent("N") == 1
+
+    def test_subs_poly(self):
+        p = M**2 + N
+        q = p.subs({"M": N + 1})
+        assert q == N**2 + 3 * N + 1
+
+    def test_subs_partial(self):
+        p = M * N
+        assert p.subs({"M": 2}) == 2 * N
+
+    def test_subs_fractional_exponent_needs_monomial(self):
+        p = S ** Fraction(1, 2)
+        assert p.subs({"S": M}).degree_in("M") == Fraction(1, 2)
+        with pytest.raises(ValueError):
+            p.subs({"S": M + 1})
+
+    def test_repr_roundtrip_smoke(self):
+        # repr is for humans; just check stability on a known formula
+        p = M**2 * N * Fraction(1, 8)
+        assert "M**2" in repr(p) and "N" in repr(p)
+
+
+# ---------------------------------------------------------------------------
+# property-based: ring axioms and eval homomorphism
+# ---------------------------------------------------------------------------
+
+_vals = st.integers(min_value=-6, max_value=6)
+
+
+@st.composite
+def polys(draw, max_terms=4):
+    terms = {}
+    for _ in range(draw(st.integers(0, max_terms))):
+        ex = draw(st.integers(0, 3))
+        ey = draw(st.integers(0, 3))
+        c = draw(st.integers(-5, 5))
+        m = Monomial([("x", Fraction(ex)), ("y", Fraction(ey))])
+        terms[m] = terms.get(m, Fraction(0)) + c
+    return Poly({m: c for m, c in terms.items() if c})
+
+
+@given(polys(), polys(), polys())
+@settings(max_examples=60, deadline=None)
+def test_ring_axioms(p, q, r):
+    assert p + q == q + p
+    assert p * q == q * p
+    assert (p + q) + r == p + (q + r)
+    assert (p * q) * r == p * (q * r)
+    assert p * (q + r) == p * q + p * r
+    assert p + Poly() == p
+    assert p * Const(1) == p
+    assert (p * Const(0)).is_zero()
+
+
+@given(polys(), polys(), _vals, _vals)
+@settings(max_examples=60, deadline=None)
+def test_eval_is_homomorphism(p, q, x, y):
+    env = {"x": x, "y": y}
+    assert (p + q).eval(env) == p.eval(env) + q.eval(env)
+    assert (p * q).eval(env) == p.eval(env) * q.eval(env)
+    assert (-p).eval(env) == -p.eval(env)
+
+
+@given(polys(), st.integers(0, 4), _vals, _vals)
+@settings(max_examples=40, deadline=None)
+def test_pow_matches_repeated_mul(p, k, x, y):
+    env = {"x": x, "y": y}
+    expected = Fraction(1)
+    for _ in range(k):
+        expected *= p.eval(env)
+    assert (p**k).eval(env) == expected
+
+
+@given(polys(), polys(), _vals, _vals)
+@settings(max_examples=40, deadline=None)
+def test_subs_then_eval_equals_eval_composed(p, q, x, y):
+    env = {"x": x, "y": y}
+    composed = p.subs({"x": q})
+    direct = p.eval({"x": q.eval(env), "y": y})
+    assert composed.eval(env) == direct

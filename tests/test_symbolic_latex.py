@@ -1,0 +1,81 @@
+"""Tests for LaTeX rendering of bound expressions."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import Const, Poly, Rational, Sym, to_latex
+
+M, N, S = Sym("M"), Sym("N"), Sym("S")
+
+
+class TestPolyLatex:
+    def test_zero(self):
+        assert to_latex(Poly()) == "0"
+
+    def test_constant(self):
+        assert to_latex(Const(5)) == "5"
+        assert to_latex(Const(Fraction(1, 2))) == "\\frac{1}{2}"
+
+    def test_symbol(self):
+        assert to_latex(M) == "M"
+
+    def test_power(self):
+        assert to_latex(M**3) == "M^{3}"
+
+    def test_fractional_power(self):
+        assert to_latex(S ** Fraction(1, 2)) == "S^{1/2}"
+
+    def test_product(self):
+        assert to_latex(M * N**2) == "M N^{2}"
+
+    def test_unit_coefficients_hidden(self):
+        s = to_latex(M + N)
+        assert "1 M" not in s and "M" in s and "N" in s
+
+    def test_negative_coefficient(self):
+        assert "-" in to_latex(M - N)
+
+    def test_coefficient_rendered(self):
+        assert to_latex(3 * M) == "3 M"
+
+
+class TestRationalLatex:
+    def test_poly_rational(self):
+        r = Rational(M * 2)
+        assert to_latex(r) == "2 M"
+
+    def test_plain_fraction(self):
+        s = to_latex((M * N) / (S + 1))
+        assert s.startswith("\\frac{")
+        assert "M N" in s
+
+    def test_theorem5_shape(self):
+        """Theorem 5 renders with the 8 cleared into the denominator."""
+        b = M**2 * N * (N - 1) / (8 * (S + M))
+        s = to_latex(b)
+        assert s == "\\frac{M^{2} N^{2} - M^{2} N}{8 \\left(M + S\\right)}"
+
+    def test_sqrt_s_denominator(self):
+        s = to_latex(M * N**2 / (S ** Fraction(1, 2)))
+        assert "S^{1/2}" in s
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            to_latex("nope")
+
+    def test_catalog_formulas_render(self):
+        """Every published formula renders without error."""
+        from repro.bounds import FIG4, FIG5_NEW, FIG5_OLD, THEOREMS
+
+        exprs = (
+            [b.expr for kb in FIG4.values() for b in kb.values()]
+            + [b.expr for b in FIG5_OLD.values()]
+            + [b.expr for b in FIG5_NEW.values()]
+            + [b.expr for b in THEOREMS.values()]
+        )
+        for e in exprs:
+            out = to_latex(e)
+            assert out and "\\frac" in out or out

@@ -1,0 +1,129 @@
+"""Tests for rational functions (repro.symbolic.rational)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Const, Monomial, Poly, Rational, Sym, as_rational, ratio
+
+M, N, S = Sym("M"), Sym("N"), Sym("S")
+
+
+class TestConstruction:
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Rational(M, Poly())
+
+    def test_zero_numerator_normalises(self):
+        r = Rational(Poly(), M + S)
+        assert r.is_zero()
+        assert r.den == Const(1)
+
+    def test_constant_denominator_folds(self):
+        r = Rational(M, Const(2))
+        assert r.is_poly()
+        assert r.as_poly() == M * Fraction(1, 2)
+
+    def test_monomial_gcd_cancelled(self):
+        r = Rational(M**2 * N, M * S)
+        assert r.num == M * N
+        assert r.den == S
+
+    def test_negative_denominator_sign_fixed(self):
+        r = Rational(M, -S)
+        assert r.eval({"M": 2, "S": 4}) == Fraction(-1, 2)
+
+    def test_division_operator_builds_rational(self):
+        r = M / (S + 1)
+        assert isinstance(r, Rational)
+        assert r.eval({"M": 10, "S": 4}) == 2
+
+    def test_as_poly_raises_when_not_poly(self):
+        with pytest.raises(ValueError):
+            (M / (S + 1)).as_poly()
+
+
+class TestArithmetic:
+    def test_add_common_denominator(self):
+        r = M / S + N / S
+        assert r == (M + N) / S
+
+    def test_paper_formula_mgs(self):
+        # Theorem 5: M^2 N (N-1) / (8 (S+M))
+        b = M**2 * N * (N - 1) / (8 * (S + M))
+        assert b.eval({"M": 100, "N": 50, "S": 256}) == Fraction(
+            100**2 * 50 * 49, 8 * 356
+        )
+
+    def test_mul_div_inverse(self):
+        r = (M + 1) / (N + 2)
+        assert (r / r).eval({"M": 3, "N": 4}) == 1
+
+    def test_pow_negative(self):
+        r = (M / N) ** (-2)
+        assert r.eval({"M": 2, "N": 6}) == 9
+
+    def test_sub(self):
+        r = M / S - M / S
+        assert r.is_zero()
+
+    def test_rtruediv(self):
+        r = 1 / (M / N)
+        assert r.eval({"M": 2, "N": 8}) == 4
+
+    def test_division_by_zero_rational(self):
+        with pytest.raises(ZeroDivisionError):
+            (M / N) / Rational(Poly())
+
+    def test_eval_vanishing_denominator(self):
+        r = M / (S - 4)
+        with pytest.raises(ZeroDivisionError):
+            r.eval({"M": 1, "S": 4})
+
+    def test_subs(self):
+        r = M / (S + M)
+        r2 = r.subs({"M": Const(2) * S})
+        assert r2.eval({"S": 5}) == Fraction(2, 3)
+
+    def test_equality_cross_multiplies(self):
+        a = (M * N) / (N * S)
+        b = M / S
+        assert a == b
+
+    def test_symbols(self):
+        assert (M / (S + N)).symbols() == frozenset({"M", "N", "S"})
+
+
+@st.composite
+def small_polys(draw):
+    terms = {}
+    for _ in range(draw(st.integers(0, 3))):
+        e = draw(st.integers(0, 2))
+        c = draw(st.integers(-4, 4))
+        m = Monomial([("x", Fraction(e))])
+        terms[m] = terms.get(m, Fraction(0)) + c
+    return Poly({m: c for m, c in terms.items() if c})
+
+
+@given(small_polys(), small_polys(), small_polys(), st.integers(1, 7))
+@settings(max_examples=60, deadline=None)
+def test_field_axioms_numeric(p, q, d, x):
+    """Rational arithmetic agrees with Fraction arithmetic pointwise."""
+    if d.is_zero():
+        d = Const(1)
+    env = {"x": x}
+    dv = d.eval(env)
+    if dv == 0:
+        return
+    a = Rational(p, d)
+    b = Rational(q, d)
+    pe, qe = p.eval(env), q.eval(env)
+    assert (a + b).eval(env) == (pe + qe) / dv
+    assert (a * b).eval(env) == (pe * qe) / (dv * dv)
+    assert (a - b).eval(env) == (pe - qe) / dv
+    if qe != 0:
+        assert (a / b).eval(env) == Fraction(pe, qe) if isinstance(pe, Fraction) or isinstance(qe, Fraction) else (a / b).eval(env) == pe / qe

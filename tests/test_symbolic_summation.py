@@ -1,0 +1,116 @@
+"""Tests for Faulhaber summation and loop-nest counting."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Const, Poly, Sym, count_nest, faulhaber, sum_poly
+
+M, N, k = Sym("M"), Sym("N"), Sym("k")
+
+
+class TestFaulhaber:
+    @pytest.mark.parametrize("kk,n,expected", [
+        (0, 10, 10),
+        (1, 10, 55),
+        (2, 10, 385),
+        (3, 10, 3025),
+        (4, 5, 979),
+        (5, 4, 1300),
+    ])
+    def test_known_values(self, kk, n, expected):
+        assert faulhaber(kk).eval({"_n": n}) == expected
+
+    def test_zero_at_zero(self):
+        for kk in range(6):
+            assert faulhaber(kk).eval({"_n": 0}) == 0
+
+    def test_degree(self):
+        for kk in range(5):
+            assert faulhaber(kk).total_degree() == kk + 1
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            faulhaber(-1)
+
+
+class TestSumPoly:
+    def test_constant(self):
+        # sum_{x=2..7} 3 = 18
+        assert sum_poly(Const(3), "x", 2, 7).eval({}) == 18
+
+    def test_linear(self):
+        assert sum_poly(Sym("x"), "x", 1, 10).eval({}) == 55
+
+    def test_empty_sum_convention(self):
+        # hi = lo - 1 gives 0
+        assert sum_poly(Sym("x"), "x", 5, 4).eval({}) == 0
+
+    def test_symbolic_bounds(self):
+        # sum_{x=0..N-1} x = N(N-1)/2
+        s = sum_poly(Sym("x"), "x", 0, N - 1)
+        assert s == N * (N - 1) * Fraction(1, 2)
+
+    def test_coefficients_in_other_symbols(self):
+        # sum_{x=0..N-1} M*x^2 = M * (N-1)N(2N-1)/6
+        s = sum_poly(M * Sym("x") ** 2, "x", 0, N - 1)
+        for n in (1, 2, 5, 9):
+            expected = sum(x * x for x in range(n))
+            assert s.eval({"M": 3, "N": n}) == 3 * expected
+
+    def test_var_in_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            sum_poly(Sym("x"), "x", 0, Sym("x"))
+
+    def test_fractional_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            sum_poly(Sym("x") ** Fraction(1, 2), "x", 0, 3)
+
+    @given(
+        st.integers(0, 3),
+        st.integers(-3, 3),
+        st.integers(0, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force(self, e, lo, width):
+        hi = lo + width
+        s = sum_poly(Sym("x") ** e, "x", lo, hi)
+        assert s.eval({}) == sum(x**e for x in range(lo, hi + 1))
+
+
+class TestCountNest:
+    def test_rectangle(self):
+        c = count_nest([("i", 0, M - 1), ("j", 0, N - 1)])
+        assert c == M * N
+
+    def test_triangle(self):
+        c = count_nest([("i", 0, N - 1), ("j", Sym("i") + 1, N - 1)])
+        assert c == N * (N - 1) * Fraction(1, 2)
+
+    def test_mgs_su_domain(self):
+        c = count_nest([("k", 0, N - 1), ("j", Sym("k") + 1, N - 1), ("i", 0, M - 1)])
+        for m, n in [(3, 2), (7, 5), (10, 10)]:
+            brute = sum(
+                1 for kk in range(n) for j in range(kk + 1, n) for i in range(m)
+            )
+            assert c.eval({"M": m, "N": n}) == brute
+
+    def test_a2v_su_domain(self):
+        c = count_nest(
+            [("k", 0, N - 1), ("j", Sym("k") + 1, N - 1), ("i", Sym("k") + 1, M - 1)]
+        )
+        for m, n in [(5, 3), (9, 6), (12, 4)]:
+            brute = sum(
+                1
+                for kk in range(n)
+                for j in range(kk + 1, n)
+                for i in range(kk + 1, m)
+            )
+            assert c.eval({"M": m, "N": n}) == brute
+
+    def test_empty_nest_is_one(self):
+        assert count_nest([]) == Const(1)

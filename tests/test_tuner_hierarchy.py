@@ -1,0 +1,89 @@
+"""Tests for the block-size tuner and the two-level cache hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds import tune_block_size
+from repro.cache import simulate_hierarchy, simulate_lru
+from repro.ir import Event, Tracer
+from repro.kernels import TILED_A2V, TILED_MGS, get_kernel
+
+
+def ev(seq: str):
+    return [Event(tok[0], (tok[1:], ())) for tok in seq.split()]
+
+
+class TestTuner:
+    def test_sweep_covers_range(self):
+        res = tune_block_size(TILED_MGS, {"M": 10, "N": 6}, 64, b_max=6)
+        assert [b for b, _ in res.evaluated] == [1, 2, 3, 4, 5, 6]
+
+    def test_best_is_argmin(self):
+        res = tune_block_size(TILED_MGS, {"M": 10, "N": 6}, 64, b_max=6)
+        assert res.best_loads == min(l for _, l in res.evaluated)
+
+    def test_analytic_choice_close_to_optimum(self):
+        """Appendix A's B* = floor(S/M)-1 stays within 40% of the measured
+        best for both tiled algorithms (Belady model)."""
+        for alg, params in ((TILED_MGS, {"M": 20, "N": 12}), (TILED_A2V, {"M": 20, "N": 10})):
+            res = tune_block_size(alg, params, 128, b_max=params["N"])
+            assert res.analytic_gap < 1.4, (alg.name, res)
+
+    def test_default_bmax_is_n(self):
+        res = tune_block_size(TILED_MGS, {"M": 8, "N": 4}, 64)
+        assert len(res.evaluated) == 4
+
+    def test_lru_policy_supported(self):
+        res = tune_block_size(TILED_MGS, {"M": 8, "N": 4}, 48, policy="lru")
+        assert res.best_loads > 0
+
+
+class TestHierarchy:
+    def test_bad_capacities(self):
+        with pytest.raises(ValueError):
+            simulate_hierarchy([], 4, 2)
+        with pytest.raises(ValueError):
+            simulate_hierarchy([], 0, 2)
+
+    def test_l1_hit_no_l2_traffic(self):
+        st = simulate_hierarchy(ev("Ra Ra Ra"), 2, 4)
+        assert st.l1_loads == 1 and st.l2_loads == 1
+        assert st.l1_hits == 2
+
+    def test_l2_catches_l1_evictions(self):
+        # L1 of 1 thrashes between a and b; L2 of 4 holds both
+        st = simulate_hierarchy(ev("Ra Rb Ra Rb Ra"), 1, 4)
+        assert st.l2_loads == 2  # only cold
+        assert st.l1_loads == 5  # every access misses L1 after the first
+
+    def test_writes_do_not_load(self):
+        st = simulate_hierarchy(ev("Wa Ra"), 2, 4)
+        assert st.l1_loads == 0 and st.l2_loads == 0
+
+    def test_l1_equals_single_level_lru(self):
+        """With l2 huge, L1 loads equal the flat LRU simulator's loads."""
+        trace = ev("Ra Rb Rc Ra Rb Rc Ra Wd Rd Rb")
+        st = simulate_hierarchy(trace, 2, 10_000)
+        flat = simulate_lru(trace, 2)
+        assert st.l1_loads == flat.loads
+
+    def test_bounds_hold_per_level(self):
+        """The derived bound instantiates at both capacities."""
+        from repro.bounds import derive
+
+        kern = get_kernel("mgs")
+        params = {"M": 10, "N": 8}
+        t = Tracer()
+        kern.program.runner(dict(params), t)
+        st = simulate_hierarchy(list(t.events), 8, 48)
+        rep = derive(kern)
+        _, lb1 = rep.best({**params, "S": 8})
+        _, lb2 = rep.best({**params, "S": 48})
+        assert st.l1_loads >= lb1 - 1e-9
+        assert st.l2_loads >= lb2 - 1e-9
+
+    def test_l2_loads_never_exceed_l1(self):
+        trace = ev("Ra Rb Rc Rd Ra Rb Rc Rd")
+        st = simulate_hierarchy(trace, 2, 4)
+        assert st.l2_loads <= st.l1_loads
