@@ -6,14 +6,35 @@ analytic choice is near-optimal (a bench does this) and as a practical
 utility: on the hardware-like cache model the best block can differ from
 the abstract-model optimum, and a user tuning a real kernel wants the
 measured argmin.
+
+**On the ``default_block_size(m + 1, s)`` call** (Appendix A audit): the
+paper states ``B* = floor(S/M) - 1``, but the exact resident set of the
+blocked algorithms during block application is ``(M+1)·B + M`` elements —
+``M·B`` for the block's columns, ``B`` for the coefficient row ``R[i,
+j0:j0+B]``, and ``M`` for the past column being applied (hence the recorded
+``cache_condition`` "(M+1)*B < S").  ``B = floor(S/(M+1)) - 1`` guarantees
+``(M+1)·B + M <= S - 1``, i.e. the working set always fits, whereas the
+paper's literal ``floor(S/M) - 1`` can overflow fast memory (e.g. M=16,
+S=96: it gives B=5 with footprint 17·5+16 = 101 > 96, while the ``M+1``
+form gives B=4, footprint 84).  The two agree to leading order — the paper's
+statement is asymptotic — so the ``+1`` is kept deliberately; a regression
+test pins both forms on known (M, S) pairs.
+
+Sweeps re-run the kernel per candidate block (every B changes the trace), so
+the tuner supports an opt-in ``jobs=`` process pool and a coarse-to-fine
+``mode="coarse"`` that evaluates a stride-k grid then refines around its
+argmin, plus an optional persistent ``memo=`` cache
+(:class:`repro.cache.MemoCache`) so repeated invocations skip simulation
+entirely.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
-from ..cache import simulate
+from ..cache import CacheStats, MemoCache, memo_key, simulate
 from ..kernels.tiled import TiledAlgorithm, default_block_size
 
 __all__ = ["TuneResult", "tune_block_size"]
@@ -29,11 +50,67 @@ class TuneResult:
     analytic_loads: int
     #: every (B, loads) pair evaluated, in evaluation order
     evaluated: list[tuple[int, int]] = field(default_factory=list)
+    #: sweep strategy that produced this result ("exhaustive" or "coarse")
+    mode: str = "exhaustive"
 
     @property
     def analytic_gap(self) -> float:
         """How much worse the analytic B* is than the measured optimum."""
         return self.analytic_loads / max(self.best_loads, 1)
+
+
+def _eval_block(job) -> CacheStats:
+    """Pool worker: full simulation stats of one (algorithm, block) point.
+
+    Module-level so it pickles; the TiledAlgorithm dataclass itself is
+    picklable (its runner and formulas are module-level objects).
+    """
+    alg, params, b, s, policy, seed = job
+    tr = alg.run_traced({**params, "B": b}, seed=seed)
+    return simulate(tr.trace_arrays(), s, policy)
+
+
+def _eval_many(
+    alg: TiledAlgorithm,
+    params: Mapping[str, int],
+    blocks: Sequence[int],
+    s: int,
+    policy: str,
+    seed: int,
+    jobs: int,
+    memo: MemoCache | None,
+    evaluated: list[tuple[int, int]],
+    known: dict[int, int],
+) -> None:
+    """Evaluate ``blocks`` (skipping already-known ones) into ``evaluated``/``known``."""
+    todo = [b for b in blocks if b not in known]
+    if memo is not None:
+        remaining = []
+        for b in todo:
+            stats = memo.get(memo_key(alg.name, {**params, "B": b}, s, policy, seed=seed))
+            if stats is not None:
+                known[b] = stats.loads
+            else:
+                remaining.append(b)
+        todo = remaining
+    if todo:
+        jobs_args = [(alg, dict(params), b, s, policy, seed) for b in todo]
+        if jobs > 1 and len(todo) > 1:
+            import multiprocessing
+
+            with multiprocessing.Pool(min(jobs, len(todo))) as pool:
+                results = pool.map(_eval_block, jobs_args)
+        else:
+            results = [_eval_block(j) for j in jobs_args]
+        for b, stats in zip(todo, results):
+            known[b] = stats.loads
+            if memo is not None:
+                memo.put(
+                    memo_key(alg.name, {**params, "B": b}, s, policy, seed=seed), stats
+                )
+    for b in blocks:
+        if all(b != eb for eb, _ in evaluated):
+            evaluated.append((b, known[b]))
 
 
 def tune_block_size(
@@ -44,36 +121,72 @@ def tune_block_size(
     policy: str = "belady",
     b_max: int | None = None,
     seed: int = 0,
+    jobs: int = 1,
+    mode: str = "exhaustive",
+    stride: int | None = None,
+    memo: MemoCache | None = None,
 ) -> TuneResult:
-    """Exhaustively evaluate blocks 1..b_max (default: N) and return the best.
+    """Search blocks 1..b_max (default: N) and return the best.
 
-    Simulation cost per block is one kernel run + one cache pass, so the
-    sweep is linear in N; memoisation is pointless since every B changes
-    the trace.
+    ``mode="exhaustive"`` evaluates every block; ``mode="coarse"`` evaluates
+    a stride-``k`` grid (``k = stride or ~sqrt(b_max)``) and then refines
+    every block within ``k`` of the grid argmin.  ``jobs > 1`` fans the
+    kernel runs + cache passes out over a process pool (results are
+    identical to the serial sweep; the default stays serial for
+    determinism of *timing*, not of values).  ``memo`` consults/fills a
+    persistent result cache keyed per (algorithm, params+B, S, policy,
+    seed, engine version).
     """
-    n = params.get("N")
+    missing = [k for k in ("N",) if k not in params]
+    if missing:
+        raise ValueError(
+            f"tune_block_size: params missing required key(s) {missing} "
+            f"(got {sorted(params)}); the sweep range and the analytic "
+            f"B* both need the column count N"
+        )
+    if s < 1:
+        raise ValueError("cache capacity s must be >= 1")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if mode not in ("exhaustive", "coarse"):
+        raise ValueError(f"unknown mode {mode!r} (use 'exhaustive' or 'coarse')")
+    n = params["N"]
     m = params.get("M", n)
     if b_max is None:
         b_max = max(1, n)
+
     evaluated: list[tuple[int, int]] = []
+    known: dict[int, int] = {}
 
-    def loads_for(b: int) -> int:
-        tr = alg.run_traced({**params, "B": b}, seed=seed)
-        return simulate(list(tr.events), s, policy).loads
+    if mode == "exhaustive":
+        _eval_many(
+            alg, params, range(1, b_max + 1), s, policy, seed, jobs, memo, evaluated, known
+        )
+    else:
+        k = stride if stride is not None else max(2, math.isqrt(b_max))
+        if k < 1:
+            raise ValueError("stride must be >= 1")
+        grid = sorted(set(range(1, b_max + 1, k)) | {b_max})
+        _eval_many(alg, params, grid, s, policy, seed, jobs, memo, evaluated, known)
+        b0 = min(grid, key=lambda b: (known[b], b))
+        refine = [
+            b
+            for b in range(max(1, b0 - k + 1), min(b_max, b0 + k - 1) + 1)
+            if b not in known
+        ]
+        _eval_many(alg, params, refine, s, policy, seed, jobs, memo, evaluated, known)
 
-    best_b, best_l = 1, None
-    for b in range(1, b_max + 1):
-        l = loads_for(b)
-        evaluated.append((b, l))
-        if best_l is None or l < best_l:
-            best_b, best_l = b, l
-
+    # the appendix's analytic block (see module docstring for the M+1):
+    # always evaluated so the gap is well-defined even in coarse mode
     analytic = min(max(1, default_block_size(m + 1, s)), b_max)
-    analytic_l = dict(evaluated)[analytic]
+    _eval_many(alg, params, [analytic], s, policy, seed, jobs, memo, evaluated, known)
+
+    best_b = min(known, key=lambda b: (known[b], b))
     return TuneResult(
         best_block=best_b,
-        best_loads=best_l,
+        best_loads=known[best_b],
         analytic_block=analytic,
-        analytic_loads=analytic_l,
+        analytic_loads=known[analytic],
         evaluated=evaluated,
+        mode=mode,
     )

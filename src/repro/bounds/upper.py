@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from ..cache import CacheStats, simulate
+from ..cache import CacheStats, MemoCache, memo_key, simulate
 from ..kernels.tiled import TiledAlgorithm, default_block_size
 
 __all__ = ["TiledMeasurement", "measure_tiled_io", "predicted_reads", "predicted_total"]
@@ -62,19 +62,35 @@ def measure_tiled_io(
     block: int | None = None,
     policy: str = "belady",
     seed: int = 0,
+    memo: MemoCache | None = None,
 ) -> TiledMeasurement:
     """Run the tiled algorithm and price its trace on a size-``s`` memory.
 
     The appendix's explicit load/discard management corresponds to the
     offline-optimal (Belady) policy; LRU is available for the ablation of
     how much a practical policy loses at the block-size boundary.
+
+    The default block uses ``default_block_size(m + 1, s)``: the exact
+    resident set is ``(M+1)·B + M`` elements, so the divisor is M+1 (see
+    the audit note in :mod:`repro.bounds.tuner`).  ``memo`` consults/fills
+    a persistent result cache (:class:`repro.cache.MemoCache`), skipping
+    the traced run and simulation on a hit.
     """
     m = params.get("M", params.get("N"))
     b = block if block is not None else default_block_size(m + 1, s)
     run_params = dict(params)
     run_params["B"] = b
-    tr = alg.run_traced(run_params, seed=seed)
-    stats = simulate(list(tr.events), s, policy)
+
+    def _run() -> CacheStats:
+        tr = alg.run_traced(run_params, seed=seed)
+        return simulate(tr.trace_arrays(), s, policy)
+
+    if memo is not None:
+        stats = memo.get_or_compute(
+            memo_key(alg.name, run_params, s, policy, seed=seed), _run
+        )
+    else:
+        stats = _run()
     pr = predicted_reads(alg, run_params) if alg.io_reads_formula else float("nan")
     env_s = dict(run_params)
     env_s["S"] = s

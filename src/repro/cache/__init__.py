@@ -2,8 +2,16 @@
 
 from .associative import AssocCacheStats, Linearizer, simulate_assoc
 from .hierarchy import HierarchyStats, simulate_hierarchy
+from .memo import MemoCache, default_cache_dir, memo_key, open_memo
 from .stackdist import lru_miss_curve, stack_distances
-from .sim import CacheStats, cold_loads, simulate, simulate_belady, simulate_lru
+from .sim import (
+    ENGINE_VERSION,
+    CacheStats,
+    cold_loads,
+    simulate,
+    simulate_belady,
+    simulate_lru,
+)
 
 __all__ = [
     "AssocCacheStats",
@@ -14,8 +22,13 @@ __all__ = [
     "lru_miss_curve",
     "stack_distances",
     "CacheStats",
+    "ENGINE_VERSION",
     "cold_loads",
     "simulate",
     "simulate_belady",
     "simulate_lru",
+    "MemoCache",
+    "memo_key",
+    "default_cache_dir",
+    "open_memo",
 ]

@@ -1,0 +1,141 @@
+"""Reference two-level memory simulators (pure-Python, obviously correct).
+
+These are the original straight-line implementations of the LRU and
+Belady/OPT policies: LRU via an ``OrderedDict`` over element addresses,
+Belady by rescanning the whole resident set on every miss (O(trace·S)).
+They are kept verbatim — apart from the deterministic eviction tie-break
+below — as the *specification* the fast engine in :mod:`repro.cache.sim`
+is property-tested against: on any trace and capacity, both must agree on
+every :class:`~repro.cache.sim.CacheStats` field.
+
+Eviction tie-break (both engines): Belady evicts the resident element whose
+next use is furthest in the future; ties are only possible among elements
+never used again, and there the *lowest address* (tuple order) is evicted.
+This makes ``stores`` — which depend on which dirty line survives —
+bit-reproducible across engines and runs, where the historical behaviour
+depended on dict insertion order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import Iterable, Sequence
+
+from ..ir import Addr, Event
+from .sim import CacheStats
+
+__all__ = ["simulate_lru", "simulate_belady", "cold_loads"]
+
+_INF = float("inf")
+
+
+def simulate_lru(events: Iterable[Event], s: int) -> CacheStats:
+    """Fully-associative LRU cache of capacity ``s`` elements."""
+    if s < 1:
+        raise ValueError("cache capacity must be >= 1")
+    cache: OrderedDict[Addr, bool] = OrderedDict()  # addr -> dirty
+    st = CacheStats(capacity=s, policy="lru")
+
+    def evict() -> None:
+        addr, dirty = cache.popitem(last=False)
+        if dirty:
+            st.evict_stores += 1
+
+    for ev in events:
+        st.accesses += 1
+        addr = ev.addr
+        if ev.op == "R":
+            if addr in cache:
+                st.read_hits += 1
+                cache.move_to_end(addr)
+            else:
+                st.loads += 1
+                if len(cache) >= s:
+                    evict()
+                cache[addr] = False
+        else:  # write
+            if addr in cache:
+                st.write_hits += 1
+                cache[addr] = True
+                cache.move_to_end(addr)
+            else:
+                st.write_allocs += 1
+                if len(cache) >= s:
+                    evict()
+                cache[addr] = True
+    st.flush_stores = sum(1 for d in cache.values() if d)
+    return st
+
+
+def simulate_belady(events: Sequence[Event], s: int) -> CacheStats:
+    """Belady/OPT replacement: evict the element used furthest in the future.
+
+    Requires the full trace up front (it is an offline policy).  Ties —
+    possible only among elements with no future use — evict the lowest
+    address.
+    """
+    if s < 1:
+        raise ValueError("cache capacity must be >= 1")
+    events = list(events)
+    uses: dict[Addr, list[int]] = {}
+    for idx, ev in enumerate(events):
+        uses.setdefault(ev.addr, []).append(idx)
+
+    def next_use(addr: Addr, idx: int) -> float:
+        lst = uses[addr]
+        p = bisect_right(lst, idx)
+        return lst[p] if p < len(lst) else _INF
+
+    cache: dict[Addr, bool] = {}
+    st = CacheStats(capacity=s, policy="belady")
+
+    def evict(idx: int) -> None:
+        victim = None
+        best = -1.0
+        for a in cache:
+            nu = next_use(a, idx)
+            # strict max of next use; finite next uses are distinct trace
+            # indices, so equality happens only at infinity — break those
+            # ties toward the lowest address
+            if nu > best or (nu == best and a < victim):
+                best = nu
+                victim = a
+        dirty = cache.pop(victim)
+        if dirty:
+            st.evict_stores += 1
+
+    for idx, ev in enumerate(events):
+        st.accesses += 1
+        addr = ev.addr
+        if ev.op == "R":
+            if addr in cache:
+                st.read_hits += 1
+            else:
+                st.loads += 1
+                if len(cache) >= s:
+                    evict(idx)
+                cache[addr] = False
+        else:
+            if addr in cache:
+                st.write_hits += 1
+                cache[addr] = True
+            else:
+                st.write_allocs += 1
+                if len(cache) >= s:
+                    evict(idx)
+                cache[addr] = True
+    st.flush_stores = sum(1 for d in cache.values() if d)
+    return st
+
+
+def cold_loads(events: Iterable[Event]) -> int:
+    """Compulsory loads: distinct addresses whose first access is a read."""
+    seen: set[Addr] = set()
+    cold = 0
+    for ev in events:
+        if ev.addr not in seen:
+            seen.add(ev.addr)
+            if ev.op == "R":
+                cold += 1
+    return cold

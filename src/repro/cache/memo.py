@@ -1,0 +1,135 @@
+"""Persistent on-disk memoisation of simulation results.
+
+Repeated bench / CLI invocations re-run the same (kernel, params, S, policy)
+points; the traced execution plus cache pass dominates their cost and is a
+pure function of that key.  :class:`MemoCache` stores each
+:class:`~repro.cache.sim.CacheStats` as one small JSON file under a cache
+directory, keyed by::
+
+    kernel name + sorted params + S + policy + seed + ENGINE_VERSION
+
+``ENGINE_VERSION`` (from :mod:`repro.cache.sim`) is bumped whenever
+simulator semantics change, so stale results are never served across engine
+revisions.  The store is value-only and content-addressed — concurrent
+writers at worst rewrite the same bytes, so no locking is needed.
+
+The cache is **opt-in**: ``measure_tiled_io`` and ``tune_block_size`` take a
+``memo=`` argument, and the CLI exposes ``--cache-dir`` / ``--no-cache``
+(default directory from the ``IOLB_CACHE_DIR`` environment variable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+from .sim import ENGINE_VERSION, CacheStats
+
+__all__ = ["MemoCache", "memo_key", "default_cache_dir", "open_memo"]
+
+#: environment variable naming the default cache directory
+CACHE_DIR_ENV = "IOLB_CACHE_DIR"
+
+#: CacheStats fields persisted (everything the dataclass counts)
+_STAT_FIELDS = (
+    "loads",
+    "read_hits",
+    "write_hits",
+    "write_allocs",
+    "evict_stores",
+    "flush_stores",
+    "accesses",
+    "capacity",
+    "policy",
+)
+
+
+def memo_key(
+    kernel: str,
+    params: Mapping[str, int],
+    s: int,
+    policy: str,
+    *,
+    seed: int = 0,
+) -> str:
+    """Canonical content key for one simulation point."""
+    payload = {
+        "kernel": kernel,
+        "params": sorted((str(k), int(v)) for k, v in params.items()),
+        "S": int(s),
+        "policy": policy,
+        "seed": int(seed),
+        "engine": ENGINE_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def default_cache_dir() -> str | None:
+    """The ``IOLB_CACHE_DIR`` environment default, if set and non-empty."""
+    d = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return d or None
+
+
+class MemoCache:
+    """A directory of memoised simulation results (one JSON file per key)."""
+
+    __slots__ = ("cache_dir", "hits", "misses", "_mkdir_done")
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+        self._mkdir_done = False
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> CacheStats | None:
+        """Stored stats for ``key``, or None (corrupt files count as misses)."""
+        try:
+            raw = json.loads(self._path(key).read_text())
+            stats = CacheStats(**{f: raw[f] for f in _STAT_FIELDS})
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, stats: CacheStats) -> None:
+        """Persist ``stats`` under ``key`` (atomic via rename)."""
+        if not self._mkdir_done:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._mkdir_done = True
+        tmp = self._path(key).with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps({f: getattr(stats, f) for f in _STAT_FIELDS}))
+        os.replace(tmp, self._path(key))
+
+    def get_or_compute(
+        self,
+        key: str,
+        compute,
+    ) -> CacheStats:
+        """Return the memoised stats for ``key``, computing and storing on miss."""
+        stats = self.get(key)
+        if stats is None:
+            stats = compute()
+            self.put(key, stats)
+        return stats
+
+
+def open_memo(
+    cache_dir: str | os.PathLike | None = None, *, enabled: bool = True
+) -> MemoCache | None:
+    """Resolve the standard CLI/env convention into a cache (or None).
+
+    ``cache_dir`` falls back to ``$IOLB_CACHE_DIR``; ``enabled=False``
+    (the ``--no-cache`` flag) wins over both.
+    """
+    if not enabled:
+        return None
+    d = cache_dir or default_cache_dir()
+    return MemoCache(d) if d else None

@@ -14,20 +14,45 @@ traces.  Counted quantities follow §2 of the paper:
 
 Policies: LRU (practical) and Belady/OPT (furthest next access in the fixed
 trace, the offline optimum), both fully associative with capacity S elements.
+
+This module is the **fast engine**.  Traces are consumed in
+structure-of-arrays form (:class:`repro.ir.TraceArrays`; ``Event`` streams
+are converted on entry): Belady precomputes the next-use array in one
+vectorized backward pass and drives eviction from a lazily-invalidated
+max-heap keyed on next use — O(T log S) instead of the reference's
+O(T·S) resident-set rescan — and LRU/``cold_loads`` run over dense integer
+ids.  The original implementations live on in :mod:`repro.cache._reference`
+as the specification; property tests assert exact agreement on every
+:class:`CacheStats` field, including the deterministic lowest-address
+eviction tie-break (see ``_reference``'s docstring).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from heapq import heappop, heappush
+from typing import Iterable, Sequence, Union
 
-from ..ir import Addr, Event
+import numpy as np
 
-__all__ = ["CacheStats", "simulate_lru", "simulate_belady", "simulate", "cold_loads"]
+from ..ir import Event, TraceArrays
 
-_INF = float("inf")
+__all__ = [
+    "CacheStats",
+    "ENGINE_VERSION",
+    "simulate_lru",
+    "simulate_belady",
+    "simulate",
+    "cold_loads",
+]
+
+#: Bumped whenever simulator semantics change (counts or tie-breaking);
+#: part of the persistent memo-cache key (:mod:`repro.cache.memo`) so stale
+#: results from older engines are never returned.
+ENGINE_VERSION = 2
+
+Trace = Union[TraceArrays, Sequence[Event], Iterable[Event]]
 
 
 @dataclass
@@ -59,119 +84,135 @@ class CacheStats:
         )
 
 
-def simulate_lru(events: Iterable[Event], s: int) -> CacheStats:
+def _as_arrays(trace: Trace) -> TraceArrays:
+    if isinstance(trace, TraceArrays):
+        return trace
+    return TraceArrays.from_events(trace)
+
+
+def simulate_lru(trace: Trace, s: int) -> CacheStats:
     """Fully-associative LRU cache of capacity ``s`` elements."""
     if s < 1:
         raise ValueError("cache capacity must be >= 1")
-    cache: OrderedDict[Addr, bool] = OrderedDict()  # addr -> dirty
-    st = CacheStats(capacity=s, policy="lru")
-
-    def evict() -> None:
-        addr, dirty = cache.popitem(last=False)
-        if dirty:
-            st.evict_stores += 1
-
-    for ev in events:
-        st.accesses += 1
-        addr = ev.addr
-        if ev.op == "R":
-            if addr in cache:
-                st.read_hits += 1
-                cache.move_to_end(addr)
+    ta = _as_arrays(trace)
+    # dense int ids + plain-list iteration: same recency logic as the
+    # reference, minus per-event tuple hashing
+    ids = ta.addr_ids.tolist()
+    is_w = ta.is_write.tolist()
+    cache: OrderedDict[int, bool] = OrderedDict()  # id -> dirty
+    st = CacheStats(capacity=s, policy="lru", accesses=len(ids))
+    loads = read_hits = write_hits = write_allocs = evict_stores = 0
+    for a, w in zip(ids, is_w):
+        if a in cache:
+            if w:
+                write_hits += 1
+                cache[a] = True
             else:
-                st.loads += 1
-                if len(cache) >= s:
-                    evict()
-                cache[addr] = False
-        else:  # write
-            if addr in cache:
-                st.write_hits += 1
-                cache[addr] = True
-                cache.move_to_end(addr)
+                read_hits += 1
+            cache.move_to_end(a)
+        else:
+            if w:
+                write_allocs += 1
             else:
-                st.write_allocs += 1
-                if len(cache) >= s:
-                    evict()
-                cache[addr] = True
+                loads += 1
+            if len(cache) >= s:
+                if cache.popitem(last=False)[1]:
+                    evict_stores += 1
+            cache[a] = w
+    st.loads, st.read_hits = loads, read_hits
+    st.write_hits, st.write_allocs = write_hits, write_allocs
+    st.evict_stores = evict_stores
     st.flush_stores = sum(1 for d in cache.values() if d)
     return st
 
 
-def simulate_belady(events: Sequence[Event], s: int) -> CacheStats:
+def simulate_belady(trace: Trace, s: int) -> CacheStats:
     """Belady/OPT replacement: evict the element used furthest in the future.
 
-    Requires the full trace up front (it is an offline policy).
+    Requires the full trace up front (it is an offline policy).  The next-use
+    array is precomputed in one vectorized backward pass
+    (:meth:`TraceArrays.next_use`); eviction pops a max-heap of
+    ``(next_use, address rank)`` entries, lazily discarding entries
+    invalidated by later accesses — O(T log S) overall.  Ties (elements never
+    used again share the sentinel next use) evict the lowest address,
+    matching :mod:`repro.cache._reference` exactly.
     """
     if s < 1:
         raise ValueError("cache capacity must be >= 1")
-    events = list(events)
-    uses: dict[Addr, list[int]] = {}
-    for idx, ev in enumerate(events):
-        uses.setdefault(ev.addr, []).append(idx)
-
-    def next_use(addr: Addr, idx: int) -> float:
-        lst = uses[addr]
-        p = bisect_right(lst, idx)
-        return lst[p] if p < len(lst) else _INF
-
-    cache: dict[Addr, bool] = {}
-    st = CacheStats(capacity=s, policy="belady")
-
-    def evict(idx: int) -> None:
-        victim = None
-        best = -1.0
-        for a in cache:
-            nu = next_use(a, idx)
-            if nu == _INF:
-                victim = a
-                break
-            if nu > best:
-                best = nu
-                victim = a
-        dirty = cache.pop(victim)
-        if dirty:
-            st.evict_stores += 1
-
-    for idx, ev in enumerate(events):
-        st.accesses += 1
-        addr = ev.addr
-        if ev.op == "R":
-            if addr in cache:
-                st.read_hits += 1
+    ta = _as_arrays(trace)
+    n = ta.n_addrs
+    st = CacheStats(capacity=s, policy="belady", accesses=len(ta))
+    if n == 0:
+        return st
+    # one packed int64 key per event, precomputed vectorized: the heap
+    # orders by  nu * R + (R-1-rank)  so the max is the furthest next use,
+    # ties (the shared never-used sentinel nu = T) break toward the lowest
+    # address — identical to the reference — while heap entries stay plain
+    # ints (no per-event tuple allocation)
+    rev = (n - 1) - ta.address_rank()
+    packed = (ta.next_use() * n + rev[ta.addr_ids]).tolist()
+    id_of_rev = np.empty(n, dtype=np.int64)
+    id_of_rev[rev] = np.arange(n, dtype=np.int64)
+    id_of_rev = id_of_rev.tolist()
+    ids = ta.addr_ids.tolist()
+    is_w = ta.is_write.tolist()
+    resident = bytearray(n)
+    dirty = bytearray(n)
+    cur_key = [0] * n  # packed key of each line, as of its last access
+    heap: list[int] = []  # -packed
+    size = 0
+    push, pop = heappush, heappop
+    loads = read_hits = write_hits = write_allocs = evict_stores = 0
+    for a, w, p in zip(ids, is_w, packed):
+        if resident[a]:
+            if w:
+                write_hits += 1
+                dirty[a] = 1
             else:
-                st.loads += 1
-                if len(cache) >= s:
-                    evict(idx)
-                cache[addr] = False
+                read_hits += 1
         else:
-            if addr in cache:
-                st.write_hits += 1
-                cache[addr] = True
+            if w:
+                write_allocs += 1
             else:
-                st.write_allocs += 1
-                if len(cache) >= s:
-                    evict(idx)
-                cache[addr] = True
-    st.flush_stores = sum(1 for d in cache.values() if d)
+                loads += 1
+            if size >= s:
+                # pop until a live entry: stale ones have a key that no
+                # longer matches the line's current one
+                while True:
+                    q = -pop(heap)
+                    v = id_of_rev[q % n]
+                    if resident[v] and cur_key[v] == q:
+                        break
+                resident[v] = 0
+                size -= 1
+                if dirty[v]:
+                    evict_stores += 1
+                    dirty[v] = 0
+            resident[a] = 1
+            dirty[a] = w
+            size += 1
+        cur_key[a] = p
+        push(heap, -p)
+    st.loads, st.read_hits = loads, read_hits
+    st.write_hits, st.write_allocs = write_hits, write_allocs
+    st.evict_stores = evict_stores
+    st.flush_stores = sum(1 for a in range(n) if resident[a] and dirty[a])
     return st
 
 
-def simulate(events: Sequence[Event], s: int, policy: str = "lru") -> CacheStats:
+def simulate(trace: Trace, s: int, policy: str = "lru") -> CacheStats:
     """Dispatch on policy name ("lru" or "belady")."""
     if policy == "lru":
-        return simulate_lru(events, s)
+        return simulate_lru(trace, s)
     if policy == "belady":
-        return simulate_belady(list(events), s)
+        return simulate_belady(trace, s)
     raise ValueError(f"unknown policy {policy!r}")
 
 
-def cold_loads(events: Iterable[Event]) -> int:
+def cold_loads(trace: Trace) -> int:
     """Compulsory loads: distinct addresses whose first access is a read."""
-    seen: set[Addr] = set()
-    cold = 0
-    for ev in events:
-        if ev.addr not in seen:
-            seen.add(ev.addr)
-            if ev.op == "R":
-                cold += 1
-    return cold
+    ta = _as_arrays(trace)
+    if not len(ta):
+        return 0
+    first = np.unique(ta.addr_ids, return_index=True)[1]
+    return int(np.count_nonzero(~ta.is_write[first]))

@@ -7,7 +7,11 @@ Subcommands::
     iolb validate mgs [--params M=8,N=5]
     iolb simulate mgs --params M=8,N=6 --cache 16 [--policy belady]
     iolb tiled tiled_mgs --params M=24,N=16 --cache 256
+    iolb tune tiled_mgs --params M=24,N=16 --cache 256 [--jobs 4 --mode coarse]
     iolb fig4 / iolb fig5             # regenerate the paper's tables
+
+``tiled`` and ``tune`` support a persistent result cache: ``--cache-dir``
+(default from ``$IOLB_CACHE_DIR``) enables it, ``--no-cache`` disables it.
 """
 
 from __future__ import annotations
@@ -16,7 +20,8 @@ import argparse
 import sys
 from typing import Mapping
 
-from .bounds import derive, measure_tiled_io
+from .bounds import derive, measure_tiled_io, tune_block_size
+from .cache import open_memo
 from .cdag import build_cdag, check_program_deps, check_spec_matches_runner
 from .ir import Tracer
 from .kernels import KERNELS, TILED_ALGORITHMS, get_kernel, get_tiled
@@ -93,14 +98,47 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _memo_from(args):
+    return open_memo(getattr(args, "cache_dir", None), enabled=not getattr(args, "no_cache", False))
+
+
 def cmd_tiled(args) -> int:
     alg = get_tiled(args.algorithm)
     params = _parse_assign(args.params)
-    meas = measure_tiled_io(alg, params, args.cache, policy=args.policy)
+    memo = _memo_from(args)
+    meas = measure_tiled_io(alg, params, args.cache, policy=args.policy, memo=memo)
     print(f"{alg.name} at {params}, S={args.cache}, B={meas.block}:")
     print(f"  measured loads: {meas.stats.loads}  stores: {meas.stats.stores}")
     print(f"  predicted reads ~ {meas.predicted_reads:.0f}")
     print(f"  predicted total ~ {meas.predicted_total:.0f}  [{alg.cache_condition}]")
+    if memo is not None:
+        print(f"  memo: {memo.hits} hit(s), {memo.misses} miss(es) [{memo.cache_dir}]")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    alg = get_tiled(args.algorithm)
+    params = _parse_assign(args.params)
+    memo = _memo_from(args)
+    res = tune_block_size(
+        alg,
+        params,
+        args.cache,
+        policy=args.policy,
+        b_max=args.b_max,
+        jobs=args.jobs,
+        mode=args.mode,
+        stride=args.stride,
+        memo=memo,
+    )
+    print(f"{alg.name} at {params}, S={args.cache} ({res.mode} sweep, {len(res.evaluated)} points):")
+    print(f"  best block:     B={res.best_block}  loads={res.best_loads}")
+    print(
+        f"  analytic block: B={res.analytic_block}  loads={res.analytic_loads}"
+        f"  (gap {res.analytic_gap:.3f}x)"
+    )
+    if memo is not None:
+        print(f"  memo: {memo.hits} hit(s), {memo.misses} miss(es) [{memo.cache_dir}]")
     return 0
 
 
@@ -197,12 +235,39 @@ def main(argv=None) -> int:
     s.add_argument("--policy", default="belady", choices=["lru", "belady"])
     s.set_defaults(fn=cmd_simulate)
 
+    def add_memo_flags(sp) -> None:
+        sp.add_argument(
+            "--cache-dir",
+            default=None,
+            dest="cache_dir",
+            help="persistent result-cache directory (default: $IOLB_CACHE_DIR)",
+        )
+        sp.add_argument(
+            "--no-cache",
+            action="store_true",
+            dest="no_cache",
+            help="disable the persistent result cache even if $IOLB_CACHE_DIR is set",
+        )
+
     t = sub.add_parser("tiled", help="measure a tiled algorithm's I/O")
     t.add_argument("algorithm")
     t.add_argument("--params", required=True)
     t.add_argument("--cache", type=int, required=True)
     t.add_argument("--policy", default="belady", choices=["lru", "belady"])
+    add_memo_flags(t)
     t.set_defaults(fn=cmd_tiled)
+
+    tu = sub.add_parser("tune", help="sweep block sizes for a tiled algorithm")
+    tu.add_argument("algorithm")
+    tu.add_argument("--params", required=True)
+    tu.add_argument("--cache", type=int, required=True)
+    tu.add_argument("--policy", default="belady", choices=["lru", "belady"])
+    tu.add_argument("--b-max", type=int, default=None, dest="b_max")
+    tu.add_argument("--jobs", type=int, default=1, help="process-pool width (default serial)")
+    tu.add_argument("--mode", default="exhaustive", choices=["exhaustive", "coarse"])
+    tu.add_argument("--stride", type=int, default=None, help="coarse-grid stride (default ~sqrt(b_max))")
+    add_memo_flags(tu)
+    tu.set_defaults(fn=cmd_tune)
 
     rg = sub.add_parser("regimes", help="which bound binds at which S (§5.1 style)")
     rg.add_argument("kernel")

@@ -3,9 +3,11 @@
 from .dataflow import dataflow_trace, sequential_schedule
 from .program import Access, Array, Dependence, Program, Statement
 from .validate import ProgramValidationError, validate_program
+from .soatrace import TraceArrays
 from .tracing import Addr, Event, NullTracer, Tracer, trace_node_key
 
 __all__ = [
+    "TraceArrays",
     "ProgramValidationError",
     "validate_program",
     "dataflow_trace",

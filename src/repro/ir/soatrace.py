@@ -1,0 +1,113 @@
+"""Structure-of-arrays address traces.
+
+The :class:`~repro.ir.tracing.Tracer` records an address trace as a list of
+:class:`Event` objects — convenient for the CDAG and pebble consumers, but
+slow to re-scan: every simulator pass pays per-event attribute lookups and
+tuple hashing.  :class:`TraceArrays` is the columnar twin: the same trace as
+two numpy arrays (integer address ids and a write flag) plus the id → address
+table, built once per kernel run and shared by every subsequent cache pass.
+
+The fast simulators in :mod:`repro.cache.sim` accept either representation;
+converters are exact inverses, so ``TraceArrays.from_events(evs).to_events()
+== list(evs)`` for any event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .tracing import Addr, Event
+
+__all__ = ["TraceArrays"]
+
+
+@dataclass(frozen=True, eq=False)
+class TraceArrays:
+    """One address trace in structure-of-arrays form.
+
+    ``addr_ids[i]`` is the dense id of the element touched by event ``i``
+    (ids are assigned in first-appearance order), ``is_write[i]`` is True for
+    write events, and ``addrs[id]`` recovers the original ``(array, index)``
+    address of an id.
+    """
+
+    #: int64[T] — dense element id per event, first-appearance numbering
+    addr_ids: np.ndarray
+    #: bool[T] — True where the event is a write
+    is_write: np.ndarray
+    #: id -> element address, in first-appearance order
+    addrs: tuple[Addr, ...]
+    _rank_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "TraceArrays":
+        """Build the columnar form of an event stream (one linear pass)."""
+        ids: dict[Addr, int] = {}
+        addr_col: list[int] = []
+        write_col: list[bool] = []
+        for ev in events:
+            i = ids.get(ev.addr)
+            if i is None:
+                i = len(ids)
+                ids[ev.addr] = i
+            addr_col.append(i)
+            write_col.append(ev.op != "R")
+        return cls(
+            addr_ids=np.asarray(addr_col, dtype=np.int64),
+            is_write=np.asarray(write_col, dtype=bool),
+            addrs=tuple(ids),
+        )
+
+    def to_events(self) -> list[Event]:
+        """Reconstruct the exact event stream (inverse of ``from_events``)."""
+        addrs = self.addrs
+        return [
+            Event("W" if w else "R", addrs[i])
+            for i, w in zip(self.addr_ids.tolist(), self.is_write.tolist())
+        ]
+
+    def __len__(self) -> int:
+        return len(self.addr_ids)
+
+    @property
+    def n_addrs(self) -> int:
+        """Number of distinct elements touched."""
+        return len(self.addrs)
+
+    def address_rank(self) -> np.ndarray:
+        """``rank[id]`` = position of ``addrs[id]`` in sorted address order.
+
+        The simulators use this for deterministic eviction tie-breaking
+        (lowest address wins), independent of first-appearance id numbering.
+        """
+        cached = self._rank_cache.get("rank")
+        if cached is None:
+            order = sorted(range(len(self.addrs)), key=self.addrs.__getitem__)
+            cached = np.empty(len(self.addrs), dtype=np.int64)
+            cached[order] = np.arange(len(self.addrs), dtype=np.int64)
+            self._rank_cache["rank"] = cached
+        return cached
+
+    def next_use(self) -> np.ndarray:
+        """``nxt[i]`` = index of the next event touching ``addr_ids[i]``,
+        or ``len(self)`` (one past the end) if the element is never touched
+        again — the backward-pass "OPT array" of the Belady simulator,
+        computed vectorized in O(T log T).
+        """
+        ids = self.addr_ids
+        t = len(ids)
+        order = np.argsort(ids, kind="stable")  # (id, time) lexicographic
+        sorted_ids = ids[order]
+        nxt_sorted = np.empty(t, dtype=np.int64)
+        if t:
+            nxt_sorted[:-1] = order[1:]
+            nxt_sorted[-1] = t
+            # a change of id between consecutive sorted slots ends that
+            # element's occurrence run: no next use
+            nxt_sorted[:-1][sorted_ids[:-1] != sorted_ids[1:]] = t
+        nxt = np.empty(t, dtype=np.int64)
+        nxt[order] = nxt_sorted
+        return nxt

@@ -102,6 +102,13 @@ class Tracer:
     def address_trace(self) -> Iterator[Event]:
         return iter(self.events)
 
+    def trace_arrays(self):
+        """The recorded address trace in structure-of-arrays form (see
+        :class:`repro.ir.soatrace.TraceArrays`), built in one pass."""
+        from .soatrace import TraceArrays
+
+        return TraceArrays.from_events(self.events)
+
     def touched_elements(self) -> set[Addr]:
         return {e.addr for e in self.events}
 

@@ -44,5 +44,14 @@ class TiledAlgorithm:
 
 
 def default_block_size(m: int, s: int) -> int:
-    """The appendix's choice B = floor(S/M) - 1, clipped to >= 1."""
+    """The appendix's choice B = floor(S/m) - 1, clipped to >= 1.
+
+    Callers pass ``m = M + 1`` (matrix rows plus one), not ``M``: the blocked
+    algorithms keep ``M·B`` block elements, the ``B``-wide coefficient row
+    *and* one full past column of ``M`` elements resident at once, so the
+    exact fit condition is ``(M+1)·B + M <= S`` (cf. each algorithm's
+    ``cache_condition``), which ``floor(S/(M+1)) - 1`` guarantees while the
+    paper's asymptotic ``floor(S/M) - 1`` can exceed S.  See the audit note
+    in :mod:`repro.bounds.tuner` for a worked example.
+    """
     return max(1, s // m - 1)

@@ -1,0 +1,94 @@
+"""Tests for the structure-of-arrays trace representation (repro.ir.soatrace)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import cold_loads
+from repro.cache import _reference as reference
+from repro.ir import Event, Tracer, TraceArrays
+
+_trace = st.lists(
+    st.tuples(st.sampled_from("RW"), st.sampled_from("ABx"), st.integers(0, 9)),
+    min_size=0,
+    max_size=80,
+)
+
+
+def _events(ops) -> list[Event]:
+    return [Event(op, (arr, (idx,))) for op, arr, idx in ops]
+
+
+class TestRoundtrip:
+    @given(_trace)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_exact(self, ops):
+        evs = _events(ops)
+        ta = TraceArrays.from_events(evs)
+        assert ta.to_events() == evs
+        assert len(ta) == len(evs)
+
+    def test_first_appearance_ids(self):
+        evs = _events([("R", "A", 3), ("W", "B", 0), ("R", "A", 3)])
+        ta = TraceArrays.from_events(evs)
+        assert ta.addr_ids.tolist() == [0, 1, 0]
+        assert ta.is_write.tolist() == [False, True, False]
+        assert ta.addrs == (("A", (3,)), ("B", (0,)))
+        assert ta.n_addrs == 2
+
+    def test_empty_trace(self):
+        ta = TraceArrays.from_events([])
+        assert len(ta) == 0 and ta.n_addrs == 0
+        assert ta.to_events() == []
+        assert cold_loads(ta) == 0
+
+    def test_tracer_convenience(self):
+        t = Tracer()
+        t.stmt("S", 0)
+        t.read("A", 0)
+        t.write("A", 1)
+        ta = t.trace_arrays()
+        assert ta.to_events() == t.events
+
+
+class TestNextUse:
+    @given(_trace)
+    @settings(max_examples=60, deadline=None)
+    def test_next_use_matches_naive(self, ops):
+        evs = _events(ops)
+        ta = TraceArrays.from_events(evs)
+        nxt = ta.next_use()
+        ids = ta.addr_ids.tolist()
+        for i, a in enumerate(ids):
+            naive = next((j for j in range(i + 1, len(ids)) if ids[j] == a), len(ids))
+            assert nxt[i] == naive
+
+    def test_sentinel_is_length(self):
+        ta = TraceArrays.from_events(_events([("R", "A", 0)]))
+        assert ta.next_use().tolist() == [1]
+
+
+class TestAddressRank:
+    def test_rank_is_sorted_address_order(self):
+        evs = _events([("R", "B", 1), ("R", "A", 2), ("R", "A", 0)])
+        ta = TraceArrays.from_events(evs)
+        rank = ta.address_rank()
+        # sorted addresses: (A,(0,)) < (A,(2,)) < (B,(1,))
+        by_rank = sorted(range(ta.n_addrs), key=lambda i: rank[i])
+        assert [ta.addrs[i] for i in by_rank] == sorted(ta.addrs)
+
+    def test_rank_cached(self):
+        ta = TraceArrays.from_events(_events([("R", "A", 0), ("R", "B", 0)]))
+        assert ta.address_rank() is ta.address_rank()
+
+
+class TestColdLoads:
+    @given(_trace)
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_matches_reference(self, ops):
+        evs = _events(ops)
+        assert cold_loads(evs) == reference.cold_loads(evs)
+        assert cold_loads(TraceArrays.from_events(evs)) == reference.cold_loads(evs)
