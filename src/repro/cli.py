@@ -8,6 +8,7 @@ Subcommands::
     iolb simulate mgs --params M=8,N=6 --cache 16 [--policy belady]
     iolb tiled tiled_mgs --params M=24,N=16 --cache 256
     iolb tune tiled_mgs --params M=24,N=16 --cache 256 [--jobs 4 --mode coarse]
+    iolb verify [mgs|all] --trials 25 --seed 0 [--budget-seconds T --json out.json]
     iolb fig4 / iolb fig5             # regenerate the paper's tables
 
 ``tiled`` and ``tune`` support a persistent result cache: ``--cache-dir``
@@ -32,12 +33,28 @@ __all__ = ["main"]
 
 
 def _parse_assign(text: str) -> dict[str, int]:
+    """Parse ``M=8,N=5`` into a dict; argparse ``type=`` for param flags.
+
+    Raises :class:`argparse.ArgumentTypeError` naming the offending token so
+    malformed input (``M=8,N`` or ``M=x``) yields a clean usage error
+    instead of a traceback.
+    """
     out: dict[str, int] = {}
     if not text:
         return out
     for part in text.split(","):
-        k, _, v = part.partition("=")
-        out[k.strip()] = int(v)
+        k, eq, v = part.partition("=")
+        k = k.strip()
+        if not eq or not k:
+            raise argparse.ArgumentTypeError(
+                f"bad assignment {part.strip()!r} (expected NAME=INTEGER)"
+            )
+        try:
+            out[k] = int(v)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad value in {part.strip()!r}: {v.strip()!r} is not an integer"
+            ) from None
     return out
 
 
@@ -56,7 +73,7 @@ def cmd_derive(args) -> int:
     rep = derive(kern)
     print(rep.summary())
     if args.eval:
-        env = _parse_assign(args.eval)
+        env = args.eval
         print(f"\nevaluated at {env}:")
         rows = []
         for b in rep.all_bounds():
@@ -70,7 +87,7 @@ def cmd_derive(args) -> int:
 
 def cmd_validate(args) -> int:
     kern = get_kernel(args.kernel)
-    params = _parse_assign(args.params) if args.params else dict(kern.default_params)
+    params = dict(args.params) if args.params else dict(kern.default_params)
     if kern.validate:
         kern.validate(params)
         print(f"{kern.name}: numeric validation ok at {params}")
@@ -83,7 +100,7 @@ def cmd_validate(args) -> int:
 
 def cmd_simulate(args) -> int:
     kern = get_kernel(args.kernel)
-    params = _parse_assign(args.params) if args.params else dict(kern.default_params)
+    params = dict(args.params) if args.params else dict(kern.default_params)
     g = build_cdag(kern.program, params)
     t = Tracer()
     kern.program.runner(params, t)
@@ -104,7 +121,7 @@ def _memo_from(args):
 
 def cmd_tiled(args) -> int:
     alg = get_tiled(args.algorithm)
-    params = _parse_assign(args.params)
+    params = args.params
     memo = _memo_from(args)
     meas = measure_tiled_io(alg, params, args.cache, policy=args.policy, memo=memo)
     print(f"{alg.name} at {params}, S={args.cache}, B={meas.block}:")
@@ -118,7 +135,7 @@ def cmd_tiled(args) -> int:
 
 def cmd_tune(args) -> int:
     alg = get_tiled(args.algorithm)
-    params = _parse_assign(args.params)
+    params = args.params
     memo = _memo_from(args)
     res = tune_block_size(
         alg,
@@ -146,7 +163,7 @@ def cmd_regimes(args) -> int:
     from .bounds import regime_table
 
     kern = get_kernel(args.kernel)
-    env = _parse_assign(args.params)
+    env = args.params
     rep = derive(kern)
     s_values = [1 << k for k in range(2, args.max_log_s + 1)]
     regimes = regime_table(rep, env, s_values)
@@ -160,7 +177,7 @@ def cmd_selfcheck(args) -> int:
     from .selfcheck import selfcheck
 
     kern = get_kernel(args.kernel)
-    params = _parse_assign(args.params) if args.params else None
+    params = args.params or None
     rep = selfcheck(kern, params)
     print(rep.summary())
     return 0 if rep.ok() else 1
@@ -188,7 +205,7 @@ def cmd_parse(args) -> int:
     for s in prog.statements:
         print(f"  {s.name:8s} dims={s.dims} reads={list(s.reads)} writes={list(s.writes)}")
     if args.derive:
-        small = _parse_assign(args.small) if args.small else None
+        small = args.small or None
         if small is None:
             raise SystemExit("--derive requires --small M=...,N=... for the dataflow run")
         kern = KernelRec(program=prog, dominant=args.derive, default_params=small)
@@ -197,6 +214,39 @@ def cmd_parse(args) -> int:
         print()
         print(rep.summary())
     return 0
+
+
+def cmd_verify(args) -> int:
+    import json
+
+    from .verify import run_verify
+
+    if args.target == "all":
+        kernels, tiled, fuzz = None, None, args.fuzz
+    elif args.target in TILED_ALGORITHMS:
+        kernels, tiled, fuzz = [], [args.target], args.fuzz or 0
+    else:
+        get_kernel(args.target)  # raises with the available names
+        kernels, tiled, fuzz = [args.target], [], args.fuzz or 0
+    rep = run_verify(
+        kernels,
+        tiled,
+        trials=args.trials,
+        seed=args.seed,
+        budget_seconds=args.budget_seconds,
+        fuzz_programs=fuzz,
+        shrink=not args.no_shrink,
+    )
+    print(rep.summary())
+    if args.json_path:
+        payload = json.dumps(rep.to_dict(), indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(payload)
+        else:
+            with open(args.json_path, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"report written to {args.json_path}")
+    return 0 if rep.ok() else 1
 
 
 def cmd_fig4(args) -> int:
@@ -220,17 +270,17 @@ def main(argv=None) -> int:
 
     d = sub.add_parser("derive", help="derive parametric lower bounds")
     d.add_argument("kernel")
-    d.add_argument("--eval", default="", help="e.g. M=100,N=50,S=256")
+    d.add_argument("--eval", default="", type=_parse_assign, help="e.g. M=100,N=50,S=256")
     d.set_defaults(fn=cmd_derive)
 
     v = sub.add_parser("validate", help="numeric + CDAG validation")
     v.add_argument("kernel")
-    v.add_argument("--params", default="")
+    v.add_argument("--params", default="", type=_parse_assign)
     v.set_defaults(fn=cmd_validate)
 
     s = sub.add_parser("simulate", help="pebble-game I/O of the program order")
     s.add_argument("kernel")
-    s.add_argument("--params", default="")
+    s.add_argument("--params", default="", type=_parse_assign)
     s.add_argument("--cache", type=int, required=True)
     s.add_argument("--policy", default="belady", choices=["lru", "belady"])
     s.set_defaults(fn=cmd_simulate)
@@ -251,7 +301,7 @@ def main(argv=None) -> int:
 
     t = sub.add_parser("tiled", help="measure a tiled algorithm's I/O")
     t.add_argument("algorithm")
-    t.add_argument("--params", required=True)
+    t.add_argument("--params", required=True, type=_parse_assign)
     t.add_argument("--cache", type=int, required=True)
     t.add_argument("--policy", default="belady", choices=["lru", "belady"])
     add_memo_flags(t)
@@ -259,7 +309,7 @@ def main(argv=None) -> int:
 
     tu = sub.add_parser("tune", help="sweep block sizes for a tiled algorithm")
     tu.add_argument("algorithm")
-    tu.add_argument("--params", required=True)
+    tu.add_argument("--params", required=True, type=_parse_assign)
     tu.add_argument("--cache", type=int, required=True)
     tu.add_argument("--policy", default="belady", choices=["lru", "belady"])
     tu.add_argument("--b-max", type=int, default=None, dest="b_max")
@@ -271,14 +321,51 @@ def main(argv=None) -> int:
 
     rg = sub.add_parser("regimes", help="which bound binds at which S (§5.1 style)")
     rg.add_argument("kernel")
-    rg.add_argument("--params", required=True, help="e.g. M=10000,N=5000")
+    rg.add_argument("--params", required=True, type=_parse_assign, help="e.g. M=10000,N=5000")
     rg.add_argument("--max-log-s", type=int, default=22, dest="max_log_s")
     rg.set_defaults(fn=cmd_regimes)
 
     sc = sub.add_parser("selfcheck", help="run the full validation battery")
     sc.add_argument("kernel")
-    sc.add_argument("--params", default="")
+    sc.add_argument("--params", default="", type=_parse_assign)
     sc.set_defaults(fn=cmd_selfcheck)
+
+    vf = sub.add_parser(
+        "verify", help="differential + metamorphic verification battery"
+    )
+    vf.add_argument(
+        "target",
+        nargs="?",
+        default="all",
+        help="kernel name, tiled algorithm name, or 'all' (default)",
+    )
+    vf.add_argument("--trials", type=int, default=25, help="random trials per subject")
+    vf.add_argument("--seed", type=int, default=0)
+    vf.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        dest="budget_seconds",
+        help="wall-clock budget; partial runs are flagged in the report",
+    )
+    vf.add_argument(
+        "--fuzz",
+        type=int,
+        default=None,
+        help="number of random fuzz programs (default: --trials; 'all' only)",
+    )
+    vf.add_argument(
+        "--json",
+        metavar="PATH",
+        dest="json_path",
+        help="write the machine-readable report to PATH ('-' for stdout)",
+    )
+    vf.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip counterexample shrinking on failure",
+    )
+    vf.set_defaults(fn=cmd_verify)
 
     pr = sub.add_parser("parse", help="parse figure-style C code into the IR")
     grp = pr.add_mutually_exclusive_group(required=True)
@@ -289,7 +376,10 @@ def main(argv=None) -> int:
         help="use a bundled paper listing",
     )
     pr.add_argument("--derive", metavar="STMT", help="derive bounds for this statement")
-    pr.add_argument("--small", default="", help="small params for dataflow, e.g. M=5,N=4")
+    pr.add_argument(
+        "--small", default="", type=_parse_assign,
+        help="small params for dataflow, e.g. M=5,N=4",
+    )
     pr.set_defaults(fn=cmd_parse)
 
     sub.add_parser("fig4", help="regenerate Figure 4").set_defaults(fn=cmd_fig4)

@@ -8,10 +8,14 @@ single kernel and returns a structured report:
 3. spec-vs-runner trace identity (declared IR replays the implementation);
 4. CDAG agreement (declared/dataflow vs instrumented);
 5. symbolic instance counts vs enumeration;
-6. bound soundness against the pebble game across a small cache sweep.
+6. bound soundness against the pebble game across a small cache sweep;
+7. the randomized verification battery (:func:`repro.verify.run_verify`)
+   on a couple of seeded trials.
 
+Every check always runs — a check that raises is recorded as FAIL with the
+exception class and message, and the rest of the battery still executes.
 Used by ``iolb selfcheck`` and by downstream users adding their own kernels
-— if all six pass, the derivation machinery's preconditions hold.
+— if all seven pass, the derivation machinery's preconditions hold.
 """
 
 from __future__ import annotations
@@ -58,6 +62,7 @@ def selfcheck(
     kernel: Kernel,
     params: Mapping[str, int] | None = None,
     caches: tuple[int, ...] = (4, 8, 16),
+    verify_trials: int = 2,
 ) -> SelfCheckReport:
     """Run the full validation battery; never raises (failures are recorded)."""
     params = dict(params or kernel.default_params)
@@ -130,10 +135,26 @@ def selfcheck(
             worst = gap if worst is None else min(worst, gap)
         return f"sound; tightest gap {worst:.2f}x" if worst else "no feasible S"
 
+    def c_verify():
+        from .verify import run_verify
+
+        vrep = run_verify(
+            [kernel], [], trials=verify_trials, seed=0, fuzz_programs=0
+        )
+        if not vrep.ok():
+            f = vrep.failures[0]
+            raise AssertionError(
+                f"{len(vrep.failures)} oracle failure(s); first:"
+                f" {f.oracle} at {f.shrunk_params or f.params}: {f.detail}"
+            )
+        passed = sum(1 for o in vrep.outcomes if o.status == "pass")
+        return f"{passed} oracle checks passed over {verify_trials} random trials"
+
     record("static-validation", c_static)
     record("numeric", c_numeric)
-    if record("spec-vs-runner", c_trace):
-        record("cdag", c_cdag)
-        record("counts", c_counts)
-        record("bound-soundness", c_soundness)
+    record("spec-vs-runner", c_trace)
+    record("cdag", c_cdag)
+    record("counts", c_counts)
+    record("bound-soundness", c_soundness)
+    record("verify", c_verify)
     return rep

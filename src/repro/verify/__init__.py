@@ -1,0 +1,41 @@
+"""Differential + metamorphic verification of the bound-derivation engine.
+
+The paper's contribution is a *claim about correctness of bounds*: the
+hourglass derivation must never exceed the pebble-game optimum, must
+dominate the classical K-partition bound on the hourglass kernels, and the
+tiled orderings must meet it asymptotically.  This package checks those
+invariants systematically instead of at hand-picked points:
+
+* :mod:`repro.verify.sampling` — seeded randomized parameter points for
+  every registered kernel (shape constraints preserved);
+* :mod:`repro.verify.fuzzer` — randomized straight-line affine programs
+  fed through the whole pipeline (counting, CDAG, pebble game, simulators,
+  derivation);
+* :mod:`repro.verify.oracles` — the metamorphic oracle catalogue;
+* :mod:`repro.verify.shrink` — greedy shrinking of a failing case to a
+  minimal counterexample;
+* :mod:`repro.verify.harness` — the ``run_verify`` driver behind
+  ``iolb verify`` and ``selfcheck``'s seventh check.
+"""
+
+from .fuzzer import FuzzProgram, random_fuzz_program
+from .harness import OracleOutcome, VerifyFailure, VerifyReport, run_verify
+from .oracles import FUZZ_ORACLES, KERNEL_ORACLES, TILED_ORACLES, Oracle
+from .sampling import sample_cache_sizes, sample_params
+from .shrink import shrink_params
+
+__all__ = [
+    "FuzzProgram",
+    "random_fuzz_program",
+    "OracleOutcome",
+    "VerifyFailure",
+    "VerifyReport",
+    "run_verify",
+    "Oracle",
+    "KERNEL_ORACLES",
+    "TILED_ORACLES",
+    "FUZZ_ORACLES",
+    "sample_params",
+    "sample_cache_sizes",
+    "shrink_params",
+]

@@ -1,0 +1,208 @@
+"""Randomized straight-line affine programs for differential testing.
+
+The generator builds seeded random :class:`~repro.ir.Program` s from the
+same vocabulary as the paper kernels — loop nests with affine (possibly
+triangular) bounds, affine array accesses, optional self-update reads that
+create temporal chains — and equips each with a *replay runner* that emits
+the declared access stream, so every trace-driven component (CDAG builder,
+pebble game, cache simulators, projection/derivation engine) can run on it
+unchanged.
+
+Generated programs are valid by construction:
+
+* loop ranges are never empty (inner bounds only reference dims whose own
+  range is contained in the bounding parameter's range), so the closed-form
+  Faulhaber counts are exact and comparable against brute-force enumeration;
+* each statement has exactly one write (the dataflow engine's
+  single-assignment assumption);
+* the sequential schedule orders statements by a leading static position,
+  so the replay order is a topological order of the dataflow CDAG.
+
+What is *not* constrained is everything the differential oracles are after:
+access aliasing, reduction-style writes, broadcast reads, inter-statement
+flow — the structures on which counting, pebbling and bound derivation
+could silently disagree.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..ir import Access, Array, NullTracer, Program, Statement, sequential_schedule
+from ..kernels.common import Kernel
+from ..polyhedral import LinExpr, var
+
+__all__ = ["FuzzProgram", "random_fuzz_program"]
+
+_DIMS = ("i", "j", "k")
+
+
+@dataclass
+class FuzzProgram:
+    """A generated program plus the Kernel wrapper the pipeline consumes."""
+
+    kernel: Kernel
+    #: generator seed that reproduces this exact program
+    seed: int
+
+    @property
+    def program(self) -> Program:
+        return self.kernel.program
+
+    def sample_params(self, rng: random.Random) -> dict[str, int]:
+        """Random small parameter values (trace sizes stay enumerable)."""
+        return {p: rng.randint(2, 5) for p in self.program.params}
+
+
+def _replay_runner(program: Program):
+    """A runner that replays the declared accesses in schedule order.
+
+    Fuzz programs have no numeric semantics; their ground truth *is* the
+    declared spec, and the differential value comes from feeding the same
+    stream through independent consumers (CDAG vs pebble vs simulators vs
+    derivation).
+    """
+
+    def runner(params, tracer=None, seed: int = 0):
+        t = tracer if tracer is not None else NullTracer()
+        stmts = {s.name: s for s in program.statements}
+        for name, point in sequential_schedule(program, params):
+            s = stmts[name]
+            env = dict(params)
+            env.update(zip(s.dims, point))
+            t.stmt(name, *point)
+            for acc in s.reads:
+                arr, idx = acc.eval(env)
+                t.read(arr, *idx)
+            for acc in s.writes:
+                arr, idx = acc.eval(env)
+                t.write(arr, *idx)
+        return {}
+
+    return runner
+
+
+def _random_nest(
+    rng: random.Random, params: tuple[str, ...]
+) -> list[tuple[str, "LinExpr | int", "LinExpr | int"]]:
+    """A 1-3 deep loop nest with non-empty affine bounds.
+
+    Each dim tracks the parameter capping it (``dim <= cap - 1`` holds over
+    the whole nest), so triangular lower bounds ``dim2 in [dim1, P-1]`` are
+    only emitted when ``cap(dim1) == P`` — the non-emptiness invariant that
+    keeps closed-form counting exact.
+    """
+    depth = rng.randint(1, 3)
+    loops: list[tuple[str, LinExpr | int, LinExpr | int]] = []
+    caps: dict[str, str] = {}
+    for level in range(depth):
+        d = _DIMS[level]
+        p = rng.choice(params)
+        if level == 0:
+            loops.append((d, 0, var(p) - 1))
+            caps[d] = p
+            continue
+        outer = loops[rng.randrange(level)][0]
+        shape = rng.random()
+        if shape < 0.45:
+            loops.append((d, 0, var(p) - 1))
+            caps[d] = p
+        elif shape < 0.75:
+            # lower-triangular: 0..outer (always non-empty)
+            loops.append((d, 0, var(outer)))
+            caps[d] = caps[outer]
+        else:
+            # upper-triangular: outer..P-1, valid when P caps `outer`
+            p = caps[outer]
+            loops.append((d, var(outer), var(p) - 1))
+            caps[d] = p
+    return loops
+
+
+def _random_index(rng: random.Random, dims: tuple[str, ...]) -> LinExpr:
+    d = rng.choice(dims)
+    e = var(d) + rng.choice((-1, 0, 0, 0, 1))
+    if len(dims) > 1 and rng.random() < 0.15:
+        other = rng.choice([x for x in dims if x != d])
+        e = e + var(other)
+    return e
+
+
+def _random_read(
+    rng: random.Random, array: Array, dims: tuple[str, ...]
+) -> Access:
+    return Access(
+        array.name, tuple(_random_index(rng, dims) for _ in range(array.ndim))
+    )
+
+
+def random_fuzz_program(seed: int, name: str | None = None) -> FuzzProgram:
+    """Generate one seeded random program wrapped as a :class:`Kernel`."""
+    rng = random.Random(seed)
+    params = ("N",) if rng.random() < 0.5 else ("N", "M")
+    name = name or f"fuzz_{seed}"
+
+    inputs = [
+        Array("X", rng.randint(1, 2)),
+        Array("Y", 1),
+    ]
+    arrays: list[Array] = list(inputs)
+    statements: list[Statement] = []
+    n_stmts = rng.randint(1, 2)
+    for t in range(n_stmts):
+        loops = _random_nest(rng, params)
+        dims = tuple(v for v, _, _ in loops)
+        # write: an injective map of a (possibly strict) subset of the dims;
+        # a strict subset yields reduction-style overwrites along the
+        # missing dims — the structure temporal chains are made of
+        n_w = rng.randint(1, len(dims))
+        w_dims = tuple(rng.sample(dims, n_w))
+        w_arr = Array(f"W{t}", n_w)
+        arrays.append(w_arr)
+        write = Access(w_arr.name, tuple(var(d) for d in w_dims))
+
+        reads: list[Access] = []
+        if n_w < len(dims) or rng.random() < 0.5:
+            # self-update read: consecutive instances writing the same
+            # element become a dependence chain
+            reads.append(Access(write.array, write.indices))
+        for _ in range(rng.randint(1, 2)):
+            reads.append(_random_read(rng, rng.choice(inputs), dims))
+        if t > 0 and rng.random() < 0.7:
+            prev = next(a for a in arrays if a.name == f"W{t-1}")
+            reads.append(_random_read(rng, prev, dims))
+
+        schedule: list = [t]
+        for d in dims:
+            schedule.extend([d, 0])
+        statements.append(
+            Statement(
+                name=f"S{t}",
+                loops=tuple(loops),
+                reads=tuple(reads),
+                writes=(write,),
+                schedule=tuple(schedule),
+            )
+        )
+
+    program = Program(
+        name=name,
+        params=params,
+        arrays=tuple(arrays),
+        statements=tuple(statements),
+        outputs=tuple(f"W{t}" for t in range(n_stmts)),
+    )
+    program.runner = _replay_runner(program)
+
+    probe = {p: 4 for p in params}
+    dominant = max(
+        statements, key=lambda s: s.domain().count(probe)
+    ).name
+    kernel = Kernel(
+        program=program,
+        dominant=dominant,
+        description=f"fuzz program (seed {seed})",
+        default_params=dict(probe),
+    )
+    return FuzzProgram(kernel=kernel, seed=seed)

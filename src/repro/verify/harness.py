@@ -1,0 +1,365 @@
+"""``run_verify`` — the driver behind ``iolb verify`` and selfcheck.
+
+One *trial* is a seeded random parameter point; every oracle in the
+catalogue runs on every trial.  The driver
+
+* reuses the expensive artefacts across oracles (one trace/CDAG per trial,
+  one derivation per kernel),
+* shrinks each failing case to a locally minimal counterexample by
+  re-running the failing oracle on smaller parameter points,
+* honours a wall-clock budget (partial runs are reported as such, never as
+  silent passes),
+* and renders a machine-readable dict plus a console summary.
+
+Seeding is hierarchical and stable: trial ``t`` of kernel ``k`` under
+``--seed K`` always sees the same parameter point, so a failure reported by
+CI reproduces locally from the JSON report alone.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from ..cache import ENGINE_VERSION
+from ..kernels.common import Kernel
+from ..kernels.registry import KERNELS, TILED_ALGORITHMS, get_kernel, get_tiled
+from ..report import render_table
+from .fuzzer import random_fuzz_program
+from .oracles import (
+    FUZZ_ORACLES,
+    KERNEL_ORACLES,
+    OracleOutcome,
+    Trial,
+    run_tiled_oracle,
+)
+from .sampling import sample_cache_sizes, sample_params, sample_tiled_params
+from .shrink import shrink_params
+
+__all__ = ["VerifyFailure", "VerifyReport", "run_verify"]
+
+
+@dataclass
+class VerifyFailure:
+    """One failed oracle with its original and shrunk counterexamples."""
+
+    oracle: str
+    subject: str
+    kind: str
+    detail: str
+    params: dict
+    s_values: list[int]
+    trial: int
+    shrunk_params: dict | None = None
+    shrunk_detail: str = ""
+    shrink_evals: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "subject": self.subject,
+            "kind": self.kind,
+            "detail": self.detail,
+            "params": dict(self.params),
+            "s_values": list(self.s_values),
+            "trial": self.trial,
+            "shrunk_params": dict(self.shrunk_params)
+            if self.shrunk_params is not None
+            else None,
+            "shrunk_detail": self.shrunk_detail,
+            "shrink_evals": self.shrink_evals,
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Aggregated outcome of one ``run_verify`` invocation."""
+
+    seed: int
+    trials: int
+    outcomes: list[OracleOutcome] = field(default_factory=list)
+    failures: list[VerifyFailure] = field(default_factory=list)
+    elapsed: float = 0.0
+    budget_exhausted: bool = False
+    subjects: list[str] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return not self.failures
+
+    # -- aggregation -------------------------------------------------------
+    def tally(self) -> dict[str, dict[str, int]]:
+        """Per-oracle {pass, fail, skip} counts, keyed ``kind/oracle``."""
+        out: dict[str, dict[str, int]] = {}
+        for o in self.outcomes:
+            kind = o.context.get("kind", "kernel")
+            row = out.setdefault(f"{kind}/{o.oracle}", {"pass": 0, "fail": 0, "skip": 0})
+            row[o.status] = row.get(o.status, 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok(),
+            "seed": self.seed,
+            "trials": self.trials,
+            "engine_version": ENGINE_VERSION,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "budget_exhausted": self.budget_exhausted,
+            "subjects": list(self.subjects),
+            "oracles": self.tally(),
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    def summary(self) -> str:
+        rows = [
+            [name, c["pass"], c["fail"], c["skip"]]
+            for name, c in sorted(self.tally().items())
+        ]
+        lines = [
+            render_table(
+                ["oracle", "pass", "fail", "skip"],
+                rows,
+                title=f"verify: seed={self.seed} trials={self.trials}"
+                f" elapsed={self.elapsed:.1f}s",
+            )
+        ]
+        if self.budget_exhausted:
+            lines.append("NOTE: time budget exhausted — partial run")
+        for f in self.failures:
+            lines.append(
+                f"FAIL {f.kind}/{f.oracle} on {f.subject}: {f.detail}\n"
+                f"     at params={f.params} S in {f.s_values}"
+            )
+            if f.shrunk_params is not None and f.shrunk_params != f.params:
+                lines.append(
+                    f"     shrunk to params={f.shrunk_params}"
+                    f" ({f.shrink_evals} evals): {f.shrunk_detail}"
+                )
+        lines.append("verify: " + ("OK" if self.ok() else f"{len(self.failures)} FAILURE(S)"))
+        return "\n".join(lines)
+
+
+def _resolve_kernels(
+    kernels: Iterable[Kernel | str] | None,
+) -> list[Kernel]:
+    if kernels is None:
+        return [KERNELS[n] for n in sorted(KERNELS)]
+    return [k if isinstance(k, Kernel) else get_kernel(k) for k in kernels]
+
+
+def _trial_rng(seed: int, *scope) -> random.Random:
+    return random.Random(":".join([str(seed), *map(str, scope)]))
+
+
+def run_verify(
+    kernels: Iterable[Kernel | str] | None = None,
+    tiled: Iterable[str] | None = None,
+    *,
+    trials: int = 25,
+    seed: int = 0,
+    budget_seconds: float | None = None,
+    fuzz_programs: int | None = None,
+    derive_fn: Callable | None = None,
+    shrink: bool = True,
+) -> VerifyReport:
+    """Run the oracle catalogue on randomized trials of every subject.
+
+    ``kernels`` accepts registry names or :class:`Kernel` objects (so
+    callers can verify kernels that are not registered); ``None`` means the
+    whole registry.  ``tiled`` likewise (names only); ``fuzz_programs``
+    defaults to ``trials`` freshly generated random programs.  ``derive_fn``
+    replaces :func:`repro.bounds.derive` — the hook the planted-bug tests
+    use to demonstrate that a corrupted derivation is caught and shrunk.
+    """
+    t0 = time.monotonic()
+    deadline = t0 + budget_seconds if budget_seconds is not None else None
+    report = VerifyReport(seed=seed, trials=trials)
+    kernel_list = _resolve_kernels(kernels)
+    tiled_list = (
+        [get_tiled(n) for n in tiled]
+        if tiled is not None
+        else [TILED_ALGORITHMS[n] for n in sorted(TILED_ALGORITHMS)]
+    )
+    n_fuzz = trials if fuzz_programs is None else fuzz_programs
+
+    derivations: dict[str, object] = {}
+
+    def derivation_of(kernel: Kernel):
+        """Cached DerivationReport, or the exception derivation raised."""
+        if kernel.name not in derivations:
+            fn = derive_fn
+            if fn is None:
+                from ..bounds import derive as fn
+            try:
+                derivations[kernel.name] = fn(kernel)
+            except Exception as exc:  # noqa: BLE001 - Trial reports as skip
+                derivations[kernel.name] = exc
+        return derivations[kernel.name]
+
+    def out_of_time() -> bool:
+        if deadline is not None and time.monotonic() > deadline:
+            report.budget_exhausted = True
+            return True
+        return False
+
+    def run_oracle(oracle, trial) -> OracleOutcome:
+        """An oracle that crashes is a failure, not an aborted run."""
+        try:
+            return oracle.run(trial)
+        except Exception as exc:  # noqa: BLE001 - recorded, run continues
+            return OracleOutcome(
+                oracle=oracle.name,
+                subject=trial.name,
+                status="fail",
+                detail=f"oracle crashed: {type(exc).__name__}: {exc}",
+                context={
+                    "params": dict(trial.params),
+                    "s_values": list(trial.s_values),
+                },
+            )
+
+    def record(outcome: OracleOutcome, kind: str, trial_no: int, shrinker=None):
+        outcome.context["kind"] = kind
+        outcome.context["trial"] = trial_no
+        report.outcomes.append(outcome)
+        if not outcome.failed:
+            return
+        failure = VerifyFailure(
+            oracle=outcome.oracle,
+            subject=outcome.subject,
+            kind=kind,
+            detail=outcome.detail,
+            params=dict(outcome.context.get("params", {})),
+            s_values=list(outcome.context.get("s_values", [])),
+            trial=trial_no,
+        )
+        if shrink and shrinker is not None:
+            try:
+                failure.shrunk_params, failure.shrunk_detail, failure.shrink_evals = (
+                    shrinker(failure)
+                )
+            except Exception as exc:  # noqa: BLE001 - shrinking is best-effort
+                failure.shrunk_detail = f"shrink aborted: {type(exc).__name__}: {exc}"
+        report.failures.append(failure)
+
+    def kernel_shrinker(kernel, oracle, s_values, rng_key):
+        """Re-run one oracle on smaller params until it stops failing."""
+
+        def make(failure: VerifyFailure):
+            last_detail = {}
+
+            def fails(p: dict[str, int]) -> bool:
+                try:
+                    trial = Trial(
+                        kernel,
+                        p,
+                        s_values,
+                        _trial_rng(*rng_key),
+                        report=derivation_of(kernel),
+                    )
+                    out = oracle.run(trial)
+                except Exception:  # noqa: BLE001 - invalid shape, not a repro
+                    return False
+                if out.failed:
+                    last_detail["d"] = out.detail
+                return out.failed
+
+            shrunk, evals = shrink_params(
+                failure.params, fails, floors={k: 2 for k in failure.params}
+            )
+            return shrunk, last_detail.get("d", failure.detail), evals
+
+        return make
+
+    # -- registered kernels ------------------------------------------------
+    for kernel in kernel_list:
+        report.subjects.append(kernel.name)
+        for t in range(trials):
+            if out_of_time():
+                break
+            rng_key = (seed, kernel.name, t)
+            rng = _trial_rng(*rng_key)
+            params = sample_params(kernel.default_params, rng)
+            s_values = sample_cache_sizes(params, rng)
+            trial = Trial(
+                kernel, params, s_values, rng, report=derivation_of(kernel)
+            )
+            for oracle in KERNEL_ORACLES:
+                record(
+                    run_oracle(oracle, trial),
+                    "kernel",
+                    t,
+                    kernel_shrinker(kernel, oracle, s_values, rng_key),
+                )
+
+    # -- tiled algorithms --------------------------------------------------
+    for alg in tiled_list:
+        report.subjects.append(alg.name)
+        base = get_kernel(alg.base)
+        for t in range(trials):
+            if out_of_time():
+                break
+            rng = _trial_rng(seed, alg.name, t)
+            params, s = sample_tiled_params(rng)
+            rep = derivation_of(base)
+            if isinstance(rep, Exception):
+                record(
+                    OracleOutcome(
+                        oracle="tiled-ge-bound",
+                        subject=alg.name,
+                        status="skip",
+                        detail=f"base kernel underivable: {rep}",
+                        context={"params": params, "s_values": [s]},
+                    ),
+                    "tiled",
+                    t,
+                )
+                continue
+
+            def tiled_shrinker(failure: VerifyFailure, _alg=alg, _rep=rep, _s=s):
+                last_detail = {}
+
+                def fails(p: dict[str, int]) -> bool:
+                    if p["M"] < p["N"]:
+                        return False
+                    try:
+                        out = run_tiled_oracle(_alg, p, _s, _rep)
+                    except Exception:  # noqa: BLE001
+                        return False
+                    if out.failed:
+                        last_detail["d"] = out.detail
+                    return out.failed
+
+                shrunk, evals = shrink_params(
+                    failure.params, fails, floors={k: 2 for k in failure.params}
+                )
+                return shrunk, last_detail.get("d", failure.detail), evals
+
+            record(run_tiled_oracle(alg, params, s, rep), "tiled", t, tiled_shrinker)
+
+    # -- fuzzed programs ---------------------------------------------------
+    for f in range(n_fuzz):
+        if out_of_time():
+            break
+        fuzz_seed = seed * 1_000_003 + f
+        fp = random_fuzz_program(fuzz_seed)
+        rng_key = (seed, "fuzz", f)
+        rng = _trial_rng(*rng_key)
+        params = fp.sample_params(rng)
+        s_values = sample_cache_sizes(params, rng)
+        trial = Trial(
+            fp.kernel, params, s_values, rng, report=None, derive_fn=derive_fn
+        )
+        for oracle in FUZZ_ORACLES:
+            record(
+                run_oracle(oracle, trial),
+                "fuzz",
+                f,
+                kernel_shrinker(fp.kernel, oracle, s_values, rng_key),
+            )
+    if n_fuzz:
+        report.subjects.append(f"fuzz[{n_fuzz}]")
+
+    report.elapsed = time.monotonic() - t0
+    return report

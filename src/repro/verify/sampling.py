@@ -1,0 +1,86 @@
+"""Seeded randomized parameter points for kernels and tiled algorithms.
+
+Every kernel's ``default_params`` encodes its shape constraints implicitly
+(QR-style kernels need M >= N, GEBD2 needs two extra rows, ...).  The
+samplers here jitter around those defaults while *preserving the default
+gaps*, so every sampled point is a valid instantiation:
+
+* two-parameter {M, N} kernels keep ``M - N >= default gap``;
+* all parameters stay small enough that CDAG construction and the pebble
+  game stay tractable (the harness replays full traces per trial).
+
+Cache sizes are sampled between the pebble game's feasibility floor (every
+node needs its operands plus itself resident) and slightly beyond the
+working set, so both the small-cache and the large-cache regimes of the
+bounds get exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+__all__ = ["sample_params", "sample_cache_sizes", "sample_tiled_params"]
+
+#: extra headroom added to a default parameter value by the jitter
+_JITTER = 5
+
+
+def sample_params(
+    defaults: Mapping[str, int],
+    rng: random.Random,
+    *,
+    jitter: int = _JITTER,
+) -> dict[str, int]:
+    """One randomized parameter point respecting the defaults' shape.
+
+    For the common {M, N} kernels the default gap ``M - N`` is treated as a
+    hard floor (QR factorizations need at least as many rows as columns,
+    bidiagonalization needs the default slack); every other parameter is
+    jittered independently in ``[max(2, default - 2), default + jitter]``.
+    """
+    defaults = dict(defaults)
+    if set(defaults) == {"M", "N"}:
+        gap = defaults["M"] - defaults["N"]
+        n = rng.randint(max(2, defaults["N"] - 2), defaults["N"] + jitter)
+        m = n + gap + rng.randint(0, jitter)
+        return {"M": m, "N": n}
+    return {
+        k: rng.randint(max(2, v - 2), v + jitter) for k, v in defaults.items()
+    }
+
+
+def sample_cache_sizes(
+    params: Mapping[str, int],
+    rng: random.Random,
+    *,
+    count: int = 2,
+    floor: int = 6,
+) -> list[int]:
+    """``count`` distinct cache sizes spanning small to near-working-set.
+
+    The floor keeps the pebble game feasible (no kernel statement in the
+    library reads more than four operands); the ceiling is a small multiple
+    of the largest parameter so both regimes of the bounds appear.
+    """
+    hi = max(floor + 2, 4 * max(params.values()))
+    out: set[int] = set()
+    while len(out) < count:
+        out.add(rng.randint(floor, hi))
+    return sorted(out)
+
+
+def sample_tiled_params(
+    rng: random.Random,
+) -> tuple[dict[str, int], int]:
+    """A (params, S) point for the tiled algorithms.
+
+    Both tiled orderings in the registry are M x N left-looking column
+    blockings; S is sampled large enough that ``default_block_size`` finds
+    a positive block (``(M+1)*B + M <= S``) and small enough that blocking
+    actually matters.
+    """
+    n = rng.randint(4, 8)
+    m = n + rng.randint(2, 8)
+    s = rng.randint(2 * (m + 1), 6 * (m + 1))
+    return {"M": m, "N": n}, s

@@ -1,0 +1,65 @@
+"""Greedy shrinking of failing cases to minimal counterexamples.
+
+When an oracle fails at ``(params, S)``, re-running the same predicate on
+smaller instances localises the bug: a soundness violation that survives at
+``M=3, N=2, S=6`` is inspectable by hand (the CDAG has a few dozen nodes)
+where the original random point is not.
+
+The strategy is the classic delta-debugging loop specialised to integer
+parameter maps: repeatedly try, for every key, first a halving step toward
+its floor and then a decrement, keeping any change that still fails, until
+a fixed point.  The predicate is re-evaluated on every candidate, so the
+result is guaranteed to be a *locally* minimal failing case (no single
+halving or decrement of any parameter still fails).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+__all__ = ["shrink_params"]
+
+
+def shrink_params(
+    params: Mapping[str, int],
+    fails: Callable[[dict[str, int]], bool],
+    floors: Mapping[str, int] | None = None,
+    max_evals: int = 200,
+) -> tuple[dict[str, int], int]:
+    """Shrink ``params`` while ``fails`` keeps returning True.
+
+    ``floors`` bounds each key from below (default 1; cache sizes and shape
+    constraints set higher floors).  Returns the smallest failing point
+    found and the number of predicate evaluations spent.  ``fails`` must be
+    deterministic — seeded predicates only.
+    """
+    cur = dict(params)
+    floors = dict(floors or {})
+    evals = 0
+
+    def floor_of(k: str) -> int:
+        return floors.get(k, 1)
+
+    changed = True
+    while changed and evals < max_evals:
+        changed = False
+        for k in sorted(cur):
+            lo = floor_of(k)
+            while cur[k] > lo and evals < max_evals:
+                # halve toward the floor first, then single steps
+                half = lo + (cur[k] - lo) // 2
+                candidates = [half] if half < cur[k] - 1 else []
+                candidates.append(cur[k] - 1)
+                shrunk_here = False
+                for cand in candidates:
+                    trial = dict(cur)
+                    trial[k] = cand
+                    evals += 1
+                    if fails(trial):
+                        cur = trial
+                        changed = True
+                        shrunk_here = True
+                        break
+                if not shrunk_here:
+                    break
+    return cur, evals

@@ -93,6 +93,95 @@ class TestAssocSim:
         assert st.n_sets == 1
 
 
+class TestAssocProperties:
+    """Seeded properties relating the hardware model to the paper model.
+
+    Note the sound floor is *Belady*, not LRU: a set-associative cache can
+    beat fully-associative LRU (cyclic thrashing), but never the offline
+    optimum at equal capacity.
+    """
+
+    @staticmethod
+    def _random_trace(seed, n_addrs=10, max_len=70):
+        import random
+
+        rng = random.Random(seed)
+        return [
+            Event("R", ("a", (rng.randint(0, n_addrs - 1),)))
+            for _ in range(rng.randint(1, max_len))
+        ]
+
+    def test_lru_can_beat_fully_assoc_lru(self):
+        """The naive 'set-assoc >= fully-assoc LRU' claim is FALSE: cyclic
+        reuse thrashes fully-associative LRU while a direct-mapped split
+        keeps hits.  Pinned here so nobody 'fixes' the Belady floor back."""
+        trace = ev(0, 1, 2) * 6
+        fa = simulate_lru(trace, 2)
+        dm = simulate_assoc(
+            trace, capacity_elements=2, line_size=1, ways=1, shapes={"A": (3,)}
+        )
+        assert fa.loads == len(trace)  # 100% thrash
+        assert dm.line_misses < fa.loads
+
+    def test_assoc_at_least_belady_floor(self):
+        """W-way misses >= fully-associative Belady misses at equal
+        capacity, for random traces, capacities, and associativities."""
+        from repro.cache import simulate_belady
+
+        import random
+
+        for seed in range(40):
+            rng = random.Random(seed)
+            trace = self._random_trace(seed)
+            cap = rng.randint(1, 12)
+            ways = rng.choice([1, 2, 4, cap])
+            hw = simulate_assoc(
+                trace,
+                capacity_elements=cap,
+                line_size=1,
+                ways=ways,
+                shapes={"a": (10,)},
+            )
+            floor = simulate_belady(trace, cap).loads
+            assert hw.line_misses >= floor, (
+                f"seed={seed} cap={cap} ways={ways}:"
+                f" {hw.line_misses} < Belady {floor}"
+            )
+
+    def test_single_set_equals_model_lru(self):
+        """Cross-engine differential: one set of W = capacity ways with
+        L=1 is exactly the model's fully-associative LRU on read traces."""
+        for seed in range(40):
+            trace = self._random_trace(seed)
+            for cap in (1, 2, 3, 5, 8):
+                hw = simulate_assoc(
+                    trace,
+                    capacity_elements=cap,
+                    line_size=1,
+                    ways=cap,
+                    shapes={"a": (10,)},
+                )
+                assert hw.n_sets == 1
+                assert hw.line_misses == simulate_lru(trace, cap).loads
+
+    def test_more_ways_never_hurt_at_fixed_capacity_vs_floor(self):
+        """Full associativity at L=1 on read traces is plain LRU, so the
+        Belady floor is tight there; misses also never drop below cold."""
+        from repro.cache import cold_loads
+
+        for seed in range(20):
+            trace = self._random_trace(seed)
+            for cap in (2, 4, 8):
+                hw = simulate_assoc(
+                    trace,
+                    capacity_elements=cap,
+                    line_size=1,
+                    ways=1,
+                    shapes={"a": (10,)},
+                )
+                assert hw.line_misses >= cold_loads(trace)
+
+
 class TestBoundsTransfer:
     def test_line_traffic_respects_element_bound(self):
         """An element-level lower bound Q implies line misses >= Q / L:

@@ -87,3 +87,60 @@ def test_curve_equals_simulator_everywhere(ops, s):
     curve = lru_miss_curve(events, max_s=12)
     ref = simulate_lru(events, s)
     assert curve[s] == ref.loads + ref.write_allocs
+
+
+class TestMissCurveProperties:
+    """Seeded properties: one histogram pass == direct LRU at *every* S."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_every_capacity_in_one_pass_random_trace(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        events = [
+            Event(rng.choice("RW"), ("a", (rng.randint(0, 12),)))
+            for _ in range(rng.randint(1, 80))
+        ]
+        curve = lru_miss_curve(events, max_s=15)
+        for s in range(1, 16):
+            ref = simulate_lru(events, s)
+            assert curve[s] == ref.loads + ref.write_allocs, f"seed={seed} S={s}"
+
+    def test_every_capacity_on_fuzz_program_traces(self):
+        """Traces from the verify fuzzer exercise multi-array, multi-dim
+        address patterns the scalar strategies above never produce."""
+        import random
+
+        from repro.ir import Tracer
+        from repro.verify import random_fuzz_program
+
+        for seed in range(4):
+            fp = random_fuzz_program(seed)
+            params = fp.sample_params(random.Random(seed))
+            t = Tracer()
+            fp.program.runner(params, t)
+            curve = lru_miss_curve(t.events, max_s=20)
+            for s in range(1, 21):
+                ref = simulate_lru(t.events, s)
+                assert curve[s] == ref.loads + ref.write_allocs
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_curve_monotone_and_bracketed(self, seed):
+        """Curve is non-increasing and pinned between cold misses and the
+        total access count."""
+        import random
+
+        rng = random.Random(seed)
+        events = [
+            Event("R", ("a", (rng.randint(0, 9),)))
+            for _ in range(rng.randint(1, 60))
+        ]
+        curve = lru_miss_curve(events, max_s=12)
+        cold = len({e.addr for e in events})
+        for s in range(1, 13):
+            assert cold <= curve[s] <= len(events)
+            if s > 1:
+                assert curve[s] <= curve[s - 1]
+        assert curve[12] == cold  # working set of <= 10 fits in 12

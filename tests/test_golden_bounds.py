@@ -101,3 +101,35 @@ class TestGoldenBounds:
         r2 = derive(get_kernel("mgs"))
         assert repr(r1.hourglass.expr) == repr(r2.hourglass.expr)
         assert repr(r1.classical.expr) == repr(r2.classical.expr)
+
+
+class TestGoldenDeriveCLI:
+    """The full ``iolb derive <kernel>`` output for every hourglass kernel,
+    pinned as files under tests/golden/.
+
+    These catch formatting and summary-structure drift that the expression
+    reprs above cannot (projection lists, pattern lines, method ordering).
+    Regenerate intentionally with::
+
+        IOLB_UPDATE_GOLDEN=1 python -m pytest tests/test_golden_bounds.py
+    """
+
+    @pytest.mark.parametrize(
+        "name", ["mgs", "qr_a2v", "qr_v2q", "gebd2", "gehd2"]
+    )
+    def test_cli_output_frozen(self, name, capsys):
+        import os
+        import pathlib
+
+        from repro.cli import main
+
+        golden = pathlib.Path(__file__).parent / "golden" / f"derive_{name}.txt"
+        assert main(["derive", name]) == 0
+        got = capsys.readouterr().out
+        if os.environ.get("IOLB_UPDATE_GOLDEN"):
+            golden.write_text(got)
+        want = golden.read_text()
+        assert got == want, (
+            f"iolb derive {name} output drifted from {golden.name};"
+            " if intended, rerun with IOLB_UPDATE_GOLDEN=1"
+        )

@@ -115,6 +115,63 @@ class TestCLI:
             main([])
 
 
+class TestParseAssign:
+    def test_valid(self):
+        from repro.cli import _parse_assign
+
+        assert _parse_assign("M=8,N=5") == {"M": 8, "N": 5}
+        assert _parse_assign(" M = 8 , N =5") == {"M": 8, "N": 5}
+        assert _parse_assign("") == {}
+
+    def test_missing_value_named_in_error(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["validate", "mgs", "--params", "M=8,N"])
+        assert exc_info.value.code == 2  # argparse usage error, not a traceback
+        err = capsys.readouterr().err
+        assert "'N'" in err and "NAME=INTEGER" in err
+
+    def test_non_integer_named_in_error(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["derive", "mgs", "--eval", "M=x"])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "'x'" in err and "not an integer" in err
+
+    def test_missing_key_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "mgs", "--params", "=5", "--cache", "8"])
+        assert "bad assignment" in capsys.readouterr().err
+
+
+class TestCLIVerify:
+    def test_verify_single_kernel(self, capsys):
+        assert main(["verify", "mgs", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "verify: OK" in out
+        assert "bound-le-pebble" in out
+
+    def test_verify_json_report(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main(
+            ["verify", "mgs", "--trials", "1", "--json", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["ok"] is True
+        assert payload["seed"] == 0
+        assert payload["failures"] == []
+        assert "kernel/bound-le-pebble" in payload["oracles"]
+
+    def test_verify_tiled_target(self, capsys):
+        assert main(["verify", "tiled_mgs", "--trials", "1"]) == 0
+        assert "tiled/tiled-ge-bound" in capsys.readouterr().out
+
+    def test_verify_unknown_target(self):
+        with pytest.raises(KeyError):
+            main(["verify", "nope", "--trials", "1"])
+
+
 class TestCLIParse:
     def test_parse_bundled_figure(self, capsys):
         from repro.cli import main

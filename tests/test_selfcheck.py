@@ -25,6 +25,7 @@ class TestSelfCheck:
             "cdag",
             "counts",
             "bound-soundness",
+            "verify",
         ]
         assert "ALL PASS" in rep.summary()
 
@@ -63,6 +64,40 @@ class TestSelfCheck:
         assert not rep.ok()
         failed = {c.name for c in rep.checks if not c.passed}
         assert "spec-vs-runner" in failed
+        # the battery keeps going after the failure: every check is recorded
+        assert len(rep.checks) == 7
+
+    def test_erroring_check_reported_not_raised(self):
+        """A kernel whose runner explodes must not abort the battery: the
+        trace-dependent checks are FAIL with the exception class and message
+        in the detail, and the independent checks still run."""
+        from repro.kernels.common import Kernel
+
+        base = get_kernel("mgs")
+
+        def bad_runner(params, tracer=None, seed=0):
+            raise RuntimeError("deliberately broken stub")
+
+        import dataclasses
+
+        broken_prog = dataclasses.replace(base.program, runner=bad_runner)
+        kern = Kernel(
+            program=broken_prog,
+            dominant=base.dominant,
+            default_params={"M": 4, "N": 3},
+        )
+        rep = selfcheck(kern, {"M": 4, "N": 3})
+        assert not rep.ok()
+        by_name = {c.name: c for c in rep.checks}
+        # all seven checks ran despite the broken runner
+        assert len(rep.checks) == 7
+        # the trace check failed and names the exception
+        assert not by_name["spec-vs-runner"].passed
+        assert "RuntimeError" in by_name["spec-vs-runner"].detail
+        assert "deliberately broken stub" in by_name["spec-vs-runner"].detail
+        # runner-independent checks still passed
+        assert by_name["static-validation"].passed
+        assert by_name["counts"].passed
 
     def test_cli_selfcheck(self, capsys):
         from repro.cli import main

@@ -1,0 +1,253 @@
+"""Tests for the differential verification subsystem (repro.verify)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.bounds import derive
+from repro.ir import validate_program
+from repro.kernels import get_kernel
+from repro.verify import (
+    FUZZ_ORACLES,
+    KERNEL_ORACLES,
+    random_fuzz_program,
+    run_verify,
+    sample_cache_sizes,
+    sample_params,
+    shrink_params,
+)
+from repro.verify.oracles import Trial
+
+
+class TestSampling:
+    def test_mn_gap_preserved(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            p = sample_params({"M": 8, "N": 5}, rng)
+            assert p["M"] - p["N"] >= 3
+            assert p["N"] >= 2
+
+    def test_other_params_jittered_independently(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            p = sample_params({"NI": 4, "NJ": 4, "NK": 4}, rng)
+            assert set(p) == {"NI", "NJ", "NK"}
+            assert all(2 <= v <= 9 for v in p.values())
+
+    def test_cache_sizes_distinct_and_floored(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            sizes = sample_cache_sizes({"M": 9, "N": 5}, rng, count=3)
+            assert len(sizes) == len(set(sizes)) == 3
+            assert all(s >= 6 for s in sizes)
+            assert sizes == sorted(sizes)
+
+    def test_deterministic_under_seed(self):
+        a = sample_params({"M": 8, "N": 5}, random.Random(11))
+        b = sample_params({"M": 8, "N": 5}, random.Random(11))
+        assert a == b
+
+
+class TestFuzzer:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_program_well_formed(self, seed):
+        fp = random_fuzz_program(seed)
+        assert validate_program(fp.program) == []
+
+    def test_deterministic(self):
+        a = random_fuzz_program(42)
+        b = random_fuzz_program(42)
+        assert repr(a.program.statements) == repr(b.program.statements)
+        assert a.kernel.dominant == b.kernel.dominant
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_replay_runner_matches_spec(self, seed):
+        """The replay runner IS the spec, so the trace check must pass."""
+        from repro.cdag import check_spec_matches_runner
+
+        fp = random_fuzz_program(seed)
+        params = fp.sample_params(random.Random(seed))
+        ok, msg = check_spec_matches_runner(fp.program, params)
+        assert ok, msg
+
+    def test_loop_ranges_never_empty(self):
+        """Closed-form counts assume non-empty ranges; enumeration agrees."""
+        for seed in range(12):
+            fp = random_fuzz_program(seed)
+            params = {p: 3 for p in fp.program.params}
+            for st in fp.program.statements:
+                try:
+                    formula = st.instance_count()
+                except ValueError:
+                    continue
+                assert formula.eval(params) == st.domain().count(params) > 0
+
+
+class TestShrink:
+    def test_shrinks_to_boundary(self):
+        shrunk, evals = shrink_params(
+            {"M": 40, "N": 30}, lambda p: p["M"] >= 10, floors={"M": 2, "N": 2}
+        )
+        assert shrunk == {"M": 10, "N": 2}
+        assert evals > 0
+
+    def test_keeps_failing_point_when_nothing_shrinks(self):
+        shrunk, _ = shrink_params(
+            {"M": 2, "N": 2}, lambda p: True, floors={"M": 2, "N": 2}
+        )
+        assert shrunk == {"M": 2, "N": 2}
+
+    def test_joint_constraint(self):
+        shrunk, _ = shrink_params(
+            {"A": 20, "B": 20}, lambda p: p["A"] + p["B"] >= 12
+        )
+        assert shrunk["A"] + shrunk["B"] == 12
+
+    def test_respects_eval_budget(self):
+        calls = []
+
+        def fails(p):
+            calls.append(1)
+            return True
+
+        shrink_params({"M": 1 << 30}, fails, max_evals=17)
+        assert len(calls) <= 17
+
+
+class TestTrialOracles:
+    def test_all_kernel_oracles_pass_on_mgs(self):
+        kernel = get_kernel("mgs")
+        trial = Trial(
+            kernel, {"M": 6, "N": 4}, [8, 16], random.Random(0),
+            report=derive(kernel),
+        )
+        for oracle in KERNEL_ORACLES:
+            out = oracle.run(trial)
+            assert out.status in ("pass", "skip"), f"{oracle.name}: {out.detail}"
+
+    def test_fuzz_oracles_never_fail_on_generator_output(self):
+        for seed in range(6):
+            fp = random_fuzz_program(seed)
+            rng = random.Random(seed)
+            params = fp.sample_params(rng)
+            trial = Trial(fp.kernel, params, sample_cache_sizes(params, rng), rng)
+            for oracle in FUZZ_ORACLES:
+                out = oracle.run(trial)
+                assert out.status in ("pass", "skip"), (
+                    f"seed {seed} {oracle.name}: {out.detail}"
+                )
+
+
+class TestRunVerify:
+    def test_smoke_single_kernel(self):
+        rep = run_verify(["mgs"], [], trials=2, seed=0, fuzz_programs=0)
+        assert rep.ok(), rep.summary()
+        assert rep.outcomes
+        assert "kernel/bound-le-pebble" in rep.tally()
+
+    def test_accepts_kernel_objects(self):
+        rep = run_verify(
+            [get_kernel("syrk")], [], trials=1, seed=0, fuzz_programs=0
+        )
+        assert rep.ok(), rep.summary()
+        assert rep.subjects == ["syrk"]
+
+    def test_report_json_serialisable(self):
+        rep = run_verify(["cholesky"], [], trials=1, seed=0, fuzz_programs=1)
+        payload = json.loads(json.dumps(rep.to_dict()))
+        assert payload["ok"] is True
+        assert payload["trials"] == 1
+        assert payload["failures"] == []
+
+    def test_budget_exhaustion_flagged(self):
+        rep = run_verify(trials=50, seed=0, budget_seconds=0.0)
+        assert rep.budget_exhausted
+        assert "partial" in rep.summary()
+
+    def test_trials_reproducible(self):
+        a = run_verify(["matmul"], [], trials=2, seed=5, fuzz_programs=0)
+        b = run_verify(["matmul"], [], trials=2, seed=5, fuzz_programs=0)
+        assert [o.context["params"] for o in a.outcomes] == [
+            o.context["params"] for o in b.outcomes
+        ]
+
+
+class _InflatedReport:
+    """A derivation report with the hourglass leading constant blown up —
+    the planted bug the verify gate must catch."""
+
+    def __init__(self, inner, factor):
+        self._inner = inner
+        self._factor = factor
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def all_bounds(self):
+        import dataclasses
+
+        return [
+            dataclasses.replace(b, coeff=b.coeff * self._factor)
+            if "hourglass" in b.method
+            else b
+            for b in self._inner.all_bounds()
+        ]
+
+    def best(self, params):
+        best_b, best_v = None, float("-inf")
+        for b in self.all_bounds():
+            try:
+                v = b.evaluate(params)
+            except (ZeroDivisionError, KeyError):
+                continue
+            if v > best_v:
+                best_b, best_v = b, v
+        if best_b is None:
+            raise ValueError("no bound evaluable")
+        return best_b, max(best_v, 0.0)
+
+
+class TestPlantedBug:
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_mutated_hourglass_constant_caught_and_shrunk(self):
+        """Demonstration from the issue: corrupt the hourglass constant by
+        x50 and the soundness oracle must fail with a shrunk, re-checkable
+        counterexample."""
+
+        def bad_derive(kernel):
+            return _InflatedReport(derive(kernel), 50.0)
+
+        rep = run_verify(
+            ["mgs"], [], trials=3, seed=0, fuzz_programs=0, derive_fn=bad_derive
+        )
+        assert not rep.ok()
+        failures = [f for f in rep.failures if f.oracle == "bound-le-pebble"]
+        assert failures, rep.summary()
+        f = failures[0]
+        assert "hourglass" in f.detail
+        # the counterexample was shrunk and stayed within the original point
+        assert f.shrunk_params is not None
+        assert all(f.shrunk_params[k] <= f.params[k] for k in f.params)
+        assert f.shrink_evals > 0
+        # the shrunk point still reproduces the violation
+        kernel = get_kernel("mgs")
+        trial = Trial(
+            kernel,
+            f.shrunk_params,
+            f.s_values,
+            random.Random(0),
+            report=bad_derive(kernel),
+        )
+        out = next(o for o in KERNEL_ORACLES if o.name == "bound-le-pebble").run(
+            trial
+        )
+        assert out.status == "fail"
+        # and the summary names it
+        assert "shrunk" in rep.summary()
+
+    def test_clean_derivation_passes_same_trials(self):
+        rep = run_verify(["mgs"], [], trials=3, seed=0, fuzz_programs=0)
+        assert rep.ok(), rep.summary()
