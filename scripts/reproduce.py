@@ -110,6 +110,48 @@ def _engine_timing_rows() -> str:
     )
 
 
+def _phase_timing_rows() -> str:
+    """Per-phase wall times of the derivation pipeline (ISSUE 3 tentpole).
+
+    Profiles a fresh ``derive()`` of every hourglass kernel with
+    :mod:`repro.obs` enabled and reports the span aggregates — the same
+    numbers ``iolb derive <kernel> --profile`` prints to stderr.
+    """
+    from repro import obs
+    from repro.bounds import derive
+    from repro.kernels import PAPER_KERNELS, get_kernel
+
+    phases = (
+        ("frontend.program", "frontend"),
+        ("polyhedral.projections", "projections"),
+        ("bounds.classical", "classical"),
+        ("bounds.hourglass", "hourglass"),
+    )
+
+    def ms(row) -> str:
+        return f"{row['wall_us'] / 1e3:.1f}" if row else "-"
+
+    rows = []
+    for name in PAPER_KERNELS:
+        obs.enable()
+        try:
+            derive(get_kernel(name))
+            agg = obs.registry().aggregates()
+        finally:
+            obs.disable()
+            obs.reset()
+        by_leaf = {p.rsplit("/", 1)[-1]: r for p, r in agg.items()}
+        rows.append(
+            [name]
+            + [ms(by_leaf.get(span)) for span, _ in phases]
+            + [ms(by_leaf.get("bounds.derive"))]
+        )
+    return render_table(
+        ["kernel"] + [label + " (ms)" for _, label in phases] + ["total (ms)"],
+        rows,
+    )
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--out", default="RESULTS.md")
@@ -236,6 +278,13 @@ def main() -> int:
     )
 
     parts.append(block("Trace engine before/after", _engine_timing_rows()))
+
+    parts.append(
+        block(
+            "Per-phase derivation timings (iolb derive --profile)",
+            _phase_timing_rows(),
+        )
+    )
 
     parts.append(f"\n_Total generation time: {time.time() - t0:.1f}s_\n")
     Path(args.out).write_text("\n".join(parts))

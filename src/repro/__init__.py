@@ -13,6 +13,8 @@ A pure-Python IOLB-style toolchain:
   plus the tiled orderings of Appendix A;
 * :mod:`repro.bounds` — the lower-bound engine (classical K-partition and
   the hourglass derivation) and the paper's published formulas;
+* :mod:`repro.obs` — structured tracing, counters and profiling across the
+  pipeline (``iolb ... --profile``, ``iolb stats``);
 * :mod:`repro.report` / :mod:`repro.cli` — tables and the ``iolb`` CLI.
 
 Quickstart::

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping, Sequence
 
+from .. import obs
 from ..kernels.common import Kernel
 from ..symbolic import Poly, Sym
 from .hourglass import (
@@ -102,68 +103,79 @@ def derive(
     kernels with several update statements (e.g. GEBD2's row phase carries
     a second hourglass on SrU).
     """
-    program = kernel.program
-    dominant = statement or kernel.dominant
-    stmt = program.statement(dominant)
-    if small_params is None:
-        small_params = dict(kernel.default_params)
-    if sample_params is None:
-        sample_params = sample_params_for(kernel)
+    with obs.span("bounds.derive", kernel=kernel.name):
+        with obs.span("frontend.program", kernel=kernel.name):
+            program = kernel.program
+            dominant = statement or kernel.dominant
+            stmt = program.statement(dominant)
+            if small_params is None:
+                small_params = dict(kernel.default_params)
+            if sample_params is None:
+                sample_params = sample_params_for(kernel)
 
-    projections = derive_projections(program, dominant, small_params)
-    v_count = stmt.instance_count()
-    try:
-        classical = classical_bound(kernel.name, stmt.dims, projections, v_count)
-    except ValueError:
-        classical = None  # degenerate sigma or uncovered dims
+        with obs.span("polyhedral.projections", stmt=dominant):
+            projections = derive_projections(program, dominant, small_params)
+        obs.add("bounds.projections_derived", len(projections))
+        v_count = stmt.instance_count()
+        with obs.span("bounds.classical", stmt=dominant):
+            try:
+                classical = classical_bound(
+                    kernel.name, stmt.dims, projections, v_count
+                )
+            except ValueError:
+                classical = None  # degenerate sigma or uncovered dims
 
-    report = DerivationReport(
-        kernel=kernel.name,
-        dominant=dominant,
-        projections=projections,
-        classical=classical,
-    )
-
-    try:
-        pattern = detect_hourglass(
-            program, dominant, small_params, sample_params, projections
+        report = DerivationReport(
+            kernel=kernel.name,
+            dominant=dominant,
+            projections=projections,
+            classical=classical,
         )
-    except HourglassDetectionError:
-        return report
-    report.hourglass_pattern = pattern
 
-    if pattern.parametric_width:
-        report.hourglass = hourglass_bound(
-            kernel.name, pattern, projections, v_count
-        )
-        report.hourglass_small_cache = hourglass_bound_small_cache(
-            kernel.name, pattern, projections, v_count
-        )
-    else:
-        # Theorem 9: split the temporal loop.  Two instantiations from the
-        # paper: split at N/2 (general) and at N-S-2 (the N >> S regime).
-        split_dim = pattern.temporal[0]
-        # infer the parameter controlling the temporal extent from Wmax
-        syms = sorted(pattern.width_max.symbols())
-        if syms:
-            p = Sym(syms[0])
-            for at, label in (
-                (p * Fraction(1, 2), "N/2"),
-                (p - Sym("S") - 2, "N-S-2"),
-            ):
-                try:
-                    b = hourglass_bound_with_split(
-                        kernel.name,
-                        program,
-                        pattern,
-                        projections,
-                        split_dim,
-                        at,
-                        sample_params,
+        with obs.span("bounds.hourglass", stmt=dominant):
+            try:
+                pattern = detect_hourglass(
+                    program, dominant, small_params, sample_params, projections
+                )
+            except HourglassDetectionError:
+                pattern = None
+            if pattern is not None:
+                report.hourglass_pattern = pattern
+                if pattern.parametric_width:
+                    report.hourglass = hourglass_bound(
+                        kernel.name, pattern, projections, v_count
                     )
-                    b.notes += f" [split at {label}]"
-                    b.condition = f"split {split_dim} < {label}"
-                    report.hourglass_split.append(b)
-                except (HourglassDetectionError, ValueError):
-                    continue
-    return report
+                    report.hourglass_small_cache = hourglass_bound_small_cache(
+                        kernel.name, pattern, projections, v_count
+                    )
+                else:
+                    # Theorem 9: split the temporal loop.  Two instantiations
+                    # from the paper: split at N/2 (general) and at N-S-2
+                    # (the N >> S regime).
+                    split_dim = pattern.temporal[0]
+                    # infer the parameter controlling the temporal extent
+                    # from Wmax
+                    syms = sorted(pattern.width_max.symbols())
+                    if syms:
+                        p = Sym(syms[0])
+                        for at, label in (
+                            (p * Fraction(1, 2), "N/2"),
+                            (p - Sym("S") - 2, "N-S-2"),
+                        ):
+                            try:
+                                b = hourglass_bound_with_split(
+                                    kernel.name,
+                                    program,
+                                    pattern,
+                                    projections,
+                                    split_dim,
+                                    at,
+                                    sample_params,
+                                )
+                                b.notes += f" [split at {label}]"
+                                b.condition = f"split {split_dim} < {label}"
+                                report.hourglass_split.append(b)
+                            except (HourglassDetectionError, ValueError):
+                                continue
+        obs.add("bounds.bounds_derived", len(report.all_bounds()))
+        return report

@@ -27,6 +27,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..cdag.graph import INPUT
 from ..ir import Program, Tracer, dataflow_trace
 
@@ -156,6 +157,8 @@ def derive_projections(
             if prod is None:
                 prod = (INPUT, addr)
             slot_samples[slot][point] = (origin, prod)
+    if obs.enabled():
+        obs.add("bounds.origin_chases", sum(len(s) for s in slot_samples))
 
     out: list[Projection] = []
     for slot, samples in enumerate(slot_samples):
@@ -179,6 +182,7 @@ def derive_projections(
         cls = max(by_class, key=lambda c: len(by_class[c]))
         pcls = max(prod_count, key=lambda c: prod_count[c])
         pairs = by_class[cls]
+        obs.add("bounds.affine_fits")
         used = _fit_affine_dims(pairs, dims)
         if used is None:
             used = frozenset(dims)  # conservative fallback

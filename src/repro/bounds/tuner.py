@@ -34,6 +34,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from .. import obs
 from ..cache import CacheStats, MemoCache, memo_key, simulate
 from ..kernels.tiled import TiledAlgorithm, default_block_size
 
@@ -94,6 +95,7 @@ def _eval_many(
                 remaining.append(b)
         todo = remaining
     if todo:
+        obs.add("bounds.tuner_blocks_evaluated", len(todo))
         jobs_args = [(alg, dict(params), b, s, policy, seed) for b in todo]
         if jobs > 1 and len(todo) > 1:
             import multiprocessing
@@ -158,28 +160,29 @@ def tune_block_size(
     evaluated: list[tuple[int, int]] = []
     known: dict[int, int] = {}
 
-    if mode == "exhaustive":
-        _eval_many(
-            alg, params, range(1, b_max + 1), s, policy, seed, jobs, memo, evaluated, known
-        )
-    else:
-        k = stride if stride is not None else max(2, math.isqrt(b_max))
-        if k < 1:
-            raise ValueError("stride must be >= 1")
-        grid = sorted(set(range(1, b_max + 1, k)) | {b_max})
-        _eval_many(alg, params, grid, s, policy, seed, jobs, memo, evaluated, known)
-        b0 = min(grid, key=lambda b: (known[b], b))
-        refine = [
-            b
-            for b in range(max(1, b0 - k + 1), min(b_max, b0 + k - 1) + 1)
-            if b not in known
-        ]
-        _eval_many(alg, params, refine, s, policy, seed, jobs, memo, evaluated, known)
+    with obs.span("bounds.tune", algorithm=alg.name, s=s, mode=mode):
+        if mode == "exhaustive":
+            _eval_many(
+                alg, params, range(1, b_max + 1), s, policy, seed, jobs, memo, evaluated, known
+            )
+        else:
+            k = stride if stride is not None else max(2, math.isqrt(b_max))
+            if k < 1:
+                raise ValueError("stride must be >= 1")
+            grid = sorted(set(range(1, b_max + 1, k)) | {b_max})
+            _eval_many(alg, params, grid, s, policy, seed, jobs, memo, evaluated, known)
+            b0 = min(grid, key=lambda b: (known[b], b))
+            refine = [
+                b
+                for b in range(max(1, b0 - k + 1), min(b_max, b0 + k - 1) + 1)
+                if b not in known
+            ]
+            _eval_many(alg, params, refine, s, policy, seed, jobs, memo, evaluated, known)
 
-    # the appendix's analytic block (see module docstring for the M+1):
-    # always evaluated so the gap is well-defined even in coarse mode
-    analytic = min(max(1, default_block_size(m + 1, s)), b_max)
-    _eval_many(alg, params, [analytic], s, policy, seed, jobs, memo, evaluated, known)
+        # the appendix's analytic block (see module docstring for the M+1):
+        # always evaluated so the gap is well-defined even in coarse mode
+        analytic = min(max(1, default_block_size(m + 1, s)), b_max)
+        _eval_many(alg, params, [analytic], s, policy, seed, jobs, memo, evaluated, known)
 
     best_b = min(known, key=lambda b: (known[b], b))
     return TuneResult(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from .. import obs
 from ..cache import CacheStats, MemoCache, memo_key, simulate
 from ..kernels.tiled import TiledAlgorithm, default_block_size
 
@@ -85,12 +86,13 @@ def measure_tiled_io(
         tr = alg.run_traced(run_params, seed=seed)
         return simulate(tr.trace_arrays(), s, policy)
 
-    if memo is not None:
-        stats = memo.get_or_compute(
-            memo_key(alg.name, run_params, s, policy, seed=seed), _run
-        )
-    else:
-        stats = _run()
+    with obs.span("bounds.measure_tiled", algorithm=alg.name, s=s, block=b):
+        if memo is not None:
+            stats = memo.get_or_compute(
+                memo_key(alg.name, run_params, s, policy, seed=seed), _run
+            )
+        else:
+            stats = _run()
     pr = predicted_reads(alg, run_params) if alg.io_reads_formula else float("nan")
     env_s = dict(run_params)
     env_s["S"] = s

@@ -26,6 +26,7 @@ import os
 from pathlib import Path
 from typing import Mapping
 
+from .. import obs
 from .sim import ENGINE_VERSION, CacheStats
 
 __all__ = ["MemoCache", "memo_key", "default_cache_dir", "open_memo"]
@@ -95,8 +96,10 @@ class MemoCache:
             stats = CacheStats(**{f: raw[f] for f in _STAT_FIELDS})
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            obs.add("cache.memo_misses")
             return None
         self.hits += 1
+        obs.add("cache.memo_hits")
         return stats
 
     def put(self, key: str, stats: CacheStats) -> None:
@@ -107,6 +110,7 @@ class MemoCache:
         tmp = self._path(key).with_suffix(f".tmp{os.getpid()}")
         tmp.write_text(json.dumps({f: getattr(stats, f) for f in _STAT_FIELDS}))
         os.replace(tmp, self._path(key))
+        obs.add("cache.memo_stores")
 
     def get_or_compute(
         self,

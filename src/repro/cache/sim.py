@@ -36,6 +36,7 @@ from typing import Iterable, Sequence, Union
 
 import numpy as np
 
+from .. import obs
 from ..ir import Event, TraceArrays
 
 __all__ = [
@@ -123,6 +124,12 @@ def simulate_lru(trace: Trace, s: int) -> CacheStats:
     st.write_hits, st.write_allocs = write_hits, write_allocs
     st.evict_stores = evict_stores
     st.flush_stores = sum(1 for d in cache.values() if d)
+    if obs.enabled():
+        # aggregate-at-end only: the per-event loop above must stay
+        # instrumentation-free (see benchmarks/test_bench_obs_overhead.py);
+        # every miss inserts one line, so evictions = misses - final residency
+        obs.add("cache.events_simulated", st.accesses)
+        obs.add("cache.lru_evictions", loads + write_allocs - len(cache))
     return st
 
 
@@ -197,6 +204,11 @@ def simulate_belady(trace: Trace, s: int) -> CacheStats:
     st.write_hits, st.write_allocs = write_hits, write_allocs
     st.evict_stores = evict_stores
     st.flush_stores = sum(1 for a in range(n) if resident[a] and dirty[a])
+    if obs.enabled():
+        # aggregate-at-end only (the per-event loop is instrumentation-free):
+        # one push per event, and pops = pushes - entries left in the heap
+        obs.add("cache.events_simulated", st.accesses)
+        obs.add("cache.belady_heap_ops", 2 * len(ids) - len(heap))
     return st
 
 

@@ -9,10 +9,17 @@ Subcommands::
     iolb tiled tiled_mgs --params M=24,N=16 --cache 256
     iolb tune tiled_mgs --params M=24,N=16 --cache 256 [--jobs 4 --mode coarse]
     iolb verify [mgs|all] --trials 25 --seed 0 [--budget-seconds T --json out.json]
+    iolb stats metrics.json [other.json]   # summarize / diff --metrics-json dumps
     iolb fig4 / iolb fig5             # regenerate the paper's tables
 
 ``tiled`` and ``tune`` support a persistent result cache: ``--cache-dir``
 (default from ``$IOLB_CACHE_DIR``) enables it, ``--no-cache`` disables it.
+
+``derive``, ``tune``, ``verify``, ``simulate`` and ``tiled`` accept the
+profiling flags ``--profile`` (span tree + counters on **stderr**; stdout is
+byte-identical to an unprofiled run), ``--metrics-json PATH`` (the
+``iolb-metrics/1`` dump ``iolb stats`` consumes) and ``--trace-out PATH``
+(Chrome ``trace_event`` JSON for ``chrome://tracing`` / Perfetto).
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import argparse
 import sys
 from typing import Mapping
 
+from . import obs
 from .bounds import derive, measure_tiled_io, tune_block_size
 from .cache import open_memo
 from .cdag import build_cdag, check_program_deps, check_spec_matches_runner
@@ -249,6 +257,27 @@ def cmd_verify(args) -> int:
     return 0 if rep.ok() else 1
 
 
+def cmd_stats(args) -> int:
+    import json
+
+    def load(path: str) -> dict:
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (OSError, ValueError) as e:
+            raise SystemExit(f"iolb stats: cannot read {path}: {e}") from None
+
+    try:
+        first = load(args.dump)
+        if args.dump_b:
+            print(obs.diff_metrics(first, load(args.dump_b), threshold_pct=args.threshold))
+        else:
+            print(obs.summarize_metrics(first, top=args.top))
+    except ValueError as e:
+        raise SystemExit(f"iolb stats: {e}") from None
+    return 0
+
+
 def cmd_fig4(args) -> int:
     print(render_fig4())
     return 0
@@ -259,6 +288,39 @@ def cmd_fig5(args) -> int:
     return 0
 
 
+def _dispatch(args) -> int:
+    """Run the selected subcommand, wrapped in the obs layer when profiling.
+
+    The profile tree and file notices go to stderr so a profiled command's
+    stdout stays byte-identical to the unprofiled run (pinned by the golden
+    differential tests).  The registry is always disabled and cleared
+    afterwards — in-process callers (tests) must see no leaked state.
+    """
+    profiling = bool(
+        getattr(args, "profile", False)
+        or getattr(args, "metrics_json", None)
+        or getattr(args, "trace_out", None)
+    )
+    if not profiling:
+        return args.fn(args)
+    obs.enable()
+    try:
+        with obs.span(f"cli.{args.cmd}", cmd=args.cmd):
+            rc = args.fn(args)
+        if getattr(args, "profile", False):
+            print(obs.render_tree(), file=sys.stderr)
+        if getattr(args, "metrics_json", None):
+            obs.write_metrics_json(args.metrics_json, meta={"command": args.cmd})
+            print(f"metrics written to {args.metrics_json}", file=sys.stderr)
+        if getattr(args, "trace_out", None):
+            obs.write_chrome_trace(args.trace_out)
+            print(f"chrome trace written to {args.trace_out}", file=sys.stderr)
+        return rc
+    finally:
+        obs.disable()
+        obs.reset()
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(
         prog="iolb",
@@ -266,11 +328,33 @@ def main(argv=None) -> int:
     )
     sub = p.add_subparsers(dest="cmd", required=True)
 
+    def add_profile_flags(sp) -> None:
+        sp.add_argument(
+            "--profile",
+            action="store_true",
+            help="print a span tree + counters to stderr after the run",
+        )
+        sp.add_argument(
+            "--metrics-json",
+            metavar="PATH",
+            dest="metrics_json",
+            default=None,
+            help="write the machine-readable iolb-metrics/1 dump to PATH",
+        )
+        sp.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            dest="trace_out",
+            default=None,
+            help="write a Chrome trace_event JSON (chrome://tracing, Perfetto)",
+        )
+
     sub.add_parser("list", help="list kernels").set_defaults(fn=cmd_list)
 
     d = sub.add_parser("derive", help="derive parametric lower bounds")
     d.add_argument("kernel")
     d.add_argument("--eval", default="", type=_parse_assign, help="e.g. M=100,N=50,S=256")
+    add_profile_flags(d)
     d.set_defaults(fn=cmd_derive)
 
     v = sub.add_parser("validate", help="numeric + CDAG validation")
@@ -283,6 +367,7 @@ def main(argv=None) -> int:
     s.add_argument("--params", default="", type=_parse_assign)
     s.add_argument("--cache", type=int, required=True)
     s.add_argument("--policy", default="belady", choices=["lru", "belady"])
+    add_profile_flags(s)
     s.set_defaults(fn=cmd_simulate)
 
     def add_memo_flags(sp) -> None:
@@ -305,6 +390,7 @@ def main(argv=None) -> int:
     t.add_argument("--cache", type=int, required=True)
     t.add_argument("--policy", default="belady", choices=["lru", "belady"])
     add_memo_flags(t)
+    add_profile_flags(t)
     t.set_defaults(fn=cmd_tiled)
 
     tu = sub.add_parser("tune", help="sweep block sizes for a tiled algorithm")
@@ -317,6 +403,7 @@ def main(argv=None) -> int:
     tu.add_argument("--mode", default="exhaustive", choices=["exhaustive", "coarse"])
     tu.add_argument("--stride", type=int, default=None, help="coarse-grid stride (default ~sqrt(b_max))")
     add_memo_flags(tu)
+    add_profile_flags(tu)
     tu.set_defaults(fn=cmd_tune)
 
     rg = sub.add_parser("regimes", help="which bound binds at which S (§5.1 style)")
@@ -365,7 +452,27 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip counterexample shrinking on failure",
     )
+    add_profile_flags(vf)
     vf.set_defaults(fn=cmd_verify)
+
+    stp = sub.add_parser(
+        "stats", help="summarize a --metrics-json dump, or diff two"
+    )
+    stp.add_argument("dump", help="metrics JSON file (from --metrics-json)")
+    stp.add_argument(
+        "dump_b",
+        nargs="?",
+        default=None,
+        help="second dump: print a regression diff (B relative to A)",
+    )
+    stp.add_argument("--top", type=int, default=20, help="span rows in the summary")
+    stp.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        help="diff only: hide span rows whose wall time moved < this %%",
+    )
+    stp.set_defaults(fn=cmd_stats)
 
     pr = sub.add_parser("parse", help="parse figure-style C code into the IR")
     grp = pr.add_mutually_exclusive_group(required=True)
@@ -387,7 +494,7 @@ def main(argv=None) -> int:
 
     args = p.parse_args(argv)
     try:
-        return args.fn(args)
+        return _dispatch(args)
     except BrokenPipeError:
         # downstream pipe (head, less) closed early: exit quietly like a
         # well-behaved unix tool

@@ -42,8 +42,12 @@ def compile_source(src: str, name: str = "parsed", array_shapes=None):
 
     Returns ``(program, ast_block)``.
     """
-    ast = parse(src)
-    prog = lower_program(ast, name=name)
-    if array_shapes:
-        prog.runner = make_runner(ast, prog, array_shapes)
+    from .. import obs
+
+    with obs.span("frontend.compile", program=name):
+        ast = parse(src)
+        prog = lower_program(ast, name=name)
+        if array_shapes:
+            prog.runner = make_runner(ast, prog, array_shapes)
+    obs.add("frontend.statements_lowered", len(prog.statements))
     return prog, ast

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from .. import obs
 from .program import Program
 from .tracing import Tracer
 
@@ -63,4 +64,7 @@ def dataflow_trace(program: Program, params: Mapping[str, int]) -> Tracer:
         for acc in s.writes:
             arr, idx = acc.eval(env)
             t.write(arr, *idx)
+    if obs.enabled():
+        obs.add("ir.dataflow_instances", len(t.schedule))
+        obs.add("ir.dataflow_events", len(t.events))
     return t

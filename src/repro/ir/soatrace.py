@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from .tracing import Addr, Event
 
 __all__ = ["TraceArrays"]
@@ -55,6 +56,7 @@ class TraceArrays:
                 ids[ev.addr] = i
             addr_col.append(i)
             write_col.append(ev.op != "R")
+        obs.add("ir.events_converted", len(addr_col))
         return cls(
             addr_ids=np.asarray(addr_col, dtype=np.int64),
             is_write=np.asarray(write_col, dtype=bool),

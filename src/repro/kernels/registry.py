@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from .. import obs
 from .cholesky import CHOLESKY
 from .common import Kernel
 from .gebd2 import GEBD2
@@ -40,18 +41,22 @@ TILED_ALGORITHMS: dict[str, TiledAlgorithm] = {
 def get_kernel(name: str) -> Kernel:
     """Look up a kernel by name; KeyError lists the available names."""
     try:
-        return KERNELS[name]
+        kernel = KERNELS[name]
     except KeyError:
         raise KeyError(
             f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
         ) from None
+    obs.add("kernels.registry_lookups")
+    return kernel
 
 
 def get_tiled(name: str) -> TiledAlgorithm:
     """Look up a tiled algorithm by name; KeyError lists the available names."""
     try:
-        return TILED_ALGORITHMS[name]
+        alg = TILED_ALGORITHMS[name]
     except KeyError:
         raise KeyError(
             f"unknown tiled algorithm {name!r}; available: {sorted(TILED_ALGORITHMS)}"
         ) from None
+    obs.add("kernels.registry_lookups")
+    return alg

@@ -1,0 +1,78 @@
+"""repro.obs — zero-dependency observability for the derivation pipeline.
+
+Structured tracing, counters, and profiling in the style IOLB and the
+pebbling tools report per-phase statistics.  The package has three layers:
+
+* :mod:`repro.obs.core` — a hierarchical span tracer
+  (``with obs.span("bounds.derive"): ...``) with wall/CPU timings and
+  thread-safe accumulation, plus named monotonic counters and gauges,
+  all behind a module-level enabled flag that is **off by default**;
+* :mod:`repro.obs.sinks` — an in-memory registry snapshot, a console
+  span tree, the ``iolb-metrics/1`` JSON dump, and a Chrome
+  ``trace_event`` exporter loadable in ``chrome://tracing`` / Perfetto;
+* :mod:`repro.obs.stats` — summarize one metrics dump or diff two (the
+  engine behind ``iolb stats``).
+
+Usage from instrumented code (all no-ops until ``obs.enable()``)::
+
+    from .. import obs
+
+    with obs.span("polyhedral.projections", stmt=name):
+        ...
+    obs.add("polyhedral.fm_eliminations")
+
+The CLI enables it via ``iolb derive/tune/verify --profile
+[--metrics-json PATH --trace-out PATH]``.  This package imports nothing
+from the rest of :mod:`repro` (stdlib only), so every analysis package can
+instrument itself without import cycles.
+"""
+
+from .core import (
+    Registry,
+    SpanRecord,
+    add,
+    counters,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    gauges,
+    registry,
+    reset,
+    span,
+    spans,
+)
+from .sinks import (
+    METRICS_SCHEMA,
+    chrome_trace_dict,
+    metrics_dict,
+    render_tree,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from .stats import check_schema, diff_metrics, summarize_metrics
+
+__all__ = [
+    "Registry",
+    "SpanRecord",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "registry",
+    "span",
+    "add",
+    "gauge",
+    "counters",
+    "gauges",
+    "spans",
+    "METRICS_SCHEMA",
+    "render_tree",
+    "metrics_dict",
+    "write_metrics_json",
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "summarize_metrics",
+    "diff_metrics",
+    "check_schema",
+]

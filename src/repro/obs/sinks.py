@@ -1,0 +1,177 @@
+"""Output sinks for the observability registry.
+
+Three formats, all derived from the same :class:`~repro.obs.core.Registry`
+snapshot:
+
+* :func:`render_tree` — a human-readable span tree plus counter table for
+  the console (the CLI prints it to **stderr** so ``--profile`` never
+  perturbs a command's stdout);
+* :func:`metrics_dict` / :func:`write_metrics_json` — the machine-readable
+  ``iolb-metrics/1`` schema consumed by ``iolb stats`` and CI artifacts;
+* :func:`chrome_trace_dict` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev (spans become complete ``"X"`` events, counters
+  become ``"C"`` events at the end of the timeline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+from .core import Registry, registry
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "render_tree",
+    "metrics_dict",
+    "write_metrics_json",
+    "chrome_trace_dict",
+    "write_chrome_trace",
+]
+
+#: schema tag stamped into every metrics dump (bump on breaking changes)
+METRICS_SCHEMA = "iolb-metrics/1"
+
+
+def _fmt_us(us: float) -> str:
+    """Render a microsecond quantity with a readable unit."""
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.1f}ms"
+    return f"{us:.0f}us"
+
+
+def render_tree(reg: Registry | None = None) -> str:
+    """The console sink: indented span tree + counters + gauges."""
+    reg = reg or registry()
+    agg = reg.aggregates()
+    lines = ["profile:"]
+    if agg:
+        width = max(len("  " * p.count("/") + p.rsplit("/", 1)[-1]) for p in agg)
+        width = max(width, len("span"))
+        lines.append(f"  {'span'.ljust(width)}  {'count':>5}  {'wall':>9}  {'cpu':>9}")
+        for path in sorted(agg, key=lambda p: (p.count("/"), p)):
+            row = agg[path]
+            label = "  " * path.count("/") + path.rsplit("/", 1)[-1]
+            lines.append(
+                f"  {label.ljust(width)}  {int(row['count']):>5}"
+                f"  {_fmt_us(row['wall_us']):>9}  {_fmt_us(row['cpu_us']):>9}"
+            )
+    else:
+        lines.append("  (no spans recorded)")
+    counters = reg.counters()
+    if counters:
+        lines.append("counters:")
+        cw = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name.ljust(cw)}  {counters[name]}")
+    gauges = reg.gauges()
+    if gauges:
+        lines.append("gauges:")
+        gw = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name.ljust(gw)}  {gauges[name]}")
+    return "\n".join(lines)
+
+
+def metrics_dict(reg: Registry | None = None, meta: Mapping | None = None) -> dict:
+    """The ``iolb-metrics/1`` dump: spans, aggregates, counters, gauges.
+
+    Spans are sorted by start time then path so repeated dumps of the same
+    registry are stable; all durations are microseconds and non-negative.
+    """
+    reg = reg or registry()
+    spans = sorted(reg.spans(), key=lambda s: (s.start_us, s.path))
+    return {
+        "schema": METRICS_SCHEMA,
+        "meta": dict(meta or {}),
+        "counters": reg.counters(),
+        "gauges": reg.gauges(),
+        "spans": [
+            {
+                "name": s.name,
+                "path": s.path,
+                "depth": s.depth,
+                "start_us": round(s.start_us, 3),
+                "wall_us": round(s.wall_us, 3),
+                "cpu_us": round(s.cpu_us, 3),
+                "tid": s.tid,
+                "args": dict(s.args),
+            }
+            for s in spans
+        ],
+        "aggregates": {
+            path: {
+                "count": int(row["count"]),
+                "wall_us": round(row["wall_us"], 3),
+                "cpu_us": round(row["cpu_us"], 3),
+            }
+            for path, row in reg.aggregates().items()
+        },
+    }
+
+
+def write_metrics_json(
+    path: str | os.PathLike, reg: Registry | None = None, meta: Mapping | None = None
+) -> None:
+    """Serialize :func:`metrics_dict` to ``path`` (sorted keys, one trailing newline)."""
+    payload = json.dumps(metrics_dict(reg, meta), indent=2, sort_keys=True)
+    with open(path, "w") as fh:
+        fh.write(payload + "\n")
+
+
+def chrome_trace_dict(reg: Registry | None = None) -> dict:
+    """The registry as Chrome ``trace_event`` JSON (catapult format).
+
+    Every span becomes a complete event (``ph: "X"``) with its package
+    prefix (text before the first ``.``) as the category; counters become
+    one ``ph: "C"`` event each at the end of the timeline so Perfetto plots
+    them as final values.
+    """
+    reg = reg or registry()
+    pid = os.getpid()
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "iolb"},
+        }
+    ]
+    end_ts = 0.0
+    for s in sorted(reg.spans(), key=lambda s: (s.start_us, s.path)):
+        end_ts = max(end_ts, s.start_us + s.wall_us)
+        events.append(
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ts": round(s.start_us, 3),
+                "dur": round(s.wall_us, 3),
+                "pid": pid,
+                "tid": s.tid,
+                "args": {**s.args, "path": s.path, "cpu_us": round(s.cpu_us, 3)},
+            }
+        )
+    for name, value in sorted(reg.counters().items()):
+        events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "ts": round(end_ts, 3),
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def write_chrome_trace(path: str | os.PathLike, reg: Registry | None = None) -> None:
+    """Serialize :func:`chrome_trace_dict` to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(json.dumps(chrome_trace_dict(reg)) + "\n")

@@ -1,0 +1,139 @@
+"""Summaries and diffs of ``iolb-metrics/1`` dumps (the ``iolb stats`` brain).
+
+:func:`summarize_metrics` condenses one dump into the tables an engineer
+scans first: hottest span paths by wall time, then every counter.
+:func:`diff_metrics` lines two dumps up for regression triage — per-path
+wall-time deltas and counter deltas, with percentages — e.g. comparing the
+metrics artifact of a nightly CI run against the previous one.
+
+Deliberately zero-dependency (stdlib only, plain string tables): this
+module must stay importable from anywhere without dragging in the rest of
+:mod:`repro`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .sinks import METRICS_SCHEMA, _fmt_us
+
+__all__ = ["summarize_metrics", "diff_metrics", "check_schema"]
+
+
+def check_schema(metrics: Mapping, source: str = "metrics") -> None:
+    """Raise ``ValueError`` unless ``metrics`` looks like an iolb dump."""
+    if not isinstance(metrics, Mapping) or metrics.get("schema") != METRICS_SCHEMA:
+        raise ValueError(
+            f"{source}: not an {METRICS_SCHEMA!r} dump"
+            f" (schema={metrics.get('schema') if isinstance(metrics, Mapping) else None!r})"
+        )
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(out)
+
+
+def summarize_metrics(metrics: Mapping, top: int = 20) -> str:
+    """One dump -> hottest spans (by total wall time) + all counters."""
+    check_schema(metrics)
+    agg = metrics.get("aggregates", {})
+    ranked = sorted(agg.items(), key=lambda kv: -kv[1]["wall_us"])[:top]
+    parts = []
+    if ranked:
+        parts.append(
+            _table(
+                ["span path", "count", "wall", "cpu"],
+                [
+                    [p, row["count"], _fmt_us(row["wall_us"]), _fmt_us(row["cpu_us"])]
+                    for p, row in ranked
+                ],
+                title=f"top {len(ranked)} span paths by wall time:",
+            )
+        )
+    else:
+        parts.append("no spans recorded")
+    counters = metrics.get("counters", {})
+    if counters:
+        parts.append(
+            _table(
+                ["counter", "value"],
+                [[n, counters[n]] for n in sorted(counters)],
+                title="counters:",
+            )
+        )
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        parts.append(
+            _table(
+                ["gauge", "value"],
+                [[n, gauges[n]] for n in sorted(gauges)],
+                title="gauges:",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def _pct(new: float, old: float) -> str:
+    if old == 0:
+        return "n/a" if new == 0 else "new"
+    return f"{(new - old) / old * 100:+.1f}%"
+
+
+def diff_metrics(a: Mapping, b: Mapping, threshold_pct: float = 0.0) -> str:
+    """Two dumps -> per-path wall deltas and counter deltas (b relative to a).
+
+    Span rows whose wall time did not move at all are hidden, as are rows
+    that moved by less than ``threshold_pct`` percent (counters are always
+    shown when they changed).
+    """
+    check_schema(a, "first dump")
+    check_schema(b, "second dump")
+    agg_a = a.get("aggregates", {})
+    agg_b = b.get("aggregates", {})
+    rows = []
+    for path in sorted(set(agg_a) | set(agg_b)):
+        wa = agg_a.get(path, {}).get("wall_us", 0.0)
+        wb = agg_b.get(path, {}).get("wall_us", 0.0)
+        if wb == wa or (wa and abs(wb - wa) / wa * 100 < threshold_pct):
+            continue
+        rows.append([path, _fmt_us(wa), _fmt_us(wb), _fmt_us(abs(wb - wa)), _pct(wb, wa)])
+    parts = []
+    if rows:
+        parts.append(
+            _table(
+                ["span path", "wall A", "wall B", "|delta|", "B vs A"],
+                rows,
+                title="span wall time (A -> B):",
+            )
+        )
+    ca = a.get("counters", {})
+    cb = b.get("counters", {})
+    crows = []
+    for name in sorted(set(ca) | set(cb)):
+        va, vb = ca.get(name, 0), cb.get(name, 0)
+        if va == vb:
+            continue
+        crows.append([name, va, vb, f"{vb - va:+d}", _pct(vb, va)])
+    if crows:
+        parts.append(
+            _table(
+                ["counter", "A", "B", "delta", "B vs A"],
+                crows,
+                title="counters that changed:",
+            )
+        )
+    if not parts:
+        return "no differences"
+    return "\n\n".join(parts)

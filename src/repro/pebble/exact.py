@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Hashable
 
+from .. import obs
 from ..cdag import CDAG
 
 __all__ = ["exact_min_loads"]
@@ -74,12 +75,15 @@ def exact_min_loads(g: CDAG, s: int, node_limit: int = 14) -> int:
             else:
                 dq.append((nd, nxt))
 
+    expanded = 0
     while dq:
         d, state = dq.popleft()
         if d != dist.get(state):
             continue  # stale entry
+        expanded += 1
         white, red = state
         if white == full_white:
+            obs.add("pebble.states_expanded", expanded)
             return d
         red_count = popcount(red)
 
@@ -111,6 +115,7 @@ def exact_min_loads(g: CDAG, s: int, node_limit: int = 14) -> int:
                 relax((white, red | bit), d + 1, zero_cost=False)
 
     # unreachable goal: some node needs more simultaneous red pebbles than S
+    obs.add("pebble.states_expanded", expanded)
     max_preds = max((popcount(p) for p in preds_bits), default=0)
     raise ValueError(
         f"no legal game with S={s}: a node has {max_preds} operands"

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
+from .. import obs
 from ..cdag import CDAG
 from .policies import BeladyPolicy, EvictionPolicy, LRUPolicy
 
@@ -135,6 +136,10 @@ def play_schedule(
         computes += 1
         max_red = max(max_red, len(red))
 
+    if obs.enabled():
+        obs.add("pebble.nodes_played", computes)
+        obs.add("pebble.game_loads", loads)
+        obs.add("pebble.game_spills", spills)
     return GameResult(
         loads=loads,
         computes=computes,

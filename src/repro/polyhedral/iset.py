@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from .. import obs
 from .affine import LinExpr, Number, aff
 
 __all__ = ["Constraint", "ISet", "loop_nest_set"]
@@ -113,6 +114,7 @@ class ISet:
         """
         if dim not in self.dims:
             raise ValueError(f"{dim!r} is not a dimension of {self.dims}")
+        obs.add("polyhedral.fm_eliminations")
         eqs, lowers, uppers, rest = [], [], [], []
         for c in self.constraints:
             a = c.expr.coeff(dim)
@@ -134,6 +136,7 @@ class ISet:
             out = [c.subs(env) for c in self.constraints if c is not eq]
             return ISet(new_dims, out)
         out = list(rest)
+        obs.add("polyhedral.fm_pairs", len(lowers) * len(uppers))
         for lo in lowers:
             for up in uppers:
                 a = lo.expr.coeff(dim)
@@ -242,7 +245,9 @@ class ISet:
 
     def count(self, params: Mapping[str, int]) -> int:
         """Number of integer points at concrete parameter values."""
-        return sum(1 for _ in self.points(params))
+        n = sum(1 for _ in self.points(params))
+        obs.add("polyhedral.points_enumerated", n)
+        return n
 
     def is_empty(self, params: Mapping[str, int]) -> bool:
         return next(iter(self.points(params)), None) is None

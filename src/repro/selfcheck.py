@@ -10,12 +10,15 @@ single kernel and returns a structured report:
 5. symbolic instance counts vs enumeration;
 6. bound soundness against the pebble game across a small cache sweep;
 7. the randomized verification battery (:func:`repro.verify.run_verify`)
-   on a couple of seeded trials.
+   on a couple of seeded trials;
+8. observability hygiene: the :mod:`repro.obs` registry is empty while
+   disabled, and an enable/record/disable round-trip leaves no global
+   state behind (tests share one interpreter, so leaks would cross-talk).
 
 Every check always runs — a check that raises is recorded as FAIL with the
 exception class and message, and the rest of the battery still executes.
 Used by ``iolb selfcheck`` and by downstream users adding their own kernels
-— if all seven pass, the derivation machinery's preconditions hold.
+— if all eight pass, the derivation machinery's preconditions hold.
 """
 
 from __future__ import annotations
@@ -150,6 +153,39 @@ def selfcheck(
         passed = sum(1 for o in vrep.outcomes if o.status == "pass")
         return f"{passed} oracle checks passed over {verify_trials} random trials"
 
+    def c_obs():
+        from . import obs
+
+        if obs.enabled():
+            # a caller (e.g. ``iolb selfcheck --profile``) is recording: the
+            # registry legitimately holds data and must not be wiped here
+            return "obs enabled by caller; registry left untouched (skipped)"
+        leftovers = [
+            kind
+            for kind, data in (
+                ("spans", obs.spans()),
+                ("counters", obs.counters()),
+                ("gauges", obs.gauges()),
+            )
+            if data
+        ]
+        if leftovers:
+            raise AssertionError(
+                f"obs registry not empty while disabled: stale {leftovers}"
+            )
+        obs.enable()
+        try:
+            with obs.span("selfcheck.obs_probe"):
+                obs.add("selfcheck.obs_probe", 3)
+            if obs.counters().get("selfcheck.obs_probe") != 3 or not obs.spans():
+                raise AssertionError("enabled registry did not record the probe")
+        finally:
+            obs.disable()
+            obs.reset()
+        if obs.enabled() or obs.spans() or obs.counters() or obs.gauges():
+            raise AssertionError("enable/disable round-trip left global state")
+        return "registry empty by default; enable/disable round-trip clean"
+
     record("static-validation", c_static)
     record("numeric", c_numeric)
     record("spec-vs-runner", c_trace)
@@ -157,4 +193,5 @@ def selfcheck(
     record("counts", c_counts)
     record("bound-soundness", c_soundness)
     record("verify", c_verify)
+    record("obs-registry", c_obs)
     return rep

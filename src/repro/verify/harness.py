@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
+from .. import obs
 from ..cache import ENGINE_VERSION
 from ..kernels.common import Kernel
 from ..kernels.registry import KERNELS, TILED_ALGORITHMS, get_kernel, get_tiled
@@ -223,8 +224,10 @@ def run_verify(
         outcome.context["kind"] = kind
         outcome.context["trial"] = trial_no
         report.outcomes.append(outcome)
+        obs.add("verify.oracle_trials")
         if not outcome.failed:
             return
+        obs.add("verify.oracle_failures")
         failure = VerifyFailure(
             oracle=outcome.oracle,
             subject=outcome.subject,
@@ -275,89 +278,95 @@ def run_verify(
     # -- registered kernels ------------------------------------------------
     for kernel in kernel_list:
         report.subjects.append(kernel.name)
-        for t in range(trials):
-            if out_of_time():
-                break
-            rng_key = (seed, kernel.name, t)
-            rng = _trial_rng(*rng_key)
-            params = sample_params(kernel.default_params, rng)
-            s_values = sample_cache_sizes(params, rng)
-            trial = Trial(
-                kernel, params, s_values, rng, report=derivation_of(kernel)
-            )
-            for oracle in KERNEL_ORACLES:
-                record(
-                    run_oracle(oracle, trial),
-                    "kernel",
-                    t,
-                    kernel_shrinker(kernel, oracle, s_values, rng_key),
+        with obs.span("verify.subject", subject=kernel.name, kind="kernel"):
+            for t in range(trials):
+                if out_of_time():
+                    break
+                rng_key = (seed, kernel.name, t)
+                rng = _trial_rng(*rng_key)
+                params = sample_params(kernel.default_params, rng)
+                s_values = sample_cache_sizes(params, rng)
+                trial = Trial(
+                    kernel, params, s_values, rng, report=derivation_of(kernel)
                 )
+                for oracle in KERNEL_ORACLES:
+                    record(
+                        run_oracle(oracle, trial),
+                        "kernel",
+                        t,
+                        kernel_shrinker(kernel, oracle, s_values, rng_key),
+                    )
 
     # -- tiled algorithms --------------------------------------------------
     for alg in tiled_list:
         report.subjects.append(alg.name)
         base = get_kernel(alg.base)
-        for t in range(trials):
-            if out_of_time():
-                break
-            rng = _trial_rng(seed, alg.name, t)
-            params, s = sample_tiled_params(rng)
-            rep = derivation_of(base)
-            if isinstance(rep, Exception):
+        with obs.span("verify.subject", subject=alg.name, kind="tiled"):
+            for t in range(trials):
+                if out_of_time():
+                    break
+                rng = _trial_rng(seed, alg.name, t)
+                params, s = sample_tiled_params(rng)
+                rep = derivation_of(base)
+                if isinstance(rep, Exception):
+                    record(
+                        OracleOutcome(
+                            oracle="tiled-ge-bound",
+                            subject=alg.name,
+                            status="skip",
+                            detail=f"base kernel underivable: {rep}",
+                            context={"params": params, "s_values": [s]},
+                        ),
+                        "tiled",
+                        t,
+                    )
+                    continue
+
+                def tiled_shrinker(failure: VerifyFailure, _alg=alg, _rep=rep, _s=s):
+                    last_detail = {}
+
+                    def fails(p: dict[str, int]) -> bool:
+                        if p["M"] < p["N"]:
+                            return False
+                        try:
+                            out = run_tiled_oracle(_alg, p, _s, _rep)
+                        except Exception:  # noqa: BLE001
+                            return False
+                        if out.failed:
+                            last_detail["d"] = out.detail
+                        return out.failed
+
+                    shrunk, evals = shrink_params(
+                        failure.params, fails, floors={k: 2 for k in failure.params}
+                    )
+                    return shrunk, last_detail.get("d", failure.detail), evals
+
                 record(
-                    OracleOutcome(
-                        oracle="tiled-ge-bound",
-                        subject=alg.name,
-                        status="skip",
-                        detail=f"base kernel underivable: {rep}",
-                        context={"params": params, "s_values": [s]},
-                    ),
-                    "tiled",
-                    t,
+                    run_tiled_oracle(alg, params, s, rep), "tiled", t, tiled_shrinker
                 )
-                continue
-
-            def tiled_shrinker(failure: VerifyFailure, _alg=alg, _rep=rep, _s=s):
-                last_detail = {}
-
-                def fails(p: dict[str, int]) -> bool:
-                    if p["M"] < p["N"]:
-                        return False
-                    try:
-                        out = run_tiled_oracle(_alg, p, _s, _rep)
-                    except Exception:  # noqa: BLE001
-                        return False
-                    if out.failed:
-                        last_detail["d"] = out.detail
-                    return out.failed
-
-                shrunk, evals = shrink_params(
-                    failure.params, fails, floors={k: 2 for k in failure.params}
-                )
-                return shrunk, last_detail.get("d", failure.detail), evals
-
-            record(run_tiled_oracle(alg, params, s, rep), "tiled", t, tiled_shrinker)
 
     # -- fuzzed programs ---------------------------------------------------
-    for f in range(n_fuzz):
-        if out_of_time():
-            break
-        fuzz_seed = seed * 1_000_003 + f
-        fp = random_fuzz_program(fuzz_seed)
-        rng_key = (seed, "fuzz", f)
-        rng = _trial_rng(*rng_key)
-        params = fp.sample_params(rng)
-        s_values = sample_cache_sizes(params, rng)
-        trial = Trial(
-            fp.kernel, params, s_values, rng, report=None, derive_fn=derive_fn
-        )
-        for oracle in FUZZ_ORACLES:
-            record(
-                run_oracle(oracle, trial),
-                "fuzz",
-                f,
-                kernel_shrinker(fp.kernel, oracle, s_values, rng_key),
+    with obs.span("verify.fuzz", programs=n_fuzz):
+        for f in range(n_fuzz):
+            if out_of_time():
+                break
+            fuzz_seed = seed * 1_000_003 + f
+            fp = random_fuzz_program(fuzz_seed)
+            obs.add("verify.fuzz_programs")
+            rng_key = (seed, "fuzz", f)
+            rng = _trial_rng(*rng_key)
+            params = fp.sample_params(rng)
+            s_values = sample_cache_sizes(params, rng)
+            trial = Trial(
+                fp.kernel, params, s_values, rng, report=None, derive_fn=derive_fn
             )
+            for oracle in FUZZ_ORACLES:
+                record(
+                    run_oracle(oracle, trial),
+                    "fuzz",
+                    f,
+                    kernel_shrinker(fp.kernel, oracle, s_values, rng_key),
+                )
     if n_fuzz:
         report.subjects.append(f"fuzz[{n_fuzz}]")
 

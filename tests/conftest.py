@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.bounds import derive
 from repro.cdag import build_cdag
 from repro.ir import Tracer
@@ -64,6 +65,16 @@ def trace_for(name: str, params: dict | None = None) -> Tracer:
         get_kernel(name).program.runner(dict(params), t)
         _trace_cache[key] = t
     return _trace_cache[key]
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean_slate():
+    """Instrumentation is process-global; a test that enables it (or leaks a
+    counter) must not contaminate its neighbours.  Disable + reset after
+    every test unconditionally."""
+    yield
+    obs.disable()
+    obs.reset()
 
 
 @pytest.fixture

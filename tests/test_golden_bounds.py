@@ -133,3 +133,37 @@ class TestGoldenDeriveCLI:
             f"iolb derive {name} output drifted from {golden.name};"
             " if intended, rerun with IOLB_UPDATE_GOLDEN=1"
         )
+
+
+class TestProfilingIsObservationOnly:
+    """Differential guard: instrumentation must never perturb results.
+
+    ``iolb derive --profile`` may print a span tree (to stderr) and dump
+    metrics files, but the bound output on stdout has to stay byte-identical
+    to an unprofiled run — profiling is observation, not participation.
+    """
+
+    @pytest.mark.parametrize(
+        "name", ["mgs", "qr_a2v", "qr_v2q", "gebd2", "gehd2"]
+    )
+    def test_profiled_derive_stdout_identical(self, name, tmp_path, capsys):
+        import json
+
+        from repro import obs
+        from repro.cli import main
+
+        assert main(["derive", name]) == 0
+        plain = capsys.readouterr().out
+
+        dump = tmp_path / "metrics.json"
+        assert main(
+            ["derive", name, "--profile", "--metrics-json", str(dump)]
+        ) == 0
+        cap = capsys.readouterr()
+        assert cap.out == plain  # byte-identical bounds
+        assert "profile:" in cap.err  # the span tree went to stderr
+
+        metrics = json.loads(dump.read_text())
+        obs.check_schema(metrics)
+        assert metrics["spans"], "profiled run recorded no spans"
+        assert any(v > 0 for v in metrics["counters"].values())

@@ -1,0 +1,361 @@
+"""Tests for the observability layer (:mod:`repro.obs`).
+
+Covers the tracer core (nesting, reentrancy, exception-safety, thread
+safety, counter monotonicity), the disabled-mode no-op guarantees, the
+exact shape of the ``iolb-metrics/1`` and Chrome ``trace_event`` dumps,
+and the ``iolb stats`` summarize/diff machinery.  Timing assertions are
+limited to non-negativity — wall-clock magnitudes are machine-dependent.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import obs
+
+
+class TestSpanTracer:
+    def test_disabled_by_default_and_null_span_is_shared(self):
+        assert not obs.enabled()
+        s1 = obs.span("a")
+        s2 = obs.span("b", k=1)
+        assert s1 is s2  # one stateless singleton, no allocation per call
+        with s1:
+            pass
+        assert obs.spans() == []
+
+    def test_add_and_gauge_are_noops_while_disabled(self):
+        obs.add("x", 5)
+        obs.gauge("g", 1.5)
+        assert obs.counters() == {}
+        assert obs.gauges() == {}
+
+    def test_span_records_wall_and_cpu(self):
+        obs.enable()
+        with obs.span("work", kernel="mgs"):
+            sum(range(1000))
+        (rec,) = obs.spans()
+        assert rec.name == "work"
+        assert rec.path == "work"
+        assert rec.depth == 0
+        assert rec.wall_us >= 0
+        assert rec.cpu_us >= 0
+        assert rec.start_us >= 0
+        assert rec.tid == threading.get_ident()
+        assert rec.args == {"kernel": "mgs"}
+
+    def test_nesting_chains_paths_and_depths(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("mid"):
+                with obs.span("inner"):
+                    pass
+            with obs.span("mid"):
+                pass
+        by_completion = [(s.path, s.depth) for s in obs.spans()]
+        assert by_completion == [
+            ("outer/mid/inner", 2),
+            ("outer/mid", 1),
+            ("outer/mid", 1),
+            ("outer", 0),
+        ]
+
+    def test_reentrancy_same_name_nested(self):
+        """Recursive instrumented code nests a span inside itself."""
+        obs.enable()
+
+        def rec(n):
+            with obs.span("rec"):
+                if n:
+                    rec(n - 1)
+
+        rec(2)
+        paths = sorted(s.path for s in obs.spans())
+        assert paths == ["rec", "rec/rec", "rec/rec/rec"]
+
+    def test_exception_safety(self):
+        """A raising body still records the span, pops the stack, and
+        propagates the exception unswallowed."""
+        obs.enable()
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.span("outer"):
+                with obs.span("failing"):
+                    raise RuntimeError("boom")
+        assert sorted(s.path for s in obs.spans()) == ["outer", "outer/failing"]
+        # the per-thread stack is clean: a new span is a root again
+        with obs.span("after"):
+            pass
+        assert obs.spans()[-1].path == "after"
+
+    def test_thread_safety_under_pool(self):
+        """Concurrent workers each build their own span tree; records merge
+        without loss and paths never cross threads."""
+        obs.enable()
+        n_workers, n_tasks = 4, 32
+
+        def work(i):
+            with obs.span("task", i=i):
+                with obs.span("step"):
+                    obs.add("work.done")
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            list(pool.map(work, range(n_tasks)))
+        spans = obs.spans()
+        assert len(spans) == 2 * n_tasks
+        assert obs.counters()["work.done"] == n_tasks
+        by_path = {}
+        for s in spans:
+            by_path.setdefault(s.path, []).append(s)
+        # nesting resolved per thread: every inner span is task/step,
+        # never task/task/step or a bare step
+        assert set(by_path) == {"task", "task/step"}
+        assert len(by_path["task"]) == n_tasks
+        assert len(by_path["task/step"]) == n_tasks
+        for s in by_path["task/step"]:
+            assert s.depth == 1
+
+    def test_counter_monotonicity(self):
+        obs.enable()
+        obs.add("c")
+        obs.add("c", 0)  # zero increments allowed
+        obs.add("c", 9)
+        assert obs.counters()["c"] == 10
+        with pytest.raises(ValueError, match="negative"):
+            obs.add("c", -1)
+        assert obs.counters()["c"] == 10  # unchanged by the rejected call
+
+    def test_gauge_last_write_wins(self):
+        obs.enable()
+        obs.gauge("g", 1.0)
+        obs.gauge("g", 2.5)
+        assert obs.gauges() == {"g": 2.5}
+
+    def test_reset_clears_everything_but_not_flag(self):
+        obs.enable()
+        with obs.span("s"):
+            obs.add("c")
+        obs.reset()
+        assert obs.spans() == [] and obs.counters() == {} and obs.gauges() == {}
+        assert obs.enabled()  # reset is orthogonal to enable/disable
+
+    def test_aggregates_totals(self):
+        obs.enable()
+        for _ in range(3):
+            with obs.span("a"):
+                with obs.span("b"):
+                    pass
+        agg = obs.registry().aggregates()
+        assert agg["a"]["count"] == 3
+        assert agg["a/b"]["count"] == 3
+        assert agg["a"]["wall_us"] >= agg["a/b"]["wall_us"] >= 0
+
+
+class TestSinks:
+    def _record_sample(self):
+        obs.enable()
+        with obs.span("phase", kernel="mgs"):
+            with obs.span("sub"):
+                pass
+        obs.add("pkg.counter", 7)
+        obs.gauge("pkg.gauge", 1.25)
+
+    SPAN_KEYS = {"name", "path", "depth", "start_us", "wall_us", "cpu_us", "tid", "args"}
+
+    def test_metrics_dict_exact_schema(self):
+        self._record_sample()
+        m = obs.metrics_dict(meta={"command": "derive"})
+        assert set(m) == {"schema", "meta", "counters", "gauges", "spans", "aggregates"}
+        assert m["schema"] == obs.METRICS_SCHEMA == "iolb-metrics/1"
+        assert m["meta"] == {"command": "derive"}
+        assert m["counters"] == {"pkg.counter": 7}
+        assert m["gauges"] == {"pkg.gauge": 1.25}
+        assert [s["path"] for s in m["spans"]] == ["phase", "phase/sub"]  # by start
+        for s in m["spans"]:
+            assert set(s) == self.SPAN_KEYS
+            assert s["wall_us"] >= 0 and s["cpu_us"] >= 0 and s["start_us"] >= 0
+            assert isinstance(s["depth"], int) and isinstance(s["tid"], int)
+        assert set(m["aggregates"]) == {"phase", "phase/sub"}
+        for row in m["aggregates"].values():
+            assert set(row) == {"count", "wall_us", "cpu_us"}
+        json.dumps(m)  # fully JSON-serializable
+
+    def test_write_metrics_json_roundtrip(self, tmp_path):
+        self._record_sample()
+        out = tmp_path / "m.json"
+        obs.write_metrics_json(out, meta={"command": "x"})
+        text = out.read_text()
+        assert text.endswith("\n")
+        m = json.loads(text)
+        obs.check_schema(m)
+        assert m["counters"]["pkg.counter"] == 7
+
+    def test_chrome_trace_exact_schema(self):
+        self._record_sample()
+        t = obs.chrome_trace_dict()
+        assert set(t) == {"displayTimeUnit", "traceEvents"}
+        phases = [e["ph"] for e in t["traceEvents"]]
+        assert phases == ["M", "X", "X", "C"]  # metadata, 2 spans, 1 counter
+        meta = t["traceEvents"][0]
+        assert meta["name"] == "process_name"
+        x_events = [e for e in t["traceEvents"] if e["ph"] == "X"]
+        for e in x_events:
+            assert set(e) == {"ph", "name", "cat", "ts", "dur", "pid", "tid", "args"}
+            assert e["ts"] >= 0 and e["dur"] >= 0
+        assert {e["name"] for e in x_events} == {"phase", "sub"}
+        assert x_events[0]["cat"] == "phase"  # package prefix before first "."
+        (c_event,) = [e for e in t["traceEvents"] if e["ph"] == "C"]
+        assert c_event["name"] == "pkg.counter"
+        assert c_event["args"] == {"value": 7}
+        # counter sample sits at the end of the span timeline
+        assert c_event["ts"] >= max(e["ts"] + e["dur"] for e in x_events) - 1e-6
+        json.dumps(t)
+
+    def test_render_tree_lists_spans_and_counters(self):
+        self._record_sample()
+        text = obs.render_tree()
+        assert "profile:" in text
+        assert "phase" in text and "sub" in text
+        assert "pkg.counter" in text and "7" in text
+        assert "pkg.gauge" in text
+
+    def test_render_tree_empty_registry(self):
+        assert "(no spans recorded)" in obs.render_tree()
+
+
+class TestStats:
+    def _dump(self, wall: float, count: int) -> dict:
+        obs.enable()
+        with obs.span("root"):
+            obs.add("c", count)
+        m = obs.metrics_dict()
+        # make wall time deterministic for diff assertions
+        m["aggregates"]["root"]["wall_us"] = wall
+        obs.disable()
+        obs.reset()
+        return m
+
+    def test_check_schema_rejects_non_dumps(self):
+        with pytest.raises(ValueError, match="iolb-metrics/1"):
+            obs.check_schema({"schema": "something-else"})
+        with pytest.raises(ValueError, match="other name"):
+            obs.check_schema([1, 2], source="other name")
+
+    def test_summarize(self):
+        m = self._dump(wall=1500.0, count=3)
+        text = obs.summarize_metrics(m)
+        assert "root" in text
+        assert "1.5ms" in text
+        assert "c" in text and "3" in text
+
+    def test_summarize_top_truncates(self):
+        obs.enable()
+        for i in range(5):
+            with obs.span(f"s{i}"):
+                pass
+        m = obs.metrics_dict()
+        text = obs.summarize_metrics(m, top=2)
+        assert "top 2 span paths" in text
+
+    def test_diff_reports_deltas(self):
+        a = self._dump(wall=1000.0, count=10)
+        b = self._dump(wall=2000.0, count=15)
+        text = obs.diff_metrics(a, b)
+        assert "+100.0%" in text  # wall doubled
+        assert "+5" in text and "+50.0%" in text  # counter 10 -> 15
+
+    def test_diff_threshold_hides_small_moves(self):
+        a = self._dump(wall=1000.0, count=1)
+        b = self._dump(wall=1010.0, count=1)
+        assert obs.diff_metrics(a, b, threshold_pct=5.0) == "no differences"
+
+    def test_diff_identical_dumps(self):
+        a = self._dump(wall=1000.0, count=1)
+        assert obs.diff_metrics(a, a) == "no differences"
+
+
+class TestStatsCLI:
+    def _write_dump(self, tmp_path, name: str, count: int):
+        obs.enable()
+        with obs.span("cli.test"):
+            obs.add("c", count)
+        p = tmp_path / name
+        obs.write_metrics_json(p)
+        obs.disable()
+        obs.reset()
+        return p
+
+    def test_stats_summarize(self, tmp_path, capsys):
+        from repro.cli import main
+
+        p = self._write_dump(tmp_path, "a.json", 3)
+        assert main(["stats", str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "cli.test" in out and "counters:" in out
+
+    def test_stats_diff(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = self._write_dump(tmp_path, "a.json", 3)
+        b = self._write_dump(tmp_path, "b.json", 9)
+        assert main(["stats", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "counters that changed" in out
+        assert "+6" in out
+
+    def test_stats_missing_file_exits(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["stats", str(tmp_path / "nope.json")])
+
+    def test_stats_rejects_non_metrics_json(self, tmp_path):
+        from repro.cli import main
+
+        p = tmp_path / "junk.json"
+        p.write_text('{"schema": "not-metrics"}')
+        with pytest.raises(SystemExit):
+            main(["stats", str(p)])
+
+
+class TestCLIProfiling:
+    def test_profile_flag_prints_tree_to_stderr_only(self, capsys):
+        from repro.cli import main
+
+        assert main(["derive", "mgs", "--profile"]) == 0
+        cap = capsys.readouterr()
+        assert "profile:" in cap.err
+        assert "bounds.derive" in cap.err
+        assert "profile:" not in cap.out
+        # the CLI disabled + reset on the way out
+        assert not obs.enabled()
+        assert obs.spans() == [] and obs.counters() == {}
+
+    def test_metrics_json_has_pipeline_phases_and_counters(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "m.json"
+        assert main(["derive", "mgs", "--metrics-json", str(out)]) == 0
+        capsys.readouterr()
+        m = json.loads(out.read_text())
+        obs.check_schema(m)
+        paths = {s["path"] for s in m["spans"]}
+        assert any("frontend." in p for p in paths)
+        assert any("polyhedral." in p for p in paths)
+        assert any("bounds." in p for p in paths)
+        packages = {n.split(".", 1)[0] for n, v in m["counters"].items() if v > 0}
+        assert len(packages) >= 4, f"counters from only {sorted(packages)}"
+        assert m["meta"]["command"] == "derive"
+
+    def test_trace_out_is_loadable_chrome_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "t.json"
+        assert main(["derive", "mgs", "--trace-out", str(out)]) == 0
+        capsys.readouterr()
+        t = json.loads(out.read_text())
+        kinds = {e["ph"] for e in t["traceEvents"]}
+        assert kinds == {"M", "X", "C"}

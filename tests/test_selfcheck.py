@@ -26,6 +26,7 @@ class TestSelfCheck:
             "counts",
             "bound-soundness",
             "verify",
+            "obs-registry",
         ]
         assert "ALL PASS" in rep.summary()
 
@@ -65,7 +66,7 @@ class TestSelfCheck:
         failed = {c.name for c in rep.checks if not c.passed}
         assert "spec-vs-runner" in failed
         # the battery keeps going after the failure: every check is recorded
-        assert len(rep.checks) == 7
+        assert len(rep.checks) == 8
 
     def test_erroring_check_reported_not_raised(self):
         """A kernel whose runner explodes must not abort the battery: the
@@ -89,8 +90,8 @@ class TestSelfCheck:
         rep = selfcheck(kern, {"M": 4, "N": 3})
         assert not rep.ok()
         by_name = {c.name: c for c in rep.checks}
-        # all seven checks ran despite the broken runner
-        assert len(rep.checks) == 7
+        # all eight checks ran despite the broken runner
+        assert len(rep.checks) == 8
         # the trace check failed and names the exception
         assert not by_name["spec-vs-runner"].passed
         assert "RuntimeError" in by_name["spec-vs-runner"].detail
@@ -98,6 +99,33 @@ class TestSelfCheck:
         # runner-independent checks still passed
         assert by_name["static-validation"].passed
         assert by_name["counts"].passed
+
+    def test_obs_check_flags_stale_registry(self):
+        """A counter leaked while instrumentation is disabled is exactly the
+        cross-test contamination the eighth check exists to catch."""
+        from repro import obs
+
+        obs.enable()
+        obs.add("leaked.counter", 1)
+        obs.disable()  # leave the value behind, disabled
+        rep = selfcheck(get_kernel("mgs"), SMALL_PARAMS["mgs"])
+        by_name = {c.name: c for c in rep.checks}
+        assert not by_name["obs-registry"].passed
+        assert "counters" in by_name["obs-registry"].detail
+        obs.reset()
+
+    def test_obs_check_skips_under_live_profiling(self):
+        """``iolb selfcheck --profile`` runs the battery with obs enabled;
+        the check must not wipe the caller's live registry."""
+        from repro import obs
+
+        obs.enable()
+        obs.add("caller.data", 7)
+        rep = selfcheck(get_kernel("mgs"), SMALL_PARAMS["mgs"])
+        by_name = {c.name: c for c in rep.checks}
+        assert by_name["obs-registry"].passed
+        assert "skipped" in by_name["obs-registry"].detail
+        assert obs.counters().get("caller.data") == 7  # untouched
 
     def test_cli_selfcheck(self, capsys):
         from repro.cli import main

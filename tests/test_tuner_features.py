@@ -143,6 +143,32 @@ class TestSweepMachinery:
         for f in dataclasses.fields(fresh.stats):
             assert getattr(hit.stats, f.name) == getattr(fresh.stats, f.name)
 
+    def test_memo_counters_reconcile_across_runs(self, tmp_path):
+        """Property: with instrumentation on, the second identical tune run
+        against the same memo directory reports exactly as many obs memo
+        hits as the first run reported misses — every simulation the first
+        run paid for is served from disk the second time — and the tuning
+        result is unchanged."""
+        from repro import obs
+
+        obs.enable()
+        first = tune_block_size(
+            TILED_MGS, self.PARAMS, self.S, memo=MemoCache(tmp_path)
+        )
+        first_counters = obs.counters()
+        assert first_counters.get("cache.memo_hits", 0) == 0
+        first_misses = first_counters["cache.memo_misses"]
+        assert first_misses == first_counters["cache.memo_stores"] > 0
+
+        obs.reset()
+        second = tune_block_size(
+            TILED_MGS, self.PARAMS, self.S, memo=MemoCache(tmp_path)
+        )
+        second_counters = obs.counters()
+        assert second_counters["cache.memo_hits"] == first_misses
+        assert second_counters.get("cache.memo_misses", 0) == 0
+        _same_result(first, second)
+
     def test_memo_ignores_corrupt_files(self, tmp_path):
         memo = MemoCache(tmp_path)
         res = tune_block_size(TILED_MGS, self.PARAMS, self.S, memo=memo)
