@@ -8,8 +8,11 @@ ISSUE-1 trace-engine bench — by timing the *instrumented* simulator against
 a verbatim copy of the pre-instrumentation implementation kept below
 (``_belady_pre_obs``).  An in-process baseline is immune to machine speed,
 so the guard is a ratio, not an absolute time; min-of-k timing discards
-scheduler noise.  ``benchmarks/baseline_obs_overhead.json`` records the
-numbers from the run that froze the < 5% budget, for provenance.
+scheduler noise.  The provenance record from the run that froze the < 5%
+budget lives in the ``iolb bench`` history store
+(``benchmarks/history/20260806T000000Z-obs-overhead.json``, suite
+``obs-overhead``), and the budget itself is read from that record's meta
+block so the number is stated exactly once.
 
 Enabled-mode cost is also measured and reported (informational: profiling
 is opt-in, so it has no budget — it only has to stay sane).
@@ -23,6 +26,7 @@ from __future__ import annotations
 import os
 import time
 from heapq import heappop, heappush
+from pathlib import Path
 
 import numpy as np
 
@@ -32,12 +36,18 @@ from repro import obs
 from repro.cache import simulate_belady
 from repro.cache.sim import CacheStats, _as_arrays
 from repro.ir import TraceArrays
+from repro.obs.history import load_record
 from repro.report import render_table
 
 N_EVENTS = int(os.environ.get("OBS_BENCH_EVENTS", "400000"))
 S = 1024
 REPEATS = 5
-BUDGET = 1.05  # disabled instrumentation may cost at most 5%
+
+#: provenance record (iolb-bench/1 history-store format) that froze the budget
+BASELINE_RECORD = Path(__file__).parent / "history" / "20260806T000000Z-obs-overhead.json"
+
+#: disabled instrumentation may cost at most this ratio (from the record's meta)
+BUDGET = load_record(BASELINE_RECORD)["meta"]["budget"]["disabled_ratio_max"]
 
 
 def _belady_pre_obs(trace, s: int) -> CacheStats:

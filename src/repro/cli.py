@@ -10,6 +10,8 @@ Subcommands::
     iolb tune tiled_mgs --params M=24,N=16 --cache 256 [--jobs 4 --mode coarse]
     iolb verify [mgs|all] --trials 25 --seed 0 [--budget-seconds T --json out.json]
     iolb stats metrics.json [other.json]   # summarize / diff --metrics-json dumps
+    iolb bench [NAMES...] [--repeats 5 --json out.json --check [BASELINE]
+               --report trends.html --snapshot]   # performance history & gating
     iolb fig4 / iolb fig5             # regenerate the paper's tables
 
 ``tiled`` and ``tune`` support a persistent result cache: ``--cache-dir``
@@ -278,6 +280,119 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _default_history_dir() -> str:
+    import os
+
+    return os.environ.get("IOLB_BENCH_HISTORY") or "benchmarks/history"
+
+
+def cmd_bench(args) -> int:
+    """Run the benchmark suite; optionally record, gate, and report on it.
+
+    Order matters: the baseline for ``--check`` is resolved *before* the
+    fresh record is appended to the history, so a run never gates against
+    itself.  The obs registry is owned by the suite runner for the duration
+    (which is why ``bench`` takes no ``--profile`` flag).
+    """
+    import json
+
+    from .obs import bench as obs_bench
+    from .obs import history as obs_history
+    from .obs.dashboard import render_dashboard
+    from .obs.sinks import _fmt_us
+
+    try:
+        suite = obs_bench.select_benchmarks(obs_bench.default_suite(), args.benchmarks)
+    except ValueError as e:
+        raise SystemExit(f"iolb bench: {e}") from None
+    history_dir = args.history_dir or _default_history_dir()
+    # `--json -` hands stdout to the record; human output moves to stderr.
+    out = sys.stderr if args.json_path == "-" else sys.stdout
+
+    results = obs_bench.run_suite(
+        suite,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        progress=lambda name: print(f"bench: {name} ...", file=sys.stderr),
+    )
+    record = obs_bench.bench_record(
+        results, repeats=args.repeats, warmup=args.warmup
+    )
+    print(
+        render_table(
+            ["benchmark", "median", "min", "MAD", "cpu median", "counters"],
+            [
+                [
+                    r.name,
+                    _fmt_us(r.wall_s.median * 1e6),
+                    _fmt_us(r.wall_s.min * 1e6),
+                    _fmt_us(r.wall_s.mad * 1e6),
+                    _fmt_us(r.cpu_s.median * 1e6),
+                    len(r.counters),
+                ]
+                for r in results
+            ],
+            title=(
+                f"iolb bench: {len(results)} benchmark(s),"
+                f" {args.repeats} repeat(s) + {args.warmup} warmup"
+            ),
+        ),
+        file=out,
+    )
+
+    rc = 0
+    if args.check_baseline is not None:
+        target = args.check_baseline or history_dir
+        try:
+            baseline = obs_history.resolve_baseline(target, suite=record["suite"])
+            report = obs_history.compare_records(
+                baseline,
+                record,
+                threshold_pct=args.threshold,
+                mad_k=args.mad_k,
+                counters_only=args.counters_only,
+            )
+        except (OSError, ValueError) as e:
+            raise SystemExit(f"iolb bench --check: {e}") from None
+        print(file=out)
+        print(report.summary(), file=out)
+        rc = 0 if report.ok() else 1
+
+    if args.json_path:
+        payload = json.dumps(record, indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(payload)
+        else:
+            with open(args.json_path, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"bench record written to {args.json_path}", file=sys.stderr)
+
+    appended = False
+    if not args.no_history:
+        path = obs_history.append_entry(record, history_dir)
+        appended = True
+        print(f"history entry appended: {path}", file=sys.stderr)
+
+    if args.snapshot:
+        snap = f"BENCH_{record['created'][:10]}.json"
+        with open(snap, "w") as fh:
+            fh.write(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"snapshot written: {snap}", file=sys.stderr)
+
+    if args.report_path:
+        hist = obs_history.load_history(history_dir, suite=record["suite"])
+        if not appended:
+            hist.append(record)
+        html = render_dashboard(hist)
+        with open(args.report_path, "w") as fh:
+            fh.write(html)
+        print(
+            f"trend dashboard ({len(hist)} record(s)) written to {args.report_path}",
+            file=sys.stderr,
+        )
+    return rc
+
+
 def cmd_fig4(args) -> int:
     print(render_fig4())
     return 0
@@ -473,6 +588,76 @@ def main(argv=None) -> int:
         help="diff only: hide span rows whose wall time moved < this %%",
     )
     stp.set_defaults(fn=cmd_stats)
+
+    bn = sub.add_parser(
+        "bench", help="performance suite: run, record history, gate, report"
+    )
+    bn.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="benchmark names or group prefixes (e.g. derive.mgs, simulate); default: all",
+    )
+    bn.add_argument("--repeats", type=int, default=5, help="timed repeats per benchmark")
+    bn.add_argument("--warmup", type=int, default=1, help="untimed warmup runs")
+    bn.add_argument(
+        "--json",
+        metavar="PATH",
+        dest="json_path",
+        help="write the iolb-bench/1 record to PATH ('-' for stdout)",
+    )
+    bn.add_argument(
+        "--check",
+        nargs="?",
+        metavar="BASELINE",
+        const="",
+        default=None,
+        dest="check_baseline",
+        help="regression-gate against BASELINE (a record file or history dir;"
+        " default: the latest history entry); exits 1 on regression",
+    )
+    bn.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        help="timing regression threshold in percent (median vs median)",
+    )
+    bn.add_argument(
+        "--mad-k",
+        type=float,
+        default=4.0,
+        dest="mad_k",
+        help="noise floor: median growth must also exceed K x MAD",
+    )
+    bn.add_argument(
+        "--check-counters-only",
+        action="store_true",
+        dest="counters_only",
+        help="gate on exact work counters only (machine-portable, for CI)",
+    )
+    bn.add_argument(
+        "--history-dir",
+        default=None,
+        dest="history_dir",
+        help="history store (default: $IOLB_BENCH_HISTORY or benchmarks/history)",
+    )
+    bn.add_argument(
+        "--no-history",
+        action="store_true",
+        dest="no_history",
+        help="do not append this run to the history store",
+    )
+    bn.add_argument(
+        "--report",
+        metavar="PATH",
+        dest="report_path",
+        help="write the self-contained HTML trend dashboard over the history",
+    )
+    bn.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="also write a BENCH_<date>.json snapshot in the current directory",
+    )
+    bn.set_defaults(fn=cmd_bench)
 
     pr = sub.add_parser("parse", help="parse figure-style C code into the IR")
     grp = pr.add_mutually_exclusive_group(required=True)

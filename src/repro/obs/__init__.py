@@ -11,7 +11,17 @@ pebbling tools report per-phase statistics.  The package has three layers:
   span tree, the ``iolb-metrics/1`` JSON dump, and a Chrome
   ``trace_event`` exporter loadable in ``chrome://tracing`` / Perfetto;
 * :mod:`repro.obs.stats` — summarize one metrics dump or diff two (the
-  engine behind ``iolb stats``).
+  engine behind ``iolb stats``);
+* :mod:`repro.obs.envinfo` — the environment fingerprint (python,
+  platform, CPU count, git sha) stamped into every dump and bench record;
+* :mod:`repro.obs.bench` / :mod:`repro.obs.history` /
+  :mod:`repro.obs.dashboard` — the ``iolb bench`` performance suite:
+  declarative workloads with warmup + repeats and robust statistics, the
+  versioned ``iolb-bench/1`` record, the on-disk history store with
+  median-vs-MAD regression detection, and the self-contained HTML trend
+  dashboard.  (:mod:`~repro.obs.bench` is imported lazily — its workloads
+  pull in the rest of :mod:`repro`, which this package otherwise never
+  does.)
 
 Usage from instrumented code (all no-ops until ``obs.enable()``)::
 
@@ -41,6 +51,18 @@ from .core import (
     reset,
     span,
     spans,
+)
+from .dashboard import render_dashboard
+from .envinfo import describe_env, env_comparable, env_fingerprint
+from .history import (
+    BENCH_SCHEMA,
+    CompareReport,
+    append_entry,
+    check_bench_schema,
+    compare_records,
+    load_history,
+    load_record,
+    resolve_baseline,
 )
 from .sinks import (
     METRICS_SCHEMA,
@@ -75,4 +97,16 @@ __all__ = [
     "summarize_metrics",
     "diff_metrics",
     "check_schema",
+    "env_fingerprint",
+    "describe_env",
+    "env_comparable",
+    "BENCH_SCHEMA",
+    "check_bench_schema",
+    "load_record",
+    "load_history",
+    "append_entry",
+    "resolve_baseline",
+    "compare_records",
+    "CompareReport",
+    "render_dashboard",
 ]

@@ -1,0 +1,326 @@
+"""Declarative in-process benchmark suite behind ``iolb bench``.
+
+A :class:`Benchmark` is a named workload (untimed ``setup`` + timed ``fn``);
+:func:`run_suite` runs each one with warmup + N timed repeats and reports
+robust statistics (min / median / MAD of wall and CPU seconds — median and
+MAD rather than mean and σ because scheduler outliers are one-sided), then
+makes **one extra instrumented pass** with the :mod:`repro.obs` registry
+enabled to capture the per-phase span breakdown and the deterministic work
+counters (FM eliminations, pebble nodes played, simulated events, …).  The
+timed repeats always run with instrumentation *off*, so the numbers measure
+the code, not the profiler; the counters come from the separate pass, where
+their cost is irrelevant because they are exact.
+
+:func:`default_suite` is the standing workload set every perf PR is judged
+against: ``derive`` on all five hourglass kernels, the Belady and LRU
+engines on a seeded synthetic trace, a coarse tuner sweep (memo disabled —
+a cache hit would benchmark the cache), and a seeded verify smoke.
+
+:func:`bench_record` wraps the results into the versioned ``iolb-bench/1``
+JSON that :mod:`repro.obs.history` stores and gates on.
+
+Workload constructors import the rest of :mod:`repro` lazily inside
+function bodies: ``repro.bounds`` et al. import :mod:`repro.obs` at module
+load, so a top-level import here would be a cycle.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from . import core as obs
+from .envinfo import env_fingerprint
+from .history import BENCH_SCHEMA, DEFAULT_SUITE
+
+__all__ = [
+    "Benchmark",
+    "TimingStats",
+    "BenchResult",
+    "default_suite",
+    "select_benchmarks",
+    "run_benchmark",
+    "run_suite",
+    "bench_record",
+]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One named workload: ``fn(payload)`` timed, ``setup()`` not."""
+
+    name: str  # "group.case", e.g. "derive.mgs"
+    fn: Callable[[Any], Any]
+    setup: Callable[[], Any] | None = None
+    description: str = ""
+
+    @property
+    def group(self) -> str:
+        return self.name.split(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Robust summary of repeated timings, in seconds."""
+
+    min: float
+    median: float
+    mad: float
+    samples: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "TimingStats":
+        med = median(samples)
+        return cls(
+            min=min(samples),
+            median=med,
+            mad=median(abs(x - med) for x in samples),
+            samples=tuple(samples),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "min": round(self.min, 6),
+            "median": round(self.median, 6),
+            "mad": round(self.mad, 6),
+            "samples": [round(x, 6) for x in self.samples],
+        }
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's measured statistics plus its instrumented profile."""
+
+    name: str
+    repeats: int
+    wall_s: TimingStats
+    cpu_s: TimingStats
+    counters: dict = field(default_factory=dict)
+    spans: dict = field(default_factory=dict)  # per-path {count, wall_us, cpu_us}
+
+    def to_dict(self) -> dict:
+        return {
+            "repeats": self.repeats,
+            "wall_s": self.wall_s.to_dict(),
+            "cpu_s": self.cpu_s.to_dict(),
+            "counters": dict(self.counters),
+            "spans": {
+                path: {
+                    "count": int(row["count"]),
+                    "wall_us": round(row["wall_us"], 3),
+                    "cpu_us": round(row["cpu_us"], 3),
+                }
+                for path, row in self.spans.items()
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# the standing workload set
+# ---------------------------------------------------------------------------
+
+#: synthetic-trace shape for the engine benchmarks (seeded, hot-set + cold scan)
+_TRACE_EVENTS = 120_000
+_TRACE_S = 1024
+
+
+def _synthetic_trace():
+    """Seeded hot-set/cold-scan trace as :class:`repro.ir.TraceArrays`."""
+    import numpy as np
+
+    from ..ir import Event, TraceArrays
+
+    rng = np.random.RandomState(7)
+    t, hot, cold_space = _TRACE_EVENTS, 512, 50_000
+    cold = rng.random(t) < 0.03
+    idx = np.where(
+        cold,
+        hot + rng.randint(0, cold_space, size=t),
+        rng.randint(0, hot, size=t),
+    )
+    is_write = rng.random(t) < 0.1
+    table = {int(a): ("x", (int(a),)) for a in np.unique(idx)}
+    events = [
+        Event("W" if w else "R", table[a])
+        for a, w in zip(idx.tolist(), is_write.tolist())
+    ]
+    return TraceArrays.from_events(events)
+
+
+def default_suite() -> list[Benchmark]:
+    """The standing benchmarks: derive x5, engines, tuner sweep, verify smoke."""
+
+    def _derive(kernel: str) -> Benchmark:
+        def fn(_payload, _name=kernel):
+            from ..bounds import derive
+            from ..kernels import get_kernel
+
+            return derive(get_kernel(_name))
+
+        return Benchmark(
+            f"derive.{kernel}",
+            fn,
+            description=f"full bound derivation for the {kernel} hourglass kernel",
+        )
+
+    def _belady(ta):
+        from ..cache import simulate_belady
+
+        return simulate_belady(ta, _TRACE_S)
+
+    def _lru(ta):
+        from ..cache import simulate_lru
+
+        return simulate_lru(ta, _TRACE_S)
+
+    def _tune(_payload):
+        from ..bounds import tune_block_size
+        from ..kernels import get_tiled
+
+        return tune_block_size(
+            get_tiled("tiled_mgs"), {"M": 16, "N": 12}, 96, mode="coarse", memo=None
+        )
+
+    def _verify(_payload):
+        from ..verify import run_verify
+
+        rep = run_verify(["mgs"], [], trials=2, seed=0, fuzz_programs=0, shrink=False)
+        if not rep.ok():
+            raise RuntimeError("verify smoke failed inside the bench suite")
+        return rep
+
+    from ..kernels import PAPER_KERNELS
+
+    suite = [_derive(k) for k in PAPER_KERNELS]
+    suite += [
+        Benchmark(
+            "simulate.belady",
+            _belady,
+            setup=_synthetic_trace,
+            description=f"O(T log S) Belady engine, {_TRACE_EVENTS} events, S={_TRACE_S}",
+        ),
+        Benchmark(
+            "simulate.lru",
+            _lru,
+            setup=_synthetic_trace,
+            description=f"LRU engine, {_TRACE_EVENTS} events, S={_TRACE_S}",
+        ),
+        Benchmark(
+            "tune.tiled_mgs",
+            _tune,
+            description="coarse tuner sweep, tiled MGS 16x12, S=96, memo off",
+        ),
+        Benchmark(
+            "verify.smoke",
+            _verify,
+            description="seeded oracle battery, mgs, 2 trials, no fuzz",
+        ),
+    ]
+    return suite
+
+
+def select_benchmarks(
+    suite: Sequence[Benchmark], names: Iterable[str]
+) -> list[Benchmark]:
+    """Filter a suite by exact names or group prefixes (``derive`` matches all
+    ``derive.*``); unknown names raise with the available ones listed."""
+    wanted = list(names)
+    if not wanted:
+        return list(suite)
+    known = {b.name for b in suite} | {b.group for b in suite}
+    unknown = [n for n in wanted if n not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s) {unknown}; available: "
+            + ", ".join(sorted(b.name for b in suite))
+        )
+    return [b for b in suite if b.name in wanted or b.group in wanted]
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+def run_benchmark(bench: Benchmark, *, repeats: int = 5, warmup: int = 1) -> BenchResult:
+    """Warmup + ``repeats`` timed runs, then one instrumented profiling pass.
+
+    The global obs registry is reset around the profiling pass (and left
+    disabled and empty afterwards): the bench owns the registry for the
+    duration of a suite run, which is why ``iolb bench`` takes no
+    ``--profile`` flag of its own.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    payload = bench.setup() if bench.setup is not None else None
+    for _ in range(warmup):
+        bench.fn(payload)
+    wall, cpu = [], []
+    for _ in range(repeats):
+        c0 = time.process_time()
+        t0 = time.perf_counter()
+        bench.fn(payload)
+        wall.append(time.perf_counter() - t0)
+        cpu.append(time.process_time() - c0)
+
+    obs.disable()
+    obs.reset()
+    obs.enable()
+    try:
+        bench.fn(payload)
+        counters = obs.counters()
+        spans = obs.registry().aggregates()
+    finally:
+        obs.disable()
+        obs.reset()
+
+    return BenchResult(
+        name=bench.name,
+        repeats=repeats,
+        wall_s=TimingStats.from_samples(wall),
+        cpu_s=TimingStats.from_samples(cpu),
+        counters=counters,
+        spans=spans,
+    )
+
+
+def run_suite(
+    suite: Sequence[Benchmark] | None = None,
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> list[BenchResult]:
+    """Run every benchmark in ``suite`` (default: :func:`default_suite`)."""
+    benches = list(suite) if suite is not None else default_suite()
+    results = []
+    for b in benches:
+        if progress is not None:
+            progress(b.name)
+        results.append(run_benchmark(b, repeats=repeats, warmup=warmup))
+    return results
+
+
+def bench_record(
+    results: Sequence[BenchResult],
+    *,
+    repeats: int,
+    warmup: int,
+    suite: str = DEFAULT_SUITE,
+    meta: Mapping | None = None,
+) -> dict:
+    """Wrap results into the versioned ``iolb-bench/1`` record."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "created": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "env": env_fingerprint(),
+        "config": {"repeats": repeats, "warmup": warmup},
+        "meta": dict(meta or {}),
+        "results": {r.name: r.to_dict() for r in results},
+    }

@@ -1,0 +1,84 @@
+"""Environment fingerprint shared by metrics dumps and bench records.
+
+A performance number without its machine is noise: the fingerprint stamps
+every ``iolb-metrics/1`` and ``iolb-bench/1`` artifact with the interpreter,
+platform, CPU count, and (best effort) git commit that produced it, so two
+artifacts can be told apart *before* their timings are compared.  Regression
+checks use it to decide whether a timing delta is even meaningful — records
+from different machines compare counters, not wall clocks.
+
+Stdlib only, like the rest of :mod:`repro.obs`.  The git lookup shells out
+once per process (cached) and degrades to ``None`` outside a checkout or
+without a ``git`` binary.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import platform
+import subprocess
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["env_fingerprint", "describe_env", "env_comparable"]
+
+#: fingerprint keys whose values must match for wall-clock comparison to
+#: mean anything (cpu_count folded in: a different core count changes the
+#: process-pool and scheduler behaviour even on the same interpreter)
+_TIMING_KEYS = ("python", "implementation", "platform", "machine", "cpu_count")
+
+
+@functools.lru_cache(maxsize=1)
+def _git_sha() -> str | None:
+    """Short commit sha of the checkout containing this file, else None."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def env_fingerprint() -> dict:
+    """The environment block stamped into dumps: a fresh, JSON-safe dict."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+
+
+def describe_env(env: Mapping | None) -> str:
+    """One human line for report headers: ``cpython 3.11 · linux · 8 cpus @ abc123``."""
+    if not env:
+        return "(no environment recorded)"
+    bits = [
+        f"{env.get('implementation', '?')} {env.get('python', '?')}".lower(),
+        str(env.get("platform", "?")),
+        f"{env.get('cpu_count', '?')} cpus",
+    ]
+    if env.get("git_sha"):
+        bits.append(f"@ {env['git_sha']}")
+    return " · ".join(bits)
+
+
+def env_comparable(a: Mapping | None, b: Mapping | None) -> bool:
+    """Whether two fingerprints describe the same machine for *timing* purposes.
+
+    Missing fingerprints (old artifacts) are conservatively incomparable.
+    The git sha is deliberately ignored — comparing two commits on one
+    machine is exactly the regression-check use case.
+    """
+    if not a or not b:
+        return False
+    return all(a.get(k) == b.get(k) for k in _TIMING_KEYS)

@@ -1,0 +1,323 @@
+"""On-disk performance history and regression detection (``iolb bench``).
+
+One bench run produces one ``iolb-bench/1`` record (see
+:mod:`repro.obs.bench`); this module owns everything that happens to the
+record afterwards:
+
+* **store** — ``append_entry`` files it under ``benchmarks/history/`` as
+  ``<UTC stamp>-<git sha>.json``; ``load_history`` reads the directory back
+  in chronological order (the trend the dashboard plots);
+* **baseline resolution** — ``resolve_baseline`` accepts either a record
+  file or a history directory (latest entry of the matching suite wins);
+* **regression detection** — ``compare_records`` lines a current record up
+  against a baseline: timings are compared median-vs-median with a
+  MAD-derived noise floor (robust to scheduler outliers, unlike mean/σ),
+  work counters are compared **exactly** so algorithmic drift is flagged
+  separately from machine noise.  Records from different machines skip the
+  timing comparison entirely — a wall-clock delta across machines is not a
+  regression, it is a different machine.
+
+Stdlib only; importable without the rest of :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .envinfo import describe_env, env_comparable
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "check_bench_schema",
+    "load_record",
+    "entry_filename",
+    "append_entry",
+    "load_history",
+    "latest_entry",
+    "resolve_baseline",
+    "Delta",
+    "CompareReport",
+    "compare_records",
+]
+
+#: schema tag stamped into every bench record (bump on breaking changes)
+BENCH_SCHEMA = "iolb-bench/1"
+
+#: default suite name for records produced by the standard `iolb bench` run
+DEFAULT_SUITE = "default"
+
+
+def check_bench_schema(record: Mapping, source: str = "record") -> None:
+    """Raise ``ValueError`` unless ``record`` looks like an iolb bench record.
+
+    Only the schema tag and the ``results`` mapping are required; ``env``,
+    ``suite``, per-result ``cpu_s``/``counters``/``spans`` are
+    accept-but-not-require so hand-migrated or trimmed records still load.
+    """
+    if not isinstance(record, Mapping) or record.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{source}: not an {BENCH_SCHEMA!r} record"
+            f" (schema={record.get('schema') if isinstance(record, Mapping) else None!r})"
+        )
+    results = record.get("results")
+    if not isinstance(results, Mapping):
+        raise ValueError(f"{source}: missing 'results' mapping")
+    for name, row in results.items():
+        if not isinstance(row, Mapping) or "wall_s" not in row:
+            raise ValueError(f"{source}: result {name!r} has no 'wall_s' stats")
+
+
+def load_record(path: str | os.PathLike) -> dict:
+    """Read and schema-check one record file."""
+    with open(path) as fh:
+        record = json.load(fh)
+    check_bench_schema(record, source=str(path))
+    return record
+
+
+def entry_filename(record: Mapping) -> str:
+    """Canonical history filename: ``<created stamp>-<sha or suite>.json``."""
+    created = str(record.get("created", "unknown"))
+    stamp = re.sub(r"[^0-9TZ]", "", created) or "unknown"
+    tag = (record.get("env") or {}).get("git_sha") or record.get("suite") or "run"
+    return f"{stamp}-{tag}.json"
+
+
+def append_entry(record: Mapping, history_dir: str | os.PathLike) -> Path:
+    """File ``record`` into ``history_dir`` (created if needed); returns the path.
+
+    Collisions (same second, same sha) get a ``-2``, ``-3``, … suffix rather
+    than clobbering an existing entry — history is append-only.
+    """
+    check_bench_schema(record)
+    d = Path(history_dir)
+    d.mkdir(parents=True, exist_ok=True)
+    base = entry_filename(record)
+    path = d / base
+    n = 2
+    while path.exists():
+        path = d / f"{base[:-len('.json')]}-{n}.json"
+        n += 1
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(
+    history_dir: str | os.PathLike, suite: str | None = None
+) -> list[dict]:
+    """Every record in ``history_dir``, oldest first; optionally one suite.
+
+    Files that fail the schema check are skipped (a history directory may
+    hold notes or partial downloads) — regression gates should resolve their
+    baseline explicitly if strictness matters.
+    """
+    d = Path(history_dir)
+    if not d.is_dir():
+        return []
+    out = []
+    for p in sorted(d.glob("*.json")):
+        try:
+            rec = load_record(p)
+        except (OSError, ValueError):
+            continue
+        if suite is not None and rec.get("suite", DEFAULT_SUITE) != suite:
+            continue
+        out.append(rec)
+    out.sort(key=lambda r: str(r.get("created", "")))
+    return out
+
+
+def latest_entry(
+    history_dir: str | os.PathLike, suite: str | None = None
+) -> dict | None:
+    """The newest record of ``suite`` in the directory, or None."""
+    hist = load_history(history_dir, suite=suite)
+    return hist[-1] if hist else None
+
+
+def resolve_baseline(path: str | os.PathLike, suite: str | None = None) -> dict:
+    """A baseline from either a record file or a history directory."""
+    p = Path(path)
+    if p.is_file():
+        return load_record(p)
+    rec = latest_entry(p, suite=suite)
+    if rec is None:
+        raise ValueError(
+            f"{p}: no {suite or 'bench'} history entries to use as baseline"
+        )
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# regression detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared quantity of one benchmark."""
+
+    benchmark: str
+    kind: str  # "timing" | "counter"
+    metric: str  # "wall median" or the counter name
+    baseline: float
+    current: float
+    regressed: bool
+    note: str = ""
+
+    def pct(self) -> str:
+        if self.baseline == 0:
+            return "n/a" if self.current == 0 else "new"
+        return f"{(self.current - self.baseline) / self.baseline * 100:+.1f}%"
+
+
+@dataclass
+class CompareReport:
+    """The outcome of one baseline-vs-current comparison."""
+
+    deltas: list[Delta] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    timings_compared: bool = True
+
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.regressed]
+
+    def ok(self) -> bool:
+        return not self.regressions()
+
+    def summary(self) -> str:
+        from .stats import _table  # sibling helper, stdlib only
+
+        parts = list(self.notes)
+        timing = [d for d in self.deltas if d.kind == "timing"]
+        if timing:
+            parts.append(
+                _table(
+                    ["benchmark", "baseline", "current", "delta", "verdict"],
+                    [
+                        [
+                            d.benchmark,
+                            f"{d.baseline:.4f}s",
+                            f"{d.current:.4f}s",
+                            d.pct(),
+                            ("REGRESSED" if d.regressed else "ok") + (f" ({d.note})" if d.note else ""),
+                        ]
+                        for d in timing
+                    ],
+                    title="wall-time medians (baseline -> current):",
+                )
+            )
+        drift = [d for d in self.deltas if d.kind == "counter"]
+        if drift:
+            parts.append(
+                _table(
+                    ["benchmark", "counter", "baseline", "current", "delta"],
+                    [
+                        [d.benchmark, d.metric, int(d.baseline), int(d.current), d.pct()]
+                        for d in drift
+                    ],
+                    title="work-counter drift (exact-match check):",
+                )
+            )
+        n = len(self.regressions())
+        parts.append(
+            "regression check: ok"
+            if n == 0
+            else f"regression check: {n} regression(s) detected"
+        )
+        return "\n\n".join(parts)
+
+
+def _median_of(row: Mapping, key: str) -> float | None:
+    stats = row.get(key)
+    if isinstance(stats, Mapping) and "median" in stats:
+        return float(stats["median"])
+    return None
+
+
+def _mad_of(row: Mapping, key: str) -> float:
+    stats = row.get(key)
+    if isinstance(stats, Mapping):
+        return float(stats.get("mad", 0.0))
+    return 0.0
+
+
+def compare_records(
+    baseline: Mapping,
+    current: Mapping,
+    *,
+    threshold_pct: float = 20.0,
+    mad_k: float = 4.0,
+    counters_only: bool = False,
+) -> CompareReport:
+    """Robust regression check of ``current`` against ``baseline``.
+
+    A benchmark's wall time regresses when its median grew by more than
+    ``threshold_pct`` percent **and** the growth clears a noise floor of
+    ``mad_k`` times the larger of the two runs' MADs (median absolute
+    deviation; both conditions must hold so neither a noisy fast benchmark
+    nor a glacial-but-stable one slips through).  Work counters must match
+    exactly; any difference — including a counter that appeared or vanished
+    — is algorithmic drift and is reported regardless of thresholds.
+
+    ``counters_only=True`` (or incomparable environment fingerprints) skips
+    the timing comparison: exact counters are the only machine-portable
+    signal, which is what a cross-machine CI gate should check.
+
+    Raises ``ValueError`` when the records share no benchmark — comparing
+    disjoint suites would be a vacuous (and therefore misleading) pass.
+    """
+    check_bench_schema(baseline, "baseline")
+    check_bench_schema(current, "current")
+    res_a, res_b = baseline["results"], current["results"]
+    common = [name for name in res_b if name in res_a]
+    if not common:
+        raise ValueError(
+            "baseline and current records share no benchmark"
+            f" (baseline: {sorted(res_a)}, current: {sorted(res_b)})"
+        )
+    report = CompareReport()
+    same_env = env_comparable(baseline.get("env"), current.get("env"))
+    compare_timings = not counters_only and same_env
+    report.timings_compared = compare_timings
+    if not counters_only and not same_env:
+        report.notes.append(
+            "environments differ — timing comparison skipped, counters only\n"
+            f"  baseline: {describe_env(baseline.get('env'))}\n"
+            f"  current:  {describe_env(current.get('env'))}"
+        )
+    missing = sorted(set(res_a) - set(res_b))
+    if missing:
+        report.notes.append(
+            f"note: {len(missing)} baseline benchmark(s) not in current run: "
+            + ", ".join(missing)
+        )
+    for name in common:
+        row_a, row_b = res_a[name], res_b[name]
+        if compare_timings:
+            med_a = _median_of(row_a, "wall_s")
+            med_b = _median_of(row_b, "wall_s")
+            if med_a is not None and med_b is not None:
+                floor = mad_k * max(_mad_of(row_a, "wall_s"), _mad_of(row_b, "wall_s"))
+                grew_pct = med_a > 0 and (med_b - med_a) / med_a * 100 > threshold_pct
+                regressed = grew_pct and (med_b - med_a) > floor
+                note = ""
+                if grew_pct and not regressed:
+                    note = "within noise floor"
+                report.deltas.append(
+                    Delta(name, "timing", "wall median", med_a, med_b, regressed, note)
+                )
+        ca = row_a.get("counters") or {}
+        cb = row_b.get("counters") or {}
+        for cname in sorted(set(ca) | set(cb)):
+            va, vb = ca.get(cname, 0), cb.get(cname, 0)
+            if va != vb:
+                report.deltas.append(
+                    Delta(name, "counter", cname, va, vb, regressed=True)
+                )
+    return report

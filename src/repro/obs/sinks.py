@@ -21,6 +21,7 @@ import os
 from typing import Mapping
 
 from .core import Registry, registry
+from .envinfo import env_fingerprint
 
 __all__ = [
     "METRICS_SCHEMA",
@@ -82,12 +83,16 @@ def metrics_dict(reg: Registry | None = None, meta: Mapping | None = None) -> di
 
     Spans are sorted by start time then path so repeated dumps of the same
     registry are stable; all durations are microseconds and non-negative.
+    Every dump carries the environment fingerprint (python, platform, CPU
+    count, git sha) so CI artifacts stay attributable to a machine —
+    ``check_schema`` accepts dumps without it for backward compatibility.
     """
     reg = reg or registry()
     spans = sorted(reg.spans(), key=lambda s: (s.start_us, s.path))
     return {
         "schema": METRICS_SCHEMA,
         "meta": dict(meta or {}),
+        "env": env_fingerprint(),
         "counters": reg.counters(),
         "gauges": reg.gauges(),
         "spans": [
@@ -130,9 +135,21 @@ def chrome_trace_dict(reg: Registry | None = None) -> dict:
     prefix (text before the first ``.``) as the category; counters become
     one ``ph: "C"`` event each at the end of the timeline so Perfetto plots
     them as final values.
+
+    Thread idents are normalized to dense track numbers (0, 1, 2, …) in
+    order of each thread's first span start, with one ``thread_name``
+    metadata event per track: the export is deterministic for a given
+    registry (raw idents vary per process and can be recycled by the OS),
+    and every thread keeps its own track — concurrent spans from different
+    threads never interleave into one.
     """
     reg = reg or registry()
     pid = os.getpid()
+    spans = sorted(reg.spans(), key=lambda s: (s.start_us, s.path))
+    track_of: dict[int, int] = {}
+    for s in spans:
+        if s.tid not in track_of:
+            track_of[s.tid] = len(track_of)
     events: list[dict] = [
         {
             "ph": "M",
@@ -142,8 +159,18 @@ def chrome_trace_dict(reg: Registry | None = None) -> dict:
             "args": {"name": "iolb"},
         }
     ]
+    for track in sorted(track_of.values()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": track,
+                "args": {"name": f"thread-{track}"},
+            }
+        )
     end_ts = 0.0
-    for s in sorted(reg.spans(), key=lambda s: (s.start_us, s.path)):
+    for s in spans:
         end_ts = max(end_ts, s.start_us + s.wall_us)
         events.append(
             {
@@ -153,7 +180,7 @@ def chrome_trace_dict(reg: Registry | None = None) -> dict:
                 "ts": round(s.start_us, 3),
                 "dur": round(s.wall_us, 3),
                 "pid": pid,
-                "tid": s.tid,
+                "tid": track_of[s.tid],
                 "args": {**s.args, "path": s.path, "cpu_us": round(s.cpu_us, 3)},
             }
         )

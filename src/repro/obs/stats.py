@@ -21,12 +21,20 @@ __all__ = ["summarize_metrics", "diff_metrics", "check_schema"]
 
 
 def check_schema(metrics: Mapping, source: str = "metrics") -> None:
-    """Raise ``ValueError`` unless ``metrics`` looks like an iolb dump."""
+    """Raise ``ValueError`` unless ``metrics`` looks like an iolb dump.
+
+    The ``env`` fingerprint block is accepted-but-not-required: dumps
+    written before it existed still load, but a present-and-malformed one
+    is rejected rather than silently carried along.
+    """
     if not isinstance(metrics, Mapping) or metrics.get("schema") != METRICS_SCHEMA:
         raise ValueError(
             f"{source}: not an {METRICS_SCHEMA!r} dump"
             f" (schema={metrics.get('schema') if isinstance(metrics, Mapping) else None!r})"
         )
+    env = metrics.get("env")
+    if env is not None and not isinstance(env, Mapping):
+        raise ValueError(f"{source}: 'env' block is not a mapping ({type(env).__name__})")
 
 
 def _table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
@@ -92,11 +100,11 @@ def _pct(new: float, old: float) -> str:
 
 
 def diff_metrics(a: Mapping, b: Mapping, threshold_pct: float = 0.0) -> str:
-    """Two dumps -> per-path wall deltas and counter deltas (b relative to a).
+    """Two dumps -> per-path wall, counter, and gauge deltas (b relative to a).
 
     Span rows whose wall time did not move at all are hidden, as are rows
-    that moved by less than ``threshold_pct`` percent (counters are always
-    shown when they changed).
+    that moved by less than ``threshold_pct`` percent (counters and gauges
+    are always shown when they changed).
     """
     check_schema(a, "first dump")
     check_schema(b, "second dump")
@@ -132,6 +140,22 @@ def diff_metrics(a: Mapping, b: Mapping, threshold_pct: float = 0.0) -> str:
                 ["counter", "A", "B", "delta", "B vs A"],
                 crows,
                 title="counters that changed:",
+            )
+        )
+    ga = a.get("gauges", {})
+    gb = b.get("gauges", {})
+    grows = []
+    for name in sorted(set(ga) | set(gb)):
+        va, vb = ga.get(name, 0), gb.get(name, 0)
+        if va == vb:
+            continue
+        grows.append([name, va, vb, f"{vb - va:+g}", _pct(vb, va)])
+    if grows:
+        parts.append(
+            _table(
+                ["gauge", "A", "B", "delta", "B vs A"],
+                grows,
+                title="gauges that changed:",
             )
         )
     if not parts:

@@ -1,0 +1,432 @@
+"""Tests for the performance-history subsystem (:mod:`repro.obs.bench`,
+:mod:`repro.obs.history`, :mod:`repro.obs.dashboard`, ``iolb bench``).
+
+The runner and the regression detector are exercised with tiny synthetic
+benchmarks (instant, deterministic); the CLI round-trips run one real
+benchmark from the default suite at minimal repeats.  Timing *values* are
+never asserted — only statistics shape, schema exactness, and the
+regression verdict under controlled perturbation of a stored baseline
+(the acceptance criterion: an injected slowdown exits nonzero, a clean
+re-run exits zero).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro import obs
+from repro.obs import bench as obs_bench
+from repro.obs import history as obs_history
+from repro.obs.bench import Benchmark, TimingStats, bench_record, run_suite
+from repro.obs.dashboard import render_dashboard
+from repro.obs.history import (
+    BENCH_SCHEMA,
+    append_entry,
+    check_bench_schema,
+    compare_records,
+    load_history,
+    load_record,
+    resolve_baseline,
+)
+
+
+def _toy_suite():
+    """Two instant benchmarks; one records a deterministic counter + span."""
+
+    def counted(_payload):
+        with obs.span("toy.phase"):
+            obs.add("toy.work", 42)
+
+    return [
+        Benchmark("toy.counted", counted, description="adds a counter"),
+        Benchmark("toy.plain", lambda _p: sum(range(100))),
+    ]
+
+
+def _toy_record(**meta) -> dict:
+    results = run_suite(_toy_suite(), repeats=3, warmup=0)
+    return bench_record(results, repeats=3, warmup=0, **meta)
+
+
+class TestRunner:
+    def test_timing_stats_min_median_mad(self):
+        st = TimingStats.from_samples([3.0, 1.0, 2.0])
+        assert st.min == 1.0
+        assert st.median == 2.0
+        assert st.mad == 1.0
+        assert st.samples == (3.0, 1.0, 2.0)
+
+    def test_run_benchmark_counts_and_cleans_registry(self):
+        (res, _) = run_suite(_toy_suite(), repeats=2, warmup=1)
+        assert res.name == "toy.counted"
+        assert res.repeats == 2
+        assert len(res.wall_s.samples) == 2 and len(res.cpu_s.samples) == 2
+        assert res.wall_s.min >= 0 and res.wall_s.mad >= 0
+        # counters come from ONE instrumented pass, not repeats + warmup
+        assert res.counters == {"toy.work": 42}
+        assert "toy.phase" in res.spans
+        assert res.spans["toy.phase"]["count"] == 1
+        # the runner leaves the global registry disabled and empty
+        assert not obs.enabled()
+        assert obs.spans() == [] and obs.counters() == {}
+
+    def test_setup_is_not_timed_payload_is_passed(self):
+        seen = []
+        b = Benchmark("toy.setup", lambda p: seen.append(p), setup=lambda: "payload")
+        res = obs_bench.run_benchmark(b, repeats=2, warmup=1)
+        # setup ran once; fn saw its payload on warmup(1) + repeats(2) +
+        # the instrumented profiling pass(1)
+        assert seen == ["payload"] * 4
+        assert res.counters == {}
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError, match="repeats"):
+            obs_bench.run_benchmark(_toy_suite()[0], repeats=0)
+
+    def test_select_benchmarks_by_name_and_group(self):
+        suite = obs_bench.default_suite()
+        names = [b.name for b in suite]
+        assert names == [
+            "derive.mgs",
+            "derive.qr_a2v",
+            "derive.qr_v2q",
+            "derive.gebd2",
+            "derive.gehd2",
+            "simulate.belady",
+            "simulate.lru",
+            "tune.tiled_mgs",
+            "verify.smoke",
+        ]
+        assert [b.name for b in obs_bench.select_benchmarks(suite, ["derive"])] == names[:5]
+        assert [b.name for b in obs_bench.select_benchmarks(suite, ["verify.smoke"])] == [
+            "verify.smoke"
+        ]
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            obs_bench.select_benchmarks(suite, ["nope"])
+
+
+class TestRecordAndStore:
+    def test_record_schema(self):
+        rec = _toy_record()
+        check_bench_schema(rec)
+        assert rec["schema"] == BENCH_SCHEMA == "iolb-bench/1"
+        assert rec["suite"] == "default"
+        assert re.fullmatch(r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", rec["created"])
+        assert rec["config"] == {"repeats": 3, "warmup": 0}
+        assert set(rec["env"]) >= {"python", "platform", "machine", "cpu_count", "git_sha"}
+        row = rec["results"]["toy.counted"]
+        assert set(row) == {"repeats", "wall_s", "cpu_s", "counters", "spans"}
+        for key in ("wall_s", "cpu_s"):
+            assert set(row[key]) == {"min", "median", "mad", "samples"}
+        assert row["counters"] == {"toy.work": 42}
+        json.dumps(rec)
+
+    def test_check_bench_schema_rejects_junk(self):
+        with pytest.raises(ValueError, match="iolb-bench/1"):
+            check_bench_schema({"schema": "other"})
+        with pytest.raises(ValueError, match="results"):
+            check_bench_schema({"schema": BENCH_SCHEMA})
+        with pytest.raises(ValueError, match="wall_s"):
+            check_bench_schema({"schema": BENCH_SCHEMA, "results": {"x": {}}})
+
+    def test_append_and_load_history_chronological(self, tmp_path):
+        d = tmp_path / "hist"
+        rec1, rec2 = _toy_record(), _toy_record()
+        rec1["created"] = "2026-08-01T00:00:00Z"
+        rec2["created"] = "2026-08-02T00:00:00Z"
+        p2 = append_entry(rec2, d)  # append out of order on purpose
+        p1 = append_entry(rec1, d)
+        assert p1.parent == d and p1.suffix == ".json"
+        hist = load_history(d)
+        assert [r["created"] for r in hist] == [
+            "2026-08-01T00:00:00Z",
+            "2026-08-02T00:00:00Z",
+        ]
+        assert load_record(p2)["created"] == rec2["created"]
+
+    def test_append_never_clobbers(self, tmp_path):
+        rec = _toy_record()
+        a = append_entry(rec, tmp_path)
+        b = append_entry(rec, tmp_path)
+        assert a != b and a.exists() and b.exists()
+
+    def test_history_filters_by_suite_and_skips_junk(self, tmp_path):
+        rec = _toy_record()
+        other = _toy_record(suite="obs-overhead")
+        append_entry(rec, tmp_path)
+        append_entry(other, tmp_path)
+        (tmp_path / "notes.json").write_text("{\"schema\": \"nope\"}")
+        assert len(load_history(tmp_path)) == 2
+        assert [r["suite"] for r in load_history(tmp_path, suite="default")] == ["default"]
+
+    def test_resolve_baseline_file_or_latest_of_suite(self, tmp_path):
+        rec1, rec2 = _toy_record(), _toy_record(suite="obs-overhead")
+        rec1["created"] = "2026-08-01T00:00:00Z"
+        rec2["created"] = "2026-08-05T00:00:00Z"  # newer, but the wrong suite
+        p1 = append_entry(rec1, tmp_path)
+        append_entry(rec2, tmp_path)
+        assert resolve_baseline(p1)["created"] == rec1["created"]
+        assert resolve_baseline(tmp_path, suite="default")["created"] == rec1["created"]
+        with pytest.raises(ValueError, match="no .* history entries"):
+            resolve_baseline(tmp_path, suite="missing-suite")
+
+    def test_committed_obs_overhead_baseline_loads(self):
+        """The migrated overhead provenance record is valid history-store data
+        and carries the budget the overhead bench reads."""
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "history"
+            / "20260806T000000Z-obs-overhead.json"
+        )
+        rec = load_record(path)
+        assert rec["suite"] == "obs-overhead"
+        assert rec["meta"]["budget"]["disabled_ratio_max"] == 1.05
+        assert "obs_overhead.pre_obs_baseline" in rec["results"]
+
+
+class TestRegressionDetection:
+    def _pair(self):
+        base = _toy_record()
+        cur = json.loads(json.dumps(base))  # deep copy
+        return base, cur
+
+    def test_identical_records_pass(self):
+        base, cur = self._pair()
+        rep = compare_records(base, cur, threshold_pct=10.0)
+        assert rep.ok()
+        assert rep.timings_compared
+        assert "regression check: ok" in rep.summary()
+
+    def test_injected_slowdown_regresses(self):
+        base, cur = self._pair()
+        for row in base["results"].values():
+            for k in ("min", "median", "mad"):
+                row["wall_s"][k] /= 1000.0
+        rep = compare_records(base, cur, threshold_pct=50.0, mad_k=0.0)
+        assert not rep.ok()
+        names = {d.benchmark for d in rep.regressions()}
+        assert names == {"toy.counted", "toy.plain"}
+        assert "REGRESSED" in rep.summary()
+
+    def test_mad_noise_floor_suppresses_jitter(self):
+        """A large percentage move that sits inside k x MAD is noise, not a
+        regression — the whole point of the robust floor."""
+        base, cur = self._pair()
+        row_b = base["results"]["toy.plain"]["wall_s"]
+        row_c = cur["results"]["toy.plain"]["wall_s"]
+        row_b.update(median=1e-6, mad=5e-6)
+        row_c.update(median=2e-6, mad=5e-6)  # +100%, but well under 4*MAD
+        rep = compare_records(base, cur, threshold_pct=20.0, mad_k=4.0)
+        timing = [d for d in rep.deltas if d.benchmark == "toy.plain"]
+        assert timing and not timing[0].regressed
+        assert timing[0].note == "within noise floor"
+
+    def test_counter_drift_flagged_separately_and_exactly(self):
+        base, cur = self._pair()
+        cur["results"]["toy.counted"]["counters"]["toy.work"] = 43
+        rep = compare_records(base, cur, threshold_pct=1e9)
+        assert not rep.ok()
+        (drift,) = rep.regressions()
+        assert drift.kind == "counter" and drift.metric == "toy.work"
+        assert (drift.baseline, drift.current) == (42, 43)
+        assert "work-counter drift" in rep.summary()
+
+    def test_counter_appearing_or_vanishing_is_drift(self):
+        base, cur = self._pair()
+        cur["results"]["toy.plain"]["counters"]["brand.new"] = 1
+        rep = compare_records(base, cur)
+        assert [d.metric for d in rep.regressions()] == ["brand.new"]
+
+    def test_cross_machine_records_compare_counters_only(self):
+        base, cur = self._pair()
+        base["env"]["platform"] = "Somewhere-Else-1.0"
+        rep = compare_records(base, cur, threshold_pct=0.0, mad_k=0.0)
+        assert not rep.timings_compared
+        assert all(d.kind == "counter" for d in rep.deltas)
+        assert any("environments differ" in n for n in rep.notes)
+        assert rep.ok()
+
+    def test_counters_only_flag(self):
+        base, cur = self._pair()
+        for row in base["results"].values():
+            row["wall_s"]["median"] /= 1000.0
+        rep = compare_records(base, cur, counters_only=True)
+        assert rep.ok() and not rep.timings_compared
+
+    def test_disjoint_suites_refuse_to_compare(self):
+        base, _ = self._pair()
+        other = {"schema": BENCH_SCHEMA, "results": {"x.y": {"wall_s": {"median": 1}}}}
+        with pytest.raises(ValueError, match="share no benchmark"):
+            compare_records(base, other)
+
+
+class TestDashboard:
+    def _history(self, n=3):
+        hist = []
+        for i in range(n):
+            rec = _toy_record()
+            rec["created"] = f"2026-08-0{i + 1}T00:00:00Z"
+            rec["env"]["git_sha"] = f"sha{i}"
+            for row in rec["results"].values():
+                row["wall_s"]["median"] = 0.1 * (i + 1)
+            hist.append(rec)
+        return hist
+
+    def test_dashboard_is_self_contained_with_sparkline_per_benchmark(self):
+        html = render_dashboard(self._history())
+        assert html.startswith("<!DOCTYPE html>")
+        # one sparkline and one table per benchmark
+        assert html.count('<svg class="spark"') == 2
+        assert html.count('<polyline class="trend"') == 2
+        assert html.count("<table>") == 2
+        assert "toy.counted" in html and "toy.plain" in html
+        # self-contained: no external scripts, stylesheets, images, or fetches
+        assert "<script" not in html
+        assert 'href="http' not in html and "src=" not in html
+        # both entries' commit tags appear
+        assert "sha0" in html and "sha2" in html
+
+    def test_dashboard_marks_counter_drift(self):
+        hist = self._history(2)
+        hist[1]["results"]["toy.counted"]["counters"]["toy.work"] = 99
+        html = render_dashboard(hist)
+        assert ">drift<" in html
+
+    def test_dashboard_handles_empty_and_single_entry(self):
+        assert "(no bench history)" in render_dashboard([])
+        html = render_dashboard(self._history(1))
+        assert "first entry" in html and '<svg class="spark"' in html
+
+    def test_dashboard_escapes_html(self):
+        hist = self._history(1)
+        hist[0]["env"]["platform"] = "<script>alert(1)</script>"
+        assert "<script>" not in render_dashboard(hist)
+
+
+class TestBenchCLI:
+    """End-to-end over one real (cheap) benchmark from the default suite."""
+
+    ARGS = ["bench", "derive.mgs", "--repeats", "2", "--warmup", "0"]
+
+    def _run(self, extra, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(self.ARGS + ["--history-dir", str(tmp_path / "hist")] + extra)
+        cap = capsys.readouterr()
+        return rc, cap
+
+    def test_json_emits_schema_valid_record_with_spans_and_counters(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "rec.json"
+        rc, cap = self._run(["--json", str(out), "--no-history"], tmp_path, capsys)
+        assert rc == 0
+        assert "iolb bench: 1 benchmark(s)" in cap.out
+        rec = json.loads(out.read_text())
+        check_bench_schema(rec)
+        row = rec["results"]["derive.mgs"]
+        # per-phase span breakdown from the PR-3 instrumentation
+        assert any("bounds.hourglass" in p for p in row["spans"])
+        assert any("polyhedral." in p for p in row["spans"])
+        # deterministic work counters
+        assert row["counters"]["polyhedral.fm_eliminations"] > 0
+        assert row["counters"]["bounds.bounds_derived"] > 0
+
+    def test_json_to_stdout_is_pure_json(self, tmp_path, capsys):
+        # `--json -` must leave stdout machine-parseable: the human table
+        # (and any --check summary) moves to stderr.
+        rc, _ = self._run([], tmp_path, capsys)  # seed the history for --check
+        assert rc == 0
+        rc, cap = self._run(
+            ["--json", "-", "--no-history", "--check", "--threshold", "100000"],
+            tmp_path,
+            capsys,
+        )
+        rec = json.loads(cap.out)
+        check_bench_schema(rec)
+        assert "iolb bench: 1 benchmark(s)" in cap.err
+        assert "regression check" in cap.err
+
+    def test_history_append_check_clean_then_injected_slowdown(
+        self, tmp_path, capsys
+    ):
+        # first run seeds the history
+        rc, _ = self._run([], tmp_path, capsys)
+        assert rc == 0
+        assert len(load_history(tmp_path / "hist")) == 1
+        # clean re-run against that baseline passes (counters are exact; the
+        # huge threshold keeps machine jitter out of this test's way)
+        rc, cap = self._run(
+            ["--check", "--no-history", "--threshold", "100000"], tmp_path, capsys
+        )
+        assert rc == 0
+        assert "regression check: ok" in cap.out
+        # perturb the stored baseline: pretend the past was 1000x faster
+        (entry,) = (tmp_path / "hist").glob("*.json")
+        rec = json.loads(entry.read_text())
+        for row in rec["results"].values():
+            for k in ("min", "median", "mad"):
+                row["wall_s"][k] /= 1000.0
+        entry.write_text(json.dumps(rec))
+        rc, cap = self._run(
+            ["--check", "--no-history", "--threshold", "50", "--mad-k", "0"],
+            tmp_path,
+            capsys,
+        )
+        assert rc == 1
+        assert "REGRESSED" in cap.out
+
+    def test_check_counters_only_gates_on_drift_not_time(self, tmp_path, capsys):
+        rc, _ = self._run([], tmp_path, capsys)
+        assert rc == 0
+        (entry,) = (tmp_path / "hist").glob("*.json")
+        rec = json.loads(entry.read_text())
+        for row in rec["results"].values():
+            row["wall_s"]["median"] /= 1000.0  # would regress on timing...
+        entry.write_text(json.dumps(rec))
+        rc, cap = self._run(
+            ["--check", "--check-counters-only", "--no-history"], tmp_path, capsys
+        )
+        assert rc == 0  # ...but counters match exactly
+        rec["results"]["derive.mgs"]["counters"]["polyhedral.fm_eliminations"] += 1
+        entry.write_text(json.dumps(rec))
+        rc, cap = self._run(
+            ["--check", "--check-counters-only", "--no-history"], tmp_path, capsys
+        )
+        assert rc == 1
+        assert "work-counter drift" in cap.out
+
+    def test_report_writes_dashboard_and_snapshot_names_date(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "dash.html"
+        rc, _ = self._run(["--report", str(out), "--snapshot"], tmp_path, capsys)
+        assert rc == 0
+        html = out.read_text()
+        assert html.count('<svg class="spark"') == 1
+        assert "derive.mgs" in html
+        snaps = list(tmp_path.glob("BENCH_*.json"))
+        assert len(snaps) == 1
+        check_bench_schema(json.loads(snaps[0].read_text()))
+
+    def test_unknown_benchmark_name_is_a_clean_error(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["bench", "no.such", "--no-history"])
+
+    def test_check_with_empty_history_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="no .* history"):
+            main(
+                self.ARGS
+                + ["--history-dir", str(tmp_path / "empty"), "--check", "--no-history"]
+            )

@@ -168,7 +168,9 @@ class TestSinks:
     def test_metrics_dict_exact_schema(self):
         self._record_sample()
         m = obs.metrics_dict(meta={"command": "derive"})
-        assert set(m) == {"schema", "meta", "counters", "gauges", "spans", "aggregates"}
+        assert set(m) == {
+            "schema", "meta", "env", "counters", "gauges", "spans", "aggregates",
+        }
         assert m["schema"] == obs.METRICS_SCHEMA == "iolb-metrics/1"
         assert m["meta"] == {"command": "derive"}
         assert m["counters"] == {"pkg.counter": 7}
@@ -193,14 +195,42 @@ class TestSinks:
         obs.check_schema(m)
         assert m["counters"]["pkg.counter"] == 7
 
+    def test_metrics_dict_embeds_env_fingerprint(self):
+        """Every dump records the machine that produced it (satellite: sinks
+        previously carried no platform/git context)."""
+        import platform
+
+        self._record_sample()
+        m = obs.metrics_dict()
+        env = m["env"]
+        assert env["python"] == platform.python_version()
+        assert env["implementation"] == platform.python_implementation()
+        assert env["cpu_count"] >= 1
+        assert "platform" in env and "machine" in env and "git_sha" in env
+        json.dumps(env)  # JSON-safe
+
+    def test_check_schema_env_is_optional_but_validated(self):
+        """Old dumps (no env block) still load; a malformed env does not."""
+        self._record_sample()
+        m = obs.metrics_dict()
+        m.pop("env")
+        obs.check_schema(m)  # accept-but-not-require
+        m["env"] = "not-a-mapping"
+        with pytest.raises(ValueError, match="env"):
+            obs.check_schema(m)
+
     def test_chrome_trace_exact_schema(self):
         self._record_sample()
         t = obs.chrome_trace_dict()
         assert set(t) == {"displayTimeUnit", "traceEvents"}
         phases = [e["ph"] for e in t["traceEvents"]]
-        assert phases == ["M", "X", "X", "C"]  # metadata, 2 spans, 1 counter
+        # process_name + one thread_name (single thread), 2 spans, 1 counter
+        assert phases == ["M", "M", "X", "X", "C"]
         meta = t["traceEvents"][0]
         assert meta["name"] == "process_name"
+        thread_meta = t["traceEvents"][1]
+        assert thread_meta["name"] == "thread_name"
+        assert thread_meta["tid"] == 0
         x_events = [e for e in t["traceEvents"] if e["ph"] == "X"]
         for e in x_events:
             assert set(e) == {"ph", "name", "cat", "ts", "dur", "pid", "tid", "args"}
@@ -213,6 +243,48 @@ class TestSinks:
         # counter sample sits at the end of the span timeline
         assert c_event["ts"] >= max(e["ts"] + e["dur"] for e in x_events) - 1e-6
         json.dumps(t)
+
+    def test_chrome_trace_multithreaded_tracks(self):
+        """Concurrent spans from different threads land on different, stable
+        tracks: tids are dense per-thread indices (never shared between
+        threads, so tracks cannot interleave), assigned by first span start,
+        and the export is deterministic for a given registry."""
+        obs.enable()
+        n_threads = 3
+        barrier = threading.Barrier(n_threads)
+
+        def work(i):
+            barrier.wait()  # force all spans to be genuinely concurrent
+            with obs.span("worker", i=i):
+                with obs.span("step"):
+                    barrier.wait()
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(work, range(n_threads)))
+
+        t = obs.chrome_trace_dict()
+        x_events = [e for e in t["traceEvents"] if e["ph"] == "X"]
+        assert len(x_events) == 2 * n_threads
+        # dense, zero-based track ids; one per thread
+        tids = {e["tid"] for e in x_events}
+        assert tids == set(range(n_threads))
+        # each real thread maps to exactly one track and vice versa: group
+        # spans by source thread via the registry records and line them up
+        by_thread = {}
+        for rec, ev in zip(
+            sorted(obs.spans(), key=lambda s: (s.start_us, s.path)), x_events
+        ):
+            by_thread.setdefault(rec.tid, set()).add(ev["tid"])
+        assert len(by_thread) == n_threads
+        for tracks in by_thread.values():
+            assert len(tracks) == 1  # a thread never straddles tracks
+        assert len({next(iter(v)) for v in by_thread.values()}) == n_threads
+        # every track is named, and the export is reproducible
+        names = [
+            e for e in t["traceEvents"] if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert {e["tid"] for e in names} == tids
+        assert obs.chrome_trace_dict() == t
 
     def test_render_tree_lists_spans_and_counters(self):
         self._record_sample()
@@ -267,6 +339,37 @@ class TestStats:
         assert "+100.0%" in text  # wall doubled
         assert "+5" in text and "+50.0%" in text  # counter 10 -> 15
 
+    def _dump_with_gauge(self, wall: float, gauge: float) -> dict:
+        obs.enable()
+        with obs.span("root"):
+            obs.gauge("tuner.best_block", gauge)
+        m = obs.metrics_dict()
+        m["aggregates"]["root"]["wall_us"] = wall
+        obs.disable()
+        obs.reset()
+        return m
+
+    def test_diff_reports_gauge_deltas(self):
+        """Gauges were silently dropped from diffs (satellite fix): changed
+        gauges now get their own table with the same percentage format."""
+        a = self._dump_with_gauge(wall=1000.0, gauge=8.0)
+        b = self._dump_with_gauge(wall=1000.0, gauge=12.0)
+        text = obs.diff_metrics(a, b)
+        assert "gauges that changed:" in text
+        assert "tuner.best_block" in text
+        assert "+4" in text and "+50.0%" in text
+
+    def test_diff_identical_gauges_hidden(self):
+        a = self._dump_with_gauge(wall=1000.0, gauge=8.0)
+        assert obs.diff_metrics(a, a) == "no differences"
+
+    def test_diff_gauge_appears_from_nothing(self):
+        a = self._dump(wall=1000.0, count=1)
+        b = self._dump(wall=1000.0, count=1)
+        b["gauges"] = {"g.new": 3.5}
+        text = obs.diff_metrics(a, b)
+        assert "gauges that changed:" in text and "new" in text
+
     def test_diff_threshold_hides_small_moves(self):
         a = self._dump(wall=1000.0, count=1)
         b = self._dump(wall=1010.0, count=1)
@@ -278,10 +381,12 @@ class TestStats:
 
 
 class TestStatsCLI:
-    def _write_dump(self, tmp_path, name: str, count: int):
+    def _write_dump(self, tmp_path, name: str, count: int, gauge: float | None = None):
         obs.enable()
         with obs.span("cli.test"):
             obs.add("c", count)
+            if gauge is not None:
+                obs.gauge("g", gauge)
         p = tmp_path / name
         obs.write_metrics_json(p)
         obs.disable()
@@ -299,12 +404,14 @@ class TestStatsCLI:
     def test_stats_diff(self, tmp_path, capsys):
         from repro.cli import main
 
-        a = self._write_dump(tmp_path, "a.json", 3)
-        b = self._write_dump(tmp_path, "b.json", 9)
+        a = self._write_dump(tmp_path, "a.json", 3, gauge=2.0)
+        b = self._write_dump(tmp_path, "b.json", 9, gauge=5.0)
         assert main(["stats", str(a), str(b)]) == 0
         out = capsys.readouterr().out
         assert "counters that changed" in out
         assert "+6" in out
+        assert "gauges that changed" in out
+        assert "+150.0%" in out  # gauge 2.0 -> 5.0, same _pct formatting
 
     def test_stats_missing_file_exits(self, tmp_path):
         from repro.cli import main
