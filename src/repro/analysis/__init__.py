@@ -1,0 +1,257 @@
+"""``repro.analysis`` — polyhedral static analyzer with span diagnostics.
+
+The analyzer reuses the repo's polyhedral machinery (Fourier–Motzkin
+projection and emptiness, affine index maps, the sequential 2d+1 schedule)
+as its decision engine and turns it towards *program health* instead of
+bound derivation: affine-ness, well-formedness, initialization, bounds,
+dead stores / dead code, explicit parameter-domain assumptions, and
+hourglass-applicability ("will the tightened bound fire, and why?").
+
+Entry points:
+
+* :func:`check_program` — analyze a lowered :class:`~repro.ir.Program`
+  (optionally with its front-end AST for exact spans and declared shapes
+  for symbolic bounds checking); returns an :class:`AnalysisReport`.
+* :func:`check_source` — parse + lower + analyze a figure-dialect source
+  string; never raises on bad input (syntax errors become diagnostics).
+* ``compile_source(..., strict=True)`` in :mod:`repro.frontend` calls
+  :func:`check_program` and raises :class:`AnalysisError` on errors.
+* the ``iolb lint`` subcommand surfaces all of this on the command line.
+
+Every pass runs under an :mod:`repro.obs` span (``analysis.pass.<name>``)
+with per-pass diagnostic counters, so ``iolb lint --profile`` and the
+``lint.kernels`` benchmark can attribute analyzer time.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .. import obs
+from ..ir import Program
+from ..polyhedral import LinExpr, aff
+from .diagnostics import (
+    CODES,
+    LINT_SCHEMA,
+    SEVERITIES,
+    AnalysisReport,
+    Diagnostic,
+    check_lint_schema,
+)
+from .directives import Directives, parse_directives
+from .passes import (
+    PROGRAM_PASSES,
+    AnalysisContext,
+    analyze_ast,
+)
+
+__all__ = [
+    "LINT_SCHEMA",
+    "CODES",
+    "SEVERITIES",
+    "Diagnostic",
+    "AnalysisReport",
+    "AnalysisError",
+    "AnalysisContext",
+    "check_program",
+    "check_source",
+    "check_lint_schema",
+    "analyze_ast",
+    "Directives",
+    "parse_directives",
+]
+
+#: default per-parameter check value (same small-parameter philosophy as
+#: the CDAG cross-validation: exact at a concrete point)
+DEFAULT_PARAM = 6
+
+
+class AnalysisError(ValueError):
+    """Raised by ``compile_source(strict=True)`` when the analyzer finds
+    errors; carries the full :class:`AnalysisReport` as ``.report``."""
+
+    def __init__(self, report: AnalysisReport):
+        errs = report.errors()
+        head = f"{len(errs)} error(s) in {report.program}"
+        detail = "; ".join(repr(d) for d in errs[:3])
+        if len(errs) > 3:
+            detail += "; …"
+        super().__init__(f"{head}: {detail}")
+        self.report = report
+
+
+def _parse_extent(x, params: tuple[str, ...]) -> LinExpr:
+    """Coerce one declared array extent (int, str or LinExpr) to affine."""
+    if isinstance(x, LinExpr):
+        return x
+    if isinstance(x, int):
+        return aff(x)
+    if isinstance(x, str):
+        from ..frontend.lexer import tokenize
+        from ..frontend.lower import LowerError, _to_affine
+        from ..frontend.parser import ParseError, _Parser
+
+        try:
+            e = _Parser(tokenize(x)).parse_additive()
+            return _to_affine(e, set(), set(params))
+        except (ParseError, LowerError) as exc:
+            raise ValueError(f"bad shape extent {x!r}: {exc}") from exc
+    raise ValueError(f"bad shape extent {x!r} (want int, str or LinExpr)")
+
+
+def _resolve_shapes(
+    shapes, params: tuple[str, ...]
+) -> dict[str, tuple[LinExpr, ...]]:
+    out: dict[str, tuple[LinExpr, ...]] = {}
+    for arr, extents in (shapes or {}).items():
+        out[arr] = tuple(_parse_extent(x, params) for x in extents)
+    return out
+
+
+def check_program(
+    program: Program,
+    params: Mapping[str, int] | None = None,
+    *,
+    shapes: Mapping[str, tuple] | None = None,
+    inputs=(),
+    live_out=None,
+    ast=None,
+    dominant: str | None = None,
+) -> AnalysisReport:
+    """Run every analyzer pass over ``program``; never raises.
+
+    ``params`` are the concrete check parameters for the dynamic passes
+    (default: every program parameter set to ``DEFAULT_PARAM``); ``shapes``
+    declares array extents as affine expressions (str/int/LinExpr per
+    dimension) for the bounds pass; ``inputs`` names arrays initialized
+    externally (exempt from uninitialized-read checking); ``live_out``
+    names arrays whose final values escape (default: the program's declared
+    outputs, else every non-workspace array); ``ast`` is the front-end
+    :class:`~repro.frontend.astnodes.Block` for the syntactic pass;
+    ``dominant`` targets the hourglass pass at a specific statement.
+    """
+    if params is None:
+        params = {p: DEFAULT_PARAM for p in program.params}
+    params = dict(params)
+    report = AnalysisReport(program=program.name, params=params)
+
+    def run(pass_name: str, fn) -> None:
+        with obs.span(f"analysis.pass.{pass_name}", program=program.name):
+            try:
+                diags = fn()
+            except Exception as exc:  # noqa: BLE001 - must not crash
+                diags = [
+                    Diagnostic(
+                        "A002",
+                        "error",
+                        f"internal: analysis pass {pass_name!r} failed:"
+                        f" {type(exc).__name__}: {exc}",
+                        hint="this usually means an earlier error left the"
+                        " program in a state the pass cannot process",
+                    )
+                ]
+            report.pass_counts[pass_name] = len(diags)
+            report.diagnostics.extend(diags)
+            obs.add(f"analysis.pass.{pass_name}.diagnostics", len(diags))
+
+    with obs.span("analysis.check", program=program.name):
+        if ast is not None:
+            run("ast", lambda: analyze_ast(ast))
+        ctx = AnalysisContext(
+            program=program,
+            params=params,
+            shapes=_resolve_shapes(shapes, program.params),
+            inputs=frozenset(inputs),
+            live_out=frozenset(),
+            dominant=dominant,
+        )
+        if live_out is not None:
+            ctx.live_out = frozenset(live_out)
+        elif program.outputs:
+            ctx.live_out = frozenset(program.outputs)
+        else:
+            ctx.live_out = frozenset(
+                a.name for a in program.arrays
+            ) - ctx.workspace
+        structural_errors: bool | None = None
+        for pass_name, fn, needs_clean in PROGRAM_PASSES:
+            if needs_clean:
+                # gate the exact passes on the *structural* passes only —
+                # errors the exact passes themselves emit (A003/A004) must
+                # not suppress their siblings
+                if structural_errors is None:
+                    structural_errors = bool(report.errors())
+                if structural_errors:
+                    continue
+            run(pass_name, lambda fn=fn: fn(ctx))
+        obs.add("analysis.programs_checked", 1)
+        obs.add("analysis.diagnostics", len(report.diagnostics))
+    return report
+
+
+def check_source(
+    src: str,
+    name: str = "lint",
+    params: Mapping[str, int] | None = None,
+    *,
+    shapes: Mapping[str, tuple] | None = None,
+    inputs=(),
+    live_out=None,
+    dominant: str | None = None,
+) -> tuple[AnalysisReport, Program | None]:
+    """Parse, lower and analyze a figure-dialect source string.
+
+    Returns ``(report, program)``; ``program`` is ``None`` when parsing,
+    the syntactic pass, or lowering failed (the failure is in the report
+    as a diagnostic — this function never raises on bad input).
+    """
+    from ..frontend.lower import LowerError, lower_program
+    from ..frontend.parser import ParseError, parse
+
+    def failed(pass_name: str, diags) -> tuple[AnalysisReport, None]:
+        rep = AnalysisReport(program=name, params=dict(params or {}))
+        rep.diagnostics = list(diags)
+        rep.pass_counts[pass_name] = len(diags)
+        obs.add("analysis.programs_checked", 1)
+        obs.add("analysis.diagnostics", len(rep.diagnostics))
+        return rep, None
+
+    try:
+        tree = parse(src)
+    except ParseError as exc:
+        return failed(
+            "parse",
+            [
+                Diagnostic(
+                    "A002",
+                    "error",
+                    f"parse error: {exc}",
+                    span=exc.span,
+                )
+            ],
+        )
+    ast_diags = analyze_ast(tree)
+    if any(d.severity == "error" for d in ast_diags):
+        return failed("ast", ast_diags)
+    try:
+        prog = lower_program(tree, name=name)
+    except LowerError as exc:
+        msg = str(exc)
+        code = (
+            "A001" if "non-affine" in msg or "non-integer" in msg else "A002"
+        )
+        return failed(
+            "lower", ast_diags + [Diagnostic(code, "error", msg, span=exc.span)]
+        )
+    report = check_program(
+        prog,
+        params,
+        shapes=shapes,
+        inputs=inputs,
+        live_out=live_out,
+        dominant=dominant,
+    )
+    if ast_diags:
+        report.diagnostics = ast_diags + report.diagnostics
+        report.pass_counts = {"ast": len(ast_diags), **report.pass_counts}
+    return report, prog

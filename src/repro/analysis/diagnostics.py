@@ -1,0 +1,255 @@
+"""Diagnostics: the analyzer's structured findings and their renderings.
+
+A :class:`Diagnostic` is one finding — a stable code (``A001``…), a severity
+(``error`` / ``warning`` / ``info``), a human message, the statement it
+concerns, the source :class:`~repro.ir.Span` it points at (when the program
+came through the front-end) and an optional fix-it hint.  A full analyzer
+run returns an :class:`AnalysisReport`, which renders either as annotated,
+optionally colorized text (``render()``) or as the versioned ``iolb-lint/1``
+JSON document (``to_dict()``, validated by :func:`check_lint_schema`).
+
+The catalogue of codes lives in :data:`CODES`; ``docs/ANALYSIS.md`` documents
+each with a minimal trigger example, and the corpus under
+``tests/lint_corpus/`` pins one program per code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..ir.span import Span
+
+__all__ = [
+    "LINT_SCHEMA",
+    "CODES",
+    "SEVERITIES",
+    "Diagnostic",
+    "AnalysisReport",
+    "check_lint_schema",
+]
+
+#: schema tag of the JSON lint report
+LINT_SCHEMA = "iolb-lint/1"
+
+#: severity names, most severe first (exit codes: error=2, warning=1)
+SEVERITIES = ("error", "warning", "info")
+
+#: the diagnostic catalogue: code -> (default severity, title)
+CODES: dict[str, tuple[str, str]] = {
+    "A001": ("error", "non-affine construct"),
+    "A002": ("error", "malformed program"),
+    "A003": ("error", "read before any write (uninitialized)"),
+    "A004": ("error", "access out of declared bounds"),
+    "A005": ("warning", "value overwritten before any read"),
+    "A006": ("warning", "dead code (values never observed)"),
+    "A007": ("info", "parameter-domain assumption"),
+    "A008": ("info", "hourglass applicability"),
+}
+
+_ANSI = {
+    "error": "\x1b[31;1m",
+    "warning": "\x1b[33;1m",
+    "info": "\x1b[36m",
+    "bold": "\x1b[1m",
+    "dim": "\x1b[2m",
+    "off": "\x1b[0m",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: str
+    message: str
+    stmt: str = ""
+    span: Span | None = None
+    hint: str = ""
+
+    def __post_init__(self):
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "stmt": self.stmt,
+            "span": self.span.to_dict() if self.span else None,
+            "hint": self.hint,
+        }
+
+    def __repr__(self) -> str:
+        at = f" at {self.span!r}" if self.span else ""
+        st = f" [{self.stmt}]" if self.stmt else ""
+        return f"{self.severity}[{self.code}]{st}{at}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one analyzer run over one program."""
+
+    program: str
+    params: dict[str, int] = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: per-pass diagnostic counts, in execution order
+    pass_counts: dict[str, int] = field(default_factory=dict)
+
+    # -- selection ---------------------------------------------------------
+    def by_severity(self, severity: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity("error")
+
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity("warning")
+
+    def ok(self) -> bool:
+        """No errors (warnings and infos allowed)."""
+        return not self.errors()
+
+    def clean(self) -> bool:
+        """Neither errors nor warnings."""
+        return not self.errors() and not self.warnings()
+
+    def exit_code(self) -> int:
+        """Severity-gated process exit code: 2 errors, 1 warnings, 0 clean."""
+        if self.errors():
+            return 2
+        if self.warnings():
+            return 1
+        return 0
+
+    def summary_counts(self) -> dict[str, int]:
+        return {sev: len(self.by_severity(sev)) for sev in SEVERITIES}
+
+    # -- output ------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": LINT_SCHEMA,
+            "program": self.program,
+            "params": dict(self.params),
+            "summary": self.summary_counts(),
+            "ok": self.ok(),
+            "passes": dict(self.pass_counts),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render(self, source: str | None = None, color: bool = False) -> str:
+        """Human-readable report, one block per diagnostic.
+
+        With ``source`` given, each spanned diagnostic is followed by the
+        offending source line and a caret marker under the span.
+        """
+
+        def c(key: str, text: str) -> str:
+            if not color:
+                return text
+            return f"{_ANSI[key]}{text}{_ANSI['off']}"
+
+        lines: list[str] = []
+        src_lines = source.splitlines() if source else []
+        for d in self.diagnostics:
+            loc = f"{self.program}:"
+            if d.span:
+                loc += f"{d.span.line}:{d.span.col}:"
+            head = (
+                f"{loc} {c(d.severity, d.severity)}"
+                f"[{c('bold', d.code)}]: {d.message}"
+            )
+            if d.stmt:
+                head += c("dim", f" [{d.stmt}]")
+            lines.append(head)
+            if d.span and 1 <= d.span.line <= len(src_lines):
+                text = src_lines[d.span.line - 1]
+                gutter = f"{d.span.line:5d} | "
+                lines.append(gutter + text)
+                width = (
+                    max(1, d.span.end_col - d.span.col)
+                    if d.span.end_line == d.span.line
+                    else max(1, len(text) - d.span.col + 1)
+                )
+                marker = " " * (d.span.col - 1) + "^" + "~" * (width - 1)
+                lines.append(" " * (len(gutter) - 2) + "| " + c(d.severity, marker))
+            if d.hint:
+                lines.append(f"        hint: {d.hint}")
+        counts = self.summary_counts()
+        tally = ", ".join(
+            f"{counts[sev]} {sev}{'s' if counts[sev] != 1 else ''}"
+            for sev in SEVERITIES
+        )
+        verdict = "clean" if self.clean() else ("ok" if self.ok() else "FAILED")
+        lines.append(f"{self.program}: {tally} => {verdict}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# schema validation
+# ---------------------------------------------------------------------------
+
+_SPAN_KEYS = {"line", "col", "end_line", "end_col"}
+
+
+def _check_report_dict(doc: Mapping, where: str) -> None:
+    for key in ("program", "params", "summary", "ok", "passes", "diagnostics"):
+        if key not in doc:
+            raise ValueError(f"{where}: missing key {key!r}")
+    if not isinstance(doc["program"], str):
+        raise ValueError(f"{where}: program must be a string")
+    for pname, pval in doc["params"].items():
+        if not isinstance(pname, str) or not isinstance(pval, int):
+            raise ValueError(f"{where}: params must map str -> int")
+    summary = doc["summary"]
+    if set(summary) != set(SEVERITIES):
+        raise ValueError(f"{where}: summary must have keys {SEVERITIES}")
+    if not isinstance(doc["ok"], bool):
+        raise ValueError(f"{where}: ok must be a bool")
+    counted = {sev: 0 for sev in SEVERITIES}
+    for i, d in enumerate(doc["diagnostics"]):
+        dwhere = f"{where}: diagnostics[{i}]"
+        for key in ("code", "severity", "message", "stmt", "span", "hint"):
+            if key not in d:
+                raise ValueError(f"{dwhere}: missing key {key!r}")
+        if d["code"] not in CODES:
+            raise ValueError(f"{dwhere}: unknown code {d['code']!r}")
+        if d["severity"] not in SEVERITIES:
+            raise ValueError(f"{dwhere}: unknown severity {d['severity']!r}")
+        counted[d["severity"]] += 1
+        span = d["span"]
+        if span is not None and (
+            set(span) != _SPAN_KEYS
+            or not all(isinstance(span[k], int) for k in _SPAN_KEYS)
+        ):
+            raise ValueError(f"{dwhere}: malformed span {span!r}")
+    if counted != dict(summary):
+        raise ValueError(
+            f"{where}: summary {dict(summary)} does not match the"
+            f" diagnostics list tally {counted}"
+        )
+    if doc["ok"] != (counted["error"] == 0):
+        raise ValueError(f"{where}: ok flag inconsistent with error count")
+
+
+def check_lint_schema(doc: Mapping) -> None:
+    """Validate an ``iolb-lint/1`` document; raises ``ValueError`` on drift.
+
+    Accepts both the single-program report (``iolb lint mgs --json``) and
+    the multi-report wrapper emitted by ``iolb lint all --json`` (a
+    ``reports`` mapping of program name to report body).
+    """
+    if doc.get("schema") != LINT_SCHEMA:
+        raise ValueError(f"not an {LINT_SCHEMA} document: {doc.get('schema')!r}")
+    if "reports" in doc:
+        reports = doc["reports"]
+        if not isinstance(reports, Mapping) or not reports:
+            raise ValueError("reports must be a non-empty mapping")
+        for name, sub in reports.items():
+            _check_report_dict(sub, f"reports[{name}]")
+        return
+    _check_report_dict(doc, "report")

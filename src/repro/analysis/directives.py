@@ -1,0 +1,71 @@
+"""Comment directives: in-source analyzer configuration and expectations.
+
+Programs in the figure dialect can carry ``//`` comment directives that
+configure the analyzer, so a lint target is self-contained:
+
+``// shape: A=N; B=M,N``
+    declared array extents for the bounds pass (arrays separated by
+    ``;``, per-array extents by ``,``; extents are affine expressions
+    over the parameters);
+``// dominant: SU``
+    the statement the hourglass pass should target (otherwise it
+    searches reading statements in decreasing instance count);
+``// expect: A004 error @6:7``
+    an expected diagnostic (code, severity, 1-based line:col) — inert to
+    the analyzer itself, asserted by the corpus runner in
+    ``tests/test_analysis.py``.
+
+Both the ``iolb lint <file>`` CLI path and the test corpus runner parse
+these through :func:`parse_directives`, so a corpus file means the same
+thing in CI, under pytest and on the command line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Directives", "parse_directives"]
+
+_EXPECT = re.compile(
+    r"//\s*expect:\s*(A\d{3})\s+(error|warning|info)\s+@(\d+):(\d+)"
+)
+_SHAPE = re.compile(r"//\s*shape:\s*(.+)")
+_DOMINANT = re.compile(r"//\s*dominant:\s*(\w+)")
+
+
+@dataclass(frozen=True)
+class Directives:
+    """Parsed comment directives of one source file."""
+
+    #: (code, severity, line, col) expectations, in file order
+    expects: tuple[tuple[str, str, int, int], ...] = ()
+    #: array name -> extent expression strings, or None when undeclared
+    shapes: dict[str, tuple[str, ...]] | None = None
+    #: hourglass target statement, or None for automatic selection
+    dominant: str | None = None
+
+
+def parse_directives(src: str) -> Directives:
+    """Extract ``// expect / shape / dominant`` directives from source."""
+    expects = tuple(
+        (m.group(1), m.group(2), int(m.group(3)), int(m.group(4)))
+        for m in _EXPECT.finditer(src)
+    )
+    shapes = None
+    m = _SHAPE.search(src)
+    if m:
+        shapes = {}
+        for part in m.group(1).split(";"):
+            name, _, extents = part.partition("=")
+            if not name.strip() or not extents.strip():
+                raise ValueError(f"malformed // shape: directive: {part!r}")
+            shapes[name.strip()] = tuple(
+                e.strip() for e in extents.split(",")
+            )
+    m = _DOMINANT.search(src)
+    return Directives(
+        expects=expects,
+        shapes=shapes,
+        dominant=m.group(1) if m else None,
+    )

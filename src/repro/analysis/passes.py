@@ -1,0 +1,625 @@
+"""The analyzer's passes, from syntactic probing to polyhedral decision.
+
+Each pass is a pure function from an :class:`AnalysisContext` (program +
+check parameters + optional declared shapes) to a list of
+:class:`~repro.analysis.Diagnostic` objects:
+
+``analyze_ast``    A001/A002 — affine-ness of subscripts, loop bounds and
+                   guards, rank consistency, duplicate labels, loop
+                   step/comparison coherence (front-end AST, exact spans)
+``pass_wellformed``A002 — IR structural validation (arity vs rank, schedule
+                   shape, undeclared arrays) via ``validate_program``
+``pass_assumptions``A007/A006 — Fourier–Motzkin-project every statement
+                   domain onto the parameters: the surviving constraints are
+                   the explicit parameter-domain assumptions (``N >= 2``);
+                   an infeasible projection proves the domain empty for all
+                   parameter values (dead code)
+``pass_dataflow``  A003/A005/A006 — replay the declared accesses in
+                   2d+1-schedule order at the check parameters: reads of
+                   never-written local cells (uninitialized), writes
+                   overwritten before any read (reorder hazard / dead
+                   store), statements none of whose values are ever
+                   observed (dead code)
+``pass_bounds``    A004 — for every access index build the polyhedral
+                   violation set (domain ∧ index < 0, or ∧ index >= extent
+                   when shapes are declared) and search it for an integer
+                   witness at the check parameters
+``pass_hourglass`` A008 — run the paper's hourglass detection on the
+                   dominant statement and report *why* the tightened bound
+                   will or won't apply
+
+The dynamic passes are exact at the chosen parameter point (the same
+small-parameter philosophy the CDAG cross-validation uses); the projection
+passes are symbolic in the parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import gcd
+from typing import Mapping, Sequence
+
+from ..ir import Program, sequential_schedule, validate_program
+from ..polyhedral import Constraint, LinExpr
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "AnalysisContext",
+    "analyze_ast",
+    "pass_wellformed",
+    "pass_assumptions",
+    "pass_dataflow",
+    "pass_bounds",
+    "pass_hourglass",
+    "PROGRAM_PASSES",
+]
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a program-level pass needs."""
+
+    program: Program
+    params: dict[str, int]
+    #: declared array extents (affine in the params), or None per array
+    shapes: dict[str, tuple[LinExpr, ...]] = field(default_factory=dict)
+    #: arrays assumed initialized externally (exempt from A003)
+    inputs: frozenset[str] = frozenset()
+    #: arrays whose final values escape the program (exempt from A005/A006)
+    live_out: frozenset[str] = frozenset()
+    #: statement the hourglass pass should target (default: most instances)
+    dominant: str | None = None
+
+    @property
+    def workspace(self) -> frozenset[str]:
+        """Arrays local to the program: written scalars not declared inputs.
+
+        The front-end dialect has no declarations, so any subscripted array
+        could be an input; only bare written scalars are provably local.
+        Callers with declarations can shrink ``inputs``/``live_out`` instead.
+        """
+        written = {a.array for s in self.program.statements for a in s.writes}
+        zero_dim = {a.name for a in self.program.arrays if a.ndim == 0}
+        return frozenset((written & zero_dim) - self.inputs)
+
+
+def _inst(stmt, point: Sequence[int]) -> str:
+    """``S(k=0, i=2)`` rendering of a statement instance."""
+    if not stmt.dims:
+        return f"{stmt.name}()"
+    inner = ", ".join(f"{d}={v}" for d, v in zip(stmt.dims, point))
+    return f"{stmt.name}({inner})"
+
+
+def _fmt_frac(v: Fraction) -> str:
+    return str(int(v)) if v.denominator == 1 else str(v)
+
+
+def _fmt_access(acc) -> str:
+    """``A[i, k]`` for arrays, bare ``nrm`` for 0-dim scalars."""
+    return repr(acc) if acc.indices else acc.array
+
+
+# ---------------------------------------------------------------------------
+# AST-level: affine-ness and well-formedness (A001 / A002)
+# ---------------------------------------------------------------------------
+
+
+def analyze_ast(block) -> list[Diagnostic]:
+    """Syntactic pre-pass over a front-end AST; exact source spans."""
+    from ..frontend import lower as _lower
+    from ..frontend.astnodes import (
+        Assign,
+        BinOp,
+        Call,
+        Compare,
+        For,
+        If,
+        Num,
+        Ref,
+        Ternary,
+        UnOp,
+        Var,
+    )
+
+    diags: list[Diagnostic] = []
+    try:
+        loop_vars, arrays, written_bare, read_bare = _lower._collect_names(block)
+    except _lower.LowerError as exc:
+        return [
+            Diagnostic(
+                "A002",
+                "error",
+                str(exc),
+                span=exc.span,
+                hint="every use of an array must have the same number of"
+                " subscripts",
+            )
+        ]
+    scalars = set(written_bare)
+    params = set(read_bare) - loop_vars - scalars - set(arrays)
+
+    def classify(exc) -> str:
+        msg = str(exc)
+        return (
+            "A001"
+            if "non-affine" in msg or "non-integer" in msg
+            else "A002"
+        )
+
+    def probe(e, what: str, hint: str) -> None:
+        try:
+            _lower._to_affine(e, loop_vars, params)
+        except _lower.LowerError as exc:
+            diags.append(
+                Diagnostic(
+                    classify(exc),
+                    "error",
+                    f"{what}: {exc}",
+                    span=exc.span or getattr(e, "span", None),
+                    hint=hint,
+                )
+            )
+
+    def probe_refs(e) -> None:
+        """Probe the subscripts of every array reference in an expression
+        (the value positions themselves may be arbitrary arithmetic)."""
+        if isinstance(e, Ref):
+            for ix in e.indices:
+                probe(
+                    ix,
+                    f"subscript of {e.array}",
+                    "subscripts must be affine in the loop variables and"
+                    " parameters",
+                )
+                probe_refs(ix)
+        elif isinstance(e, (BinOp, Compare)):
+            probe_refs(e.lhs)
+            probe_refs(e.rhs)
+        elif isinstance(e, UnOp):
+            probe_refs(e.operand)
+        elif isinstance(e, Call):
+            for a in e.args:
+                probe_refs(a)
+        elif isinstance(e, Ternary):
+            probe_refs(e.cond)
+            probe_refs(e.then)
+            probe_refs(e.other)
+        elif isinstance(e, (Num, Var)):
+            pass
+
+    seen_labels: dict[str, object] = {}
+    _STEP_OPS = {1: ("<", "<="), -1: (">", ">=")}
+
+    def walk(items) -> None:
+        for s in items:
+            if isinstance(s, For):
+                probe(
+                    s.init,
+                    f"lower bound of loop {s.var}",
+                    "loop bounds must be affine",
+                )
+                probe(
+                    s.bound,
+                    f"upper bound of loop {s.var}",
+                    "loop bounds must be affine",
+                )
+                probe_refs(s.init)
+                probe_refs(s.bound)
+                if s.cond_op not in _STEP_OPS[s.step]:
+                    diags.append(
+                        Diagnostic(
+                            "A002",
+                            "error",
+                            f"loop on {s.var}: comparison {s.cond_op!r} is"
+                            f" inconsistent with step {s.step:+d}"
+                            " (the loop never terminates or never runs)",
+                            span=s.span,
+                            hint="increasing loops need < or <=, decreasing"
+                            " loops > or >=",
+                        )
+                    )
+                walk(s.body.items)
+            elif isinstance(s, If):
+                try:
+                    _lower._compare_to_constraints(s.cond, loop_vars, params)
+                except _lower.LowerError as exc:
+                    diags.append(
+                        Diagnostic(
+                            classify(exc),
+                            "error",
+                            f"guard condition: {exc}",
+                            span=exc.span or s.cond.span,
+                            hint="guards must compare affine expressions"
+                            " with <, <=, >, >= or ==",
+                        )
+                    )
+                probe_refs(s.cond)
+                walk(s.body.items)
+            elif isinstance(s, Assign):
+                if s.label:
+                    if s.label in seen_labels:
+                        diags.append(
+                            Diagnostic(
+                                "A002",
+                                "error",
+                                f"duplicate statement label {s.label!r}"
+                                " (first defined at line"
+                                f" {seen_labels[s.label]})",
+                                span=s.span,
+                                hint="statement labels must be unique",
+                            )
+                        )
+                    else:
+                        seen_labels[s.label] = (
+                            s.span.line if s.span else "?"
+                        )
+                if isinstance(s.target, Ref):
+                    for ix in s.target.indices:
+                        probe(
+                            ix,
+                            f"subscript of {s.target.array}",
+                            "subscripts must be affine in the loop"
+                            " variables and parameters",
+                        )
+                        probe_refs(ix)
+                probe_refs(s.value)
+
+    walk(block.items)
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# IR structural validation (A002)
+# ---------------------------------------------------------------------------
+
+
+def pass_wellformed(ctx: AnalysisContext) -> list[Diagnostic]:
+    diags = []
+    by_name = {s.name: s for s in ctx.program.statements}
+    for problem in validate_program(ctx.program):
+        head = problem.split(":", 1)[0].split(" and ")[0].strip()
+        stmt = by_name.get(head)
+        diags.append(
+            Diagnostic(
+                "A002",
+                "error",
+                problem,
+                stmt=stmt.name if stmt else "",
+                span=stmt.span if stmt else None,
+            )
+        )
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# parameter assumptions via Fourier–Motzkin projection (A007, A006)
+# ---------------------------------------------------------------------------
+
+
+def _normalize(e: LinExpr) -> LinExpr:
+    """Scale to coprime integer coefficients (canonical for dedup)."""
+    vals = [Fraction(c) for c in e.coeffs.values()] + [Fraction(e.const)]
+    denom_lcm = 1
+    for v in vals:
+        denom_lcm = denom_lcm * v.denominator // gcd(denom_lcm, v.denominator)
+    nums = [abs(int(v * denom_lcm)) for v in vals if v != 0]
+    g = 0
+    for n in nums:
+        g = gcd(g, n)
+    return e * Fraction(denom_lcm, g or 1)
+
+
+def _fmt_cmp(e: LinExpr, kind: str) -> str:
+    """Human form of ``e >= 0`` / ``e == 0`` with negatives moved to the
+    right-hand side, so ``N - 2 >= 0`` prints as ``N >= 2``."""
+
+    def side(terms: list[tuple[str, Fraction]], const: Fraction) -> str:
+        parts = [v if c == 1 else f"{_fmt_frac(c)}*{v}" for v, c in terms]
+        if const != 0 or not parts:
+            parts.append(_fmt_frac(const))
+        return " + ".join(parts)
+
+    pos = sorted((v, Fraction(c)) for v, c in e.coeffs.items() if c > 0)
+    neg = sorted((v, -Fraction(c)) for v, c in e.coeffs.items() if c < 0)
+    const = Fraction(e.const)
+    op = "==" if kind == "==" else ">="
+    lhs = side(pos, const if const > 0 else Fraction(0))
+    rhs = side(neg, -const if const < 0 else Fraction(0))
+    return f"{lhs} {op} {rhs}"
+
+
+def pass_assumptions(ctx: AnalysisContext) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    seen: dict[tuple, tuple[LinExpr, str, list[str]]] = {}
+    for st in ctx.program.statements:
+        shadow = st.domain()
+        for d in reversed(shadow.dims):
+            shadow = shadow.eliminate(d)
+        infeasible = False
+        local: list[tuple[LinExpr, str]] = []
+        for c in shadow.constraints:
+            if not c.expr.variables():
+                if (c.kind == "==" and c.expr.const != 0) or (
+                    c.kind == ">=" and c.expr.const < 0
+                ):
+                    infeasible = True
+            else:
+                local.append((c.expr, c.kind))
+        if infeasible:
+            diags.append(
+                Diagnostic(
+                    "A006",
+                    "warning",
+                    f"statement {st.name} has an empty iteration domain for"
+                    " every parameter value (it can never execute)",
+                    stmt=st.name,
+                    span=st.span,
+                    hint="remove the statement or fix its loop bounds/guards",
+                )
+            )
+            continue
+        for e, kind in local:
+            n = _normalize(e)
+            key = (kind, Fraction(n.const), tuple(sorted(n.coeffs.items())))
+            seen.setdefault(key, (n, kind, []))[2].append(st.name)
+    for n, kind, stmts in seen.values():
+        names = ", ".join(dict.fromkeys(stmts[:4]))
+        if len(set(stmts)) > 4:
+            names += ", …"
+        diags.append(
+            Diagnostic(
+                "A007",
+                "info",
+                f"assumes {_fmt_cmp(n, kind)} (required for {names}"
+                " to execute at all)",
+                stmt=stmts[0],
+                span=ctx.program.statement(stmts[0]).span,
+            )
+        )
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# sequential replay: uninitialized reads, overwrites, dead code
+# (A003 / A005 / A006)
+# ---------------------------------------------------------------------------
+
+
+def pass_dataflow(ctx: AnalysisContext) -> list[Diagnostic]:
+    prog, params = ctx.program, ctx.params
+    order = sequential_schedule(prog, params)
+    stmts = {s.name: s for s in prog.statements}
+    workspace = ctx.workspace
+    last_write: dict[tuple, tuple[str, tuple[int, ...]]] = {}
+    unread: set[tuple] = set()
+    stats = {s.name: [0, 0] for s in prog.statements}  # [written, observed]
+    flagged_uninit: set[tuple[str, int]] = set()
+    flagged_pairs: set[tuple[str, str]] = set()
+    uninit: list[Diagnostic] = []
+    overwrites: list[Diagnostic] = []
+    for name, point in order:
+        s = stmts[name]
+        env = dict(params)
+        env.update(zip(s.dims, point))
+        for slot, acc in enumerate(s.reads):
+            cell = acc.eval(env)
+            if cell in last_write:
+                if cell in unread:
+                    unread.discard(cell)
+                    stats[last_write[cell][0]][1] += 1
+            elif cell[0] in workspace and (name, slot) not in flagged_uninit:
+                flagged_uninit.add((name, slot))
+                what = "scalar" if not cell[1] else "array element"
+                uninit.append(
+                    Diagnostic(
+                        "A003",
+                        "error",
+                        f"{_inst(s, point)} reads local {what} {_fmt_access(acc)}"
+                        " before any write to it (uninitialized)",
+                        stmt=name,
+                        span=acc.span or s.span,
+                        hint=f"initialize {cell[0]!r} before this statement"
+                        " (a read-only name would be a parameter or input"
+                        " array instead)",
+                    )
+                )
+        for acc in s.writes:
+            cell = acc.eval(env)
+            if cell in unread:
+                prev_stmt, prev_pt = last_write[cell]
+                pair = (prev_stmt, name)
+                if pair not in flagged_pairs:
+                    flagged_pairs.add(pair)
+                    overwrites.append(
+                        Diagnostic(
+                            "A005",
+                            "warning",
+                            f"value of {_fmt_access(acc)} written by"
+                            f" {_inst(stmts[prev_stmt], prev_pt)} is"
+                            f" overwritten by {_inst(s, point)} before any"
+                            " read observes it",
+                            stmt=name,
+                            span=acc.span or s.span,
+                            hint="the earlier write is a dead store; if two"
+                            " unordered instances write the same cell this"
+                            " is a reordering hazard for tiled schedules",
+                        )
+                    )
+            last_write[cell] = (name, point)
+            unread.add(cell)
+            stats[name][0] += 1
+    for cell in unread:
+        if cell[0] in ctx.live_out:
+            stats[last_write[cell][0]][1] += 1
+    dead: list[Diagnostic] = []
+    for s in prog.statements:
+        written, observed = stats[s.name]
+        if written and not observed:
+            dead.append(
+                Diagnostic(
+                    "A006",
+                    "warning",
+                    f"none of the {written} value(s) written by {s.name}"
+                    f" at {dict(params)} is ever read or live-out",
+                    stmt=s.name,
+                    span=s.span,
+                    hint="dead code: remove the statement, or mark its"
+                    " array as a program output",
+                )
+            )
+    return uninit + overwrites + dead
+
+
+# ---------------------------------------------------------------------------
+# polyhedral bounds checking (A004)
+# ---------------------------------------------------------------------------
+
+
+def pass_bounds(ctx: AnalysisContext) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for st in ctx.program.statements:
+        dom = st.domain()
+        for kind, accs in (("read", st.reads), ("write", st.writes)):
+            for acc in accs:
+                extents = ctx.shapes.get(acc.array)
+                for d, idx in enumerate(acc.indices):
+                    # below: domain ∧ idx <= -1
+                    checks = [("below", (idx * -1) - 1, None)]
+                    if extents is not None and d < len(extents):
+                        # above: domain ∧ idx >= extent
+                        checks.append(("above", idx - extents[d], extents[d]))
+                    for side, vexpr, ext in checks:
+                        viol = dom.with_constraints([Constraint(vexpr, ">=")])
+                        pt = viol.sample(ctx.params)
+                        if pt is None:
+                            continue
+                        env = dict(ctx.params)
+                        env.update(zip(st.dims, pt))
+                        val = _fmt_frac(idx.eval(env))
+                        if side == "below":
+                            why = f"index #{d + 1} = {val} is negative"
+                            hint = (
+                                "shift the subscript or tighten the loop"
+                                " bounds so every index stays >= 0"
+                            )
+                        else:
+                            lim = _fmt_frac(ext.eval(ctx.params))
+                            why = (
+                                f"index #{d + 1} = {val} exceeds the"
+                                f" declared extent {ext!r} = {lim}"
+                            )
+                            hint = (
+                                "tighten the loop bounds or grow the"
+                                " declared array shape"
+                            )
+                        diags.append(
+                            Diagnostic(
+                                "A004",
+                                "error",
+                                f"{kind} {_fmt_access(acc)} out of bounds at"
+                                f" {_inst(st, pt)}: {why}",
+                                stmt=st.name,
+                                span=acc.span or st.span,
+                                hint=hint,
+                            )
+                        )
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# hourglass applicability (A008)
+# ---------------------------------------------------------------------------
+
+
+def pass_hourglass(ctx: AnalysisContext) -> list[Diagnostic]:
+    from ..bounds.hourglass import HourglassDetectionError, detect_hourglass
+
+    prog = ctx.program
+    if ctx.dominant is not None:
+        candidates = [ctx.dominant]
+    else:
+        # decreasing instance count; cap the search — detection is the
+        # analyzer's most expensive decision procedure
+        sized = sorted(
+            ((st.domain().count(ctx.params), st.name) for st in
+             prog.statements if st.reads),
+            key=lambda t: -t[0],
+        )
+        candidates = [name for _, name in sized[:6]]
+    if not candidates:
+        return [
+            Diagnostic(
+                "A008",
+                "info",
+                "no statement with reads: nothing for the hourglass"
+                " detection to target; only the classical bound applies",
+            )
+        ]
+    sample = {k: max(v, 4) * 256 for k, v in ctx.params.items()}
+    pat = None
+    first_reason: tuple[str, str] | None = None
+    for target in candidates:
+        try:
+            pat = detect_hourglass(prog, target, ctx.params, sample)
+            break
+        except HourglassDetectionError as exc:
+            reason = str(exc)
+            if reason.startswith(f"{target}: "):
+                reason = reason[len(target) + 2 :]
+            if first_reason is None:
+                first_reason = (target, reason)
+        except Exception as exc:  # noqa: BLE001 - the analyzer must not crash
+            return [
+                Diagnostic(
+                    "A008",
+                    "info",
+                    f"hourglass analysis inconclusive on {target}:"
+                    f" {type(exc).__name__}: {exc}",
+                    stmt=target,
+                    span=prog.statement(target).span,
+                )
+            ]
+    if pat is None:
+        target, reason = first_reason
+        return [
+            Diagnostic(
+                "A008",
+                "info",
+                f"no hourglass pattern on {target}: {reason}; the classical"
+                " K-partition bound applies",
+                stmt=target,
+                span=prog.statement(target).span,
+                hint="the tightened bound needs a self-update read (temporal"
+                " chain) plus a reduction/broadcast value of parametric"
+                " width (paper §3.2)",
+            )
+        ]
+    st = prog.statement(pat.stmt)
+    msg = (
+        f"hourglass pattern on {pat.stmt}: temporal dims"
+        f" {', '.join(pat.temporal)}; reduction {', '.join(pat.reduction)};"
+        f" neutral {', '.join(pat.neutral) or '(none)'};"
+        f" width Wmin = {pat.width_min!r}, Wmax = {pat.width_max!r}"
+    )
+    if pat.parametric_width:
+        msg += " — parametric width: the tightened bound (paper §4) applies"
+    else:
+        msg += (
+            " — constant minimum width: the loop-splitting derivation"
+            " (Theorem 9) applies instead of the direct bound"
+        )
+    return [
+        Diagnostic("A008", "info", msg, stmt=pat.stmt, span=st.span)
+    ]
+
+
+#: program-level passes in execution order (name, fn, needs_clean_structure)
+PROGRAM_PASSES: tuple[tuple[str, object, bool], ...] = (
+    ("wellformed", pass_wellformed, False),
+    ("assumptions", pass_assumptions, False),
+    ("dataflow", pass_dataflow, True),
+    ("bounds", pass_bounds, True),
+    ("hourglass", pass_hourglass, True),
+)

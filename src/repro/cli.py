@@ -12,6 +12,7 @@ Subcommands::
     iolb stats metrics.json [other.json]   # summarize / diff --metrics-json dumps
     iolb bench [NAMES...] [--repeats 5 --json out.json --check [BASELINE]
                --report trends.html --snapshot]   # performance history & gating
+    iolb lint [mgs|all|FILE] [--json out.json --color always]  # static analysis
     iolb fig4 / iolb fig5             # regenerate the paper's tables
 
 ``tiled`` and ``tune`` support a persistent result cache: ``--cache-dir``
@@ -224,6 +225,86 @@ def cmd_parse(args) -> int:
         print()
         print(rep.summary())
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Static analysis with source-span diagnostics (see repro.analysis)."""
+    import json
+    import pathlib
+
+    from .analysis import LINT_SCHEMA, check_source, parse_directives
+    from .frontend.sources import FIGURE_SHAPE_EXPRS, FIGURE_SOURCES
+
+    def builtin(name: str):
+        k = KERNELS.get(name)
+        return (
+            name,
+            FIGURE_SOURCES[name],
+            FIGURE_SHAPE_EXPRS.get(name),
+            dict(args.params) if args.params else (
+                dict(k.default_params) if k else None
+            ),
+            k.dominant if k else None,
+        )
+
+    if args.target == "all":
+        targets = [builtin(name) for name in FIGURE_SOURCES]
+    elif args.target in FIGURE_SOURCES:
+        targets = [builtin(args.target)]
+    else:
+        path = pathlib.Path(args.target)
+        if not path.exists():
+            raise SystemExit(
+                f"iolb lint: no builtin kernel or file named {args.target!r}"
+                f" (builtins: {', '.join(sorted(FIGURE_SOURCES))}, or 'all')"
+            )
+        src = path.read_text()
+        # honor in-source `// shape:` / `// dominant:` directives so a
+        # lint target is self-contained (see repro.analysis.directives)
+        dirs = parse_directives(src)
+        targets = [
+            (path.stem, src, dirs.shapes,
+             dict(args.params) if args.params else None, dirs.dominant)
+        ]
+
+    if args.color == "always":
+        use_color = True
+    elif args.color == "never":
+        use_color = False
+    else:
+        use_color = sys.stdout.isatty()
+    # `--json -` hands stdout to the JSON document; human output moves
+    # to stderr (same convention as `iolb bench --json -`).
+    out = sys.stderr if args.json_path == "-" else sys.stdout
+
+    rc = 0
+    reports = {}
+    for i, (name, src, shapes, params, dominant) in enumerate(targets):
+        rep, _prog = check_source(
+            src, name=name, params=params, shapes=shapes, dominant=dominant
+        )
+        reports[name] = rep
+        if i:
+            print(file=out)
+        print(rep.render(source=src, color=use_color), file=out)
+        rc = max(rc, rep.exit_code())
+
+    if args.json_path:
+        if len(reports) == 1:
+            doc = next(iter(reports.values())).to_dict()
+        else:
+            doc = {
+                "schema": LINT_SCHEMA,
+                "reports": {n: r.to_dict() for n, r in reports.items()},
+            }
+        payload = json.dumps(doc, indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(payload)
+        else:
+            with open(args.json_path, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"lint report written to {args.json_path}", file=sys.stderr)
+    return rc
 
 
 def cmd_verify(args) -> int:
@@ -673,6 +754,35 @@ def main(argv=None) -> int:
         help="small params for dataflow, e.g. M=5,N=4",
     )
     pr.set_defaults(fn=cmd_parse)
+
+    ln = sub.add_parser(
+        "lint", help="static analysis with source-span diagnostics"
+    )
+    ln.add_argument(
+        "target",
+        help="builtin kernel name (mgs, qr_a2v, ...), a source file path,"
+        " or 'all' for every builtin kernel",
+    )
+    ln.add_argument(
+        "--params",
+        default="",
+        type=_parse_assign,
+        help="check parameters, e.g. M=8,N=5 (default: the kernel's)",
+    )
+    ln.add_argument(
+        "--json",
+        metavar="PATH",
+        dest="json_path",
+        help="write the iolb-lint/1 report to PATH ('-' for stdout)",
+    )
+    ln.add_argument(
+        "--color",
+        default="auto",
+        choices=["auto", "always", "never"],
+        help="colorize the human-readable report (default: tty detection)",
+    )
+    add_profile_flags(ln)
+    ln.set_defaults(fn=cmd_lint)
 
     sub.add_parser("fig4", help="regenerate Figure 4").set_defaults(fn=cmd_fig4)
     sub.add_parser("fig5", help="regenerate Figure 5").set_defaults(fn=cmd_fig5)

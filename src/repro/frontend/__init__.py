@@ -37,10 +37,23 @@ __all__ = [
 ]
 
 
-def compile_source(src: str, name: str = "parsed", array_shapes=None):
+def compile_source(
+    src: str,
+    name: str = "parsed",
+    array_shapes=None,
+    *,
+    strict: bool = False,
+    check_params=None,
+    shapes=None,
+):
     """Parse + lower; attach a random-input runner when shapes are given.
 
     Returns ``(program, ast_block)``.
+
+    With ``strict=True`` the :mod:`repro.analysis` analyzer runs over the
+    result (at ``check_params``, with declared ``shapes`` for bounds
+    checking) and an :class:`~repro.analysis.AnalysisError` carrying the
+    full report is raised if it finds any error-severity diagnostic.
     """
     from .. import obs
 
@@ -49,5 +62,13 @@ def compile_source(src: str, name: str = "parsed", array_shapes=None):
         prog = lower_program(ast, name=name)
         if array_shapes:
             prog.runner = make_runner(ast, prog, array_shapes)
+        if strict:
+            from ..analysis import AnalysisError, check_program
+
+            report = check_program(
+                prog, check_params, shapes=shapes, ast=ast
+            )
+            if not report.ok():
+                raise AnalysisError(report)
     obs.add("frontend.statements_lowered", len(prog.statements))
     return prog, ast

@@ -1,9 +1,17 @@
-"""AST node definitions for the figure-style C subset."""
+"""AST node definitions for the figure-style C subset.
+
+Every node carries an optional :class:`~repro.ir.Span` (``span``) locating
+it in the source text; the parser fills these in and lowering threads them
+onto the IR so errors and :mod:`repro.analysis` diagnostics can point at
+exact source positions.  Spans never participate in equality or hashing.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Union
+
+from ..ir.span import Span
 
 __all__ = [
     "Num",
@@ -26,6 +34,7 @@ __all__ = [
 @dataclass(frozen=True)
 class Num:
     value: float  # ints stored as floats when written 2.0, else int
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return str(self.value)
@@ -34,6 +43,7 @@ class Num:
 @dataclass(frozen=True)
 class Var:
     name: str
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return self.name
@@ -46,6 +56,7 @@ class Ref:
 
     array: str
     indices: tuple["Expr", ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return self.array + "".join(f"[{e!r}]" for e in self.indices)
@@ -56,6 +67,7 @@ class BinOp:
     op: str  # + - * /
     lhs: "Expr"
     rhs: "Expr"
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"({self.lhs!r} {self.op} {self.rhs!r})"
@@ -65,6 +77,7 @@ class BinOp:
 class UnOp:
     op: str  # -
     operand: "Expr"
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"({self.op}{self.operand!r})"
@@ -74,6 +87,7 @@ class UnOp:
 class Call:
     func: str
     args: tuple["Expr", ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"{self.func}({', '.join(map(repr, self.args))})"
@@ -84,6 +98,7 @@ class Compare:
     op: str  # < <= > >= == !=
     lhs: "Expr"
     rhs: "Expr"
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"({self.lhs!r} {self.op} {self.rhs!r})"
@@ -94,6 +109,7 @@ class Ternary:
     cond: "Compare"
     then: "Expr"
     other: "Expr"
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"({self.cond!r} ? {self.then!r} : {self.other!r})"
@@ -110,6 +126,7 @@ class Assign:
     op: str
     value: Expr
     label: str = ""
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         lbl = f"{self.label}: " if self.label else ""
@@ -126,6 +143,7 @@ class For:
     #: +1 or -1
     step: int
     body: "Block"
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"for({self.var}={self.init!r}; {self.var}{self.cond_op}{self.bound!r}; {self.step:+d})"
@@ -135,6 +153,7 @@ class For:
 class If:
     cond: Compare
     body: "Block"
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"if({self.cond!r})"
@@ -143,6 +162,7 @@ class If:
 @dataclass
 class Block:
     items: list  # of Assign | For | If
+    span: Span | None = field(default=None, compare=False, repr=False)
 
 
 Stmt = Union[Assign, For, If]

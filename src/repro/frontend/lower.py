@@ -40,7 +40,17 @@ __all__ = ["LowerError", "lower_program"]
 
 
 class LowerError(ValueError):
-    pass
+    """Lowering error carrying the source :class:`~repro.ir.Span` (if known)."""
+
+    def __init__(self, msg: str, span=None):
+        super().__init__(msg)
+        self.span = span
+
+
+def _loc(e) -> str:
+    """`` at line L:C`` suffix for a node with a span, else empty."""
+    sp = getattr(e, "span", None)
+    return f" at line {sp.line}:{sp.col}" if sp is not None else ""
 
 
 def _collect_names(block: Block):
@@ -60,7 +70,9 @@ def _collect_names(block: Block):
             nd = arrays.setdefault(e.array, len(e.indices))
             if nd != len(e.indices):
                 raise LowerError(
-                    f"array {e.array} used with {len(e.indices)} and {nd} indices"
+                    f"array {e.array} used with {len(e.indices)} and"
+                    f" {nd} indices{_loc(e)}",
+                    e.span,
                 )
             for ix in e.indices:
                 expr_walk(ix)
@@ -81,7 +93,7 @@ def _collect_names(block: Block):
             expr_walk(e.then)
             expr_walk(e.other)
             return
-        raise LowerError(f"unknown expression node {e!r}")
+        raise LowerError(f"unknown expression node {e!r}{_loc(e)}", getattr(e, "span", None))
 
     def stmt_walk(s):
         if isinstance(s, For):
@@ -99,7 +111,9 @@ def _collect_names(block: Block):
                 nd = arrays.setdefault(s.target.array, len(s.target.indices))
                 if nd != len(s.target.indices):
                     raise LowerError(
-                        f"array {s.target.array} used with inconsistent rank"
+                        f"array {s.target.array} used with inconsistent"
+                        f" rank{_loc(s.target)}",
+                        s.target.span,
                     )
                 for ix in s.target.indices:
                     expr_walk(ix)
@@ -107,7 +121,7 @@ def _collect_names(block: Block):
                 written_bare.add(s.target.name)
             expr_walk(s.value)
         else:
-            raise LowerError(f"unknown statement node {s!r}")
+            raise LowerError(f"unknown statement node {s!r}{_loc(s)}", getattr(s, "span", None))
 
     for item in block.items:
         stmt_walk(item)
@@ -119,12 +133,17 @@ def _to_affine(e, loop_vars: set[str], params: set[str]) -> LinExpr:
     if isinstance(e, Num):
         v = e.value
         if isinstance(v, float) and not v.is_integer():
-            raise LowerError(f"non-integer constant {v} in affine position")
+            raise LowerError(
+                f"non-integer constant {v} in affine position{_loc(e)}", e.span
+            )
         return LinExpr((), int(v))
     if isinstance(e, Var):
         if e.name in loop_vars or e.name in params:
             return LinExpr({e.name: 1})
-        raise LowerError(f"non-affine use of scalar {e.name!r} in index/bound")
+        raise LowerError(
+            f"non-affine use of scalar {e.name!r} in index/bound{_loc(e)}",
+            e.span,
+        )
     if isinstance(e, UnOp) and e.op == "-":
         return _to_affine(e.operand, loop_vars, params) * -1
     if isinstance(e, BinOp):
@@ -139,12 +158,14 @@ def _to_affine(e, loop_vars: set[str], params: set[str]) -> LinExpr:
                 return b * a.const
             if b.is_const():
                 return a * b.const
-            raise LowerError(f"non-affine product {e!r}")
+            raise LowerError(f"non-affine product {e!r}{_loc(e)}", e.span)
         if e.op == "/":
             if b.is_const() and b.const != 0:
                 return a * (Fraction(1) / b.const)
-            raise LowerError(f"non-affine division {e!r}")
-    raise LowerError(f"non-affine expression {e!r}")
+            raise LowerError(f"non-affine division {e!r}{_loc(e)}", e.span)
+    raise LowerError(
+        f"non-affine expression {e!r}{_loc(e)}", getattr(e, "span", None)
+    )
 
 
 def _compare_to_constraints(
@@ -162,7 +183,9 @@ def _compare_to_constraints(
         return (Constraint(a - b, ">="),)
     if c.op == "==":
         return (Constraint(a - b, "=="),)
-    raise LowerError(f"unsupported guard comparison {c.op!r}")
+    raise LowerError(
+        f"unsupported guard comparison {c.op!r}{_loc(c)}", c.span
+    )
 
 
 def _collect_reads(e, scalars: set[str], out: list):
@@ -171,10 +194,10 @@ def _collect_reads(e, scalars: set[str], out: list):
         return
     if isinstance(e, Var):
         if e.name in scalars:
-            out.append((e.name, ()))
+            out.append((e.name, (), e.span))
         return
     if isinstance(e, Ref):
-        out.append((e.array, e.indices))
+        out.append((e.array, e.indices, e.span))
         for ix in e.indices:
             _collect_reads(ix, scalars, out)
         return
@@ -215,7 +238,9 @@ def lower_program(block: Block, name: str = "parsed") -> Program:
             stmt_name = f"S{auto_idx}"
             auto_idx += 1
         if stmt_name in seen_names:
-            raise LowerError(f"duplicate statement name {stmt_name!r}")
+            raise LowerError(
+                f"duplicate statement name {stmt_name!r}{_loc(s)}", s.span
+            )
         seen_names.add(stmt_name)
         s.label = stmt_name  # write back for the interpreter
 
@@ -223,14 +248,14 @@ def lower_program(block: Block, name: str = "parsed") -> Program:
         _collect_reads(s.value, scalars, raw_reads)
         if s.op:  # compound assignment reads its target too
             if isinstance(s.target, Ref):
-                raw_reads.append((s.target.array, s.target.indices))
+                raw_reads.append((s.target.array, s.target.indices, s.target.span))
             else:
-                raw_reads.append((s.target.name, ()))
+                raw_reads.append((s.target.name, (), s.target.span))
         reads: list[Access] = []
         seen_acc = set()
-        for arr, idxs in raw_reads:
+        for arr, idxs, rspan in raw_reads:
             aff_idx = tuple(_to_affine(ix, loop_vars, params_s) for ix in idxs)
-            acc = Access(arr, aff_idx)
+            acc = Access(arr, aff_idx, span=rspan)
             key = (arr, aff_idx)
             if key not in seen_acc:
                 seen_acc.add(key)
@@ -242,9 +267,10 @@ def lower_program(block: Block, name: str = "parsed") -> Program:
                     _to_affine(ix, loop_vars, params_s)
                     for ix in s.target.indices
                 ),
+                span=s.target.span,
             )
         else:
-            w = Access(s.target.name, ())
+            w = Access(s.target.name, (), span=s.target.span)
         statements.append(
             Statement(
                 stmt_name,
@@ -253,6 +279,7 @@ def lower_program(block: Block, name: str = "parsed") -> Program:
                 writes=(w,),
                 guards=tuple(guards),
                 schedule=tuple(path),
+                span=s.span,
             )
         )
 
@@ -275,7 +302,8 @@ def lower_program(block: Block, name: str = "parsed") -> Program:
                 if lo is None or hi is None:
                     raise LowerError(
                         f"loop on {item.var}: comparison {item.cond_op!r}"
-                        f" inconsistent with step {item.step:+d}"
+                        f" inconsistent with step {item.step:+d}{_loc(item)}",
+                        item.span,
                     )
                 walk(
                     item.body,

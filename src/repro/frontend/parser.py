@@ -17,10 +17,15 @@ Grammar (informally)::
     term      := unary (('*'|'/') unary)*
     unary     := '-' unary | primary
     primary   := num | name call_or_ref? | '(' expr_or_ternary ')'
+
+Every produced AST node carries a :class:`~repro.ir.Span` covering the
+tokens it was parsed from; :class:`ParseError` carries the offending span
+(``.span``) and reports it as ``line:col`` in the message.
 """
 
 from __future__ import annotations
 
+from ..ir.span import Span
 from .astnodes import (
     Assign,
     BinOp,
@@ -43,7 +48,15 @@ _CMPS = {"<", "<=", ">", ">=", "==", "!="}
 
 
 class ParseError(ValueError):
-    pass
+    """Syntax error with the source :class:`~repro.ir.Span` it points at."""
+
+    def __init__(self, msg: str, span: Span | None = None):
+        super().__init__(msg)
+        self.span = span
+
+
+def _tok_span(t: Token) -> Span:
+    return Span.at(t.line, t.col, max(1, len(t.text)))
 
 
 class _Parser:
@@ -66,7 +79,9 @@ class _Parser:
         if t.kind != kind or (text is not None and t.text != text):
             want = f"{kind} {text!r}" if text else kind
             raise ParseError(
-                f"expected {want}, got {t.kind} {t.text!r} at line {t.line}"
+                f"expected {want}, got {t.kind} {t.text!r}"
+                f" at line {t.line}:{t.col}",
+                _tok_span(t),
             )
         return t
 
@@ -76,12 +91,21 @@ class _Parser:
             return self.next()
         return None
 
+    def span_from(self, start_pos: int) -> Span:
+        """Span covering tokens ``start_pos .. pos-1`` (inclusive)."""
+        first = self.toks[start_pos]
+        last = self.toks[max(start_pos, min(self.pos, len(self.toks)) - 1)]
+        return Span(
+            first.line, first.col, last.line, last.col + max(1, len(last.text))
+        )
+
     # -- grammar -------------------------------------------------------------
     def parse_program(self) -> Block:
+        start = self.pos
         items = []
         while self.peek().kind != "eof":
             items.append(self.parse_stmt())
-        return Block(items)
+        return Block(items, span=self.span_from(start) if items else None)
 
     def parse_stmt(self):
         t = self.peek()
@@ -92,53 +116,82 @@ class _Parser:
         return self.parse_assign()
 
     def parse_body(self) -> Block:
+        start = self.pos
         if self.accept("sym", "{"):
             items = []
             while not self.accept("sym", "}"):
                 if self.peek().kind == "eof":
-                    raise ParseError("unterminated block")
+                    raise ParseError(
+                        "unterminated block", self.span_from(start)
+                    )
                 items.append(self.parse_stmt())
-            return Block(items)
-        return Block([self.parse_stmt()])
+            return Block(items, span=self.span_from(start))
+        return Block([self.parse_stmt()], span=self.span_from(start))
 
     def parse_for(self) -> For:
+        start = self.pos
         self.expect("kw", "for")
         self.expect("sym", "(")
         var = self.expect("name").text
         self.expect("sym", "=")
         init = self.parse_expr()
         self.expect("sym", ";")
-        v2 = self.expect("name").text
-        if v2 != var:
-            raise ParseError(f"loop condition on {v2!r}, expected {var!r}")
+        v2_tok = self.expect("name")
+        if v2_tok.text != var:
+            raise ParseError(
+                f"loop condition on {v2_tok.text!r}, expected {var!r}"
+                f" at line {v2_tok.line}:{v2_tok.col}",
+                _tok_span(v2_tok),
+            )
         cmp_tok = self.next()
         if cmp_tok.text not in _CMPS:
-            raise ParseError(f"bad loop comparison {cmp_tok.text!r}")
+            raise ParseError(
+                f"bad loop comparison {cmp_tok.text!r}"
+                f" at line {cmp_tok.line}:{cmp_tok.col}",
+                _tok_span(cmp_tok),
+            )
         bound = self.parse_expr()
         self.expect("sym", ";")
-        v3 = self.expect("name").text
-        if v3 != var:
-            raise ParseError(f"loop step on {v3!r}, expected {var!r}")
+        v3_tok = self.expect("name")
+        if v3_tok.text != var:
+            raise ParseError(
+                f"loop step on {v3_tok.text!r}, expected {var!r}"
+                f" at line {v3_tok.line}:{v3_tok.col}",
+                _tok_span(v3_tok),
+            )
         step_tok = self.next()
         if step_tok.text not in ("+=", "-="):
-            raise ParseError(f"bad loop step {step_tok.text!r}")
+            raise ParseError(
+                f"bad loop step {step_tok.text!r}"
+                f" at line {step_tok.line}:{step_tok.col}",
+                _tok_span(step_tok),
+            )
         amount = self.expect("num")
         if amount.text not in ("1", "1.0"):
-            raise ParseError("only unit loop steps are supported")
+            raise ParseError(
+                "only unit loop steps are supported"
+                f" at line {amount.line}:{amount.col}",
+                _tok_span(amount),
+            )
         step = 1 if step_tok.text == "+=" else -1
         self.expect("sym", ")")
         body = self.parse_body()
-        return For(var, init, cmp_tok.text, bound, step, body)
+        return For(
+            var, init, cmp_tok.text, bound, step, body,
+            span=self.span_from(start),
+        )
 
     def parse_if(self) -> If:
+        start = self.pos
         self.expect("kw", "if")
         self.expect("sym", "(")
         cond = self.parse_compare()
         self.expect("sym", ")")
         body = self.parse_body()
-        return If(cond, body)
+        return If(cond, body, span=self.span_from(start))
 
     def parse_assign(self) -> Assign:
+        start = self.pos
         label = ""
         if (
             self.peek().kind == "name"
@@ -147,22 +200,31 @@ class _Parser:
         ):
             label = self.next().text
             self.next()  # ':'
+        tstart = self.pos
         name = self.expect("name").text
         indices = []
         while self.accept("sym", "["):
             indices.append(self.parse_expr())
             self.expect("sym", "]")
-        target = Ref(name, tuple(indices)) if indices else Var(name)
+        tspan = self.span_from(tstart)
+        target = (
+            Ref(name, tuple(indices), span=tspan)
+            if indices
+            else Var(name, span=tspan)
+        )
         op_tok = self.next()
         ops = {"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/"}
         if op_tok.text not in ops:
             raise ParseError(
                 f"expected assignment operator, got {op_tok.text!r}"
-                f" at line {op_tok.line}"
+                f" at line {op_tok.line}:{op_tok.col}",
+                _tok_span(op_tok),
             )
         value = self.parse_expr()
         self.expect("sym", ";")
-        return Assign(target, ops[op_tok.text], value, label)
+        return Assign(
+            target, ops[op_tok.text], value, label, span=self.span_from(start)
+        )
 
     # expressions ------------------------------------------------------
     def parse_expr(self):
@@ -175,51 +237,70 @@ class _Parser:
                     then = self.parse_expr()
                     self.expect("sym", ":")
                     other = self.parse_expr()
-                    return Ternary(cond, then, other)
+                    return Ternary(cond, then, other, span=self.span_from(save))
             except ParseError:
                 pass
             self.pos = save
         return self.parse_additive()
 
     def parse_compare(self) -> Compare:
+        start = self.pos
         lhs = self.parse_additive()
         t = self.next()
         if t.text not in _CMPS:
-            raise ParseError(f"expected comparison, got {t.text!r} at line {t.line}")
+            raise ParseError(
+                f"expected comparison, got {t.text!r}"
+                f" at line {t.line}:{t.col}",
+                _tok_span(t),
+            )
         rhs = self.parse_additive()
-        return Compare(t.text, lhs, rhs)
+        return Compare(t.text, lhs, rhs, span=self.span_from(start))
 
     def parse_additive(self):
+        start = self.pos
         node = self.parse_term()
         while True:
             if self.accept("sym", "+"):
-                node = BinOp("+", node, self.parse_term())
+                node = BinOp(
+                    "+", node, self.parse_term(), span=self.span_from(start)
+                )
             elif self.accept("sym", "-"):
-                node = BinOp("-", node, self.parse_term())
+                node = BinOp(
+                    "-", node, self.parse_term(), span=self.span_from(start)
+                )
             else:
                 return node
 
     def parse_term(self):
+        start = self.pos
         node = self.parse_unary()
         while True:
             if self.accept("sym", "*"):
-                node = BinOp("*", node, self.parse_unary())
+                node = BinOp(
+                    "*", node, self.parse_unary(), span=self.span_from(start)
+                )
             elif self.accept("sym", "/"):
-                node = BinOp("/", node, self.parse_unary())
+                node = BinOp(
+                    "/", node, self.parse_unary(), span=self.span_from(start)
+                )
             else:
                 return node
 
     def parse_unary(self):
+        start = self.pos
         if self.accept("sym", "-"):
-            return UnOp("-", self.parse_unary())
+            return UnOp("-", self.parse_unary(), span=self.span_from(start))
         return self.parse_primary()
 
     def parse_primary(self):
+        start = self.pos
         t = self.peek()
         if t.kind == "num":
             self.next()
             text = t.text
-            return Num(float(text) if "." in text else int(text))
+            return Num(
+                float(text) if "." in text else int(text), span=_tok_span(t)
+            )
         if t.kind == "name":
             self.next()
             if self.accept("sym", "("):
@@ -229,18 +310,23 @@ class _Parser:
                     while self.accept("sym", ","):
                         args.append(self.parse_expr())
                     self.expect("sym", ")")
-                return Call(t.text, tuple(args))
+                return Call(t.text, tuple(args), span=self.span_from(start))
             indices = []
             while self.peek().kind == "sym" and self.peek().text == "[":
                 self.next()
                 indices.append(self.parse_expr())
                 self.expect("sym", "]")
-            return Ref(t.text, tuple(indices)) if indices else Var(t.text)
+            if indices:
+                return Ref(t.text, tuple(indices), span=self.span_from(start))
+            return Var(t.text, span=_tok_span(t))
         if self.accept("sym", "("):
             e = self.parse_expr()
             self.expect("sym", ")")
             return e
-        raise ParseError(f"unexpected token {t.text!r} at line {t.line}")
+        raise ParseError(
+            f"unexpected token {t.text!r} at line {t.line}:{t.col}",
+            _tok_span(t),
+        )
 
 
 def parse(src: str) -> Block:

@@ -6,12 +6,15 @@ hand-transcribed one — the strongest check that the front-end, the manual
 transcriptions, and the figures all agree.
 
 ``FIGURE_SHAPES`` provides the input-array shape functions needed to attach
-an interpreter runner to each source.
+an interpreter runner to each source; ``FIGURE_SHAPE_EXPRS`` gives the same
+shapes as affine strings in the program parameters (one entry per array
+dimension), which is what the :mod:`repro.analysis` bounds-checking pass
+consumes symbolically.
 """
 
 from __future__ import annotations
 
-__all__ = ["FIGURE_SOURCES", "FIGURE_SHAPES"]
+__all__ = ["FIGURE_SOURCES", "FIGURE_SHAPES", "FIGURE_SHAPE_EXPRS"]
 
 #: Figure 1 — Modified Gram-Schmidt, right-looking (Polybench)
 FIG1_MGS = """
@@ -197,5 +200,22 @@ FIGURE_SHAPES = {
         "z": lambda p: (p["M"],),
         "tauq": lambda p: (p["N"],),
         "taup": lambda p: (p["N"],),
+    },
+}
+
+#: declared array extents as affine expressions in the program parameters
+#: (``A: ("M", "N")`` means ``A`` is M-by-N); consumed by ``iolb lint`` and
+#: :func:`repro.analysis.check_source` for symbolic bounds checking
+FIGURE_SHAPE_EXPRS = {
+    "mgs": {"A": ("M", "N"), "Q": ("M", "N"), "R": ("N", "N")},
+    "qr_a2v": {"A": ("M", "N"), "tau": ("N",)},
+    "qr_v2q": {"A": ("M", "N"), "tau": ("N",)},
+    "gehd2": {"A": ("N", "N"), "tmp": ("N",)},
+    "gebd2": {
+        "A": ("M", "N"),
+        "w": ("N",),
+        "z": ("M",),
+        "tauq": ("N",),
+        "taup": ("N",),
     },
 }

@@ -2,11 +2,13 @@
 
 from .dataflow import dataflow_trace, sequential_schedule
 from .program import Access, Array, Dependence, Program, Statement
+from .span import Span
 from .validate import ProgramValidationError, validate_program
 from .soatrace import TraceArrays
 from .tracing import Addr, Event, NullTracer, Tracer, trace_node_key
 
 __all__ = [
+    "Span",
     "TraceArrays",
     "ProgramValidationError",
     "validate_program",

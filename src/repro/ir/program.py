@@ -25,6 +25,7 @@ from ..polyhedral import (
     symbolic_count,
 )
 from ..symbolic import Poly
+from .span import Span
 
 __all__ = ["Array", "Access", "Statement", "Dependence", "Program"]
 
@@ -45,10 +46,16 @@ class Array:
 
 @dataclass(frozen=True)
 class Access:
-    """An affine array access ``array[f_1(iv), ..., f_d(iv)]``."""
+    """An affine array access ``array[f_1(iv), ..., f_d(iv)]``.
+
+    ``span`` records where the access appeared in the source (front-end
+    programs only); it is excluded from equality/hashing so structural
+    access matching (e.g. the hourglass self-update test) ignores it.
+    """
 
     array: str
     indices: tuple[LinExpr, ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     @staticmethod
     def to(array: str, *indices: "LinExpr | int") -> "Access":
@@ -97,6 +104,7 @@ class Statement:
     writes: tuple[Access, ...] = ()
     guards: tuple[Constraint, ...] = ()
     schedule: tuple = ()
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def schedule_key(self, point: Sequence[int]) -> tuple:
         """Concrete schedule vector of an instance (for sequential sorting).

@@ -1,0 +1,58 @@
+"""Source spans: where a construct came from in the original text.
+
+A :class:`Span` is a half-open region ``[line:col, end_line:end_col)`` of a
+source string (lines and columns 1-based, as the lexer reports them).  The
+front-end attaches one to every AST node and threads them onto the lowered
+:class:`~repro.ir.Statement`/:class:`~repro.ir.Access` objects, so that both
+lowering errors and :mod:`repro.analysis` diagnostics can point at the exact
+source location instead of a node repr.
+
+Spans are deliberately excluded from equality and hashing (``compare=False``
+fields on their carriers): two structurally identical accesses from
+different source positions still compare equal, which the hourglass
+detector's structural matching relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Span"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open source region; ``end_col`` is exclusive."""
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+
+    def __post_init__(self):
+        if self.line < 1 or self.col < 1:
+            raise ValueError("spans are 1-based")
+
+    @staticmethod
+    def at(line: int, col: int, width: int = 1) -> "Span":
+        """Single-line span of ``width`` characters."""
+        return Span(line, col, line, col + width)
+
+    def merge(self, other: "Span | None") -> "Span":
+        """Smallest span covering both."""
+        if other is None:
+            return self
+        lo = min((self.line, self.col), (other.line, other.col))
+        hi = max((self.end_line, self.end_col), (other.end_line, other.end_col))
+        return Span(lo[0], lo[1], hi[0], hi[1])
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+        }
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.col}"

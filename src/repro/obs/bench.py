@@ -14,7 +14,8 @@ their cost is irrelevant because they are exact.
 :func:`default_suite` is the standing workload set every perf PR is judged
 against: ``derive`` on all five hourglass kernels, the Belady and LRU
 engines on a seeded synthetic trace, a coarse tuner sweep (memo disabled —
-a cache hit would benchmark the cache), and a seeded verify smoke.
+a cache hit would benchmark the cache), a seeded verify smoke, and the
+static analyzer over the five builtin kernel sources.
 
 :func:`bench_record` wraps the results into the versioned ``iolb-bench/1``
 JSON that :mod:`repro.obs.history` stores and gates on.
@@ -192,6 +193,24 @@ def default_suite() -> list[Benchmark]:
             raise RuntimeError("verify smoke failed inside the bench suite")
         return rep
 
+    def _lint(_payload):
+        from ..analysis import check_source
+        from ..frontend.sources import FIGURE_SHAPE_EXPRS, FIGURE_SOURCES
+        from ..kernels import KERNELS
+
+        for name, src in FIGURE_SOURCES.items():
+            k = KERNELS[name]
+            rep, _ = check_source(
+                src,
+                name=name,
+                params=k.default_params,
+                shapes=FIGURE_SHAPE_EXPRS[name],
+                dominant=k.dominant,
+            )
+            if not rep.ok():
+                raise RuntimeError(f"lint errors on builtin kernel {name}")
+        return rep
+
     from ..kernels import PAPER_KERNELS
 
     suite = [_derive(k) for k in PAPER_KERNELS]
@@ -217,6 +236,11 @@ def default_suite() -> list[Benchmark]:
             "verify.smoke",
             _verify,
             description="seeded oracle battery, mgs, 2 trials, no fuzz",
+        ),
+        Benchmark(
+            "lint.kernels",
+            _lint,
+            description="full static analysis of the five builtin kernel sources",
         ),
     ]
     return suite

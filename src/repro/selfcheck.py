@@ -13,12 +13,15 @@ single kernel and returns a structured report:
    on a couple of seeded trials;
 8. observability hygiene: the :mod:`repro.obs` registry is empty while
    disabled, and an enable/record/disable round-trip leaves no global
-   state behind (tests share one interpreter, so leaks would cross-talk).
+   state behind (tests share one interpreter, so leaks would cross-talk);
+9. static analysis (:func:`repro.analysis.check_program`): the kernel's
+   program must lint without errors or warnings — infos (parameter
+   assumptions, hourglass applicability) are expected and allowed.
 
 Every check always runs — a check that raises is recorded as FAIL with the
 exception class and message, and the rest of the battery still executes.
 Used by ``iolb selfcheck`` and by downstream users adding their own kernels
-— if all eight pass, the derivation machinery's preconditions hold.
+— if all nine pass, the derivation machinery's preconditions hold.
 """
 
 from __future__ import annotations
@@ -186,6 +189,20 @@ def selfcheck(
             raise AssertionError("enable/disable round-trip left global state")
         return "registry empty by default; enable/disable round-trip clean"
 
+    def c_lint():
+        from .analysis import check_program
+
+        arep = check_program(
+            kernel.program, params, dominant=kernel.dominant
+        )
+        if not arep.clean():
+            bad = arep.errors() + arep.warnings()
+            raise AssertionError(
+                f"{len(bad)} finding(s); first: {bad[0]!r}"
+            )
+        infos = len(arep.diagnostics)
+        return f"no errors or warnings ({infos} info diagnostics)"
+
     record("static-validation", c_static)
     record("numeric", c_numeric)
     record("spec-vs-runner", c_trace)
@@ -194,4 +211,5 @@ def selfcheck(
     record("bound-soundness", c_soundness)
     record("verify", c_verify)
     record("obs-registry", c_obs)
+    record("lint-builtin-kernels", c_lint)
     return rep

@@ -23,6 +23,11 @@ parameter point, not just the hand-picked ones of the unit tests:
                           enumeration of the integer polyhedra
 ``stackdist-eq-lru``      the one-pass stack-distance miss curve matches
                           direct LRU simulation at every capacity
+``lint-clean-analyzable`` fuzz programs the static analyzer passes without
+                          errors must validate, replay and build CDAGs
+``lint-mutation-total``   seeded planted defects (negative subscripts,
+                          uninitialized scalars, dead stores) are flagged
+                          and never crash the analyzer
 ========================  ===================================================
 
 Oracles are pure functions of a :class:`Trial` (kernel or fuzz program +
@@ -585,6 +590,157 @@ def pebble_chain(trial: Trial) -> OracleOutcome:
 
 
 # ---------------------------------------------------------------------------
+# static-analyzer totality (fuzz programs stress repro.analysis)
+# ---------------------------------------------------------------------------
+
+
+def lint_clean_analyzable(trial: Trial) -> OracleOutcome:
+    """A program the analyzer passes without errors must be analyzable end
+    to end: structural validation, dataflow replay and CDAG construction
+    may not raise.  (Derivation is *not* required — many fuzz programs
+    legitimately have no hourglass/classical bound.)"""
+    from ..analysis import check_program
+    from ..ir import dataflow_trace, validate_program
+
+    try:
+        rep = check_program(
+            trial.kernel.program, trial.params, dominant=trial.kernel.dominant
+        )
+    except Exception as exc:  # noqa: BLE001 - totality is the invariant
+        return _outcome(
+            trial,
+            "lint-clean-analyzable",
+            "fail",
+            f"analyzer raised {type(exc).__name__}: {exc}",
+        )
+    if not rep.ok():
+        codes = sorted({d.code for d in rep.errors()})
+        return _outcome(
+            trial,
+            "lint-clean-analyzable",
+            "skip",
+            f"lint errors {codes}: no cleanliness to guarantee",
+        )
+    problems = validate_program(trial.kernel.program)
+    if problems:
+        return _outcome(
+            trial,
+            "lint-clean-analyzable",
+            "fail",
+            f"lint clean but validate_program found: {problems[0]}",
+        )
+    try:
+        t = dataflow_trace(trial.kernel.program, trial.params)
+        g = cdag_from_trace(t)
+    except Exception as exc:  # noqa: BLE001
+        return _outcome(
+            trial,
+            "lint-clean-analyzable",
+            "fail",
+            f"lint clean but dataflow/CDAG raised"
+            f" {type(exc).__name__}: {exc}",
+        )
+    n = sum(1 for _ in g.compute_nodes())
+    return _outcome(
+        trial,
+        "lint-clean-analyzable",
+        "pass",
+        f"lint clean and analyzable ({n} compute nodes)",
+        nodes=n,
+    )
+
+
+def _mutate_program(program, rng: random.Random):
+    """Break a fuzz program in one seeded way the analyzer must flag.
+
+    Returns ``(mutated_program, kind, expected_code)``; mutations mirror
+    the diagnostic catalogue: ``oob`` plants a far-negative subscript
+    (A004), ``uninit`` turns a write into an accumulating scalar read
+    before any write (A003), ``dead`` retargets a write to a fresh array
+    nothing reads (A006).
+    """
+    import dataclasses
+
+    from ..ir import Access, Array
+    from ..ir import Program as IRProgram
+
+    stmts = list(program.statements)
+    t = rng.randrange(len(stmts))
+    s = stmts[t]
+    arrays = list(program.arrays)
+    kind = rng.choice(("oob", "uninit", "dead"))
+    if kind == "oob" and not any(a.indices for a in s.reads):
+        kind = "uninit"
+    if kind == "oob":
+        victim = next(a for a in s.reads if a.indices)
+        shifted = Access(
+            victim.array, (victim.indices[0] - 100,) + victim.indices[1:]
+        )
+        stmts[t] = dataclasses.replace(
+            s,
+            reads=tuple(shifted if a is victim else a for a in s.reads),
+        )
+        expected = "A004"
+    elif kind == "uninit":
+        arrays.append(Array("acc_mut", 0))
+        stmts[t] = dataclasses.replace(
+            s,
+            reads=s.reads + (Access("acc_mut", ()),),
+            writes=(Access("acc_mut", ()),),
+        )
+        expected = "A003"
+    else:  # dead: write goes to a fresh array nothing reads or outputs
+        w = s.writes[0]
+        arrays.append(Array("Zdead", len(w.indices)))
+        stmts[t] = dataclasses.replace(s, writes=(Access("Zdead", w.indices),))
+        expected = "A006"
+    mut = IRProgram(
+        name=f"{program.name}_{kind}",
+        params=program.params,
+        arrays=tuple(arrays),
+        statements=tuple(stmts),
+        outputs=program.outputs,
+    )
+    return mut, kind, expected
+
+
+def lint_mutation_total(trial: Trial) -> OracleOutcome:
+    """Planted defects must be flagged, and the analyzer must stay total
+    (return a report, never raise) on broken input."""
+    from ..analysis import check_program
+
+    mut, kind, expected = _mutate_program(trial.kernel.program, trial.rng)
+    try:
+        rep = check_program(mut, trial.params)
+    except Exception as exc:  # noqa: BLE001 - totality is the invariant
+        return _outcome(
+            trial,
+            "lint-mutation-total",
+            "fail",
+            f"{kind} mutation crashed the analyzer:"
+            f" {type(exc).__name__}: {exc}",
+            kind=kind,
+        )
+    codes = {d.code for d in rep.diagnostics}
+    if expected not in codes:
+        return _outcome(
+            trial,
+            "lint-mutation-total",
+            "fail",
+            f"{kind} mutation expected {expected}; analyzer reported"
+            f" {sorted(codes) or 'nothing'}",
+            kind=kind,
+        )
+    return _outcome(
+        trial,
+        "lint-mutation-total",
+        "pass",
+        f"{kind} mutation flagged as {expected}",
+        kind=kind,
+    )
+
+
+# ---------------------------------------------------------------------------
 # tiled upper bounds
 # ---------------------------------------------------------------------------
 
@@ -725,5 +881,17 @@ FUZZ_ORACLES: tuple[Oracle, ...] = (
         "fuzz",
         "derived bound <= exact red-white optimum (tiny CDAGs)",
         bound_le_exact,
+    ),
+    Oracle(
+        "lint-clean-analyzable",
+        "fuzz",
+        "lint-clean programs validate, replay and build CDAGs",
+        lint_clean_analyzable,
+    ),
+    Oracle(
+        "lint-mutation-total",
+        "fuzz",
+        "planted defects are flagged; the analyzer never crashes",
+        lint_mutation_total,
     ),
 )

@@ -1,0 +1,5 @@
+// A001: non-affine construct — the quadratic subscript B[i * i] cannot be
+// expressed as an affine map, so the polyhedral machinery rejects it.
+// expect: A001 error @5:9
+for (i = 0; i < N; i += 1)
+  Sx: B[i * i] = A[i];

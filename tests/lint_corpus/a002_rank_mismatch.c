@@ -1,0 +1,5 @@
+// A002: malformed program — B is used both as a vector and as a matrix;
+// the array-rank classification is inconsistent.
+// expect: A002 error @5:5
+Sa: B[0] = 1.0;
+Sb: B[0][1] = 2.0;

@@ -1,0 +1,7 @@
+// A003: the accumulator s is a local scalar (it is written, so it cannot
+// be a parameter) but its very first access is the compound-assignment
+// read — the reduction starts from an uninitialized value.
+// expect: A003 error @6:7
+for (i = 0; i < N; i += 1)
+  Ss: s += A[i];
+So: out[0] = s;

@@ -1,0 +1,8 @@
+// A004 (declared-extent side): the inclusive loop runs i = 0..N while both
+// arrays are declared with extent N, so the last iteration reads and
+// writes one past the end.
+// shape: A=N; B=N
+// expect: A004 error @8:7
+// expect: A004 error @8:14
+for (i = 0; i <= N; i += 1)
+  Sx: B[i] = A[i];

@@ -1,0 +1,6 @@
+// A004: at i = 0 the write touches B[-1]; the violation polyhedron
+// (domain ∧ i - 1 <= -1) is non-empty and the analyzer reports the
+// concrete witness instance.
+// expect: A004 error @6:7
+for (i = 0; i < N; i += 1)
+  Sx: B[i - 1] = A[i];

@@ -1,0 +1,8 @@
+// A005: S2 overwrites the value S1 just stored before anything reads it —
+// S1 is a dead store (or, under reordering, a write-race hazard).
+// expect: A005 warning @6:7
+for (k = 0; k < N; k += 1) {
+  S1: s = 1.0;
+  S2: s = 2.0;
+  S3: out[k] = s;
+}

@@ -1,0 +1,5 @@
+// A006: the scalar s is written once and never read again, and as a local
+// workspace scalar it is not live-out — S1 is dead code.
+// expect: A006 warning @4:1
+S1: s = A[0][0];
+S2: out[0] = A[1][1];

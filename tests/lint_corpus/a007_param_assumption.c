@@ -1,0 +1,6 @@
+// A007: projecting the loop domain onto the parameters leaves N - 1 >= 0 —
+// the program implicitly assumes N >= 1, which the analyzer surfaces as an
+// explicit (info-level) parameter-domain assumption.
+// expect: A007 info @6:3
+for (i = 0; i < N; i += 1)
+  Sx: out[i] = A[i];

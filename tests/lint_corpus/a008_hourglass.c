@@ -1,0 +1,14 @@
+// A008: a textbook hourglass — reduction over i into nrm, broadcast of nrm
+// back over i, iterated by the outer temporal loop t (the normalize kernel
+// from examples/custom_kernel.py in source form).  The analyzer explains
+// that the tightened bound applies and on which statement.
+// expect: A008 info @12:7
+for (t = 0; t < T; t += 1) {
+  for (j = 0; j < N; j += 1) {
+    Sz: nrm = 0.0;
+    for (i = 0; i < M; i += 1)
+      SR: nrm += A[i][j] * A[i][j];
+    for (i = 0; i < M; i += 1)
+      SU: A[i][j] = A[i][j] * W[i][t] / (1.0 + nrm);
+  }
+}

@@ -1,0 +1,316 @@
+"""Tests for repro.analysis: the polyhedral static analyzer (iolb lint).
+
+Four layers of coverage:
+
+* **corpus** — every file under ``tests/lint_corpus/`` is a minimal bad (or
+  deliberately interesting) program carrying ``// expect: CODE SEVERITY
+  @line:col`` directives; the runner asserts each expectation matches an
+  emitted diagnostic and that the corpus as a whole exercises the complete
+  A001–A008 catalogue.
+* **clean pins** — the eight hand-built kernel programs, the five figure
+  sources and the example program literal must lint with no errors or
+  warnings: the analyzer's false-positive guard.
+* **golden JSON** — ``iolb lint <kernel> --json`` for the five hourglass
+  kernels, byte-pinned under tests/golden/ (regenerate with
+  ``IOLB_UPDATE_GOLDEN=1``) and schema-checked.
+* **unit/CLI** — diagnostic validation, exit codes, rendering, schema
+  tampering, strict compilation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    AnalysisError,
+    check_lint_schema,
+    check_program,
+    check_source,
+    parse_directives,
+)
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.cli import main
+from repro.frontend import compile_source
+from repro.frontend.sources import FIGURE_SHAPE_EXPRS, FIGURE_SOURCES
+from repro.ir.span import Span
+from repro.kernels import KERNELS, PAPER_KERNELS
+
+CORPUS = pathlib.Path(__file__).parent / "lint_corpus"
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+def _corpus_files():
+    files = sorted(CORPUS.glob("*.c"))
+    assert files, f"empty lint corpus at {CORPUS}"
+    return files
+
+
+class TestLintCorpus:
+    """One bad program per diagnostic code, expectations pinned in-file."""
+
+    @pytest.mark.parametrize(
+        "path", _corpus_files(), ids=lambda p: p.stem
+    )
+    def test_expectations(self, path):
+        src = path.read_text()
+        dirs = parse_directives(src)
+        assert dirs.expects, f"{path.name} has no // expect: directives"
+        report, _ = check_source(
+            src, name=path.stem, shapes=dirs.shapes, dominant=dirs.dominant
+        )
+        got = {
+            (d.code, d.severity, d.span.line if d.span else 0,
+             d.span.col if d.span else 0)
+            for d in report.diagnostics
+        }
+        for want in dirs.expects:
+            assert want in got, (
+                f"{path.name}: expected {want[1]}[{want[0]}] at"
+                f" {want[2]}:{want[3]}; analyzer emitted:\n  "
+                + "\n  ".join(repr(d) for d in report.diagnostics)
+            )
+
+    def test_corpus_covers_full_catalogue(self):
+        triggered = set()
+        for path in _corpus_files():
+            dirs = parse_directives(path.read_text())
+            triggered.update(code for code, *_ in dirs.expects)
+        assert triggered == set(CODES), (
+            f"corpus misses codes {sorted(set(CODES) - triggered)}"
+        )
+
+    def test_error_corpus_exits_2(self, capsys):
+        rc = main(["lint", str(CORPUS / "a004_negative_index.c")])
+        capsys.readouterr()
+        assert rc == 2
+
+    def test_cli_honors_shape_directive(self, capsys):
+        # the declared-extent A004s only exist if the CLI parses the
+        # in-source // shape: directive
+        rc = main(["lint", str(CORPUS / "a004_extent_overflow.c")])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "error[A004]" in out and "exceeds the declared extent" in out
+
+    def test_warning_corpus_exits_1(self, capsys):
+        rc = main(["lint", str(CORPUS / "a006_dead_code.c")])
+        capsys.readouterr()
+        assert rc == 1
+
+    def test_info_corpus_exits_0(self, capsys):
+        rc = main(["lint", str(CORPUS / "a007_param_assumption.c")])
+        capsys.readouterr()
+        assert rc == 0
+
+
+class TestCleanPins:
+    """The analyzer must not cry wolf on the library's own programs."""
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_builtin_kernel_programs_clean(self, name):
+        k = KERNELS[name]
+        report = check_program(
+            k.program, dict(k.default_params), dominant=k.dominant
+        )
+        assert report.clean(), (
+            f"{name}: " + "; ".join(repr(d) for d in report.diagnostics)
+        )
+
+    @pytest.mark.parametrize("name", PAPER_KERNELS)
+    def test_figure_sources_clean(self, name):
+        k = KERNELS[name]
+        report, prog = check_source(
+            FIGURE_SOURCES[name],
+            name=name,
+            params=dict(k.default_params),
+            shapes=FIGURE_SHAPE_EXPRS.get(name),
+            dominant=k.dominant,
+        )
+        assert prog is not None
+        assert report.clean(), (
+            f"{name}: " + "; ".join(repr(d) for d in report.diagnostics)
+        )
+
+    def test_example_program_literal_clean(self):
+        import importlib.util
+
+        path = (
+            pathlib.Path(__file__).parent.parent
+            / "examples"
+            / "custom_kernel.py"
+        )
+        spec = importlib.util.spec_from_file_location("custom_kernel", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        prog = mod.build_program()
+        report = check_program(prog, {"T": 3, "M": 5, "N": 4})
+        assert report.clean(), "; ".join(
+            repr(d) for d in report.diagnostics
+        )
+        # and the hourglass pass recognizes the pattern it was built to show
+        assert any(
+            d.code == "A008" and "hourglass pattern" in d.message
+            for d in report.diagnostics
+        )
+
+
+class TestGoldenLintJSON:
+    """``iolb lint <kernel> --json``, byte-pinned for the paper's kernels.
+
+    Regenerate intentionally with::
+
+        IOLB_UPDATE_GOLDEN=1 python -m pytest tests/test_analysis.py
+    """
+
+    @pytest.mark.parametrize("name", PAPER_KERNELS)
+    def test_json_frozen(self, name, tmp_path, capsys):
+        out = tmp_path / f"{name}.json"
+        assert main(["lint", name, "--json", str(out)]) == 0
+        capsys.readouterr()
+        got = out.read_text()
+        check_lint_schema(json.loads(got))
+        golden = GOLDEN / f"lint_{name}.json"
+        if os.environ.get("IOLB_UPDATE_GOLDEN"):
+            golden.write_text(got)
+        want = golden.read_text()
+        assert got == want, (
+            f"iolb lint {name} --json drifted from {golden.name};"
+            " if intended, rerun with IOLB_UPDATE_GOLDEN=1"
+        )
+
+
+class TestCLI:
+    def test_lint_all_clean(self, capsys, tmp_path):
+        out = tmp_path / "all.json"
+        assert main(["lint", "all", "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        for name in PAPER_KERNELS:
+            assert f"{name}:" in text
+        doc = json.loads(out.read_text())
+        check_lint_schema(doc)
+        assert set(doc["reports"]) == set(PAPER_KERNELS)
+
+    def test_json_dash_moves_human_output_to_stderr(self, capsys):
+        assert main(["lint", "mgs", "--json", "-"]) == 0
+        cap = capsys.readouterr()
+        doc = json.loads(cap.out)
+        check_lint_schema(doc)
+        assert "=>" in cap.err  # the human tally line
+
+    def test_unknown_target_is_an_error(self):
+        with pytest.raises(SystemExit, match="no builtin kernel or file"):
+            main(["lint", "no_such_kernel_or_file"])
+
+    def test_color_always_emits_ansi(self, capsys):
+        main(["lint", str(CORPUS / "a006_dead_code.c"), "--color", "always"])
+        assert "\x1b[" in capsys.readouterr().out
+
+
+class TestDirectives:
+    def test_parse_all_kinds(self):
+        dirs = parse_directives(
+            "// shape: A=N; B=M,N\n// dominant: SU\n"
+            "// expect: A004 error @6:7\nfor ...\n"
+        )
+        assert dirs.shapes == {"A": ("N",), "B": ("M", "N")}
+        assert dirs.dominant == "SU"
+        assert dirs.expects == (("A004", "error", 6, 7),)
+
+    def test_absent_directives(self):
+        dirs = parse_directives("S1: out[0] = A[0];\n")
+        assert dirs.shapes is None
+        assert dirs.dominant is None
+        assert dirs.expects == ()
+
+    def test_malformed_shape_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_directives("// shape: A=\n")
+
+
+class TestDiagnosticUnits:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic("A999", "error", "nope")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Diagnostic("A001", "fatal", "nope")
+
+    def test_exit_codes(self):
+        rep = AnalysisReport(program="p")
+        assert rep.exit_code() == 0 and rep.clean()
+        rep.diagnostics.append(Diagnostic("A007", "info", "fyi"))
+        assert rep.exit_code() == 0 and rep.clean()
+        rep.diagnostics.append(Diagnostic("A006", "warning", "hm"))
+        assert rep.exit_code() == 1 and rep.ok() and not rep.clean()
+        rep.diagnostics.append(Diagnostic("A003", "error", "bad"))
+        assert rep.exit_code() == 2 and not rep.ok()
+
+    def test_render_caret_block(self):
+        src = "S1: out[0] = A[0];\n"
+        rep = AnalysisReport(program="p")
+        rep.diagnostics.append(
+            Diagnostic(
+                "A006",
+                "warning",
+                "dead",
+                stmt="S1",
+                span=Span(1, 1, 1, 3),
+                hint="delete it",
+            )
+        )
+        text = rep.render(source=src)
+        assert "p:1:1: warning[A006]: dead [S1]" in text
+        assert "    1 | S1: out[0] = A[0];" in text
+        assert "^~" in text
+        assert "hint: delete it" in text
+        assert "1 warning" in text
+
+    def test_schema_rejects_tampering(self):
+        report, _ = check_source(
+            (CORPUS / "a006_dead_code.c").read_text(), name="x"
+        )
+        doc = report.to_dict()
+        check_lint_schema(doc)  # the honest document passes
+        bad = json.loads(json.dumps(doc))
+        bad["summary"]["warning"] += 1
+        with pytest.raises(ValueError, match="does not match"):
+            check_lint_schema(bad)
+        bad = json.loads(json.dumps(doc))
+        bad["diagnostics"][0]["code"] = "Z001"
+        with pytest.raises(ValueError, match="unknown code"):
+            check_lint_schema(bad)
+        with pytest.raises(ValueError, match="not an iolb-lint/1"):
+            check_lint_schema({"schema": "iolb-lint/2"})
+
+    def test_wrapper_schema(self):
+        report, _ = check_source(
+            (CORPUS / "a007_param_assumption.c").read_text(), name="x"
+        )
+        check_lint_schema(
+            {"schema": "iolb-lint/1", "reports": {"x": report.to_dict()}}
+        )
+        with pytest.raises(ValueError, match="non-empty mapping"):
+            check_lint_schema({"schema": "iolb-lint/1", "reports": {}})
+
+
+class TestStrictCompile:
+    def test_strict_raises_on_bad_source(self):
+        src = (CORPUS / "a003_uninitialized_read.c").read_text()
+        with pytest.raises(AnalysisError) as exc_info:
+            compile_source(src, strict=True)
+        assert any(
+            d.code == "A003" for d in exc_info.value.report.diagnostics
+        )
+
+    def test_strict_passes_on_good_source(self):
+        prog, _ast = compile_source(
+            FIGURE_SOURCES["mgs"],
+            strict=True,
+            check_params={"M": 6, "N": 4, "S": 8},
+        )
+        assert prog.statements

@@ -99,6 +99,7 @@ class TestRunner:
             "simulate.lru",
             "tune.tiled_mgs",
             "verify.smoke",
+            "lint.kernels",
         ]
         assert [b.name for b in obs_bench.select_benchmarks(suite, ["derive"])] == names[:5]
         assert [b.name for b in obs_bench.select_benchmarks(suite, ["verify.smoke"])] == [

@@ -27,6 +27,7 @@ class TestSelfCheck:
             "bound-soundness",
             "verify",
             "obs-registry",
+            "lint-builtin-kernels",
         ]
         assert "ALL PASS" in rep.summary()
 
@@ -66,7 +67,7 @@ class TestSelfCheck:
         failed = {c.name for c in rep.checks if not c.passed}
         assert "spec-vs-runner" in failed
         # the battery keeps going after the failure: every check is recorded
-        assert len(rep.checks) == 8
+        assert len(rep.checks) == 9
 
     def test_erroring_check_reported_not_raised(self):
         """A kernel whose runner explodes must not abort the battery: the
@@ -90,8 +91,8 @@ class TestSelfCheck:
         rep = selfcheck(kern, {"M": 4, "N": 3})
         assert not rep.ok()
         by_name = {c.name: c for c in rep.checks}
-        # all eight checks ran despite the broken runner
-        assert len(rep.checks) == 8
+        # all nine checks ran despite the broken runner
+        assert len(rep.checks) == 9
         # the trace check failed and names the exception
         assert not by_name["spec-vs-runner"].passed
         assert "RuntimeError" in by_name["spec-vs-runner"].detail
