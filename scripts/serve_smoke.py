@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI smoke gate for the derivation service (``iolb serve``).
+
+Boots a real server — worker pool, sharded queues, content-addressed
+result backend — fires a mixed derive/simulate burst whose requests
+include identical concurrent twins, and asserts the serving invariants
+that hold under *any* thread/worker interleaving:
+
+* every request answered 200;
+* exactly one execution per distinct request key;
+* every other request accounted for as a backend hit or a coalesced wait
+  (``backend_hits + coalesced == requests - executed``);
+* engine work counters from the worker processes merged into the server
+  registry (the cross-process counter-shipping path);
+* ``GET /v1/metrics`` returns a valid ``iolb-metrics/1`` document carrying
+  the operational gauges (latency percentiles, queue depth, hit rate).
+
+The final metrics dump is written to ``--metrics-json`` for artifact
+upload, pass or fail.  Exits non-zero with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(0, "src")
+
+from repro.obs.stats import check_schema  # noqa: E402
+from repro.serve import IolbServer, mixed_burst, run_load  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workers", type=int, default=2, help="worker processes (0 = inline)")
+    ap.add_argument("--repeat", type=int, default=3, help="copies of each distinct request")
+    ap.add_argument("--concurrency", type=int, default=6, help="client threads")
+    ap.add_argument("--metrics-json", default=None, help="write the final metrics dump here")
+    args = ap.parse_args(argv)
+
+    failures: list[str] = []
+
+    def check(cond: bool, what: str) -> None:
+        if not cond:
+            failures.append(what)
+
+    burst = mixed_burst(repeat=args.repeat)
+    distinct = len({json.dumps(r, sort_keys=True) for r in burst})
+    tmp = tempfile.mkdtemp(prefix="iolb-serve-smoke-")
+    try:
+        with IolbServer(workers=args.workers, memo_dir=tmp) as srv:
+            print(f"serve smoke: {srv.url} workers={args.workers}", flush=True)
+            rep = run_load(srv.url, burst, concurrency=args.concurrency, timeout=300)
+            print(f"serve smoke: {rep.summary()}", flush=True)
+
+            check(rep.ok(), f"non-200 responses or transport errors: {rep.summary()}")
+            c = srv.registry.counters()
+            executed = c.get("serve.executed", 0)
+            hits = c.get("serve.backend_hits", 0)
+            coalesced = c.get("serve.coalesced", 0)
+            check(
+                c.get("serve.requests") == len(burst),
+                f"serve.requests={c.get('serve.requests')} != {len(burst)}",
+            )
+            check(
+                executed == distinct,
+                f"serve.executed={executed} != {distinct} distinct keys",
+            )
+            check(
+                hits + coalesced == len(burst) - distinct,
+                f"hits({hits}) + coalesced({coalesced}) != {len(burst) - distinct}",
+            )
+            if args.workers > 0:
+                check(
+                    any(k.startswith(("pebble.", "ir.", "polyhedral.")) for k in c),
+                    "no engine counters shipped back from worker processes",
+                )
+
+            metrics = srv.metrics()
+            try:
+                check_schema(metrics)
+            except ValueError as e:
+                check(False, f"metrics dump failed schema check: {e}")
+            g = metrics.get("gauges", {})
+            for gauge in (
+                "serve.latency_p50_ms",
+                "serve.latency_p99_ms",
+                "serve.queue_depth",
+                "serve.hit_rate",
+            ):
+                check(gauge in g, f"missing operational gauge {gauge}")
+            check(g.get("serve.hit_rate", 0) > 0, "hit rate pinned at zero")
+
+            if args.metrics_json:
+                with open(args.metrics_json, "w") as fh:
+                    json.dump(metrics, fh, indent=2, sort_keys=True)
+                print(f"serve smoke: metrics written to {args.metrics_json}", flush=True)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    if failures:
+        for f in failures:
+            print(f"serve smoke: FAIL: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"serve smoke: OK ({len(burst)} requests, {distinct} executed,"
+        f" {len(burst) - distinct} deduplicated)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

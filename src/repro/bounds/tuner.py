@@ -61,7 +61,7 @@ class TuneResult:
 
 
 def _eval_block(job) -> CacheStats:
-    """Pool worker: full simulation stats of one (algorithm, block) point.
+    """Full simulation stats of one (algorithm, block) point.
 
     Module-level so it pickles; the TiledAlgorithm dataclass itself is
     picklable (its runner and formulas are module-level objects).
@@ -69,6 +69,21 @@ def _eval_block(job) -> CacheStats:
     alg, params, b, s, policy, seed = job
     tr = alg.run_traced({**params, "B": b}, seed=seed)
     return simulate(tr.trace_arrays(), s, policy)
+
+
+def _eval_block_worker(job) -> tuple[CacheStats, dict[str, int] | None]:
+    """Pool worker wrapper: evaluate one point and, when the parent was
+    recording, capture this worker's obs counters (engine work, simulated
+    events) so the parent can merge them — a worker process increments its
+    *own* registry copy, which would otherwise be silently dropped and
+    under-report ``--metrics-json`` for parallel runs."""
+    inner, capture = job
+    if not capture:
+        return _eval_block(inner), None
+    snapshot: dict[str, int] = {}
+    with obs.capture_counters(snapshot):
+        stats = _eval_block(inner)
+    return stats, snapshot
 
 
 def _eval_many(
@@ -100,8 +115,14 @@ def _eval_many(
         if jobs > 1 and len(todo) > 1:
             import multiprocessing
 
+            capture = obs.enabled()
             with multiprocessing.Pool(min(jobs, len(todo))) as pool:
-                results = pool.map(_eval_block, jobs_args)
+                pairs = pool.map(_eval_block_worker, [(j, capture) for j in jobs_args])
+            results = []
+            for stats, snapshot in pairs:
+                if snapshot:
+                    obs.merge_counters(snapshot)
+                results.append(stats)
         else:
             results = [_eval_block(j) for j in jobs_args]
         for b, stats in zip(todo, results):

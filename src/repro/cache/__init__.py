@@ -2,7 +2,7 @@
 
 from .associative import AssocCacheStats, Linearizer, simulate_assoc
 from .hierarchy import HierarchyStats, simulate_hierarchy
-from .memo import MemoCache, default_cache_dir, memo_key, open_memo
+from .memo import JsonCache, MemoCache, default_cache_dir, memo_key, open_memo
 from .stackdist import lru_miss_curve, stack_distances
 from .sim import (
     ENGINE_VERSION,
@@ -27,6 +27,7 @@ __all__ = [
     "simulate",
     "simulate_belady",
     "simulate_lru",
+    "JsonCache",
     "MemoCache",
     "memo_key",
     "default_cache_dir",

@@ -1,20 +1,47 @@
-"""Persistent on-disk memoisation of simulation results.
+"""Persistent on-disk memoisation: a content-addressed JSON result store.
 
-Repeated bench / CLI invocations re-run the same (kernel, params, S, policy)
-points; the traced execution plus cache pass dominates their cost and is a
-pure function of that key.  :class:`MemoCache` stores each
-:class:`~repro.cache.sim.CacheStats` as one small JSON file under a cache
-directory, keyed by::
+Repeated bench / CLI invocations — and, at much higher rates, the
+``iolb serve`` derivation service — re-run the same (kernel, params, S,
+policy) points; the traced execution plus cache pass dominates their cost
+and is a pure function of that key.  Two layers live here:
 
-    kernel name + sorted params + S + policy + seed + ENGINE_VERSION
+* :class:`JsonCache` — the generic backend: one JSON payload per key file
+  under a cache directory, written atomically (tmp file + ``os.replace``)
+  so concurrent writers at worst rewrite the same bytes and readers never
+  observe a half-written entry.  It adds the operational features a
+  long-running service needs:
 
-``ENGINE_VERSION`` (from :mod:`repro.cache.sim`) is bumped whenever
-simulator semantics change, so stale results are never served across engine
-revisions.  The store is value-only and content-addressed — concurrent
-writers at worst rewrite the same bytes, so no locking is needed.
+  - **corrupt-entry quarantine** — a file that exists but fails to decode
+    is moved aside to ``<key>.corrupt`` (counter ``cache.memo_corrupt``)
+    instead of being left in place to re-fail on every future read;
+  - **TTL eviction** — entries older than ``ttl_s`` (file mtime) are
+    treated as misses and unlinked (counter ``cache.memo_expired``);
+  - **size eviction** — :meth:`JsonCache.evict` trims the store to
+    ``max_entries`` / ``max_bytes``, oldest entries first (counters
+    ``cache.memo_evict_ttl`` / ``cache.memo_evict_size``); writers call it
+    automatically every few puts when caps are configured;
+  - **warm-start preloading** — :meth:`JsonCache.preload` reads every
+    valid entry into an in-memory write-through layer so a freshly booted
+    service answers hot keys without touching disk (counter
+    ``cache.memo_preloaded``).
 
-The cache is **opt-in**: ``measure_tiled_io`` and ``tune_block_size`` take a
-``memo=`` argument, and the CLI exposes ``--cache-dir`` / ``--no-cache``
+* :class:`MemoCache` — the simulation-result store used by
+  ``measure_tiled_io`` / ``tune_block_size``: a :class:`JsonCache` whose
+  payloads are :class:`~repro.cache.sim.CacheStats`, keyed by::
+
+      kernel name + sorted params + S + policy + seed + ENGINE_VERSION
+
+  ``ENGINE_VERSION`` (from :mod:`repro.cache.sim`) is bumped whenever
+  simulator semantics change, so stale results are never served across
+  engine revisions.
+
+Counters go to the process-global :mod:`repro.obs` registry by default; a
+component that owns its own :class:`~repro.obs.core.Registry` (the serve
+telemetry) passes it as ``reg=`` and the cache records there instead,
+unconditionally.
+
+The cache is **opt-in**: ``measure_tiled_io`` and ``tune_block_size`` take
+a ``memo=`` argument, and the CLI exposes ``--cache-dir`` / ``--no-cache``
 (default directory from the ``IOLB_CACHE_DIR`` environment variable).
 """
 
@@ -23,16 +50,20 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
-from typing import Mapping
+from typing import Callable, Mapping
 
 from .. import obs
 from .sim import ENGINE_VERSION, CacheStats
 
-__all__ = ["MemoCache", "memo_key", "default_cache_dir", "open_memo"]
+__all__ = ["JsonCache", "MemoCache", "memo_key", "default_cache_dir", "open_memo"]
 
 #: environment variable naming the default cache directory
 CACHE_DIR_ENV = "IOLB_CACHE_DIR"
+
+#: with size caps configured, a writer triggers `evict()` every N puts
+_EVICT_EVERY = 32
 
 #: CacheStats fields persisted (everything the dataclass counts)
 _STAT_FIELDS = (
@@ -75,42 +106,268 @@ def default_cache_dir() -> str | None:
     return d or None
 
 
-class MemoCache:
-    """A directory of memoised simulation results (one JSON file per key)."""
+class JsonCache:
+    """A directory of content-addressed JSON payloads (one file per key).
 
-    __slots__ = ("cache_dir", "hits", "misses", "_mkdir_done")
+    Value-only and append-mostly: concurrent writers of the same key write
+    identical bytes via atomic renames, so no locking is needed.  See the
+    module docstring for quarantine / TTL / size-eviction / preload
+    semantics.
+    """
 
-    def __init__(self, cache_dir: str | os.PathLike) -> None:
+    __slots__ = (
+        "cache_dir",
+        "hits",
+        "misses",
+        "ttl_s",
+        "max_entries",
+        "max_bytes",
+        "_mkdir_done",
+        "_mem",
+        "_puts_since_evict",
+        "_reg",
+    )
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike,
+        *,
+        ttl_s: float | None = None,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        reg=None,
+    ) -> None:
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive (got {ttl_s})")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 (got {max_entries})")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 (got {max_bytes})")
         self.cache_dir = Path(cache_dir)
         self.hits = 0
         self.misses = 0
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self._mkdir_done = False
+        #: warm-start layer: key -> (payload, mtime); None until preload()
+        self._mem: dict[str, tuple[dict, float]] | None = None
+        self._puts_since_evict = 0
+        self._reg = reg
+
+    # -- plumbing ----------------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        """Counter sink: the private registry if set, else the global obs."""
+        if self._reg is not None:
+            self._reg.add(name, n)
+        else:
+            obs.add(name, n)
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
 
-    def get(self, key: str) -> CacheStats | None:
-        """Stored stats for ``key``, or None (corrupt files count as misses)."""
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is never re-parsed (and kept for
+        post-mortems); unlink as the fallback when even the rename fails."""
         try:
-            raw = json.loads(self._path(key).read_text())
-            stats = CacheStats(**{f: raw[f] for f in _STAT_FIELDS})
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            obs.add("cache.memo_misses")
-            return None
-        self.hits += 1
-        obs.add("cache.memo_hits")
-        return stats
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
-    def put(self, key: str, stats: CacheStats) -> None:
-        """Persist ``stats`` under ``key`` (atomic via rename)."""
+    def _expired(self, mtime: float, now: float | None = None) -> bool:
+        return self.ttl_s is not None and (now or time.time()) - mtime > self.ttl_s
+
+    # -- the store ---------------------------------------------------------
+    def get_raw(
+        self, key: str, decode: Callable[[Mapping], object] | None = None
+    ) -> object | None:
+        """The payload stored under ``key``, or None on miss.
+
+        ``decode`` optionally converts the parsed JSON mapping into a typed
+        object; a ``decode`` failure (wrong fields, wrong types) counts as a
+        corrupt entry and quarantines the file exactly like a JSON decode
+        failure — the entry would otherwise re-fail on every future read.
+        """
+        path = self._path(key)
+        if self._mem is not None and key in self._mem:
+            raw, mtime = self._mem[key]
+            if self._expired(mtime):
+                del self._mem[key]
+            else:
+                try:
+                    value = decode(raw) if decode is not None else raw
+                except (ValueError, KeyError, TypeError):
+                    del self._mem[key]
+                    self._quarantine(path)
+                    self._count("cache.memo_corrupt")
+                else:
+                    self.hits += 1
+                    self._count("cache.memo_hits")
+                    return value
+        try:
+            text = path.read_text()
+            mtime = path.stat().st_mtime
+        except OSError:
+            self.misses += 1
+            self._count("cache.memo_misses")
+            return None
+        try:
+            raw = json.loads(text)
+            if not isinstance(raw, dict):
+                raise ValueError(f"payload is {type(raw).__name__}, not an object")
+            value = decode(raw) if decode is not None else raw
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self._count("cache.memo_corrupt")
+            self.misses += 1
+            self._count("cache.memo_misses")
+            return None
+        if self._expired(mtime):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._count("cache.memo_expired")
+            self.misses += 1
+            self._count("cache.memo_misses")
+            return None
+        if self._mem is not None:
+            self._mem[key] = (raw, mtime)
+        self.hits += 1
+        self._count("cache.memo_hits")
+        return value
+
+    def put_raw(self, key: str, payload: Mapping) -> None:
+        """Persist ``payload`` under ``key`` (atomic via rename)."""
         if not self._mkdir_done:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             self._mkdir_done = True
-        tmp = self._path(key).with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps({f: getattr(stats, f) for f in _STAT_FIELDS}))
-        os.replace(tmp, self._path(key))
-        obs.add("cache.memo_stores")
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        if self._mem is not None:
+            self._mem[key] = (dict(payload), time.time())
+        self._count("cache.memo_stores")
+        if self.max_entries is not None or self.max_bytes is not None:
+            self._puts_since_evict += 1
+            if self._puts_since_evict >= _EVICT_EVERY:
+                self.evict()
+
+    # -- operations --------------------------------------------------------
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """Every entry as (mtime, size, path), oldest first; racy-read safe."""
+        out = []
+        for p in self.cache_dir.glob("*.json"):
+            try:
+                st = p.stat()
+            except OSError:
+                continue  # concurrently evicted/replaced
+            out.append((st.st_mtime, st.st_size, p))
+        out.sort()
+        return out
+
+    def evict(self, now: float | None = None) -> dict[str, int]:
+        """Trim the store: drop expired entries, then oldest-first down to the
+        size caps.  Returns ``{"ttl": n, "size": m}`` removal counts."""
+        self._puts_since_evict = 0
+        if not self.cache_dir.is_dir():
+            return {"ttl": 0, "size": 0}
+        now = now or time.time()
+        entries = self._entries()
+        dropped_ttl = dropped_size = 0
+        keep: list[tuple[float, int, Path]] = []
+        for mtime, size, p in entries:
+            if self._expired(mtime, now):
+                if self._unlink_entry(p):
+                    dropped_ttl += 1
+            else:
+                keep.append((mtime, size, p))
+        total_bytes = sum(size for _, size, _ in keep)
+        over_entries = (
+            len(keep) - self.max_entries if self.max_entries is not None else 0
+        )
+        i = 0
+        while i < len(keep) and (
+            over_entries > 0
+            or (self.max_bytes is not None and total_bytes > self.max_bytes)
+        ):
+            mtime, size, p = keep[i]
+            if self._unlink_entry(p):
+                dropped_size += 1
+                total_bytes -= size
+                over_entries -= 1
+            i += 1
+        if dropped_ttl:
+            self._count("cache.memo_evict_ttl", dropped_ttl)
+        if dropped_size:
+            self._count("cache.memo_evict_size", dropped_size)
+        return {"ttl": dropped_ttl, "size": dropped_size}
+
+    def _unlink_entry(self, path: Path) -> bool:
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        if self._mem is not None:
+            self._mem.pop(path.stem, None)
+        return True
+
+    def preload(self) -> int:
+        """Warm-start: read every valid, unexpired entry into memory.
+
+        After this, hot keys are answered without disk reads, and every
+        subsequent ``put_raw`` writes through to the memory layer.  Corrupt
+        entries found during the scan are quarantined (same counter as on
+        read).  Returns the number of entries loaded.
+        """
+        mem: dict[str, tuple[dict, float]] = {}
+        if self.cache_dir.is_dir():
+            now = time.time()
+            for mtime, _size, p in self._entries():
+                if self._expired(mtime, now):
+                    continue
+                try:
+                    raw = json.loads(p.read_text())
+                    if not isinstance(raw, dict):
+                        raise ValueError("not an object")
+                except OSError:
+                    continue
+                except (ValueError, KeyError, TypeError):
+                    self._quarantine(p)
+                    self._count("cache.memo_corrupt")
+                    continue
+                mem[p.stem] = (raw, mtime)
+        self._mem = mem
+        if mem:
+            self._count("cache.memo_preloaded", len(mem))
+        return len(mem)
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        return len(self._entries()) if self.cache_dir.is_dir() else 0
+
+
+class MemoCache(JsonCache):
+    """A :class:`JsonCache` of memoised simulation results (CacheStats)."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def _decode(raw: Mapping) -> CacheStats:
+        return CacheStats(**{f: raw[f] for f in _STAT_FIELDS})
+
+    def get(self, key: str) -> CacheStats | None:
+        """Stored stats for ``key``, or None (corrupt entries are quarantined)."""
+        value = self.get_raw(key, decode=self._decode)
+        return value  # type: ignore[return-value]
+
+    def put(self, key: str, stats: CacheStats) -> None:
+        """Persist ``stats`` under ``key`` (atomic via rename)."""
+        self.put_raw(key, {f: getattr(stats, f) for f in _STAT_FIELDS})
 
     def get_or_compute(
         self,

@@ -13,6 +13,8 @@ Subcommands::
     iolb bench [NAMES...] [--repeats 5 --json out.json --check [BASELINE]
                --report trends.html --snapshot]   # performance history & gating
     iolb lint [mgs|all|FILE] [--json out.json --color always]  # static analysis
+    iolb serve [--port 8787 --workers 4 --cache-dir DIR --ttl 3600
+               --max-entries N --preload]   # long-running derivation service
     iolb fig4 / iolb fig5             # regenerate the paper's tables
 
 ``tiled`` and ``tune`` support a persistent result cache: ``--cache-dir``
@@ -33,7 +35,7 @@ from typing import Mapping
 
 from . import obs
 from .bounds import derive, measure_tiled_io, tune_block_size
-from .cache import open_memo
+from .cache import default_cache_dir, open_memo
 from .cdag import build_cdag, check_program_deps, check_spec_matches_runner
 from .ir import Tracer
 from .kernels import KERNELS, TILED_ALGORITHMS, get_kernel, get_tiled
@@ -474,6 +476,53 @@ def cmd_bench(args) -> int:
     return rc
 
 
+def cmd_serve(args) -> int:
+    """Run the sharded, batched derivation service (see docs/SERVE.md)."""
+    import time
+
+    from .serve import IolbServer
+
+    memo_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    srv = IolbServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        memo_dir=memo_dir,
+        ttl_s=args.ttl,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        preload=args.preload,
+        queue_cap=args.queue_cap,
+        batch_max=args.batch_max,
+    )
+    srv.start()
+    host, port = srv.address
+    print(f"iolb serve: listening on http://{host}:{port}", file=sys.stderr)
+    print(
+        f"  workers={args.workers or 'inline'}  backend={memo_dir or 'off'}"
+        + (f" (ttl={args.ttl}s)" if args.ttl else "")
+        + (" preloaded" if args.preload and memo_dir else ""),
+        file=sys.stderr,
+    )
+    print(
+        "  POST /v1/{derive,simulate,tune,lint}   GET /healthz /v1/stats /v1/metrics",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("iolb serve: shutting down", file=sys.stderr)
+    finally:
+        srv.shutdown()
+        if args.metrics_json:
+            obs.write_metrics_json(
+                args.metrics_json, reg=srv.registry, meta={"command": "serve"}
+            )
+            print(f"metrics written to {args.metrics_json}", file=sys.stderr)
+    return 0
+
+
 def cmd_fig4(args) -> int:
     print(render_fig4())
     return 0
@@ -496,7 +545,7 @@ def _dispatch(args) -> int:
         getattr(args, "profile", False)
         or getattr(args, "metrics_json", None)
         or getattr(args, "trace_out", None)
-    )
+    ) and args.cmd != "serve"  # serve owns a private registry and its own dump
     if not profiling:
         return args.fn(args)
     obs.enable()
@@ -783,6 +832,66 @@ def main(argv=None) -> int:
     )
     add_profile_flags(ln)
     ln.set_defaults(fn=cmd_lint)
+
+    sv = sub.add_parser(
+        "serve", help="long-running sharded derivation service (HTTP+JSON)"
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8787, help="0 picks an ephemeral port")
+    sv.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes sharded by request key (0 = execute inline)",
+    )
+    add_memo_flags(sv)
+    sv.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="result-backend entry time-to-live in seconds (default: no expiry)",
+    )
+    sv.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        dest="max_entries",
+        help="result-backend size cap (oldest entries evicted beyond this)",
+    )
+    sv.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        dest="max_bytes",
+        help="result-backend byte cap (oldest entries evicted beyond this)",
+    )
+    sv.add_argument(
+        "--preload",
+        action="store_true",
+        help="warm-start: read the whole result backend into memory at boot",
+    )
+    sv.add_argument(
+        "--queue-cap",
+        type=int,
+        default=128,
+        dest="queue_cap",
+        help="bounded per-shard queue depth (full queue answers 503)",
+    )
+    sv.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        dest="batch_max",
+        help="max jobs a worker drains per queue wakeup (micro-batching)",
+    )
+    sv.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        dest="metrics_json",
+        default=None,
+        help="write the final iolb-metrics/1 dump to PATH on shutdown",
+    )
+    sv.set_defaults(fn=cmd_serve)
 
     sub.add_parser("fig4", help="regenerate Figure 4").set_defaults(fn=cmd_fig4)
     sub.add_parser("fig5", help="regenerate Figure 5").set_defaults(fn=cmd_fig5)

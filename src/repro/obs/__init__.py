@@ -41,12 +41,14 @@ from .core import (
     Registry,
     SpanRecord,
     add,
+    capture_counters,
     counters,
     disable,
     enable,
     enabled,
     gauge,
     gauges,
+    merge_counters,
     registry,
     reset,
     span,
@@ -88,6 +90,8 @@ __all__ = [
     "counters",
     "gauges",
     "spans",
+    "merge_counters",
+    "capture_counters",
     "METRICS_SCHEMA",
     "render_tree",
     "metrics_dict",

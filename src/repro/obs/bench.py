@@ -14,8 +14,10 @@ their cost is irrelevant because they are exact.
 :func:`default_suite` is the standing workload set every perf PR is judged
 against: ``derive`` on all five hourglass kernels, the Belady and LRU
 engines on a seeded synthetic trace, a coarse tuner sweep (memo disabled —
-a cache hit would benchmark the cache), a seeded verify smoke, and the
-static analyzer over the five builtin kernel sources.
+a cache hit would benchmark the cache), a seeded verify smoke, the
+static analyzer over the five builtin kernel sources, and two ``serve.*``
+workloads that boot the real derivation service and fire a mixed burst at
+it (one against a warm result backend, one forcing recomputation).
 
 :func:`bench_record` wraps the results into the versioned ``iolb-bench/1``
 JSON that :mod:`repro.obs.history` stores and gates on.
@@ -51,12 +53,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Benchmark:
-    """One named workload: ``fn(payload)`` timed, ``setup()`` not."""
+    """One named workload: ``fn(payload)`` timed, ``setup()``/``teardown()`` not.
+
+    ``teardown(payload)`` runs exactly once after the last (instrumented)
+    pass, even when a run raises — workloads that boot real resources (the
+    ``serve.*`` benches start an HTTP server) release them there.
+    """
 
     name: str  # "group.case", e.g. "derive.mgs"
     fn: Callable[[Any], Any]
     setup: Callable[[], Any] | None = None
     description: str = ""
+    teardown: Callable[[Any], None] | None = None
 
     @property
     def group(self) -> str:
@@ -211,6 +219,59 @@ def default_suite() -> list[Benchmark]:
                 raise RuntimeError(f"lint errors on builtin kernel {name}")
         return rep
 
+    # -- serve.*: the derivation service under load -----------------------
+    # Both workloads boot a real HTTP server (inline execution mode: no
+    # worker processes inside a bench) against a throwaway result backend
+    # and time a small mixed derive/simulate burst end-to-end — request
+    # parsing, keying, coalescing/memoisation, JSON transport.  The fn
+    # merges the *delta* of the server's private counter registry into the
+    # global one, so the instrumented pass records deterministic serve.*
+    # and cache.* work counters that the CI exact-match gate can hold.
+
+    def _serve_setup():
+        import shutil
+        import tempfile
+
+        from ..serve import IolbServer, mixed_burst
+
+        tmp = tempfile.mkdtemp(prefix="iolb-serve-bench-")
+        srv = IolbServer(workers=0, memo_dir=tmp).start()
+        return {
+            "srv": srv,
+            "tmp": tmp,
+            "burst": mixed_burst(repeat=2),
+            "rmtree": shutil.rmtree,
+        }
+
+    def _serve_teardown(payload):
+        payload["srv"].shutdown()
+        payload["rmtree"](payload["tmp"], ignore_errors=True)
+
+    def _serve_fire(payload, *, concurrency: int) -> None:
+        from ..serve import run_load
+
+        srv = payload["srv"]
+        before = srv.registry.counters()
+        rep = run_load(srv.url, payload["burst"], concurrency=concurrency)
+        if not rep.ok():
+            raise RuntimeError(f"serve bench burst failed: {rep.summary()}")
+        after = srv.registry.counters()
+        delta = {k: v - before.get(k, 0) for k, v in after.items() if v > before.get(k, 0)}
+        obs.merge_counters(delta)
+
+    def _serve_hits(payload):
+        # backend pre-warmed by the warmup pass; every request is a hit
+        _serve_fire(payload, concurrency=2)
+
+    def _serve_compute(payload):
+        # clear the backend so every distinct point re-derives (sequential
+        # issue order keeps executed/hit counters exact)
+        import pathlib
+
+        for p in pathlib.Path(payload["tmp"]).glob("*.json"):
+            p.unlink()
+        _serve_fire(payload, concurrency=1)
+
     from ..kernels import PAPER_KERNELS
 
     suite = [_derive(k) for k in PAPER_KERNELS]
@@ -241,6 +302,20 @@ def default_suite() -> list[Benchmark]:
             "lint.kernels",
             _lint,
             description="full static analysis of the five builtin kernel sources",
+        ),
+        Benchmark(
+            "serve.hit_burst",
+            _serve_hits,
+            setup=_serve_setup,
+            teardown=_serve_teardown,
+            description="mixed 8-request burst against a warm result backend, 2 client threads",
+        ),
+        Benchmark(
+            "serve.compute_burst",
+            _serve_compute,
+            setup=_serve_setup,
+            teardown=_serve_teardown,
+            description="mixed 8-request burst with the backend cleared first, sequential clients",
         ),
     ]
     return suite
@@ -280,26 +355,30 @@ def run_benchmark(bench: Benchmark, *, repeats: int = 5, warmup: int = 1) -> Ben
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     payload = bench.setup() if bench.setup is not None else None
-    for _ in range(warmup):
-        bench.fn(payload)
-    wall, cpu = [], []
-    for _ in range(repeats):
-        c0 = time.process_time()
-        t0 = time.perf_counter()
-        bench.fn(payload)
-        wall.append(time.perf_counter() - t0)
-        cpu.append(time.process_time() - c0)
-
-    obs.disable()
-    obs.reset()
-    obs.enable()
     try:
-        bench.fn(payload)
-        counters = obs.counters()
-        spans = obs.registry().aggregates()
-    finally:
+        for _ in range(warmup):
+            bench.fn(payload)
+        wall, cpu = [], []
+        for _ in range(repeats):
+            c0 = time.process_time()
+            t0 = time.perf_counter()
+            bench.fn(payload)
+            wall.append(time.perf_counter() - t0)
+            cpu.append(time.process_time() - c0)
+
         obs.disable()
         obs.reset()
+        obs.enable()
+        try:
+            bench.fn(payload)
+            counters = obs.counters()
+            spans = obs.registry().aggregates()
+        finally:
+            obs.disable()
+            obs.reset()
+    finally:
+        if bench.teardown is not None:
+            bench.teardown(payload)
 
     return BenchResult(
         name=bench.name,

@@ -21,9 +21,11 @@ of the trace engine at < 5%.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Mapping
 
 __all__ = [
     "SpanRecord",
@@ -39,6 +41,8 @@ __all__ = [
     "counters",
     "gauges",
     "spans",
+    "merge_counters",
+    "capture_counters",
 ]
 
 
@@ -156,6 +160,45 @@ class Registry:
         with self._lock:
             self._gauges[name] = value
 
+    def merge(
+        self,
+        counters: Mapping[str, int] | None = None,
+        gauges: Mapping[str, float] | None = None,
+    ) -> None:
+        """Fold a snapshot from another registry into this one.
+
+        Counters accumulate, gauges are last-write-wins — the contract for
+        shipping worker-process registries back over a pool result channel
+        (the tuner's ``jobs=`` sweep, the serve worker pool).
+        """
+        with self._lock:
+            for name, n in (counters or {}).items():
+                if n < 0:
+                    raise ValueError(f"counter {name!r}: negative merge {n}")
+                self._counters[name] = self._counters.get(name, 0) + int(n)
+            for name, value in (gauges or {}).items():
+                self._gauges[name] = value
+
+    def span(self, name: str, **args) -> "_Span":
+        """A span recorded into **this** registry, ignoring the global
+        enabled flag — for components that own a private registry and are
+        always-on (the serve telemetry records every request this way)."""
+        return _Span(self, name, args)
+
+    def prune_spans(self, keep: int) -> int:
+        """Drop the oldest spans beyond ``keep``; returns how many dropped.
+
+        Long-running owners (a service recording one span per request)
+        call this to bound registry memory; aggregates computed *before*
+        pruning are unaffected, and the metrics dump simply carries the
+        most recent window.
+        """
+        with self._lock:
+            drop = max(0, len(self._spans) - keep)
+            if drop:
+                del self._spans[:drop]
+            return drop
+
     # -- inspection --------------------------------------------------------
     def counters(self) -> dict[str, int]:
         with self._lock:
@@ -262,3 +305,37 @@ def gauges() -> dict[str, float]:
 def spans() -> list[SpanRecord]:
     """Snapshot of the completed spans, in completion order."""
     return _REGISTRY.spans()
+
+
+def merge_counters(snapshot: Mapping[str, int]) -> None:
+    """Fold a worker-process counter snapshot into the global registry.
+
+    No-op while disabled, like :func:`add` — a parent that was not
+    recording must not start showing counters just because a pool shipped
+    some back.
+    """
+    if not _ENABLED:
+        return
+    _REGISTRY.merge(snapshot)
+
+
+@contextlib.contextmanager
+def capture_counters(sink: dict):
+    """Record counters for one unit of work into ``sink`` (worker-side).
+
+    Resets and enables the **global** registry for the body, snapshots the
+    counters into ``sink`` on exit (even when the body raises), then
+    disables and resets again.  This destroys any global obs state, so it
+    is only for dedicated worker *processes* — the pool workers of
+    ``tune_block_size(jobs=N)`` and ``iolb serve`` wrap each job in it and
+    ship ``sink`` back over the result channel for the parent to
+    :func:`merge_counters` / :meth:`Registry.merge`.
+    """
+    reset()
+    enable()
+    try:
+        yield sink
+    finally:
+        sink.update(_REGISTRY.counters())
+        disable()
+        reset()

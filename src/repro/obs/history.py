@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
@@ -91,19 +92,44 @@ def entry_filename(record: Mapping) -> str:
 def append_entry(record: Mapping, history_dir: str | os.PathLike) -> Path:
     """File ``record`` into ``history_dir`` (created if needed); returns the path.
 
-    Collisions (same second, same sha) get a ``-2``, ``-3``, … suffix rather
-    than clobbering an existing entry — history is append-only.
+    The append is **atomic**: the record is fully written to a temp file in
+    the same directory and then hard-linked into place, so a crash or a
+    concurrent bench run mid-write can never leave a half-written record to
+    poison ``resolve_baseline``/``compare_records`` (the same tmp +
+    rename discipline as ``MemoCache.put``).  Collisions (same second, same
+    sha — including two writers racing on the same name) get a ``-2``,
+    ``-3``, … suffix rather than clobbering an existing entry — history is
+    append-only, and ``os.link``'s create-exclusive semantics make the
+    existence check and the publish one atomic step.
     """
     check_bench_schema(record)
     d = Path(history_dir)
     d.mkdir(parents=True, exist_ok=True)
     base = entry_filename(record)
+    stem = base[: -len(".json")]
+    tmp = d / f".{stem}.tmp{os.getpid()}"
+    tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     path = d / base
     n = 2
-    while path.exists():
-        path = d / f"{base[:-len('.json')]}-{n}.json"
-        n += 1
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    try:
+        while True:
+            try:
+                os.link(tmp, path)
+                break
+            except FileExistsError:
+                path = d / f"{stem}-{n}.json"
+                n += 1
+            except OSError:
+                # filesystem without hard links: fall back to an atomic
+                # rename (still never a partial record, but last-writer-wins
+                # on a same-instant name collision)
+                os.replace(tmp, path)
+                return path
+    finally:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
     return path
 
 
@@ -112,9 +138,11 @@ def load_history(
 ) -> list[dict]:
     """Every record in ``history_dir``, oldest first; optionally one suite.
 
-    Files that fail the schema check are skipped (a history directory may
-    hold notes or partial downloads) — regression gates should resolve their
-    baseline explicitly if strictness matters.
+    Files that fail to parse or fail the schema check are skipped with a
+    :class:`UserWarning` naming the file (a history directory may hold
+    notes, partial downloads, or records damaged before appends became
+    atomic) — loading never raises on a bad entry, and regression gates
+    should resolve their baseline explicitly if strictness matters.
     """
     d = Path(history_dir)
     if not d.is_dir():
@@ -123,7 +151,10 @@ def load_history(
     for p in sorted(d.glob("*.json")):
         try:
             rec = load_record(p)
-        except (OSError, ValueError):
+        except (OSError, ValueError) as e:
+            warnings.warn(
+                f"skipping unparseable history record {p}: {e}", stacklevel=2
+            )
             continue
         if suite is not None and rec.get("suite", DEFAULT_SUITE) != suite:
             continue

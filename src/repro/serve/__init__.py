@@ -1,0 +1,51 @@
+"""repro.serve — the sharded, batched derivation service (``iolb serve``).
+
+The whole hourglass pipeline (derive / simulate / tune / lint) as a
+long-running stdlib-only HTTP+JSON service.  The workload profile of
+IOLB-style automated bound derivation is that the same (kernel, params)
+points recur constantly, so the architecture is built around a
+content-addressed result backend and request deduplication rather than
+raw per-request speed:
+
+* :mod:`repro.serve.protocol` — the ``iolb-serve/1`` request kinds, the
+  canonicalization + content-hash :func:`~repro.serve.protocol.request_key`
+  every layer keys on, and the pure executors;
+* :mod:`repro.serve.pool` — the multiprocessing worker pool, sharded by
+  request key with bounded per-shard queues and micro-batching; workers
+  ship their obs counter snapshots back with every result;
+* :mod:`repro.serve.server` — the ``ThreadingHTTPServer`` front:
+  coalescing of in-flight identical requests, the
+  :class:`~repro.cache.JsonCache` result backend (TTL + size eviction,
+  warm-start preloading), and always-on ``iolb-metrics/1`` telemetry
+  (p50/p99 latency, queue depth, hit rate);
+* :mod:`repro.serve.loadgen` — the burst generator behind the ``serve.*``
+  bench workloads and the CI smoke gate.
+
+See ``docs/SERVE.md`` for endpoints, JSON schemas, and the ops runbook.
+"""
+
+from .loadgen import LoadReport, mixed_burst, run_load
+from .pool import WorkerPool
+from .protocol import (
+    KINDS,
+    SERVE_SCHEMA,
+    ServeRequestError,
+    canonical_request,
+    execute_request,
+    request_key,
+)
+from .server import IolbServer
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "KINDS",
+    "ServeRequestError",
+    "canonical_request",
+    "request_key",
+    "execute_request",
+    "WorkerPool",
+    "IolbServer",
+    "LoadReport",
+    "run_load",
+    "mixed_burst",
+]

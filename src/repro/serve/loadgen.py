@@ -1,0 +1,151 @@
+"""Load generator for the derivation service (bench workloads + CI smoke).
+
+Fires a burst of ``iolb-serve/1`` requests at a running server from
+``concurrency`` client threads over plain ``urllib`` (stdlib only, like
+everything else here) and reports what an operator would ask first:
+status mix, error bodies, p50/p99 client-side latency, and throughput.
+
+:func:`mixed_burst` builds the standing small burst used by the
+``serve.*`` bench workloads and the CI smoke script: a few distinct
+derive/simulate points, each repeated, so one burst exercises the memo
+backend, coalescing (at ``concurrency > 1``), and both executors.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+__all__ = ["LoadReport", "run_load", "mixed_burst"]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one generated burst."""
+
+    statuses: list[int] = field(default_factory=list)
+    latencies_ms: list[float] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    responses: list[dict] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    def ok(self) -> bool:
+        return not self.errors and all(s == 200 for s in self.statuses)
+
+    def percentile(self, p: float) -> float:
+        xs = sorted(self.latencies_ms)
+        if not xs:
+            return 0.0
+        i = min(len(xs) - 1, max(0, round(p / 100.0 * (len(xs) - 1))))
+        return xs[i]
+
+    @property
+    def rps(self) -> float:
+        return len(self.statuses) / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary(self) -> str:
+        from collections import Counter
+
+        mix = ", ".join(
+            f"{n}x{code}" for code, n in sorted(Counter(self.statuses).items())
+        )
+        return (
+            f"{len(self.statuses)} request(s) in {self.wall_s:.3f}s"
+            f" ({self.rps:.1f} req/s): [{mix}]"
+            f" p50={self.percentile(50):.1f}ms p99={self.percentile(99):.1f}ms"
+            + (f" errors={len(self.errors)}" if self.errors else "")
+        )
+
+
+def mixed_burst(repeat: int = 2) -> list[dict]:
+    """The standing mixed workload: distinct derive/simulate points, each
+    issued ``repeat`` times (adjacent, so sequential runs hit the backend
+    and concurrent runs coalesce)."""
+    distinct = [
+        {"kind": "derive", "payload": {"kernel": "mgs"}},
+        {"kind": "derive", "payload": {"kernel": "matmul"}},
+        {
+            "kind": "simulate",
+            "payload": {"kernel": "matmul", "params": {"NI": 4, "NJ": 4, "NK": 4}, "s": 16},
+        },
+        {
+            "kind": "simulate",
+            "payload": {"kernel": "mgs", "params": {"M": 5, "N": 4}, "s": 12},
+        },
+    ]
+    return [req for req in distinct for _ in range(repeat)]
+
+
+def _post(base_url: str, req: dict, timeout: float) -> tuple[int, float, dict]:
+    body = json.dumps(req.get("payload", {})).encode()
+    http_req = urllib.request.Request(
+        f"{base_url}/v1/{req['kind']}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    t0 = time.perf_counter()
+    try:
+        with urllib.request.urlopen(http_req, timeout=timeout) as resp:
+            status = resp.status
+            doc = json.loads(resp.read().decode())
+    except urllib.error.HTTPError as e:
+        status = e.code
+        try:
+            doc = json.loads(e.read().decode())
+        except ValueError:
+            doc = {"error": str(e)}
+    return status, (time.perf_counter() - t0) * 1e3, doc
+
+
+def run_load(
+    base_url: str,
+    requests: list[dict],
+    *,
+    concurrency: int = 4,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Fire ``requests`` (``{"kind": ..., "payload": {...}}`` each) at the
+    server from ``concurrency`` threads; order within a thread follows the
+    burst order, threads interleave.  Transport-level failures are recorded
+    in ``report.errors`` (HTTP error *statuses* are not — they land in
+    ``statuses`` for the caller to assert on)."""
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    report = LoadReport()
+    lock = threading.Lock()
+    next_i = [0]
+
+    def client() -> None:
+        while True:
+            with lock:
+                i = next_i[0]
+                if i >= len(requests):
+                    return
+                next_i[0] += 1
+            try:
+                status, ms, doc = _post(base_url, requests[i], timeout)
+            except Exception as e:  # noqa: BLE001 — transport errors are data
+                with lock:
+                    report.errors.append(f"{requests[i]['kind']}: {e}")
+                continue
+            with lock:
+                report.statuses.append(status)
+                report.latencies_ms.append(ms)
+                report.responses.append(doc)
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, name=f"loadgen-{i}")
+        for i in range(min(concurrency, len(requests)))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    report.wall_s = time.perf_counter() - t0
+    return report

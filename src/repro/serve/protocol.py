@@ -1,0 +1,346 @@
+"""The ``iolb-serve/1`` wire protocol: request kinds, keys, and executors.
+
+A request is ``POST /v1/<kind>`` with a JSON object body.  This module
+owns everything about that body that both sides of the worker-pool fence
+must agree on:
+
+* :func:`canonical_request` — validate and normalize a payload (defaults
+  resolved, params coerced to sorted ints, unknown fields rejected), so
+  that two requests meaning the same work are byte-identical;
+* :func:`request_key` — the content hash of a canonical request, salted
+  with the simulator ``ENGINE_VERSION``: the service's memoisation,
+  coalescing, and sharding all key on it, exactly like
+  :func:`repro.cache.memo.memo_key` keys simulation points;
+* :func:`execute_request` — actually run the pipeline for one canonical
+  request and return a JSON-able result.  Pure function of the request, so
+  it can run in the HTTP thread (``workers=0``), in a pool worker process,
+  or under a test harness, and its result can be cached forever under the
+  request key.
+
+Executors count their work (``serve.derive_executed`` etc. are recorded by
+the server when a result lands); the derivation itself is additionally
+memoised per process with an ``lru_cache`` because ``simulate`` needs the
+bound report for the same kernel over and over.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import time
+from typing import Mapping
+
+from ..cache.sim import ENGINE_VERSION
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "KINDS",
+    "ServeRequestError",
+    "canonical_request",
+    "request_key",
+    "execute_request",
+]
+
+#: schema tag for every serve request/response (bump on breaking changes)
+SERVE_SCHEMA = "iolb-serve/1"
+
+#: request kinds routable as POST /v1/<kind>
+KINDS = ("derive", "simulate", "tune", "lint")
+
+#: accepted payload fields per kind (anything else is a validation error)
+_FIELDS = {
+    "derive": {"kernel", "eval"},
+    "simulate": {"kernel", "params", "s", "policy"},
+    "tune": {"algorithm", "params", "s", "policy", "b_max", "mode", "stride"},
+    "lint": {"kernel", "params"},
+    # internal: deterministic busywork for queue/batch tests and the
+    # load generator's calibration mode; never documented as public
+    "sleep": {"ms"},
+}
+
+_POLICIES = ("belady", "lru")
+
+
+class ServeRequestError(ValueError):
+    """A malformed or unserviceable request payload (HTTP 400)."""
+
+
+def _int_params(raw, what: str) -> dict[str, int]:
+    if raw is None:
+        return {}
+    if not isinstance(raw, Mapping):
+        raise ServeRequestError(f"{what} must be an object of integers")
+    try:
+        return {str(k): int(v) for k, v in sorted(raw.items())}
+    except (TypeError, ValueError):
+        raise ServeRequestError(f"{what} must map names to integers") from None
+
+
+def _require_s(payload: Mapping) -> int:
+    try:
+        s = int(payload["s"])
+    except KeyError:
+        raise ServeRequestError("missing required field 's' (cache size)") from None
+    except (TypeError, ValueError):
+        raise ServeRequestError("'s' must be an integer") from None
+    if s < 1:
+        raise ServeRequestError(f"'s' must be >= 1 (got {s})")
+    return s
+
+
+def _policy_of(payload: Mapping) -> str:
+    policy = payload.get("policy", "belady")
+    if policy not in _POLICIES:
+        raise ServeRequestError(
+            f"unknown policy {policy!r} (use one of {', '.join(_POLICIES)})"
+        )
+    return policy
+
+
+def canonical_request(kind: str, payload: Mapping) -> dict:
+    """Validate ``payload`` for ``kind`` and return its canonical form.
+
+    Canonical means: defaults filled in, params sorted and int-coerced,
+    unknown fields rejected — so equal work hashes equal under
+    :func:`request_key` no matter how the client spelled it.
+    """
+    if kind not in _FIELDS:
+        raise ServeRequestError(
+            f"unknown request kind {kind!r} (use one of {', '.join(KINDS)})"
+        )
+    if not isinstance(payload, Mapping):
+        raise ServeRequestError("request body must be a JSON object")
+    unknown = sorted(set(payload) - _FIELDS[kind])
+    if unknown:
+        raise ServeRequestError(
+            f"unknown field(s) {unknown} for kind {kind!r}"
+            f" (accepted: {sorted(_FIELDS[kind])})"
+        )
+
+    from ..kernels import KERNELS, TILED_ALGORITHMS
+
+    if kind == "derive":
+        kernel = payload.get("kernel")
+        if kernel not in KERNELS:
+            raise ServeRequestError(
+                f"unknown kernel {kernel!r} (available: {', '.join(sorted(KERNELS))})"
+            )
+        out: dict = {"kernel": kernel}
+        ev = _int_params(payload.get("eval"), "eval")
+        if ev:
+            if "S" not in ev:
+                raise ServeRequestError(
+                    "derive eval params must include the cache size S"
+                )
+            out["eval"] = ev
+        return out
+
+    if kind == "simulate":
+        kernel = payload.get("kernel")
+        if kernel not in KERNELS:
+            raise ServeRequestError(
+                f"unknown kernel {kernel!r} (available: {', '.join(sorted(KERNELS))})"
+            )
+        params = _int_params(payload.get("params"), "params") or dict(
+            KERNELS[kernel].default_params
+        )
+        return {
+            "kernel": kernel,
+            "params": dict(sorted(params.items())),
+            "s": _require_s(payload),
+            "policy": _policy_of(payload),
+        }
+
+    if kind == "tune":
+        alg = payload.get("algorithm")
+        if alg not in TILED_ALGORITHMS:
+            raise ServeRequestError(
+                f"unknown tiled algorithm {alg!r}"
+                f" (available: {', '.join(sorted(TILED_ALGORITHMS))})"
+            )
+        params = _int_params(payload.get("params"), "params")
+        if "N" not in params:
+            raise ServeRequestError("tune params must include the column count N")
+        mode = payload.get("mode", "coarse")
+        if mode not in ("exhaustive", "coarse"):
+            raise ServeRequestError(f"unknown mode {mode!r} (exhaustive|coarse)")
+        out = {
+            "algorithm": alg,
+            "params": dict(sorted(params.items())),
+            "s": _require_s(payload),
+            "policy": _policy_of(payload),
+            "mode": mode,
+        }
+        for opt in ("b_max", "stride"):
+            if payload.get(opt) is not None:
+                try:
+                    out[opt] = int(payload[opt])
+                except (TypeError, ValueError):
+                    raise ServeRequestError(f"{opt!r} must be an integer") from None
+        return out
+
+    if kind == "lint":
+        from ..frontend.sources import FIGURE_SOURCES
+
+        kernel = payload.get("kernel")
+        if kernel not in FIGURE_SOURCES:
+            raise ServeRequestError(
+                f"unknown lintable kernel {kernel!r}"
+                f" (available: {', '.join(sorted(FIGURE_SOURCES))})"
+            )
+        out = {"kernel": kernel}
+        params = _int_params(payload.get("params"), "params")
+        if params:
+            out["params"] = params
+        return out
+
+    # kind == "sleep"
+    try:
+        ms = float(payload.get("ms", 1))
+    except (TypeError, ValueError):
+        raise ServeRequestError("'ms' must be a number") from None
+    if not 0 <= ms <= 60_000:
+        raise ServeRequestError("'ms' must be between 0 and 60000")
+    return {"ms": ms}
+
+
+def request_key(kind: str, canonical: Mapping) -> str:
+    """Content hash of one canonical request (memo / coalesce / shard key).
+
+    Salted with the schema tag and the simulator engine version so cached
+    results are never served across protocol or engine revisions.
+    """
+    blob = json.dumps(
+        {
+            "schema": SERVE_SCHEMA,
+            "engine": ENGINE_VERSION,
+            "kind": kind,
+            "payload": canonical,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@functools.lru_cache(maxsize=64)
+def _derived(kernel_name: str):
+    """Per-process derivation cache (a pure function of the kernel)."""
+    from ..bounds import derive
+    from ..kernels import get_kernel
+
+    return derive(get_kernel(kernel_name))
+
+
+def _bound_rows(report) -> list[dict]:
+    return [
+        {
+            "method": b.method,
+            "expr": repr(b.expr),
+            "coeff": b.coeff,
+            "condition": b.condition,
+        }
+        for b in report.all_bounds()
+    ]
+
+
+def execute_request(kind: str, canonical: Mapping) -> dict:
+    """Run the pipeline for one canonical request; returns the result dict.
+
+    Deterministic given (kind, canonical, engine version), which is what
+    makes the result safe to store forever under :func:`request_key`.
+    """
+    if kind == "derive":
+        rep = _derived(canonical["kernel"])
+        out = {
+            "kernel": rep.kernel,
+            "dominant": rep.dominant,
+            "bounds": _bound_rows(rep),
+            "summary": rep.summary(),
+        }
+        ev = canonical.get("eval")
+        if ev:
+            best, val = rep.best(ev)
+            rows = []
+            for b in rep.all_bounds():
+                try:
+                    rows.append({"method": b.method, "value": b.evaluate(ev)})
+                except (ZeroDivisionError, KeyError):
+                    rows.append({"method": b.method, "value": None})
+            out["eval"] = {"at": dict(ev), "best": best.method, "value": val,
+                           "values": rows}
+        return out
+
+    if kind == "simulate":
+        from ..cdag import build_cdag
+        from ..ir import Tracer
+        from ..kernels import get_kernel
+        from ..pebble import play_schedule
+
+        kern = get_kernel(canonical["kernel"])
+        params = dict(canonical["params"])
+        g = build_cdag(kern.program, params)
+        t = Tracer()
+        kern.program.runner(params, t)
+        res = play_schedule(g, t.schedule, canonical["s"], canonical["policy"])
+        rep = _derived(kern.name)
+        best, val = rep.best({**params, "S": canonical["s"]})
+        return {
+            "kernel": kern.name,
+            "params": params,
+            "s": canonical["s"],
+            "policy": canonical["policy"],
+            "loads": res.loads,
+            "computes": res.computes,
+            "bound": val,
+            "bound_method": best.method,
+        }
+
+    if kind == "tune":
+        from ..bounds import tune_block_size
+        from ..kernels import get_tiled
+
+        res = tune_block_size(
+            get_tiled(canonical["algorithm"]),
+            canonical["params"],
+            canonical["s"],
+            policy=canonical["policy"],
+            b_max=canonical.get("b_max"),
+            mode=canonical["mode"],
+            stride=canonical.get("stride"),
+        )
+        return {
+            "algorithm": canonical["algorithm"],
+            "params": dict(canonical["params"]),
+            "s": canonical["s"],
+            "policy": canonical["policy"],
+            "mode": res.mode,
+            "best_block": res.best_block,
+            "best_loads": res.best_loads,
+            "analytic_block": res.analytic_block,
+            "analytic_loads": res.analytic_loads,
+            "points_evaluated": len(res.evaluated),
+        }
+
+    if kind == "lint":
+        from ..analysis import check_source
+        from ..frontend.sources import FIGURE_SHAPE_EXPRS, FIGURE_SOURCES
+        from ..kernels import KERNELS
+
+        name = canonical["kernel"]
+        k = KERNELS.get(name)
+        rep, _prog = check_source(
+            FIGURE_SOURCES[name],
+            name=name,
+            params=canonical.get("params") or (dict(k.default_params) if k else None),
+            shapes=FIGURE_SHAPE_EXPRS.get(name),
+            dominant=k.dominant if k else None,
+        )
+        return rep.to_dict()
+
+    if kind == "sleep":
+        time.sleep(canonical["ms"] / 1000.0)
+        return {"slept_ms": canonical["ms"]}
+
+    raise ServeRequestError(f"unknown request kind {kind!r}")

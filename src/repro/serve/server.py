@@ -1,0 +1,444 @@
+"""The HTTP+JSON front of the derivation service (``iolb serve``).
+
+A ``ThreadingHTTPServer`` accepts requests and a sharded
+:class:`~repro.serve.pool.WorkerPool` executes them (or, with
+``workers=0``, the HTTP thread executes inline — handy for tests and
+single-tenant use).  Between the two sit the three mechanisms that turn
+O(requests) into O(distinct keys) work:
+
+* **result backend** — every result is stored in a
+  :class:`~repro.cache.JsonCache` under its request key; a repeated
+  request is answered from disk (or from memory after warm-start
+  preloading) without touching the pipeline;
+* **coalescing** — identical requests *in flight* share one pending slot:
+  the first dispatches, the rest wait on its completion event and receive
+  the same result (counter ``serve.coalesced``);
+* **bounded queues** — a full shard queue answers 503 immediately
+  (counter ``serve.queue_full``) instead of converting overload into
+  unbounded latency.
+
+Telemetry is first-class and always on: the server owns a **private**
+:class:`~repro.obs.core.Registry` (independent of the CLI ``--profile``
+flag), records one span per request plus request/hit/coalesce/error
+counters, merges the engine work counters shipped back from worker
+processes, and exposes everything as a standard ``iolb-metrics/1`` dump on
+``GET /v1/metrics`` — so ``iolb stats`` and the CI artifact tooling work
+on a service dump exactly as on a CLI profile.  p50/p99 latency, queue
+depth, and hit rate are maintained as gauges over a sliding latency
+window.
+
+Endpoints::
+
+    POST /v1/derive | /v1/simulate | /v1/tune | /v1/lint
+    GET  /healthz      liveness + queue depth
+    GET  /v1/stats     compact operational summary (JSON)
+    GET  /v1/metrics   full iolb-metrics/1 dump
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping
+
+from ..cache.memo import JsonCache
+from ..obs.core import Registry
+from ..obs.sinks import metrics_dict
+from . import protocol
+from .pool import WorkerPool
+
+__all__ = ["IolbServer"]
+
+#: sliding window of per-request latencies backing the percentile gauges
+_LATENCY_WINDOW = 4096
+
+#: spans kept in the private registry (one per request; oldest pruned)
+_SPAN_WINDOW = 2048
+
+
+def _percentile(sorted_xs, p: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence (0 if empty)."""
+    if not sorted_xs:
+        return 0.0
+    i = min(len(sorted_xs) - 1, max(0, round(p / 100.0 * (len(sorted_xs) - 1))))
+    return sorted_xs[i]
+
+
+class _Pending:
+    """One in-flight request key: an event plus the eventual outcome."""
+
+    __slots__ = ("event", "ok", "result")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.ok = False
+        self.result: dict = {}
+
+    def resolve(self, ok: bool, result: dict) -> None:
+        self.ok = ok
+        self.result = result
+        self.event.set()
+
+
+class IolbServer:
+    """The derivation service: HTTP front, worker pool, result backend.
+
+    ``workers=0`` executes requests inline on the HTTP threads (no
+    processes; engine counters are then only recorded if the global obs
+    registry is enabled).  ``memo_dir=None`` disables the result backend —
+    coalescing still deduplicates concurrent identical requests, but
+    repeats re-execute.
+
+    Usable as a context manager; ``start`` binds and serves on a
+    background thread, so tests drive a real socket.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 2,
+        memo_dir=None,
+        ttl_s: float | None = None,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        preload: bool = False,
+        queue_cap: int = 128,
+        batch_max: int = 8,
+        request_timeout: float = 300.0,
+    ) -> None:
+        self.registry = Registry()
+        self.memo = (
+            JsonCache(
+                memo_dir,
+                ttl_s=ttl_s,
+                max_entries=max_entries,
+                max_bytes=max_bytes,
+                reg=self.registry,
+            )
+            if memo_dir
+            else None
+        )
+        if preload and self.memo is not None:
+            self.memo.preload()
+        self._workers = workers
+        self._queue_cap = queue_cap
+        self._batch_max = batch_max
+        self.request_timeout = request_timeout
+        self._pool: WorkerPool | None = None
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _Pending] = {}
+        self._jobs: dict[int, tuple[str, str]] = {}  # job_id -> (key, kind)
+        self._next_job_id = 0
+        self._latencies: collections.deque[float] = collections.deque(
+            maxlen=_LATENCY_WINDOW
+        )
+        self._lat_lock = threading.Lock()
+        self._started_at = time.time()
+        self._httpd = ThreadingHTTPServer((host, port), self._make_handler())
+        self._httpd.daemon_threads = True
+        self._http_thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — port resolved when constructed with 0."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "IolbServer":
+        """Fork the worker pool (before any server threads exist), then
+        start the collector and the HTTP accept loop."""
+        if self._workers > 0 and self._pool is None:
+            self._pool = WorkerPool(
+                self._workers,
+                queue_cap=self._queue_cap,
+                batch_max=self._batch_max,
+            )
+            self._pool.start_collector(self._on_result)
+        if self._http_thread is None:
+            self._http_thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                daemon=True,
+                name="iolb-serve-http",
+            )
+            self._http_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain the pool, release the socket. Idempotent."""
+        if self._http_thread is not None:
+            self._httpd.shutdown()
+            self._http_thread.join(timeout=5.0)
+            self._http_thread = None
+        self._httpd.server_close()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "IolbServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- request flow ------------------------------------------------------
+    def handle_request(self, kind: str, payload: Mapping) -> tuple[int, dict]:
+        """The full request pipeline; returns (http_status, response body).
+
+        Exposed as a method (not buried in the handler) so tests and the
+        bench workloads can drive the exact serving logic without a socket
+        when they want to.
+        """
+        t0 = time.perf_counter()
+        try:
+            canonical = protocol.canonical_request(kind, payload)
+        except protocol.ServeRequestError as e:
+            self.registry.add("serve.bad_requests")
+            return 400, {"schema": protocol.SERVE_SCHEMA, "error": str(e)}
+        key = protocol.request_key(kind, canonical)
+        self.registry.add("serve.requests")
+        self.registry.add(f"serve.{kind}_requests")
+
+        with self.registry.span(f"serve.{kind}", key=key[:12]):
+            status, body = self._serve_keyed(kind, canonical, key)
+        self.registry.prune_spans(_SPAN_WINDOW)
+        with self._lat_lock:
+            self._latencies.append((time.perf_counter() - t0) * 1e3)
+        return status, body
+
+    def _serve_keyed(self, kind: str, canonical: dict, key: str) -> tuple[int, dict]:
+        def respond(ok: bool, result: dict, *, cached=False, coalesced=False):
+            if not ok:
+                self.registry.add("serve.errors")
+                return 500, {
+                    "schema": protocol.SERVE_SCHEMA,
+                    "kind": kind,
+                    "key": key,
+                    "error": result.get("error", "execution failed"),
+                }
+            return 200, {
+                "schema": protocol.SERVE_SCHEMA,
+                "kind": kind,
+                "key": key,
+                "cached": cached,
+                "coalesced": coalesced,
+                "result": result,
+            }
+
+        if self.memo is not None:
+            hit = self.memo.get_raw(key)
+            if hit is not None:
+                self.registry.add("serve.backend_hits")
+                return respond(True, hit, cached=True)
+
+        created = False
+        with self._lock:
+            pending = self._inflight.get(key)
+            if pending is None:
+                pending = _Pending()
+                self._inflight[key] = pending
+                created = True
+        if not created:
+            self.registry.add("serve.coalesced")
+            if not pending.event.wait(self.request_timeout):
+                self.registry.add("serve.timeouts")
+                return 504, {
+                    "schema": protocol.SERVE_SCHEMA,
+                    "kind": kind,
+                    "key": key,
+                    "error": "timed out waiting for in-flight twin",
+                }
+            return respond(pending.ok, pending.result, coalesced=True)
+
+        if self._pool is not None:
+            with self._lock:
+                job_id = self._next_job_id
+                self._next_job_id += 1
+                self._jobs[job_id] = (key, kind)
+            try:
+                self._pool.submit(job_id, key, kind, canonical)
+            except queue.Full:
+                with self._lock:
+                    self._jobs.pop(job_id, None)
+                    self._inflight.pop(key, None)
+                pending.resolve(False, {"error": "queue full"})
+                self.registry.add("serve.queue_full")
+                return 503, {
+                    "schema": protocol.SERVE_SCHEMA,
+                    "kind": kind,
+                    "key": key,
+                    "error": "request queue full, retry later",
+                }
+            if not pending.event.wait(self.request_timeout):
+                self.registry.add("serve.timeouts")
+                return 504, {
+                    "schema": protocol.SERVE_SCHEMA,
+                    "kind": kind,
+                    "key": key,
+                    "error": "execution timed out",
+                }
+            return respond(pending.ok, pending.result)
+
+        # inline mode: execute on this HTTP thread
+        try:
+            result = protocol.execute_request(kind, canonical)
+            ok = True
+        except Exception as e:  # noqa: BLE001 — a request must never kill a thread
+            ok = False
+            result = {"error": f"{type(e).__name__}: {e}"}
+        self._finish(key, kind, ok, result, pending)
+        return respond(ok, result)
+
+    def _on_result(
+        self, job_id: int, ok: bool, result: dict, counters: dict, batch_size: int
+    ) -> None:
+        """Collector callback: merge worker counters, store, resolve waiters."""
+        with self._lock:
+            key, kind = self._jobs.pop(job_id, (None, None))
+        if counters:
+            self.registry.merge(counters)
+        if batch_size > 1:
+            self.registry.add("serve.batched_jobs", batch_size)
+        if batch_size > 0:
+            self.registry.add("serve.batches")
+        if key is None:
+            return
+        with self._lock:
+            pending = self._inflight.get(key)
+        self._finish(key, kind, ok, result, pending)
+
+    def _finish(self, key, kind, ok, result, pending) -> None:
+        if ok:
+            self.registry.add("serve.executed")
+            self.registry.add(f"serve.{kind}_executed")
+            if self.memo is not None:
+                self.memo.put_raw(key, result)
+        else:
+            self.registry.add("serve.failed")
+        if pending is not None:
+            pending.resolve(ok, result)
+        with self._lock:
+            self._inflight.pop(key, None)
+
+    # -- telemetry ---------------------------------------------------------
+    def refresh_gauges(self) -> None:
+        """Recompute the operational gauges from the sliding windows."""
+        with self._lat_lock:
+            lat = sorted(self._latencies)
+        reg = self.registry
+        reg.gauge("serve.latency_p50_ms", round(_percentile(lat, 50), 3))
+        reg.gauge("serve.latency_p99_ms", round(_percentile(lat, 99), 3))
+        reg.gauge("serve.queue_depth", self._pool.depth() if self._pool else 0)
+        with self._lock:
+            reg.gauge("serve.inflight", len(self._inflight))
+        c = reg.counters()
+        requests = c.get("serve.requests", 0)
+        hits = c.get("serve.backend_hits", 0) + c.get("serve.coalesced", 0)
+        reg.gauge("serve.hit_rate", round(hits / requests, 4) if requests else 0.0)
+        reg.gauge("serve.uptime_s", round(time.time() - self._started_at, 1))
+
+    def stats(self) -> dict:
+        """The compact operational summary behind ``GET /v1/stats``."""
+        self.refresh_gauges()
+        c = self.registry.counters()
+        g = self.registry.gauges()
+        return {
+            "schema": protocol.SERVE_SCHEMA,
+            "requests": c.get("serve.requests", 0),
+            "executed": c.get("serve.executed", 0),
+            "backend_hits": c.get("serve.backend_hits", 0),
+            "coalesced": c.get("serve.coalesced", 0),
+            "errors": c.get("serve.errors", 0) + c.get("serve.bad_requests", 0),
+            "queue_full": c.get("serve.queue_full", 0),
+            "hit_rate": g.get("serve.hit_rate", 0.0),
+            "latency_p50_ms": g.get("serve.latency_p50_ms", 0.0),
+            "latency_p99_ms": g.get("serve.latency_p99_ms", 0.0),
+            "queue_depth": g.get("serve.queue_depth", 0),
+            "inflight": g.get("serve.inflight", 0),
+            "uptime_s": g.get("serve.uptime_s", 0.0),
+            "workers": self._workers,
+            "backend": str(self.memo.cache_dir) if self.memo else None,
+        }
+
+    def metrics(self, meta: Mapping | None = None) -> dict:
+        """The full ``iolb-metrics/1`` dump of the private registry."""
+        self.refresh_gauges()
+        return metrics_dict(
+            self.registry,
+            meta={"command": "serve", "workers": self._workers, **(meta or {})},
+        )
+
+    # -- the HTTP handler --------------------------------------------------
+    def _make_handler(self):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            server_version = "iolb-serve/1"
+
+            def log_message(self, fmt, *args):  # noqa: N802 — stdlib name
+                pass  # request logging is the metrics' job, not stderr's
+
+            def _send_json(self, status: int, body: dict) -> None:
+                payload = json.dumps(body).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_GET(self):  # noqa: N802 — stdlib name
+                if self.path == "/healthz":
+                    server.refresh_gauges()
+                    self._send_json(
+                        200,
+                        {
+                            "ok": True,
+                            "schema": protocol.SERVE_SCHEMA,
+                            "uptime_s": round(time.time() - server._started_at, 1),
+                            "workers": server._workers,
+                            "queue_depth": server._pool.depth()
+                            if server._pool
+                            else 0,
+                        },
+                    )
+                elif self.path == "/v1/stats":
+                    self._send_json(200, server.stats())
+                elif self.path == "/v1/metrics":
+                    self._send_json(200, server.metrics())
+                else:
+                    self._send_json(404, {"error": f"no such endpoint {self.path}"})
+
+            def do_POST(self):  # noqa: N802 — stdlib name
+                parts = self.path.strip("/").split("/")
+                if len(parts) != 2 or parts[0] != "v1" or parts[1] not in protocol.KINDS:
+                    self._send_json(
+                        404,
+                        {
+                            "error": f"no such endpoint {self.path}"
+                            f" (POST /v1/{{{'|'.join(protocol.KINDS)}}})"
+                        },
+                    )
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                    raw = self.rfile.read(length) if length else b"{}"
+                    payload = json.loads(raw.decode() or "{}")
+                except (ValueError, UnicodeDecodeError) as e:
+                    server.registry.add("serve.bad_requests")
+                    self._send_json(400, {"error": f"invalid JSON body: {e}"})
+                    return
+                status, body = server.handle_request(parts[1], payload)
+                self._send_json(status, body)
+
+        return Handler

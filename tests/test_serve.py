@@ -1,0 +1,427 @@
+"""Tests for the derivation service: protocol, coalescing, pool, telemetry.
+
+The deterministic serving invariants (the ones CI gates on) are:
+
+* ``serve.executed`` equals the number of *distinct* request keys — never
+  the number of requests;
+* every non-executed successful request is accounted for as either a
+  backend hit or a coalesced wait:
+  ``backend_hits + coalesced == requests - executed``.
+
+Both hold under any thread/worker interleaving, which is what makes them
+safe to assert in tests that drive a real socket with real concurrency.
+The pinned-coalescing test goes further and *blocks* the one execution
+until the coalescing counter proves every twin is parked on it.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.stats import check_schema
+from repro.serve import (
+    IolbServer,
+    ServeRequestError,
+    WorkerPool,
+    canonical_request,
+    execute_request,
+    mixed_burst,
+    request_key,
+    run_load,
+)
+from repro.serve import protocol
+from repro.serve.loadgen import _post
+
+# ---------------------------------------------------------------------------
+# protocol: canonicalization + keys
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_key_ignores_spelling(self):
+        a = canonical_request(
+            "simulate", {"kernel": "matmul", "params": {"NK": 4, "NI": 4, "NJ": 4}, "s": 16}
+        )
+        b = canonical_request(
+            "simulate",
+            {
+                "kernel": "matmul",
+                "params": {"NI": "4", "NJ": 4, "NK": "4"},
+                "s": "16",
+                "policy": "belady",  # the default, spelled out
+            },
+        )
+        assert a == b
+        assert request_key("simulate", a) == request_key("simulate", b)
+
+    def test_key_separates_kinds_and_payloads(self):
+        sim = canonical_request("simulate", {"kernel": "mgs", "s": 16})
+        sim2 = canonical_request("simulate", {"kernel": "mgs", "s": 17})
+        assert request_key("simulate", sim) != request_key("simulate", sim2)
+        der = canonical_request("derive", {"kernel": "mgs"})
+        assert request_key("derive", der) != request_key("simulate", sim)
+
+    def test_simulate_defaults_from_kernel(self):
+        from repro.kernels import KERNELS
+
+        c = canonical_request("simulate", {"kernel": "mgs", "s": 12})
+        assert c["params"] == dict(KERNELS["mgs"].default_params)
+        assert c["policy"] == "belady"
+
+    @pytest.mark.parametrize(
+        ("kind", "payload", "match"),
+        [
+            ("derive", {"kernel": "nope"}, "unknown kernel"),
+            ("derive", {"kernel": "mgs", "bogus": 1}, "unknown field"),
+            ("derive", {"kernel": "mgs", "eval": {"M": 5}}, "cache size S"),
+            ("simulate", {"kernel": "mgs"}, "missing required field 's'"),
+            ("simulate", {"kernel": "mgs", "s": 0}, "must be >= 1"),
+            ("simulate", {"kernel": "mgs", "s": 8, "policy": "fifo"}, "unknown policy"),
+            ("tune", {"algorithm": "tiled_mgs", "params": {"M": 8}, "s": 8}, "column count N"),
+            ("lint", {"kernel": "nope"}, "unknown lintable kernel"),
+            ("frobnicate", {}, "unknown request kind"),
+        ],
+    )
+    def test_validation_errors(self, kind, payload, match):
+        with pytest.raises(ServeRequestError, match=match):
+            canonical_request(kind, payload)
+
+    def test_execute_derive_with_eval(self):
+        c = canonical_request("derive", {"kernel": "mgs", "eval": {"M": 10, "N": 7, "S": 16}})
+        out = execute_request("derive", c)
+        assert out["kernel"] == "mgs"
+        assert out["bounds"] and out["summary"]
+        assert out["eval"]["value"] > 0
+
+    def test_execute_simulate_reports_bound_and_io(self):
+        c = canonical_request(
+            "simulate", {"kernel": "mgs", "params": {"M": 5, "N": 4}, "s": 12}
+        )
+        out = execute_request("simulate", c)
+        assert out["loads"] > 0 and out["computes"] > 0
+        assert out["bound"] > 0 and out["bound_method"]
+
+    def test_execute_lint(self):
+        out = execute_request("lint", canonical_request("lint", {"kernel": "mgs"}))
+        assert out["program"] == "mgs"
+
+    def test_execute_sleep_internal_kind(self):
+        assert execute_request("sleep", canonical_request("sleep", {"ms": 0})) == {
+            "slept_ms": 0.0
+        }
+
+
+# ---------------------------------------------------------------------------
+# the server, inline execution mode (workers=0)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def inline_server(tmp_path):
+    srv = IolbServer(workers=0, memo_dir=tmp_path / "memo").start()
+    yield srv
+    srv.shutdown()
+
+
+def _get_json(url: str) -> tuple[int, dict]:
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+class TestInlineServer:
+    def test_roundtrip_then_backend_hit(self, inline_server):
+        req = {"kind": "derive", "payload": {"kernel": "mgs"}}
+        status, _, doc = _post(inline_server.url, req, timeout=60)
+        assert status == 200
+        assert doc["schema"] == "iolb-serve/1"
+        assert doc["cached"] is False
+        assert doc["result"]["kernel"] == "mgs"
+
+        status2, _, doc2 = _post(inline_server.url, req, timeout=60)
+        assert status2 == 200
+        assert doc2["cached"] is True
+        assert doc2["result"] == doc["result"]
+        assert doc2["key"] == doc["key"]
+
+        c = inline_server.registry.counters()
+        assert c["serve.requests"] == 2
+        assert c["serve.executed"] == 1
+        assert c["serve.backend_hits"] == 1
+
+    def test_bad_requests(self, inline_server):
+        status, _, doc = _post(
+            inline_server.url, {"kind": "derive", "payload": {"kernel": "nope"}}, 30
+        )
+        assert status == 400 and "unknown kernel" in doc["error"]
+        status, _, doc = _post(
+            inline_server.url, {"kind": "frobnicate", "payload": {}}, 30
+        )
+        assert status == 404
+        assert inline_server.registry.counters()["serve.bad_requests"] == 1
+
+    def test_health_stats_metrics_endpoints(self, inline_server):
+        _post(inline_server.url, {"kind": "derive", "payload": {"kernel": "mgs"}}, 60)
+
+        status, health = _get_json(f"{inline_server.url}/healthz")
+        assert status == 200 and health["ok"] is True
+
+        status, stats = _get_json(f"{inline_server.url}/v1/stats")
+        assert status == 200
+        assert stats["requests"] == 1 and stats["executed"] == 1
+        assert stats["latency_p50_ms"] > 0
+
+        status, metrics = _get_json(f"{inline_server.url}/v1/metrics")
+        assert status == 200
+        check_schema(metrics)  # a valid iolb-metrics/1 dump
+        assert metrics["meta"]["command"] == "serve"
+        assert metrics["counters"]["serve.requests"] == 1
+        assert "serve.latency_p99_ms" in metrics["gauges"]
+        assert "serve.hit_rate" in metrics["gauges"]
+        assert "serve.queue_depth" in metrics["gauges"]
+        assert any(s["path"].startswith("serve.") for s in metrics["spans"])
+
+    def test_sequential_burst_is_half_hits(self, inline_server):
+        rep = run_load(inline_server.url, mixed_burst(repeat=2), concurrency=1)
+        assert rep.ok(), rep.summary()
+        c = inline_server.registry.counters()
+        assert c["serve.requests"] == 8
+        assert c["serve.executed"] == 4
+        assert c["serve.backend_hits"] == 4
+        inline_server.refresh_gauges()
+        assert inline_server.registry.gauges()["serve.hit_rate"] == 0.5
+
+    def test_concurrent_burst_invariant(self, inline_server):
+        burst = mixed_burst(repeat=3)  # 12 requests, 4 distinct
+        rep = run_load(inline_server.url, burst, concurrency=6)
+        assert rep.ok(), rep.summary()
+        c = inline_server.registry.counters()
+        assert c["serve.requests"] == 12
+        assert c["serve.executed"] == 4  # one execution per distinct key
+        assert c["serve.backend_hits"] + c.get("serve.coalesced", 0) == 8
+
+
+# ---------------------------------------------------------------------------
+# coalescing, pinned: K identical in-flight requests, exactly one execution
+# ---------------------------------------------------------------------------
+
+
+def test_coalescing_pinned(tmp_path, monkeypatch):
+    """Block the single execution until the coalescing counter proves the
+    other K-1 identical requests are parked on it, then release and check
+    everyone got the one result."""
+    release = threading.Event()
+    calls: list[str] = []
+
+    def blocking_execute(kind, canonical):
+        calls.append(kind)
+        if not release.wait(timeout=30):
+            raise RuntimeError("test never released the execution")
+        return {"pinned": True}
+
+    monkeypatch.setattr(protocol, "execute_request", blocking_execute)
+    srv = IolbServer(workers=0, memo_dir=tmp_path / "memo").start()
+    try:
+        K = 5
+        docs: list[dict] = []
+        lock = threading.Lock()
+
+        def client():
+            status, _, doc = _post(
+                srv.url, {"kind": "derive", "payload": {"kernel": "mgs"}}, 60
+            )
+            with lock:
+                docs.append((status, doc))
+
+        threads = [threading.Thread(target=client) for _ in range(K)]
+        for t in threads:
+            t.start()
+
+        deadline = time.time() + 15
+        while time.time() < deadline:
+            if srv.registry.counters().get("serve.coalesced", 0) == K - 1:
+                break
+            time.sleep(0.01)
+        assert srv.registry.counters().get("serve.coalesced", 0) == K - 1
+        assert len(calls) == 1  # all twins parked, exactly one execution running
+
+        release.set()
+        for t in threads:
+            t.join(timeout=30)
+
+        assert [s for s, _ in docs] == [200] * K
+        assert all(d["result"] == {"pinned": True} for _, d in docs)
+        assert sum(d["coalesced"] for _, d in docs) == K - 1
+        c = srv.registry.counters()
+        assert c["serve.executed"] == 1
+        assert c["serve.requests"] == K
+    finally:
+        release.set()
+        srv.shutdown()
+
+
+def test_coalesced_waiter_times_out(tmp_path, monkeypatch):
+    release = threading.Event()
+
+    def blocking_execute(kind, canonical):
+        release.wait(timeout=30)
+        return {"late": True}
+
+    monkeypatch.setattr(protocol, "execute_request", blocking_execute)
+    srv = IolbServer(workers=0, memo_dir=None, request_timeout=0.2).start()
+    try:
+        first: list[int] = []
+
+        def client():
+            status, _, _doc = _post(
+                srv.url, {"kind": "derive", "payload": {"kernel": "mgs"}}, 60
+            )
+            first.append(status)
+
+        t = threading.Thread(target=client)
+        t.start()
+        deadline = time.time() + 10
+        while time.time() < deadline and not srv._inflight:
+            time.sleep(0.01)
+
+        status, _, doc = _post(
+            srv.url, {"kind": "derive", "payload": {"kernel": "mgs"}}, 60
+        )
+        assert status == 504
+        assert "timed out" in doc["error"]
+        assert srv.registry.counters()["serve.timeouts"] == 1
+
+        release.set()
+        t.join(timeout=30)
+        assert first == [200]
+    finally:
+        release.set()
+        srv.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# backpressure: a full shard queue is an immediate 503, not latency
+# ---------------------------------------------------------------------------
+
+
+class _FullPool:
+    """A pool whose every queue is full (and which tolerates shutdown)."""
+
+    def submit(self, job_id, key, kind, payload):
+        raise queue.Full
+
+    def depth(self):
+        return 0
+
+    def close(self, timeout=None):
+        pass
+
+
+def test_queue_full_is_503(tmp_path):
+    srv = IolbServer(workers=0, memo_dir=tmp_path / "memo")
+    srv._pool = _FullPool()
+    try:
+        status, body = srv.handle_request("derive", {"kernel": "mgs"})
+        assert status == 503
+        assert "queue full" in body["error"]
+        c = srv.registry.counters()
+        assert c["serve.queue_full"] == 1
+        assert not srv._inflight  # the slot was rolled back, nothing leaks
+        # a waiter that raced onto the doomed slot is resolved, not stranded
+        status2, _ = srv.handle_request("derive", {"kernel": "mgs"})
+        assert status2 == 503
+    finally:
+        srv.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# the real worker pool: sharded execution + counter shipping
+# ---------------------------------------------------------------------------
+
+
+def test_pool_server_executes_once_and_ships_counters(tmp_path):
+    with IolbServer(workers=2, memo_dir=tmp_path / "memo") as srv:
+        rep = run_load(srv.url, mixed_burst(repeat=3), concurrency=6, timeout=120)
+        assert rep.ok(), rep.summary()
+        c = srv.registry.counters()
+        assert c["serve.requests"] == 12
+        assert c["serve.executed"] == 4
+        assert c.get("serve.backend_hits", 0) + c.get("serve.coalesced", 0) == 8
+        # engine work counters recorded inside the worker *processes* were
+        # shipped back over the result channel and merged here
+        assert any(k.startswith(("pebble.", "ir.", "polyhedral.")) for k in c), c
+        # a second identical burst is pure backend hits
+        rep2 = run_load(srv.url, mixed_burst(repeat=1), concurrency=2, timeout=120)
+        assert rep2.ok(), rep2.summary()
+        c2 = srv.registry.counters()
+        assert c2["serve.executed"] == 4
+        assert c2["serve.backend_hits"] == c.get("serve.backend_hits", 0) + 4
+
+
+def test_worker_pool_sharding_and_backpressure():
+    pool = WorkerPool(workers=1, queue_cap=1, batch_max=4)
+    try:
+        key = request_key("sleep", canonical_request("sleep", {"ms": 400}))
+        assert pool.shard_of(key) == pool.shard_of(key) == 0
+
+        results: dict[int, tuple] = {}
+        got = threading.Event()
+
+        def on_result(job_id, ok, result, counters, batch_size):
+            results[job_id] = (ok, result, batch_size)
+            if len(results) == 2:
+                got.set()
+
+        pool.start_collector(on_result)
+        pool.submit(0, key, "sleep", {"ms": 400})
+        # wait until the worker has taken job 0 off the queue...
+        deadline = time.time() + 10
+        while time.time() < deadline and pool.depth() > 0:
+            time.sleep(0.01)
+        pool.submit(1, key, "sleep", {"ms": 1})  # ...fills the cap-1 queue
+        with pytest.raises(queue.Full):
+            pool.submit(2, key, "sleep", {"ms": 1})  # bounded out
+
+        assert got.wait(timeout=30)
+        assert results[0][0] and results[1][0]
+        assert results[0][1]["slept_ms"] == 400
+        # every job is covered by exactly one batch-size report
+        assert sum(b for _, _, b in results.values() if b) == 2
+    finally:
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# worker counter shipping, the tune_block_size fix the pool generalizes
+# ---------------------------------------------------------------------------
+
+
+def test_tuner_parallel_counters_match_serial():
+    """jobs=2 used to silently drop every counter recorded in the worker
+    processes; with capture + merge the parallel sweep now reports exactly
+    the counters of the serial one."""
+    from repro.bounds import tune_block_size
+    from repro.kernels import get_tiled
+
+    alg = get_tiled("tiled_mgs")
+    params = {"M": 8, "N": 6}
+
+    obs.enable()
+    obs.reset()
+    serial = tune_block_size(alg, params, 48, mode="coarse", jobs=1, memo=None)
+    c_serial = obs.counters()
+
+    obs.reset()
+    par = tune_block_size(alg, params, 48, mode="coarse", jobs=2, memo=None)
+    c_parallel = obs.counters()
+
+    assert par.best_block == serial.best_block
+    assert par.best_loads == serial.best_loads
+    assert c_parallel == c_serial
+    assert c_parallel.get("cache.events_simulated", 0) > 0

@@ -1,0 +1,271 @@
+"""Concurrency + durability tests for the on-disk stores behind the service.
+
+Two stores get hammered from multiple OS processes — the memo cache
+(atomic ``put``, corrupt-entry quarantine, TTL + size eviction, warm-start
+preload) and the bench-history directory (atomic append, skip-and-warn
+loading).  The invariants: readers never observe a torn entry, corrupt
+entries never re-fail, and history appends never clobber each other.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.cache import JsonCache, MemoCache, memo_key
+from repro.cache.memo import _EVICT_EVERY
+from repro.cache.sim import CacheStats
+from repro.obs.core import Registry
+from repro.obs.history import BENCH_SCHEMA, append_entry, load_history
+
+# ---------------------------------------------------------------------------
+# multiprocessing workers (top-level so fork/spawn can both pickle them)
+# ---------------------------------------------------------------------------
+
+_STATS = dict(
+    loads=7, read_hits=3, accesses=11, capacity=16, policy="belady"
+)
+
+
+def _hammer_memo(cache_dir, key, iters, out_q):
+    cache = MemoCache(cache_dir)
+    seen = []
+    for _ in range(iters):
+        st = cache.get_or_compute(key, lambda: CacheStats(**_STATS))
+        seen.append((st.loads, st.read_hits, st.accesses, st.capacity, st.policy))
+    out_q.put(seen)
+
+
+def _hammer_history(history_dir, appends, out_q):
+    # every writer uses the same `created` stamp, so every append races the
+    # others on the same canonical filename — the collision-suffix path
+    record = {
+        "schema": BENCH_SCHEMA,
+        "created": "2026-01-01T00:00:00Z",
+        "suite": "stress",
+        "results": {"w": {"wall_s": {"median": 0.1}}},
+    }
+    paths = []
+    for _ in range(appends):
+        paths.append(str(append_entry(record, history_dir)))
+    out_q.put(paths)
+
+
+def _fork_ctx():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class TestMemoCacheConcurrency:
+    def test_many_processes_one_dir(self, tmp_path):
+        ctx = _fork_ctx()
+        key = memo_key("mgs", {"M": 5, "N": 4}, 16, "belady")
+        out_q = ctx.Queue()
+        procs = [
+            ctx.Process(target=_hammer_memo, args=(str(tmp_path), key, 25, out_q))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        results = [out_q.get(timeout=60) for _ in procs]
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+
+        # every read in every process saw the one true value
+        expected = (7, 3, 11, 16, "belady")
+        for seen in results:
+            assert len(seen) == 25
+            assert all(s == expected for s in seen)
+
+        # and the store holds exactly one clean entry — nothing torn,
+        # nothing quarantined, no stray tmp files
+        assert [p.name for p in tmp_path.glob("*.json")] == [f"{key}.json"]
+        assert not list(tmp_path.glob("*.corrupt"))
+        assert not list(tmp_path.glob("*.tmp*"))
+        cache = MemoCache(tmp_path)
+        assert cache.get(key) == CacheStats(**_STATS)
+
+
+class TestHistoryConcurrency:
+    def test_concurrent_appenders_never_clobber(self, tmp_path):
+        ctx = _fork_ctx()
+        out_q = ctx.Queue()
+        procs = [
+            ctx.Process(target=_hammer_history, args=(str(tmp_path), 5, out_q))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        all_paths = [path for _ in procs for path in out_q.get(timeout=60)]
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+
+        # 20 appends -> 20 distinct files, none overwritten, none partial
+        assert len(set(all_paths)) == 20
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any skip-warning is a failure here
+            records = load_history(tmp_path, suite="stress")
+        assert len(records) == 20
+        assert not list(tmp_path.glob(".*.tmp*"))
+
+    def test_same_record_twice_gets_suffixed(self, tmp_path):
+        record = {
+            "schema": BENCH_SCHEMA,
+            "created": "2026-02-02T00:00:00Z",
+            "suite": "stress",
+            "results": {"w": {"wall_s": {"median": 0.1}}},
+        }
+        p1 = append_entry(record, tmp_path)
+        p2 = append_entry(record, tmp_path)
+        assert p1 != p2 and p1.exists() and p2.exists()
+        assert p2.name.endswith("-2.json")
+
+    def test_load_history_skips_and_warns_on_junk(self, tmp_path):
+        append_entry(
+            {
+                "schema": BENCH_SCHEMA,
+                "created": "2026-03-03T00:00:00Z",
+                "results": {"w": {"wall_s": {"median": 0.2}}},
+            },
+            tmp_path,
+        )
+        (tmp_path / "notes.json").write_text("{half a record")
+        with pytest.warns(UserWarning, match="skipping unparseable.*notes.json"):
+            records = load_history(tmp_path)
+        assert len(records) == 1
+
+
+class TestCorruptQuarantine:
+    def test_garbage_is_quarantined_once(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        key = memo_key("mgs", {"M": 5, "N": 4}, 16, "belady")
+        path = tmp_path / f"{key}.json"
+        path.write_text("{definitely not json")
+
+        obs.enable()
+        obs.reset()
+        assert cache.get(key) is None
+        assert obs.counters()["cache.memo_corrupt"] == 1
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()  # kept for post-mortems
+
+        # the second read is a plain miss — the entry never re-fails
+        assert cache.get(key) is None
+        assert obs.counters()["cache.memo_corrupt"] == 1
+        assert obs.counters()["cache.memo_misses"] == 2
+
+    def test_decode_failure_is_corruption_too(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        key = memo_key("mgs", {"M": 5, "N": 4}, 16, "belady")
+        # valid JSON, wrong shape for CacheStats
+        (tmp_path / f"{key}.json").write_text(json.dumps({"loads": 1}))
+        obs.enable()
+        obs.reset()
+        assert cache.get(key) is None
+        assert obs.counters()["cache.memo_corrupt"] == 1
+        assert (tmp_path / f"{key}.corrupt").exists()
+
+    def test_non_object_payload_is_corruption(self, tmp_path):
+        cache = JsonCache(tmp_path, reg=Registry())
+        (tmp_path / "k.json").write_text("[1, 2, 3]")
+        assert cache.get_raw("k") is None
+        assert (tmp_path / "k.corrupt").exists()
+
+
+class TestTtlAndEviction:
+    def test_ttl_expiry_unlinks_on_read(self, tmp_path):
+        reg = Registry()
+        cache = JsonCache(tmp_path, ttl_s=60, reg=reg)
+        cache.put_raw("stale", {"v": 1})
+        old = time.time() - 3600
+        os.utime(tmp_path / "stale.json", (old, old))
+        assert cache.get_raw("stale") is None
+        assert not (tmp_path / "stale.json").exists()
+        assert reg.counters()["cache.memo_expired"] == 1
+        # fresh entries are unaffected
+        cache.put_raw("fresh", {"v": 2})
+        assert cache.get_raw("fresh") == {"v": 2}
+
+    def test_evict_drops_expired_then_oldest(self, tmp_path):
+        reg = Registry()
+        cache = JsonCache(tmp_path, ttl_s=100, max_entries=2, reg=reg)
+        now = time.time()
+        for i in range(5):
+            cache.put_raw(f"k{i}", {"i": i})
+            # k0 is expired; k1..k4 age oldest-first
+            age = 500 if i == 0 else 50 - 10 * i
+            os.utime(tmp_path / f"k{i}.json", (now - age, now - age))
+        dropped = cache.evict(now=now)
+        assert dropped == {"ttl": 1, "size": 2}
+        assert sorted(p.stem for p in tmp_path.glob("*.json")) == ["k3", "k4"]
+        assert reg.counters()["cache.memo_evict_ttl"] == 1
+        assert reg.counters()["cache.memo_evict_size"] == 2
+
+    def test_max_bytes_cap(self, tmp_path):
+        cache = JsonCache(tmp_path, max_bytes=1, reg=Registry())
+        now = time.time()
+        for i in range(3):
+            cache.put_raw(f"k{i}", {"i": i})
+            os.utime(tmp_path / f"k{i}.json", (now - 100 + i, now - 100 + i))
+        cache.evict(now=now)
+        # a 1-byte cap can keep nothing
+        assert cache.entry_count() == 0
+
+    def test_writers_trigger_eviction_automatically(self, tmp_path):
+        cache = JsonCache(tmp_path, max_entries=4, reg=Registry())
+        for i in range(_EVICT_EVERY + 1):
+            cache.put_raw(f"k{i:03d}", {"i": i})
+        # the background trim ran at put #32: 4 survivors + the put after it
+        assert cache.entry_count() == 5
+
+
+class TestPreload:
+    def test_preload_serves_from_memory(self, tmp_path):
+        JsonCache(tmp_path).put_raw("hot", {"v": 42})
+        reg = Registry()
+        cache = JsonCache(tmp_path, reg=reg)
+        assert cache.preload() == 1
+        assert reg.counters()["cache.memo_preloaded"] == 1
+
+        # remove the file behind it: still served, from the memory layer
+        (tmp_path / "hot.json").unlink()
+        assert cache.get_raw("hot") == {"v": 42}
+
+        # later puts write through to the memory layer too
+        cache.put_raw("new", {"v": 1})
+        (tmp_path / "new.json").unlink()
+        assert cache.get_raw("new") == {"v": 1}
+
+    def test_preload_skips_expired_and_quarantines_corrupt(self, tmp_path):
+        plain = JsonCache(tmp_path)
+        plain.put_raw("good", {"v": 1})
+        plain.put_raw("stale", {"v": 2})
+        old = time.time() - 3600
+        os.utime(tmp_path / "stale.json", (old, old))
+        (tmp_path / "bad.json").write_text("nope")
+
+        reg = Registry()
+        cache = JsonCache(tmp_path, ttl_s=60, reg=reg)
+        assert cache.preload() == 1
+        assert reg.counters()["cache.memo_corrupt"] == 1
+        assert (tmp_path / "bad.corrupt").exists()
+        assert cache.get_raw("good") == {"v": 1}
+
+    def test_eviction_reaches_into_memory_layer(self, tmp_path):
+        cache = JsonCache(tmp_path, max_entries=1)
+        cache.preload()  # empty store: arms the write-through layer
+        now = time.time()
+        cache.put_raw("a", {"v": 1})
+        os.utime(tmp_path / "a.json", (now - 100, now - 100))
+        cache.put_raw("b", {"v": 2})
+        cache.evict(now=now)
+        assert cache.get_raw("a") is None  # gone from disk *and* memory
+        assert cache.get_raw("b") == {"v": 2}
