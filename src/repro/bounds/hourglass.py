@@ -379,20 +379,40 @@ def verify_hourglass_paths(
 def _i_prime_bound(
     pattern: HourglassPattern,
     projections: Sequence[Projection],
-) -> Rational:
+) -> tuple[Rational, list[dict]]:
     """|I'|(K) via §4.2: phi_i <= Wmax; projections sharing reduction dims
-    become K/Wmin on their non-reduction part; remaining dims cost K each."""
+    become K/Wmin on their non-reduction part; remaining dims cost K each.
+
+    Returns the symbolic bound plus the lemma-application trail (one dict
+    per factor, with the projection it instantiates and the dims it newly
+    covers) that :mod:`repro.cert` serializes for independent replay.
+    """
     w_min = as_rational(pattern.width_min)
     w_max = as_rational(pattern.width_max)
     k = as_rational(K)
     covered: set[str] = set(pattern.reduction)
     u = w_max
+    steps: list[dict] = [
+        {
+            "lemma": "lemma4-width-cap",
+            "factor": "Wmax",
+            "covers": sorted(pattern.reduction),
+        }
+    ]
     # converted projections (Lemma 4): cover their non-reduction dims at K/Wmin
     for p in projections:
         shared = set(p.dims) & set(pattern.reduction)
         rest = set(p.dims) - set(pattern.reduction)
         if shared and rest and not rest <= covered:
             u = u * (k / w_min)
+            steps.append(
+                {
+                    "lemma": "lemma4-converted-projection",
+                    "factor": "K/Wmin",
+                    "projection": sorted(p.dims),
+                    "covers": sorted(rest - covered),
+                }
+            )
             covered |= rest
     # any dim still uncovered costs a full K via an original projection
     remaining = [d for d in pattern.temporal + pattern.neutral if d not in covered]
@@ -407,19 +427,28 @@ def _i_prime_bound(
                 f"dims {remaining} not covered by any projection"
             )
         u = u * k
+        steps.append(
+            {
+                "lemma": "projection-cap",
+                "factor": "K",
+                "projection": sorted(best[0].dims),
+                "covers": sorted(best[1]),
+            }
+        )
         remaining = [d for d in remaining if d not in best[1]]
-    return u
+    return u, steps
 
 
 def _f_bound_factors(
     pattern: HourglassPattern,
     projections: Sequence[Projection],
-) -> tuple[Rational, Rational]:
-    """(e, R) of §4.3: |F| <= e * R * K.
+) -> tuple[Rational, Rational, list[dict]]:
+    """(e, R, steps) of §4.3: |F| <= e * R * K.
 
     e collects the flatness factor 2 (for the temporal dims) and a K for
     every dim not covered by the chosen phi_w; R counts the neutral values
-    phi_w fails to separate (1 for all the paper's kernels).
+    phi_w fails to separate (1 for all the paper's kernels).  ``steps`` is
+    the lemma trail for the certificate, mirroring :func:`_i_prime_bound`.
     """
     # choose phi_w: must contain some neutral dims; prefer max coverage of
     # neutral + reduction
@@ -435,14 +464,18 @@ def _f_bound_factors(
         raise HourglassDetectionError("no projection usable as phi_w")
     phi_w = best[0]
     e: Rational = as_rational(2)
+    steps: list[dict] = [
+        {"lemma": "flatness", "factor": "2", "phi_w": sorted(phi_w.dims)}
+    ]
     # dims of the slice not covered by flatness (temporal) or phi_w
     uncovered = [
         d
         for d in pattern.reduction + pattern.neutral
         if d not in phi_w.dims
     ]
-    for _ in uncovered:
+    for d in uncovered:
         e = e * as_rational(K)
+        steps.append({"lemma": "uncovered-slice-dim", "factor": "K", "dim": d})
     # R: neutral dims phi_w misses would multiply the K budget
     r: Rational = as_rational(1)
     missed_neutral = [d for d in pattern.neutral if d not in phi_w.dims]
@@ -451,7 +484,7 @@ def _f_bound_factors(
         raise HourglassDetectionError(
             f"phi_w misses neutral dims {missed_neutral}; R > 1 unsupported"
         )
-    return e, r
+    return e, r, steps
 
 
 def hourglass_bound(
@@ -470,11 +503,20 @@ def hourglass_bound(
         raise HourglassDetectionError(
             f"{pattern.stmt}: width is not parametric; use the split derivation"
         )
-    u_i = _i_prime_bound(pattern, projections)
-    e, r = _f_bound_factors(pattern, projections)
+    u_i, i_steps = _i_prime_bound(pattern, projections)
+    e, r, f_steps = _f_bound_factors(pattern, projections)
     e_size = u_i + e * r * as_rational(K)
     q = (as_rational(K) - as_rational(S)) * as_rational(v_count) / e_size
     q = q.subs({"K": Poly.const(k_mult) * S})
+    witness = {
+        "kind": "hourglass",
+        "width_min": pattern.width_min,
+        "width_max": pattern.width_max,
+        "v_count": v_count,
+        "lemmas": i_steps
+        + f_steps
+        + [{"lemma": "theorem1", "k_choice": f"{k_mult}*S", "k_mult": k_mult}],
+    }
     return BoundResult(
         kernel=kernel_name,
         method="hourglass",
@@ -486,6 +528,7 @@ def hourglass_bound(
             f" neutral={pattern.neutral} Wmin={pattern.width_min!r}"
             f" Wmax={pattern.width_max!r}"
         ),
+        witness=witness,
     )
 
 
@@ -505,8 +548,8 @@ def optimal_k_numeric(
     K* = S + sqrt(S^2 + 2SM), about ``sqrt(2SM)`` >> 2S for S << M).
     The numeric search below is exact for any U_I shape.
     """
-    u_i = _i_prime_bound(pattern, projections)
-    e, r = _f_bound_factors(pattern, projections)
+    u_i, _ = _i_prime_bound(pattern, projections)
+    e, r, _ = _f_bound_factors(pattern, projections)
     e_size = u_i + e * r * as_rational(K)
     v = float(v_count.eval(env))
     s = env["S"]
@@ -546,9 +589,17 @@ def hourglass_bound_small_cache(
     """The small-cache bound (Theorem 5's second part): when S < Wmin every
     (K=Wmin)-bounded set has empty E', so |E| <= e*R*K and
     ``Q >= (Wmin - S) * |V| / (e * R * Wmin)``."""
-    e, r = _f_bound_factors(pattern, projections)
+    e, r, f_steps = _f_bound_factors(pattern, projections)
     w = as_rational(pattern.width_min)
     q = (w - as_rational(S)) * as_rational(v_count) / (e * r * w)
+    witness = {
+        "kind": "hourglass-small-cache",
+        "width_min": pattern.width_min,
+        "width_max": pattern.width_max,
+        "v_count": v_count,
+        "lemmas": f_steps
+        + [{"lemma": "theorem5-small-cache", "k_choice": "Wmin"}],
+    }
     return BoundResult(
         kernel=kernel_name,
         method="hourglass-small-cache",
@@ -557,6 +608,7 @@ def hourglass_bound_small_cache(
         k_choice="K = Wmin",
         condition=f"S < Wmin = {pattern.width_min!r}",
         notes="E' empty because |InSet(E')| > Wmin >= K",
+        witness=witness,
     )
 
 
@@ -607,6 +659,8 @@ def hourglass_bound_with_split(
     res = hourglass_bound(kernel_name, pat1, projections, v1, k_mult=k_mult)
     res.method = "hourglass-split"
     res.notes += f" split {split_dim} at {split_at!r}"
+    res.witness["kind"] = "hourglass-split"
+    res.witness["split"] = {"dim": split_dim, "at": split_at}
     return res
 
 

@@ -51,6 +51,10 @@ class BoundResult:
     notes: str = ""
     #: validity condition on parameters, as text (documentation)
     condition: str = ""
+    #: proof ingredients captured at derivation time (BL exponents or the
+    #: hourglass lemma chain), consumed by :mod:`repro.cert`; None for
+    #: bounds constructed outside the certificate-emitting paths
+    witness: dict | None = None
 
     def evaluate(self, params: Mapping[str, int]) -> float:
         """Numeric value of the bound at concrete parameters (incl. S)."""
@@ -100,6 +104,15 @@ def classical_bound(
             if s_j > 0:
                 coeff *= (sf / float(s_j)) ** float(s_j)
     expr = as_rational(v_count) * as_rational(S ** (1 - sigma))
+    witness = {
+        "kind": "classical",
+        "exponents": [str(s_j) for s_j in sol.exponents],
+        "sigma": str(sigma),
+        "disjoint": bool(disjoint),
+        "projections": [sorted(p.dims) for p in projections],
+        "dims": list(dims),
+        "v_count": v_count,
+    }
     return BoundResult(
         kernel=kernel_name,
         method="classical-disjoint" if disjoint else "classical",
@@ -108,6 +121,7 @@ def classical_bound(
         sigma=sigma,
         k_choice=f"K = {sf/(sf-1.0):g} * S (continuous optimum)",
         notes=f"BL exponents {tuple(map(str, sol.exponents))} over {dimsets}",
+        witness=witness,
     )
 
 

@@ -1,0 +1,45 @@
+"""repro.cert — machine-checkable bound certificates (``iolb-cert/1``).
+
+Every derivation the engine performs is built from auditable ingredients:
+the dependence projections, the Brascamp–Lieb LP witness vector, the
+hourglass decomposition (temporal/reduction/neutral dims and the width W),
+and a chain of lemma applications with concrete instantiations.  This
+package turns a :class:`~repro.bounds.DerivationReport` into a versioned
+proof object and re-checks it with code that deliberately shares nothing
+with the derivation:
+
+* :mod:`repro.cert.emit` — :func:`build_certificate` serializes the
+  report (projections, witnesses, lemma trails, exact expressions) into
+  the ``iolb-cert/1`` JSON document; :func:`certificate_json` is the
+  canonical byte-stable rendering pinned by the golden tests;
+* :mod:`repro.cert.check` — :func:`check_certificate`, the *independent*
+  checker: its own tiny exact rational arithmetic, its own domain
+  enumerator, and an inequality replay of every lemma application.  It
+  imports nothing from :mod:`repro.bounds`, :mod:`repro.polyhedral`,
+  :mod:`repro.symbolic` or :mod:`repro.ir` (a test pins this at the AST
+  level), so a bug in the derivation engine cannot silently vouch for
+  itself.  Results come back as an ``iolb-cert-report/1`` with
+  severity-gated findings (``iolb cert check`` exits 0/1/2).
+
+Surfaced as ``iolb derive --cert``, the ``cert`` field of the serve
+``derive`` response, ``iolb cert check``, the ``cert-roundtrip`` verify
+oracle, and selfcheck's tenth check.  See docs/CERTIFICATES.md.
+"""
+
+from .check import (
+    REPORT_SCHEMA,
+    CertCheckReport,
+    Finding,
+    check_certificate,
+)
+from .emit import CERT_SCHEMA, build_certificate, certificate_json
+
+__all__ = [
+    "CERT_SCHEMA",
+    "REPORT_SCHEMA",
+    "build_certificate",
+    "certificate_json",
+    "check_certificate",
+    "CertCheckReport",
+    "Finding",
+]

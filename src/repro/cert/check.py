@@ -1,0 +1,1138 @@
+"""The independent certificate checker (``iolb-cert-report/1``).
+
+This module re-verifies an ``iolb-cert/1`` document **without** the
+derivation engine: it has its own exact polynomial arithmetic (monomials
+as sorted ``(symbol, exponent)`` tuples over :class:`fractions.Fraction`),
+its own iteration-domain enumerator, and replays every lemma application
+from the certificate's own data.  It imports nothing from
+:mod:`repro.bounds`, :mod:`repro.polyhedral`, :mod:`repro.symbolic` or
+:mod:`repro.ir` — only the standard library and :mod:`repro.obs` — so a
+bug in the derivation cannot leak into its own audit.  A test pins this
+import discipline at the AST level.
+
+What is checked (reason codes; ``error`` findings gate exit code 2,
+``warning`` 1):
+
+==== =========================================================
+C001 malformed certificate (structure, types, unparsable values)
+C002 unknown certificate schema
+C003 engine version mismatch (warning)
+C010 projection not grounded in the statement's dimensions
+C011 witness projections/dims inconsistent with the certificate
+C020 BL witness arity or exponent-range violation
+C021 BL witness does not cover some dimension (sum s_j < 1)
+C022 sigma does not equal the sum of the exponents
+C023 classical coefficient does not replay
+C024 classical bound expression does not replay
+C030 hourglass dims are not a partition of the statement dims
+C031 lemma-chain bookkeeping broken (coverage, phi_w, bindings)
+C032 bound expression does not match the lemma-chain replay
+C033 split bound missing its split instantiation
+C034 split instance count does not replay numerically
+C040 width claims refuted on the enumerated domain
+C041 symbolic instance count disagrees with enumeration
+C042 domain exceeds the enumeration cap (warning; numeric
+     checks skipped)
+C043 split point not integral at the certified parameters
+     (warning; split replay skipped)
+==== =========================================================
+
+Symbolic equalities are decided by cross-multiplication of exact term
+lists, which is invariant under whatever normalization the engine's
+rational arithmetic applies — the checker never reimplements it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping
+
+from .. import obs
+
+__all__ = ["REPORT_SCHEMA", "Finding", "CertCheckReport", "check_certificate"]
+
+REPORT_SCHEMA = "iolb-cert-report/1"
+
+#: schema this checker understands (redeclared on purpose — importing it
+#: from :mod:`repro.cert.emit` would let an emitter typo vouch for itself)
+_CERT_SCHEMA = "iolb-cert/1"
+
+#: largest iteration domain the numeric replays will enumerate
+ENUM_CAP = 20000
+
+#: concrete cache sizes tried when a split instantiation references S
+_SPLIT_S_TRIALS = (1, 2, 3)
+
+
+class _Bad(Exception):
+    """Structural problem with the certificate (reported as C001)."""
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    """One checker finding: a reason code, severity and location."""
+
+    code: str
+    severity: str  # "error" | "warning"
+    message: str
+    where: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "where": self.where,
+        }
+
+
+@dataclass
+class CertCheckReport:
+    """Outcome of one :func:`check_certificate` run."""
+
+    kernel: str = ""
+    findings: list[Finding] = field(default_factory=list)
+    checks_run: list[str] = field(default_factory=list)
+
+    def add(self, code: str, severity: str, message: str, where: str = ""):
+        self.findings.append(Finding(code, severity, message, where))
+
+    def ran(self, name: str):
+        self.checks_run.append(name)
+
+    def ok(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+    def exit_code(self) -> int:
+        if any(f.severity == "error" for f in self.findings):
+            return 2
+        if any(f.severity == "warning" for f in self.findings):
+            return 1
+        return 0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "kernel": self.kernel,
+            "ok": self.ok(),
+            "exit_code": self.exit_code(),
+            "checks_run": list(self.checks_run),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"certificate check: {self.kernel or '<unknown>'} — "
+            + ("OK" if self.ok() else "REJECTED")
+        ]
+        lines.append(f"  checks run: {', '.join(self.checks_run) or 'none'}")
+        for f in self.findings:
+            loc = f" at {f.where}" if f.where else ""
+            lines.append(f"  [{f.code}] {f.severity}{loc}: {f.message}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the checker's own polynomial arithmetic
+#
+# A polynomial is ``dict[monomial, Fraction]`` with ``monomial`` a sorted
+# tuple of ``(symbol, exponent)`` pairs, zero exponents and zero
+# coefficients dropped.  Exponents are Fractions (the classical bound's
+# S**(1-sigma) can be fractional and negative); numeric evaluation
+# requires integer exponents and reports anything else as malformed.
+# ---------------------------------------------------------------------------
+
+
+def _frac(s, what: str) -> Fraction:
+    try:
+        return Fraction(str(s))
+    except (ValueError, ZeroDivisionError) as e:
+        raise _Bad(f"{what}: bad rational {s!r} ({e})") from None
+
+
+def _pconst(c) -> dict:
+    c = Fraction(c)
+    return {(): c} if c else {}
+
+
+def _psym(name: str) -> dict:
+    return {((name, Fraction(1)),): Fraction(1)}
+
+
+def _padd(a: dict, b: dict) -> dict:
+    out = dict(a)
+    for m, c in b.items():
+        c2 = out.get(m, Fraction(0)) + c
+        if c2:
+            out[m] = c2
+        else:
+            out.pop(m, None)
+    return out
+
+
+def _pneg(a: dict) -> dict:
+    return {m: -c for m, c in a.items()}
+
+
+def _psub(a: dict, b: dict) -> dict:
+    return _padd(a, _pneg(b))
+
+
+def _mmul(m1: tuple, m2: tuple) -> tuple:
+    exps: dict[str, Fraction] = {}
+    for s, x in m1:
+        exps[s] = exps.get(s, Fraction(0)) + x
+    for s, x in m2:
+        exps[s] = exps.get(s, Fraction(0)) + x
+    return tuple(sorted((s, x) for s, x in exps.items() if x))
+
+
+def _pmul(a: dict, b: dict) -> dict:
+    out: dict = {}
+    for m1, c1 in a.items():
+        for m2, c2 in b.items():
+            m = _mmul(m1, m2)
+            c = out.get(m, Fraction(0)) + c1 * c2
+            if c:
+                out[m] = c
+            else:
+                out.pop(m, None)
+    return out
+
+
+def _ppow(a: dict, n: int) -> dict:
+    out = _pconst(1)
+    for _ in range(n):
+        out = _pmul(out, a)
+    return out
+
+
+def _peq(a: dict, b: dict) -> bool:
+    return a == b
+
+
+def _psubs(a: dict, sym: str, repl: dict) -> dict:
+    """Substitute ``sym`` (non-negative integer exponents only) by ``repl``."""
+    out: dict = {}
+    for m, c in a.items():
+        exp = Fraction(0)
+        rest = []
+        for s, x in m:
+            if s == sym:
+                exp = x
+            else:
+                rest.append((s, x))
+        if exp.denominator != 1 or exp < 0:
+            raise _Bad(f"cannot substitute {sym}^{exp} (non-integer power)")
+        term = _pmul({tuple(rest): c}, _ppow(repl, int(exp)))
+        out = _padd(out, term)
+    return out
+
+
+def _peval(a: dict, env: Mapping[str, int], what: str) -> Fraction:
+    total = Fraction(0)
+    for m, c in a.items():
+        val = c
+        for s, x in m:
+            if s not in env:
+                raise _Bad(f"{what}: unbound symbol {s!r}")
+            if x.denominator != 1:
+                raise _Bad(f"{what}: non-integer exponent {s}^{x}")
+            base = Fraction(env[s])
+            if base == 0 and x < 0:
+                raise _Bad(f"{what}: 0**{x}")
+            val *= base ** int(x)
+        total += val
+    return total
+
+
+def _pparse(terms, what: str) -> dict:
+    """Parse the emitter's ``[[[sym, exp], ...], coeff]`` term list."""
+    if not isinstance(terms, list):
+        raise _Bad(f"{what}: term list expected, got {type(terms).__name__}")
+    out: dict = {}
+    for t in terms:
+        if (
+            not isinstance(t, list)
+            or len(t) != 2
+            or not isinstance(t[0], list)
+        ):
+            raise _Bad(f"{what}: bad term {t!r}")
+        mono, coeff = t
+        pairs = []
+        for pair in mono:
+            if not isinstance(pair, list) or len(pair) != 2:
+                raise _Bad(f"{what}: bad monomial entry {pair!r}")
+            sym, exp = pair
+            if not isinstance(sym, str):
+                raise _Bad(f"{what}: bad symbol {sym!r}")
+            x = _frac(exp, what)
+            if x:
+                pairs.append((sym, x))
+        m = tuple(sorted(pairs))
+        c = _frac(coeff, what)
+        if not c:
+            continue
+        if m in out:
+            raise _Bad(f"{what}: duplicate monomial {m!r}")
+        out[m] = c
+    return out
+
+
+# ---------------------------------------------------------------------------
+# structural accessors
+# ---------------------------------------------------------------------------
+
+
+def _get(d, key: str, typ, what: str):
+    if not isinstance(d, dict):
+        raise _Bad(f"{what}: object expected")
+    if key not in d:
+        raise _Bad(f"{what}: missing field {key!r}")
+    v = d[key]
+    if typ is not None and not isinstance(v, typ):
+        raise _Bad(
+            f"{what}.{key}: expected {getattr(typ, '__name__', typ)},"
+            f" got {type(v).__name__}"
+        )
+    return v
+
+
+def _strlist(v, what: str) -> list[str]:
+    if not isinstance(v, list) or not all(isinstance(x, str) for x in v):
+        raise _Bad(f"{what}: list of strings expected")
+    return v
+
+
+# ---------------------------------------------------------------------------
+# the checker's own domain enumerator
+# ---------------------------------------------------------------------------
+
+
+class _CapExceeded(Exception):
+    pass
+
+
+def _parse_domain(domain, what: str):
+    dims = _strlist(_get(domain, "dims", list, what), f"{what}.dims")
+    cons = []
+    for i, c in enumerate(_get(domain, "constraints", list, what)):
+        cw = f"{what}.constraints[{i}]"
+        expr = _get(c, "expr", dict, cw)
+        kind = _get(c, "kind", str, cw)
+        if kind not in (">=", "=="):
+            raise _Bad(f"{cw}: bad kind {kind!r}")
+        coeffs = {
+            v: _frac(x, cw)
+            for v, x in _get(expr, "coeffs", dict, cw).items()
+        }
+        const = _frac(_get(expr, "const", None, cw), cw)
+        cons.append((coeffs, const, kind))
+    return dims, cons
+
+
+def _enum_points(dims, cons, params: Mapping[str, int], cap: int):
+    """All integer points of the constraint system, dims in loop order.
+
+    Bound extraction is level-by-level: a constraint bounds ``dims[k]``
+    once every other variable it mentions is already fixed — exactly the
+    loop-nest shape certified domains have (outer bounds first).
+    """
+
+    def holds(coeffs, const, kind, env) -> bool:
+        v = const + sum(c * env[x] for x, c in coeffs.items())
+        return v == 0 if kind == "==" else v >= 0
+
+    points: list[tuple] = []
+
+    def rec(k: int, env: dict):
+        if k == len(dims):
+            if all(
+                holds(co, ct, kd, env)
+                for co, ct, kd in cons
+                if set(co) <= set(env)
+            ):
+                if len(points) >= cap:
+                    raise _CapExceeded()
+                points.append(tuple(env[d] for d in dims))
+            return
+        d = dims[k]
+        lo = hi = None
+        for coeffs, const, kind in cons:
+            a = coeffs.get(d, Fraction(0))
+            if a == 0:
+                continue
+            others = set(coeffs) - {d}
+            if not others <= set(env):
+                continue
+            rest = const + sum(coeffs[v] * env[v] for v in others)
+            bound = -rest / a
+            if kind == "==" or a > 0:
+                lo = bound if lo is None else max(lo, bound)
+            if kind == "==" or a < 0:
+                hi = bound if hi is None else min(hi, bound)
+        if lo is None or hi is None:
+            raise _Bad(f"dimension {d!r} unbounded; cannot enumerate")
+        for v in range(math.ceil(lo), math.floor(hi) + 1):
+            env[d] = v
+            rec(k + 1, env)
+        env.pop(d, None)
+
+    env0 = {k: Fraction(v) for k, v in params.items()}
+    missing = {
+        v for co, _, _ in cons for v in co if v not in env0 and v not in dims
+    }
+    if missing:
+        raise _Bad(f"unbound parameters {sorted(missing)} in domain")
+    rec(0, env0)
+    return points
+
+
+def _slice_widths(points, dims, temporal, reduction):
+    """Per-temporal-slice distinct reduction tuples, plus the global set."""
+    t_idx = [dims.index(d) for d in temporal]
+    r_idx = [dims.index(d) for d in reduction]
+    slices: dict[tuple, set] = {}
+    for p in points:
+        key = tuple(p[i] for i in t_idx)
+        slices.setdefault(key, set()).add(tuple(p[i] for i in r_idx))
+    glob: set = set()
+    for s in slices.values():
+        glob |= s
+    return slices, glob
+
+
+# ---------------------------------------------------------------------------
+# per-bound checks
+# ---------------------------------------------------------------------------
+
+
+def _check_classical(rep, bound, witness, stmt_dims, proj_dimsets, where):
+    exponents = [
+        _frac(x, f"{where} exponent")
+        for x in _get(witness, "exponents", list, where)
+    ]
+    wprojs = [
+        sorted(_strlist(p, f"{where} witness projection"))
+        for p in _get(witness, "projections", list, where)
+    ]
+    wdims = _strlist(_get(witness, "dims", list, where), f"{where}.dims")
+    sigma = _frac(_get(witness, "sigma", None, where), f"{where}.sigma")
+    disjoint = _get(witness, "disjoint", bool, where)
+
+    if set(wdims) != set(stmt_dims):
+        rep.add(
+            "C011",
+            "error",
+            f"witness dims {sorted(wdims)} != statement dims"
+            f" {sorted(stmt_dims)}",
+            where,
+        )
+    for p in wprojs:
+        if p not in proj_dimsets:
+            rep.add(
+                "C011",
+                "error",
+                f"witness projection {p} not among certified projections",
+                where,
+            )
+    if len(exponents) != len(wprojs):
+        rep.add(
+            "C020",
+            "error",
+            f"{len(exponents)} exponents for {len(wprojs)} projections",
+            where,
+        )
+        return
+    for j, s_j in enumerate(exponents):
+        if not (0 <= s_j <= 1):
+            rep.add(
+                "C020", "error", f"exponent s_{j} = {s_j} outside [0, 1]", where
+            )
+    for d in wdims:
+        cover = sum(
+            (s_j for s_j, p in zip(exponents, wprojs) if d in p),
+            Fraction(0),
+        )
+        if cover < 1:
+            rep.add(
+                "C021",
+                "error",
+                f"dim {d!r} covered with weight {cover} < 1",
+                where,
+            )
+    if sigma != sum(exponents, Fraction(0)):
+        rep.add(
+            "C022",
+            "error",
+            f"sigma {sigma} != sum of exponents {sum(exponents, Fraction(0))}",
+            where,
+        )
+        return
+    method = bound["method"]
+    if disjoint != (method == "classical-disjoint"):
+        rep.add(
+            "C031",
+            "error",
+            f"method {method!r} inconsistent with disjoint={disjoint}",
+            where,
+        )
+    if sigma <= 1:
+        rep.add("C022", "error", f"sigma {sigma} <= 1: bound degenerate", where)
+        return
+
+    # coefficient replay: (sigma-1)^(sigma-1) / sigma^sigma, times
+    # (sigma/s_j)^s_j per positive exponent when the insets are disjoint
+    sf = float(sigma)
+    coeff = (sf - 1.0) ** (sf - 1.0) / sf**sf
+    if disjoint:
+        for s_j in exponents:
+            if s_j > 0:
+                coeff *= (sf / float(s_j)) ** float(s_j)
+    got = bound["coeff"]
+    if not isinstance(got, (int, float)) or not math.isclose(
+        got, coeff, rel_tol=1e-9
+    ):
+        rep.add(
+            "C023",
+            "error",
+            f"coefficient {got!r} does not replay (expected {coeff!r})",
+            where,
+        )
+
+    # expression replay: Q >= coeff * |V| * S**(1-sigma)
+    v = _pparse(_get(witness, "v_count", list, where), f"{where}.v_count")
+    s_pow = {(("S", Fraction(1) - sigma),): Fraction(1)}
+    expected_num = _pmul(v, s_pow)  # expected denominator is 1
+    num = _pparse(bound["expr"]["num"], f"{where}.expr.num")
+    den = _pparse(bound["expr"]["den"], f"{where}.expr.den")
+    if not _peq(_pmul(expected_num, den), num):
+        rep.add(
+            "C024",
+            "error",
+            "expression does not replay as |V| * S**(1-sigma)",
+            where,
+        )
+
+
+def _lemma_counts(lemmas, where):
+    counts = {
+        "lemma4-width-cap": [],
+        "lemma4-converted-projection": [],
+        "projection-cap": [],
+        "flatness": [],
+        "uncovered-slice-dim": [],
+        "theorem1": [],
+        "theorem5-small-cache": [],
+    }
+    for i, step in enumerate(lemmas):
+        name = _get(step, "lemma", str, f"{where}.lemmas[{i}]")
+        if name not in counts:
+            raise _Bad(f"{where}.lemmas[{i}]: unknown lemma {name!r}")
+        counts[name].append(step)
+    return counts
+
+
+def _check_hourglass_bookkeeping(
+    rep, bound, witness, pattern, stmt_dims, proj_dimsets, where
+):
+    """C030/C031/C033: the lemma chain must cover everything it claims.
+
+    Returns the (c, p, m, k_mult) replay parameters, or None when the
+    chain is too broken to replay.
+    """
+    kind = witness["kind"]
+    method = bound["method"]
+    temporal = pattern["temporal"]
+    reduction = pattern["reduction"]
+    neutral = pattern["neutral"]
+
+    lemmas = _get(witness, "lemmas", list, where)
+    steps = _lemma_counts(lemmas, where)
+    ok = True
+
+    # |I'| chain: width cap + converted/capped projections cover all dims.
+    # The small-cache bound never forms I' (E' is empty at K = Wmin), so
+    # its chain must be absent rather than complete.
+    caps = steps["lemma4-width-cap"]
+    i_chain = (
+        caps
+        + steps["lemma4-converted-projection"]
+        + steps["projection-cap"]
+    )
+    if kind == "hourglass-small-cache":
+        if i_chain:
+            rep.add(
+                "C031",
+                "error",
+                "small-cache bound carries an |I'| chain it never uses",
+                where,
+            )
+            ok = False
+    elif len(caps) != 1:
+        rep.add(
+            "C031", "error", f"{len(caps)} width-cap steps (need 1)", where
+        )
+        ok = False
+    covered: set[str] = set()
+    if caps:
+        cap_covers = set(
+            _strlist(_get(caps[0], "covers", list, where), f"{where} covers")
+        )
+        if cap_covers != set(reduction):
+            rep.add(
+                "C031",
+                "error",
+                f"width cap covers {sorted(cap_covers)},"
+                f" not the reduction dims {sorted(reduction)}",
+                where,
+            )
+            ok = False
+        covered |= cap_covers
+    for step in steps["lemma4-converted-projection"] + steps["projection-cap"]:
+        pdims = sorted(
+            _strlist(_get(step, "projection", list, where), f"{where} proj")
+        )
+        scov = set(
+            _strlist(_get(step, "covers", list, where), f"{where} covers")
+        )
+        if pdims not in proj_dimsets:
+            rep.add(
+                "C031",
+                "error",
+                f"lemma step instantiates unknown projection {pdims}",
+                where,
+            )
+            ok = False
+        if not scov <= set(pdims):
+            rep.add(
+                "C031",
+                "error",
+                f"step claims to cover {sorted(scov)} outside its"
+                f" projection {pdims}",
+                where,
+            )
+            ok = False
+        if step["lemma"] == "lemma4-converted-projection" and not (
+            set(pdims) & set(reduction)
+        ):
+            rep.add(
+                "C031",
+                "error",
+                f"converted projection {pdims} shares no reduction dim;"
+                " the K/Wmin conversion does not apply",
+                where,
+            )
+            ok = False
+        covered |= scov
+    if kind != "hourglass-small-cache" and covered != set(stmt_dims):
+        rep.add(
+            "C031",
+            "error",
+            f"|I'| chain covers {sorted(covered)}, not all statement dims"
+            f" {sorted(stmt_dims)}",
+            where,
+        )
+        ok = False
+
+    # |F| chain: one flatness step; every reduction/neutral dim outside
+    # phi_w must carry an uncovered-slice-dim factor
+    flat = steps["flatness"]
+    if len(flat) != 1:
+        rep.add(
+            "C031", "error", f"{len(flat)} flatness steps (need 1)", where
+        )
+        ok = False
+    else:
+        phi_w = sorted(
+            _strlist(_get(flat[0], "phi_w", list, where), f"{where}.phi_w")
+        )
+        if phi_w not in proj_dimsets:
+            rep.add(
+                "C031", "error", f"phi_w {phi_w} is not a certified projection",
+                where,
+            )
+            ok = False
+        if not set(neutral) <= set(phi_w):
+            rep.add(
+                "C031",
+                "error",
+                f"phi_w {phi_w} misses neutral dims"
+                f" {sorted(set(neutral) - set(phi_w))} (R > 1 unsupported)",
+                where,
+            )
+            ok = False
+        need = {d for d in list(reduction) + list(neutral) if d not in phi_w}
+        have = {
+            _get(s, "dim", str, where) for s in steps["uncovered-slice-dim"]
+        }
+        if need != have:
+            rep.add(
+                "C031",
+                "error",
+                f"uncovered-slice-dim steps {sorted(have)} != slice dims"
+                f" outside phi_w {sorted(need)}",
+                where,
+            )
+            ok = False
+
+    # terminal step: which K is plugged into Theorem 1
+    k_mult = None
+    if kind in ("hourglass", "hourglass-split"):
+        if steps["theorem5-small-cache"] or len(steps["theorem1"]) != 1:
+            rep.add(
+                "C031", "error", "need exactly one theorem1 terminal step",
+                where,
+            )
+            ok = False
+        else:
+            k_mult = steps["theorem1"][0].get("k_mult")
+            if not isinstance(k_mult, int) or k_mult < 2:
+                rep.add(
+                    "C031",
+                    "error",
+                    f"k_mult {k_mult!r} must be an integer >= 2"
+                    " (K - S must stay positive)",
+                    where,
+                )
+                ok = False
+    else:  # hourglass-small-cache
+        if steps["theorem1"] or len(steps["theorem5-small-cache"]) != 1:
+            rep.add(
+                "C031",
+                "error",
+                "need exactly one theorem5-small-cache terminal step",
+                where,
+            )
+            ok = False
+
+    # witness/pattern binding: unsplit bounds must use the pattern's widths
+    w_min = _pparse(_get(witness, "width_min", list, where), f"{where}.Wmin")
+    w_max = _pparse(_get(witness, "width_max", list, where), f"{where}.Wmax")
+    pat_min = _pparse(pattern["width_min"], "hourglass.width_min")
+    pat_max = _pparse(pattern["width_max"], "hourglass.width_max")
+    if not _peq(w_max, pat_max):
+        rep.add(
+            "C031", "error", "witness Wmax differs from the pattern's", where
+        )
+        ok = False
+    if kind != "hourglass-split" and not _peq(w_min, pat_min):
+        rep.add(
+            "C031", "error", "witness Wmin differs from the pattern's", where
+        )
+        ok = False
+
+    if kind == "hourglass-split":
+        split = witness.get("split")
+        if not isinstance(split, dict) or "dim" not in split or "at" not in split:
+            rep.add(
+                "C033", "error", "split bound lacks its split instantiation",
+                where,
+            )
+            return None
+        if split["dim"] not in temporal:
+            rep.add(
+                "C033",
+                "error",
+                f"split dim {split['dim']!r} is not a temporal dim",
+                where,
+            )
+            ok = False
+    elif method != "hourglass-split" and "split" in witness:
+        rep.add(
+            "C031", "error", "unsplit bound carries a split instantiation",
+            where,
+        )
+        ok = False
+
+    if not ok:
+        return None
+    c = len(steps["lemma4-converted-projection"])
+    p = len(steps["projection-cap"])
+    m = len(steps["uncovered-slice-dim"])
+    return c, p, m, k_mult
+
+
+def _check_hourglass_replay(rep, bound, witness, cpmk, where):
+    """C032: rebuild the bound expression from the lemma chain.
+
+    With c converted projections, p projection caps and m uncovered slice
+    dims, §4 gives ``Q >= (K - S) |V| Wmin^c / (Wmax K^(c+p)
+    + 2 K^(m+1) Wmin^c)`` — K = k_mult*S for the main bound, K left
+    symbolic for the small-cache variant, whose denominator is just
+    ``2 K^m Wmin`` (E' is empty at K = Wmin).
+    """
+    c, p, m, k_mult = cpmk
+    v = _pparse(witness["v_count"], f"{where}.v_count")
+    w_min = _pparse(witness["width_min"], f"{where}.Wmin")
+    w_max = _pparse(witness["width_max"], f"{where}.Wmax")
+    k, s = _psym("K"), _psym("S")
+
+    if witness["kind"] == "hourglass-small-cache":
+        exp_num = _pmul(_psub(w_min, s), v)
+        exp_den = _pmul(_pconst(2), _pmul(_ppow(k, m), w_min))
+    else:
+        exp_num = _pmul(_pmul(_psub(k, s), v), _ppow(w_min, c))
+        exp_den = _padd(
+            _pmul(w_max, _ppow(k, c + p)),
+            _pmul(_pconst(2), _pmul(_ppow(k, m + 1), _ppow(w_min, c))),
+        )
+        k_poly = _pmul(_pconst(k_mult), s)
+        exp_num = _psubs(exp_num, "K", k_poly)
+        exp_den = _psubs(exp_den, "K", k_poly)
+
+    num = _pparse(bound["expr"]["num"], f"{where}.expr.num")
+    den = _pparse(bound["expr"]["den"], f"{where}.expr.den")
+    if not _peq(_pmul(exp_num, den), _pmul(num, exp_den)):
+        rep.add(
+            "C032",
+            "error",
+            "bound expression does not match the lemma-chain replay",
+            where,
+        )
+    coeff = bound["coeff"]
+    if coeff != 1.0 and coeff != 1:
+        rep.add(
+            "C032",
+            "error",
+            f"hourglass bounds are exact; coefficient {coeff!r} != 1",
+            where,
+        )
+
+
+# ---------------------------------------------------------------------------
+# numeric replays on the enumerated domain
+# ---------------------------------------------------------------------------
+
+
+def _check_domain_numeric(rep, cert, params):
+    stmt = cert["statement"]
+    dims, cons = _parse_domain(stmt["domain"], "statement.domain")
+    if list(stmt["dims"]) != dims:
+        rep.add(
+            "C010",
+            "error",
+            f"domain dims {dims} != statement dims {list(stmt['dims'])}",
+            "statement",
+        )
+        return None
+    try:
+        points = _enum_points(dims, cons, params, ENUM_CAP)
+    except _CapExceeded:
+        rep.add(
+            "C042",
+            "warning",
+            f"domain exceeds the enumeration cap ({ENUM_CAP} points);"
+            " numeric replays skipped",
+            "statement",
+        )
+        return None
+    if not points:
+        rep.add("C041", "error", "iteration domain is empty", "statement")
+        return None
+    claimed = _peval(
+        _pparse(stmt["instance_count"], "statement.instance_count"),
+        params,
+        "statement.instance_count",
+    )
+    if claimed != len(points):
+        rep.add(
+            "C041",
+            "error",
+            f"symbolic instance count {claimed} != enumerated {len(points)}",
+            "statement",
+        )
+    return points
+
+
+def _check_widths_numeric(rep, cert, points, params):
+    pattern = cert["hourglass"]
+    stmt_dims = list(cert["statement"]["dims"])
+    slices, glob = _slice_widths(
+        points, stmt_dims, pattern["temporal"], pattern["reduction"]
+    )
+    w_min = _peval(
+        _pparse(pattern["width_min"], "hourglass.width_min"),
+        params,
+        "hourglass.width_min",
+    )
+    w_max = _peval(
+        _pparse(pattern["width_max"], "hourglass.width_max"),
+        params,
+        "hourglass.width_max",
+    )
+    min_slice = min(len(s) for s in slices.values())
+    if min_slice < w_min:
+        rep.add(
+            "C040",
+            "error",
+            f"narrowest temporal slice has {min_slice} reduction values"
+            f" < claimed Wmin {w_min}",
+            "hourglass",
+        )
+    if len(glob) > w_max:
+        rep.add(
+            "C040",
+            "error",
+            f"{len(glob)} distinct reduction values > claimed Wmax {w_max}",
+            "hourglass",
+        )
+
+
+def _check_split_numeric(rep, bound, cert, points, params, where):
+    """C034/C040 for one split bound: replay count and width of part 1.
+
+    The split point may reference S; every S in ``_SPLIT_S_TRIALS`` that
+    makes it integral is checked (gehd2's N-S-2 split is integral for all
+    of them; N/2 only when N is even — with odd N no trial grounds it and
+    the replay is skipped with a C043 warning).
+    """
+    witness = bound["witness"]
+    split = witness["split"]
+    pattern = cert["hourglass"]
+    stmt_dims = list(cert["statement"]["dims"])
+    at_poly = _pparse(split["at"], f"{where}.split.at")
+    v_poly = _pparse(witness["v_count"], f"{where}.v_count")
+    w_poly = _pparse(witness["width_min"], f"{where}.Wmin")
+    idx = stmt_dims.index(split["dim"])
+
+    tried = 0
+    for s in _SPLIT_S_TRIALS:
+        env = dict(params)
+        env["S"] = s
+        at = _peval(at_poly, env, f"{where}.split.at")
+        if at.denominator != 1:
+            continue
+        tried += 1
+        part1 = [pt for pt in points if pt[idx] <= int(at) - 1]
+        claimed_v = _peval(v_poly, env, f"{where}.v_count")
+        if claimed_v != len(part1):
+            rep.add(
+                "C034",
+                "error",
+                f"split part has {len(part1)} instances at S={s},"
+                f" witness claims {claimed_v}",
+                where,
+            )
+            continue
+        if not part1:
+            rep.add(
+                "C034", "error", f"split part empty at S={s}", where
+            )
+            continue
+        slices, glob = _slice_widths(
+            part1, stmt_dims, pattern["temporal"], pattern["reduction"]
+        )
+        w_min = _peval(w_poly, env, f"{where}.Wmin")
+        min_slice = min(len(x) for x in slices.values())
+        if min_slice < w_min:
+            rep.add(
+                "C040",
+                "error",
+                f"split part's narrowest slice has {min_slice} reduction"
+                f" values < claimed Wmin {w_min} at S={s}",
+                where,
+            )
+    if not tried:
+        # a symbolic split point (e.g. N/2 with odd N) can be non-integral
+        # at the certified parameters for every trial S — the bound is a
+        # valid relaxation but its part-1 count has no exact ground
+        # instantiation here, so the replay is inapplicable, not refuted
+        rep.add(
+            "C043",
+            "warning",
+            f"split point never integral at S in {_SPLIT_S_TRIALS};"
+            " numeric split replay skipped",
+            where,
+        )
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+_KIND_FOR_METHOD = {
+    "classical": "classical",
+    "classical-disjoint": "classical",
+    "hourglass": "hourglass",
+    "hourglass-small-cache": "hourglass-small-cache",
+    "hourglass-split": "hourglass-split",
+}
+
+
+def _run(cert: dict, engine_version, rep: CertCheckReport):
+    rep.ran("schema")
+    schema = _get(cert, "schema", str, "certificate")
+    if schema != _CERT_SCHEMA:
+        rep.add(
+            "C002",
+            "error",
+            f"unknown certificate schema {schema!r} (expected {_CERT_SCHEMA})",
+        )
+        return
+    rep.kernel = _get(cert, "kernel", str, "certificate")
+
+    rep.ran("engine-version")
+    ev = _get(cert, "engine_version", int, "certificate")
+    if engine_version is not None and ev != engine_version:
+        rep.add(
+            "C003",
+            "warning",
+            f"certificate from engine version {ev},"
+            f" checking against {engine_version}",
+        )
+
+    stmt = _get(cert, "statement", dict, "certificate")
+    stmt_dims = _strlist(
+        _get(stmt, "dims", list, "statement"), "statement.dims"
+    )
+    params = _get(cert, "small_params", dict, "certificate")
+    if not all(isinstance(v, int) for v in params.values()):
+        raise _Bad("small_params must be integers")
+
+    rep.ran("projections")
+    projections = _get(cert, "projections", list, "certificate")
+    if not projections:
+        rep.add("C010", "error", "certificate lists no projections")
+    proj_dimsets = []
+    for i, p in enumerate(projections):
+        pd = sorted(
+            _strlist(_get(p, "dims", list, f"projections[{i}]"), "projection")
+        )
+        if not set(pd) <= set(stmt_dims):
+            rep.add(
+                "C010",
+                "error",
+                f"projection {pd} not grounded in statement dims"
+                f" {sorted(stmt_dims)}",
+                f"projections[{i}]",
+            )
+        proj_dimsets.append(pd)
+
+    pattern = cert.get("hourglass")
+    if pattern is not None:
+        rep.ran("pattern")
+        temporal = _strlist(
+            _get(pattern, "temporal", list, "hourglass"), "hourglass.temporal"
+        )
+        reduction = _strlist(
+            _get(pattern, "reduction", list, "hourglass"),
+            "hourglass.reduction",
+        )
+        neutral = _strlist(
+            _get(pattern, "neutral", list, "hourglass"), "hourglass.neutral"
+        )
+        groups = [temporal, reduction, neutral]
+        union = set().union(*groups)
+        if union != set(stmt_dims) or sum(map(len, groups)) != len(stmt_dims):
+            rep.add(
+                "C030",
+                "error",
+                f"temporal/reduction/neutral {groups} is not a partition of"
+                f" the statement dims {sorted(stmt_dims)}",
+                "hourglass",
+            )
+            pattern = None  # chain checks would be meaningless
+        elif not temporal or not reduction:
+            rep.add(
+                "C030",
+                "error",
+                "hourglass needs at least one temporal and one reduction dim",
+                "hourglass",
+            )
+            pattern = None
+
+    bounds = _get(cert, "bounds", list, "certificate")
+    if not bounds:
+        rep.add("C001", "error", "certificate contains no bounds")
+    split_bounds = []
+    for i, bound in enumerate(bounds):
+        method = _get(bound, "method", str, f"bounds[{i}]")
+        where = f"bounds[{i}]:{method}"
+        rep.ran(f"bound:{method}")
+        witness = _get(bound, "witness", dict, where)
+        kind = _get(witness, "kind", str, where)
+        _get(bound, "coeff", (int, float), where)
+        expr = _get(bound, "expr", dict, where)
+        _get(expr, "num", list, where)
+        _get(expr, "den", list, where)
+        if _KIND_FOR_METHOD.get(method) != kind:
+            rep.add(
+                "C031",
+                "error",
+                f"witness kind {kind!r} does not match method {method!r}",
+                where,
+            )
+            continue
+        if kind == "classical":
+            _check_classical(rep, bound, witness, stmt_dims, proj_dimsets, where)
+        else:
+            if pattern is None:
+                rep.add(
+                    "C030",
+                    "error",
+                    "hourglass bound without a usable hourglass pattern",
+                    where,
+                )
+                continue
+            cpmk = _check_hourglass_bookkeeping(
+                rep, bound, witness, pattern, stmt_dims, proj_dimsets, where
+            )
+            if cpmk is not None:
+                _check_hourglass_replay(rep, bound, witness, cpmk, where)
+                if kind == "hourglass-split":
+                    split_bounds.append((bound, where))
+            # non-split bounds must count the whole statement
+            if kind != "hourglass-split":
+                v = _pparse(witness["v_count"], f"{where}.v_count")
+                total = _pparse(
+                    stmt["instance_count"], "statement.instance_count"
+                )
+                if not _peq(v, total):
+                    rep.add(
+                        "C031",
+                        "error",
+                        "witness |V| differs from the statement's instance"
+                        " count",
+                        where,
+                    )
+
+    rep.ran("domain")
+    points = _check_domain_numeric(rep, cert, params)
+    if points is not None:
+        if pattern is not None:
+            rep.ran("widths")
+            _check_widths_numeric(rep, cert, points, params)
+        for bound, where in split_bounds:
+            rep.ran("split")
+            _check_split_numeric(rep, bound, cert, points, params, where)
+
+
+def check_certificate(
+    cert: dict, engine_version: int | None = None
+) -> CertCheckReport:
+    """Independently verify an ``iolb-cert/1`` document.
+
+    Never raises: structural problems become C001 findings.  Pass the
+    running engine's version as ``engine_version`` to get a C003 warning
+    on mismatch (the CLI does).
+    """
+    rep = CertCheckReport()
+    with obs.span("cert.check"):
+        try:
+            _run(cert, engine_version, rep)
+        except _Bad as e:
+            rep.add("C001", "error", str(e))
+        except Exception as e:  # noqa: BLE001 — the checker must not crash
+            rep.add("C001", "error", f"malformed certificate: {e!r}")
+        obs.add("cert.checks_performed")
+        if not rep.ok():
+            obs.add("cert.certificates_rejected")
+    return rep

@@ -1,0 +1,138 @@
+"""Certificate emission: serialize a derivation into ``iolb-cert/1``.
+
+The certificate is a self-contained JSON document: everything the
+independent checker (:mod:`repro.cert.check`) needs to replay the proof
+is *in* the document — the statement's iteration domain (as affine
+constraints), the dependence projections, the hourglass decomposition,
+the BL witness vector, and each bound's lemma trail with concrete
+instantiations.  The checker never consults the derivation engine.
+
+Exact values serialize exactly: polynomials as canonical term lists
+(:meth:`repro.symbolic.Poly.to_terms`), rationals/Fractions as ``"p/q"``
+strings, affine constraints via :meth:`repro.polyhedral.ISet.to_dict`.
+The only float in the document is the classical bound's irrational
+``coeff`` (the checker recomputes it and compares with a tight relative
+tolerance).
+
+:func:`certificate_json` is the canonical rendering — ``json.dumps``
+with sorted keys and a trailing newline, no timestamps or hostnames —
+so golden certificates are byte-stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from .. import obs
+from ..bounds.derivation import DerivationReport
+from ..bounds.kpartition import BoundResult
+from ..cache.sim import ENGINE_VERSION
+from ..ir import Program
+from ..symbolic import Poly, poly
+
+__all__ = ["CERT_SCHEMA", "build_certificate", "certificate_json"]
+
+CERT_SCHEMA = "iolb-cert/1"
+
+
+def _poly_terms(p: Poly) -> list:
+    return p.to_terms()
+
+
+def _witness_dict(witness: dict) -> dict:
+    """JSON-able copy of a BoundResult witness (Poly values → term lists)."""
+    out = {}
+    for k, v in witness.items():
+        if isinstance(v, Poly):
+            out[k] = _poly_terms(v)
+        elif k == "split":
+            out[k] = {"dim": v["dim"], "at": _poly_terms(poly(v["at"]))}
+        else:
+            out[k] = v
+    return out
+
+
+def _bound_dict(b: BoundResult) -> dict:
+    if b.witness is None:
+        raise ValueError(
+            f"bound {b.method!r} carries no witness; cannot certify"
+        )
+    return {
+        "method": b.method,
+        "coeff": b.coeff,
+        "sigma": str(b.sigma) if b.sigma is not None else None,
+        "k_choice": b.k_choice,
+        "condition": b.condition,
+        "expr": {
+            "num": _poly_terms(b.expr.num),
+            "den": _poly_terms(b.expr.den),
+        },
+        "witness": _witness_dict(b.witness),
+    }
+
+
+def build_certificate(
+    report: DerivationReport,
+    program: Program,
+    small_params: Mapping[str, int],
+) -> dict:
+    """Assemble the ``iolb-cert/1`` document for one derivation.
+
+    ``small_params`` are the concrete parameter values the checker uses
+    for its numeric replays (domain enumeration, width and count checks);
+    they must keep the domain within the checker's enumeration cap, which
+    every kernel's ``default_params`` does.
+
+    Raises :class:`ValueError` when the report has no bounds (nothing to
+    certify) or a bound lacks its witness.
+    """
+    with obs.span("cert.emit", kernel=report.kernel):
+        bounds = report.all_bounds()
+        if not bounds:
+            raise ValueError(
+                f"derivation of {report.kernel!r} produced no bounds"
+            )
+        stmt = program.statement(report.dominant)
+        cert = {
+            "schema": CERT_SCHEMA,
+            "engine_version": ENGINE_VERSION,
+            "kernel": report.kernel,
+            "dominant": report.dominant,
+            "small_params": {k: int(v) for k, v in sorted(small_params.items())},
+            "statement": {
+                "name": stmt.name,
+                "dims": list(stmt.dims),
+                "domain": stmt.domain().to_dict(),
+                "instance_count": _poly_terms(stmt.instance_count()),
+            },
+            "projections": [
+                {
+                    "dims": sorted(p.dims),
+                    "via": p.via,
+                    "origin": p.origin,
+                    "producer": p.producer,
+                }
+                for p in report.projections
+            ],
+            "hourglass": None,
+            "bounds": [_bound_dict(b) for b in bounds],
+        }
+        if report.hourglass_pattern is not None:
+            hp = report.hourglass_pattern
+            cert["hourglass"] = {
+                "temporal": list(hp.temporal),
+                "reduction": list(hp.reduction),
+                "neutral": list(hp.neutral),
+                "width_min": _poly_terms(hp.width_min),
+                "width_max": _poly_terms(hp.width_max),
+                "parametric_width": bool(hp.parametric_width),
+            }
+        obs.add("cert.certificates_emitted")
+        obs.add("cert.bounds_certified", len(bounds))
+        return cert
+
+
+def certificate_json(cert: dict) -> str:
+    """The canonical byte-stable rendering of a certificate."""
+    return json.dumps(cert, indent=2, sort_keys=True) + "\n"

@@ -3,7 +3,8 @@
 Subcommands::
 
     iolb list                         # kernels and tiled algorithms
-    iolb derive mgs [--eval M=100,N=50,S=256]
+    iolb derive mgs [--eval M=100,N=50,S=256] [--cert cert.json]
+    iolb cert check cert.json [--json report.json]  # independent re-check
     iolb validate mgs [--params M=8,N=5]
     iolb simulate mgs --params M=8,N=6 --cache 16 [--policy belady]
     iolb tiled tiled_mgs --params M=24,N=16 --cache 256
@@ -84,18 +85,59 @@ def cmd_list(args) -> int:
 def cmd_derive(args) -> int:
     kern = get_kernel(args.kernel)
     rep = derive(kern)
-    print(rep.summary())
+    # `--cert -` hands stdout to the certificate; human output moves to
+    # stderr (same convention as `iolb lint --json -`).
+    out = sys.stderr if args.cert_path == "-" else sys.stdout
+    print(rep.summary(), file=out)
     if args.eval:
         env = args.eval
-        print(f"\nevaluated at {env}:")
+        print(f"\nevaluated at {env}:", file=out)
         rows = []
         for b in rep.all_bounds():
             try:
                 rows.append([b.method, b.evaluate(env), b.condition])
             except (ZeroDivisionError, KeyError) as e:
                 rows.append([b.method, f"n/a ({e})", b.condition])
-        print(render_table(["method", "Q >=", "condition"], rows))
+        print(render_table(["method", "Q >=", "condition"], rows), file=out)
+    if args.cert_path:
+        from .cert import build_certificate, certificate_json
+
+        payload = certificate_json(
+            build_certificate(rep, kern.program, kern.default_params)
+        )
+        if args.cert_path == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.cert_path, "w") as fh:
+                fh.write(payload)
+            print(f"certificate written to {args.cert_path}", file=sys.stderr)
     return 0
+
+
+def cmd_cert_check(args) -> int:
+    """Independently re-verify an ``iolb-cert/1`` document."""
+    import json
+
+    from .cache import ENGINE_VERSION
+    from .cert import check_certificate
+
+    try:
+        with open(args.certificate) as fh:
+            cert = json.load(fh)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"iolb cert check: cannot read {args.certificate}: {e}") from None
+    rep = check_certificate(cert, engine_version=ENGINE_VERSION)
+    out = sys.stderr if args.json_path == "-" else sys.stdout
+    print(rep.summary(), file=out)
+    if args.json_path:
+        payload = json.dumps(rep.to_dict(), indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(payload)
+        else:
+            with open(args.json_path, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"check report written to {args.json_path}", file=sys.stderr)
+    return rep.exit_code()
 
 
 def cmd_validate(args) -> int:
@@ -599,8 +641,33 @@ def main(argv=None) -> int:
     d = sub.add_parser("derive", help="derive parametric lower bounds")
     d.add_argument("kernel")
     d.add_argument("--eval", default="", type=_parse_assign, help="e.g. M=100,N=50,S=256")
+    d.add_argument(
+        "--cert",
+        metavar="PATH",
+        dest="cert_path",
+        default=None,
+        help="write the iolb-cert/1 proof certificate to PATH ('-' for stdout)",
+    )
     add_profile_flags(d)
     d.set_defaults(fn=cmd_derive)
+
+    ct = sub.add_parser(
+        "cert", help="proof-certificate tooling (independent checker)"
+    )
+    ct_sub = ct.add_subparsers(dest="cert_cmd", required=True)
+    cc = ct_sub.add_parser(
+        "check", help="re-verify an iolb-cert/1 file without the engine"
+    )
+    cc.add_argument("certificate", help="certificate file (from derive --cert)")
+    cc.add_argument(
+        "--json",
+        metavar="PATH",
+        dest="json_path",
+        default=None,
+        help="write the iolb-cert-report/1 report to PATH ('-' for stdout)",
+    )
+    add_profile_flags(cc)
+    cc.set_defaults(fn=cmd_cert_check)
 
     v = sub.add_parser("validate", help="numeric + CDAG validation")
     v.add_argument("kernel")

@@ -133,6 +133,18 @@ class LinExpr:
             {mapping.get(v, v): c for v, c in self._coeffs.items()}, self._const
         )
 
+    # -- serialization --------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able form ``{"coeffs": {var: "p/q"}, "const": "p/q"}``.
+
+        Coefficients serialize as exact ``Fraction`` strings so the
+        certificate layer round-trips affine forms without float drift.
+        """
+        return {
+            "coeffs": {v: str(c) for v, c in sorted(self._coeffs.items())},
+            "const": str(self._const),
+        }
+
     # -- comparison -----------------------------------------------------------
     def __eq__(self, other) -> bool:
         o = self._coerce(other)

@@ -46,6 +46,10 @@ class Constraint:
     def rename(self, mapping: Mapping[str, str]) -> "Constraint":
         return Constraint(self.expr.rename(mapping), self.kind)
 
+    def to_dict(self) -> dict:
+        """JSON-able form ``{"expr": {...}, "kind": ">="|"=="}``."""
+        return {"expr": self.expr.to_dict(), "kind": self.kind}
+
     def __repr__(self) -> str:
         return f"{self.expr!r} {self.kind} 0"
 
@@ -76,6 +80,13 @@ class ISet:
     def __repr__(self) -> str:
         cs = " and ".join(repr(c) for c in self.constraints)
         return f"{{[{', '.join(self.dims)}] : {cs}}}"
+
+    def to_dict(self) -> dict:
+        """JSON-able form: ordered dims + constraint list (for certificates)."""
+        return {
+            "dims": list(self.dims),
+            "constraints": [c.to_dict() for c in self.constraints],
+        }
 
     # -- predicates ------------------------------------------------------------
     def contains(

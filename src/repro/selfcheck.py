@@ -16,12 +16,15 @@ single kernel and returns a structured report:
    state behind (tests share one interpreter, so leaks would cross-talk);
 9. static analysis (:func:`repro.analysis.check_program`): the kernel's
    program must lint without errors or warnings — infos (parameter
-   assumptions, hourglass applicability) are expected and allowed.
+   assumptions, hourglass applicability) are expected and allowed;
+10. certificate round-trip: the derivation's ``iolb-cert/1`` proof object
+    survives canonical serialization and is accepted by the independent
+    checker (:func:`repro.cert.check_certificate`).
 
 Every check always runs — a check that raises is recorded as FAIL with the
 exception class and message, and the rest of the battery still executes.
 Used by ``iolb selfcheck`` and by downstream users adding their own kernels
-— if all nine pass, the derivation machinery's preconditions hold.
+— if all ten pass, the derivation machinery's preconditions hold.
 """
 
 from __future__ import annotations
@@ -203,6 +206,29 @@ def selfcheck(
         infos = len(arep.diagnostics)
         return f"no errors or warnings ({infos} info diagnostics)"
 
+    def c_cert():
+        import json
+
+        from .cert import build_certificate, certificate_json, check_certificate
+
+        report = derive(kernel, small_params=params)
+        try:
+            cert = build_certificate(report, kernel.program, params)
+        except ValueError as e:
+            return f"nothing to certify ({e}); skipped"
+        doc = json.loads(certificate_json(cert))
+        chk = check_certificate(doc)
+        if not chk.ok():
+            bad = [f for f in chk.findings if f.severity == "error"]
+            raise AssertionError(
+                f"checker rejected the fresh certificate:"
+                f" [{bad[0].code}] {bad[0].message}"
+            )
+        return (
+            f"{len(doc['bounds'])} bound(s) certified and independently"
+            f" re-checked ({len(chk.checks_run)} checks)"
+        )
+
     record("static-validation", c_static)
     record("numeric", c_numeric)
     record("spec-vs-runner", c_trace)
@@ -212,4 +238,5 @@ def selfcheck(
     record("verify", c_verify)
     record("obs-registry", c_obs)
     record("lint-builtin-kernels", c_lint)
+    record("cert-roundtrip", c_cert)
     return rep

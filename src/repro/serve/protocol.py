@@ -50,7 +50,7 @@ KINDS = ("derive", "simulate", "tune", "lint")
 
 #: accepted payload fields per kind (anything else is a validation error)
 _FIELDS = {
-    "derive": {"kernel", "eval"},
+    "derive": {"kernel", "eval", "cert"},
     "simulate": {"kernel", "params", "s", "policy"},
     "tune": {"algorithm", "params", "s", "policy", "b_max", "mode", "stride"},
     "lint": {"kernel", "params"},
@@ -134,6 +134,9 @@ def canonical_request(kind: str, payload: Mapping) -> dict:
                     "derive eval params must include the cache size S"
                 )
             out["eval"] = ev
+        # present only when truthy so default requests hash unchanged
+        if payload.get("cert"):
+            out["cert"] = True
         return out
 
     if kind == "simulate":
@@ -270,6 +273,14 @@ def execute_request(kind: str, canonical: Mapping) -> dict:
                     rows.append({"method": b.method, "value": None})
             out["eval"] = {"at": dict(ev), "best": best.method, "value": val,
                            "values": rows}
+        if canonical.get("cert"):
+            from ..cert import build_certificate
+            from ..kernels import get_kernel
+
+            kern = get_kernel(canonical["kernel"])
+            out["certificate"] = build_certificate(
+                rep, kern.program, kern.default_params
+            )
         return out
 
     if kind == "simulate":

@@ -353,6 +353,22 @@ class Poly:
             out = out + term
         return out
 
+    # -- serialization -----------------------------------------------------
+    def to_terms(self) -> list:
+        """Canonical JSON-able term list ``[[[sym, exp], ...], coeff]``.
+
+        Terms are ordered by the graded-lex monomial order used for
+        printing, exponents and coefficients are exact ``Fraction`` strings
+        — two equal polynomials serialize byte-identically, which is what
+        the certificate golden files pin.
+        """
+        out = []
+        for m in sorted(self._terms, key=Monomial._sort_key):
+            out.append(
+                [[[s, str(e)] for s, e in m.items], str(self._terms[m])]
+            )
+        return out
+
     # -- comparison / hashing ----------------------------------------------
     def __eq__(self, other) -> bool:
         o = self._coerce(other)

@@ -28,6 +28,9 @@ parameter point, not just the hand-picked ones of the unit tests:
 ``lint-mutation-total``   seeded planted defects (negative subscripts,
                           uninitialized scalars, dead stores) are flagged
                           and never crash the analyzer
+``cert-roundtrip``        a fresh derivation's iolb-cert/1 certificate is
+                          accepted by the independent checker (fuzz
+                          programs included)
 ========================  ===================================================
 
 Oracles are pure functions of a :class:`Trial` (kernel or fuzz program +
@@ -780,6 +783,61 @@ def run_tiled_oracle(
 
 
 # ---------------------------------------------------------------------------
+# certificate round-trip
+# ---------------------------------------------------------------------------
+
+
+def cert_roundtrip(trial: Trial) -> OracleOutcome:
+    """Emit a certificate for the fresh derivation; the checker must accept.
+
+    The certificate is rendered to canonical JSON and parsed back before
+    checking, so the oracle also covers the serialization path the CLI and
+    the serve protocol use.  Warnings are tolerated (e.g. the enumeration
+    cap on large fuzz domains); any error finding fails the trial.
+    """
+    import json
+
+    from ..cert import build_certificate, certificate_json, check_certificate
+
+    rep = trial.report
+    if rep is None:
+        return _outcome(trial, "cert-roundtrip", "skip", "no derivable bound")
+    try:
+        cert = build_certificate(
+            rep, trial.kernel.program, trial.kernel.default_params
+        )
+    except ValueError as e:
+        return _outcome(
+            trial, "cert-roundtrip", "skip", f"nothing to certify: {e}"
+        )
+    doc = json.loads(certificate_json(cert))
+    chk = check_certificate(doc)
+    warnings = sum(1 for f in chk.findings if f.severity == "warning")
+    if not chk.ok():
+        errors = "; ".join(
+            f"[{f.code}] {f.message}"
+            for f in chk.findings
+            if f.severity == "error"
+        )
+        return _outcome(
+            trial,
+            "cert-roundtrip",
+            "fail",
+            f"checker rejected a fresh certificate: {errors}",
+            bounds=len(doc["bounds"]),
+            warnings=warnings,
+        )
+    return _outcome(
+        trial,
+        "cert-roundtrip",
+        "pass",
+        bounds=len(doc["bounds"]),
+        warnings=warnings,
+        checks_run=len(chk.checks_run),
+    )
+
+
+# ---------------------------------------------------------------------------
 # catalogue
 # ---------------------------------------------------------------------------
 
@@ -831,6 +889,12 @@ KERNEL_ORACLES: tuple[Oracle, ...] = (
         "kernel",
         "symbolic instance counts == polyhedron enumeration",
         counts_eq_enum,
+    ),
+    Oracle(
+        "cert-roundtrip",
+        "kernel",
+        "fresh certificate accepted by the independent checker",
+        cert_roundtrip,
     ),
 )
 
@@ -893,5 +957,11 @@ FUZZ_ORACLES: tuple[Oracle, ...] = (
         "fuzz",
         "planted defects are flagged; the analyzer never crashes",
         lint_mutation_total,
+    ),
+    Oracle(
+        "cert-roundtrip",
+        "fuzz",
+        "fresh certificate accepted by the independent checker",
+        cert_roundtrip,
     ),
 )

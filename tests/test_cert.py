@@ -1,0 +1,277 @@
+"""Bound certificates: emission, golden files, and the independent checker.
+
+Three layers of guarantees are pinned here:
+
+* **golden certificates** — the byte-exact ``iolb-cert/1`` documents for
+  the five figure kernels live under ``tests/golden/cert_<name>.json``;
+  any change to projections, witnesses or lemma trails fails loudly.
+  Regenerate intentionally with ``IOLB_UPDATE_GOLDEN=1``.
+* **checker acceptance** — every golden certificate (read back from disk,
+  not from the in-process derivation) passes :func:`check_certificate`
+  with exit code 0.
+* **checker independence** — :mod:`repro.cert.check` must not import the
+  derivation engine; the pin is AST-level because merely importing any
+  ``repro`` submodule pulls :mod:`repro.bounds` in via the package
+  ``__init__``, so a ``sys.modules`` check could never distinguish the
+  checker's own imports from the package's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.cert import (
+    CERT_SCHEMA,
+    REPORT_SCHEMA,
+    build_certificate,
+    certificate_json,
+    check_certificate,
+)
+from repro.kernels import get_kernel
+from tests.conftest import derivation_for
+
+FIGURE_KERNELS = ["mgs", "qr_a2v", "qr_v2q", "gebd2", "gehd2"]
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def cert_for(name: str) -> dict:
+    kern = get_kernel(name)
+    return build_certificate(
+        derivation_for(name), kern.program, kern.default_params
+    )
+
+
+class TestGoldenCertificates:
+    @pytest.mark.parametrize("name", FIGURE_KERNELS)
+    def test_certificate_frozen(self, name):
+        golden = GOLDEN_DIR / f"cert_{name}.json"
+        got = certificate_json(cert_for(name))
+        if os.environ.get("IOLB_UPDATE_GOLDEN"):
+            golden.write_text(got)
+        want = golden.read_text()
+        assert got == want, (
+            f"certificate for {name} drifted from {golden.name};"
+            " if intended, rerun with IOLB_UPDATE_GOLDEN=1"
+        )
+
+    def test_serialization_byte_stable(self):
+        """Two independent derivations render byte-identical certificates."""
+        from repro.bounds import derive
+
+        kern = get_kernel("mgs")
+        a = certificate_json(
+            build_certificate(derive(kern), kern.program, kern.default_params)
+        )
+        b = certificate_json(
+            build_certificate(derive(kern), kern.program, kern.default_params)
+        )
+        assert a == b
+        # canonical form: sorted keys, trailing newline, round-trips
+        assert a.endswith("\n")
+        assert json.loads(a) == json.loads(b)
+
+    @pytest.mark.parametrize("name", FIGURE_KERNELS)
+    def test_checker_accepts_golden_from_disk(self, name):
+        cert = json.loads((GOLDEN_DIR / f"cert_{name}.json").read_text())
+        rep = check_certificate(cert)
+        assert rep.ok(), rep.summary()
+        assert rep.exit_code() == 0
+        assert rep.kernel == name
+
+    @pytest.mark.parametrize("name", ["matmul", "cholesky", "syrk"])
+    def test_classical_only_kernels_certify(self, name):
+        """Kernels without an hourglass still get a checkable certificate."""
+        cert = cert_for(name)
+        assert cert["hourglass"] is None
+        methods = [b["method"] for b in cert["bounds"]]
+        assert methods in (["classical"], ["classical-disjoint"])
+        rep = check_certificate(cert)
+        assert rep.ok(), rep.summary()
+
+
+class TestCertificateStructure:
+    def test_schema_and_fields(self):
+        cert = cert_for("mgs")
+        assert cert["schema"] == CERT_SCHEMA
+        assert cert["kernel"] == "mgs"
+        assert cert["dominant"] == "SU"
+        assert {"name", "dims", "domain", "instance_count"} <= set(
+            cert["statement"]
+        )
+        assert len(cert["projections"]) == 3
+        for b in cert["bounds"]:
+            assert {"method", "coeff", "expr", "witness"} <= set(b)
+            assert {"num", "den"} <= set(b["expr"])
+            assert "kind" in b["witness"]
+
+    def test_hourglass_witness_carries_lemma_trail(self):
+        cert = cert_for("mgs")
+        hg = next(b for b in cert["bounds"] if b["method"] == "hourglass")
+        lemmas = [step["lemma"] for step in hg["witness"]["lemmas"]]
+        assert lemmas[0] == "lemma4-width-cap"
+        assert lemmas[-1] == "theorem1"
+        assert "flatness" in lemmas
+
+    def test_split_witness_carries_instantiation(self):
+        cert = cert_for("gehd2")
+        splits = [
+            b for b in cert["bounds"] if b["method"] == "hourglass-split"
+        ]
+        assert len(splits) == 2
+        for b in splits:
+            assert b["witness"]["kind"] == "hourglass-split"
+            assert b["witness"]["split"]["dim"] in cert["hourglass"]["temporal"]
+
+    def test_no_bounds_raises(self):
+        """An empty report has nothing to certify."""
+        from repro.bounds.derivation import DerivationReport
+
+        kern = get_kernel("mgs")
+        empty = DerivationReport(
+            kernel="mgs", dominant="SU", projections=[], classical=None
+        )
+        with pytest.raises(ValueError, match="no bounds"):
+            build_certificate(empty, kern.program, kern.default_params)
+
+
+class TestCheckerReport:
+    def test_report_schema(self):
+        rep = check_certificate(cert_for("mgs"))
+        doc = rep.to_dict()
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["ok"] is True
+        assert doc["exit_code"] == 0
+        assert doc["findings"] == []
+        assert "bound:hourglass" in doc["checks_run"]
+        assert "widths" in doc["checks_run"]
+
+    def test_engine_version_mismatch_warns(self):
+        rep = check_certificate(cert_for("mgs"), engine_version=999)
+        assert rep.ok()  # warning, not error
+        assert rep.exit_code() == 1
+        assert [f.code for f in rep.findings] == ["C003"]
+
+    def test_summary_mentions_findings(self):
+        cert = cert_for("mgs")
+        cert = json.loads(certificate_json(cert))
+        cert["schema"] = "not-a-cert"
+        rep = check_certificate(cert)
+        assert not rep.ok()
+        assert "C002" in rep.summary()
+        assert "REJECTED" in rep.summary()
+
+
+class TestCheckerIndependence:
+    #: repro subpackages the checker must never import — everything that
+    #: participates in deriving the bounds it is supposed to audit
+    FORBIDDEN = (
+        "bounds",
+        "polyhedral",
+        "symbolic",
+        "ir",
+        "kernels",
+        "cdag",
+        "cache",
+        "pebble",
+        "frontend",
+        "analysis",
+        "serve",
+        "verify",
+        "report",
+        "cert.emit",
+    )
+
+    def test_checker_imports_nothing_from_the_engine(self):
+        import ast
+
+        import repro.cert.check as check_mod
+
+        src = pathlib.Path(check_mod.__file__).read_text()
+        tree = ast.parse(src)
+        imported: list[str] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                imported.extend(a.name for a in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if node.level:  # relative: anchor at repro.cert
+                    base = "repro.cert" if node.level == 1 else "repro"
+                    mod = f"{base}.{mod}" if mod else base
+                    imported.extend(f"{mod}.{a.name}" for a in node.names)
+                else:
+                    imported.append(mod)
+        repro_imports = [m for m in imported if m.startswith("repro")]
+        # obs (off-by-default observability) is the single allowed exception
+        assert repro_imports == ["repro.obs"], repro_imports
+        for m in imported:
+            for bad in self.FORBIDDEN:
+                assert not m.startswith(f"repro.{bad}"), (
+                    f"checker imports {m}: independence from the derivation"
+                    " engine is broken"
+                )
+
+    def test_checker_redeclares_the_schema_tag(self):
+        """The accepted schema string must be check.py's own constant."""
+        from repro.cert import check as check_mod
+        from repro.cert import emit as emit_mod
+
+        assert check_mod._CERT_SCHEMA == emit_mod.CERT_SCHEMA
+        # same value, distinct declarations (the test above proves check.py
+        # cannot have imported it)
+
+
+class TestCertCLI:
+    def test_derive_cert_then_check(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "mgs.cert.json"
+        assert main(["derive", "mgs", "--cert", str(path)]) == 0
+        cap = capsys.readouterr()
+        assert "certificate written" in cap.err
+        assert "kernel mgs" in cap.out  # summary still on stdout
+        assert main(["cert", "check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_derive_cert_stdout_convention(self, capsys):
+        """``--cert -`` puts the certificate on stdout, the summary on
+        stderr (same convention as ``iolb lint --json -``)."""
+        from repro.cli import main
+
+        assert main(["derive", "mgs", "--cert", "-"]) == 0
+        cap = capsys.readouterr()
+        cert = json.loads(cap.out)
+        assert cert["schema"] == CERT_SCHEMA
+        assert "kernel mgs" in cap.err
+
+    def test_check_rejects_mutated_with_exit_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cert = json.loads(certificate_json(cert_for("mgs")))
+        cert["bounds"][0]["coeff"] = 123.0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(cert))
+        report_path = tmp_path / "report.json"
+        assert (
+            main(["cert", "check", str(bad), "--json", str(report_path)]) == 2
+        )
+        capsys.readouterr()
+        doc = json.loads(report_path.read_text())
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["ok"] is False
+        assert any(f["code"] == "C023" for f in doc["findings"])
+
+    def test_check_unreadable_file_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["cert", "check", str(tmp_path / "missing.json")])
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{nope")
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["cert", "check", str(garbled)])

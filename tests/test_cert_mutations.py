@@ -1,0 +1,365 @@
+"""Adversarial certificate mutations: every forgery is rejected, none crash.
+
+The corpus perturbs each certificate ingredient in turn — a BL witness
+entry, the hourglass width W, a lemma instantiation, a projection row,
+the symbolic counts, the expressions — and asserts the independent
+checker rejects the document with the *right* reason code.  A checker
+that rejects for the wrong reason is as untrustworthy as one that
+accepts, so codes are pinned, not just exit status.
+
+A structural fuzz pass then deletes/retypes random fields to pin the
+"never crashes" guarantee: :func:`check_certificate` must always return
+a report, with malformed documents surfacing as C001 findings.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import random
+
+import pytest
+
+from repro.cert import build_certificate, certificate_json, check_certificate
+from repro.kernels import get_kernel
+from tests.conftest import derivation_for
+
+
+def fresh_cert(name: str) -> dict:
+    kern = get_kernel(name)
+    cert = build_certificate(
+        derivation_for(name), kern.program, kern.default_params
+    )
+    return json.loads(certificate_json(cert))
+
+
+@pytest.fixture(scope="module")
+def mgs_cert():
+    return fresh_cert("mgs")
+
+
+@pytest.fixture(scope="module")
+def gehd2_cert():
+    return fresh_cert("gehd2")
+
+
+def reject(cert: dict, *codes: str):
+    """The checker must reject with at least one of the expected codes."""
+    rep = check_certificate(cert)
+    got = {f.code for f in rep.findings if f.severity == "error"}
+    assert rep.exit_code() == 2, rep.summary()
+    assert got & set(codes), (
+        f"expected one of {codes}, got {sorted(got)}:\n{rep.summary()}"
+    )
+    return rep
+
+
+def bound_index(cert: dict, method: str) -> int:
+    return next(
+        i for i, b in enumerate(cert["bounds"]) if b["method"] == method
+    )
+
+
+#: (label, kernel, mutator, expected reason codes) — the targeted corpus.
+#: Mutators receive a deep copy and edit in place.
+CORPUS = [
+    (
+        "schema-tag",
+        "mgs",
+        lambda c: c.update(schema="iolb-cert/999"),
+        ("C002",),
+    ),
+    (
+        "witness-exponent-zeroed",
+        "mgs",
+        lambda c: c["bounds"][0]["witness"]["exponents"].__setitem__(0, "0"),
+        ("C021", "C022"),
+    ),
+    (
+        "witness-exponent-out-of-range",
+        "mgs",
+        lambda c: c["bounds"][0]["witness"]["exponents"].__setitem__(0, "3/2"),
+        ("C020", "C022"),
+    ),
+    (
+        "witness-sigma-inflated",
+        "mgs",
+        lambda c: c["bounds"][0]["witness"].__setitem__("sigma", "7/2"),
+        ("C022",),
+    ),
+    (
+        "classical-coeff-forged",
+        "mgs",
+        lambda c: c["bounds"][0].__setitem__("coeff", 3.14),
+        ("C023",),
+    ),
+    (
+        "classical-expr-forged",
+        "mgs",
+        lambda c: c["bounds"][0]["expr"]["num"][0].__setitem__(1, "42"),
+        ("C024",),
+    ),
+    (
+        "witness-dims-shrunk",
+        "mgs",
+        lambda c: c["bounds"][0]["witness"].__setitem__("dims", ["i", "j"]),
+        ("C011",),
+    ),
+    (
+        "witness-projection-invented",
+        "mgs",
+        lambda c: c["bounds"][0]["witness"]["projections"].__setitem__(
+            0, ["i", "j", "k"]
+        ),
+        ("C011",),
+    ),
+    (
+        "projection-row-dropped",
+        "mgs",
+        lambda c: c["projections"].pop(0),
+        ("C011", "C031"),
+    ),
+    (
+        "projection-ungrounded",
+        "mgs",
+        lambda c: c["projections"][0].__setitem__("dims", ["i", "zz"]),
+        ("C010",),
+    ),
+    (
+        "pattern-partition-broken",
+        "mgs",
+        lambda c: c["hourglass"].__setitem__("neutral", ["j", "k"]),
+        ("C030",),
+    ),
+    (
+        "pattern-wmax-understated",
+        "mgs",
+        # Wmax claim M-5 < true global width M refutes on the domain
+        lambda c: c["hourglass"].__setitem__(
+            "width_max", [[[["M", "1"]], "1"], [[], "-5"]]
+        ),
+        ("C031", "C040"),
+    ),
+    (
+        "pattern-wmin-overstated",
+        "mgs",
+        # Wmin claim M+3 > true slice width M refutes on the domain
+        lambda c: c["hourglass"].__setitem__(
+            "width_min", [[[["M", "1"]], "1"], [[], "3"]]
+        ),
+        ("C031", "C040"),
+    ),
+    (
+        "witness-width-unbound-from-pattern",
+        "mgs",
+        lambda c: c["bounds"][bound_index(c, "hourglass")]["witness"]
+        .__setitem__("width_min", [[[["N", "1"]], "1"]]),
+        ("C031",),
+    ),
+    (
+        "lemma-step-dropped",
+        "mgs",
+        lambda c: c["bounds"][bound_index(c, "hourglass")]["witness"][
+            "lemmas"
+        ].pop(1),
+        ("C031",),
+    ),
+    (
+        "lemma-projection-invented",
+        "mgs",
+        lambda c: c["bounds"][bound_index(c, "hourglass")]["witness"][
+            "lemmas"
+        ][1].__setitem__("projection", ["j", "k"]),
+        ("C031", "C032"),
+    ),
+    (
+        "lemma-kmult-degenerate",
+        "mgs",
+        lambda c: c["bounds"][bound_index(c, "hourglass")]["witness"][
+            "lemmas"
+        ][-1].__setitem__("k_mult", 1),
+        ("C031",),
+    ),
+    (
+        "hourglass-expr-forged",
+        "mgs",
+        lambda c: c["bounds"][bound_index(c, "hourglass")]["expr"]["num"][
+            0
+        ].__setitem__(1, "9"),
+        ("C032",),
+    ),
+    (
+        "hourglass-coeff-not-one",
+        "mgs",
+        lambda c: c["bounds"][bound_index(c, "hourglass")].__setitem__(
+            "coeff", 0.5
+        ),
+        ("C032",),
+    ),
+    (
+        "witness-vcount-inflated",
+        "mgs",
+        lambda c: c["bounds"][bound_index(c, "hourglass")]["witness"][
+            "v_count"
+        ].append([[], "7"]),
+        ("C031", "C032"),
+    ),
+    (
+        "instance-count-forged",
+        "mgs",
+        lambda c: c["statement"]["instance_count"].append([[], "7"]),
+        ("C031", "C041"),
+    ),
+    (
+        "witness-kind-mismatched",
+        "mgs",
+        lambda c: c["bounds"][bound_index(c, "hourglass")]["witness"]
+        .__setitem__("kind", "classical"),
+        ("C031",),
+    ),
+    (
+        "small-cache-gains-i-chain",
+        "mgs",
+        lambda c: c["bounds"][bound_index(c, "hourglass-small-cache")][
+            "witness"
+        ]["lemmas"].insert(
+            0,
+            {"lemma": "lemma4-width-cap", "factor": "Wmax", "covers": ["i"]},
+        ),
+        ("C031",),
+    ),
+    # -- split-specific forgeries (gehd2 is the only split kernel) ---------
+    (
+        "split-instantiation-removed",
+        "gehd2",
+        lambda c: c["bounds"][bound_index(c, "hourglass-split")]["witness"]
+        .pop("split"),
+        ("C033",),
+    ),
+    (
+        "split-dim-not-temporal",
+        "gehd2",
+        lambda c: c["bounds"][bound_index(c, "hourglass-split")]["witness"][
+            "split"
+        ].__setitem__("dim", "i"),
+        ("C033",),
+    ),
+    (
+        "split-count-forged",
+        "gehd2",
+        lambda c: c["bounds"][bound_index(c, "hourglass-split")]["witness"][
+            "v_count"
+        ].append([[], "3"]),
+        ("C032", "C034"),
+    ),
+    (
+        "split-point-moved",
+        "gehd2",
+        lambda c: c["bounds"][bound_index(c, "hourglass-split")]["witness"][
+            "split"
+        ].__setitem__("at", [[[["N", "1"]], "1"]]),
+        ("C034",),
+    ),
+    (
+        "split-width-overstated",
+        "gehd2",
+        lambda c: c["bounds"][bound_index(c, "hourglass-split")]["witness"]
+        .__setitem__("width_min", [[[["N", "1"]], "1"]]),
+        ("C032", "C040"),
+    ),
+]
+
+
+class TestMutationCorpus:
+    @pytest.mark.parametrize(
+        "label,kernel,mutate,codes",
+        CORPUS,
+        ids=[label for label, *_ in CORPUS],
+    )
+    def test_mutation_rejected(self, label, kernel, mutate, codes, request):
+        cert = copy.deepcopy(
+            request.getfixturevalue(f"{kernel}_cert")
+        )
+        mutate(cert)
+        reject(cert, *codes)
+
+    def test_engine_version_is_warning_not_rejection(self, mgs_cert):
+        cert = copy.deepcopy(mgs_cert)
+        cert["engine_version"] = cert["engine_version"] + 1
+        rep = check_certificate(cert, engine_version=cert["engine_version"] - 1)
+        assert rep.ok() and rep.exit_code() == 1
+        assert [f.code for f in rep.findings] == ["C003"]
+
+    def test_odd_n_split_point_is_warning_not_rejection(self):
+        """gehd2 certified at odd N leaves the N/2 split point non-integral
+        for every trial S: the replay is inapplicable (C043 warning), which
+        must not reject the certificate — selfcheck runs exactly this."""
+        kern = get_kernel("gehd2")
+        params = {"N": 7}
+        from repro.bounds import derive
+
+        cert = json.loads(
+            certificate_json(
+                build_certificate(derive(kern, small_params=params), kern.program, params)
+            )
+        )
+        rep = check_certificate(cert)
+        assert rep.ok(), rep.summary()
+        assert "C043" in {f.code for f in rep.findings}
+        assert all(f.severity == "warning" for f in rep.findings)
+
+    def test_every_corpus_baseline_is_clean(self, mgs_cert, gehd2_cert):
+        """The corpus only means something if unmutated certs pass."""
+        for cert in (mgs_cert, gehd2_cert):
+            rep = check_certificate(cert)
+            assert rep.ok() and rep.exit_code() == 0, rep.summary()
+
+
+class TestStructuralFuzz:
+    """Random deletions/retypings must never escape as exceptions."""
+
+    JUNK = (None, 0, -1, 3.5, "x", [], {}, [[]], {"a": None}, True)
+
+    def _paths(self, doc, prefix=()):
+        out = [prefix] if prefix else []
+        if isinstance(doc, dict):
+            for k, v in doc.items():
+                out.extend(self._paths(v, prefix + (k,)))
+        elif isinstance(doc, list):
+            for i, v in enumerate(doc):
+                out.extend(self._paths(v, prefix + (i,)))
+        return out
+
+    def _mutate_at(self, doc, path, value, delete):
+        parent = doc
+        for step in path[:-1]:
+            parent = parent[step]
+        if delete:
+            del parent[path[-1]]
+        else:
+            parent[path[-1]] = value
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fuzzed_documents_never_crash(self, mgs_cert, gehd2_cert, seed):
+        rng = random.Random(seed)
+        for base in (mgs_cert, gehd2_cert):
+            paths = self._paths(base)
+            for _ in range(60):
+                cert = copy.deepcopy(base)
+                path = rng.choice(paths)
+                delete = rng.random() < 0.4
+                junk = rng.choice(self.JUNK)
+                try:
+                    self._mutate_at(cert, path, junk, delete)
+                except (KeyError, IndexError, TypeError):
+                    continue  # path invalidated by a previous structure
+                rep = check_certificate(cert)  # must not raise
+                assert rep.exit_code() in (0, 1, 2)
+                # reports always serialize
+                json.dumps(rep.to_dict())
+
+    def test_non_dict_input_is_c001(self):
+        for junk in (None, [], "cert", 7):
+            rep = check_certificate(junk)  # type: ignore[arg-type]
+            assert not rep.ok()
+            assert rep.findings[0].code == "C001"

@@ -125,7 +125,11 @@ class TestGoldenDeriveCLI:
 
         golden = pathlib.Path(__file__).parent / "golden" / f"derive_{name}.txt"
         assert main(["derive", name]) == 0
-        got = capsys.readouterr().out
+        cap = capsys.readouterr()
+        # a successful derive must not chatter on stderr (notices such as
+        # "certificate written to ..." belong to flag-carrying runs only)
+        assert cap.err == ""
+        got = cap.out
         if os.environ.get("IOLB_UPDATE_GOLDEN"):
             golden.write_text(got)
         want = golden.read_text()

@@ -28,6 +28,7 @@ class TestSelfCheck:
             "verify",
             "obs-registry",
             "lint-builtin-kernels",
+            "cert-roundtrip",
         ]
         assert "ALL PASS" in rep.summary()
 
@@ -67,7 +68,7 @@ class TestSelfCheck:
         failed = {c.name for c in rep.checks if not c.passed}
         assert "spec-vs-runner" in failed
         # the battery keeps going after the failure: every check is recorded
-        assert len(rep.checks) == 9
+        assert len(rep.checks) == 10
 
     def test_erroring_check_reported_not_raised(self):
         """A kernel whose runner explodes must not abort the battery: the
@@ -91,8 +92,8 @@ class TestSelfCheck:
         rep = selfcheck(kern, {"M": 4, "N": 3})
         assert not rep.ok()
         by_name = {c.name: c for c in rep.checks}
-        # all nine checks ran despite the broken runner
-        assert len(rep.checks) == 9
+        # all ten checks ran despite the broken runner
+        assert len(rep.checks) == 10
         # the trace check failed and names the exception
         assert not by_name["spec-vs-runner"].passed
         assert "RuntimeError" in by_name["spec-vs-runner"].detail

@@ -93,6 +93,31 @@ class TestProtocol:
         with pytest.raises(ServeRequestError, match=match):
             canonical_request(kind, payload)
 
+    def test_cert_flag_changes_key_only_when_set(self):
+        plain = canonical_request("derive", {"kernel": "mgs"})
+        off = canonical_request("derive", {"kernel": "mgs", "cert": False})
+        on = canonical_request("derive", {"kernel": "mgs", "cert": True})
+        # cert:false canonicalizes away — old clients keep their cache keys
+        assert off == plain
+        assert request_key("derive", off) == request_key("derive", plain)
+        assert request_key("derive", on) != request_key("derive", plain)
+
+    def test_execute_derive_with_cert(self):
+        from repro.cert import check_certificate
+
+        plain = execute_request(
+            "derive", canonical_request("derive", {"kernel": "mgs"})
+        )
+        assert "certificate" not in plain
+        out = execute_request(
+            "derive", canonical_request("derive", {"kernel": "mgs", "cert": True})
+        )
+        cert = out["certificate"]
+        assert cert["schema"] == "iolb-cert/1"
+        assert json.loads(json.dumps(cert)) == cert  # JSON-serializable
+        rep = check_certificate(cert)
+        assert rep.ok(), rep.summary()
+
     def test_execute_derive_with_eval(self):
         c = canonical_request("derive", {"kernel": "mgs", "eval": {"M": 10, "N": 7, "S": 16}})
         out = execute_request("derive", c)
