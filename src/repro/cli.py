@@ -14,6 +14,9 @@ Subcommands::
     iolb bench [NAMES...] [--repeats 5 --json out.json --check [BASELINE]
                --report trends.html --snapshot]   # performance history & gating
     iolb lint [mgs|all|FILE] [--json out.json --color always]  # static analysis
+    iolb explore [--out report.html --metrics m.json --lint l.json
+                 --cert-report r.json --trace t.json --check-inputs]
+                                      # one self-contained HTML system report
     iolb serve [--port 8787 --workers 4 --cache-dir DIR --ttl 3600
                --max-entries N --preload]   # long-running derivation service
     iolb fig4 / iolb fig5             # regenerate the paper's tables
@@ -518,6 +521,75 @@ def cmd_bench(args) -> int:
     return rc
 
 
+def cmd_explore(args) -> int:
+    """Render the whole-system explorer page from the JSON artifacts.
+
+    Every artifact is optional — absent sections render a placeholder —
+    but a *named* artifact that is unreadable or fails its schema check is
+    a problem: it is listed on stderr, surfaced in the page banner, and
+    under ``--check-inputs`` turns into a nonzero exit with no page
+    written at all (the CI smoke against silent partial reports).
+    """
+    import os
+
+    from .obs import explore as obs_explore
+
+    bench_history = args.bench_history
+    if bench_history is None and os.path.isdir(_default_history_dir()):
+        bench_history = _default_history_dir()
+
+    data = obs_explore.load_inputs(
+        metrics=args.metrics,
+        lint=args.lint,
+        certs=args.cert_reports,
+        trace=args.trace,
+        curves=args.curves,
+        bench_history=bench_history,
+    )
+
+    if args.check_inputs:
+        named = (
+            len(args.metrics)
+            + len(args.cert_reports)
+            + sum(1 for a in (args.lint, args.trace, args.curves, bench_history) if a)
+        )
+        for problem in data.problems:
+            print(f"iolb explore: {problem}", file=sys.stderr)
+        print(
+            f"iolb explore --check-inputs: {named} artifact(s) named,"
+            f" {data.loaded_count()} loaded, {len(data.problems)} problem(s)",
+            file=sys.stderr,
+        )
+        return 1 if data.problems else 0
+
+    if data.curves is None and not args.no_curves:
+        kernels = [k for k in args.kernels.split(",") if k] or None
+        s_values = [int(s) for s in args.curves_s.split(",") if s] or None
+        try:
+            data.curves = obs_explore.compute_curves(
+                kernels=kernels,
+                **({"s_values": tuple(s_values)} if s_values else {}),
+            )
+        except KeyError as e:
+            raise SystemExit(f"iolb explore: {e.args[0]}") from None
+
+    for problem in data.problems:
+        print(f"iolb explore: warning: {problem}", file=sys.stderr)
+    import datetime
+
+    stamp = datetime.datetime.now(datetime.timezone.utc).strftime(
+        "generated %Y-%m-%dT%H:%M:%SZ"
+    )
+    html = obs_explore.render_explore(data, title=args.title, generated=stamp)
+    with open(args.out, "w") as fh:
+        fh.write(html)
+    print(
+        f"explore report written to {args.out}"
+        f" ({data.loaded_count()} artifact(s), {len(data.problems)} problem(s))"
+    )
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Run the sharded, batched derivation service (see docs/SERVE.md)."""
     import time
@@ -547,7 +619,8 @@ def cmd_serve(args) -> int:
         file=sys.stderr,
     )
     print(
-        "  POST /v1/{derive,simulate,tune,lint}   GET /healthz /v1/stats /v1/metrics",
+        "  POST /v1/{derive,simulate,tune,lint}"
+        "   GET /healthz /v1/stats /v1/metrics /status /status.json",
         file=sys.stderr,
     )
     try:
@@ -855,6 +928,73 @@ def main(argv=None) -> int:
         help="also write a BENCH_<date>.json snapshot in the current directory",
     )
     bn.set_defaults(fn=cmd_bench)
+
+    ex = sub.add_parser(
+        "explore",
+        help="self-contained HTML explorer over every JSON artifact",
+    )
+    ex.add_argument(
+        "--out", default="report.html", help="output HTML path (default: report.html)"
+    )
+    ex.add_argument(
+        "--metrics",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="an iolb-metrics/1 dump (repeatable)",
+    )
+    ex.add_argument("--lint", metavar="PATH", help="an iolb-lint/1 report")
+    ex.add_argument(
+        "--cert-report",
+        action="append",
+        default=[],
+        dest="cert_reports",
+        metavar="PATH",
+        help="an iolb-cert-report/1 check report (repeatable)",
+    )
+    ex.add_argument("--trace", metavar="PATH", help="a Chrome trace_event JSON")
+    ex.add_argument(
+        "--curves",
+        metavar="PATH",
+        help="a precomputed iolb-curves/1 JSON (skips the in-process sweep)",
+    )
+    ex.add_argument(
+        "--bench-history",
+        metavar="DIR",
+        default=None,
+        dest="bench_history",
+        help="bench history directory or record file"
+        " (default: the bench history dir when it exists)",
+    )
+    ex.add_argument(
+        "--no-curves",
+        action="store_true",
+        dest="no_curves",
+        help="skip the in-process bound-vs-measured sweep",
+    )
+    ex.add_argument(
+        "--kernels",
+        default="",
+        help="comma-separated kernels for the curve sweep (default: paper five)",
+    )
+    ex.add_argument(
+        "--curves-s",
+        default="",
+        dest="curves_s",
+        help="comma-separated cache sizes for the sweep, e.g. 8,16,32,64",
+    )
+    ex.add_argument(
+        "--check-inputs",
+        action="store_true",
+        dest="check_inputs",
+        help="validate the named artifacts and exit nonzero on any problem"
+        " instead of rendering a partial page",
+    )
+    ex.add_argument(
+        "--title", default="iolb explore — system report", help="page title"
+    )
+    add_profile_flags(ex)
+    ex.set_defaults(fn=cmd_explore)
 
     pr = sub.add_parser("parse", help="parse figure-style C code into the IR")
     grp = pr.add_mutually_exclusive_group(required=True)

@@ -22,6 +22,12 @@ pebbling tools report per-phase statistics.  The package has three layers:
   dashboard.  (:mod:`~repro.obs.bench` is imported lazily — its workloads
   pull in the rest of :mod:`repro`, which this package otherwise never
   does.)
+* :mod:`repro.obs.explore` — the whole-system explorer behind
+  ``iolb explore`` and the live ``GET /status`` page of ``iolb serve``:
+  one self-contained HTML report joining every JSON artifact family
+  (metrics, bench history, lint, cert checks, Chrome traces, bound-vs-
+  measured curves), built on the shared :mod:`repro.obs._html` /
+  :mod:`repro.obs._svg` rendering primitives the dashboard uses.
 
 Usage from instrumented code (all no-ops until ``obs.enable()``)::
 
@@ -54,8 +60,17 @@ from .core import (
     span,
     spans,
 )
-from .dashboard import render_dashboard
+from .dashboard import render_dashboard, render_trend_sections
 from .envinfo import describe_env, env_comparable, env_fingerprint
+from .explore import (
+    CURVES_SCHEMA,
+    ExploreData,
+    check_curves_schema,
+    compute_curves,
+    load_inputs,
+    render_explore,
+    render_status,
+)
 from .history import (
     BENCH_SCHEMA,
     CompareReport,
@@ -113,4 +128,12 @@ __all__ = [
     "compare_records",
     "CompareReport",
     "render_dashboard",
+    "render_trend_sections",
+    "CURVES_SCHEMA",
+    "ExploreData",
+    "check_curves_schema",
+    "compute_curves",
+    "load_inputs",
+    "render_explore",
+    "render_status",
 ]

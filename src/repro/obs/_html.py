@@ -1,0 +1,294 @@
+"""Shared HTML primitives for the self-contained report renderers.
+
+Both :mod:`repro.obs.dashboard` (the bench trend dashboard) and
+:mod:`repro.obs.explore` (the whole-system explorer, also served live at
+``GET /status``) build their documents from these helpers, so the two
+surfaces share one look, one escaping discipline, and one hard rule:
+**zero external resources** — inline CSS only, no scripts, no fonts, no
+``http(s)://`` in any ``src``/``href``.  A report must render identically
+from a CI artifact download, an e-mail attachment, or a live service
+response.
+
+Escaping: every string that reaches the document goes through
+:func:`esc` unless it is wrapped in :class:`Raw` — table cells, section
+titles, badges and page chrome all escape by default, so a kernel named
+``<b>&evil"`` renders as text rather than markup (pinned by
+``tests/test_explore.py``).
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Raw",
+    "esc",
+    "fmt_s",
+    "fmt_us",
+    "fmt_num",
+    "badge",
+    "stat_tile",
+    "table",
+    "section",
+    "details",
+    "empty_note",
+    "nav",
+    "page",
+    "BASE_CSS",
+]
+
+
+class Raw(str):
+    """A string that is already HTML and must not be escaped again."""
+
+    __slots__ = ()
+
+
+def esc(text: object) -> str:
+    """HTML-escape ``text`` (quotes included) unless it is :class:`Raw`."""
+    if isinstance(text, Raw):
+        return str(text)
+    return _html.escape(str(text), quote=True)
+
+
+# -- number formatting -------------------------------------------------------
+
+
+def fmt_s(seconds: float) -> str:
+    """Render a second quantity with a readable unit."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def fmt_us(us: float) -> str:
+    """Render a microsecond quantity with a readable unit."""
+    return fmt_s(us / 1e6)
+
+
+def fmt_num(x: float) -> str:
+    """Compact human number: 1234 -> '1,234', 2500000 -> '2.50M'."""
+    if isinstance(x, float) and not x.is_integer():
+        if abs(x) >= 1e6:
+            return f"{x / 1e6:.2f}M"
+        return f"{x:,.2f}"
+    x = int(x)
+    if abs(x) >= 10_000_000:
+        return f"{x / 1e6:.2f}M"
+    return f"{x:,}"
+
+
+# -- building blocks ---------------------------------------------------------
+
+
+def badge(text: str, kind: str = "") -> Raw:
+    """A small status chip; ``kind`` in {'', 'ok', 'warn', 'bad'}."""
+    cls = f"badge {kind}".strip()
+    return Raw(f'<span class="{cls}">{esc(text)}</span>')
+
+
+def stat_tile(label: str, value: str, note: str = "") -> Raw:
+    """One headline number with its label (service gauges, summary rows)."""
+    extra = f'<div class="note">{esc(note)}</div>' if note else ""
+    return Raw(
+        '<div class="tile">'
+        f'<div class="label">{esc(label)}</div>'
+        f'<div class="value">{esc(value)}</div>{extra}</div>'
+    )
+
+
+def table(
+    headers: Sequence[object],
+    rows: Iterable[Sequence[object]],
+    *,
+    css_class: str = "",
+) -> Raw:
+    """An HTML table; every cell is escaped unless wrapped in :class:`Raw`."""
+    head = "".join(f"<th>{esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{esc(c)}</td>" for c in row) + "</tr>" for row in rows
+    )
+    cls = f' class="{esc(css_class)}"' if css_class else ""
+    return Raw(
+        f"<table{cls}><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+    )
+
+
+def section(anchor: str, title: str, body: str, *, subtitle: str = "") -> Raw:
+    """One top-level report section with a stable ``id`` for the nav bar.
+
+    ``body`` is pre-rendered HTML (built from these helpers); ``title`` and
+    ``subtitle`` are text and get escaped.
+    """
+    sub = f'<p class="desc">{esc(subtitle)}</p>' if subtitle else ""
+    return Raw(
+        f'<section class="panel" id="{esc(anchor)}">'
+        f"<h2>{esc(title)}</h2>{sub}{body}</section>"
+    )
+
+
+def details(summary: str, body: str) -> Raw:
+    """A collapsed disclosure block; ``body`` is pre-rendered HTML."""
+    return Raw(f"<details><summary>{esc(summary)}</summary>{body}</details>")
+
+
+def empty_note(text: str) -> Raw:
+    """The placeholder an artifact-less section renders instead of data."""
+    return Raw(f'<p class="empty">{esc(text)}</p>')
+
+
+def nav(anchors: Sequence[tuple[str, str]]) -> Raw:
+    """The in-page navigation bar: ``(anchor, label)`` pairs."""
+    links = "".join(f'<a href="#{esc(a)}">{esc(label)}</a>' for a, label in anchors)
+    return Raw(f'<nav class="nav">{links}</nav>')
+
+
+def page(
+    title: str,
+    body: str,
+    *,
+    subtitle: str = "",
+    footer: str = "",
+    refresh_s: int | None = None,
+    extra_css: str = "",
+) -> str:
+    """A complete self-contained HTML document.
+
+    ``body``, ``subtitle`` and ``footer`` are pre-rendered HTML; ``title``
+    is text.  ``refresh_s`` adds a ``<meta http-equiv="refresh">`` — the
+    script-free fallback the live ``/status`` page uses to stay current
+    without any external resource or JavaScript.
+    """
+    meta_refresh = (
+        f'<meta http-equiv="refresh" content="{int(refresh_s)}">' if refresh_s else ""
+    )
+    sub = f'<p class="sub">{subtitle}</p>' if subtitle else ""
+    foot = f'<p class="footer">{footer}</p>' if footer else ""
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"{meta_refresh}"
+        f"<title>{esc(title)}</title>"
+        f"<style>{BASE_CSS}{extra_css}</style></head><body>"
+        f"<h1>{esc(title)}</h1>"
+        f"{sub}{body}{foot}"
+        "</body></html>\n"
+    )
+
+
+# -- the one stylesheet ------------------------------------------------------
+
+#: shared stylesheet: light/dark from the same markup via custom properties;
+#: ``--c0``..``--c5`` is the categorical series palette the SVG marks use.
+BASE_CSS = """
+:root {
+  color-scheme: light dark;
+  --surface: #fcfcfb; --panel: #f4f3f0; --border: #dcdbd6;
+  --ink: #0b0b0b; --ink-2: #52514e; --ink-3: #878680;
+  --line: #2a78d6; --fill: rgba(42, 120, 214, 0.12);
+  --bad: #e34948; --good: #008300; --warn: #a36b00;
+  --c0: #2a78d6; --c1: #d6662a; --c2: #2f9e62; --c3: #9e2f8c;
+  --c4: #767119; --c5: #5b5bd6;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --panel: #232322; --border: #3a3a38;
+    --ink: #ffffff; --ink-2: #c3c2b7; --ink-3: #8d8c85;
+    --line: #3987e5; --fill: rgba(57, 135, 229, 0.18);
+    --bad: #e66767; --good: #4caf50; --warn: #d9a33c;
+    --c0: #3987e5; --c1: #e58a4a; --c2: #4dbb82; --c3: #c45cb0;
+    --c4: #b0aa45; --c5: #8a8af0;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 2rem clamp(1rem, 4vw, 3rem);
+  background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 1.3rem; margin: 0 0 0.25rem; }
+h2 { font-size: 1.05rem; margin: 0 0 0.25rem; }
+h3 { font-size: 0.95rem; margin: 1rem 0 0.25rem; font-family: ui-monospace, monospace; }
+.sub { color: var(--ink-2); margin: 0 0 1rem; }
+.nav { margin: 0 0 1.25rem; display: flex; flex-wrap: wrap; gap: 0.25rem 1rem; }
+.nav a { color: var(--line); text-decoration: none; }
+.nav a:hover { text-decoration: underline; }
+.panel, .bench {
+  background: var(--panel); border: 1px solid var(--border);
+  border-radius: 8px; padding: 1rem 1.25rem; margin: 0 0 1rem;
+}
+.bench h2 { font-size: 1rem; margin: 0; font-family: ui-monospace, monospace; }
+.head { display: flex; flex-wrap: wrap; gap: 1.5rem; align-items: center; }
+.stat { margin-left: auto; text-align: right; }
+.stat .v { font-size: 1.25rem; font-variant-numeric: tabular-nums; }
+.stat .d { color: var(--ink-2); font-size: 0.85rem; }
+.d.up { color: var(--bad); }
+.d.down { color: var(--good); }
+.desc { color: var(--ink-2); margin: 0.25rem 0 0.75rem; }
+.empty { color: var(--ink-3); font-style: italic; }
+.tiles { display: flex; flex-wrap: wrap; gap: 0.75rem; margin: 0.5rem 0 1rem; }
+.tile {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 6px; padding: 0.5rem 0.9rem; min-width: 7.5rem;
+}
+.tile .label { color: var(--ink-2); font-size: 0.8rem; }
+.tile .value { font-size: 1.2rem; font-variant-numeric: tabular-nums; }
+.tile .note { color: var(--ink-3); font-size: 0.75rem; }
+.badge {
+  display: inline-block; border-radius: 4px; padding: 0 0.4rem;
+  font-size: 0.8rem; border: 1px solid var(--border); color: var(--ink-2);
+}
+.badge.ok { color: var(--good); border-color: var(--good); }
+.badge.warn { color: var(--warn); border-color: var(--warn); }
+.badge.bad { color: var(--bad); border-color: var(--bad); }
+svg.spark { display: block; }
+svg.spark .axis, svg.chart .axis { stroke: var(--border); stroke-width: 1; }
+svg.spark .trend { stroke: var(--line); stroke-width: 2; fill: none;
+  stroke-linejoin: round; stroke-linecap: round; }
+svg.spark .area { fill: var(--fill); }
+svg.spark .pt { fill: var(--line); }
+svg.spark .pt-hit { fill: transparent; }
+svg.chart .grid { stroke: var(--border); stroke-width: 0.5; stroke-dasharray: 2 3; }
+svg.chart text, svg.flame text { fill: var(--ink-2); font: 10px ui-monospace, monospace; }
+svg.chart .lbl { fill: var(--ink-2); }
+svg.chart .series { fill: none; stroke-width: 1.8;
+  stroke-linejoin: round; stroke-linecap: round; }
+svg.chart .s0 { stroke: var(--c0); } svg.chart .f0 { fill: var(--c0); }
+svg.chart .s1 { stroke: var(--c1); } svg.chart .f1 { fill: var(--c1); }
+svg.chart .s2 { stroke: var(--c2); } svg.chart .f2 { fill: var(--c2); }
+svg.chart .s3 { stroke: var(--c3); } svg.chart .f3 { fill: var(--c3); }
+svg.chart .s4 { stroke: var(--c4); } svg.chart .f4 { fill: var(--c4); }
+svg.chart .s5 { stroke: var(--c5); } svg.chart .f5 { fill: var(--c5); }
+svg.chart .dashed { stroke-dasharray: 5 3; }
+svg.flame rect { stroke: var(--surface); stroke-width: 0.5; }
+svg.flame .b0 { fill: var(--c0); } svg.flame .b1 { fill: var(--c1); }
+svg.flame .b2 { fill: var(--c2); } svg.flame .b3 { fill: var(--c3); }
+svg.flame .b4 { fill: var(--c4); } svg.flame .b5 { fill: var(--c5); }
+.legend { display: flex; flex-wrap: wrap; gap: 0.25rem 1rem; margin: 0.25rem 0;
+  color: var(--ink-2); font-size: 0.85rem; }
+.legend .key { display: inline-block; width: 0.8rem; height: 0.2rem;
+  vertical-align: middle; margin-right: 0.35rem; }
+.k0 { background: var(--c0); } .k1 { background: var(--c1); }
+.k2 { background: var(--c2); } .k3 { background: var(--c3); }
+.k4 { background: var(--c4); } .k5 { background: var(--c5); }
+table { border-collapse: collapse; width: 100%; margin-top: 0.75rem;
+  font-variant-numeric: tabular-nums; }
+th, td { text-align: right; padding: 0.25rem 0.75rem;
+  border-bottom: 1px solid var(--border); }
+th { color: var(--ink-2); font-weight: 500; }
+th:first-child, td:first-child, th:nth-child(2), td:nth-child(2),
+th:nth-child(3), td:nth-child(3) { text-align: left; }
+td.mono, .mono { font-family: ui-monospace, monospace; }
+td.drift { color: var(--bad); }
+code { font-family: ui-monospace, monospace; background: var(--panel);
+  padding: 0 0.25rem; border-radius: 3px; }
+pre.src { background: var(--surface); border: 1px solid var(--border);
+  border-radius: 6px; padding: 0.5rem 0.75rem; overflow-x: auto;
+  font: 12px/1.45 ui-monospace, monospace; }
+pre.src .caret { color: var(--bad); }
+details > summary { cursor: pointer; color: var(--ink-2); margin-top: 0.5rem; }
+.footer { color: var(--ink-3); margin-top: 1.5rem; font-size: 0.85rem; }
+"""

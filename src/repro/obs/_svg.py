@@ -1,0 +1,308 @@
+"""Shared inline-SVG marks for the self-contained report renderers.
+
+Three chart families, all emitted as plain ``<svg>`` markup styled by the
+CSS custom properties in :mod:`repro.obs._html` (so one markup renders in
+light and dark), all free of scripts and external resources:
+
+* :func:`sparkline` — the bench dashboard's single-series trend mark.
+  The scale math is guarded against the degenerate series a young history
+  store produces: a **single point** renders as one centered dot (no
+  polyline, no area) and a **constant series** renders as a mid-height
+  line instead of collapsing onto the x-axis (zero y-range would
+  otherwise divide by zero or pin the trend to the axis).
+* :func:`line_chart` — multi-series scatter+line with optional log₂/log₁₀
+  axes, tick labels and per-point tooltips; the bound-vs-measured curves
+  of ``iolb explore`` are drawn with it.
+* :func:`flamegraph` — an icicle layout of Chrome ``trace_event``
+  complete events (``ph: "X"``), one lane stack per thread track, depth
+  taken from the span ``args.path`` the exporter embeds.
+
+Every label that reaches the SVG goes through :func:`~repro.obs._html.esc`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ._html import Raw, esc, fmt_us
+
+__all__ = ["sparkline", "line_chart", "legend", "flamegraph"]
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+# ---------------------------------------------------------------------------
+# sparkline (single series, used per benchmark in the trend dashboard)
+# ---------------------------------------------------------------------------
+
+
+def sparkline(points: Sequence[tuple[str, float]], w: int = 260, h: int = 52) -> Raw:
+    """Inline SVG of a labelled series; one ``<title>`` tooltip per point.
+
+    Degenerate series are first-class: one point draws a single dot at
+    mid-height, a constant series draws a flat line at mid-height — both
+    keep the baseline axis and the tooltips, neither divides by zero.
+    """
+    pad = 6
+    values = [v for _, v in points]
+    if not values:
+        return Raw(
+            f'<svg class="spark" role="img" viewBox="0 0 {w} {h}"'
+            f' width="{w}" height="{h}" aria-label="empty series">'
+            f'<line class="axis" x1="{pad}" y1="{h - pad}" x2="{w - pad}"'
+            f' y2="{h - pad}"/></svg>'
+        )
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    flat = span <= 0  # constant series (or a single point): no y range
+
+    def xy(i: int, v: float) -> tuple[float, float]:
+        x = pad + (w - 2 * pad) * (i / max(len(values) - 1, 1))
+        if flat:
+            y = h / 2  # mid-height, never on the axis
+        else:
+            y = (h - pad) - (h - 2 * pad) * ((v - lo) / span)
+        return round(x, 1), round(y, 1)
+
+    coords = [xy(i, v) for i, v in enumerate(values)]
+    parts = [
+        f'<svg class="spark" role="img" viewBox="0 0 {w} {h}" width="{w}" height="{h}"'
+        f' aria-label="trend, {len(values)} entries">',
+        f'<line class="axis" x1="{pad}" y1="{h - pad}" x2="{w - pad}" y2="{h - pad}"/>',
+    ]
+    if len(coords) > 1:
+        poly = " ".join(f"{x},{y}" for x, y in coords)
+        area = f"{pad},{h - pad} {poly} {coords[-1][0]},{h - pad}"
+        parts.append(f'<polygon class="area" points="{area}"/>')
+        parts.append(f'<polyline class="trend" points="{poly}"/>')
+    for (x, y), (label, v) in zip(coords, points):
+        last = (x, y) == coords[-1]
+        r = 4 if last else 2
+        title = f"<title>{esc(label)}: {_fmt_s(v)}</title>"
+        parts.append(f'<circle class="pt" cx="{x}" cy="{y}" r="{r}">{title}</circle>')
+        parts.append(f'<circle class="pt-hit" cx="{x}" cy="{y}" r="10">{title}</circle>')
+    parts.append("</svg>")
+    return Raw("".join(parts))
+
+
+# ---------------------------------------------------------------------------
+# multi-series line chart (bound-vs-measured curves)
+# ---------------------------------------------------------------------------
+
+
+def _ticks(lo: float, hi: float, log: bool, n: int = 5) -> list[float]:
+    """A few pleasant tick positions across [lo, hi]."""
+    if log:
+        k_lo, k_hi = math.floor(math.log2(lo)), math.ceil(math.log2(hi))
+        step = max(1, (k_hi - k_lo) // n)
+        return [2.0**k for k in range(k_lo, k_hi + 1, step)]
+    if hi <= lo:
+        return [lo]
+    step = (hi - lo) / n
+    return [lo + i * step for i in range(n + 1)]
+
+
+def _fmt_tick(v: float) -> str:
+    if v >= 1e6:
+        return f"{v / 1e6:g}M"
+    if v >= 1e3:
+        return f"{v / 1e3:g}k"
+    if v == int(v):
+        return f"{int(v)}"
+    return f"{v:g}"
+
+
+def line_chart(
+    series: Sequence[Mapping],
+    *,
+    w: int = 460,
+    h: int = 230,
+    log_x: bool = True,
+    log_y: bool = True,
+    x_label: str = "",
+    y_label: str = "",
+) -> Raw:
+    """Multi-series line chart with ticks, tooltips and optional log axes.
+
+    Each entry of ``series`` is a mapping with ``label`` (str), ``points``
+    (sequence of ``(x, y)`` with positive values when the axis is log) and
+    optional ``dashed`` (bool) — dashing distinguishes derived bounds from
+    measured traffic without relying on color alone.  Series colors cycle
+    through the ``s0``..``s5`` CSS classes; the caller renders the matching
+    legend with ``k0``..``k5`` keys.
+    """
+    pad_l, pad_r, pad_t, pad_b = 44, 10, 8, 26
+    xs = [x for s in series for x, _ in s["points"]]
+    ys = [y for s in series for _, y in s["points"] if y > 0 or not log_y]
+    if not xs or not ys:
+        return Raw('<svg class="chart" viewBox="0 0 10 10" width="10" height="10"></svg>')
+
+    def tx(v: float) -> float:
+        return math.log2(v) if log_x else v
+
+    def ty(v: float) -> float:
+        return math.log10(max(v, 1e-12)) if log_y else v
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    tx_lo, tx_hi = tx(x_lo), tx(x_hi)
+    ty_lo, ty_hi = ty(y_lo), ty(y_hi)
+    if tx_hi <= tx_lo:
+        tx_hi = tx_lo + 1.0
+    if ty_hi <= ty_lo:
+        ty_hi = ty_lo + 1.0
+
+    def px(v: float) -> float:
+        return round(pad_l + (w - pad_l - pad_r) * (tx(v) - tx_lo) / (tx_hi - tx_lo), 1)
+
+    def py(v: float) -> float:
+        return round(
+            (h - pad_b) - (h - pad_t - pad_b) * (ty(v) - ty_lo) / (ty_hi - ty_lo), 1
+        )
+
+    parts = [
+        f'<svg class="chart" role="img" viewBox="0 0 {w} {h}" width="{w}" height="{h}"'
+        f' aria-label="{esc(y_label or "series")} vs {esc(x_label or "x")}">'
+    ]
+    # axes + grid
+    parts.append(
+        f'<line class="axis" x1="{pad_l}" y1="{h - pad_b}" x2="{w - pad_r}" y2="{h - pad_b}"/>'
+        f'<line class="axis" x1="{pad_l}" y1="{pad_t}" x2="{pad_l}" y2="{h - pad_b}"/>'
+    )
+    for v in _ticks(x_lo, x_hi, log_x):
+        if v < x_lo or v > x_hi:
+            continue
+        x = px(v)
+        parts.append(
+            f'<line class="grid" x1="{x}" y1="{pad_t}" x2="{x}" y2="{h - pad_b}"/>'
+            f'<text class="lbl" x="{x}" y="{h - pad_b + 14}" text-anchor="middle">'
+            f"{esc(_fmt_tick(v))}</text>"
+        )
+    y_ticks = (
+        [10.0**k for k in range(math.floor(ty_lo), math.ceil(ty_hi) + 1)]
+        if log_y
+        else _ticks(y_lo, y_hi, False)
+    )
+    for v in y_ticks:
+        if v < y_lo * 0.999 or v > y_hi * 1.001:
+            continue
+        y = py(v)
+        parts.append(
+            f'<line class="grid" x1="{pad_l}" y1="{y}" x2="{w - pad_r}" y2="{y}"/>'
+            f'<text class="lbl" x="{pad_l - 4}" y="{y + 3}" text-anchor="end">'
+            f"{esc(_fmt_tick(v))}</text>"
+        )
+    if x_label:
+        parts.append(
+            f'<text class="lbl" x="{(pad_l + w - pad_r) / 2}" y="{h - 2}"'
+            f' text-anchor="middle">{esc(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text class="lbl" x="10" y="{pad_t + 2}" text-anchor="start">'
+            f"{esc(y_label)}</text>"
+        )
+    # series
+    for i, s in enumerate(series):
+        cls = f"s{i % 6}"
+        fcls = f"f{i % 6}"
+        dashed = " dashed" if s.get("dashed") else ""
+        pts = [(x, y) for x, y in s["points"] if not log_y or y > 0]
+        if len(pts) > 1:
+            poly = " ".join(f"{px(x)},{py(y)}" for x, y in pts)
+            parts.append(f'<polyline class="series {cls}{dashed}" points="{poly}"/>')
+        for x, y in pts:
+            title = f"<title>{esc(s['label'])}: x={_fmt_tick(x)}, y={_fmt_tick(y)}</title>"
+            parts.append(
+                f'<circle class="{fcls}" cx="{px(x)}" cy="{py(y)}" r="2.5">{title}</circle>'
+            )
+    parts.append("</svg>")
+    return Raw("".join(parts))
+
+
+def legend(labels: Sequence[str], dashed: Sequence[bool] | None = None) -> Raw:
+    """The legend strip matching :func:`line_chart` series order."""
+    items = []
+    for i, label in enumerate(labels):
+        style = ' style="opacity:0.65"' if dashed and dashed[i] else ""
+        items.append(
+            f'<span><span class="key k{i % 6}"{style}></span>{esc(label)}</span>'
+        )
+    return Raw(f'<div class="legend">{"".join(items)}</div>')
+
+
+# ---------------------------------------------------------------------------
+# flamegraph (Chrome trace_event -> icicle)
+# ---------------------------------------------------------------------------
+
+_ROW_H = 16
+
+
+def flamegraph(trace: Mapping, *, w: int = 920, max_rows: int = 24) -> Raw:
+    """An icicle chart of a Chrome ``trace_event`` document.
+
+    Consumes the format :func:`repro.obs.sinks.chrome_trace_dict` emits:
+    complete events (``ph: "X"``) carry ``ts``/``dur`` microseconds and a
+    ``tid`` track; depth comes from the embedded ``args.path`` when present
+    (the exporter writes the full span path there), falling back to 0.
+    Tracks stack vertically, deepest spans at the bottom of each track;
+    every rectangle carries a ``<title>`` tooltip with path and duration.
+    """
+    events = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+    if not events:
+        return Raw('<p class="empty">(no span events in the trace)</p>')
+    t0 = min(float(e["ts"]) for e in events)
+    t1 = max(float(e["ts"]) + float(e.get("dur", 0.0)) for e in events)
+    span_us = max(t1 - t0, 1e-9)
+
+    # group by track, order rows: (track, depth)
+    rows: dict[tuple[int, int], list[dict]] = {}
+    for e in events:
+        depth = str(e.get("args", {}).get("path", e.get("name", ""))).count("/")
+        rows.setdefault((int(e.get("tid", 0)), depth), []).append(e)
+    row_keys = sorted(rows)[:max_rows]
+    row_of = {key: i for i, key in enumerate(row_keys)}
+    h = _ROW_H * len(row_of) + 18
+
+    parts = [
+        f'<svg class="flame" role="img" viewBox="0 0 {w} {h}" width="{w}" height="{h}"'
+        f' aria-label="derivation flamegraph, {len(events)} spans">'
+    ]
+    clipped = 0
+    for key, evs in rows.items():
+        if key not in row_of:
+            clipped += len(evs)
+            continue
+        y = row_of[key] * _ROW_H
+        for e in evs:
+            x = (float(e["ts"]) - t0) / span_us * w
+            bw = max(float(e.get("dur", 0.0)) / span_us * w, 0.5)
+            cat = str(e.get("cat", e.get("name", "")))
+            color = f"b{sum(cat.encode()) % 6}"
+            path = str(e.get("args", {}).get("path", e.get("name", "")))
+            label = ""
+            name = str(e.get("name", ""))
+            if bw > 7 * len(name) and bw > 30:
+                label = (
+                    f'<text x="{round(x + 3, 1)}" y="{y + _ROW_H - 4}">{esc(name)}</text>'
+                )
+            parts.append(
+                f'<rect class="{color}" x="{round(x, 2)}" y="{y}"'
+                f' width="{round(bw, 2)}" height="{_ROW_H - 1}">'
+                f"<title>{esc(path)}: {esc(fmt_us(float(e.get('dur', 0.0))))}"
+                f"</title></rect>{label}"
+            )
+    parts.append(
+        f'<text x="0" y="{h - 4}">{esc(fmt_us(span_us))} total'
+        + (f" · {clipped} spans clipped" if clipped else "")
+        + "</text>"
+    )
+    parts.append("</svg>")
+    return Raw("".join(parts))

@@ -272,6 +272,73 @@ def default_suite() -> list[Benchmark]:
             p.unlink()
         _serve_fire(payload, concurrency=1)
 
+    # -- explore.render: the whole-system report renderer ------------------
+    # Setup assembles one of each artifact family in-process (a curve
+    # sweep, a trace + metrics dump off a private registry, a real lint
+    # report, a cert verdict, two bench records); the timed fn is pure
+    # rendering, so the instrumented pass records only the deterministic
+    # explore.* counters the CI exact-match gate can hold.
+
+    def _explore_setup():
+        from ..analysis import check_source
+        from ..frontend.sources import FIGURE_SHAPE_EXPRS, FIGURE_SOURCES
+        from ..kernels import KERNELS
+        from . import explore as obs_explore
+        from .core import Registry
+        from .sinks import chrome_trace_dict, metrics_dict
+
+        curves = obs_explore.compute_curves(kernels=("mgs",), s_values=(8, 16, 32))
+        reg = Registry()
+        with reg.span("explore.bench", phase="setup"):
+            with reg.span("explore.bench/polyhedral"):
+                pass
+        reg.add("pebble.loads", 123)
+        name = "mgs"
+        k = KERNELS[name]
+        rep, _ = check_source(
+            FIGURE_SOURCES[name],
+            name=name,
+            params=k.default_params,
+            shapes=FIGURE_SHAPE_EXPRS[name],
+            dominant=k.dominant,
+        )
+        cert = {
+            "schema": "iolb-cert-report/1",
+            "kernel": name,
+            "ok": True,
+            "exit_code": 0,
+            "checks_run": ["schema"],
+            "findings": [],
+        }
+        bench = [
+            {
+                "created": f"2026-01-0{i}T00:00:00Z",
+                "env": {"git_sha": f"sha{i}", "python": "3.11"},
+                "results": {
+                    "derive.mgs": {
+                        "wall_s": {"median": 0.1 * i, "min": 0.09, "mad": 0.01},
+                        "counters": {},
+                    }
+                },
+            }
+            for i in (1, 2)
+        ]
+        data = obs_explore.ExploreData(
+            curves=curves,
+            trace=chrome_trace_dict(reg),
+            lint=rep.to_dict(),
+            certs={name: cert},
+            bench=bench,
+            metrics={"bench": metrics_dict(reg)},
+        )
+        return {"data": data, "render": obs_explore.render_explore}
+
+    def _explore_render(payload):
+        html = payload["render"](payload["data"])
+        if 'id="curves"' not in html or 'id="metrics"' not in html:
+            raise RuntimeError("explore render dropped a section inside the bench")
+        return len(html)
+
     from ..kernels import PAPER_KERNELS
 
     suite = [_derive(k) for k in PAPER_KERNELS]
@@ -316,6 +383,12 @@ def default_suite() -> list[Benchmark]:
             setup=_serve_setup,
             teardown=_serve_teardown,
             description="mixed 8-request burst with the backend cleared first, sequential clients",
+        ),
+        Benchmark(
+            "explore.render",
+            _explore_render,
+            setup=_explore_setup,
+            description="whole-system explorer page over one of each artifact family",
         ),
     ]
     return suite

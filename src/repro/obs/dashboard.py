@@ -12,111 +12,22 @@ table view (date, commit, python, median, min, MAD, delta, counter-drift
 flag).  Single series per chart, so identity needs no legend; values live
 in the table, not painted on every point.  Light and dark render from the
 same markup via CSS custom properties.
+
+The rendering primitives (escaping, page chrome, the guarded sparkline
+scale math) live in :mod:`repro.obs._html` / :mod:`repro.obs._svg` and are
+shared with the whole-system explorer (:mod:`repro.obs.explore`) — the
+dashboard is also embeddable there as a section via
+:func:`render_trend_sections`.
 """
 
 from __future__ import annotations
 
-import html
 from typing import Mapping, Sequence
 
-__all__ = ["render_dashboard"]
+from ._html import Raw, esc, fmt_s, page
+from ._svg import sparkline as _sparkline
 
-_CSS = """
-:root {
-  color-scheme: light dark;
-  --surface: #fcfcfb; --panel: #f4f3f0; --border: #dcdbd6;
-  --ink: #0b0b0b; --ink-2: #52514e; --ink-3: #878680;
-  --line: #2a78d6; --fill: rgba(42, 120, 214, 0.12);
-  --bad: #e34948; --good: #008300;
-}
-@media (prefers-color-scheme: dark) {
-  :root {
-    --surface: #1a1a19; --panel: #232322; --border: #3a3a38;
-    --ink: #ffffff; --ink-2: #c3c2b7; --ink-3: #8d8c85;
-    --line: #3987e5; --fill: rgba(57, 135, 229, 0.18);
-    --bad: #e66767; --good: #4caf50;
-  }
-}
-* { box-sizing: border-box; }
-body {
-  margin: 0; padding: 2rem clamp(1rem, 4vw, 3rem);
-  background: var(--surface); color: var(--ink);
-  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
-}
-h1 { font-size: 1.3rem; margin: 0 0 0.25rem; }
-.sub { color: var(--ink-2); margin: 0 0 1.5rem; }
-.bench {
-  background: var(--panel); border: 1px solid var(--border);
-  border-radius: 8px; padding: 1rem 1.25rem; margin: 0 0 1rem;
-}
-.bench h2 { font-size: 1rem; margin: 0; font-family: ui-monospace, monospace; }
-.head { display: flex; flex-wrap: wrap; gap: 1.5rem; align-items: center; }
-.stat { margin-left: auto; text-align: right; }
-.stat .v { font-size: 1.25rem; font-variant-numeric: tabular-nums; }
-.stat .d { color: var(--ink-2); font-size: 0.85rem; }
-.d.up { color: var(--bad); }
-.d.down { color: var(--good); }
-.desc { color: var(--ink-2); margin: 0.25rem 0 0.75rem; }
-svg.spark { display: block; }
-svg.spark .axis { stroke: var(--border); stroke-width: 1; }
-svg.spark .trend { stroke: var(--line); stroke-width: 2; fill: none;
-  stroke-linejoin: round; stroke-linecap: round; }
-svg.spark .area { fill: var(--fill); }
-svg.spark .pt { fill: var(--line); }
-svg.spark .pt-hit { fill: transparent; }
-table { border-collapse: collapse; width: 100%; margin-top: 0.75rem;
-  font-variant-numeric: tabular-nums; }
-th, td { text-align: right; padding: 0.25rem 0.75rem; border-bottom: 1px solid var(--border); }
-th { color: var(--ink-2); font-weight: 500; }
-th:first-child, td:first-child, th:nth-child(2), td:nth-child(2),
-th:nth-child(3), td:nth-child(3) { text-align: left; }
-td.mono { font-family: ui-monospace, monospace; }
-td.drift { color: var(--bad); }
-details > summary { cursor: pointer; color: var(--ink-2); margin-top: 0.5rem; }
-.footer { color: var(--ink-3); margin-top: 1.5rem; font-size: 0.85rem; }
-"""
-
-
-def _fmt_s(seconds: float) -> str:
-    if seconds >= 1.0:
-        return f"{seconds:.2f}s"
-    if seconds >= 1e-3:
-        return f"{seconds * 1e3:.1f}ms"
-    return f"{seconds * 1e6:.0f}µs"
-
-
-def _sparkline(points: Sequence[tuple[str, float]], w: int = 260, h: int = 52) -> str:
-    """Inline SVG of the median-wall series; one <title> tooltip per point."""
-    pad = 6
-    values = [v for _, v in points]
-    lo, hi = min(values), max(values)
-    span = (hi - lo) or max(hi, 1e-9)
-
-    def xy(i: int, v: float) -> tuple[float, float]:
-        x = pad + (w - 2 * pad) * (i / max(len(values) - 1, 1))
-        y = (h - pad) - (h - 2 * pad) * ((v - lo) / span)
-        return round(x, 1), round(y, 1)
-
-    coords = [xy(i, v) for i, v in enumerate(values)]
-    poly = " ".join(f"{x},{y}" for x, y in coords)
-    area = f"{pad},{h - pad} {poly} {coords[-1][0]},{h - pad}"
-    parts = [
-        f'<svg class="spark" role="img" viewBox="0 0 {w} {h}" width="{w}" height="{h}"'
-        f' aria-label="median wall time trend, {len(values)} entries">',
-        f'<line class="axis" x1="{pad}" y1="{h - pad}" x2="{w - pad}" y2="{h - pad}"/>',
-        f'<polygon class="area" points="{area}"/>',
-        f'<polyline class="trend" points="{poly}"/>',
-    ]
-    for (x, y), (label, v) in zip(coords, points):
-        last = (x, y) == coords[-1]
-        r = 4 if last else 2
-        title = f"<title>{html.escape(label)}: {_fmt_s(v)}</title>"
-        parts.append(f'<circle class="pt" cx="{x}" cy="{y}" r="{r}">{title}</circle>')
-        parts.append(
-            f'<circle class="pt-hit" cx="{x}" cy="{y}" r="10">{title}</circle>'
-        )
-    parts.append("</svg>")
-    return "".join(parts)
+__all__ = ["render_dashboard", "render_trend_sections"]
 
 
 def _delta_html(prev: float | None, cur: float) -> str:
@@ -133,12 +44,12 @@ def _counter_drift(prev_row: Mapping | None, row: Mapping) -> bool:
     return (prev_row.get("counters") or {}) != (row.get("counters") or {})
 
 
-def render_dashboard(
-    records: Sequence[Mapping], *, title: str = "iolb bench — performance history"
-) -> str:
-    """The dashboard HTML for a chronological list of bench records."""
-    from .envinfo import describe_env  # stdlib sibling
+def render_trend_sections(records: Sequence[Mapping]) -> Raw:
+    """The per-benchmark trend panels (one ``<section>`` each), as HTML.
 
+    This is the dashboard body without the page chrome, so the explorer
+    can embed the exact same panels as its bench-history section.
+    """
     records = list(records)
     order: list[str] = []
     for rec in records:
@@ -160,7 +71,6 @@ def render_dashboard(
             sha = (rec.get("env") or {}).get("git_sha") or "?"
             label = f"{str(rec.get('created', '?'))[:10]} @{sha}"
             points.append((label, float(row["wall_s"]["median"])))
-        latest_rec, latest_row = series[-1]
         prev_median = points[-2][1] if len(points) > 1 else None
         trs = []
         prev_row = None
@@ -169,12 +79,12 @@ def render_dashboard(
             drift = _counter_drift(prev_row, row)
             trs.append(
                 "<tr>"
-                f"<td>{html.escape(str(rec.get('created', '?'))[:19])}</td>"
-                f"<td class='mono'>{html.escape((rec.get('env') or {}).get('git_sha') or '?')}</td>"
-                f"<td>{html.escape(str((rec.get('env') or {}).get('python', '?')))}</td>"
-                f"<td>{_fmt_s(med)}</td>"
-                f"<td>{_fmt_s(float(wall.get('min', med)))}</td>"
-                f"<td>{_fmt_s(float(wall.get('mad', 0.0)))}</td>"
+                f"<td>{esc(str(rec.get('created', '?'))[:19])}</td>"
+                f"<td class='mono'>{esc((rec.get('env') or {}).get('git_sha') or '?')}</td>"
+                f"<td>{esc(str((rec.get('env') or {}).get('python', '?')))}</td>"
+                f"<td>{fmt_s(med)}</td>"
+                f"<td>{fmt_s(float(wall.get('min', med)))}</td>"
+                f"<td>{fmt_s(float(wall.get('mad', 0.0)))}</td>"
                 f"<td>{_delta_html(prev_row and float(prev_row['wall_s']['median']), med)}</td>"
                 f"<td class='{'drift' if drift else ''}'>{'drift' if drift else 'stable'}</td>"
                 "</tr>"
@@ -183,10 +93,10 @@ def render_dashboard(
         sections.append(
             '<section class="bench">'
             '<div class="head">'
-            f"<div><h2>{html.escape(name)}</h2>"
+            f"<div><h2>{esc(name)}</h2>"
             f'<p class="desc">{len(series)} history entr{"y" if len(series) == 1 else "ies"}</p></div>'
             f"{_sparkline(points)}"
-            f'<div class="stat"><div class="v">{_fmt_s(points[-1][1])}</div>'
+            f'<div class="stat"><div class="v">{fmt_s(points[-1][1])}</div>'
             f"{_delta_html(prev_median, points[-1][1])}</div>"
             "</div>"
             "<details><summary>all entries</summary>"
@@ -196,19 +106,27 @@ def render_dashboard(
             "</details>"
             "</section>"
         )
+    return Raw("".join(sections))
 
+
+def render_dashboard(
+    records: Sequence[Mapping], *, title: str = "iolb bench — performance history"
+) -> str:
+    """The dashboard HTML for a chronological list of bench records."""
+    from .envinfo import describe_env  # stdlib sibling
+
+    records = list(records)
     latest_env = records[-1].get("env") if records else None
-    body = "".join(sections) or "<p>(no bench history)</p>"
-    return (
-        "<!DOCTYPE html>\n"
-        '<html lang="en"><head><meta charset="utf-8">'
-        f"<title>{html.escape(title)}</title>"
-        f"<style>{_CSS}</style></head><body>"
-        f"<h1>{html.escape(title)}</h1>"
-        f'<p class="sub">{len(records)} record(s) · latest environment: '
-        f"{html.escape(describe_env(latest_env))}</p>"
-        f"{body}"
-        '<p class="footer">median wall seconds per entry; generated by '
-        "<code>iolb bench --report</code> — schema iolb-bench/1</p>"
-        "</body></html>\n"
+    body = str(render_trend_sections(records)) or "<p>(no bench history)</p>"
+    return page(
+        title,
+        body,
+        subtitle=(
+            f"{len(records)} record(s) · latest environment: "
+            f"{esc(describe_env(latest_env))}"
+        ),
+        footer=(
+            "median wall seconds per entry; generated by "
+            "<code>iolb bench --report</code> — schema iolb-bench/1"
+        ),
     )

@@ -1,0 +1,727 @@
+"""``iolb explore`` — one self-contained HTML report over the whole system.
+
+The pipeline emits five versioned JSON artifact families; this module
+joins them into a single zero-dependency HTML document (inline SVG/CSS,
+no scripts, no external fetches) that works as a CI artifact, an e-mail
+attachment, and — wired into :mod:`repro.serve` — the live ``GET /status``
+page of the derivation service.
+
+Artifact-to-section mapping:
+
+========================  =====================================================
+artifact                  section
+========================  =====================================================
+``iolb-curves/1``         bound-vs-measured curves per kernel (hourglass vs
+                          classical vs simulated misses across S); computed
+                          in-process by :func:`compute_curves` or loaded
+``trace_event`` JSON      per-phase derivation flamegraph (``--trace-out``)
+``iolb-lint/1``           lint diagnostics browser with source spans
+``iolb-cert-report/1``    certificate check outcomes per kernel
+``iolb-bench/1``          bench history trends (the PR-4 dashboard panels)
+``iolb-metrics/1``        metrics summary: gauges, hottest spans, counters
+========================  =====================================================
+
+Every section renders a placeholder when its artifact is absent; a
+*present-but-broken* artifact is recorded in :attr:`ExploreData.problems`
+and surfaced in the page header — and ``iolb explore --check-inputs``
+turns that list into a nonzero exit instead of rendering a partial page
+silently.
+
+This module is stdlib-only at import time (like the rest of
+:mod:`repro.obs`); :func:`compute_curves` lazily imports the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from . import core as obs
+from ._html import (
+    Raw,
+    badge,
+    details,
+    empty_note,
+    esc,
+    fmt_num,
+    fmt_us,
+    nav,
+    page,
+    section,
+    stat_tile,
+    table,
+)
+from ._svg import flamegraph, legend, line_chart
+from .dashboard import render_trend_sections
+from .sinks import METRICS_SCHEMA
+from .stats import check_schema as check_metrics_schema
+
+__all__ = [
+    "CURVES_SCHEMA",
+    "SECTIONS",
+    "ExploreData",
+    "check_curves_schema",
+    "load_inputs",
+    "compute_curves",
+    "render_explore",
+    "render_status",
+]
+
+#: schema tag of the bound-vs-measured curve artifact `iolb explore` emits
+CURVES_SCHEMA = "iolb-curves/1"
+
+#: schema tag of certificate check reports (redeclared: this module reads
+#: the artifact, it must not import the checker to know its name)
+_CERT_REPORT_SCHEMA = "iolb-cert-report/1"
+_LINT_SCHEMA = "iolb-lint/1"
+
+#: the six report sections, in page order: (anchor, title)
+SECTIONS: tuple[tuple[str, str], ...] = (
+    ("curves", "Bound vs measured"),
+    ("flame", "Derivation profile"),
+    ("lint", "Lint diagnostics"),
+    ("certs", "Certificates"),
+    ("bench", "Bench trends"),
+    ("metrics", "Metrics"),
+)
+
+
+@dataclass
+class ExploreData:
+    """Everything one explorer page is rendered from.
+
+    Any field may be empty — the renderer degrades to a placeholder per
+    section.  ``problems`` records artifacts that were named but could not
+    be loaded or failed their schema check; the page surfaces them and
+    ``--check-inputs`` gates on them.
+    """
+
+    curves: Mapping | None = None
+    trace: Mapping | None = None
+    lint: Mapping | None = None
+    certs: dict[str, Mapping] = field(default_factory=dict)
+    bench: list[Mapping] = field(default_factory=list)
+    metrics: dict[str, Mapping] = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+
+    def loaded_count(self) -> int:
+        return (
+            (1 if self.curves else 0)
+            + (1 if self.trace else 0)
+            + (1 if self.lint else 0)
+            + len(self.certs)
+            + len(self.bench)
+            + len(self.metrics)
+        )
+
+
+# ---------------------------------------------------------------------------
+# loading + validation
+# ---------------------------------------------------------------------------
+
+
+def _read_json(path: str | os.PathLike, problems: list[str]) -> Mapping | None:
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as e:
+        problems.append(f"{path}: unreadable ({e})")
+        return None
+    if not isinstance(doc, Mapping):
+        problems.append(f"{path}: not a JSON object")
+        return None
+    return doc
+
+
+def check_curves_schema(doc: Mapping, source: str = "curves") -> None:
+    """Raise ``ValueError`` unless ``doc`` is an ``iolb-curves/1`` artifact."""
+    if doc.get("schema") != CURVES_SCHEMA:
+        raise ValueError(
+            f"{source}: not an {CURVES_SCHEMA!r} artifact (schema={doc.get('schema')!r})"
+        )
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, Mapping):
+        raise ValueError(f"{source}: missing 'kernels' mapping")
+    for name, entry in kernels.items():
+        pts = entry.get("points") if isinstance(entry, Mapping) else None
+        if not isinstance(pts, list):
+            raise ValueError(f"{source}: kernel {name!r} has no 'points' list")
+        for p in pts:
+            if not isinstance(p, Mapping) or "S" not in p or "bounds" not in p:
+                raise ValueError(f"{source}: kernel {name!r} has a malformed point")
+
+
+def load_inputs(
+    *,
+    metrics: Sequence[str | os.PathLike] = (),
+    lint: str | os.PathLike | None = None,
+    certs: Sequence[str | os.PathLike] = (),
+    trace: str | os.PathLike | None = None,
+    curves: str | os.PathLike | None = None,
+    bench_history: str | os.PathLike | None = None,
+) -> ExploreData:
+    """Read and schema-check every named artifact into an :class:`ExploreData`.
+
+    Nothing raises: a missing/corrupt/mismatched-version artifact lands in
+    ``problems`` (one line naming the file and the reason) and its section
+    renders as a placeholder.  Callers that must not render a partial page
+    (``--check-inputs``, CI) gate on ``problems`` being empty.
+    """
+    data = ExploreData()
+
+    for path in metrics:
+        doc = _read_json(path, data.problems)
+        if doc is None:
+            continue
+        try:
+            check_metrics_schema(doc, str(path))
+        except ValueError as e:
+            data.problems.append(str(e))
+            continue
+        label = Path(path).stem
+        n = 2
+        while label in data.metrics:  # two dumps with one stem: keep both
+            label = f"{Path(path).stem}-{n}"
+            n += 1
+        data.metrics[label] = doc
+
+    if lint is not None:
+        doc = _read_json(lint, data.problems)
+        if doc is not None:
+            try:
+                # lazy: repro.analysis drags the frontend in; explore must
+                # stay stdlib-importable for the serve status path
+                from ..analysis import check_lint_schema
+
+                check_lint_schema(doc)
+                data.lint = doc
+            except ValueError as e:
+                data.problems.append(f"{lint}: {e}")
+
+    for path in certs:
+        doc = _read_json(path, data.problems)
+        if doc is None:
+            continue
+        if doc.get("schema") != _CERT_REPORT_SCHEMA:
+            data.problems.append(
+                f"{path}: not an {_CERT_REPORT_SCHEMA!r} report"
+                f" (schema={doc.get('schema')!r})"
+            )
+            continue
+        if not isinstance(doc.get("findings"), list) or "ok" not in doc:
+            data.problems.append(f"{path}: malformed cert report (findings/ok)")
+            continue
+        name = str(doc.get("kernel") or Path(path).stem)
+        data.certs[name] = doc
+
+    if trace is not None:
+        doc = _read_json(trace, data.problems)
+        if doc is not None:
+            if not isinstance(doc.get("traceEvents"), list):
+                data.problems.append(f"{trace}: no 'traceEvents' list (not a Chrome trace)")
+            else:
+                data.trace = doc
+
+    if curves is not None:
+        doc = _read_json(curves, data.problems)
+        if doc is not None:
+            try:
+                check_curves_schema(doc, str(curves))
+                data.curves = doc
+            except ValueError as e:
+                data.problems.append(str(e))
+
+    if bench_history is not None:
+        from .history import load_record  # stdlib sibling
+
+        d = Path(bench_history)
+        paths = sorted(d.glob("*.json")) if d.is_dir() else [d] if d.exists() else []
+        if not paths:
+            data.problems.append(f"{bench_history}: no bench history records found")
+        records = []
+        for p in paths:
+            try:
+                records.append(load_record(p))
+            except (OSError, ValueError) as e:
+                data.problems.append(f"{p}: {e}")
+        records.sort(key=lambda r: str(r.get("created", "")))
+        data.bench = records
+
+    obs.add("explore.artifacts_loaded", data.loaded_count())
+    return data
+
+
+# ---------------------------------------------------------------------------
+# bound-vs-measured curves
+# ---------------------------------------------------------------------------
+
+#: default cache-size sweep for the curve section
+DEFAULT_S_VALUES: tuple[int, ...] = (8, 16, 32, 64, 128)
+
+
+def compute_curves(
+    kernels: Sequence[str] | None = None,
+    s_values: Sequence[int] = DEFAULT_S_VALUES,
+    params: Mapping[str, Mapping[str, int]] | None = None,
+) -> dict:
+    """Derive + simulate each kernel across S into an ``iolb-curves/1`` doc.
+
+    Per kernel and cache size S: the classical K-partition bound, the best
+    hourglass-family bound (tightened / small-cache / split), the overall
+    best bound with its binding method, and the *measured* pebble-game
+    loads of the program order under Belady and LRU eviction — the
+    bound-vs-measured sandwich the paper's evaluation (and IOLB's) is
+    judged by.  Instances default to each kernel's ``default_params``.
+    """
+    from ..bounds import derive
+    from ..cdag import build_cdag
+    from ..ir import Tracer
+    from ..kernels import PAPER_KERNELS, get_kernel
+    from ..pebble import play_schedule
+
+    names = list(kernels) if kernels else list(PAPER_KERNELS)
+    out: dict = {"schema": CURVES_SCHEMA, "s_values": [int(s) for s in s_values], "kernels": {}}
+    for name in names:
+        kern = get_kernel(name)
+        inst = dict((params or {}).get(name) or kern.default_params)
+        with obs.span("explore.curves", kernel=name):
+            report = derive(kern)
+            g = build_cdag(kern.program, inst)
+            t = Tracer()
+            kern.program.runner(dict(inst), t)
+            points = []
+            for s in s_values:
+                env = {**inst, "S": int(s)}
+                bounds: dict[str, float] = {}
+                if report.classical is not None:
+                    try:
+                        bounds["classical"] = round(report.classical.evaluate(env), 3)
+                    except (ZeroDivisionError, KeyError):
+                        pass
+                hg_candidates = [report.hourglass, report.hourglass_small_cache]
+                hg_candidates += list(report.hourglass_split)
+                hg_best = None
+                for b in hg_candidates:
+                    if b is None:
+                        continue
+                    try:
+                        v = b.evaluate(env)
+                    except (ZeroDivisionError, KeyError):
+                        continue
+                    if hg_best is None or v > hg_best:
+                        hg_best = v
+                if hg_best is not None:
+                    bounds["hourglass"] = round(hg_best, 3)
+                point = {
+                    "S": int(s),
+                    "bounds": bounds,
+                    "measured_belady": play_schedule(g, t.schedule, int(s), "belady").loads,
+                    "measured_lru": play_schedule(g, t.schedule, int(s), "lru").loads,
+                }
+                try:
+                    best_b, best_v = report.best(env)
+                except ValueError:
+                    pass  # nothing evaluable at this S: curves only
+                else:
+                    point["best"] = round(best_v, 3)
+                    point["best_method"] = best_b.method
+                points.append(point)
+        obs.add("explore.curve_points", len(points))
+        out["kernels"][name] = {
+            "params": {k: int(v) for k, v in inst.items()},
+            "dominant": kern.dominant,
+            "points": points,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# section renderers
+# ---------------------------------------------------------------------------
+
+
+def _sec_curves(curves: Mapping | None) -> Raw:
+    if not curves or not curves.get("kernels"):
+        return section(
+            "curves",
+            "Bound vs measured",
+            str(
+                empty_note(
+                    "no curve data — run `iolb explore` without --no-curves, or"
+                    " pass --curves curves.json"
+                )
+            ),
+        )
+    blocks: list[str] = []
+    for name, entry in curves["kernels"].items():
+        pts = entry.get("points", [])
+        series, labels, dashes = [], [], []
+
+        def add_series(label: str, xs_ys, dashed: bool) -> None:
+            if xs_ys:
+                series.append({"label": label, "points": xs_ys, "dashed": dashed})
+                labels.append(label)
+                dashes.append(dashed)
+
+        add_series(
+            "measured (Belady)",
+            [(p["S"], p["measured_belady"]) for p in pts if "measured_belady" in p],
+            False,
+        )
+        add_series(
+            "measured (LRU)",
+            [(p["S"], p["measured_lru"]) for p in pts if "measured_lru" in p],
+            False,
+        )
+        add_series(
+            "hourglass bound",
+            [(p["S"], p["bounds"]["hourglass"]) for p in pts if "hourglass" in p.get("bounds", {})],
+            True,
+        )
+        add_series(
+            "classical bound",
+            [(p["S"], p["bounds"]["classical"]) for p in pts if "classical" in p.get("bounds", {})],
+            True,
+        )
+        rows = []
+        for p in pts:
+            lb = p.get("best", 0.0)
+            meas = p.get("measured_belady", 0)
+            rows.append(
+                [
+                    p["S"],
+                    p.get("best_method", "?"),
+                    fmt_num(lb),
+                    fmt_num(meas),
+                    f"{meas / lb:.2f}x" if lb else "n/a",
+                ]
+            )
+        param_txt = ", ".join(f"{k}={v}" for k, v in entry.get("params", {}).items())
+        blocks.append(
+            f"<h3>{esc(name)}</h3>"
+            f'<p class="desc">at {esc(param_txt)}'
+            + (f" · dominant {esc(entry['dominant'])}" if entry.get("dominant") else "")
+            + "</p>"
+            + str(line_chart(series, x_label="cache size S", y_label="loads"))
+            + str(legend(labels, dashes))
+            + str(
+                details(
+                    "gap table",
+                    str(table(["S", "binding method", "best bound", "measured", "gap"], rows)),
+                )
+            )
+        )
+    return section(
+        "curves",
+        "Bound vs measured",
+        "".join(blocks),
+        subtitle=(
+            "derived lower bounds vs simulated pebble-game misses across cache"
+            " sizes (log-log); dashed = derived bound, solid = measured"
+        ),
+    )
+
+
+def _sec_flame(trace: Mapping | None) -> Raw:
+    if not trace:
+        return section(
+            "flame",
+            "Derivation profile",
+            str(empty_note("no Chrome trace — produce one with --trace-out and pass --trace")),
+        )
+    events = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+    totals: dict[str, dict[str, float]] = {}
+    for e in events:
+        row = totals.setdefault(str(e.get("name", "?")), {"count": 0, "dur": 0.0})
+        row["count"] += 1
+        row["dur"] += float(e.get("dur", 0.0))
+    top = sorted(totals.items(), key=lambda kv: -kv[1]["dur"])[:12]
+    rows = [
+        [Raw(f'<span class="mono">{esc(name)}</span>'), int(row["count"]), fmt_us(row["dur"])]
+        for name, row in top
+    ]
+    return section(
+        "flame",
+        "Derivation profile",
+        str(flamegraph(trace))
+        + str(details("hottest spans", str(table(["span", "count", "total wall"], rows)))),
+        subtitle=f"{len(events)} spans from the Chrome trace_event artifact",
+    )
+
+
+_SEV_BADGE = {"error": "bad", "warning": "warn", "info": ""}
+
+
+def _lint_reports(lint: Mapping) -> dict[str, Mapping]:
+    if "reports" in lint:
+        return dict(lint["reports"])
+    return {str(lint.get("program", "?")): lint}
+
+
+def _sec_lint(lint: Mapping | None) -> Raw:
+    if not lint:
+        return section(
+            "lint",
+            "Lint diagnostics",
+            str(empty_note("no lint report — generate one with `iolb lint all --json`")),
+        )
+    blocks: list[str] = []
+    for name, rep in _lint_reports(lint).items():
+        counts = rep.get("summary", {})
+        chips = " ".join(
+            str(badge(f"{counts.get(sev, 0)} {sev}", _SEV_BADGE[sev]))
+            for sev in ("error", "warning", "info")
+        )
+        rows = []
+        for d in rep.get("diagnostics", []):
+            span = d.get("span")
+            where = f"{span['line']}:{span['col']}" if span else "—"
+            msg = esc(d.get("message", ""))
+            if d.get("hint"):
+                msg += f'<br><span class="desc">hint: {esc(d["hint"])}</span>'
+            rows.append(
+                [
+                    badge(d.get("severity", "?"), _SEV_BADGE.get(d.get("severity"), "")),
+                    Raw(f'<span class="mono">{esc(d.get("code", "?"))}</span>'),
+                    Raw(f'<span class="mono">{esc(d.get("stmt") or "—")}</span>'),
+                    where,
+                    Raw(msg),
+                ]
+            )
+        body = (
+            str(table(["severity", "code", "stmt", "span", "message"], rows))
+            if rows
+            else str(empty_note("clean — no diagnostics"))
+        )
+        blocks.append(f"<h3>{esc(name)}</h3><p>{chips}</p>{body}")
+    return section(
+        "lint",
+        "Lint diagnostics",
+        "".join(blocks),
+        subtitle="static-analysis findings (A001–A008) with source spans — iolb-lint/1",
+    )
+
+
+def _sec_certs(certs: Mapping[str, Mapping]) -> Raw:
+    if not certs:
+        return section(
+            "certs",
+            "Certificates",
+            str(
+                empty_note(
+                    "no certificate check reports — generate with"
+                    " `iolb derive K --cert c.json && iolb cert check c.json --json r.json`"
+                )
+            ),
+        )
+    rows = []
+    for name in sorted(certs):
+        rep = certs[name]
+        ok = bool(rep.get("ok"))
+        findings = rep.get("findings", [])
+        notes = (
+            "; ".join(f"[{f.get('code')}] {f.get('message', '')}" for f in findings[:4])
+            + (" …" if len(findings) > 4 else "")
+            if findings
+            else "—"
+        )
+        rows.append(
+            [
+                Raw(f'<span class="mono">{esc(name)}</span>'),
+                badge("accepted" if ok else "REJECTED", "ok" if ok else "bad"),
+                len(rep.get("checks_run", [])),
+                len(findings),
+                notes,
+            ]
+        )
+    return section(
+        "certs",
+        "Certificates",
+        str(table(["kernel", "verdict", "checks run", "findings", "notes"], rows)),
+        subtitle="independent re-check outcomes of the iolb-cert/1 proof objects",
+    )
+
+
+def _sec_bench(records: Sequence[Mapping]) -> Raw:
+    if not records:
+        return section(
+            "bench",
+            "Bench trends",
+            str(empty_note("no bench history — run `iolb bench` to start one")),
+        )
+    return section(
+        "bench",
+        "Bench trends",
+        str(render_trend_sections(records)),
+        subtitle=f"{len(records)} iolb-bench/1 record(s); median wall seconds per entry",
+    )
+
+
+def _sec_metrics(metrics: Mapping[str, Mapping]) -> Raw:
+    if not metrics:
+        return section(
+            "metrics",
+            "Metrics",
+            str(empty_note("no metrics dumps — produce one with --metrics-json and pass --metrics")),
+        )
+    blocks: list[str] = []
+    for label, dump in metrics.items():
+        meta = dump.get("meta", {})
+        env = dump.get("env") or {}
+        gauges = dump.get("gauges", {})
+        counters = dump.get("counters", {})
+        agg = dump.get("aggregates", {})
+        tiles = "".join(
+            str(stat_tile(name, f"{gauges[name]:g}" if isinstance(gauges[name], float) else str(gauges[name])))
+            for name in sorted(gauges)
+        )
+        top = sorted(agg.items(), key=lambda kv: -kv[1]["wall_us"])[:10]
+        spans_tbl = (
+            str(
+                table(
+                    ["span path", "count", "wall", "cpu"],
+                    [
+                        [
+                            Raw(f'<span class="mono">{esc(p)}</span>'),
+                            int(row["count"]),
+                            fmt_us(row["wall_us"]),
+                            fmt_us(row["cpu_us"]),
+                        ]
+                        for p, row in top
+                    ],
+                )
+            )
+            if top
+            else str(empty_note("no spans recorded"))
+        )
+        counter_rows = [
+            [Raw(f'<span class="mono">{esc(n)}</span>'), fmt_num(counters[n])]
+            for n in sorted(counters)
+        ]
+        blocks.append(
+            f"<h3>{esc(label)}</h3>"
+            f'<p class="desc">command: {esc(meta.get("command", "?"))}'
+            f' · python {esc(env.get("python", "?"))}</p>'
+            + (f'<div class="tiles">{tiles}</div>' if tiles else "")
+            + spans_tbl
+            + (
+                str(details(f"{len(counter_rows)} counters", str(table(["counter", "value"], counter_rows))))
+                if counter_rows
+                else ""
+            )
+        )
+    return section(
+        "metrics",
+        "Metrics",
+        "".join(blocks),
+        subtitle="iolb-metrics/1 dumps: gauges, hottest span paths, work counters",
+    )
+
+
+# ---------------------------------------------------------------------------
+# the page
+# ---------------------------------------------------------------------------
+
+
+def render_explore(
+    data: ExploreData,
+    *,
+    title: str = "iolb explore — system report",
+    live: Mapping | None = None,
+    refresh_s: int | None = None,
+    generated: str = "",
+) -> str:
+    """The explorer page: six sections, nav, problems banner, no externals.
+
+    ``live`` is the compact operational summary of a running ``iolb serve``
+    (its ``/v1/stats`` body); when given, a service tile row leads the page
+    and ``refresh_s`` usually accompanies it so the browser re-pulls
+    ``/status`` with plain ``<meta http-equiv=refresh>`` — no scripts.
+    """
+    with obs.span("explore.render"):
+        parts: list[str] = [str(nav(SECTIONS))]
+
+        if data.problems:
+            items = "".join(f"<li>{esc(p)}</li>" for p in data.problems)
+            parts.append(
+                '<section class="panel"><h2>'
+                + str(badge(f"{len(data.problems)} artifact problem(s)", "warn"))
+                + f"</h2><ul>{items}</ul></section>"
+            )
+
+        if live is not None:
+            hit_rate = live.get("hit_rate", 0.0)
+            tiles = [
+                stat_tile("requests", fmt_num(live.get("requests", 0))),
+                stat_tile("executed", fmt_num(live.get("executed", 0))),
+                stat_tile("hit rate", f"{hit_rate:.2%}" if isinstance(hit_rate, float) else str(hit_rate)),
+                stat_tile("p50 latency", f"{live.get('latency_p50_ms', 0.0):g}ms"),
+                stat_tile("p99 latency", f"{live.get('latency_p99_ms', 0.0):g}ms"),
+                stat_tile("queue depth", fmt_num(live.get("queue_depth", 0))),
+                stat_tile("in flight", fmt_num(live.get("inflight", 0))),
+                stat_tile("errors", fmt_num(live.get("errors", 0))),
+                stat_tile("uptime", f"{live.get('uptime_s', 0.0):g}s"),
+                stat_tile(
+                    "workers",
+                    str(live.get("workers", 0)) or "inline",
+                    note=str(live.get("backend") or "backend off"),
+                ),
+            ]
+            parts.append(
+                '<section class="panel" id="service"><h2>Service</h2>'
+                f'<div class="tiles">{"".join(str(t) for t in tiles)}</div></section>'
+            )
+
+        parts.append(str(_sec_curves(data.curves)))
+        parts.append(str(_sec_flame(data.trace)))
+        parts.append(str(_sec_lint(data.lint)))
+        parts.append(str(_sec_certs(data.certs)))
+        parts.append(str(_sec_bench(data.bench)))
+        parts.append(str(_sec_metrics(data.metrics)))
+        obs.add("explore.sections_rendered", len(SECTIONS))
+
+        loaded = data.loaded_count()
+        subtitle = f"{loaded} artifact(s)"
+        if generated:
+            subtitle += f" · {esc(generated)}"
+        return page(
+            title,
+            "".join(parts),
+            subtitle=subtitle,
+            footer=(
+                "self-contained report — no scripts, no external resources; "
+                "generated by <code>iolb explore</code> over "
+                f"{esc(METRICS_SCHEMA)}, iolb-bench/1, {esc(_LINT_SCHEMA)}, "
+                f"{esc(_CERT_REPORT_SCHEMA)}, {esc(CURVES_SCHEMA)} and Chrome"
+                " trace_event artifacts"
+            ),
+            refresh_s=refresh_s,
+        )
+
+
+def render_status(
+    metrics: Mapping,
+    stats: Mapping,
+    *,
+    title: str = "iolb serve — status",
+    refresh_s: int | None = 5,
+) -> str:
+    """The live service status page (``GET /status`` of ``iolb serve``).
+
+    Same renderer as the static report, fed from the server's private
+    always-on registry: the ``iolb-metrics/1`` dump becomes the metrics
+    section (hit-rate / latency gauges included) and the compact stats
+    summary becomes the leading tile row.  Meta-refresh keeps it live
+    without any script or external resource.
+    """
+    data = ExploreData(metrics={"live": metrics})
+    return render_explore(
+        data,
+        title=title,
+        live=stats,
+        refresh_s=refresh_s,
+        generated="live service telemetry",
+    )

@@ -27,19 +27,30 @@ on a service dump exactly as on a CLI profile.  p50/p99 latency, queue
 depth, and hit rate are maintained as gauges over a sliding latency
 window.
 
+Every response carries an ``X-Iolb-Request-Id`` header (the request-key
+prefix plus a monotonic sequence number) and emits one structured access
+log line on stderr — method, path, key, status, latency in µs, and the
+cache-hit/coalesced flag — so a failed request in a client log correlates
+directly with pool-side errors and the ``serve.*`` span of the same key.
+
 Endpoints::
 
     POST /v1/derive | /v1/simulate | /v1/tune | /v1/lint
     GET  /healthz      liveness + queue depth
     GET  /v1/stats     compact operational summary (JSON)
     GET  /v1/metrics   full iolb-metrics/1 dump
+    GET  /status       live HTML explorer page (repro.obs.explore)
+    GET  /status.json  the stats + metrics the page is rendered from
 """
 
 from __future__ import annotations
 
 import collections
+import hashlib
+import itertools
 import json
 import queue
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -139,6 +150,7 @@ class IolbServer:
             maxlen=_LATENCY_WINDOW
         )
         self._lat_lock = threading.Lock()
+        self._req_seq = itertools.count(1)  # next() is atomic under the GIL
         self._started_at = time.time()
         self._httpd = ThreadingHTTPServer((host, port), self._make_handler())
         self._httpd.daemon_threads = True
@@ -260,6 +272,21 @@ class IolbServer:
                 }
             return respond(pending.ok, pending.result, coalesced=True)
 
+        # Re-check the backend now that we hold the pending slot.  A twin
+        # that was executing during our first memo check may have stored its
+        # result and left the in-flight map in between the two checks above;
+        # _finish stores before it pops, so whoever observes the pop must
+        # observe the stored entry here — without this, that window causes a
+        # duplicate execution of the same key.
+        if self.memo is not None:
+            hit = self.memo.get_raw(key)
+            if hit is not None:
+                self.registry.add("serve.backend_hits")
+                pending.resolve(True, hit)
+                with self._lock:
+                    self._inflight.pop(key, None)
+                return respond(True, hit, cached=True)
+
         if self._pool is not None:
             with self._lock:
                 job_id = self._next_job_id
@@ -378,6 +405,28 @@ class IolbServer:
             meta={"command": "serve", "workers": self._workers, **(meta or {})},
         )
 
+    def next_request_id(self, key: str | None = None, path: str = "") -> str:
+        """A correlatable per-response id: ``<key prefix>-<monotonic seq>``.
+
+        For keyed (POST) requests the prefix is the request key itself, so
+        the id lines up with the ``key`` field of the response body and the
+        ``serve.*`` span of the same request; keyless paths (GET endpoints,
+        404s) hash the path instead so every response still gets an id.
+        """
+        seed = key or hashlib.sha256(path.encode()).hexdigest()
+        return f"{seed[:8]}-{next(self._req_seq)}"
+
+    def status_page(self) -> str:
+        """The live HTML explorer page behind ``GET /status``.
+
+        The same renderer as ``iolb explore`` (``repro.obs.explore``), fed
+        from the private always-on registry and the operational summary —
+        zero external resources, meta-refresh to stay current.
+        """
+        from ..obs.explore import render_status
+
+        return render_status(self.metrics(), self.stats())
+
     # -- the HTTP handler --------------------------------------------------
     def _make_handler(self):
         server = self
@@ -387,17 +436,59 @@ class IolbServer:
             server_version = "iolb-serve/1"
 
             def log_message(self, fmt, *args):  # noqa: N802 — stdlib name
-                pass  # request logging is the metrics' job, not stderr's
+                pass  # replaced by the structured access log in _send
 
-            def _send_json(self, status: int, body: dict) -> None:
-                payload = json.dumps(body).encode()
+            def _send(
+                self,
+                status: int,
+                payload: bytes,
+                ctype: str,
+                *,
+                key: str | None = None,
+                flag: str = "-",
+            ) -> None:
+                """Write the response with its request id, then the access log.
+
+                One line per request on stderr: method, path, key prefix,
+                status, latency in µs, and the cache-hit/coalesced flag —
+                enough to correlate a client-side failure with the matching
+                pool-side error and ``serve.*`` span.
+                """
+                rid = server.next_request_id(key, self.path)
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(payload)))
+                self.send_header("X-Iolb-Request-Id", rid)
                 self.end_headers()
                 self.wfile.write(payload)
+                us = (time.perf_counter() - getattr(self, "_t0", time.perf_counter())) * 1e6
+                print(
+                    f"iolb-serve: method={self.command} path={self.path}"
+                    f" key={key[:12] if key else '-'} status={status}"
+                    f" latency_us={round(us)} hit={flag} id={rid}",
+                    file=sys.stderr,
+                )
+
+            def _send_json(self, status: int, body: dict) -> None:
+                key = body.get("key") if isinstance(body, Mapping) else None
+                if not isinstance(body, Mapping) or "cached" not in body:
+                    flag = "-"
+                elif body.get("cached"):
+                    flag = "cached"
+                elif body.get("coalesced"):
+                    flag = "coalesced"
+                else:
+                    flag = "miss"
+                self._send(
+                    status,
+                    json.dumps(body).encode(),
+                    "application/json",
+                    key=key,
+                    flag=flag,
+                )
 
             def do_GET(self):  # noqa: N802 — stdlib name
+                self._t0 = time.perf_counter()
                 if self.path == "/healthz":
                     server.refresh_gauges()
                     self._send_json(
@@ -416,10 +507,22 @@ class IolbServer:
                     self._send_json(200, server.stats())
                 elif self.path == "/v1/metrics":
                     self._send_json(200, server.metrics())
+                elif self.path == "/status":
+                    self._send(200, server.status_page().encode(), "text/html; charset=utf-8")
+                elif self.path == "/status.json":
+                    self._send_json(
+                        200,
+                        {
+                            "schema": protocol.SERVE_SCHEMA,
+                            "stats": server.stats(),
+                            "metrics": server.metrics(),
+                        },
+                    )
                 else:
                     self._send_json(404, {"error": f"no such endpoint {self.path}"})
 
             def do_POST(self):  # noqa: N802 — stdlib name
+                self._t0 = time.perf_counter()
                 parts = self.path.strip("/").split("/")
                 if len(parts) != 2 or parts[0] != "v1" or parts[1] not in protocol.KINDS:
                     self._send_json(

@@ -102,6 +102,7 @@ class TestRunner:
             "lint.kernels",
             "serve.hit_burst",
             "serve.compute_burst",
+            "explore.render",
         ]
         assert [b.name for b in obs_bench.select_benchmarks(suite, ["derive"])] == names[:5]
         assert [b.name for b in obs_bench.select_benchmarks(suite, ["verify.smoke"])] == [

@@ -1,0 +1,425 @@
+"""Tests for the whole-system explorer: loaders, curves, rendering, CLI.
+
+The contract under test is the one the CI artifact pipeline depends on:
+
+* the report is **self-contained** — no ``http(s)://`` in any ``src`` or
+  ``href``, no ``<script>``, one file;
+* all six sections are present with stable anchors, whether or not their
+  artifact was provided (placeholders degrade, never disappear);
+* every externally-sourced string (kernel names, lint messages, counter
+  keys) is HTML-escaped by the shared ``repro.obs._html`` helpers, so a
+  kernel named ``<b>&evil"`` cannot break the document;
+* ``iolb explore --check-inputs`` exits nonzero on unreadable or
+  version-mismatched artifacts instead of rendering a partial page;
+* the computed bound-vs-measured curves are sound (bound <= measured).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs import _svg
+from repro.obs._html import Raw, esc, table
+from repro.obs.core import Registry
+from repro.obs.explore import (
+    CURVES_SCHEMA,
+    SECTIONS,
+    ExploreData,
+    check_curves_schema,
+    compute_curves,
+    load_inputs,
+    render_explore,
+    render_status,
+)
+from repro.obs.sinks import chrome_trace_dict, metrics_dict
+
+# ---------------------------------------------------------------------------
+# artifact builders (small, valid instances of each family)
+# ---------------------------------------------------------------------------
+
+EVIL = '<b>&evil"'
+
+
+def _metrics_doc(counter: str = "pebble.loads") -> dict:
+    reg = Registry()
+    with reg.span("bounds.derive", kernel="mgs"):
+        with reg.span("bounds.derive/polyhedral"):
+            pass
+    reg.add(counter, 42)
+    reg.gauge("serve.hit_rate", 0.5)
+    return metrics_dict(reg, meta={"command": "test"})
+
+
+def _trace_doc() -> dict:
+    reg = Registry()
+    with reg.span("bounds.derive", kernel="mgs"):
+        with reg.span("bounds.derive/polyhedral"):
+            pass
+    return chrome_trace_dict(reg)
+
+
+def _lint_doc(message: str = "loop bound is degenerate") -> dict:
+    return {
+        "schema": "iolb-lint/1",
+        "program": "mgs",
+        "params": {"M": 8, "N": 5},
+        "summary": {"error": 0, "warning": 1, "info": 0},
+        "ok": True,
+        "passes": ["structure"],
+        "diagnostics": [
+            {
+                "code": "A003",
+                "severity": "warning",
+                "message": message,
+                "stmt": "SU",
+                "span": {"line": 3, "col": 7, "end_line": 3, "end_col": 12},
+                "hint": None,
+            }
+        ],
+    }
+
+
+def _cert_doc(kernel: str = "mgs", ok: bool = True) -> dict:
+    return {
+        "schema": "iolb-cert-report/1",
+        "kernel": kernel,
+        "ok": ok,
+        "exit_code": 0 if ok else 1,
+        "checks_run": ["schema", "arithmetic"],
+        "findings": [] if ok else [{"code": "C002", "message": "bad arithmetic"}],
+    }
+
+
+def _bench_records() -> list[dict]:
+    return [
+        {
+            "created": f"2026-01-0{i}T00:00:00Z",
+            "env": {"git_sha": f"sha{i}", "python": "3.11"},
+            "results": {
+                "derive.mgs": {
+                    "wall_s": {"median": 0.1 * i, "min": 0.09, "mad": 0.01},
+                    "counters": {"pebble.loads": 10},
+                }
+            },
+        }
+        for i in (1, 2)
+    ]
+
+
+def _curves_doc(kernel: str = "mgs") -> dict:
+    return {
+        "schema": CURVES_SCHEMA,
+        "s_values": [8, 16],
+        "kernels": {
+            kernel: {
+                "params": {"M": 6, "N": 4},
+                "dominant": "SU",
+                "points": [
+                    {
+                        "S": 8,
+                        "bounds": {"classical": 40.0, "hourglass": 55.0},
+                        "best": 55.0,
+                        "best_method": "hourglass",
+                        "measured_belady": 80,
+                        "measured_lru": 95,
+                    },
+                    {
+                        "S": 16,
+                        "bounds": {"classical": 30.0, "hourglass": 41.0},
+                        "best": 41.0,
+                        "best_method": "hourglass",
+                        "measured_belady": 60,
+                        "measured_lru": 70,
+                    },
+                ],
+            }
+        },
+    }
+
+
+def _full_data() -> ExploreData:
+    return ExploreData(
+        curves=_curves_doc(),
+        trace=_trace_doc(),
+        lint=_lint_doc(),
+        certs={"mgs": _cert_doc()},
+        bench=_bench_records(),
+        metrics={"run": _metrics_doc()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# rendering: sections, self-containment, escaping
+# ---------------------------------------------------------------------------
+
+
+class TestRenderExplore:
+    def test_all_six_sections_with_full_data(self):
+        html = render_explore(_full_data())
+        for anchor, title in SECTIONS:
+            assert f'id="{anchor}"' in html
+            assert title in html
+            assert f'href="#{anchor}"' in html  # nav entry
+
+    def test_all_six_sections_survive_empty_data(self):
+        html = render_explore(ExploreData())
+        for anchor, _ in SECTIONS:
+            assert f'id="{anchor}"' in html
+        assert html.count('class="empty"') >= 5  # placeholders, not silence
+
+    def test_zero_external_fetches_and_no_scripts(self):
+        html = render_explore(_full_data())
+        assert not re.search(r'(?:src|href)\s*=\s*"https?://', html)
+        assert "<script" not in html.lower()
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_problems_surface_in_banner(self):
+        data = ExploreData(problems=["a.json: unreadable (boom)"])
+        html = render_explore(data)
+        assert "1 artifact problem(s)" in html
+        assert "a.json: unreadable (boom)" in html
+
+    def test_live_tiles_and_meta_refresh(self):
+        stats = {
+            "requests": 12,
+            "executed": 4,
+            "hit_rate": 0.6667,
+            "latency_p50_ms": 1.5,
+            "latency_p99_ms": 9.0,
+            "queue_depth": 0,
+            "inflight": 0,
+            "errors": 0,
+            "uptime_s": 3.2,
+            "workers": 2,
+            "backend": "/tmp/memo",
+        }
+        html = render_status(_metrics_doc(), stats)
+        assert '<meta http-equiv="refresh" content="5">' in html
+        assert "hit rate" in html and "66.67%" in html
+        assert 'id="metrics"' in html  # live registry dump lands in a section
+
+    def test_escaping_kernel_names_lint_messages_counter_keys(self):
+        data = ExploreData(
+            curves=_curves_doc(kernel=EVIL),
+            lint=_lint_doc(message=f"bad stmt {EVIL}"),
+            certs={EVIL: _cert_doc(kernel=EVIL, ok=False)},
+            metrics={"run": _metrics_doc(counter=f"pebble.{EVIL}.loads")},
+        )
+        html = render_explore(data)
+        assert EVIL not in html  # raw marker never reaches the document
+        assert "&lt;b&gt;&amp;evil&quot;" in html
+        assert html.count("<b>") == 0
+
+    def test_escaping_in_bench_trend_section(self):
+        recs = _bench_records()
+        recs[0]["results"][EVIL] = recs[0]["results"].pop("derive.mgs")
+        recs[1]["results"][EVIL] = recs[1]["results"].pop("derive.mgs")
+        html = render_explore(ExploreData(bench=recs))
+        assert EVIL not in html
+        assert "&lt;b&gt;&amp;evil&quot;" in html
+
+    def test_shared_table_helper_escapes_cells_unless_raw(self):
+        html = str(table(["h"], [[EVIL], [Raw("<i>ok</i>")]]))
+        assert "&lt;b&gt;&amp;evil&quot;" in html
+        assert "<i>ok</i>" in html
+        assert esc(Raw("<i>")) == "<i>"
+
+
+# ---------------------------------------------------------------------------
+# the sparkline degenerate-series guard (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestSparklineGuard:
+    def test_single_point_renders_dot_only_at_mid_height(self):
+        svg = str(_svg.sparkline([("one", 1.5)], w=260, h=52))
+        assert "<polyline" not in svg and "<polygon" not in svg
+        assert 'cy="26.0"' in svg  # mid-height, not on the axis
+        assert svg.count('class="pt"') == 1
+
+    def test_constant_series_is_flat_mid_height_line(self):
+        svg = str(_svg.sparkline([("a", 2.0), ("b", 2.0), ("c", 2.0)], w=260, h=52))
+        assert "<polyline" in svg
+        assert svg.count('cy="26.0"') >= 3  # every point at h/2
+        assert 'y2="46"' in svg  # the baseline axis is still drawn
+
+    def test_empty_series_renders_axis_only(self):
+        svg = str(_svg.sparkline([]))
+        assert "<svg" in svg and "axis" in svg
+        assert "circle" not in svg and "polyline" not in svg
+
+
+# ---------------------------------------------------------------------------
+# curves: computation soundness + schema
+# ---------------------------------------------------------------------------
+
+
+class TestCurves:
+    def test_computed_curves_are_sound_and_schema_clean(self):
+        doc = compute_curves(kernels=["mgs"], s_values=(8, 16))
+        check_curves_schema(doc)
+        pts = doc["kernels"]["mgs"]["points"]
+        assert [p["S"] for p in pts] == [8, 16]
+        for p in pts:
+            assert {"classical", "hourglass"} <= set(p["bounds"])
+            # lower bound soundness: best bound <= simulated loads
+            assert p["best"] <= p["measured_belady"] + 1e-9
+            assert p["measured_belady"] <= p["measured_lru"]
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            {"schema": "other/1", "kernels": {}},
+            {"schema": CURVES_SCHEMA},
+            {"schema": CURVES_SCHEMA, "kernels": {"mgs": {}}},
+            {"schema": CURVES_SCHEMA, "kernels": {"mgs": {"points": [{"S": 8}]}}},
+        ],
+    )
+    def test_check_curves_schema_rejects(self, doc):
+        with pytest.raises(ValueError):
+            check_curves_schema(doc)
+
+
+# ---------------------------------------------------------------------------
+# load_inputs: strict per-artifact validation
+# ---------------------------------------------------------------------------
+
+
+class TestLoadInputs:
+    def test_clean_artifacts_load_without_problems(self, tmp_path):
+        m = tmp_path / "metrics.json"
+        m.write_text(json.dumps(_metrics_doc()))
+        ln = tmp_path / "lint.json"
+        ln.write_text(json.dumps(_lint_doc()))
+        c = tmp_path / "cert.json"
+        c.write_text(json.dumps(_cert_doc()))
+        t = tmp_path / "trace.json"
+        t.write_text(json.dumps(_trace_doc()))
+        cv = tmp_path / "curves.json"
+        cv.write_text(json.dumps(_curves_doc()))
+        data = load_inputs(metrics=[m], lint=ln, certs=[c], trace=t, curves=cv)
+        assert data.problems == []
+        assert data.loaded_count() == 5
+        assert "mgs" in data.certs
+
+    def test_each_problem_is_reported_not_raised(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json")
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"schema": "bogus/9"}))
+        data = load_inputs(metrics=[missing, garbled, wrong], lint=wrong, certs=[wrong])
+        assert len(data.problems) == 5
+        assert data.loaded_count() == 0
+        assert any("unreadable" in p for p in data.problems)
+        assert any("bogus/9" in p for p in data.problems)
+
+    def test_bench_history_dir_and_single_file(self, tmp_path):
+        good = {
+            "schema": "iolb-bench/1",
+            "suite": "default",
+            "created": "2026-01-01T00:00:00Z",
+            "config": {"repeats": 2, "warmup": 1},
+            "env": {},
+            "meta": {},
+            "results": {},
+        }
+        d = tmp_path / "hist"
+        d.mkdir()
+        (d / "a.json").write_text(json.dumps(good))
+        (d / "bad.json").write_text("{")
+        data = load_inputs(bench_history=d)
+        assert len(data.bench) == 1
+        assert len(data.problems) == 1
+        data2 = load_inputs(bench_history=d / "a.json")
+        assert len(data2.bench) == 1 and not data2.problems
+        data3 = load_inputs(bench_history=tmp_path / "absent")
+        assert data3.problems and not data3.bench
+
+
+# ---------------------------------------------------------------------------
+# the CLI subcommand
+# ---------------------------------------------------------------------------
+
+
+class TestCliExplore:
+    def _write_artifacts(self, tmp_path):
+        paths = {}
+        for name, doc in [
+            ("metrics", _metrics_doc()),
+            ("lint", _lint_doc()),
+            ("cert", _cert_doc()),
+            ("trace", _trace_doc()),
+            ("curves", _curves_doc()),
+        ]:
+            p = tmp_path / f"{name}.json"
+            p.write_text(json.dumps(doc))
+            paths[name] = str(p)
+        return paths
+
+    def test_out_writes_single_self_contained_file(self, tmp_path, capsys):
+        paths = self._write_artifacts(tmp_path)
+        out = tmp_path / "report.html"
+        rc = main(
+            [
+                "explore",
+                "--out", str(out),
+                "--metrics", paths["metrics"],
+                "--lint", paths["lint"],
+                "--cert-report", paths["cert"],
+                "--trace", paths["trace"],
+                "--curves", paths["curves"],
+                "--bench-history", str(tmp_path / "absent-hist"),
+            ]
+        )
+        # the named-but-absent history dir is a problem, but not fatal
+        assert rc == 0
+        html = out.read_text()
+        for anchor, _ in SECTIONS:
+            assert f'id="{anchor}"' in html
+        assert not re.search(r'(?:src|href)\s*=\s*"https?://', html)
+        assert "explore report written" in capsys.readouterr().out
+
+    def test_check_inputs_exit_codes(self, tmp_path, capsys):
+        paths = self._write_artifacts(tmp_path)
+        ok_args = [
+            "explore", "--check-inputs",
+            "--metrics", paths["metrics"],
+            "--lint", paths["lint"],
+            "--cert-report", paths["cert"],
+        ]
+        assert main(ok_args) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "iolb-metrics/999"}))
+        rc = main(["explore", "--check-inputs", "--metrics", str(bad)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "iolb-metrics/999" in err
+        assert (tmp_path / "report.html").exists() is False  # no partial page
+
+    def test_check_inputs_rejects_mismatched_curves_version(self, tmp_path):
+        stale = tmp_path / "curves.json"
+        doc = _curves_doc()
+        doc["schema"] = "iolb-curves/0"
+        stale.write_text(json.dumps(doc))
+        assert main(["explore", "--check-inputs", "--curves", str(stale)]) == 1
+
+    def test_in_process_curves_for_requested_kernels(self, tmp_path):
+        out = tmp_path / "r.html"
+        rc = main(
+            [
+                "explore",
+                "--out", str(out),
+                "--kernels", "mgs",
+                "--curves-s", "8,16",
+                "--bench-history", str(tmp_path / "none"),
+            ]
+        )
+        assert rc == 0
+        html = out.read_text()
+        assert "<h3>mgs</h3>" in html
+        assert "measured (Belady)" in html

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import queue
+import re
 import threading
 import time
 import urllib.request
@@ -230,6 +231,93 @@ class TestInlineServer:
         assert c["serve.requests"] == 12
         assert c["serve.executed"] == 4  # one execution per distinct key
         assert c["serve.backend_hits"] + c.get("serve.coalesced", 0) == 8
+
+    def test_request_id_header_correlates_with_key(self, inline_server):
+        body = json.dumps({"kernel": "mgs", "s": 16}).encode()
+        rids = []
+        for _ in range(2):
+            req = urllib.request.Request(
+                f"{inline_server.url}/v1/simulate",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                rid = resp.headers["X-Iolb-Request-Id"]
+                payload = json.loads(resp.read().decode())
+            # the id prefix IS the request-key prefix -> grep-able across
+            # the response body, the access log and the serve.* span
+            assert rid.split("-")[0] == payload["key"][:8]
+            rids.append(rid)
+        seqs = [int(r.rsplit("-", 1)[1]) for r in rids]
+        assert seqs[1] > seqs[0]  # monotonic across requests
+        # keyless endpoints still carry an id
+        with urllib.request.urlopen(f"{inline_server.url}/healthz", timeout=30) as resp:
+            assert resp.headers["X-Iolb-Request-Id"]
+
+    def test_access_log_line_per_request(self, inline_server, capfd):
+        _post(
+            inline_server.url,
+            {"kind": "simulate", "payload": {"kernel": "mgs", "s": 12}},
+            60,
+        )
+        _post(
+            inline_server.url,
+            {"kind": "simulate", "payload": {"kernel": "mgs", "s": 12}},
+            60,
+        )
+        # the log line is written after the response bytes, so the client
+        # can observe the reply before the handler thread prints — poll
+        lines: list[str] = []
+        deadline = time.time() + 5.0
+        while len(lines) < 2 and time.time() < deadline:
+            err = capfd.readouterr().err
+            lines += [ln for ln in err.splitlines() if ln.startswith("iolb-serve:")]
+            if len(lines) < 2:
+                time.sleep(0.02)
+        assert len(lines) == 2
+        # lines are written after the response bytes, so arrival order is
+        # not request order — assert one miss + one cached, same key
+        for line in lines:
+            assert re.search(
+                r"method=POST path=/v1/simulate key=[0-9a-f]{12} status=200"
+                r" latency_us=\d+ hit=(miss|cached) id=[0-9a-f]{8}-\d+",
+                line,
+            ), line
+        assert sorted(ln.split(" hit=")[1].split(" ")[0] for ln in lines) == [
+            "cached",
+            "miss",
+        ]
+        keys = {re.search(r" key=([0-9a-f]{12}) ", ln).group(1) for ln in lines}
+        assert len(keys) == 1
+
+    def test_status_page_reflects_live_gauges(self, inline_server):
+        # half-hit burst first, so the page has real hit-rate/latency data
+        rep = run_load(inline_server.url, mixed_burst(repeat=2), concurrency=1)
+        assert rep.ok(), rep.summary()
+        req = urllib.request.Request(f"{inline_server.url}/status")
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/html")
+            assert resp.headers["X-Iolb-Request-Id"]
+            html = resp.read().decode()
+        # the same renderer as `iolb explore`: nav, sections, service tiles
+        for anchor in ("curves", "flame", "lint", "certs", "bench", "metrics"):
+            assert f'id="{anchor}"' in html
+        assert 'id="service"' in html
+        assert "hit rate" in html and "50.00%" in html  # 8 requests, 4 hits
+        assert "serve.latency_p50_ms" in html  # gauge from the live registry
+        assert "serve.hit_rate" in html
+        assert '<meta http-equiv="refresh" content="5">' in html
+        assert not re.search(r'(?:src|href)\s*=\s*"https?://', html)
+        assert "<script" not in html.lower()
+
+    def test_status_json_mirrors_page_inputs(self, inline_server):
+        run_load(inline_server.url, mixed_burst(repeat=2), concurrency=1)
+        status, doc = _get_json(f"{inline_server.url}/status.json")
+        assert status == 200
+        assert doc["stats"]["hit_rate"] == 0.5
+        check_schema(doc["metrics"])  # the page's metrics input is a valid dump
+        assert doc["metrics"]["counters"]["serve.requests"] == 8
 
 
 # ---------------------------------------------------------------------------
