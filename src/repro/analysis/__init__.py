@@ -38,6 +38,14 @@ from .diagnostics import (
     Diagnostic,
     check_lint_schema,
 )
+from .deps import (
+    DepPolyhedron,
+    SchedulePiece,
+    build_dependences,
+    check_order,
+    check_schedule,
+    check_tiled_legality,
+)
 from .directives import Directives, parse_directives
 from .passes import (
     PROGRAM_PASSES,
@@ -59,6 +67,12 @@ __all__ = [
     "analyze_ast",
     "Directives",
     "parse_directives",
+    "DepPolyhedron",
+    "SchedulePiece",
+    "build_dependences",
+    "check_schedule",
+    "check_order",
+    "check_tiled_legality",
 ]
 
 #: default per-parameter check value (same small-parameter philosophy as
@@ -117,6 +131,7 @@ def check_program(
     live_out=None,
     ast=None,
     dominant: str | None = None,
+    schedule: Mapping[str, object] | None = None,
 ) -> AnalysisReport:
     """Run every analyzer pass over ``program``; never raises.
 
@@ -128,7 +143,10 @@ def check_program(
     names arrays whose final values escape (default: the program's declared
     outputs, else every non-workspace array); ``ast`` is the front-end
     :class:`~repro.frontend.astnodes.Block` for the syntactic pass;
-    ``dominant`` targets the hourglass pass at a specific statement.
+    ``dominant`` targets the hourglass pass at a specific statement;
+    ``schedule`` proposes a schedule (statement name -> flat 2d+1 vector or
+    :class:`~repro.analysis.deps.SchedulePiece` sequence) for the
+    A009/A010 legality pass.
     """
     if params is None:
         params = {p: DEFAULT_PARAM for p in program.params}
@@ -164,6 +182,7 @@ def check_program(
             inputs=frozenset(inputs),
             live_out=frozenset(),
             dominant=dominant,
+            proposed_schedule=schedule,
         )
         if live_out is not None:
             ctx.live_out = frozenset(live_out)
@@ -198,6 +217,7 @@ def check_source(
     inputs=(),
     live_out=None,
     dominant: str | None = None,
+    schedule: Mapping[str, object] | None = None,
 ) -> tuple[AnalysisReport, Program | None]:
     """Parse, lower and analyze a figure-dialect source string.
 
@@ -250,6 +270,7 @@ def check_source(
         inputs=inputs,
         live_out=live_out,
         dominant=dominant,
+        schedule=schedule,
     )
     if ast_diags:
         report.diagnostics = ast_diags + report.diagnostics

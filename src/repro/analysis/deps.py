@@ -1,0 +1,660 @@
+"""Symbolic dependence analysis: polyhedra, distances, schedule legality.
+
+This module lifts the analyzer from enumeration to *parametric* reasoning,
+the way IOLB (Olivry et al.) and the near-optimal LU work reason about data
+movement: every fact below is decided by Fourier–Motzkin elimination over
+symbolic parameters, with integer enumeration used only to produce concrete
+witnesses for diagnostics.
+
+* :func:`build_dependences` — construct the dependence polyhedra of a
+  lowered :class:`~repro.ir.Program` directly from its memory accesses:
+  for every ordered statement pair and every shared array, the flow
+  (write→read), anti (read→write) and output (write→write) relations.  A
+  :class:`DepPolyhedron` holds the relation as a disjunction of
+  :class:`~repro.polyhedral.iset.ISet` branches (one per lexicographic
+  precedence level of the original 2d+1 schedule), with source and target
+  dimensions renamed apart (``k`` → ``k__s`` / ``k__t``).  Branches proved
+  integer-empty by :meth:`ISet.definitely_empty` are kept separately so the
+  differential self-check can replay them.
+* :meth:`DepPolyhedron.distance_signs` — per-level symbolic signs of the
+  dependence distance vector (``+``, ``0``, ``0+``, ``-``, ``0-``, ``*``),
+  again via FM emptiness of the sign's complement.
+* :func:`check_schedule` — the legality oracle behind diagnostics
+  A009–A010: given a *proposed* schedule (flat 2d+1-style vectors, or
+  guarded :class:`SchedulePiece` lists with block/tile ``floor`` dimensions),
+  verify that every dependence target runs strictly after its source.  A
+  violation set that FM cannot refute is searched for an integer witness at
+  probe parameters: a witness is a hard A009 error with the concrete
+  violated instance pair; a rationally-feasible set with no witness is an
+  honest A010 "undecided" warning.
+* :func:`check_order` — the enumeration-level cousin for explicit instance
+  orders (pebble schedules, traced tiled executions).
+* :func:`pass_deps` — the analyzer pass: emits the A011 dependence summary,
+  runs the legality check when a schedule was proposed, and cross-checks
+  every symbolic emptiness proof against enumeration (A012 — an A012 can
+  only mean a bug in one of the two decision procedures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from .. import obs
+from ..ir.program import Access, Program, Statement
+from ..polyhedral.affine import LinExpr, aff, var
+from ..polyhedral.iset import EQ, GE, Constraint, ISet
+from ..polyhedral.lexorder import lex_le_branches, lex_lt_branches
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "DepPolyhedron",
+    "SchedulePiece",
+    "ScheduleViolation",
+    "build_dependences",
+    "check_schedule",
+    "check_order",
+    "check_tiled_legality",
+    "pass_deps",
+]
+
+#: default probe value per parameter for witness search (mirrors
+#: ``repro.analysis.DEFAULT_PARAM`` without importing the package root)
+PROBE_PARAM = 6
+
+_SRC = "__s"
+_TGT = "__t"
+
+#: (kind, source access attribute, target access attribute)
+_KINDS = (
+    ("flow", "writes", "reads"),
+    ("anti", "reads", "writes"),
+    ("output", "writes", "writes"),
+)
+
+
+@dataclass(frozen=True)
+class DepPolyhedron:
+    """One dependence relation between two statements through one array.
+
+    ``branches`` are the non-empty precedence branches (their union is the
+    relation); ``pruned`` are branches Fourier–Motzkin proved integer-empty,
+    kept for the differential self-check.  ``dims`` is the renamed source
+    dims followed by the renamed target dims.
+    """
+
+    kind: str  # "flow" | "anti" | "output"
+    src: str
+    tgt: str
+    array: str
+    src_access: Access
+    tgt_access: Access
+    src_dims: tuple[str, ...]
+    tgt_dims: tuple[str, ...]
+    dims: tuple[str, ...]
+    branches: tuple[ISet, ...]
+    pruned: tuple[ISet, ...]
+
+    def exists(self) -> bool:
+        """Whether FM could not refute the relation (it may hold points)."""
+        return bool(self.branches)
+
+    def distance_signs(self, *, stop_at_carry: bool = False) -> tuple[str, ...]:
+        """Symbolic sign of the distance per shared loop level.
+
+        For each level where source and target use the same loop name, the
+        sign of ``d__t - d__s`` over the whole relation: ``"+"`` / ``"0"`` /
+        ``"-"`` when proved strict, ``"0+"`` / ``"0-"`` for weak bounds,
+        ``"*"`` when FM proves neither side.  With ``stop_at_carry`` the
+        scan stops after the first level whose sign is not ``"0"`` (the
+        carrying level — classic dependence-vector shape).
+        """
+        signs: list[str] = []
+        for ds, dt in zip(self.src_dims, self.tgt_dims):
+            if ds != dt:
+                break
+            delta = var(f"{dt}{_TGT}") - var(f"{ds}{_SRC}")
+            merged: str | None = None
+            for br in self.branches:
+                ge0 = br.with_constraints(
+                    [Constraint(delta * -1 - 1, GE)]
+                ).definitely_empty()
+                le0 = br.with_constraints(
+                    [Constraint(delta - 1, GE)]
+                ).definitely_empty()
+                if ge0 and le0:
+                    s = "0"
+                elif ge0:
+                    pos = br.with_constraints(
+                        [Constraint(delta * -1, GE)]
+                    ).definitely_empty()
+                    s = "+" if pos else "0+"
+                elif le0:
+                    neg = br.with_constraints(
+                        [Constraint(delta, GE)]
+                    ).definitely_empty()
+                    s = "-" if neg else "0-"
+                else:
+                    s = "*"
+                merged = s if merged in (None, s) else "*"
+            signs.append(merged or "0")
+            if stop_at_carry and signs[-1] != "0":
+                break
+        return tuple(signs)
+
+    def __repr__(self) -> str:
+        state = f"{len(self.branches)} branch(es)" if self.branches else "empty"
+        return (
+            f"Dep[{self.kind}] {self.src} -> {self.tgt}"
+            f" via {self.array} ({state})"
+        )
+
+
+def _sched_vectors(
+    src: Statement, tgt: Statement
+) -> tuple[list[LinExpr], list[LinExpr]]:
+    """Original 2d+1 schedule vectors, renamed apart and zero-padded."""
+    a = _entries_to_exprs(src.schedule, {d: f"{d}{_SRC}" for d in src.dims})
+    b = _entries_to_exprs(tgt.schedule, {d: f"{d}{_TGT}" for d in tgt.dims})
+    n = max(len(a), len(b))
+    a += [aff(0)] * (n - len(a))
+    b += [aff(0)] * (n - len(b))
+    return a, b
+
+
+def _entries_to_exprs(
+    entries: Sequence, rename: Mapping[str, str]
+) -> list[LinExpr]:
+    out: list[LinExpr] = []
+    for e in entries:
+        if isinstance(e, LinExpr):
+            out.append(e.rename(rename))
+        elif isinstance(e, int):
+            out.append(aff(e))
+        elif isinstance(e, str):
+            neg = e.startswith("-")
+            name = e[1:] if neg else e
+            x = var(rename.get(name, name))
+            out.append(x * -1 if neg else x)
+        else:
+            raise TypeError(f"bad schedule entry {e!r}")
+    return out
+
+
+def _build_one(
+    src: Statement, tgt: Statement, kind: str, sacc: Access, tacc: Access
+) -> DepPolyhedron | None:
+    smap = {d: f"{d}{_SRC}" for d in src.dims}
+    tmap = {d: f"{d}{_TGT}" for d in tgt.dims}
+    dims = tuple(smap[d] for d in src.dims) + tuple(tmap[d] for d in tgt.dims)
+    cons = list(src.domain().rename(smap).constraints)
+    cons += list(tgt.domain().rename(tmap).constraints)
+    for si, ti in zip(sacc.indices, tacc.indices):
+        cons.append(Constraint(si.rename(smap) - ti.rename(tmap), EQ))
+    theta_s, theta_t = _sched_vectors(src, tgt)
+    branches: list[ISet] = []
+    pruned: list[ISet] = []
+    for br in lex_lt_branches(theta_s, theta_t):
+        s = ISet(dims, cons + br)
+        (pruned if s.definitely_empty() else branches).append(s)
+    if not branches and not pruned:
+        return None
+    return DepPolyhedron(
+        kind=kind,
+        src=src.name,
+        tgt=tgt.name,
+        array=sacc.array,
+        src_access=sacc,
+        tgt_access=tacc,
+        src_dims=src.dims,
+        tgt_dims=tgt.dims,
+        dims=dims,
+        branches=tuple(branches),
+        pruned=tuple(pruned),
+    )
+
+
+def build_dependences(program: Program) -> list[DepPolyhedron]:
+    """All flow/anti/output dependence polyhedra of ``program``.
+
+    Built from the memory accesses (not the declared flow deps) under the
+    program's own 2d+1 schedule, entirely symbolically — no enumeration, no
+    fixed parameter values.  Relations whose precedence is statically
+    impossible are omitted; relations FM refuted branch-by-branch survive
+    with ``branches == ()`` so callers can replay the emptiness proofs.
+    """
+    with obs.span("analysis.deps.build", program=program.name):
+        out: list[DepPolyhedron] = []
+        for src in program.statements:
+            for tgt in program.statements:
+                for kind, s_attr, t_attr in _KINDS:
+                    for sacc in getattr(src, s_attr):
+                        for tacc in getattr(tgt, t_attr):
+                            if sacc.array != tacc.array:
+                                continue
+                            dep = _build_one(src, tgt, kind, sacc, tacc)
+                            if dep is not None:
+                                out.append(dep)
+        obs.add("analysis.deps.polyhedra", sum(1 for d in out if d.exists()))
+        obs.add("analysis.deps.branches", sum(len(d.branches) for d in out))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# proposed schedules and legality (A009 / A010)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchedulePiece:
+    """One guarded piece of a proposed per-statement schedule.
+
+    ``entries`` is a 2d+1-style vector over ints, loop dims (``"k"``,
+    ``"-k"`` for reversed loops) and auxiliary block dims; ``divs`` declares
+    each auxiliary dim as an integer floor division ``aux = dim // modulus``
+    (modulus must be a concrete int — tiles of symbolic size are not affine);
+    ``guards`` restrict where the piece applies (e.g. the "past columns"
+    phase of a blocked factorization), over dims, aux dims and parameters.
+    """
+
+    entries: tuple
+    guards: tuple[Constraint, ...] = ()
+    divs: tuple[tuple[str, str, int], ...] = ()  # (aux, dim, modulus)
+
+
+@dataclass(frozen=True)
+class ScheduleViolation:
+    """A concrete dependence instance pair the proposed order reverses."""
+
+    dep: DepPolyhedron
+    src_point: tuple[int, ...]
+    tgt_point: tuple[int, ...]
+
+
+def _parse_flat_entries(
+    entries: Sequence,
+) -> tuple[tuple, tuple[tuple[str, str, int], ...]]:
+    """Expand ``"d/B"`` block entries of a flat vector into div aux dims."""
+    out: list = []
+    divs: dict[tuple[str, int], str] = {}
+    for e in entries:
+        if isinstance(e, str) and "/" in e:
+            name, _, mod = e.partition("/")
+            name = name.strip()
+            try:
+                b = int(mod)
+            except ValueError:
+                raise ValueError(f"bad block schedule entry {e!r}") from None
+            if b <= 0:
+                raise ValueError(f"bad block modulus in {e!r}")
+            aux = divs.setdefault((name, b), f"{name}_q{b}")
+            out.append(aux)
+        else:
+            out.append(e)
+    return tuple(out), tuple(
+        (aux, name, b) for (name, b), aux in divs.items()
+    )
+
+
+def _normalize_spec(
+    schedule: Mapping[str, object],
+) -> dict[str, tuple[SchedulePiece, ...]]:
+    spec: dict[str, tuple[SchedulePiece, ...]] = {}
+    for name, val in schedule.items():
+        if isinstance(val, SchedulePiece):
+            spec[name] = (val,)
+        elif isinstance(val, (tuple, list)) and val and all(
+            isinstance(p, SchedulePiece) for p in val
+        ):
+            spec[name] = tuple(val)
+        elif isinstance(val, (tuple, list)):
+            entries, divs = _parse_flat_entries(val)
+            spec[name] = (SchedulePiece(entries=entries, divs=divs),)
+        else:
+            raise TypeError(f"bad schedule for {name!r}: {val!r}")
+    return spec
+
+
+def _piece_parts(
+    stmt: Statement, piece: SchedulePiece, suffix: str
+) -> tuple[list[LinExpr], list[Constraint], tuple[str, ...]]:
+    """Renamed (entries, constraints, aux dims) of one schedule piece."""
+    ren = {d: f"{d}{suffix}" for d in stmt.dims}
+    ren.update({aux: f"{aux}{suffix}" for aux, _, _ in piece.divs})
+    entries = _entries_to_exprs(piece.entries, ren)
+    cons: list[Constraint] = [g.rename(ren) for g in piece.guards]
+    for aux, dim, b in piece.divs:
+        q = var(ren[aux])
+        d = var(ren.get(dim, dim))
+        cons.append(Constraint(d - q * b, GE))  # q*b <= dim
+        cons.append(Constraint(q * b + (b - 1) - d, GE))  # dim <= q*b + b-1
+    aux_dims = tuple(ren[aux] for aux, _, _ in piece.divs)
+    return entries, cons, aux_dims
+
+
+def check_schedule(
+    program: Program,
+    schedule: Mapping[str, object],
+    params: Mapping[str, int] | None = None,
+    *,
+    deps: Iterable[DepPolyhedron] | None = None,
+) -> list[Diagnostic]:
+    """Legality of a proposed schedule against the program's dependences.
+
+    ``schedule`` maps statement names to flat 2d+1 vectors (ints, dims,
+    ``"-dim"``, ``"dim/B"`` block entries) or to :class:`SchedulePiece`
+    sequences; statements absent from the mapping keep their original
+    schedule.  For every dependence the violation set — relation ∧ "target
+    scheduled no later than source" — is refuted symbolically where FM can,
+    searched for an integer witness at ``params`` (default
+    :data:`PROBE_PARAM` per parameter) where it cannot: a witness is an
+    A009 error naming the violated instance pair, a witnessless but
+    rationally feasible set an A010 warning.
+    """
+    spec = _normalize_spec(schedule)
+    if params is None:
+        params = {p: PROBE_PARAM for p in program.params}
+    if deps is None:
+        deps = build_dependences(program)
+    stmts = {s.name: s for s in program.statements}
+    diags: list[Diagnostic] = []
+    with obs.span("analysis.deps.legality", program=program.name):
+        for dep in deps:
+            if not dep.branches:
+                continue
+            src, tgt = stmts[dep.src], stmts[dep.tgt]
+            src_pieces = spec.get(
+                dep.src, (SchedulePiece(entries=tuple(src.schedule)),)
+            )
+            tgt_pieces = spec.get(
+                dep.tgt, (SchedulePiece(entries=tuple(tgt.schedule)),)
+            )
+            witness: ScheduleViolation | None = None
+            undecided = False
+            for sp in src_pieces:
+                for tp in tgt_pieces:
+                    theta_s, cons_s, aux_s = _piece_parts(src, sp, _SRC)
+                    theta_t, cons_t, aux_t = _piece_parts(tgt, tp, _TGT)
+                    n = max(len(theta_s), len(theta_t))
+                    theta_s += [aff(0)] * (n - len(theta_s))
+                    theta_t += [aff(0)] * (n - len(theta_t))
+                    extra = cons_s + cons_t
+                    for vb in lex_le_branches(theta_t, theta_s):
+                        for br in dep.branches:
+                            vset = ISet(
+                                br.dims + aux_s + aux_t,
+                                list(br.constraints) + extra + vb,
+                            )
+                            if vset.definitely_empty():
+                                continue
+                            pt = vset.sample(params)
+                            if pt is None:
+                                undecided = True
+                                continue
+                            ns, nt = len(dep.src_dims), len(dep.tgt_dims)
+                            witness = ScheduleViolation(
+                                dep, pt[:ns], pt[ns : ns + nt]
+                            )
+                            break
+                        if witness:
+                            break
+                    if witness:
+                        break
+                if witness:
+                    break
+            if witness:
+                obs.add("analysis.deps.violations")
+                env = dict(params)
+                env.update(zip(dep.src_dims, witness.src_point))
+                arr, idx = dep.src_access.eval(env)
+                cell = f"{arr}[{', '.join(str(i) for i in idx)}]" if idx else arr
+                diags.append(
+                    Diagnostic(
+                        "A009",
+                        "error",
+                        f"illegal schedule: {dep.kind} dependence"
+                        f" {_inst_str(dep.src, dep.src_dims, witness.src_point)}"
+                        f" -> {_inst_str(dep.tgt, dep.tgt_dims, witness.tgt_point)}"
+                        f" on {cell} is reversed (the proposed schedule runs"
+                        " the target no later than the source)",
+                        stmt=dep.tgt,
+                        span=dep.tgt_access.span or tgt.span,
+                        hint="every dependence target must be scheduled"
+                        " strictly after its source; re-order the offending"
+                        " levels or tile along a non-carrying loop",
+                    )
+                )
+            elif undecided:
+                obs.add("analysis.deps.undecided")
+                diags.append(
+                    Diagnostic(
+                        "A010",
+                        "warning",
+                        f"schedule legality undecided for {dep.kind}"
+                        f" dependence {dep.src} -> {dep.tgt} on"
+                        f" {dep.array}: the violation set is rationally"
+                        " feasible but holds no integer point at the probe"
+                        f" parameters {dict(params)}",
+                        stmt=dep.tgt,
+                        span=dep.tgt_access.span or tgt.span,
+                        hint="Fourier-Motzkin cannot certify integer"
+                        " emptiness here (e.g. divisibility gaps); check"
+                        " larger parameters or refine the schedule",
+                    )
+                )
+    return diags
+
+
+def check_order(
+    program: Program,
+    order: Sequence[tuple[str, Sequence[int]]],
+    params: Mapping[str, int] | None = None,
+    *,
+    deps: Iterable[DepPolyhedron] | None = None,
+    limit: int | None = None,
+) -> list[ScheduleViolation]:
+    """Legality of an explicit instance order (a pebble/tiled schedule).
+
+    ``order`` lists ``(statement, point)`` instances in execution order —
+    exactly the compute-node lists :mod:`repro.pebble.schedules` produces.
+    Every dependence pair enumerated at ``params`` must run source-first;
+    returns the violated pairs (empty means legal at these parameters).
+    ``limit`` stops the scan once that many violations are collected —
+    pass 1 when only existence matters.
+    """
+    if params is None:
+        params = {p: PROBE_PARAM for p in program.params}
+    if deps is None:
+        deps = build_dependences(program)
+    pos = {
+        (name, tuple(point)): i for i, (name, point) in enumerate(order)
+    }
+    out: list[ScheduleViolation] = []
+    for dep in deps:
+        ns = len(dep.src_dims)
+        for br in dep.branches:
+            for pt in br.points(params):
+                sp, tp = pt[:ns], pt[ns:]
+                i = pos.get((dep.src, sp))
+                j = pos.get((dep.tgt, tp))
+                if i is None or j is None:
+                    continue
+                if i >= j:
+                    out.append(ScheduleViolation(dep, sp, tp))
+                    if limit is not None and len(out) >= limit:
+                        return out
+    return out
+
+
+def check_tiled_legality(
+    alg, b: int, params: Mapping[str, int] | None = None
+) -> tuple[list[Diagnostic], str]:
+    """A009/A010 legality of a tiled algorithm at block size ``b``.
+
+    Returns ``(diagnostics, mode)``.  Algorithms exposing a
+    ``schedule_spec`` hook are checked *symbolically* through
+    :func:`check_schedule` (``mode == "symbolic"``): the proof covers all
+    parameter values, not one run.  Algorithms without a closed-form
+    schedule fall back to replaying one traced execution through
+    :func:`check_order` (``mode == "traced"``), turning each violated
+    pair into a concrete A009.
+    """
+    from ..kernels.registry import KERNELS
+
+    program = KERNELS[alg.base].program
+    if alg.schedule_spec is not None:
+        spec = alg.schedule_spec(b)
+        return check_schedule(program, spec, params), "symbolic"
+    if params is None:
+        # probe values can break runner preconditions like M > N; the
+        # base kernel's default point is known-valid and still small
+        params = dict(KERNELS[alg.base].default_params) or {
+            p: PROBE_PARAM for p in program.params
+        }
+    trace = alg.run_traced({**params, "B": b})
+    deps = [d for d in build_dependences(program) if d.branches]
+    diags: list[Diagnostic] = []
+    for v in check_order(program, trace.schedule, params, deps=deps):
+        diags.append(
+            Diagnostic(
+                "A009",
+                "error",
+                f"traced {alg.name} order at B={b} reverses the"
+                f" {v.dep.kind} dependence"
+                f" {_inst_str(v.dep.src, v.dep.src_dims, v.src_point)} ->"
+                f" {_inst_str(v.dep.tgt, v.dep.tgt_dims, v.tgt_point)}"
+                f" on {v.dep.array}",
+                stmt=v.dep.tgt,
+            )
+        )
+    return diags, "traced"
+
+
+def _inst_str(name: str, dims: Sequence[str], point: Sequence[int]) -> str:
+    if not dims:
+        return f"{name}()"
+    inner = ", ".join(f"{d}={v}" for d, v in zip(dims, point))
+    return f"{name}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# the analyzer pass (A009-A012)
+# ---------------------------------------------------------------------------
+
+
+def pass_deps(ctx) -> list[Diagnostic]:
+    """Dependence summary, legality of a proposed schedule, differentials.
+
+    * A011 (info): one summary per program — how many flow/anti/output
+      polyhedra over how many ordered statement pairs, and which loops
+      carry a self-dependence (symbolic distance signs).
+    * A009/A010: when the context proposes a schedule
+      (``ctx.proposed_schedule``), the legality verdict of
+      :func:`check_schedule`.
+    * A012 (error): differential self-check — every branch Fourier–Motzkin
+      proved empty is re-checked by enumeration at the check parameters,
+      and every bounds-violation set FM proves empty must hold no
+      enumerated witness.  An A012 cannot be fixed in the analyzed
+      program: it means the symbolic and enumerative deciders disagree.
+    """
+    prog = ctx.program
+    diags: list[Diagnostic] = []
+    deps = build_dependences(prog)
+
+    # differential 1: FM emptiness proofs vs enumeration on dep branches
+    for dep in deps:
+        for br in dep.pruned:
+            if br.sample(ctx.params) is not None:
+                diags.append(
+                    Diagnostic(
+                        "A012",
+                        "error",
+                        "differential self-check failed: Fourier-Motzkin"
+                        f" proved a {dep.kind} dependence branch"
+                        f" {dep.src} -> {dep.tgt} on {dep.array} empty,"
+                        f" but enumeration at {dict(ctx.params)} found a"
+                        " point",
+                        stmt=dep.tgt,
+                        hint="this is an analyzer bug, not a program bug;"
+                        " report it with the program source",
+                    )
+                )
+
+    # differential 2: symbolic vs enumerative bounds facts
+    for st in prog.statements:
+        dom = st.domain()
+        for acc in st.reads + st.writes:
+            extents = ctx.shapes.get(acc.array)
+            for d, idx in enumerate(acc.indices):
+                checks = [(idx * -1) - 1]
+                if extents is not None and d < len(extents):
+                    checks.append(idx - extents[d])
+                for vexpr in checks:
+                    viol = dom.with_constraints([Constraint(vexpr, GE)])
+                    if not viol.definitely_empty():
+                        continue
+                    if viol.sample(ctx.params) is not None:
+                        diags.append(
+                            Diagnostic(
+                                "A012",
+                                "error",
+                                "differential self-check failed: the bounds"
+                                f" violation set of {acc!r} index #{d + 1}"
+                                f" in {st.name} is symbolically empty but"
+                                f" holds a point at {dict(ctx.params)}",
+                                stmt=st.name,
+                                span=acc.span or st.span,
+                                hint="this is an analyzer bug, not a"
+                                " program bug; report it with the program"
+                                " source",
+                            )
+                        )
+
+    # proposed-schedule legality (A009 / A010)
+    proposed = getattr(ctx, "proposed_schedule", None)
+    if proposed:
+        diags.extend(
+            check_schedule(prog, proposed, ctx.params, deps=deps)
+        )
+
+    # A011: the dependence summary
+    live = [d for d in deps if d.exists()]
+    if prog.statements:
+        span = prog.statements[0].span
+        if not live:
+            diags.append(
+                Diagnostic(
+                    "A011",
+                    "info",
+                    "dependence summary: no dependences — every statement"
+                    " instance is independent (fully parallel)",
+                    span=span,
+                )
+            )
+        else:
+            kinds = {k: 0 for k, _, _ in _KINDS}
+            for d in live:
+                kinds[d.kind] += 1
+            pairs = len({(d.src, d.tgt) for d in live})
+            carried: set[str] = set()
+            for d in live:
+                if d.src != d.tgt:
+                    continue
+                signs = d.distance_signs(stop_at_carry=True)
+                for dim, sign in zip(d.src_dims, signs):
+                    if sign != "0":
+                        carried.add(dim)
+                        break
+            diags.append(
+                Diagnostic(
+                    "A011",
+                    "info",
+                    f"dependence summary: {kinds['flow']} flow,"
+                    f" {kinds['anti']} anti, {kinds['output']} output"
+                    f" polyhedra over {pairs} ordered statement pair(s);"
+                    " loop-carried by: "
+                    + (", ".join(sorted(carried)) or "(none)"),
+                    span=span,
+                )
+            )
+    return diags

@@ -45,6 +45,10 @@ CODES: dict[str, tuple[str, str]] = {
     "A006": ("warning", "dead code (values never observed)"),
     "A007": ("info", "parameter-domain assumption"),
     "A008": ("info", "hourglass applicability"),
+    "A009": ("error", "illegal schedule (dependence reversed)"),
+    "A010": ("warning", "schedule legality undecided"),
+    "A011": ("info", "dependence summary"),
+    "A012": ("error", "differential self-check mismatch (analyzer bug)"),
 }
 
 _ANSI = {

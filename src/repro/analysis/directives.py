@@ -10,6 +10,11 @@ configure the analyzer, so a lint target is self-contained:
 ``// dominant: SU``
     the statement the hourglass pass should target (otherwise it
     searches reading statements in decreasing instance count);
+``// schedule: SU=(k,2,j,0); SR=(k,1,j,0)``
+    a proposed schedule for the A009/A010 legality pass — per-statement
+    flat 2d+1 vectors whose entries are ints, loop dims, ``-dim`` for a
+    reversed loop, or ``dim/B`` for the block index ``floor(dim/B)``;
+    statements not listed keep their original schedule;
 ``// expect: A004 error @6:7``
     an expected diagnostic (code, severity, 1-based line:col) — inert to
     the analyzer itself, asserted by the corpus runner in
@@ -32,6 +37,7 @@ _EXPECT = re.compile(
 )
 _SHAPE = re.compile(r"//\s*shape:\s*(.+)")
 _DOMINANT = re.compile(r"//\s*dominant:\s*(\w+)")
+_SCHEDULE = re.compile(r"//\s*schedule:\s*(.+)")
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,8 @@ class Directives:
     shapes: dict[str, tuple[str, ...]] | None = None
     #: hourglass target statement, or None for automatic selection
     dominant: str | None = None
+    #: proposed schedule vectors for the legality pass, or None
+    schedule: dict[str, tuple] | None = None
 
 
 def parse_directives(src: str) -> Directives:
@@ -63,9 +71,36 @@ def parse_directives(src: str) -> Directives:
             shapes[name.strip()] = tuple(
                 e.strip() for e in extents.split(",")
             )
+    schedule = None
+    m = _SCHEDULE.search(src)
+    if m:
+        schedule = {}
+        for part in m.group(1).split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, vec = part.partition("=")
+            name, vec = name.strip(), vec.strip()
+            if not name or not (vec.startswith("(") and vec.endswith(")")):
+                raise ValueError(
+                    f"malformed // schedule: directive: {part!r}"
+                )
+            entries: list = []
+            for tok in vec[1:-1].split(","):
+                tok = tok.strip()
+                if not tok:
+                    raise ValueError(
+                        f"malformed // schedule: directive: {part!r}"
+                    )
+                try:
+                    entries.append(int(tok))
+                except ValueError:
+                    entries.append(tok)
+            schedule[name] = tuple(entries)
     m = _DOMINANT.search(src)
     return Directives(
         expects=expects,
         shapes=shapes,
         dominant=m.group(1) if m else None,
+        schedule=schedule,
     )

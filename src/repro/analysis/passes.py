@@ -27,10 +27,14 @@ check parameters + optional declared shapes) to a list of
 ``pass_hourglass`` A008 — run the paper's hourglass detection on the
                    dominant statement and report *why* the tightened bound
                    will or won't apply
+``pass_deps``      A009-A012 — symbolic dependence polyhedra (see
+                   :mod:`repro.analysis.deps`): the dependence summary,
+                   schedule legality of a proposed schedule, and the
+                   symbolic-vs-enumerative differential self-check
 
 The dynamic passes are exact at the chosen parameter point (the same
 small-parameter philosophy the CDAG cross-validation uses); the projection
-passes are symbolic in the parameters.
+passes and the dependence pass are symbolic in the parameters.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from typing import Mapping, Sequence
 
 from ..ir import Program, sequential_schedule, validate_program
 from ..polyhedral import Constraint, LinExpr
+from .deps import pass_deps
 from .diagnostics import Diagnostic
 
 __all__ = [
@@ -52,6 +57,7 @@ __all__ = [
     "pass_dataflow",
     "pass_bounds",
     "pass_hourglass",
+    "pass_deps",
     "PROGRAM_PASSES",
 ]
 
@@ -70,6 +76,9 @@ class AnalysisContext:
     live_out: frozenset[str] = frozenset()
     #: statement the hourglass pass should target (default: most instances)
     dominant: str | None = None
+    #: proposed schedule for the legality pass (statement name -> flat 2d+1
+    #: vector or SchedulePiece sequence, see repro.analysis.deps), or None
+    proposed_schedule: Mapping[str, object] | None = None
 
     @property
     def workspace(self) -> frozenset[str]:
@@ -537,7 +546,18 @@ def pass_hourglass(ctx: AnalysisContext) -> list[Diagnostic]:
     from ..bounds.hourglass import HourglassDetectionError, detect_hourglass
 
     prog = ctx.program
+    truncated = 0
     if ctx.dominant is not None:
+        if not any(st.name == ctx.dominant for st in prog.statements):
+            return [
+                Diagnostic(
+                    "A002",
+                    "error",
+                    f"// dominant: names unknown statement"
+                    f" {ctx.dominant!r} (statements:"
+                    f" {', '.join(st.name for st in prog.statements)})",
+                )
+            ]
         candidates = [ctx.dominant]
     else:
         # decreasing instance count; cap the search — detection is the
@@ -548,6 +568,7 @@ def pass_hourglass(ctx: AnalysisContext) -> list[Diagnostic]:
             key=lambda t: -t[0],
         )
         candidates = [name for _, name in sized[:6]]
+        truncated = len(sized) - len(candidates)
     if not candidates:
         return [
             Diagnostic(
@@ -583,12 +604,19 @@ def pass_hourglass(ctx: AnalysisContext) -> list[Diagnostic]:
             ]
     if pat is None:
         target, reason = first_reason
+        note = ""
+        if truncated:
+            note = (
+                f" (search truncated to the {len(candidates)} largest"
+                f" reading statements; {truncated} more not tried — name"
+                " one with // dominant: to target it)"
+            )
         return [
             Diagnostic(
                 "A008",
                 "info",
                 f"no hourglass pattern on {target}: {reason}; the classical"
-                " K-partition bound applies",
+                f" K-partition bound applies{note}",
                 stmt=target,
                 span=prog.statement(target).span,
                 hint="the tightened bound needs a self-update read (temporal"
@@ -622,4 +650,5 @@ PROGRAM_PASSES: tuple[tuple[str, object, bool], ...] = (
     ("dataflow", pass_dataflow, True),
     ("bounds", pass_bounds, True),
     ("hourglass", pass_hourglass, True),
+    ("deps", pass_deps, True),
 )

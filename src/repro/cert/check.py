@@ -29,17 +29,31 @@ C031 lemma-chain bookkeeping broken (coverage, phi_w, bindings)
 C032 bound expression does not match the lemma-chain replay
 C033 split bound missing its split instantiation
 C034 split instance count does not replay numerically
-C040 width claims refuted on the enumerated domain
-C041 symbolic instance count disagrees with enumeration
-C042 domain exceeds the enumeration cap (warning; numeric
-     checks skipped)
+C040 width claims refuted on the enumerated domain (or, above
+     the cap, by the symbolic width replay)
+C041 symbolic instance count disagrees with enumeration (or,
+     above the cap, with the Faulhaber-summed closed form)
+C042 domain exceeds the enumeration cap *and* is outside the
+     symbolic-replay fragment (warning; replays skipped)
 C043 split point not integral at the certified parameters
      (warning; split replay skipped)
+C050 claimed instance count differs from the symbolic replay
+     polynomial but agrees at sampled parameters (warning)
+C051 symbolic width replay undecided (warning)
+C052 split replay skipped above the enumeration cap (warning)
 ==== =========================================================
 
 Symbolic equalities are decided by cross-multiplication of exact term
 lists, which is invariant under whatever normalization the engine's
 rational arithmetic applies — the checker never reimplements it.
+
+Domains larger than :data:`ENUM_CAP` points are no longer skipped
+outright: when the domain is a unit-coefficient loop nest (one lower and
+one upper bound per dimension, innermost coefficient ±1 — the shape every
+certified statement domain has), the instance count is recomputed exactly
+by iterated Faulhaber summation and the hourglass widths by counting the
+reduction sub-nest, with no enumeration at all.  Only domains outside
+that fragment fall back to the C042 skip.
 """
 
 from __future__ import annotations
@@ -407,6 +421,240 @@ def _slice_widths(points, dims, temporal, reduction):
     for s in slices.values():
         glob |= s
     return slices, glob
+
+
+# ---------------------------------------------------------------------------
+# symbolic replay above the enumeration cap
+# ---------------------------------------------------------------------------
+
+#: bound variable of the cached Faulhaber power-sum polynomials; the
+#: leading underscores keep it clear of any certificate dim or parameter
+_FSYM = "__n"
+
+_FAULHABER: dict[int, dict] = {}
+
+
+def _faulhaber(k: int) -> dict:
+    """``F_k(n) = sum_{t=1..n} t^k`` as a polynomial in :data:`_FSYM`.
+
+    Derived from the telescoping identity
+    ``(n+1)^(k+1) - 1 = sum_{j<=k} C(k+1,j) F_j(n)`` — the same recurrence
+    the engine's summation module uses, re-derived here so the checker
+    stays independent of :mod:`repro.symbolic`.
+    """
+    if k in _FAULHABER:
+        return _FAULHABER[k]
+    acc = _psub(_ppow(_padd(_psym(_FSYM), _pconst(1)), k + 1), _pconst(1))
+    for j in range(k):
+        acc = _psub(acc, _pmul(_pconst(math.comb(k + 1, j)), _faulhaber(j)))
+    out = _pmul(_pconst(Fraction(1, k + 1)), acc)
+    _FAULHABER[k] = out
+    return out
+
+
+def _psum(p: dict, v: str, lo: dict, hi: dict) -> dict:
+    """Closed form of ``sum over integer v from lo to hi of p``.
+
+    Exact polynomial identity whenever ``hi >= lo - 1`` (empty ranges
+    contribute 0) — the same convention the engine's instance counts are
+    emitted under, so agreement is meaningful and disagreement is real.
+    """
+    groups: dict[int, dict] = {}
+    for m, c in p.items():
+        e = Fraction(0)
+        rest = []
+        for s, x in m:
+            if s == v:
+                e = x
+            else:
+                rest.append((s, x))
+        if e.denominator != 1 or e < 0:
+            raise _Bad(f"cannot sum {v}^{e} in closed form")
+        g = groups.setdefault(int(e), {})
+        m2 = tuple(rest)
+        c2 = g.get(m2, Fraction(0)) + c
+        if c2:
+            g[m2] = c2
+        else:
+            g.pop(m2, None)
+    lo1 = _psub(lo, _pconst(1))
+    out: dict = {}
+    for e, coeff in groups.items():
+        f = _faulhaber(e)
+        seg = _psub(_psubs(f, _FSYM, hi), _psubs(f, _FSYM, lo1))
+        out = _padd(out, _pmul(coeff, seg))
+    return out
+
+
+def _classify_nest(dims, cons):
+    """Recognize a unit-coefficient loop nest; None when outside it.
+
+    Fragment: every constraint is an inequality that, viewed at the
+    innermost dimension it mentions, has coefficient exactly +1 (a lower
+    bound) or -1 (an upper bound), and every dimension ends up with
+    exactly one of each.  Returns ``[(dim, lo_poly, hi_poly), ...]`` in
+    loop order; the bound polynomials mention only parameters and
+    strictly-outer dims, which is what makes innermost-out
+    :func:`_psum` summation exact.
+    """
+    pos = {d: i for i, d in enumerate(dims)}
+    los: dict[str, list] = {d: [] for d in dims}
+    his: dict[str, list] = {d: [] for d in dims}
+    for coeffs, const, kind in cons:
+        if kind != ">=":
+            return None
+        mentioned = [v for v in coeffs if v in pos and coeffs[v]]
+        if not mentioned:
+            return None  # a parameter-only guard is outside the fragment
+        d = max(mentioned, key=lambda v: pos[v])
+        rest = _pconst(const)
+        for v, c in coeffs.items():
+            if v != d and c:
+                rest = _padd(rest, _pmul(_pconst(c), _psym(v)))
+        if coeffs[d] == 1:
+            los[d].append(_pneg(rest))  # d + rest >= 0  =>  d >= -rest
+        elif coeffs[d] == -1:
+            his[d].append(rest)  # -d + rest >= 0  =>  d <= rest
+        else:
+            return None
+    nest = []
+    for d in dims:
+        lo = [p for i, p in enumerate(los[d]) if p not in los[d][:i]]
+        hi = [p for i, p in enumerate(his[d]) if p not in his[d][:i]]
+        if len(lo) != 1 or len(hi) != 1:
+            return None
+        nest.append((d, lo[0], hi[0]))
+    return nest
+
+
+def _nest_count(nest) -> dict:
+    """Exact instance-count polynomial of a classified nest."""
+    p = _pconst(1)
+    for d, lo, hi in reversed(nest):
+        p = _psum(p, d, lo, hi)
+    return p
+
+
+def _ladder_envs(params: Mapping[str, int]):
+    """The certified parameters and their x2/x3 scalings."""
+    for mult in (1, 2, 3):
+        yield mult, {k: v * mult for k, v in params.items()}
+
+
+def _check_domain_symbolic(rep, cert, params):
+    """Above-cap count replay: iterated Faulhaber summation, no points.
+
+    Returns the classified nest (for the width replay) or None when the
+    domain is outside the fragment (reported as C042, as before).
+    """
+    stmt = cert["statement"]
+    dims, cons = _parse_domain(stmt["domain"], "statement.domain")
+    nest = _classify_nest(dims, cons)
+    if nest is None:
+        rep.add(
+            "C042",
+            "warning",
+            f"domain exceeds the enumeration cap ({ENUM_CAP} points) and"
+            " is not a unit-coefficient loop nest; numeric and symbolic"
+            " replays skipped",
+            "statement",
+        )
+        return None
+    count = _nest_count(nest)
+    claimed = _pparse(stmt["instance_count"], "statement.instance_count")
+    if not _peq(count, claimed):
+        for mult, env in _ladder_envs(params):
+            got = _peval(claimed, env, "statement.instance_count")
+            want = _peval(count, env, "statement.instance_count")
+            if got != want:
+                rep.add(
+                    "C041",
+                    "error",
+                    f"symbolic instance count does not replay: claimed"
+                    f" {got} != Faulhaber-summed {want} at x{mult}"
+                    " parameters",
+                    "statement",
+                )
+                return nest
+        rep.add(
+            "C050",
+            "warning",
+            "claimed instance count differs from the Faulhaber-summed"
+            " polynomial but agrees at the sampled parameters; undecided",
+            "statement",
+        )
+    return nest
+
+
+def _reduction_count(nest, dims, reduction):
+    """Count of the reduction sub-nest, or None when slices may vary.
+
+    Exact when no bound couples reduction and non-reduction dims: the
+    domain then factorizes, every nonempty temporal slice holds exactly
+    the full reduction box, and the slice width *is* its count.
+    """
+    red = set(reduction)
+    dimset = set(dims)
+    for d, lo, hi in nest:
+        names = {s for p in (lo, hi) for m in p for s, _ in m}
+        crossing = names & dimset
+        if d in red:
+            if not crossing <= red:
+                return None
+        elif crossing & red:
+            return None
+    p = _pconst(1)
+    for d, lo, hi in reversed(nest):
+        if d in red:
+            p = _psum(p, d, lo, hi)
+    return p
+
+
+def _check_widths_symbolic(rep, cert, nest, params):
+    """Above-cap Wmin/Wmax replay on the factorized reduction box."""
+    pattern = cert["hourglass"]
+    dims = list(cert["statement"]["dims"])
+    w = _reduction_count(nest, dims, pattern["reduction"])
+    if w is None:
+        rep.add(
+            "C051",
+            "warning",
+            "reduction bounds couple with temporal/neutral dims; symbolic"
+            " width replay undecided above the enumeration cap",
+            "hourglass",
+        )
+        return
+    w_min = _pparse(pattern["width_min"], "hourglass.width_min")
+    w_max = _pparse(pattern["width_max"], "hourglass.width_max")
+    # every nonempty temporal slice is the full reduction box, so the
+    # narrowest slice and the global set both have exactly `w` tuples
+    for claimed, label, sign in ((w_min, "Wmin", 1), (w_max, "Wmax", -1)):
+        if _peq(w, claimed):
+            continue
+        refuted = False
+        for mult, env in _ladder_envs(params):
+            actual = _peval(w, env, "hourglass.width")
+            cl = _peval(claimed, env, f"hourglass.{label}")
+            if sign * (actual - cl) < 0:
+                rep.add(
+                    "C040",
+                    "error",
+                    f"symbolic width replay: every slice has {actual}"
+                    f" reduction tuples at x{mult} parameters,"
+                    f" {'<' if sign > 0 else '>'} claimed {label} {cl}",
+                    "hourglass",
+                )
+                refuted = True
+                break
+        if not refuted:
+            rep.add(
+                "C051",
+                "warning",
+                f"claimed {label} differs from the symbolic slice-width"
+                " polynomial but is not refuted at the sampled parameters;"
+                " undecided",
+                "hourglass",
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -813,6 +1061,12 @@ def _check_hourglass_replay(rep, bound, witness, cpmk, where):
 
 
 def _check_domain_numeric(rep, cert, params):
+    """Enumerate and count-check the domain; ``(points, cap_hit)``.
+
+    ``points`` is None on any failure; ``cap_hit`` is True exactly when
+    enumeration overflowed :data:`ENUM_CAP`, which sends the caller down
+    the symbolic replay path instead of skipping.
+    """
     stmt = cert["statement"]
     dims, cons = _parse_domain(stmt["domain"], "statement.domain")
     if list(stmt["dims"]) != dims:
@@ -822,21 +1076,14 @@ def _check_domain_numeric(rep, cert, params):
             f"domain dims {dims} != statement dims {list(stmt['dims'])}",
             "statement",
         )
-        return None
+        return None, False
     try:
         points = _enum_points(dims, cons, params, ENUM_CAP)
     except _CapExceeded:
-        rep.add(
-            "C042",
-            "warning",
-            f"domain exceeds the enumeration cap ({ENUM_CAP} points);"
-            " numeric replays skipped",
-            "statement",
-        )
-        return None
+        return None, True
     if not points:
         rep.add("C041", "error", "iteration domain is empty", "statement")
-        return None
+        return None, False
     claimed = _peval(
         _pparse(stmt["instance_count"], "statement.instance_count"),
         params,
@@ -849,7 +1096,7 @@ def _check_domain_numeric(rep, cert, params):
             f"symbolic instance count {claimed} != enumerated {len(points)}",
             "statement",
         )
-    return points
+    return points, False
 
 
 def _check_widths_numeric(rep, cert, points, params):
@@ -1105,7 +1352,7 @@ def _run(cert: dict, engine_version, rep: CertCheckReport):
                     )
 
     rep.ran("domain")
-    points = _check_domain_numeric(rep, cert, params)
+    points, cap_hit = _check_domain_numeric(rep, cert, params)
     if points is not None:
         if pattern is not None:
             rep.ran("widths")
@@ -1113,6 +1360,22 @@ def _run(cert: dict, engine_version, rep: CertCheckReport):
         for bound, where in split_bounds:
             rep.ran("split")
             _check_split_numeric(rep, bound, cert, points, params, where)
+    elif cap_hit:
+        rep.ran("domain-symbolic")
+        nest = _check_domain_symbolic(rep, cert, params)
+        if nest is not None:
+            if pattern is not None:
+                rep.ran("widths-symbolic")
+                _check_widths_symbolic(rep, cert, nest, params)
+            for bound, where in split_bounds:
+                rep.ran("split")
+                rep.add(
+                    "C052",
+                    "warning",
+                    "split replay needs the enumerated part-1 domain;"
+                    " skipped above the enumeration cap",
+                    where,
+                )
 
 
 def check_certificate(

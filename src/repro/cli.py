@@ -75,6 +75,24 @@ def _parse_assign(text: str) -> dict[str, int]:
     return out
 
 
+def _parse_codes(text: str) -> tuple[str, ...]:
+    """Parse ``A009,A010`` into validated diagnostic codes.
+
+    Argparse ``type=`` for ``iolb lint --select/--ignore``; unknown codes
+    become a clean usage error listing the catalogue.
+    """
+    from .analysis import CODES
+
+    codes = tuple(c.strip() for c in text.split(",") if c.strip())
+    bad = sorted(c for c in codes if c not in CODES)
+    if not codes or bad:
+        raise argparse.ArgumentTypeError(
+            f"unknown diagnostic code(s): {', '.join(bad) or '(none given)'};"
+            f" valid codes: {', '.join(sorted(CODES))}"
+        )
+    return codes
+
+
 def cmd_list(args) -> int:
     print("kernels:")
     for name, k in sorted(KERNELS.items()):
@@ -279,7 +297,12 @@ def cmd_lint(args) -> int:
     import json
     import pathlib
 
-    from .analysis import LINT_SCHEMA, check_source, parse_directives
+    from .analysis import (
+        AnalysisReport,
+        LINT_SCHEMA,
+        check_source,
+        parse_directives,
+    )
     from .frontend.sources import FIGURE_SHAPE_EXPRS, FIGURE_SOURCES
 
     def builtin(name: str):
@@ -292,27 +315,67 @@ def cmd_lint(args) -> int:
                 dict(k.default_params) if k else None
             ),
             k.dominant if k else None,
+            None,
         )
 
-    if args.target == "all":
-        targets = [builtin(name) for name in FIGURE_SOURCES]
-    elif args.target in FIGURE_SOURCES:
-        targets = [builtin(args.target)]
+    entries: list[tuple[str, str | None, AnalysisReport]] = []
+    if args.target == "tiled":
+        # legality-only target: every tiled algorithm's proposed schedule
+        # (symbolic where the algorithm exposes one, traced otherwise)
+        # checked against the base kernel's dependence polyhedra
+        from .analysis.deps import check_tiled_legality
+
+        params = dict(args.params) if args.params else None
+        for name, alg in sorted(TILED_ALGORITHMS.items()):
+            for b in (2, 3):
+                diags, mode = check_tiled_legality(alg, b, params=params)
+                label = f"{name}[B={b}]"
+                rep = AnalysisReport(program=label, params=params or {})
+                rep.diagnostics = list(diags)
+                rep.pass_counts[f"deps.legality.{mode}"] = len(diags)
+                entries.append((label, None, rep))
     else:
-        path = pathlib.Path(args.target)
-        if not path.exists():
-            raise SystemExit(
-                f"iolb lint: no builtin kernel or file named {args.target!r}"
-                f" (builtins: {', '.join(sorted(FIGURE_SOURCES))}, or 'all')"
+        if args.target == "all":
+            targets = [builtin(name) for name in FIGURE_SOURCES]
+        elif args.target in FIGURE_SOURCES:
+            targets = [builtin(args.target)]
+        else:
+            path = pathlib.Path(args.target)
+            if not path.exists():
+                raise SystemExit(
+                    f"iolb lint: no builtin kernel or file named"
+                    f" {args.target!r} (builtins:"
+                    f" {', '.join(sorted(FIGURE_SOURCES))}, 'all', or"
+                    " 'tiled')"
+                )
+            src = path.read_text()
+            # honor in-source `// shape:` / `// dominant:` / `// schedule:`
+            # directives so a lint target is self-contained (see
+            # repro.analysis.directives)
+            dirs = parse_directives(src)
+            targets = [
+                (path.stem, src, dirs.shapes,
+                 dict(args.params) if args.params else None, dirs.dominant,
+                 dirs.schedule)
+            ]
+        for name, src, shapes, params, dominant, schedule in targets:
+            rep, _prog = check_source(
+                src, name=name, params=params, shapes=shapes,
+                dominant=dominant, schedule=schedule,
             )
-        src = path.read_text()
-        # honor in-source `// shape:` / `// dominant:` directives so a
-        # lint target is self-contained (see repro.analysis.directives)
-        dirs = parse_directives(src)
-        targets = [
-            (path.stem, src, dirs.shapes,
-             dict(args.params) if args.params else None, dirs.dominant)
-        ]
+            entries.append((name, src, rep))
+
+    # --select / --ignore narrow every report before rendering, JSON
+    # serialization and exit-code computation alike
+    for _, _, rep in entries:
+        if args.select:
+            rep.diagnostics = [
+                d for d in rep.diagnostics if d.code in args.select
+            ]
+        if args.ignore:
+            rep.diagnostics = [
+                d for d in rep.diagnostics if d.code not in args.ignore
+            ]
 
     if args.color == "always":
         use_color = True
@@ -326,10 +389,7 @@ def cmd_lint(args) -> int:
 
     rc = 0
     reports = {}
-    for i, (name, src, shapes, params, dominant) in enumerate(targets):
-        rep, _prog = check_source(
-            src, name=name, params=params, shapes=shapes, dominant=dominant
-        )
+    for i, (name, src, rep) in enumerate(entries):
         reports[name] = rep
         if i:
             print(file=out)
@@ -1017,7 +1077,23 @@ def main(argv=None) -> int:
     ln.add_argument(
         "target",
         help="builtin kernel name (mgs, qr_a2v, ...), a source file path,"
-        " or 'all' for every builtin kernel",
+        " 'all' for every builtin kernel, or 'tiled' for schedule"
+        " legality of every tiled algorithm",
+    )
+    ln.add_argument(
+        "--select",
+        default=(),
+        type=_parse_codes,
+        metavar="CODES",
+        help="only report these comma-separated diagnostic codes,"
+        " e.g. A009,A010",
+    )
+    ln.add_argument(
+        "--ignore",
+        default=(),
+        type=_parse_codes,
+        metavar="CODES",
+        help="suppress these comma-separated diagnostic codes",
     )
     ln.add_argument(
         "--params",

@@ -36,6 +36,13 @@ class TiledAlgorithm:
     cache_condition: str = ""
     description: str = ""
     validate: Callable[[Mapping[str, int]], None] | None = None
+    #: schedule introspection hook for the A009/A010 legality pass: given a
+    #: concrete block size B, return the proposed symbolic schedule of the
+    #: *base* kernel's statements (statement name -> SchedulePiece sequence,
+    #: see repro.analysis.deps.check_schedule).  None means the algorithm
+    #: has no closed-form schedule; legality falls back to replaying its
+    #: traced instance order through repro.analysis.deps.check_order.
+    schedule_spec: Callable[[int], Mapping[str, object]] | None = None
 
     def run_traced(self, params: Mapping[str, int], seed: int = 0) -> Tracer:
         t = Tracer()

@@ -114,6 +114,44 @@ def _validate(params: Mapping[str, int]) -> None:
     assert relative_error(Q.T @ Q, np.eye(n)) < 1e-8, "tiled Q not orthonormal"
 
 
+def _schedule_spec(b: int):
+    """Figure 8's order as symbolic schedule pieces over the Figure 1 dims.
+
+    The blocked order is piecewise affine in the base statement dims once
+    the block index ``jb = j // b`` (``kb = k // b`` for the jj-column
+    statements) is introduced as an auxiliary floor dimension: within block
+    ``jb``, phase 0 applies the past reflections ``k < b*jb`` (k outer, j
+    inner), phase 1 factors the block internally (j outer, then the
+    in-block reflections ``k >= b*jb``, then the column-jj statements).
+    Vector shape: (block, phase, ., ., ., ., .), zero-padded by the checker.
+    """
+    from ..analysis.deps import SchedulePiece
+    from ..polyhedral import Constraint, var
+
+    jb = (("jb", "j", b),)
+    kb = (("kb", "k", b),)
+    past = (Constraint(var("jb") * b - 1 - var("k")),)  # k <= b*jb - 1
+    intern = (Constraint(var("k") - var("jb") * b),)  # k >= b*jb
+    return {
+        "Sr0": (
+            SchedulePiece(("jb", 0, "k", "j", 0), guards=past, divs=jb),
+            SchedulePiece(("jb", 1, "j", 0, "k", 0), guards=intern, divs=jb),
+        ),
+        "SR": (
+            SchedulePiece(("jb", 0, "k", "j", 1, "i"), guards=past, divs=jb),
+            SchedulePiece(("jb", 1, "j", 0, "k", 1, "i"), guards=intern, divs=jb),
+        ),
+        "SU": (
+            SchedulePiece(("jb", 0, "k", "j", 2, "i"), guards=past, divs=jb),
+            SchedulePiece(("jb", 1, "j", 0, "k", 2, "i"), guards=intern, divs=jb),
+        ),
+        "Snrm0": (SchedulePiece(("kb", 1, "k", 1, 0), divs=kb),),
+        "Snrm": (SchedulePiece(("kb", 1, "k", 1, 1, "i"), divs=kb),),
+        "Sr": (SchedulePiece(("kb", 1, "k", 1, 2), divs=kb),),
+        "Sq": (SchedulePiece(("kb", 1, "k", 1, 3, "i"), divs=kb),),
+    }
+
+
 _M, _N, _B, _S = Sym("M"), Sym("N"), Sym("B"), Sym("S")
 
 TILED_MGS = TiledAlgorithm(
@@ -125,4 +163,5 @@ TILED_MGS = TiledAlgorithm(
     cache_condition="(M+1)*B < S",
     description="Figure 8: blocked left-looking MGS, I/O ~ M^2 N^2 / (2S)",
     validate=_validate,
+    schedule_spec=_schedule_spec,
 )

@@ -219,6 +219,20 @@ def default_suite() -> list[Benchmark]:
                 raise RuntimeError(f"lint errors on builtin kernel {name}")
         return rep
 
+    def _lint_deps(_payload):
+        from ..analysis.deps import build_dependences, check_schedule
+        from ..kernels import KERNELS, get_tiled
+
+        alg = get_tiled("tiled_mgs")
+        program = KERNELS[alg.base].program
+        deps = build_dependences(program)
+        diags = check_schedule(program, alg.schedule_spec(2), deps=deps)
+        if any(d.severity == "error" for d in diags):
+            raise RuntimeError("tiled_mgs schedule flagged illegal in bench")
+        for name in ("matmul", "cholesky"):
+            build_dependences(KERNELS[name].program)
+        return diags
+
     # -- serve.*: the derivation service under load -----------------------
     # Both workloads boot a real HTTP server (inline execution mode: no
     # worker processes inside a bench) against a throwaway result backend
@@ -369,6 +383,12 @@ def default_suite() -> list[Benchmark]:
             "lint.kernels",
             _lint,
             description="full static analysis of the five builtin kernel sources",
+        ),
+        Benchmark(
+            "lint.deps",
+            _lint_deps,
+            description="dependence polyhedra for mgs/matmul/cholesky plus"
+            " symbolic legality of the tiled_mgs B=2 schedule",
         ),
         Benchmark(
             "serve.hit_burst",

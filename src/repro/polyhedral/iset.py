@@ -115,6 +115,15 @@ class ISet:
         env = {d: aff(v) for d, v in assignments.items()}
         return ISet(remaining, (c.subs(env) for c in self.constraints))
 
+    def rename(self, mapping: Mapping[str, str]) -> "ISet":
+        """Rename dimensions (and/or parameters) by exact name mapping.
+
+        Used by the dependence analyzer to give the source and target copies
+        of a statement domain disjoint dimension names before intersecting.
+        """
+        new_dims = tuple(mapping.get(d, d) for d in self.dims)
+        return ISet(new_dims, (c.rename(mapping) for c in self.constraints))
+
     # -- Fourier–Motzkin projection ---------------------------------------
     def eliminate(self, dim: str) -> "ISet":
         """Project out one dimension (rational FM shadow).
@@ -263,6 +272,27 @@ class ISet:
     def is_empty(self, params: Mapping[str, int]) -> bool:
         return next(iter(self.points(params)), None) is None
 
+    # -- symbolic emptiness ------------------------------------------------
+    def definitely_empty(self) -> bool:
+        """Sound parametric emptiness test — no enumeration, no fixed params.
+
+        Eliminates every dimension with Fourier–Motzkin and reports ``True``
+        iff a variable-free constraint becomes infeasible along the way.  The
+        rational FM shadow is a superset of the integer projection, so
+        ``True`` certifies the set holds no integer point for *any* parameter
+        values; ``False`` is inconclusive (the set may still be integer-empty,
+        e.g. through divisibility gaps such as ``2i == 2j + 1``).
+        """
+        obs.add("polyhedral.sym_empty_checks")
+        s = self
+        while True:
+            cons = _simplified_or_none(s.constraints)
+            if cons is None:
+                return True
+            if not s.dims:
+                return False
+            s = ISet(s.dims, cons).eliminate(s.dims[-1])
+
     def sample(self, params: Mapping[str, int]) -> tuple[int, ...] | None:
         return next(iter(self.points(params)), None)
 
@@ -272,6 +302,55 @@ class ISet:
         """Exact integer projection (as a finite set of tuples)."""
         idx = [self.dims.index(k) for k in keep]
         return {tuple(p[i] for i in idx) for p in self.points(params)}
+
+
+def _simplified_or_none(
+    constraints: Iterable[Constraint],
+) -> tuple[Constraint, ...] | None:
+    """Dedupe and strengthen a constraint system; ``None`` when infeasible.
+
+    Variable-free constraints are checked and dropped (an unsatisfiable one
+    makes the whole system infeasible), every remaining constraint is scaled
+    to coprime integer coefficients, only the strongest GE bound per
+    coefficient vector survives, and two equalities that differ only in their
+    constant are spotted as a direct contradiction.  This keeps iterated FM
+    elimination (see :meth:`ISet.definitely_empty`) from drowning in the
+    redundant pairs it generates.
+    """
+    ges: dict[tuple, Fraction] = {}
+    eqs: dict[tuple, Fraction] = {}
+    for c in constraints:
+        coeffs = {v: f for v, f in c.expr.coeffs.items() if f != 0}
+        if not coeffs:
+            v = c.expr.const
+            bad = (v != 0) if c.kind == EQ else (v < 0)
+            if bad:
+                return None
+            continue
+        denom = 1
+        for f in list(coeffs.values()) + [c.expr.const]:
+            denom = denom * f.denominator // math.gcd(denom, f.denominator)
+        g = 0
+        for f in coeffs.values():
+            g = math.gcd(g, abs(int(f * denom)))
+        scale = Fraction(denom, g or 1)
+        items = tuple(sorted((v, f * scale) for v, f in coeffs.items()))
+        const = c.expr.const * scale
+        if c.kind == EQ:
+            if items[0][1] < 0:
+                items = tuple((v, -f) for v, f in items)
+                const = -const
+            prev = eqs.get(items)
+            if prev is not None and prev != const:
+                return None
+            eqs[items] = const
+        else:
+            prev = ges.get(items)
+            if prev is None or const < prev:
+                ges[items] = const
+    out = [Constraint(LinExpr(dict(k), v), EQ) for k, v in eqs.items()]
+    out += [Constraint(LinExpr(dict(k), v), GE) for k, v in ges.items()]
+    return tuple(out)
 
 
 def loop_nest_set(

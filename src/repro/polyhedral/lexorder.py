@@ -9,7 +9,19 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["lex_lt", "lex_le", "lex_min", "lex_max", "lex_next", "lex_sorted"]
+from .affine import LinExpr, aff
+from .iset import EQ, GE, Constraint
+
+__all__ = [
+    "lex_lt",
+    "lex_le",
+    "lex_min",
+    "lex_max",
+    "lex_next",
+    "lex_sorted",
+    "lex_lt_branches",
+    "lex_le_branches",
+]
 
 
 def lex_lt(a: Sequence[int], b: Sequence[int]) -> bool:
@@ -57,3 +69,61 @@ def lex_next(
 def lex_sorted(points: Iterable[Sequence[int]]) -> list[tuple[int, ...]]:
     """Points as tuples in lexicographic order."""
     return sorted(tuple(p) for p in points)
+
+
+# -- symbolic comparisons ----------------------------------------------------
+#
+# The concrete helpers above compare known integer vectors; the dependence
+# analyzer instead needs ``a <_lex b`` as a *disjunction of affine constraint
+# systems* over symbolic schedule vectors.  Level ``l`` contributes the branch
+# ``a[0] == b[0] and ... and a[l-1] == b[l-1] and a[l] + 1 <= b[l]``; the
+# union over levels is the exact strict order.
+
+
+def _lex_branches(
+    a: Sequence[LinExpr | int],
+    b: Sequence[LinExpr | int],
+    include_eq: bool,
+) -> list[list[Constraint]]:
+    if len(a) != len(b):
+        raise ValueError("lexicographic comparison of different arities")
+    branches: list[list[Constraint]] = []
+    prefix: list[Constraint] = []
+    dead = False
+    for av, bv in zip(a, b):
+        diff = aff(bv) - aff(av)
+        strict = diff - 1
+        if strict.is_const():
+            if strict.const >= 0:
+                branches.append(list(prefix))
+        else:
+            branches.append(prefix + [Constraint(strict, GE)])
+        if diff.is_const():
+            if diff.const != 0:
+                dead = True
+                break
+        else:
+            prefix.append(Constraint(diff, EQ))
+    if include_eq and not dead:
+        branches.append(list(prefix))
+    return branches
+
+
+def lex_lt_branches(
+    a: Sequence[LinExpr | int], b: Sequence[LinExpr | int]
+) -> list[list[Constraint]]:
+    """Branches (constraint conjunctions) whose union is ``a <_lex b``.
+
+    ``a`` and ``b`` are equal-length vectors of affine expressions (plain
+    ints accepted).  An empty inner list is a branch that is always true.
+    Constant entries are folded: constant-false branches are dropped, and no
+    branch is produced past a constant-unequal prefix entry.
+    """
+    return _lex_branches(a, b, include_eq=False)
+
+
+def lex_le_branches(
+    a: Sequence[LinExpr | int], b: Sequence[LinExpr | int]
+) -> list[list[Constraint]]:
+    """Branches whose union is ``a <=_lex b`` (adds the all-equal branch)."""
+    return _lex_branches(a, b, include_eq=True)

@@ -19,12 +19,17 @@ single kernel and returns a structured report:
    assumptions, hourglass applicability) are expected and allowed;
 10. certificate round-trip: the derivation's ``iolb-cert/1`` proof object
     survives canonical serialization and is accepted by the independent
-    checker (:func:`repro.cert.check_certificate`).
+    checker (:func:`repro.cert.check_certificate`);
+11. schedule legality: the kernel's own traced execution order satisfies
+    every dependence polyhedron
+    (:func:`repro.analysis.deps.check_order`), and reversing the order
+    trips at least one — the legality checker is exercised in both
+    directions.
 
 Every check always runs — a check that raises is recorded as FAIL with the
 exception class and message, and the rest of the battery still executes.
 Used by ``iolb selfcheck`` and by downstream users adding their own kernels
-— if all ten pass, the derivation machinery's preconditions hold.
+— if all eleven pass, the derivation machinery's preconditions hold.
 """
 
 from __future__ import annotations
@@ -229,6 +234,36 @@ def selfcheck(
             f" re-checked ({len(chk.checks_run)} checks)"
         )
 
+    def c_legality():
+        from .analysis.deps import build_dependences, check_order
+
+        deps = [d for d in build_dependences(kernel.program) if d.branches]
+        if not deps:
+            return "no dependence polyhedra; nothing to order (skipped)"
+        t = Tracer()
+        kernel.program.runner(dict(params), t)
+        bad = check_order(kernel.program, t.schedule, params, deps=deps)
+        if bad:
+            v = bad[0]
+            raise AssertionError(
+                f"{len(bad)} dependence violation(s); first: {v.dep.kind}"
+                f" {v.dep.src}{list(v.src_point)} ->"
+                f" {v.dep.tgt}{list(v.tgt_point)} on {v.dep.array}"
+            )
+        rev = check_order(
+            kernel.program,
+            list(reversed(t.schedule)),
+            params,
+            deps=deps,
+            limit=1,
+        )
+        if not rev:
+            return "order legal; no dependence instance to reverse (skipped)"
+        return (
+            f"traced order satisfies all {len(deps)} dependence polyhedra;"
+            " reversal trips as it must"
+        )
+
     record("static-validation", c_static)
     record("numeric", c_numeric)
     record("spec-vs-runner", c_trace)
@@ -239,4 +274,5 @@ def selfcheck(
     record("obs-registry", c_obs)
     record("lint-builtin-kernels", c_lint)
     record("cert-roundtrip", c_cert)
+    record("schedule-legality", c_legality)
     return rep

@@ -28,6 +28,9 @@ parameter point, not just the hand-picked ones of the unit tests:
 ``lint-mutation-total``   seeded planted defects (negative subscripts,
                           uninitialized scalars, dead stores) are flagged
                           and never crash the analyzer
+``schedule-legality``     the traced execution order satisfies every
+                          dependence polyhedron; the reversed order must
+                          violate at least one (legality pass oracle)
 ``cert-roundtrip``        a fresh derivation's iolb-cert/1 certificate is
                           accepted by the independent checker (fuzz
                           programs included)
@@ -743,6 +746,74 @@ def lint_mutation_total(trial: Trial) -> OracleOutcome:
     )
 
 
+def schedule_legality(trial: Trial) -> OracleOutcome:
+    """The traced order must satisfy every dependence; reversing it must
+    violate at least one.  Positive and negative direction of the A009
+    legality pass on the same dependence polyhedra: a checker that
+    accepts everything would pass the first leg but fail the second."""
+    from ..analysis.deps import build_dependences, check_order
+
+    program = trial.kernel.program
+    deps = [d for d in build_dependences(program) if d.branches]
+    if not deps:
+        return _outcome(
+            trial, "schedule-legality", "skip", "no dependence polyhedra"
+        )
+    # enumerating all dependence pairs is O(points^2)-ish; probe-sized
+    # parameters make the full scan cheap without weakening the oracle.
+    # Scaling (not clamping) preserves parameter orderings like M > N;
+    # a runner that still rejects the scaled point keeps the sampled one.
+    params = dict(trial.params)
+    order = None
+    big = max(params.values(), default=0)
+    if big > 6:
+        scaled = {k: max(1, round(v * 6 / big)) for k, v in params.items()}
+        try:
+            t = Tracer()
+            program.runner(dict(scaled), t)
+            params, order = scaled, t.schedule
+        except Exception:  # noqa: BLE001 - precondition on params
+            order = None
+    if order is None:
+        params, order = dict(trial.params), trial.trace.schedule
+    if not order:
+        return _outcome(
+            trial, "schedule-legality", "skip", "trace has no statements"
+        )
+    fwd = check_order(program, order, params, deps=deps)
+    if fwd:
+        v = fwd[0]
+        return _outcome(
+            trial,
+            "schedule-legality",
+            "fail",
+            f"traced order violates a {v.dep.kind} dependence on"
+            f" {v.dep.array}: {v.dep.src}{list(v.src_point)} must run"
+            f" before {v.dep.tgt}{list(v.tgt_point)}",
+            violations=len(fwd),
+        )
+    rev = check_order(
+        program, list(reversed(order)), params, deps=deps, limit=1
+    )
+    if not rev:
+        return _outcome(
+            trial,
+            "schedule-legality",
+            "skip",
+            "no dependence instance at these parameters"
+            " (reversed order is also clean)",
+        )
+    v = rev[0]
+    return _outcome(
+        trial,
+        "schedule-legality",
+        "pass",
+        f"traced order legal; reversal trips the {v.dep.kind} dependence"
+        f" {v.dep.src} -> {v.dep.tgt} on {v.dep.array}",
+        violations=len(rev),
+    )
+
+
 # ---------------------------------------------------------------------------
 # tiled upper bounds
 # ---------------------------------------------------------------------------
@@ -895,6 +966,12 @@ KERNEL_ORACLES: tuple[Oracle, ...] = (
         "kernel",
         "fresh certificate accepted by the independent checker",
         cert_roundtrip,
+    ),
+    Oracle(
+        "schedule-legality",
+        "kernel",
+        "traced order satisfies all dependences; its reversal must not",
+        schedule_legality,
     ),
 )
 

@@ -1,0 +1,14 @@
+// A008: without a dominant-statement directive the hourglass search tries
+// only the six largest reading statements; a seventh exists, so the
+// "no pattern" explanation must say the search was truncated and how to
+// widen it.
+// expect: A008 info @7:3
+for (i = 0; i < N; i += 1) {
+  S1: b1[i] = a1[i];
+  S2: b2[i] = a2[i];
+  S3: b3[i] = a3[i];
+  S4: b4[i] = a4[i];
+  S5: b5[i] = a5[i];
+  S6: b6[i] = a6[i];
+  S7: b7[i] = a7[i];
+}

@@ -1,0 +1,12 @@
+// A009: reversing the accumulation loop of SR runs each partial sum
+// before the value it depends on — the legality pass names the concrete
+// violated dependence instance pair.
+// schedule: SR=(i,1,-j,0)
+// expect: A009 error @10:15
+// expect: A009 error @8:7
+for (i = 0; i < N; i += 1) {
+  Sz: acc = 0.0;
+  for (j = 0; j < M; j += 1)
+    SR: acc = acc + A[i][j];
+  Sw: out[i] = acc;
+}

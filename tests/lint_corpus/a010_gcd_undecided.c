@@ -1,0 +1,11 @@
+// A010: swapping the two loops looks illegal to rational reasoning — the
+// flow dependence asks for 2*i == 2*j + 1, which is rationally feasible —
+// but it holds no integer point, and the witness search at the probe
+// parameters finds none either: an honest "undecided" warning, not an
+// error.
+// schedule: Sa=(1,i,0); Sb=(0,i,0)
+// expect: A010 warning @11:16
+for (i = 0; i < N; i += 1)
+  Sa: A[2*i] = 1.0;
+for (i = 0; i < N; i += 1)
+  Sb: out[i] = A[2*i + 1];

@@ -1,0 +1,7 @@
+// A011: the dependence summary counts the flow/anti/output polyhedra and
+// names the loops that carry a self-dependence (here the prefix-sum i).
+// expect: A011 info @5:3
+for (i = 0; i < N; i += 1)
+  Si: A[i] = 1.0;
+for (i = 1; i < N; i += 1)
+  S: A[i] = A[i] + A[i - 1];

@@ -1,0 +1,271 @@
+"""Tests for repro.analysis.deps: dependence polyhedra and legality.
+
+Five layers of coverage:
+
+* **construction** — dependence polyhedra built from tiny compiled sources
+  have the right kinds, branches and symbolic distance signs; parallel
+  loops produce no live self-dependence.
+* **schedule legality** — :func:`check_schedule` accepts the identity and
+  legal blocked schedules and rejects reversed loops with a concrete A009
+  witness; :func:`check_order` replays explicit instance orders.
+* **tiled algorithms** — ``tiled_mgs``'s published schedule spec is legal
+  symbolically; swapping its two phases (internal factorization before the
+  past reflections) must trip A009.  ``tiled_a2v`` has no closed-form
+  schedule and is checked through the traced-order fallback.
+* **differential** — symbolic and enumerative answers agree on every
+  corpus file and figure source (no A012 anywhere); a deliberately broken
+  emptiness oracle *must* force A012, pinning that the self-check is live.
+* **CLI** — ``--select`` / ``--ignore`` diagnostic-code filters and the
+  ``lint tiled`` target.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import check_source, parse_directives
+from repro.analysis.deps import (
+    SchedulePiece,
+    build_dependences,
+    check_order,
+    check_schedule,
+    check_tiled_legality,
+    pass_deps,
+)
+from repro.cli import main
+from repro.frontend import compile_source
+from repro.frontend.sources import FIGURE_SHAPE_EXPRS, FIGURE_SOURCES
+from repro.kernels import KERNELS, PAPER_KERNELS, get_tiled
+from repro.polyhedral.iset import ISet
+
+CORPUS = pathlib.Path(__file__).parent / "lint_corpus"
+
+PREFIX_SUM = """
+for (i = 1; i < N; i += 1)
+  S: A[i] = A[i] + A[i - 1];
+"""
+
+COPY = """
+for (i = 0; i < N; i += 1)
+  S: B[i] = A[i];
+"""
+
+
+@pytest.fixture(scope="module")
+def prefix_prog():
+    prog, _ = compile_source(PREFIX_SUM)
+    return prog
+
+
+class TestBuildDependences:
+    def test_prefix_sum_carries_a_flow_dep(self, prefix_prog):
+        deps = build_dependences(prefix_prog)
+        live = [d for d in deps if d.exists()]
+        assert len(live) == 1
+        (d,) = live
+        assert (d.kind, d.src, d.tgt, d.array) == ("flow", "S", "S", "A")
+        # the A[i-1] read of iteration i+1 sees the A[i] write: distance +1
+        assert d.distance_signs() == ("+",)
+        # dims are the renamed-apart source dims then target dims
+        assert d.dims == ("i__s", "i__t")
+        assert d.src_dims == d.tgt_dims == ("i",)
+
+    def test_refuted_branches_are_kept_for_the_differential(self, prefix_prog):
+        deps = build_dependences(prefix_prog)
+        # the same-cell A[i]->A[i] pairs are FM-refuted, not dropped
+        assert any(d.pruned for d in deps)
+        for d in deps:
+            if not d.exists():
+                assert not d.branches and d.pruned
+
+    def test_parallel_copy_has_no_live_dependence(self):
+        prog, _ = compile_source(COPY)
+        assert not any(d.exists() for d in build_dependences(prog))
+
+    def test_mgs_summary_counts(self):
+        deps = build_dependences(KERNELS["mgs"].program)
+        live = [d for d in deps if d.exists()]
+        kinds = {k: sum(1 for d in live if d.kind == k) for k in
+                 ("flow", "anti", "output")}
+        # pinned against the golden lint A011 summary
+        assert kinds == {"flow": 15, "anti": 7, "output": 7}
+
+
+class TestCheckSchedule:
+    def test_identity_is_legal(self, prefix_prog):
+        assert check_schedule(prefix_prog, {"S": (0, "i", 0)}) == []
+
+    def test_reversed_loop_is_a009_with_concrete_witness(self, prefix_prog):
+        diags = check_schedule(prefix_prog, {"S": (0, "-i", 0)})
+        assert [d.code for d in diags] == ["A009"]
+        (d,) = diags
+        assert d.severity == "error"
+        # the witness names a concrete violated instance pair and the cell
+        assert "S(i=1) -> S(i=2)" in d.message
+        assert "on A[1]" in d.message
+
+    def test_legal_blocked_schedule(self, prefix_prog):
+        # ascending blocks, ascending within the block: still the original
+        # order, expressed through a floor-div aux dim
+        assert check_schedule(prefix_prog, {"S": ("i/2", 0, "i", 0)}) == []
+
+    def test_reversed_within_block_is_a009(self, prefix_prog):
+        diags = check_schedule(prefix_prog, {"S": ("i/2", 0, "-i", 0)})
+        assert [d.code for d in diags] == ["A009"]
+
+    def test_statements_absent_from_the_spec_keep_their_schedule(self):
+        # swapping only the textual order of two dependent statements
+        src = """
+for (i = 0; i < N; i += 1)
+  Si: A[i] = 1.0;
+for (i = 0; i < N; i += 1)
+  S: B[i] = A[i];
+"""
+        prog, _ = compile_source(src)
+        # hoist the consumer before the producer; Si keeps its schedule
+        diags = check_schedule(prog, {"S": (0, "i", 0)})
+        assert [d.code for d in diags] == ["A009"]
+
+
+class TestCheckOrder:
+    def test_program_order_is_legal(self, prefix_prog):
+        order = [("S", (i,)) for i in range(1, 7)]
+        assert check_order(prefix_prog, order, {"N": 7}) == []
+
+    def test_reversed_order_violates_every_pair(self, prefix_prog):
+        order = [("S", (i,)) for i in reversed(range(1, 7))]
+        viol = check_order(prefix_prog, order, {"N": 7})
+        assert len(viol) == 5  # each consecutive (i, i+1) flow pair
+        assert all(v.dep.kind == "flow" for v in viol)
+
+    def test_limit_stops_the_scan_early(self, prefix_prog):
+        order = [("S", (i,)) for i in reversed(range(1, 7))]
+        viol = check_order(prefix_prog, order, {"N": 7}, limit=1)
+        assert len(viol) == 1
+        assert viol[0].src_point[0] < viol[0].tgt_point[0]
+
+
+class TestTiledLegality:
+    def test_tiled_mgs_spec_is_symbolically_legal(self):
+        diags, mode = check_tiled_legality(get_tiled("tiled_mgs"), 2)
+        assert mode == "symbolic"
+        assert diags == []
+
+    def test_phase_swapped_tiled_mgs_trips_a009(self):
+        # run the internal factorization (phase 1) before the past
+        # reflections (phase 0) within each block: the block reads columns
+        # the deferred updates have not touched yet
+        alg = get_tiled("tiled_mgs")
+        spec = dict(alg.schedule_spec(2))
+        for name in ("Sr0", "SR", "SU"):
+            swapped = []
+            for p in spec[name]:
+                e = list(p.entries)
+                assert e[1] in (0, 1)
+                e[1] = 1 - e[1]
+                swapped.append(
+                    SchedulePiece(tuple(e), guards=p.guards, divs=p.divs)
+                )
+            spec[name] = tuple(swapped)
+        diags = check_schedule(KERNELS[alg.base].program, spec)
+        assert diags and {d.code for d in diags} == {"A009"}
+        assert any("flow dependence" in d.message for d in diags)
+
+    def test_tiled_a2v_falls_back_to_traced_order(self):
+        diags, mode = check_tiled_legality(get_tiled("tiled_a2v"), 2)
+        assert mode == "traced"
+        assert diags == []
+
+
+class TestDifferential:
+    """The A012 self-check: symbolic == enumerative, and the check is live."""
+
+    @pytest.mark.parametrize(
+        "path", sorted(CORPUS.glob("*.c")), ids=lambda p: p.stem
+    )
+    def test_corpus_never_disagrees(self, path):
+        src = path.read_text()
+        dirs = parse_directives(src)
+        report, _ = check_source(
+            src, name=path.stem, shapes=dirs.shapes, dominant=dirs.dominant,
+            schedule=dirs.schedule,
+        )
+        assert not any(d.code == "A012" for d in report.diagnostics)
+
+    @pytest.mark.parametrize("name", PAPER_KERNELS)
+    def test_figure_sources_never_disagree(self, name):
+        k = KERNELS[name]
+        report, _ = check_source(
+            FIGURE_SOURCES[name], name=name, params=dict(k.default_params),
+            shapes=FIGURE_SHAPE_EXPRS.get(name), dominant=k.dominant,
+        )
+        assert not any(d.code == "A012" for d in report.diagnostics)
+
+    def test_broken_emptiness_oracle_forces_a012(self, monkeypatch):
+        # lie that every set is empty: the enumerative replay of the
+        # wrongly-pruned flow branch must catch the disagreement
+        prog, _ = compile_source(PREFIX_SUM)
+
+        class Ctx:
+            pass
+
+        ctx = Ctx()
+        ctx.program = prog
+        ctx.params = {"N": 6}
+        ctx.shapes = {}
+        monkeypatch.setattr(ISet, "definitely_empty", lambda self: True)
+        diags = pass_deps(ctx)
+        a012 = [d for d in diags if d.code == "A012"]
+        assert a012, "the differential self-check did not fire"
+        assert all(d.severity == "error" for d in a012)
+        assert "analyzer bug" in a012[0].hint
+
+
+class TestLintCodeFilters:
+    def test_select_keeps_only_the_named_codes(self, capsys, tmp_path):
+        out = tmp_path / "r.json"
+        rc = main(["lint", "mgs", "--select", "A011", "--json", str(out)])
+        capsys.readouterr()
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        codes = {d["code"] for d in doc["diagnostics"]}
+        assert codes == {"A011"}
+
+    def test_ignore_drops_the_named_codes(self, capsys):
+        # the a006 corpus file exits 1 on its warning; ignoring A006
+        # leaves nothing gating
+        target = str(CORPUS / "a006_dead_code.c")
+        assert main(["lint", target]) == 1
+        capsys.readouterr()
+        assert main(["lint", target, "--ignore", "A006"]) == 0
+        capsys.readouterr()
+
+    def test_select_and_ignore_compose(self, capsys):
+        target = str(CORPUS / "a009_illegal_interchange.c")
+        assert main(["lint", target, "--select", "A009"]) == 2
+        capsys.readouterr()
+        assert main(["lint", target, "--select", "A009",
+                     "--ignore", "A009"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_code_is_a_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["lint", "mgs", "--select", "A999"])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown diagnostic code" in err
+        assert "A001" in err  # the error lists the valid catalogue
+
+    def test_comma_separated_codes(self, capsys, tmp_path):
+        out = tmp_path / "r.json"
+        rc = main([
+            "lint", str(CORPUS / "a009_illegal_interchange.c"),
+            "--select", "A009,A011", "--json", str(out),
+        ])
+        capsys.readouterr()
+        assert rc == 2
+        codes = {d["code"] for d in json.loads(out.read_text())["diagnostics"]}
+        assert codes <= {"A009", "A011"} and "A009" in codes

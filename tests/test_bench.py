@@ -100,6 +100,7 @@ class TestRunner:
             "tune.tiled_mgs",
             "verify.smoke",
             "lint.kernels",
+            "lint.deps",
             "serve.hit_burst",
             "serve.compute_burst",
             "explore.render",

@@ -1,0 +1,111 @@
+"""Symbolic width replay in the certificate checker (above the enum cap).
+
+Certificates whose domains exceed the 20 000-point enumeration cap used to
+be skipped with a C042 warning; the checker now replays the claimed
+instance count and slice widths *symbolically* — Faulhaber-summed closed
+forms over the classified loop nest, refuted on a ×1/×2/×3 parameter
+ladder.  Pinned here:
+
+* an above-cap mgs certificate (93 600 instances at M=120, N=40) is
+  accepted with ``domain-symbolic`` and ``widths-symbolic`` in the checks
+  run and no C042 — the acceptance criterion for enumeration-free checking;
+* forged instance counts and widths above the cap are *rejected* (C041 /
+  C040), not skipped: the cap is no longer a soundness hole;
+* domains outside the symbolic fragment degrade honestly to C051/C052
+  warnings (gehd2's reduction bounds couple with the temporal dim);
+* below the cap nothing changes — the numeric replay still runs.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.cert import build_certificate, check_certificate
+from repro.kernels import get_kernel
+from tests.conftest import derivation_for
+
+
+def _cert(name: str, params: dict) -> dict:
+    kern = get_kernel(name)
+    return build_certificate(derivation_for(name), kern.program, params)
+
+
+@pytest.fixture(scope="module")
+def big_mgs_cert():
+    # SU domain ~ M*N^2/2 = 96 000 instances: far above ENUM_CAP
+    return _cert("mgs", {"M": 120, "N": 40})
+
+
+class TestAboveCapAcceptance:
+    def test_symbolic_replay_accepts_the_honest_certificate(
+        self, big_mgs_cert
+    ):
+        rep = check_certificate(big_mgs_cert)
+        assert rep.ok(), rep.summary()
+        assert "domain-symbolic" in rep.checks_run
+        assert "widths-symbolic" in rep.checks_run
+        # the cap-skip warning is gone: nothing was skipped
+        assert not any(f.code == "C042" for f in rep.findings)
+        assert not any(f.severity == "warning" for f in rep.findings)
+
+    def test_numeric_replay_does_not_run_above_the_cap(self, big_mgs_cert):
+        rep = check_certificate(big_mgs_cert)
+        # the numeric width/split passes need enumerated points; above the
+        # cap only their symbolic counterparts may appear
+        assert "widths" not in rep.checks_run
+
+    def test_below_cap_still_enumerates(self):
+        rep = check_certificate(_cert("mgs", {"M": 12, "N": 6}))
+        assert rep.ok(), rep.summary()
+        assert "widths" in rep.checks_run
+        assert "domain-symbolic" not in rep.checks_run
+        assert "widths-symbolic" not in rep.checks_run
+
+
+class TestAboveCapForgeries:
+    """The cap is not a soundness hole: forgeries above it are rejected."""
+
+    def test_forged_instance_count_is_c041(self, big_mgs_cert):
+        bad = copy.deepcopy(big_mgs_cert)
+        # claim M*N^2 instances instead of ~M*N^2/2
+        bad["statement"]["instance_count"] = [[[["M", "1"], ["N", "2"]], "1"]]
+        rep = check_certificate(bad)
+        assert not rep.ok()
+        assert any(f.code == "C041" for f in rep.findings)
+        # the refutation names the Faulhaber-summed truth
+        msg = next(f for f in rep.findings if f.code == "C041").message
+        assert "Faulhaber" in msg
+
+    def test_forged_width_is_c040(self, big_mgs_cert):
+        bad = copy.deepcopy(big_mgs_cert)
+        # claim every slice holds M*N reduction tuples (truth: M)
+        bad["hourglass"]["width_min"] = [[[["M", "1"], ["N", "1"]], "1"]]
+        rep = check_certificate(bad)
+        assert not rep.ok()
+        assert any(f.code == "C040" for f in rep.findings)
+
+    def test_slack_width_is_undecided_not_refuted(self, big_mgs_cert):
+        # claiming *less* than the true minimum width is sound for a lower
+        # bound, so the ladder cannot refute it; the symbolic replay says
+        # C051 undecided (the document-consistency pass still objects to
+        # the bound mismatch, which is fine: nothing is silently accepted)
+        bad = copy.deepcopy(big_mgs_cert)
+        bad["hourglass"]["width_min"] = [[[["M", "1"]], "1/2"]]
+        rep = check_certificate(bad)
+        assert any(f.code == "C051" for f in rep.findings)
+        assert not any(f.code == "C040" for f in rep.findings)
+
+
+class TestOutsideTheFragment:
+    def test_gehd2_widths_degrade_to_honest_warnings(self):
+        # gehd2's reduction bounds couple with the temporal dim, so the
+        # domain does not factorize: the count still replays symbolically,
+        # the widths become C051 undecided and the split replay C052
+        rep = check_certificate(_cert("gehd2", {"N": 60}))
+        assert rep.ok(), rep.summary()
+        assert "domain-symbolic" in rep.checks_run
+        codes = {f.code for f in rep.findings}
+        assert "C051" in codes and "C052" in codes
+        assert "C042" not in codes

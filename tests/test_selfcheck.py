@@ -29,6 +29,7 @@ class TestSelfCheck:
             "obs-registry",
             "lint-builtin-kernels",
             "cert-roundtrip",
+            "schedule-legality",
         ]
         assert "ALL PASS" in rep.summary()
 
@@ -68,7 +69,7 @@ class TestSelfCheck:
         failed = {c.name for c in rep.checks if not c.passed}
         assert "spec-vs-runner" in failed
         # the battery keeps going after the failure: every check is recorded
-        assert len(rep.checks) == 10
+        assert len(rep.checks) == 11
 
     def test_erroring_check_reported_not_raised(self):
         """A kernel whose runner explodes must not abort the battery: the
@@ -92,8 +93,8 @@ class TestSelfCheck:
         rep = selfcheck(kern, {"M": 4, "N": 3})
         assert not rep.ok()
         by_name = {c.name: c for c in rep.checks}
-        # all ten checks ran despite the broken runner
-        assert len(rep.checks) == 10
+        # all eleven checks ran despite the broken runner
+        assert len(rep.checks) == 11
         # the trace check failed and names the exception
         assert not by_name["spec-vs-runner"].passed
         assert "RuntimeError" in by_name["spec-vs-runner"].detail
